@@ -1,0 +1,458 @@
+//! The Section 5 / Section 4.2 analyses, expressed over broker-indexed
+//! archives with the partition-map-reduce skeleton.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::net::IpAddr;
+use std::sync::Arc;
+
+use bgp_types::Asn;
+use bgpstream::{BgpStream, ElemType};
+use broker::index::{BrokerCursor, Query};
+use broker::{DataInterface, DumpType, Index};
+
+use crate::asgraph::AsGraph;
+use crate::mapreduce::par_map;
+
+/// One analysis partition: a single RIB snapshot of one collector.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RibPartition {
+    /// Collection project.
+    pub project: String,
+    /// Collector name.
+    pub collector: String,
+    /// Snapshot time.
+    pub time: u64,
+}
+
+/// Enumerate all RIB snapshots registered in `[start, end]`.
+pub fn rib_partitions(index: &Arc<Index>, start: u64, end: u64) -> Vec<RibPartition> {
+    let q = Query {
+        dump_types: vec![DumpType::Rib],
+        start,
+        end: Some(end),
+        ..Default::default()
+    };
+    let mut cursor = BrokerCursor { window_start: start };
+    let mut out = Vec::new();
+    loop {
+        let resp = index.query(&q, &mut cursor, u64::MAX);
+        for f in &resp.files {
+            out.push(RibPartition {
+                project: f.project.clone(),
+                collector: f.collector.clone(),
+                time: f.interval_start,
+            });
+        }
+        if resp.exhausted {
+            break;
+        }
+    }
+    out.sort_by(|a, b| (a.time, &a.collector).cmp(&(b.time, &b.collector)));
+    out.dedup();
+    out
+}
+
+/// Open a stream over exactly one RIB snapshot.
+fn open_rib(index: &Arc<Index>, p: &RibPartition) -> BgpStream {
+    BgpStream::builder()
+        .data_interface(DataInterface::Broker(index.clone()))
+        .project(&p.project)
+        .collector(&p.collector)
+        .record_type(DumpType::Rib)
+        .interval(p.time, Some(p.time))
+        .start()
+}
+
+/// One VP's routing-table size at one snapshot (Figure 5a points).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RibSizePoint {
+    /// Snapshot time.
+    pub time: u64,
+    /// Collection project.
+    pub project: String,
+    /// Collector.
+    pub collector: String,
+    /// VP address.
+    pub peer: IpAddr,
+    /// VP AS number.
+    pub peer_asn: Asn,
+    /// Unique IPv4 prefixes in the VP's Adj-RIB-out.
+    pub prefixes_v4: usize,
+    /// Unique IPv6 prefixes.
+    pub prefixes_v6: usize,
+}
+
+/// Figure 5a: per-VP routing-table size for every partition.
+pub fn rib_size_per_vp(
+    index: &Arc<Index>,
+    partitions: &[RibPartition],
+    workers: usize,
+) -> Vec<RibSizePoint> {
+    let index = index.clone();
+    let results = par_map(partitions.to_vec(), workers, move |p| {
+        let mut stream = open_rib(&index, &p);
+        let mut per_vp: BTreeMap<IpAddr, (Asn, usize, usize)> = BTreeMap::new();
+        while let Some(rec) = stream.next_record() {
+            for e in rec.elems() {
+                if e.elem_type != ElemType::RibEntry {
+                    continue;
+                }
+                let entry = per_vp.entry(e.peer_address).or_insert((e.peer_asn, 0, 0));
+                match e.prefix {
+                    Some(pfx) if pfx.is_ipv4() => entry.1 += 1,
+                    Some(_) => entry.2 += 1,
+                    None => {}
+                }
+            }
+        }
+        per_vp
+            .into_iter()
+            .map(|(peer, (peer_asn, v4, v6))| RibSizePoint {
+                time: p.time,
+                project: p.project.clone(),
+                collector: p.collector.clone(),
+                peer,
+                peer_asn,
+                prefixes_v4: v4,
+                prefixes_v6: v6,
+            })
+            .collect::<Vec<_>>()
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// Classify VPs into full-feed using the paper's operational
+/// definition: within 20 percentage points of the maximum table size
+/// at the same time bin.
+pub fn full_feed_vps(points: &[RibSizePoint]) -> Vec<(u64, IpAddr, bool)> {
+    let mut max_at: HashMap<u64, usize> = HashMap::new();
+    for p in points {
+        let m = max_at.entry(p.time).or_default();
+        *m = (*m).max(p.prefixes_v4);
+    }
+    points
+        .iter()
+        .map(|p| {
+            let max = max_at[&p.time].max(1);
+            (p.time, p.peer, p.prefixes_v4 as f64 >= 0.8 * max as f64)
+        })
+        .collect()
+}
+
+/// One snapshot's MOAS counts (Figure 5b).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MoasPoint {
+    /// Snapshot time.
+    pub time: u64,
+    /// Unique MOAS sets across all collectors.
+    pub overall: usize,
+    /// Unique MOAS sets seen by each collector alone.
+    pub per_collector: BTreeMap<String, usize>,
+}
+
+/// Figure 5b: MOAS sets per snapshot, overall vs per collector.
+pub fn moas_sets(
+    index: &Arc<Index>,
+    partitions: &[RibPartition],
+    workers: usize,
+) -> Vec<MoasPoint> {
+    let index = index.clone();
+    // Map: per partition → (time, collector, prefix → origin set).
+    let mapped = par_map(partitions.to_vec(), workers, move |p| {
+        let mut stream = open_rib(&index, &p);
+        let mut origins: HashMap<bgp_types::Prefix, BTreeSet<Asn>> = HashMap::new();
+        while let Some(rec) = stream.next_record() {
+            for e in rec.elems() {
+                if e.elem_type != ElemType::RibEntry {
+                    continue;
+                }
+                if let (Some(pfx), Some(origin)) = (e.prefix, e.origin_asn()) {
+                    origins.entry(pfx).or_default().insert(origin);
+                }
+            }
+        }
+        (p.time, p.collector.clone(), origins)
+    });
+    // Reduce per snapshot time.
+    type PerCollectorOrigins = Vec<(String, HashMap<bgp_types::Prefix, BTreeSet<Asn>>)>;
+    let mut by_time: BTreeMap<u64, PerCollectorOrigins> = BTreeMap::new();
+    for (time, collector, origins) in mapped {
+        by_time.entry(time).or_default().push((collector, origins));
+    }
+    by_time
+        .into_iter()
+        .map(|(time, collectors)| {
+            let mut overall: HashMap<bgp_types::Prefix, BTreeSet<Asn>> = HashMap::new();
+            let mut per_collector = BTreeMap::new();
+            for (name, origins) in &collectors {
+                let sets: BTreeSet<Vec<Asn>> = origins
+                    .values()
+                    .filter(|s| s.len() >= 2)
+                    .map(|s| s.iter().copied().collect())
+                    .collect();
+                per_collector.insert(name.clone(), sets.len());
+                for (pfx, set) in origins {
+                    overall.entry(*pfx).or_default().extend(set.iter().copied());
+                }
+            }
+            let overall_sets: BTreeSet<Vec<Asn>> = overall
+                .values()
+                .filter(|s| s.len() >= 2)
+                .map(|s| s.iter().copied().collect())
+                .collect();
+            MoasPoint { time, overall: overall_sets.len(), per_collector }
+        })
+        .collect()
+}
+
+/// One snapshot's transit statistics (Figure 5c).
+#[derive(Clone, PartialEq, Debug)]
+pub struct TransitPoint {
+    /// Snapshot time.
+    pub time: u64,
+    /// Distinct ASNs in IPv4 paths.
+    pub v4_asns: usize,
+    /// Fraction of those that appear mid-path (transit), 0..=1.
+    pub v4_transit_frac: f64,
+    /// Distinct ASNs in IPv6 paths.
+    pub v6_asns: usize,
+    /// IPv6 transit fraction.
+    pub v6_transit_frac: f64,
+}
+
+/// Figure 5c: transit-AS fraction per snapshot for both families.
+pub fn transit_fraction(
+    index: &Arc<Index>,
+    partitions: &[RibPartition],
+    workers: usize,
+) -> Vec<TransitPoint> {
+    let index = index.clone();
+    type Sets = (HashSet<Asn>, HashSet<Asn>, HashSet<Asn>, HashSet<Asn>);
+    let mapped = par_map(partitions.to_vec(), workers, move |p| {
+        let mut stream = open_rib(&index, &p);
+        // (v4 all, v4 transit, v6 all, v6 transit)
+        let mut sets: Sets =
+            (HashSet::new(), HashSet::new(), HashSet::new(), HashSet::new());
+        while let Some(rec) = stream.next_record() {
+            for e in rec.elems() {
+                if e.elem_type != ElemType::RibEntry {
+                    continue;
+                }
+                let (Some(pfx), Some(path)) = (e.prefix, e.as_path.as_ref()) else { continue };
+                let hops = path.hops_dedup();
+                // Sanitization as in Listing 1: skip local routes.
+                if hops.len() < 2 || hops[0] != e.peer_asn {
+                    continue;
+                }
+                let (all, transit) = if pfx.is_ipv4() {
+                    (&mut sets.0, &mut sets.1)
+                } else {
+                    (&mut sets.2, &mut sets.3)
+                };
+                // The VP's own ASN is an artefact of the vantage
+                // point, not of the route; count ASes from the first
+                // hop onward (paper counts ASes "appearing in AS
+                // paths" with the VP excluded implicitly by using
+                // many VPs — keeping it makes no qualitative
+                // difference; we exclude for cleanliness).
+                for a in &hops[1..] {
+                    all.insert(*a);
+                }
+                for a in &hops[1..hops.len() - 1] {
+                    transit.insert(*a);
+                }
+            }
+        }
+        (p.time, sets)
+    });
+    let mut by_time: BTreeMap<u64, Sets> = BTreeMap::new();
+    for (time, (a4, t4, a6, t6)) in mapped {
+        let e = by_time
+            .entry(time)
+            .or_insert_with(|| (HashSet::new(), HashSet::new(), HashSet::new(), HashSet::new()));
+        e.0.extend(a4);
+        e.1.extend(t4);
+        e.2.extend(a6);
+        e.3.extend(t6);
+    }
+    by_time
+        .into_iter()
+        .map(|(time, (a4, t4, a6, t6))| TransitPoint {
+            time,
+            v4_asns: a4.len(),
+            v4_transit_frac: if a4.is_empty() { 0.0 } else { t4.len() as f64 / a4.len() as f64 },
+            v6_asns: a6.len(),
+            v6_transit_frac: if a6.is_empty() { 0.0 } else { t6.len() as f64 / a6.len() as f64 },
+        })
+        .collect()
+}
+
+/// Community-diversity summary at one snapshot (Figure 5d).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct CommunityDiversity {
+    /// Per VP: distinct AS identifiers (high 16 bits) observed in
+    /// community attributes.
+    pub per_vp: BTreeMap<(String, IpAddr), usize>,
+    /// Aggregated per collector.
+    pub per_collector: BTreeMap<String, usize>,
+    /// Aggregated per project.
+    pub per_project: BTreeMap<String, usize>,
+    /// Fraction of VPs observing at least one community.
+    pub vps_seeing_communities: f64,
+    /// Distinct communities observed overall.
+    pub unique_communities: usize,
+}
+
+/// Figure 5d: community diversity as observed by VPs at one snapshot.
+pub fn community_diversity(
+    index: &Arc<Index>,
+    partitions: &[RibPartition],
+    workers: usize,
+) -> CommunityDiversity {
+    let index = index.clone();
+    type VpComm = HashMap<(String, String, IpAddr), HashSet<u16>>;
+    let mapped: Vec<(VpComm, HashSet<u32>)> =
+        par_map(partitions.to_vec(), workers, move |p| {
+            let mut stream = open_rib(&index, &p);
+            let mut per_vp: VpComm = HashMap::new();
+            let mut uniq: HashSet<u32> = HashSet::new();
+            while let Some(rec) = stream.next_record() {
+                for e in rec.elems() {
+                    if e.elem_type != ElemType::RibEntry {
+                        continue;
+                    }
+                    let key = (p.project.clone(), p.collector.clone(), e.peer_address);
+                    let entry = per_vp.entry(key).or_default();
+                    if let Some(cs) = &e.communities {
+                        for c in cs.iter() {
+                            entry.insert(c.asn);
+                            uniq.insert(c.as_u32());
+                        }
+                    }
+                }
+            }
+            (per_vp, uniq)
+        });
+    let mut out = CommunityDiversity::default();
+    let mut per_collector: HashMap<String, HashSet<u16>> = HashMap::new();
+    let mut per_project: HashMap<String, HashSet<u16>> = HashMap::new();
+    let mut all_comms: HashSet<u32> = HashSet::new();
+    let mut vp_total = 0usize;
+    let mut vp_seeing = 0usize;
+    for (per_vp, uniq) in mapped {
+        all_comms.extend(uniq);
+        for ((project, collector, peer), asns) in per_vp {
+            vp_total += 1;
+            if !asns.is_empty() {
+                vp_seeing += 1;
+            }
+            per_collector.entry(collector.clone()).or_default().extend(asns.iter());
+            per_project.entry(project).or_default().extend(asns.iter());
+            out.per_vp.insert((collector, peer), asns.len());
+        }
+    }
+    out.per_collector =
+        per_collector.into_iter().map(|(k, v)| (k, v.len())).collect();
+    out.per_project = per_project.into_iter().map(|(k, v)| (k, v.len())).collect();
+    out.vps_seeing_communities =
+        if vp_total == 0 { 0.0 } else { vp_seeing as f64 / vp_total as f64 };
+    out.unique_communities = all_comms.len();
+    out
+}
+
+/// The §4.2 path-inflation result.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct InflationReport {
+    /// `<monitor, origin>` pairs compared.
+    pub pairs: u64,
+    /// Fraction of pairs whose BGP path exceeds the graph shortest
+    /// path.
+    pub inflated_frac: f64,
+    /// Largest observed inflation in extra hops.
+    pub max_extra_hops: u32,
+    /// extra-hops → pair count (0 = not inflated).
+    pub histogram: BTreeMap<u32, u64>,
+}
+
+/// Listing 1: compare BGP path lengths against shortest paths on the
+/// undirected AS graph built from the same RIB data.
+pub fn path_inflation(
+    index: &Arc<Index>,
+    partitions: &[RibPartition],
+    workers: usize,
+) -> InflationReport {
+    let index = index.clone();
+    type Lens = HashMap<(Asn, Asn), usize>;
+    let mapped: Vec<(Lens, Vec<(Asn, Asn)>)> =
+        par_map(partitions.to_vec(), workers, move |p| {
+            let mut stream = open_rib(&index, &p);
+            let mut bgp_lens: Lens = HashMap::new();
+            let mut edges: Vec<(Asn, Asn)> = Vec::new();
+            while let Some(rec) = stream.next_record() {
+                for e in rec.elems() {
+                    if e.elem_type != ElemType::RibEntry {
+                        continue;
+                    }
+                    let Some(path) = e.as_path.as_ref() else { continue };
+                    let hops = path.hops_dedup();
+                    // Sanitization: ignore local routes (Listing 1).
+                    if hops.len() <= 1 || hops[0] != e.peer_asn {
+                        continue;
+                    }
+                    let monitor = hops[0];
+                    let origin = *hops.last().expect("non-empty");
+                    for w in hops.windows(2) {
+                        edges.push((w[0], w[1]));
+                    }
+                    let len = hops.len();
+                    bgp_lens
+                        .entry((monitor, origin))
+                        .and_modify(|l| *l = (*l).min(len))
+                        .or_insert(len);
+                }
+            }
+            (bgp_lens, edges)
+        });
+    // Reduce: merge graphs and minimum path lengths.
+    let mut graph = AsGraph::new();
+    let mut bgp_lens: Lens = HashMap::new();
+    for (lens, edges) in mapped {
+        for (a, b) in edges {
+            graph.add_edge(a, b);
+        }
+        for (k, v) in lens {
+            bgp_lens.entry(k).and_modify(|l| *l = (*l).min(v)).or_insert(v);
+        }
+    }
+    // Group by monitor so one BFS serves all its origins.
+    let mut by_monitor: HashMap<Asn, Vec<(Asn, usize)>> = HashMap::new();
+    for ((monitor, origin), len) in bgp_lens {
+        by_monitor.entry(monitor).or_default().push((origin, len));
+    }
+    let monitors: Vec<(Asn, Vec<(Asn, usize)>)> = by_monitor.into_iter().collect();
+    let graph = Arc::new(graph);
+    let g2 = graph.clone();
+    let partial = par_map(monitors, workers, move |(monitor, origins)| {
+        let dist = g2.distances_from(monitor);
+        let mut hist: BTreeMap<u32, u64> = BTreeMap::new();
+        for (origin, bgp_len) in origins {
+            if let Some(nx_len) = dist.get(&origin) {
+                let extra = bgp_len.saturating_sub(*nx_len) as u32;
+                *hist.entry(extra).or_default() += 1;
+            }
+        }
+        hist
+    });
+    let mut report = InflationReport::default();
+    for hist in partial {
+        for (extra, n) in hist {
+            *report.histogram.entry(extra).or_default() += n;
+            report.pairs += n;
+        }
+    }
+    let inflated: u64 = report.histogram.iter().filter(|(e, _)| **e > 0).map(|(_, n)| n).sum();
+    report.inflated_frac =
+        if report.pairs == 0 { 0.0 } else { inflated as f64 / report.pairs as f64 };
+    report.max_extra_hops = report.histogram.keys().max().copied().unwrap_or(0);
+    report
+}

@@ -1,0 +1,152 @@
+//! A simple undirected AS graph with BFS shortest paths — the
+//! NetworkX substitute used by the Listing 1 path-inflation study
+//! ("a simple undirected graph, i.e. a graph with no loops, where
+//! links are not directed").
+
+use std::collections::{HashMap, VecDeque};
+
+use bgp_types::Asn;
+
+/// Undirected graph over ASNs.
+#[derive(Default)]
+pub struct AsGraph {
+    adj: HashMap<Asn, Vec<Asn>>,
+    edges: usize,
+}
+
+impl AsGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an undirected edge (self-loops and duplicates ignored).
+    pub fn add_edge(&mut self, a: Asn, b: Asn) {
+        if a == b {
+            return;
+        }
+        let e = self.adj.entry(a).or_default();
+        if !e.contains(&b) {
+            e.push(b);
+            self.adj.entry(b).or_default().push(a);
+            self.edges += 1;
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Whether the node exists.
+    pub fn contains(&self, a: Asn) -> bool {
+        self.adj.contains_key(&a)
+    }
+
+    /// BFS shortest-path length in *nodes* (NetworkX
+    /// `len(shortest_path)` convention: a direct neighbour pair has
+    /// length 2, a node to itself 1). `None` when unreachable.
+    pub fn shortest_path_nodes(&self, from: Asn, to: Asn) -> Option<usize> {
+        if !self.contains(from) || !self.contains(to) {
+            return None;
+        }
+        if from == to {
+            return Some(1);
+        }
+        let mut dist: HashMap<Asn, usize> = HashMap::new();
+        dist.insert(from, 1);
+        let mut q = VecDeque::new();
+        q.push_back(from);
+        while let Some(u) = q.pop_front() {
+            let du = dist[&u];
+            for &v in &self.adj[&u] {
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
+                    if v == to {
+                        return Some(du + 1);
+                    }
+                    e.insert(du + 1);
+                    q.push_back(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Multi-source BFS: node-count distances from `from` to every
+    /// reachable node (used to batch Listing 1's per-pair queries).
+    pub fn distances_from(&self, from: Asn) -> HashMap<Asn, usize> {
+        let mut dist: HashMap<Asn, usize> = HashMap::new();
+        if !self.contains(from) {
+            return dist;
+        }
+        dist.insert(from, 1);
+        let mut q = VecDeque::new();
+        q.push_back(from);
+        while let Some(u) = q.pop_front() {
+            let du = dist[&u];
+            for &v in &self.adj[&u] {
+                dist.entry(v).or_insert_with(|| {
+                    q.push_back(v);
+                    du + 1
+                });
+            }
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(edges: &[(u32, u32)]) -> AsGraph {
+        let mut g = AsGraph::new();
+        for &(a, b) in edges {
+            g.add_edge(Asn(a), Asn(b));
+        }
+        g
+    }
+
+    #[test]
+    fn counts_and_dedup() {
+        let mut gr = g(&[(1, 2), (2, 3)]);
+        gr.add_edge(Asn(1), Asn(2)); // duplicate
+        gr.add_edge(Asn(1), Asn(1)); // self loop
+        assert_eq!(gr.node_count(), 3);
+        assert_eq!(gr.edge_count(), 2);
+    }
+
+    #[test]
+    fn shortest_path_node_convention() {
+        let gr = g(&[(1, 2), (2, 3), (3, 4), (1, 4)]);
+        assert_eq!(gr.shortest_path_nodes(Asn(1), Asn(1)), Some(1));
+        assert_eq!(gr.shortest_path_nodes(Asn(1), Asn(2)), Some(2));
+        assert_eq!(gr.shortest_path_nodes(Asn(1), Asn(3)), Some(3));
+        assert_eq!(gr.shortest_path_nodes(Asn(2), Asn(4)), Some(3));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let gr = g(&[(1, 2), (10, 11)]);
+        assert_eq!(gr.shortest_path_nodes(Asn(1), Asn(10)), None);
+        assert_eq!(gr.shortest_path_nodes(Asn(1), Asn(99)), None);
+    }
+
+    #[test]
+    fn distances_match_pairwise_queries() {
+        let gr = g(&[(1, 2), (2, 3), (3, 4), (4, 5), (1, 5)]);
+        let d = gr.distances_from(Asn(1));
+        for target in [1u32, 2, 3, 4, 5] {
+            assert_eq!(
+                d.get(&Asn(target)).copied(),
+                gr.shortest_path_nodes(Asn(1), Asn(target)),
+                "target {target}"
+            );
+        }
+    }
+}

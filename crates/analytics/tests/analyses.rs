@@ -1,0 +1,173 @@
+//! Analytics integration tests over a simulated longitudinal archive.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use analytics::{
+    community_diversity, moas_sets, path_inflation, rib_partitions, rib_size_per_vp,
+    transit_fraction,
+};
+use broker::Index;
+use collector_sim::{standard_collectors, SimConfig, Simulator};
+use topology::control::ControlPlane;
+use topology::gen::{generate, TopologyConfig};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "bgpstream-ana-{}-{}-{}",
+        tag,
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .subsec_nanos()
+    ));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// A 24-month growing world, RIB-only snapshots every 6 months from
+/// two collectors.
+fn longitudinal(tag: &str, seed: u64) -> (Arc<Index>, Vec<u64>, PathBuf) {
+    let spm = 10_000u64; // seconds per month
+    let topo = Arc::new(generate(&TopologyConfig {
+        months: 24,
+        moas_frac: 0.05,
+        ..TopologyConfig::tiny(seed)
+    }));
+    let cp = ControlPlane::new(topo, spm);
+    let specs = standard_collectors(&cp, 1, 1, 5, 0.7, seed);
+    let dir = tmpdir(tag);
+    let mut cfg = SimConfig::new(&dir);
+    cfg.emit_updates = false;
+    cfg.emit_ribs = false;
+    let mut sim = Simulator::new(cp, specs, cfg);
+    let idx = Index::shared();
+    sim.attach_index(idx.clone());
+    let times: Vec<u64> = (0..=24).step_by(6).map(|m| m as u64 * spm).collect();
+    for &t in &times {
+        sim.force_rib_dump(t);
+    }
+    (idx, times, dir)
+}
+
+#[test]
+fn longitudinal_analyses_reproduce_figure5_shapes() {
+    let (idx, times, dir) = longitudinal("fig5", 51);
+    let parts = rib_partitions(&idx, 0, *times.last().unwrap());
+    assert_eq!(parts.len(), 2 * times.len(), "partitions: {parts:?}");
+
+    // Figure 5a: tables grow; partial feeds are smaller.
+    let sizes = rib_size_per_vp(&idx, &parts, 4);
+    assert!(!sizes.is_empty());
+    let avg_at = |t: u64| {
+        let pts: Vec<usize> = sizes
+            .iter()
+            .filter(|p| p.time == t)
+            .map(|p| p.prefixes_v4)
+            .collect();
+        pts.iter().sum::<usize>() as f64 / pts.len().max(1) as f64
+    };
+    let first = avg_at(times[0]);
+    let last = avg_at(*times.last().unwrap());
+    assert!(
+        last > first * 1.5,
+        "no visible routing-table growth: {first} -> {last}"
+    );
+    let max_last = sizes
+        .iter()
+        .filter(|p| p.time == *times.last().unwrap())
+        .map(|p| p.prefixes_v4)
+        .max()
+        .unwrap();
+    let min_last = sizes
+        .iter()
+        .filter(|p| p.time == *times.last().unwrap())
+        .map(|p| p.prefixes_v4)
+        .min()
+        .unwrap();
+    assert!(
+        min_last * 2 < max_last,
+        "partial feeds should significantly skew the distribution"
+    );
+
+    // Figure 5b: overall MOAS ≥ any single collector.
+    let moas = moas_sets(&idx, &parts, 4);
+    assert_eq!(moas.len(), times.len());
+    let last_moas = moas.last().unwrap();
+    assert!(last_moas.overall > 0, "no MOAS sets at all");
+    let best_single = last_moas.per_collector.values().max().copied().unwrap_or(0);
+    assert!(
+        last_moas.overall >= best_single,
+        "overall {} < best single {}",
+        last_moas.overall,
+        best_single
+    );
+
+    // Figure 5c: IPv4 transit fraction roughly flat; v6 arrives later
+    // and is more transit-heavy when young.
+    let transit = transit_fraction(&idx, &parts, 4);
+    assert_eq!(transit.len(), times.len());
+    let t0 = &transit[0];
+    let tn = transit.last().unwrap();
+    assert!(tn.v4_asns > t0.v4_asns, "no v4 AS growth");
+    assert!(t0.v4_transit_frac > 0.05 && t0.v4_transit_frac < 0.9);
+    let drift = (tn.v4_transit_frac - t0.v4_transit_frac).abs();
+    assert!(drift < 0.25, "v4 transit fraction drifted by {drift}");
+    // v6 transit fraction at first v6 appearance exceeds the final one.
+    let v6_points: Vec<_> = transit.iter().filter(|t| t.v6_asns > 0).collect();
+    if v6_points.len() >= 2 {
+        assert!(
+            v6_points[0].v6_transit_frac >= v6_points.last().unwrap().v6_transit_frac,
+            "v6 transit fraction should decay: {:?}",
+            v6_points.iter().map(|t| t.v6_transit_frac).collect::<Vec<_>>()
+        );
+    }
+
+    // Figure 5d: some but not all VPs observe communities.
+    let last_parts: Vec<_> = parts
+        .iter()
+        .filter(|p| p.time == *times.last().unwrap())
+        .cloned()
+        .collect();
+    let comm = community_diversity(&idx, &last_parts, 4);
+    assert!(comm.unique_communities > 0, "no communities observed");
+    assert!(comm.vps_seeing_communities > 0.3);
+    assert!(!comm.per_collector.is_empty());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn path_inflation_reports_inflated_pairs() {
+    // Inflation needs a rich graph: many VPs contribute edges that
+    // policy forbids other VPs from using. Use the full default
+    // topology with several collectors.
+    let topo = Arc::new(generate(&TopologyConfig { seed: 52, ..TopologyConfig::default() }));
+    let cp = ControlPlane::new(topo, u64::MAX);
+    let specs = standard_collectors(&cp, 2, 2, 8, 0.9, 52);
+    let dir = tmpdir("inflation");
+    let mut cfg = SimConfig::new(&dir);
+    cfg.emit_updates = false;
+    cfg.emit_ribs = false;
+    let mut sim = Simulator::new(cp, specs, cfg);
+    let idx = Index::shared();
+    sim.attach_index(idx.clone());
+    sim.force_rib_dump(0);
+    let parts: Vec<_> = rib_partitions(&idx, 0, 0);
+    assert_eq!(parts.len(), 4);
+    let report = path_inflation(&idx, &parts, 4);
+    assert!(report.pairs > 100, "too few pairs: {}", report.pairs);
+    // Policy routing (valley-free) inflates some paths relative to the
+    // undirected graph.
+    assert!(
+        report.inflated_frac > 0.0,
+        "no inflation found over {} pairs",
+        report.pairs
+    );
+    assert!(report.max_extra_hops >= 1);
+    // Histogram accounts for every pair.
+    let total: u64 = report.histogram.values().sum();
+    assert_eq!(total, report.pairs);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,176 @@
+//! Criterion microbenchmarks for the stream-filtering additions: the
+//! BMP codec (router-direct path must keep up with a live stream), the
+//! AS-path regex matcher, and the elem filter set — plus the
+//! trie-vs-linear prefix-filter ablation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use bgp_types::trie::PrefixMatch;
+use bgp_types::{AsPath, Asn, BgpMessage, BgpUpdate, Community, CommunitySet, PathAttributes, Prefix, PrefixTrie};
+use bgpstream::{AsPathRegex, BgpStreamElem, CommunityFilter, ElemType, Filters};
+use bmp::{BmpMessage, BmpReader, PerPeerHeader};
+
+fn sample_elem(k: u32) -> BgpStreamElem {
+    BgpStreamElem {
+        elem_type: ElemType::Announcement,
+        time: 1_000_000 + k as u64,
+        peer_address: "192.0.2.1".parse().unwrap(),
+        peer_asn: Asn(65001 + k % 8),
+        prefix: Some(Prefix::v4(std::net::Ipv4Addr::from(0x0b00_0000 + k * 256), 24)),
+        next_hop: Some("192.0.2.1".parse().unwrap()),
+        as_path: Some(AsPath::from_sequence([
+            65001 + k % 8,
+            3356 + k % 7,
+            174,
+            137 + k % 911,
+        ])),
+        communities: Some(CommunitySet::from_iter([Community::new(
+            3356,
+            (100 + k % 600) as u16,
+        )])),
+        old_state: None,
+        new_state: None,
+    }
+}
+
+fn bench_bmp_codec(c: &mut Criterion) {
+    let msgs: Vec<BmpMessage> = (0..1000)
+        .map(|k| {
+            let e = sample_elem(k);
+            BmpMessage::RouteMonitoring {
+                peer: PerPeerHeader::global(e.peer_address, e.peer_asn, k, e.time as u32),
+                update: BgpMessage::Update(BgpUpdate::announce(
+                    vec![e.prefix.unwrap()],
+                    PathAttributes::route(e.as_path.unwrap(), e.next_hop.unwrap()),
+                )),
+            }
+        })
+        .collect();
+    let mut wire = Vec::new();
+    for m in &msgs {
+        wire.extend_from_slice(&m.encode());
+    }
+    let mut g = c.benchmark_group("bmp_codec");
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("encode_1k_route_monitoring", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for m in &msgs {
+                n += m.encode().len();
+            }
+            black_box(n)
+        })
+    });
+    g.bench_function("decode_1k_route_monitoring", |b| {
+        b.iter(|| {
+            let (out, err) = BmpReader::new(black_box(&wire[..])).read_all();
+            assert!(err.is_none());
+            black_box(out.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_aspath_regex(c: &mut Criterion) {
+    let paths: Vec<Vec<u32>> = (0..1000u32)
+        .map(|k| (0..8).map(|i| 100 + (k * 31 + i * 7) % 900).collect())
+        .collect();
+    let mut g = c.benchmark_group("aspath_regex");
+    g.throughput(Throughput::Elements(paths.len() as u64));
+    for (name, pat) in [
+        ("literal_search", "_174_"),
+        ("anchored_origin", "137$"),
+        ("wildcard_chain", "^? * 174 * ?$"),
+    ] {
+        let re = AsPathRegex::parse(pat).unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for p in &paths {
+                    if re.matches_tokens(black_box(p)) {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_filter_set(c: &mut Criterion) {
+    let elems: Vec<BgpStreamElem> = (0..1000).map(sample_elem).collect();
+    let mut g = c.benchmark_group("filter_set");
+    g.throughput(Throughput::Elements(elems.len() as u64));
+
+    let mut light = Filters::none();
+    light.peer_asns.insert(Asn(65003));
+    g.bench_function("peer_only", |b| {
+        b.iter(|| {
+            let n = elems.iter().filter(|e| light.matches(black_box(e))).count();
+            black_box(n)
+        })
+    });
+
+    let mut full = Filters::none();
+    full.peer_asns.extend([Asn(65001), Asn(65003), Asn(65005)]);
+    full.prefixes.push(("11.0.0.0/8".parse().unwrap(), PrefixMatch::MoreSpecific));
+    full.communities.push(CommunityFilter::any_asn(300));
+    full.as_paths.push(AsPathRegex::parse("_174_").unwrap());
+    g.bench_function("combined", |b| {
+        b.iter(|| {
+            let n = elems.iter().filter(|e| full.matches(black_box(e))).count();
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+/// Ablation: prefix membership via patricia trie vs linear scan over
+/// the filter list — the reason `Filters` can afford many prefix
+/// constraints only when backed by the trie used elsewhere (DESIGN.md
+/// calls this out for pfxmonitor's range sets).
+fn bench_prefix_filter_ablation(c: &mut Criterion) {
+    let filter_prefixes: Vec<Prefix> = (0..512u32)
+        .map(|k| Prefix::v4(std::net::Ipv4Addr::from(0x0a00_0000 + k * 65536), 16))
+        .collect();
+    let probes: Vec<Prefix> = (0..1000u32)
+        .map(|k| Prefix::v4(std::net::Ipv4Addr::from(0x0a00_0000 + k * 4096), 24))
+        .collect();
+
+    let mut trie = PrefixTrie::new();
+    for p in &filter_prefixes {
+        trie.insert(*p, ());
+    }
+
+    let mut g = c.benchmark_group("prefix_filter_ablation");
+    g.throughput(Throughput::Elements(probes.len() as u64));
+    g.bench_function("trie_512_filters", |b| {
+        b.iter(|| {
+            let n = probes
+                .iter()
+                .filter(|p| trie.longest_match(black_box(p)).is_some())
+                .count();
+            black_box(n)
+        })
+    });
+    g.bench_function("linear_512_filters", |b| {
+        b.iter(|| {
+            let n = probes
+                .iter()
+                .filter(|p| filter_prefixes.iter().any(|f| f.contains(black_box(p))))
+                .count();
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bmp_codec,
+    bench_aspath_regex,
+    bench_filter_set,
+    bench_prefix_filter_ablation
+);
+criterion_main!(benches);

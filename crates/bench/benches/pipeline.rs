@@ -1,0 +1,72 @@
+//! Criterion macrobenchmarks over the full pipeline: the §3.3.4
+//! sorting claim (multi-way merge vs raw sequential read) and
+//! end-to-end stream consumption.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use bgpstream_repro::bgpstream::BgpStream;
+use bgpstream_repro::broker::DataInterface;
+use bgpstream_repro::mrt::MrtReader;
+use bgpstream_repro::worlds;
+
+struct Archive {
+    world: worlds::World,
+    files: Vec<std::path::PathBuf>,
+    bytes: u64,
+}
+
+fn build_archive() -> Archive {
+    let dir = worlds::scratch_dir("bench-pipeline");
+    let mut world = worlds::quickstart(dir, 99);
+    world.sim.run_until(3600);
+    let files: Vec<_> = world.sim.manifest().iter().map(|m| m.path.clone()).collect();
+    let bytes = world.sim.stats().bytes;
+    Archive { world, files, bytes }
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let archive = build_archive();
+    let mut g = c.benchmark_group("pipeline");
+    g.throughput(Throughput::Bytes(archive.bytes));
+
+    // Baseline: raw MRT parse of every file, no sorting.
+    g.bench_function("raw_sequential_read", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            for path in &archive.files {
+                let bytes = std::fs::read(path).unwrap();
+                let (recs, err) = MrtReader::new(&bytes[..]).read_all();
+                assert!(err.is_none());
+                n += recs.len() as u64;
+            }
+            black_box(n)
+        })
+    });
+
+    // Full sorted stream: broker windows + overlap groups + k-way
+    // merge + elem extraction. The §3.3.4 claim is that this costs
+    // little more than the raw read.
+    g.bench_function("sorted_stream", |b| {
+        b.iter(|| {
+            let mut stream = BgpStream::builder()
+                .data_interface(DataInterface::Broker(archive.world.index.clone()))
+                .interval(0, Some(3600))
+                .start();
+            let mut n = 0u64;
+            while let Some(rec) = stream.next_record() {
+                n += 1 + black_box(rec.elems().len() as u64);
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+
+    std::fs::remove_dir_all(&archive.world.dir).ok();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Shared plumbing for the figure-regeneration binaries.
+//!
+//! Every binary under `src/bin/` regenerates one table or figure of
+//! the paper (see DESIGN.md's experiment index and EXPERIMENTS.md for
+//! paper-vs-measured records). Absolute numbers come from the
+//! simulated substrate, so the binaries print the *shape* quantities
+//! the paper reports: who wins, by what factor, where the crossovers
+//! and spikes sit.
+//!
+//! Scale is controlled with the `BENCH_SCALE` environment variable
+//! (default `1`, floats allowed): horizons, episode counts and
+//! topology sizes multiply by it.
+
+/// The scale factor from `BENCH_SCALE` (default 1.0).
+pub fn scale() -> f64 {
+    let s: f64 = std::env::var("BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    s.max(0.1)
+}
+
+/// Scale an integer quantity.
+pub fn scaled(base: u64) -> u64 {
+    ((base as f64) * scale()).round() as u64
+}
+
+/// Print a standard header naming the experiment.
+pub fn header(id: &str, what: &str) {
+    println!("### {id} — {what}");
+    println!("### BENCH_SCALE={} (set the env var to scale the workload)", scale());
+}
+
+/// Render a one-line ASCII sparkline for a series (for quick visual
+/// inspection of spikes/dips in terminal output).
+pub fn sparkline(values: &[u64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().max().unwrap_or(0).max(1);
+    values
+        .iter()
+        .map(|v| GLYPHS[((v * 7) / max) as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0, 5, 10]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+    }
+
+    #[test]
+    fn scale_default_is_one() {
+        // Only meaningful when BENCH_SCALE is unset in the test env.
+        if std::env::var("BENCH_SCALE").is_err() {
+            assert_eq!(scale(), 1.0);
+            assert_eq!(scaled(100), 100);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! BGP path attributes.
+//!
+//! [`PathAttributes`] carries the attribute subset that MRT dumps
+//! preserve and that BGPStream exposes through elems: ORIGIN, AS_PATH,
+//! NEXT_HOP, MULTI_EXIT_DISC, LOCAL_PREF and COMMUNITIES. (The paper
+//! notes libBGPStream does not yet expose *all* attributes; we expose
+//! the same set its elems do, plus MED/LOCAL_PREF which the wire codec
+//! must round-trip anyway.)
+
+use std::fmt;
+use std::net::IpAddr;
+
+use crate::asn::AsPath;
+use crate::community::CommunitySet;
+
+/// The ORIGIN attribute (RFC 4271 §4.3, type 1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Origin {
+    /// Learned from an interior protocol.
+    #[default]
+    Igp = 0,
+    /// Learned via EGP (historic).
+    Egp = 1,
+    /// Unknown provenance.
+    Incomplete = 2,
+}
+
+impl Origin {
+    /// Decode the wire code.
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => Origin::Igp,
+            1 => Origin::Egp,
+            2 => Origin::Incomplete,
+            _ => return None,
+        })
+    }
+
+    /// The wire code.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+}
+
+impl fmt::Display for Origin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Origin::Igp => "IGP",
+            Origin::Egp => "EGP",
+            Origin::Incomplete => "INCOMPLETE",
+        })
+    }
+}
+
+/// The path attributes of one route.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct PathAttributes {
+    /// ORIGIN (mandatory on announcements).
+    pub origin: Origin,
+    /// AS_PATH (mandatory on announcements; may be empty for routes a
+    /// VP originates itself).
+    pub as_path: AsPath,
+    /// NEXT_HOP; for IPv6 routes this travels inside MP_REACH_NLRI.
+    pub next_hop: Option<IpAddr>,
+    /// MULTI_EXIT_DISC (optional non-transitive).
+    pub med: Option<u32>,
+    /// LOCAL_PREF (sent on IBGP sessions; collectors peer EBGP so this
+    /// is usually absent, but the codec round-trips it).
+    pub local_pref: Option<u32>,
+    /// COMMUNITIES (RFC 1997).
+    pub communities: CommunitySet,
+}
+
+impl PathAttributes {
+    /// Attributes with just an AS path and next hop — the common shape
+    /// produced by the collector simulator.
+    pub fn route(as_path: AsPath, next_hop: IpAddr) -> Self {
+        PathAttributes {
+            origin: Origin::Igp,
+            as_path,
+            next_hop: Some(next_hop),
+            med: None,
+            local_pref: None,
+            communities: CommunitySet::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn origin_roundtrip() {
+        for c in 0..=2u8 {
+            assert_eq!(Origin::from_code(c).unwrap().code(), c);
+        }
+        assert_eq!(Origin::from_code(3), None);
+    }
+
+    #[test]
+    fn origin_display() {
+        assert_eq!(Origin::Igp.to_string(), "IGP");
+        assert_eq!(Origin::Incomplete.to_string(), "INCOMPLETE");
+    }
+
+    #[test]
+    fn route_constructor_defaults() {
+        let a = PathAttributes::route(
+            AsPath::from_sequence([1, 2]),
+            IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1)),
+        );
+        assert_eq!(a.origin, Origin::Igp);
+        assert!(a.communities.is_empty());
+        assert!(a.med.is_none());
+    }
+}

@@ -1,0 +1,225 @@
+//! RFC 1997 BGP communities.
+//!
+//! A community is a 32-bit opaque value conventionally read as
+//! `ASN:value` where the high 16 bits name the AS that defined the
+//! community. Section 4.3 of the paper builds its RTBH study on
+//! provider black-holing communities; Section 5 (Figure 5d) measures
+//! community diversity by counting the distinct AS identifiers seen in
+//! community attributes at each VP.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The conventional community value providers assign to black-holing
+/// (`ASN:666`, later standardized as BLACKHOLE 65535:666 by RFC 7999).
+pub const BLACKHOLE_VALUE: u16 = 666;
+
+/// One RFC 1997 community (`ASN:value`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Community {
+    /// High 16 bits: AS identifier (the AS targeted by / defining the
+    /// community).
+    pub asn: u16,
+    /// Low 16 bits: operator-defined value.
+    pub value: u16,
+}
+
+impl Community {
+    /// Build from the two 16-bit halves.
+    pub fn new(asn: u16, value: u16) -> Self {
+        Community { asn, value }
+    }
+
+    /// Build from the raw 32-bit wire value.
+    pub fn from_u32(raw: u32) -> Self {
+        Community { asn: (raw >> 16) as u16, value: raw as u16 }
+    }
+
+    /// The raw 32-bit wire value.
+    pub fn as_u32(&self) -> u32 {
+        ((self.asn as u32) << 16) | self.value as u32
+    }
+
+    /// The conventional black-holing community of provider `asn`.
+    pub fn blackhole(asn: u16) -> Self {
+        Community { asn, value: BLACKHOLE_VALUE }
+    }
+
+    /// Whether this community requests black-holing by convention.
+    pub fn is_blackhole(&self) -> bool {
+        self.value == BLACKHOLE_VALUE
+    }
+}
+
+impl fmt::Display for Community {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.asn, self.value)
+    }
+}
+
+impl FromStr for Community {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (a, v) = s
+            .split_once(':')
+            .ok_or_else(|| format!("missing ':' in community {s:?}"))?;
+        Ok(Community {
+            asn: a.parse().map_err(|e| format!("{s:?}: {e}"))?,
+            value: v.parse().map_err(|e| format!("{s:?}: {e}"))?,
+        })
+    }
+}
+
+/// An ordered, deduplicated set of communities as carried by one route.
+///
+/// Kept sorted so equality, hashing and diffing are canonical
+/// regardless of the order communities were attached in.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct CommunitySet {
+    items: Vec<Community>,
+}
+
+impl CommunitySet {
+    /// The empty set.
+    pub fn new() -> Self {
+        CommunitySet { items: Vec::new() }
+    }
+
+    /// Build from any iterator, sorting and deduplicating.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<I: IntoIterator<Item = Community>>(iter: I) -> Self {
+        let mut items: Vec<Community> = iter.into_iter().collect();
+        items.sort_unstable();
+        items.dedup();
+        CommunitySet { items }
+    }
+
+    /// Number of communities.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no communities are attached.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Insert, keeping canonical order. Returns true if newly added.
+    pub fn insert(&mut self, c: Community) -> bool {
+        match self.items.binary_search(&c) {
+            Ok(_) => false,
+            Err(i) => {
+                self.items.insert(i, c);
+                true
+            }
+        }
+    }
+
+    /// Remove a community; returns true if it was present.
+    pub fn remove(&mut self, c: &Community) -> bool {
+        match self.items.binary_search(c) {
+            Ok(i) => {
+                self.items.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, c: &Community) -> bool {
+        self.items.binary_search(c).is_ok()
+    }
+
+    /// Whether any community requests black-holing.
+    pub fn has_blackhole(&self) -> bool {
+        self.items.iter().any(|c| c.is_blackhole())
+    }
+
+    /// Iterate in canonical (sorted) order.
+    pub fn iter(&self) -> impl Iterator<Item = &Community> {
+        self.items.iter()
+    }
+
+    /// The sorted backing slice.
+    pub fn as_slice(&self) -> &[Community] {
+        &self.items
+    }
+
+    /// Render space-separated in `bgpdump` style.
+    pub fn to_bgpdump_string(&self) -> String {
+        self.items
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+impl fmt::Display for CommunitySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_bgpdump_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_roundtrip() {
+        let c = Community::new(3356, 100);
+        assert_eq!(Community::from_u32(c.as_u32()), c);
+        assert_eq!(c.as_u32(), (3356u32 << 16) | 100);
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let c: Community = "65535:666".parse().unwrap();
+        assert_eq!(c, Community::new(65535, 666));
+        assert_eq!(c.to_string(), "65535:666");
+        assert!("65536:1".parse::<Community>().is_err());
+        assert!("no-colon".parse::<Community>().is_err());
+    }
+
+    #[test]
+    fn blackhole_detection() {
+        assert!(Community::blackhole(3356).is_blackhole());
+        assert!(!Community::new(3356, 667).is_blackhole());
+        let set = CommunitySet::from_iter([
+            Community::new(1, 2),
+            Community::blackhole(174),
+        ]);
+        assert!(set.has_blackhole());
+    }
+
+    #[test]
+    fn set_is_canonical() {
+        let a = CommunitySet::from_iter([
+            Community::new(2, 2),
+            Community::new(1, 1),
+            Community::new(2, 2),
+        ]);
+        let b = CommunitySet::from_iter([Community::new(1, 1), Community::new(2, 2)]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn set_insert_remove_contains() {
+        let mut s = CommunitySet::new();
+        assert!(s.insert(Community::new(5, 5)));
+        assert!(!s.insert(Community::new(5, 5)));
+        assert!(s.contains(&Community::new(5, 5)));
+        assert!(s.remove(&Community::new(5, 5)));
+        assert!(!s.remove(&Community::new(5, 5)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn bgpdump_rendering() {
+        let s = CommunitySet::from_iter([Community::new(2, 20), Community::new(1, 10)]);
+        assert_eq!(s.to_string(), "1:10 2:20");
+    }
+}

@@ -1,0 +1,117 @@
+//! BGP session finite-state-machine states (RFC 4271 §8.2.2).
+//!
+//! RIPE RIS collectors maintain one FSM per VP session and dump a
+//! `STATE_CHANGE` MRT record whenever the state moves; BGPStream elems
+//! expose these as the `old_state` / `new_state` fields of Table 1.
+//! RouteViews collectors do not dump state messages — the RT plugin
+//! (Section 6.2.1) compensates by declaring a VP down when none of its
+//! routes appear in the latest RIB dump.
+
+use std::fmt;
+
+/// The six BGP FSM states, with wire codes as used by MRT
+/// `BGP4MP_STATE_CHANGE` records (RFC 6396 §4.4.1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum SessionState {
+    /// Initial state; no resources allocated.
+    Idle = 1,
+    /// Waiting for the transport connection.
+    Connect = 2,
+    /// Retrying the transport connection.
+    Active = 3,
+    /// OPEN sent, waiting for peer's OPEN.
+    OpenSent = 4,
+    /// OPEN received, waiting for KEEPALIVE.
+    OpenConfirm = 5,
+    /// Session up; routes are exchanged.
+    Established = 6,
+}
+
+impl SessionState {
+    /// Decode a wire code, `None` for anything outside 1..=6.
+    pub fn from_code(code: u16) -> Option<Self> {
+        Some(match code {
+            1 => SessionState::Idle,
+            2 => SessionState::Connect,
+            3 => SessionState::Active,
+            4 => SessionState::OpenSent,
+            5 => SessionState::OpenConfirm,
+            6 => SessionState::Established,
+            _ => return None,
+        })
+    }
+
+    /// The MRT wire code.
+    pub fn code(self) -> u16 {
+        self as u16
+    }
+
+    /// Whether routes are being exchanged in this state.
+    pub fn is_established(self) -> bool {
+        self == SessionState::Established
+    }
+
+    /// The canonical intermediate states a session walks through from
+    /// `Idle` to `Established`; used by the collector simulator to emit
+    /// realistic state-change sequences on session (re-)establishment.
+    pub fn bring_up_sequence() -> [SessionState; 5] {
+        [
+            SessionState::Connect,
+            SessionState::Active,
+            SessionState::OpenSent,
+            SessionState::OpenConfirm,
+            SessionState::Established,
+        ]
+    }
+}
+
+impl fmt::Display for SessionState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SessionState::Idle => "IDLE",
+            SessionState::Connect => "CONNECT",
+            SessionState::Active => "ACTIVE",
+            SessionState::OpenSent => "OPENSENT",
+            SessionState::OpenConfirm => "OPENCONFIRM",
+            SessionState::Established => "ESTABLISHED",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_roundtrip() {
+        for code in 1..=6u16 {
+            let s = SessionState::from_code(code).unwrap();
+            assert_eq!(s.code(), code);
+        }
+        assert_eq!(SessionState::from_code(0), None);
+        assert_eq!(SessionState::from_code(7), None);
+    }
+
+    #[test]
+    fn established_detection() {
+        assert!(SessionState::Established.is_established());
+        assert!(!SessionState::Idle.is_established());
+    }
+
+    #[test]
+    fn bring_up_ends_established() {
+        let seq = SessionState::bring_up_sequence();
+        assert_eq!(*seq.last().unwrap(), SessionState::Established);
+        // Codes strictly increase along the bring-up.
+        for w in seq.windows(2) {
+            assert!(w[0].code() < w[1].code());
+        }
+    }
+
+    #[test]
+    fn display_matches_bgpdump_convention() {
+        assert_eq!(SessionState::Established.to_string(), "ESTABLISHED");
+        assert_eq!(SessionState::Idle.to_string(), "IDLE");
+    }
+}

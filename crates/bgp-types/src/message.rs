@@ -1,0 +1,762 @@
+//! BGP message wire codec (RFC 4271), with multiprotocol extensions
+//! (RFC 4760) for IPv6 NLRI.
+//!
+//! MRT `BGP4MP_MESSAGE(_AS4)` records embed a raw BGP message; this
+//! module provides the encoder the collector simulator uses to produce
+//! those records and the decoder libBGPStream uses to extract elems.
+//! AS numbers are always encoded 4-byte (the `_AS4` record flavour),
+//! matching what modern collectors emit.
+
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::asn::{AsPath, AsPathSegment, Asn};
+use crate::attrs::{Origin, PathAttributes};
+use crate::community::{Community, CommunitySet};
+use crate::prefix::Prefix;
+
+/// BGP message header marker: 16 bytes of 0xFF.
+const MARKER: [u8; 16] = [0xFF; 16];
+/// Fixed header size: marker + length + type.
+pub const HEADER_LEN: usize = 19;
+/// Maximum BGP message size (RFC 4271 §4.1).
+pub const MAX_MESSAGE_LEN: usize = 4096;
+
+const TYPE_OPEN: u8 = 1;
+const TYPE_UPDATE: u8 = 2;
+const TYPE_NOTIFICATION: u8 = 3;
+const TYPE_KEEPALIVE: u8 = 4;
+
+const ATTR_ORIGIN: u8 = 1;
+const ATTR_AS_PATH: u8 = 2;
+const ATTR_NEXT_HOP: u8 = 3;
+const ATTR_MED: u8 = 4;
+const ATTR_LOCAL_PREF: u8 = 5;
+const ATTR_COMMUNITIES: u8 = 8;
+const ATTR_MP_REACH: u8 = 14;
+const ATTR_MP_UNREACH: u8 = 15;
+
+const FLAG_OPTIONAL: u8 = 0x80;
+const FLAG_TRANSITIVE: u8 = 0x40;
+const FLAG_EXT_LEN: u8 = 0x10;
+
+const AFI_IPV4: u16 = 1;
+const AFI_IPV6: u16 = 2;
+const SAFI_UNICAST: u8 = 1;
+
+const SEG_SET: u8 = 1;
+const SEG_SEQUENCE: u8 = 2;
+
+/// Errors raised while decoding BGP wire data.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CodecError {
+    /// Fewer bytes than a structure requires.
+    Truncated(&'static str),
+    /// A length field contradicts the enclosing structure.
+    BadLength(&'static str),
+    /// The 16-byte marker was not all-ones.
+    BadMarker,
+    /// Unknown message type code.
+    UnknownType(u8),
+    /// A semantically invalid field (bad origin code, prefix length…).
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated(w) => write!(f, "truncated {w}"),
+            CodecError::BadLength(w) => write!(f, "bad length in {w}"),
+            CodecError::BadMarker => write!(f, "bad BGP header marker"),
+            CodecError::UnknownType(t) => write!(f, "unknown BGP message type {t}"),
+            CodecError::Invalid(w) => write!(f, "invalid {w}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A BGP UPDATE message: withdrawals plus announcements sharing one
+/// attribute set. IPv6 NLRI travels in MP_REACH/MP_UNREACH attributes.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct BgpUpdate {
+    /// Prefixes no longer reachable.
+    pub withdrawals: Vec<Prefix>,
+    /// Shared path attributes (`None` for pure withdrawals).
+    pub attrs: Option<PathAttributes>,
+    /// Prefixes now reachable via `attrs`.
+    pub announcements: Vec<Prefix>,
+}
+
+impl BgpUpdate {
+    /// An announcement of `prefixes` with attributes `attrs`.
+    pub fn announce(prefixes: Vec<Prefix>, attrs: PathAttributes) -> Self {
+        BgpUpdate { withdrawals: Vec::new(), attrs: Some(attrs), announcements: prefixes }
+    }
+
+    /// A withdrawal of `prefixes`.
+    pub fn withdraw(prefixes: Vec<Prefix>) -> Self {
+        BgpUpdate { withdrawals: prefixes, attrs: None, announcements: Vec::new() }
+    }
+
+    /// True when the update carries nothing (keepalive-ish; collectors
+    /// never emit these).
+    pub fn is_empty(&self) -> bool {
+        self.withdrawals.is_empty() && self.announcements.is_empty()
+    }
+}
+
+/// A decoded BGP message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BgpMessage {
+    /// Session open.
+    Open {
+        /// The speaker's AS number (AS_TRANS on the wire when > 16 bits).
+        asn: Asn,
+        /// Proposed hold time in seconds.
+        hold_time: u16,
+        /// The speaker's BGP identifier.
+        bgp_id: u32,
+    },
+    /// Route update.
+    Update(BgpUpdate),
+    /// Error notification.
+    Notification {
+        /// Error code (RFC 4271 §4.5).
+        code: u8,
+        /// Error subcode.
+        subcode: u8,
+    },
+    /// Keepalive.
+    Keepalive,
+}
+
+impl BgpMessage {
+    /// Encode to the full wire form (header + body).
+    pub fn encode(&self) -> Bytes {
+        let mut body = BytesMut::new();
+        let ty = match self {
+            BgpMessage::Open { asn, hold_time, bgp_id } => {
+                body.put_u8(4); // version
+                // 2-byte ASN field: AS_TRANS for 4-byte ASNs.
+                let as16 = if asn.0 > u16::MAX as u32 { 23456 } else { asn.0 as u16 };
+                body.put_u16(as16);
+                body.put_u16(*hold_time);
+                body.put_u32(*bgp_id);
+                body.put_u8(0); // no optional parameters
+                TYPE_OPEN
+            }
+            BgpMessage::Update(u) => {
+                encode_update_body(u, &mut body);
+                TYPE_UPDATE
+            }
+            BgpMessage::Notification { code, subcode } => {
+                body.put_u8(*code);
+                body.put_u8(*subcode);
+                TYPE_NOTIFICATION
+            }
+            BgpMessage::Keepalive => TYPE_KEEPALIVE,
+        };
+        let mut out = BytesMut::with_capacity(HEADER_LEN + body.len());
+        out.put_slice(&MARKER);
+        out.put_u16((HEADER_LEN + body.len()) as u16);
+        out.put_u8(ty);
+        out.put_slice(&body);
+        out.freeze()
+    }
+
+    /// Decode one message from `buf`, which must contain exactly one
+    /// whole message.
+    pub fn decode(mut buf: &[u8]) -> Result<BgpMessage, CodecError> {
+        if buf.len() < HEADER_LEN {
+            return Err(CodecError::Truncated("BGP header"));
+        }
+        if buf[..16] != MARKER {
+            return Err(CodecError::BadMarker);
+        }
+        buf.advance(16);
+        let total = buf.get_u16() as usize;
+        if !(HEADER_LEN..=MAX_MESSAGE_LEN).contains(&total) {
+            return Err(CodecError::BadLength("BGP header"));
+        }
+        let ty = buf.get_u8();
+        let body_len = total - HEADER_LEN;
+        if buf.len() < body_len {
+            return Err(CodecError::Truncated("BGP body"));
+        }
+        let mut body = &buf[..body_len];
+        match ty {
+            TYPE_OPEN => {
+                if body.len() < 10 {
+                    return Err(CodecError::Truncated("OPEN body"));
+                }
+                let _version = body.get_u8();
+                let asn = Asn(body.get_u16() as u32);
+                let hold_time = body.get_u16();
+                let bgp_id = body.get_u32();
+                Ok(BgpMessage::Open { asn, hold_time, bgp_id })
+            }
+            TYPE_UPDATE => Ok(BgpMessage::Update(decode_update_body(body)?)),
+            TYPE_NOTIFICATION => {
+                if body.len() < 2 {
+                    return Err(CodecError::Truncated("NOTIFICATION body"));
+                }
+                Ok(BgpMessage::Notification { code: body.get_u8(), subcode: body.get_u8() })
+            }
+            TYPE_KEEPALIVE => Ok(BgpMessage::Keepalive),
+            other => Err(CodecError::UnknownType(other)),
+        }
+    }
+}
+
+fn split_by_family(prefixes: &[Prefix]) -> (Vec<Prefix>, Vec<Prefix>) {
+    let (mut v4, mut v6) = (Vec::new(), Vec::new());
+    for p in prefixes {
+        if p.is_ipv4() {
+            v4.push(*p);
+        } else {
+            v6.push(*p);
+        }
+    }
+    (v4, v6)
+}
+
+fn encode_update_body(u: &BgpUpdate, out: &mut BytesMut) {
+    let (wd_v4, wd_v6) = split_by_family(&u.withdrawals);
+    let (ann_v4, ann_v6) = split_by_family(&u.announcements);
+
+    // Withdrawn routes (IPv4 only in the base message).
+    let mut wd = BytesMut::new();
+    for p in &wd_v4 {
+        encode_nlri(p, &mut wd);
+    }
+    out.put_u16(wd.len() as u16);
+    out.put_slice(&wd);
+
+    // Path attributes.
+    let mut attrs = BytesMut::new();
+    encode_attrs(u.attrs.as_ref(), &ann_v6, &wd_v6, false, &mut attrs);
+    out.put_u16(attrs.len() as u16);
+    out.put_slice(&attrs);
+
+    // IPv4 NLRI.
+    for p in &ann_v4 {
+        encode_nlri(p, out);
+    }
+}
+
+/// Encode a bare path-attribute sequence (no length prefix).
+///
+/// `ann_v6` prefixes are carried in an MP_REACH_NLRI attribute and
+/// `wd_v6` in MP_UNREACH_NLRI. With `force_mp_nexthop`, an MP_REACH
+/// attribute carrying only the IPv6 next hop (no NLRI) is emitted even
+/// when `ann_v6` is empty — the shape TABLE_DUMP_V2 RIB rows use.
+pub fn encode_attrs(
+    a: Option<&PathAttributes>,
+    ann_v6: &[Prefix],
+    wd_v6: &[Prefix],
+    force_mp_nexthop: bool,
+    attrs: &mut BytesMut,
+) {
+    if let Some(a) = a {
+        put_attr(attrs, FLAG_TRANSITIVE, ATTR_ORIGIN, &[a.origin.code()]);
+        let mut path = BytesMut::new();
+        encode_as_path(&a.as_path, &mut path);
+        put_attr(attrs, FLAG_TRANSITIVE, ATTR_AS_PATH, &path);
+        if let Some(IpAddr::V4(nh)) = a.next_hop {
+            put_attr(attrs, FLAG_TRANSITIVE, ATTR_NEXT_HOP, &nh.octets());
+        }
+        if let Some(med) = a.med {
+            put_attr(attrs, FLAG_OPTIONAL, ATTR_MED, &med.to_be_bytes());
+        }
+        if let Some(lp) = a.local_pref {
+            put_attr(attrs, FLAG_TRANSITIVE, ATTR_LOCAL_PREF, &lp.to_be_bytes());
+        }
+        if !a.communities.is_empty() {
+            let mut cs = BytesMut::new();
+            for c in a.communities.iter() {
+                cs.put_u32(c.as_u32());
+            }
+            put_attr(attrs, FLAG_OPTIONAL | FLAG_TRANSITIVE, ATTR_COMMUNITIES, &cs);
+        }
+        let v6_nexthop = matches!(a.next_hop, Some(IpAddr::V6(_)));
+        if !ann_v6.is_empty() || (force_mp_nexthop && v6_nexthop) {
+            let mut mp = BytesMut::new();
+            mp.put_u16(AFI_IPV6);
+            mp.put_u8(SAFI_UNICAST);
+            let nh6: Ipv6Addr = match a.next_hop {
+                Some(IpAddr::V6(nh)) => nh,
+                _ => Ipv6Addr::UNSPECIFIED,
+            };
+            mp.put_u8(16);
+            mp.put_slice(&nh6.octets());
+            mp.put_u8(0); // reserved (SNPA count)
+            for p in ann_v6 {
+                encode_nlri(p, &mut mp);
+            }
+            put_attr(attrs, FLAG_OPTIONAL, ATTR_MP_REACH, &mp);
+        }
+    }
+    if !wd_v6.is_empty() {
+        let mut mp = BytesMut::new();
+        mp.put_u16(AFI_IPV6);
+        mp.put_u8(SAFI_UNICAST);
+        for p in wd_v6 {
+            encode_nlri(p, &mut mp);
+        }
+        put_attr(attrs, FLAG_OPTIONAL, ATTR_MP_UNREACH, &mp);
+    }
+}
+
+fn put_attr(out: &mut BytesMut, flags: u8, ty: u8, data: &[u8]) {
+    if data.len() > u8::MAX as usize {
+        out.put_u8(flags | FLAG_EXT_LEN);
+        out.put_u8(ty);
+        out.put_u16(data.len() as u16);
+    } else {
+        out.put_u8(flags);
+        out.put_u8(ty);
+        out.put_u8(data.len() as u8);
+    }
+    out.put_slice(data);
+}
+
+fn encode_as_path(path: &AsPath, out: &mut BytesMut) {
+    for seg in path.segments() {
+        let (ty, asns) = match seg {
+            AsPathSegment::Set(v) => (SEG_SET, v),
+            AsPathSegment::Sequence(v) => (SEG_SEQUENCE, v),
+        };
+        // RFC limits a segment to 255 ASNs; split long sequences.
+        for chunk in asns.chunks(255) {
+            out.put_u8(ty);
+            out.put_u8(chunk.len() as u8);
+            for a in chunk {
+                out.put_u32(a.0);
+            }
+        }
+    }
+}
+
+fn decode_as_path(mut buf: &[u8]) -> Result<AsPath, CodecError> {
+    let mut segments = Vec::new();
+    while buf.has_remaining() {
+        if buf.len() < 2 {
+            return Err(CodecError::Truncated("AS_PATH segment header"));
+        }
+        let ty = buf.get_u8();
+        let count = buf.get_u8() as usize;
+        if buf.len() < count * 4 {
+            return Err(CodecError::Truncated("AS_PATH segment body"));
+        }
+        let mut asns = Vec::with_capacity(count);
+        for _ in 0..count {
+            asns.push(Asn(buf.get_u32()));
+        }
+        segments.push(match ty {
+            SEG_SET => AsPathSegment::Set(asns),
+            SEG_SEQUENCE => AsPathSegment::Sequence(asns),
+            _ => return Err(CodecError::Invalid("AS_PATH segment type")),
+        });
+    }
+    // Merge consecutive SEQUENCE segments re-split by the 255 limit.
+    let mut merged: Vec<AsPathSegment> = Vec::with_capacity(segments.len());
+    for seg in segments {
+        match (merged.last_mut(), seg) {
+            (Some(AsPathSegment::Sequence(a)), AsPathSegment::Sequence(b))
+                if a.len() == 255 || b.len() == 255 =>
+            {
+                a.extend(b);
+            }
+            (_, seg) => merged.push(seg),
+        }
+    }
+    Ok(AsPath::from_segments(merged))
+}
+
+/// Encode a prefix in NLRI form: length byte + minimal network bytes.
+pub fn encode_nlri(p: &Prefix, out: &mut BytesMut) {
+    out.put_u8(p.len());
+    let nbytes = (p.len() as usize).div_ceil(8);
+    let raw = p.raw_bits().to_be_bytes();
+    out.put_slice(&raw[..nbytes]);
+}
+
+/// Decode one NLRI entry from `buf`, advancing it.
+pub fn decode_nlri(buf: &mut &[u8], v4: bool) -> Result<Prefix, CodecError> {
+    if buf.is_empty() {
+        return Err(CodecError::Truncated("NLRI length"));
+    }
+    let len = buf.get_u8();
+    let max = if v4 { 32 } else { 128 };
+    if len > max {
+        return Err(CodecError::Invalid("NLRI prefix length"));
+    }
+    let nbytes = (len as usize).div_ceil(8);
+    if buf.len() < nbytes {
+        return Err(CodecError::Truncated("NLRI body"));
+    }
+    let mut raw = [0u8; 16];
+    raw[..nbytes].copy_from_slice(&buf[..nbytes]);
+    buf.advance(nbytes);
+    let bits = u128::from_be_bytes(raw);
+    Ok(if v4 {
+        Prefix::v4(Ipv4Addr::from((bits >> 96) as u32), len)
+    } else {
+        Prefix::v6(Ipv6Addr::from(bits), len)
+    })
+}
+
+/// The result of decoding a bare path-attribute sequence.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct DecodedAttrs {
+    /// The recognised attributes.
+    pub attrs: PathAttributes,
+    /// True if at least one attribute was present.
+    pub present: bool,
+    /// Prefixes announced via MP_REACH_NLRI.
+    pub mp_announcements: Vec<Prefix>,
+    /// Prefixes withdrawn via MP_UNREACH_NLRI.
+    pub mp_withdrawals: Vec<Prefix>,
+}
+
+fn decode_update_body(mut body: &[u8]) -> Result<BgpUpdate, CodecError> {
+    if body.len() < 2 {
+        return Err(CodecError::Truncated("UPDATE withdrawn length"));
+    }
+    let wd_len = body.get_u16() as usize;
+    if body.len() < wd_len {
+        return Err(CodecError::BadLength("UPDATE withdrawn routes"));
+    }
+    let mut withdrawals = Vec::new();
+    {
+        let mut wd = &body[..wd_len];
+        while !wd.is_empty() {
+            withdrawals.push(decode_nlri(&mut wd, true)?);
+        }
+    }
+    body.advance(wd_len);
+
+    if body.len() < 2 {
+        return Err(CodecError::Truncated("UPDATE attribute length"));
+    }
+    let attr_len = body.get_u16() as usize;
+    if body.len() < attr_len {
+        return Err(CodecError::BadLength("UPDATE path attributes"));
+    }
+    let decoded = decode_attrs(&body[..attr_len])?;
+    body.advance(attr_len);
+
+    withdrawals.extend(decoded.mp_withdrawals);
+    let mut announcements = decoded.mp_announcements;
+    while !body.is_empty() {
+        let mut b = body;
+        announcements.push(decode_nlri(&mut b, true)?);
+        body = b;
+    }
+
+    Ok(BgpUpdate {
+        withdrawals,
+        attrs: if decoded.present { Some(decoded.attrs) } else { None },
+        announcements,
+    })
+}
+
+/// Decode a bare path-attribute sequence (no length prefix).
+pub fn decode_attrs(mut attrs_raw: &[u8]) -> Result<DecodedAttrs, CodecError> {
+    let mut attrs = PathAttributes::default();
+    let mut saw_attr = false;
+    let mut mp_announcements: Vec<Prefix> = Vec::new();
+    let mut withdrawals: Vec<Prefix> = Vec::new();
+    while !attrs_raw.is_empty() {
+        if attrs_raw.len() < 2 {
+            return Err(CodecError::Truncated("attribute header"));
+        }
+        let flags = attrs_raw.get_u8();
+        let ty = attrs_raw.get_u8();
+        let len = if flags & FLAG_EXT_LEN != 0 {
+            if attrs_raw.len() < 2 {
+                return Err(CodecError::Truncated("attribute ext length"));
+            }
+            attrs_raw.get_u16() as usize
+        } else {
+            if attrs_raw.is_empty() {
+                return Err(CodecError::Truncated("attribute length"));
+            }
+            attrs_raw.get_u8() as usize
+        };
+        if attrs_raw.len() < len {
+            return Err(CodecError::BadLength("attribute body"));
+        }
+        let mut data = &attrs_raw[..len];
+        attrs_raw.advance(len);
+        saw_attr = true;
+        match ty {
+            ATTR_ORIGIN => {
+                if data.len() != 1 {
+                    return Err(CodecError::BadLength("ORIGIN"));
+                }
+                attrs.origin =
+                    Origin::from_code(data[0]).ok_or(CodecError::Invalid("ORIGIN code"))?;
+            }
+            ATTR_AS_PATH => attrs.as_path = decode_as_path(data)?,
+            ATTR_NEXT_HOP => {
+                if data.len() != 4 {
+                    return Err(CodecError::BadLength("NEXT_HOP"));
+                }
+                attrs.next_hop = Some(IpAddr::V4(Ipv4Addr::new(
+                    data[0], data[1], data[2], data[3],
+                )));
+            }
+            ATTR_MED => {
+                if data.len() != 4 {
+                    return Err(CodecError::BadLength("MED"));
+                }
+                attrs.med = Some(data.get_u32());
+            }
+            ATTR_LOCAL_PREF => {
+                if data.len() != 4 {
+                    return Err(CodecError::BadLength("LOCAL_PREF"));
+                }
+                attrs.local_pref = Some(data.get_u32());
+            }
+            ATTR_COMMUNITIES => {
+                if !data.len().is_multiple_of(4) {
+                    return Err(CodecError::BadLength("COMMUNITIES"));
+                }
+                let mut cs = Vec::with_capacity(data.len() / 4);
+                while data.has_remaining() {
+                    cs.push(Community::from_u32(data.get_u32()));
+                }
+                attrs.communities = CommunitySet::from_iter(cs);
+            }
+            ATTR_MP_REACH => {
+                if data.len() < 5 {
+                    return Err(CodecError::Truncated("MP_REACH header"));
+                }
+                let afi = data.get_u16();
+                let _safi = data.get_u8();
+                let nh_len = data.get_u8() as usize;
+                if data.len() < nh_len + 1 {
+                    return Err(CodecError::Truncated("MP_REACH next hop"));
+                }
+                if afi == AFI_IPV6 && nh_len >= 16 {
+                    let mut nh = [0u8; 16];
+                    nh.copy_from_slice(&data[..16]);
+                    attrs.next_hop = Some(IpAddr::V6(Ipv6Addr::from(nh)));
+                }
+                data.advance(nh_len);
+                let _reserved = data.get_u8();
+                let v4 = afi == AFI_IPV4;
+                while !data.is_empty() {
+                    mp_announcements.push(decode_nlri(&mut data, v4)?);
+                }
+            }
+            ATTR_MP_UNREACH => {
+                if data.len() < 3 {
+                    return Err(CodecError::Truncated("MP_UNREACH header"));
+                }
+                let afi = data.get_u16();
+                let _safi = data.get_u8();
+                let v4 = afi == AFI_IPV4;
+                while !data.is_empty() {
+                    withdrawals.push(decode_nlri(&mut data, v4)?);
+                }
+            }
+            _ => {} // unknown attributes are skipped, as bgpdump does
+        }
+    }
+
+    Ok(DecodedAttrs {
+        attrs,
+        present: saw_attr,
+        mp_announcements,
+        mp_withdrawals: withdrawals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::community::Community;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn sample_attrs() -> PathAttributes {
+        let mut a = PathAttributes::route(
+            AsPath::from_sequence([65001, 3356, 137]),
+            IpAddr::V4(Ipv4Addr::new(192, 0, 2, 1)),
+        );
+        a.communities.insert(Community::new(3356, 100));
+        a.communities.insert(Community::blackhole(3356));
+        a.med = Some(50);
+        a
+    }
+
+    #[test]
+    fn update_roundtrip_v4() {
+        let u = BgpUpdate {
+            withdrawals: vec![p("198.51.100.0/24")],
+            attrs: Some(sample_attrs()),
+            announcements: vec![p("203.0.113.0/24"), p("203.0.113.0/25")],
+        };
+        let wire = BgpMessage::Update(u.clone()).encode();
+        let back = BgpMessage::decode(&wire).unwrap();
+        assert_eq!(back, BgpMessage::Update(u));
+    }
+
+    #[test]
+    fn update_roundtrip_v6() {
+        let mut a = PathAttributes::route(
+            AsPath::from_sequence([65001, 6939]),
+            IpAddr::V6("2001:db8::1".parse().unwrap()),
+        );
+        a.origin = Origin::Incomplete;
+        let u = BgpUpdate {
+            withdrawals: vec![p("2001:db8:dead::/48")],
+            attrs: Some(a),
+            announcements: vec![p("2001:db8:beef::/48")],
+        };
+        let wire = BgpMessage::Update(u.clone()).encode();
+        let back = BgpMessage::decode(&wire).unwrap();
+        assert_eq!(back, BgpMessage::Update(u));
+    }
+
+    #[test]
+    fn pure_withdrawal_roundtrip() {
+        let u = BgpUpdate::withdraw(vec![p("10.0.0.0/8"), p("10.1.0.0/16")]);
+        let wire = BgpMessage::Update(u.clone()).encode();
+        match BgpMessage::decode(&wire).unwrap() {
+            BgpMessage::Update(back) => {
+                assert_eq!(back.withdrawals, u.withdrawals);
+                assert!(back.attrs.is_none());
+                assert!(back.announcements.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_family_update_roundtrip() {
+        let mut a = sample_attrs();
+        a.next_hop = Some(IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1)));
+        let u = BgpUpdate {
+            withdrawals: vec![p("198.51.100.0/24"), p("2001:db8:1::/48")],
+            attrs: Some(a),
+            announcements: vec![p("203.0.113.0/24")],
+        };
+        let wire = BgpMessage::Update(u.clone()).encode();
+        match BgpMessage::decode(&wire).unwrap() {
+            BgpMessage::Update(back) => {
+                // Withdrawals may be reordered (v6 travels in MP_UNREACH).
+                let mut got = back.withdrawals.clone();
+                let mut want = u.withdrawals.clone();
+                got.sort();
+                want.sort();
+                assert_eq!(got, want);
+                assert_eq!(back.announcements, u.announcements);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn keepalive_and_notification_roundtrip() {
+        let wire = BgpMessage::Keepalive.encode();
+        assert_eq!(wire.len(), HEADER_LEN);
+        assert_eq!(BgpMessage::decode(&wire).unwrap(), BgpMessage::Keepalive);
+
+        let n = BgpMessage::Notification { code: 6, subcode: 2 };
+        assert_eq!(BgpMessage::decode(&n.encode()).unwrap(), n);
+    }
+
+    #[test]
+    fn open_roundtrip_small_asn() {
+        let o = BgpMessage::Open { asn: Asn(65001), hold_time: 180, bgp_id: 0x0a000001 };
+        assert_eq!(BgpMessage::decode(&o.encode()).unwrap(), o);
+    }
+
+    #[test]
+    fn open_large_asn_uses_as_trans() {
+        let o = BgpMessage::Open { asn: Asn(400_000), hold_time: 90, bgp_id: 1 };
+        match BgpMessage::decode(&o.encode()).unwrap() {
+            BgpMessage::Open { asn, .. } => assert_eq!(asn, Asn(23456)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_marker() {
+        let mut wire = BgpMessage::Keepalive.encode().to_vec();
+        wire[3] = 0;
+        assert_eq!(BgpMessage::decode(&wire), Err(CodecError::BadMarker));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let wire = BgpMessage::Update(BgpUpdate::announce(
+            vec![p("10.0.0.0/8")],
+            sample_attrs(),
+        ))
+        .encode();
+        for cut in [0, 5, HEADER_LEN, wire.len() - 1] {
+            assert!(BgpMessage::decode(&wire[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_prefix_len() {
+        // Hand-build an update whose NLRI claims /40 on IPv4.
+        let mut body = BytesMut::new();
+        body.put_u16(0); // no withdrawals
+        body.put_u16(0); // no attributes
+        body.put_u8(40); // bogus prefix length
+        body.put_slice(&[1, 2, 3, 4, 5]);
+        let mut wire = BytesMut::new();
+        wire.put_slice(&MARKER);
+        wire.put_u16((HEADER_LEN + body.len()) as u16);
+        wire.put_u8(TYPE_UPDATE);
+        wire.put_slice(&body);
+        assert!(matches!(
+            BgpMessage::decode(&wire),
+            Err(CodecError::Invalid("NLRI prefix length"))
+        ));
+    }
+
+    #[test]
+    fn long_as_path_splits_and_merges() {
+        // 300 hops forces two wire segments that must re-merge.
+        let hops: Vec<u32> = (1..=300).collect();
+        let u = BgpUpdate::announce(
+            vec![p("10.0.0.0/8")],
+            PathAttributes::route(
+                AsPath::from_sequence(hops.clone()),
+                IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1)),
+            ),
+        );
+        let wire = BgpMessage::Update(u).encode();
+        match BgpMessage::decode(&wire).unwrap() {
+            BgpMessage::Update(back) => {
+                let path = back.attrs.unwrap().as_path;
+                assert_eq!(path.hop_count(), 300);
+                assert_eq!(
+                    path.asns().map(|a| a.0).collect::<Vec<_>>(),
+                    hops
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nlri_zero_length_prefix() {
+        let mut out = BytesMut::new();
+        encode_nlri(&p("0.0.0.0/0"), &mut out);
+        assert_eq!(out.as_ref(), &[0u8]);
+        let mut sl: &[u8] = &out;
+        assert_eq!(decode_nlri(&mut sl, true).unwrap(), p("0.0.0.0/0"));
+    }
+}

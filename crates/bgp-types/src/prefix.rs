@@ -1,0 +1,328 @@
+//! IPv4/IPv6 CIDR prefixes.
+//!
+//! A [`Prefix`] is the unit of reachability in BGP: NLRI entries,
+//! withdrawals and RIB rows are all keyed by prefix. The representation
+//! is a 128-bit integer holding the network bits left-aligned (IPv4
+//! mapped into the top 32 bits) plus a length, which makes containment
+//! and ordering cheap bit arithmetic shared across families.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+use std::str::FromStr;
+
+/// Error returned when parsing a prefix from text fails.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PrefixParseError(pub String);
+
+impl fmt::Display for PrefixParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid prefix: {}", self.0)
+    }
+}
+
+impl std::error::Error for PrefixParseError {}
+
+/// A CIDR prefix, IPv4 or IPv6.
+///
+/// Invariants: `len <= max_len()` and all bits beyond `len` are zero
+/// (enforced by constructors via masking).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Prefix {
+    /// Network bits, left-aligned in 128 bits. For IPv4 the address
+    /// occupies bits 127..=96.
+    bits: u128,
+    /// Prefix length in bits (0..=32 v4, 0..=128 v6).
+    len: u8,
+    /// True for IPv4.
+    v4: bool,
+}
+
+impl Prefix {
+    /// Construct an IPv4 prefix; host bits beyond `len` are masked off.
+    ///
+    /// # Panics
+    /// Panics if `len > 32`.
+    pub fn v4(addr: Ipv4Addr, len: u8) -> Self {
+        assert!(len <= 32, "IPv4 prefix length {len} > 32");
+        let raw = (u32::from(addr) as u128) << 96;
+        Prefix { bits: mask(raw, len), len, v4: true }
+    }
+
+    /// Construct an IPv6 prefix; host bits beyond `len` are masked off.
+    ///
+    /// # Panics
+    /// Panics if `len > 128`.
+    pub fn v6(addr: Ipv6Addr, len: u8) -> Self {
+        assert!(len <= 128, "IPv6 prefix length {len} > 128");
+        Prefix { bits: mask(u128::from(addr), len), len, v4: false }
+    }
+
+    /// Construct from a generic [`IpAddr`].
+    pub fn new(addr: IpAddr, len: u8) -> Self {
+        match addr {
+            IpAddr::V4(a) => Prefix::v4(a, len),
+            IpAddr::V6(a) => Prefix::v6(a, len),
+        }
+    }
+
+    /// The all-zero default route for the family (`0.0.0.0/0` / `::/0`).
+    pub fn default_route(v4: bool) -> Self {
+        if v4 {
+            Prefix::v4(Ipv4Addr::UNSPECIFIED, 0)
+        } else {
+            Prefix::v6(Ipv6Addr::UNSPECIFIED, 0)
+        }
+    }
+
+    /// Prefix length in bits.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// True when the prefix length is zero (default route).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True for IPv4 prefixes.
+    pub fn is_ipv4(&self) -> bool {
+        self.v4
+    }
+
+    /// Maximum prefix length for the family (32 or 128).
+    pub fn max_len(&self) -> u8 {
+        if self.v4 { 32 } else { 128 }
+    }
+
+    /// Network address as an [`IpAddr`].
+    pub fn network(&self) -> IpAddr {
+        if self.v4 {
+            IpAddr::V4(Ipv4Addr::from((self.bits >> 96) as u32))
+        } else {
+            IpAddr::V6(Ipv6Addr::from(self.bits))
+        }
+    }
+
+    /// The left-aligned network bits (shared-key form used by the trie).
+    pub fn raw_bits(&self) -> u128 {
+        self.bits
+    }
+
+    /// Bit `i` (0 = most significant network bit). Bits past `len` read
+    /// as stored (always zero by construction).
+    pub fn bit(&self, i: u8) -> bool {
+        debug_assert!(i < 128);
+        (self.bits >> (127 - i)) & 1 == 1
+    }
+
+    /// True iff `self` contains `other` (same family, `self` no longer
+    /// than `other`, and network bits agree on `self.len` bits).
+    /// Reflexive.
+    pub fn contains(&self, other: &Prefix) -> bool {
+        self.v4 == other.v4
+            && self.len <= other.len
+            && mask(other.bits, self.len) == self.bits
+    }
+
+    /// True iff one of the two prefixes contains the other (address
+    /// ranges intersect).
+    pub fn overlaps(&self, other: &Prefix) -> bool {
+        self.contains(other) || other.contains(self)
+    }
+
+    /// The immediate parent (one bit shorter), or `None` at length 0.
+    pub fn parent(&self) -> Option<Prefix> {
+        if self.len == 0 {
+            return None;
+        }
+        let len = self.len - 1;
+        Some(Prefix { bits: mask(self.bits, len), len, v4: self.v4 })
+    }
+
+    /// The two children one bit longer, or `None` at the family's
+    /// maximum length.
+    pub fn children(&self) -> Option<(Prefix, Prefix)> {
+        if self.len >= self.max_len() {
+            return None;
+        }
+        let len = self.len + 1;
+        let hi_bit = 1u128 << (127 - self.len as u32);
+        Some((
+            Prefix { bits: self.bits, len, v4: self.v4 },
+            Prefix { bits: self.bits | hi_bit, len, v4: self.v4 },
+        ))
+    }
+
+    /// A host route (`/32` or `/128`) for the `n`-th address inside the
+    /// prefix (wrapping within the prefix's host space). Used by the
+    /// RTBH case study to pick black-holed target addresses.
+    pub fn host(&self, n: u128) -> Prefix {
+        let max = self.max_len();
+        let host_bits = (max - self.len) as u32;
+        let span: u128 = if host_bits >= 128 { u128::MAX } else { (1 << host_bits) - 1 };
+        let offset = if span == 0 { 0 } else { n & span };
+        let shift = 128 - max as u32;
+        Prefix {
+            bits: self.bits | (offset << shift),
+            len: max,
+            v4: self.v4,
+        }
+    }
+}
+
+/// Zero all bits of `raw` beyond the first `len`.
+fn mask(raw: u128, len: u8) -> u128 {
+    if len == 0 {
+        0
+    } else if len >= 128 {
+        raw
+    } else {
+        raw & (u128::MAX << (128 - len as u32))
+    }
+}
+
+impl Ord for Prefix {
+    /// Family first (IPv4 before IPv6), then network bits, then length:
+    /// the order `bgpdump` output sorts prefixes in.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .v4
+            .cmp(&self.v4)
+            .then(self.bits.cmp(&other.bits))
+            .then(self.len.cmp(&other.len))
+    }
+}
+
+impl PartialOrd for Prefix {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = PrefixParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s
+            .split_once('/')
+            .ok_or_else(|| PrefixParseError(format!("missing '/' in {s:?}")))?;
+        let addr: IpAddr = addr
+            .parse()
+            .map_err(|e| PrefixParseError(format!("{s:?}: {e}")))?;
+        let len: u8 = len
+            .parse()
+            .map_err(|e| PrefixParseError(format!("{s:?}: {e}")))?;
+        let max = match addr {
+            IpAddr::V4(_) => 32,
+            IpAddr::V6(_) => 128,
+        };
+        if len > max {
+            return Err(PrefixParseError(format!("{s:?}: length {len} > {max}")));
+        }
+        Ok(Prefix::new(addr, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["10.0.0.0/8", "192.168.1.0/24", "0.0.0.0/0", "2001:db8::/32", "::/0"] {
+            assert_eq!(p(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn host_bits_are_masked() {
+        assert_eq!(p("10.1.2.3/8").to_string(), "10.0.0.0/8");
+        assert_eq!(p("2001:db8::ffff/32").to_string(), "2001:db8::/32");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("10.0.0.0".parse::<Prefix>().is_err());
+        assert!("10.0.0.0/33".parse::<Prefix>().is_err());
+        assert!("2001:db8::/129".parse::<Prefix>().is_err());
+        assert!("notanip/8".parse::<Prefix>().is_err());
+    }
+
+    #[test]
+    fn containment() {
+        assert!(p("10.0.0.0/8").contains(&p("10.1.0.0/16")));
+        assert!(p("10.0.0.0/8").contains(&p("10.0.0.0/8")));
+        assert!(!p("10.1.0.0/16").contains(&p("10.0.0.0/8")));
+        assert!(!p("10.0.0.0/8").contains(&p("11.0.0.0/16")));
+        // Cross-family never contains.
+        assert!(!p("0.0.0.0/0").contains(&p("::/0")));
+    }
+
+    #[test]
+    fn overlap_is_symmetric_containment() {
+        assert!(p("10.0.0.0/8").overlaps(&p("10.250.0.0/16")));
+        assert!(p("10.250.0.0/16").overlaps(&p("10.0.0.0/8")));
+        assert!(!p("10.0.0.0/8").overlaps(&p("11.0.0.0/8")));
+    }
+
+    #[test]
+    fn default_route_contains_everything_in_family() {
+        let d4 = Prefix::default_route(true);
+        assert!(d4.contains(&p("203.0.113.0/24")));
+        assert!(!d4.contains(&p("2001:db8::/32")));
+    }
+
+    #[test]
+    fn parent_and_children() {
+        let x = p("192.168.0.0/24");
+        assert_eq!(x.parent().unwrap().to_string(), "192.168.0.0/23");
+        let (lo, hi) = x.children().unwrap();
+        assert_eq!(lo.to_string(), "192.168.0.0/25");
+        assert_eq!(hi.to_string(), "192.168.0.128/25");
+        assert!(x.contains(&lo) && x.contains(&hi));
+        assert!(p("10.0.0.0/0").parent().is_none());
+        assert!(p("1.2.3.4/32").children().is_none());
+    }
+
+    #[test]
+    fn host_picks_addresses_inside() {
+        let x = p("203.0.113.0/24");
+        let h0 = x.host(0);
+        let h5 = x.host(5);
+        assert_eq!(h0.to_string(), "203.0.113.0/32");
+        assert_eq!(h5.to_string(), "203.0.113.5/32");
+        assert!(x.contains(&h5));
+        // Wraps past the host space.
+        assert_eq!(x.host(256).to_string(), "203.0.113.0/32");
+    }
+
+    #[test]
+    fn ordering_groups_v4_first() {
+        let mut v = [p("2001:db8::/32"), p("10.0.0.0/8"), p("10.0.0.0/9")];
+        v.sort();
+        assert_eq!(
+            v.iter().map(|x| x.to_string()).collect::<Vec<_>>(),
+            vec!["10.0.0.0/8", "10.0.0.0/9", "2001:db8::/32"]
+        );
+    }
+
+    #[test]
+    fn bit_indexing() {
+        let x = p("128.0.0.0/1");
+        assert!(x.bit(0));
+        let y = p("64.0.0.0/2");
+        assert!(!y.bit(0));
+        assert!(y.bit(1));
+    }
+}

@@ -1,0 +1,46 @@
+//! BMP — the BGP Monitoring Protocol (RFC 7854).
+//!
+//! The paper's §7 names native OpenBMP support as the headline future
+//! extension: "adding native support for OpenBMP will enable processing
+//! of streams sourced directly from BGP routers", i.e. without a route
+//! collector emulating a BGP peer. This crate implements that data
+//! path from scratch:
+//!
+//! * [`peer::PerPeerHeader`] — the 42-byte per-peer header carried by
+//!   all peer-scoped messages;
+//! * [`msg::BmpMessage`] — the seven RFC 7854 message types (route
+//!   monitoring, statistics report, peer down/up, initiation,
+//!   termination, route mirroring) with full wire encode/decode;
+//! * [`tlv`] — initiation/termination information TLVs and the typed
+//!   statistics TLVs of the statistics report;
+//! * [`reader::BmpReader`] — a pull parser over any [`std::io::Read`]
+//!   that, like the MRT reader, distinguishes clean end-of-stream from
+//!   *corrupted reads* so downstream consumers can mark data not-valid;
+//! * [`router::RouterExporter`] — the router side: wraps a monitored
+//!   router's BGP activity (session establishment, updates, stats) and
+//!   emits the corresponding BMP byte stream, mimicking a JunOS/IOS
+//!   BMP implementation;
+//! * [`station::MonitoringStation`] — the OpenBMP-equivalent station:
+//!   consumes a BMP stream, tracks router/peer state, and bridges each
+//!   peer-scoped message to an [`mrt::MrtRecord`] so that the entire
+//!   existing BGPStream machinery (sorted streams, BGPCorsaro plugins,
+//!   consumers) can process router-direct data unchanged.
+//!
+//! The BMP session transport in the real world is a TCP connection
+//! initiated by the router; here the byte stream is any
+//! `Read`/`Write` pair, which the tests and examples connect through
+//! in-memory buffers exactly as the MRT path connects through files.
+
+pub mod msg;
+pub mod peer;
+pub mod reader;
+pub mod router;
+pub mod station;
+pub mod tlv;
+
+pub use msg::{BmpMessage, PeerDownReason, BMP_VERSION};
+pub use peer::{PeerFlags, PerPeerHeader};
+pub use reader::{BmpError, BmpReader};
+pub use router::RouterExporter;
+pub use station::{MonitoringStation, StationEvent};
+pub use tlv::{InfoTlv, StatTlv, Termination, TerminationReason};

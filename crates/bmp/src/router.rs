@@ -1,0 +1,360 @@
+//! The router side of a BMP session: a JunOS/IOS-style exporter.
+//!
+//! A real router with BMP configured opens a TCP connection to the
+//! monitoring station, sends an initiation message, then a peer-up for
+//! every established BGP session, and from then on mirrors every
+//! received UPDATE as a route-monitoring message, interleaved with
+//! periodic statistics reports and peer up/down notifications. The
+//! exporter reproduces exactly that message discipline over any
+//! [`std::io::Write`], so the simulation exercises the same code path a
+//! production OpenBMP deployment would.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::IpAddr;
+
+use bgp_types::{Asn, BgpMessage, BgpUpdate};
+
+use crate::msg::{BmpMessage, PeerDownReason};
+use crate::peer::PerPeerHeader;
+use crate::tlv::{InfoTlv, StatTlv, Termination, TerminationReason};
+
+/// Per-peer counters backing the statistics report.
+#[derive(Clone, Copy, Default, Debug)]
+struct PeerCounters {
+    updates: u64,
+    announced: u64,
+    withdrawn: u64,
+    adj_rib_in: u64,
+}
+
+/// Emits a well-formed BMP message stream for one monitored router.
+///
+/// The exporter enforces the RFC 7854 session discipline: initiation
+/// first, peer-scoped messages only for peers previously declared up,
+/// termination last (after which the exporter refuses further writes).
+pub struct RouterExporter<W> {
+    out: W,
+    sys_name: String,
+    local_address: IpAddr,
+    local_asn: Asn,
+    peers: HashMap<(IpAddr, u32), PeerCounters>,
+    initiated: bool,
+    terminated: bool,
+    messages_sent: u64,
+}
+
+/// Errors from the exporter: protocol-discipline violations or I/O.
+#[derive(Debug)]
+pub enum ExportError {
+    /// A peer-scoped message for a peer not currently up, a message
+    /// before initiation, or anything after termination.
+    Discipline(&'static str),
+    /// Underlying write failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ExportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExportError::Discipline(w) => write!(f, "BMP session discipline: {w}"),
+            ExportError::Io(e) => write!(f, "I/O: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExportError {}
+
+impl From<std::io::Error> for ExportError {
+    fn from(e: std::io::Error) -> Self {
+        ExportError::Io(e)
+    }
+}
+
+impl<W: Write> RouterExporter<W> {
+    /// Create an exporter for router `sys_name` writing to `out`.
+    pub fn new(out: W, sys_name: &str, local_address: IpAddr, local_asn: Asn) -> Self {
+        RouterExporter {
+            out,
+            sys_name: sys_name.to_string(),
+            local_address,
+            local_asn,
+            peers: HashMap::new(),
+            initiated: false,
+            terminated: false,
+            messages_sent: 0,
+        }
+    }
+
+    /// Messages written so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// Consume the exporter, returning the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+
+    fn send(&mut self, msg: &BmpMessage) -> Result<(), ExportError> {
+        self.out.write_all(&msg.encode())?;
+        self.messages_sent += 1;
+        Ok(())
+    }
+
+    fn check_open(&self) -> Result<(), ExportError> {
+        if !self.initiated {
+            return Err(ExportError::Discipline("message before initiation"));
+        }
+        if self.terminated {
+            return Err(ExportError::Discipline("message after termination"));
+        }
+        Ok(())
+    }
+
+    /// Send the initiation message. Must be called exactly once,
+    /// before anything else.
+    pub fn initiate(&mut self, sys_descr: &str) -> Result<(), ExportError> {
+        if self.initiated {
+            return Err(ExportError::Discipline("double initiation"));
+        }
+        self.initiated = true;
+        let msg = BmpMessage::Initiation(vec![
+            InfoTlv::SysName(self.sys_name.clone()),
+            InfoTlv::SysDescr(sys_descr.to_string()),
+        ]);
+        self.send(&msg)
+    }
+
+    /// Declare a BGP session with `peer` established at time `now`.
+    pub fn peer_up(
+        &mut self,
+        peer_address: IpAddr,
+        peer_asn: Asn,
+        peer_bgp_id: u32,
+        now: u32,
+    ) -> Result<(), ExportError> {
+        self.check_open()?;
+        let key = (peer_address, peer_bgp_id);
+        if self.peers.contains_key(&key) {
+            return Err(ExportError::Discipline("peer-up for a peer already up"));
+        }
+        self.peers.insert(key, PeerCounters::default());
+        let peer = PerPeerHeader::global(peer_address, peer_asn, peer_bgp_id, now);
+        let msg = BmpMessage::PeerUp {
+            peer,
+            local_address: self.local_address,
+            local_port: 179,
+            remote_port: 33000 + (self.peers.len() as u16),
+            sent_open: BgpMessage::Open {
+                asn: self.local_asn,
+                hold_time: 180,
+                bgp_id: bgp_id_of(self.local_address),
+            },
+            received_open: BgpMessage::Open { asn: peer_asn, hold_time: 180, bgp_id: peer_bgp_id },
+        };
+        self.send(&msg)
+    }
+
+    /// Mirror an UPDATE received from an up peer.
+    pub fn route_monitoring(
+        &mut self,
+        peer_address: IpAddr,
+        peer_asn: Asn,
+        peer_bgp_id: u32,
+        now: u32,
+        update: BgpUpdate,
+    ) -> Result<(), ExportError> {
+        self.check_open()?;
+        let counters = self
+            .peers
+            .get_mut(&(peer_address, peer_bgp_id))
+            .ok_or(ExportError::Discipline("route monitoring for a peer not up"))?;
+        counters.updates += 1;
+        counters.announced += update.announcements.len() as u64;
+        counters.withdrawn += update.withdrawals.len() as u64;
+        counters.adj_rib_in = counters
+            .adj_rib_in
+            .saturating_add(update.announcements.len() as u64)
+            .saturating_sub(update.withdrawals.len() as u64);
+        let peer = PerPeerHeader::global(peer_address, peer_asn, peer_bgp_id, now);
+        let msg = BmpMessage::RouteMonitoring { peer, update: BgpMessage::Update(update) };
+        self.send(&msg)
+    }
+
+    /// Emit a statistics report for an up peer from its running
+    /// counters.
+    pub fn stats_report(
+        &mut self,
+        peer_address: IpAddr,
+        peer_asn: Asn,
+        peer_bgp_id: u32,
+        now: u32,
+    ) -> Result<(), ExportError> {
+        self.check_open()?;
+        let counters = *self
+            .peers
+            .get(&(peer_address, peer_bgp_id))
+            .ok_or(ExportError::Discipline("stats report for a peer not up"))?;
+        let peer = PerPeerHeader::global(peer_address, peer_asn, peer_bgp_id, now);
+        let msg = BmpMessage::StatisticsReport {
+            peer,
+            stats: vec![
+                StatTlv::DuplicateAdvertisements(0),
+                StatTlv::DuplicateWithdraws(0),
+                StatTlv::AdjRibInRoutes(counters.adj_rib_in),
+                StatTlv::LocRibRoutes(counters.adj_rib_in),
+            ],
+        };
+        self.send(&msg)
+    }
+
+    /// Declare a session down.
+    pub fn peer_down(
+        &mut self,
+        peer_address: IpAddr,
+        peer_asn: Asn,
+        peer_bgp_id: u32,
+        now: u32,
+        reason: PeerDownReason,
+    ) -> Result<(), ExportError> {
+        self.check_open()?;
+        if self.peers.remove(&(peer_address, peer_bgp_id)).is_none() {
+            return Err(ExportError::Discipline("peer-down for a peer not up"));
+        }
+        let peer = PerPeerHeader::global(peer_address, peer_asn, peer_bgp_id, now);
+        self.send(&BmpMessage::PeerDown { peer, reason })
+    }
+
+    /// Close the BMP session. No further messages are accepted.
+    pub fn terminate(&mut self, reason: TerminationReason) -> Result<(), ExportError> {
+        self.check_open()?;
+        self.terminated = true;
+        self.send(&BmpMessage::Termination(Termination { reason, info: None }))
+    }
+}
+
+/// Derive a 32-bit BGP identifier from an address (v4: the address
+/// itself; v6: a hash-fold, as routers with v6-only management do).
+fn bgp_id_of(addr: IpAddr) -> u32 {
+    match addr {
+        IpAddr::V4(v4) => u32::from_be_bytes(v4.octets()),
+        IpAddr::V6(v6) => {
+            let o = v6.octets();
+            let mut id = 0u32;
+            for chunk in o.chunks(4) {
+                id ^= u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+            }
+            id
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::BmpReader;
+    use bgp_types::{AsPath, PathAttributes, Prefix};
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn update() -> BgpUpdate {
+        BgpUpdate::announce(
+            vec![p("203.0.113.0/24")],
+            PathAttributes::route(AsPath::from_sequence([65001, 137]), "192.0.2.1".parse().unwrap()),
+        )
+    }
+
+    fn exporter() -> RouterExporter<Vec<u8>> {
+        RouterExporter::new(Vec::new(), "edge1", "192.0.2.254".parse().unwrap(), Asn(64512))
+    }
+
+    #[test]
+    fn full_session_decodes() {
+        let peer_ip: IpAddr = "192.0.2.1".parse().unwrap();
+        let mut ex = exporter();
+        ex.initiate("sim router").unwrap();
+        ex.peer_up(peer_ip, Asn(65001), 1, 100).unwrap();
+        ex.route_monitoring(peer_ip, Asn(65001), 1, 101, update()).unwrap();
+        ex.stats_report(peer_ip, Asn(65001), 1, 160).unwrap();
+        ex.peer_down(peer_ip, Asn(65001), 1, 200, PeerDownReason::RemoteNoData).unwrap();
+        ex.terminate(TerminationReason::AdminClose).unwrap();
+        assert_eq!(ex.messages_sent(), 6);
+        let wire = ex.into_inner();
+        let (msgs, err) = BmpReader::new(&wire[..]).read_all();
+        assert!(err.is_none());
+        assert_eq!(msgs.len(), 6);
+        assert!(matches!(msgs[0], BmpMessage::Initiation(_)));
+        assert!(matches!(msgs[1], BmpMessage::PeerUp { .. }));
+        assert!(matches!(msgs[2], BmpMessage::RouteMonitoring { .. }));
+        assert!(matches!(msgs[3], BmpMessage::StatisticsReport { .. }));
+        assert!(matches!(msgs[4], BmpMessage::PeerDown { .. }));
+        assert!(matches!(msgs[5], BmpMessage::Termination(_)));
+    }
+
+    #[test]
+    fn discipline_requires_initiation_first() {
+        let mut ex = exporter();
+        assert!(matches!(
+            ex.peer_up("10.0.0.1".parse().unwrap(), Asn(1), 1, 0),
+            Err(ExportError::Discipline(_))
+        ));
+    }
+
+    #[test]
+    fn discipline_rejects_unknown_peer_traffic() {
+        let mut ex = exporter();
+        ex.initiate("x").unwrap();
+        assert!(matches!(
+            ex.route_monitoring("10.0.0.1".parse().unwrap(), Asn(1), 1, 0, update()),
+            Err(ExportError::Discipline(_))
+        ));
+        assert!(matches!(
+            ex.peer_down(
+                "10.0.0.1".parse().unwrap(),
+                Asn(1),
+                1,
+                0,
+                PeerDownReason::RemoteNoData
+            ),
+            Err(ExportError::Discipline(_))
+        ));
+    }
+
+    #[test]
+    fn discipline_rejects_double_peer_up_and_post_termination() {
+        let peer_ip: IpAddr = "10.0.0.1".parse().unwrap();
+        let mut ex = exporter();
+        ex.initiate("x").unwrap();
+        ex.peer_up(peer_ip, Asn(1), 1, 0).unwrap();
+        assert!(matches!(
+            ex.peer_up(peer_ip, Asn(1), 1, 0),
+            Err(ExportError::Discipline(_))
+        ));
+        ex.terminate(TerminationReason::Unspecified).unwrap();
+        assert!(matches!(
+            ex.stats_report(peer_ip, Asn(1), 1, 0),
+            Err(ExportError::Discipline(_))
+        ));
+    }
+
+    #[test]
+    fn adj_rib_in_gauge_tracks_announce_and_withdraw() {
+        let peer_ip: IpAddr = "10.0.0.1".parse().unwrap();
+        let mut ex = exporter();
+        ex.initiate("x").unwrap();
+        ex.peer_up(peer_ip, Asn(1), 1, 0).unwrap();
+        ex.route_monitoring(peer_ip, Asn(1), 1, 1, update()).unwrap();
+        ex.route_monitoring(peer_ip, Asn(1), 1, 2, BgpUpdate::withdraw(vec![p("203.0.113.0/24")]))
+            .unwrap();
+        ex.stats_report(peer_ip, Asn(1), 1, 3).unwrap();
+        let wire = ex.into_inner();
+        let (msgs, _) = BmpReader::new(&wire[..]).read_all();
+        let BmpMessage::StatisticsReport { stats, .. } = &msgs[4] else {
+            panic!("expected stats report");
+        };
+        assert!(stats.contains(&StatTlv::AdjRibInRoutes(0)));
+    }
+}

@@ -1,0 +1,35 @@
+//! BGPStream meta-data providers (paper §3.2).
+//!
+//! The paper's Broker is a web service that continuously scrapes the
+//! RouteViews/RIS archives, stores meta-data about every dump file in
+//! an SQL database, and answers windowed HTTP queries from
+//! libBGPStream ("which files match these projects/collectors/types
+//! over this time range, and where are they?"). Offline we keep the
+//! exact query semantics and drop the HTTP transport:
+//!
+//! * [`Index`] — the meta-data store. The collector simulator
+//!   registers each dump file as it is *published* (nominal time plus
+//!   publication delay), so live-mode consumers observe the same
+//!   variable-latency behaviour the paper measures (§2, §6.2.3).
+//! * [`Query`]/[`BrokerCursor`] — windowed iteration: each call
+//!   returns at most one window's worth of files (overload
+//!   protection), the cursor advances, and an empty final window
+//!   signals end-of-stream — or, in live mode, "poll again later"
+//!   (§3.3.2's blocking query mechanism).
+//! * [`DataInterface`] — the alternative local interfaces the paper
+//!   ships besides the Broker: a single file and a CSV manifest.
+//!   (The SQLite interface is omitted — no SQL engine in the allowed
+//!   dependency set; the CSV interface covers the same use case.)
+//! * [`mirror::MirrorSet`] — §3.2's load balancing: the Broker
+//!   "can transparently round-robin amongst multiple mirror servers or
+//!   adopt more sophisticated policies"; response paths are rewritten
+//!   onto the selected mirror, with transparent fallback when a mirror
+//!   lacks a file.
+
+pub mod index;
+pub mod interface;
+pub mod mirror;
+
+pub use index::{BrokerCursor, DumpMeta, DumpType, Index, Query};
+pub use interface::DataInterface;
+pub use mirror::{MirrorPolicy, MirrorSet};

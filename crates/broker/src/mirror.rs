@@ -1,0 +1,217 @@
+//! Mirror selection — the Broker's load-balancing layer (§3.2).
+//!
+//! The paper: the Broker "can transparently round-robin amongst
+//! multiple mirror servers or adopt more sophisticated policies (e.g.,
+//! requests sent from UC San Diego machines are normally pointed to
+//! campus mirrors)", since it serves only meta-data and the bulk data
+//! lives on external archives. Offline, a "mirror server" is an
+//! alternative directory tree holding (a possibly partial copy of) the
+//! primary archive; the broker rewrites each returned dump-file path
+//! onto the mirror chosen by the policy.
+//!
+//! Selection is *transparent and safe*: a candidate mirror lacking the
+//! requested file is skipped, falling back through the remaining
+//! mirrors to the primary, so a stale or partial mirror degrades
+//! throughput, never correctness.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How the broker chooses among mirrors.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MirrorPolicy {
+    /// Spread requests evenly across all mirrors plus the primary.
+    RoundRobin,
+    /// Always try the preferred mirror (index into the mirror list)
+    /// first — the "campus mirror" policy — falling back in list
+    /// order, then to the primary.
+    Preferred(usize),
+}
+
+/// A set of mirror roots over one primary archive root.
+pub struct MirrorSet {
+    primary: PathBuf,
+    mirrors: Vec<PathBuf>,
+    policy: MirrorPolicy,
+    cursor: AtomicU64,
+    /// Per-mirror hit counters (last slot = primary), for stats and
+    /// tests.
+    hits: Vec<AtomicU64>,
+    /// Fall-backs due to a missing file on the selected mirror.
+    misses: AtomicU64,
+}
+
+impl MirrorSet {
+    /// A mirror set over `primary` with the given mirror roots.
+    pub fn new(
+        primary: impl Into<PathBuf>,
+        mirrors: Vec<PathBuf>,
+        policy: MirrorPolicy,
+    ) -> Self {
+        let n = mirrors.len();
+        MirrorSet {
+            primary: primary.into(),
+            mirrors,
+            policy,
+            cursor: AtomicU64::new(0),
+            hits: (0..=n).map(|_| AtomicU64::new(0)).collect(),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of mirrors (excluding the primary).
+    pub fn len(&self) -> usize {
+        self.mirrors.len()
+    }
+
+    /// True when no mirrors are configured.
+    pub fn is_empty(&self) -> bool {
+        self.mirrors.is_empty()
+    }
+
+    /// Requests served per mirror, primary last.
+    pub fn hit_counts(&self) -> Vec<u64> {
+        self.hits.iter().map(|h| h.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Fall-backs caused by files missing on the selected mirror.
+    pub fn miss_count(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Rewrite `path` (a file under the primary root) onto the mirror
+    /// chosen by the policy; returns the original path when the file
+    /// is outside the primary root, or present on no mirror.
+    pub fn pick(&self, path: &Path) -> PathBuf {
+        let Ok(rel) = path.strip_prefix(&self.primary) else {
+            return path.to_path_buf();
+        };
+        let n = self.mirrors.len();
+        if n == 0 {
+            self.hits[0].fetch_add(1, Ordering::Relaxed);
+            return path.to_path_buf();
+        }
+        // Candidate order per policy; `n` stands for the primary.
+        let order: Vec<usize> = match self.policy {
+            MirrorPolicy::RoundRobin => {
+                let start = (self.cursor.fetch_add(1, Ordering::Relaxed) as usize) % (n + 1);
+                (0..=n).map(|k| (start + k) % (n + 1)).collect()
+            }
+            MirrorPolicy::Preferred(p) => {
+                let mut o: Vec<usize> = Vec::with_capacity(n + 1);
+                if p < n {
+                    o.push(p);
+                }
+                o.extend((0..n).filter(|&i| i != p));
+                o.push(n);
+                o
+            }
+        };
+        let mut first = true;
+        for idx in order {
+            let candidate = if idx == n {
+                self.primary.join(rel)
+            } else {
+                self.mirrors[idx].join(rel)
+            };
+            if candidate.exists() {
+                if !first {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                }
+                self.hits[idx].fetch_add(1, Ordering::Relaxed);
+                return candidate;
+            }
+            first = false;
+        }
+        // Present nowhere (will surface as a corrupted-source record
+        // downstream, exactly like a dead archive link would).
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        path.to_path_buf()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(tag: &str, mirror_files: &[&str]) -> (PathBuf, PathBuf, MirrorSet) {
+        let base = std::env::temp_dir().join(format!("mirror_{tag}_{}", std::process::id()));
+        let primary = base.join("primary");
+        let mirror = base.join("m0");
+        std::fs::create_dir_all(&primary).unwrap();
+        std::fs::create_dir_all(&mirror).unwrap();
+        for f in ["a.mrt", "b.mrt", "c.mrt"] {
+            std::fs::write(primary.join(f), b"x").unwrap();
+        }
+        for f in mirror_files {
+            std::fs::write(mirror.join(f), b"x").unwrap();
+        }
+        let set = MirrorSet::new(&primary, vec![mirror], MirrorPolicy::RoundRobin);
+        (base, primary, set)
+    }
+
+    #[test]
+    fn round_robin_alternates_between_mirror_and_primary() {
+        let (base, primary, set) = setup("rr", &["a.mrt", "b.mrt", "c.mrt"]);
+        let mut mirror_hits = 0;
+        let mut primary_hits = 0;
+        for f in ["a.mrt", "b.mrt", "c.mrt", "a.mrt"] {
+            let p = set.pick(&primary.join(f));
+            assert!(p.exists());
+            if p.starts_with(&primary) {
+                primary_hits += 1;
+            } else {
+                mirror_hits += 1;
+            }
+        }
+        assert_eq!(mirror_hits, 2);
+        assert_eq!(primary_hits, 2);
+        assert_eq!(set.hit_counts().iter().sum::<u64>(), 4);
+        assert_eq!(set.miss_count(), 0);
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn partial_mirror_falls_back_to_primary() {
+        let (base, primary, set) = setup("partial", &["a.mrt"]);
+        // Force enough picks that the mirror is selected for a file it
+        // lacks; the fallback must land on the primary.
+        for _ in 0..4 {
+            let p = set.pick(&primary.join("b.mrt"));
+            assert!(p.exists());
+            assert!(p.starts_with(&primary), "b.mrt only exists on primary");
+        }
+        assert!(set.miss_count() > 0, "mirror misses counted");
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn preferred_policy_pins_to_campus_mirror() {
+        let (base, primary, _) = setup("pref", &["a.mrt", "b.mrt", "c.mrt"]);
+        let mirror = base.join("m0");
+        let set = MirrorSet::new(&primary, vec![mirror.clone()], MirrorPolicy::Preferred(0));
+        for f in ["a.mrt", "b.mrt", "c.mrt"] {
+            let p = set.pick(&primary.join(f));
+            assert!(p.starts_with(&mirror), "preferred mirror not used for {f}");
+        }
+        assert_eq!(set.hit_counts()[0], 3);
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn foreign_paths_pass_through() {
+        let (base, _primary, set) = setup("foreign", &[]);
+        let outside = PathBuf::from("/nonexistent/elsewhere.mrt");
+        assert_eq!(set.pick(&outside), outside);
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn file_on_no_server_returns_original() {
+        let (base, primary, set) = setup("gone", &[]);
+        let missing = primary.join("zz.mrt");
+        assert_eq!(set.pick(&missing), missing);
+        assert!(set.miss_count() > 0);
+        std::fs::remove_dir_all(&base).ok();
+    }
+}

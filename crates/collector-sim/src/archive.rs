@@ -1,0 +1,80 @@
+//! On-disk archive layout and manifest.
+//!
+//! Mirrors the directory-listing structure of the real project
+//! archives: `root/<project>/<collector>/<type>/<type>.<start>.mrt`.
+//! A CSV manifest (`root/manifest.csv`) indexes everything so analyses
+//! can run without a live broker handle.
+
+use std::path::{Path, PathBuf};
+
+use broker::index::DumpMeta;
+use broker::DumpType;
+
+/// Path of a dump file inside the archive.
+pub fn dump_path(
+    root: &Path,
+    project: &str,
+    collector: &str,
+    dump_type: DumpType,
+    interval_start: u64,
+) -> PathBuf {
+    root.join(project)
+        .join(collector)
+        .join(dump_type.to_string())
+        .join(format!("{dump_type}.{interval_start:010}.mrt"))
+}
+
+/// Write `bytes` to the archive location, creating directories.
+pub fn write_dump(
+    root: &Path,
+    project: &str,
+    collector: &str,
+    dump_type: DumpType,
+    interval_start: u64,
+    bytes: &[u8],
+) -> std::io::Result<PathBuf> {
+    let path = dump_path(root, project, collector, dump_type, interval_start);
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(&path, bytes)?;
+    Ok(path)
+}
+
+/// Write the CSV manifest for the given entries at `root/manifest.csv`.
+pub fn write_manifest(root: &Path, entries: &[DumpMeta]) -> std::io::Result<PathBuf> {
+    let path = root.join("manifest.csv");
+    std::fs::create_dir_all(root)?;
+    std::fs::write(&path, broker::interface::to_csv_manifest(entries))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_matches_convention() {
+        let p = dump_path(
+            Path::new("/archive"),
+            "ris",
+            "rrc01",
+            DumpType::Updates,
+            300,
+        );
+        assert_eq!(
+            p,
+            PathBuf::from("/archive/ris/rrc01/updates/updates.0000000300.mrt")
+        );
+    }
+
+    #[test]
+    fn write_creates_directories() {
+        let root =
+            std::env::temp_dir().join(format!("bgpstream-arch-{}", std::process::id()));
+        let p = write_dump(&root, "routeviews", "rv2", DumpType::Rib, 7200, b"xyz").unwrap();
+        assert!(p.exists());
+        assert_eq!(std::fs::read(&p).unwrap(), b"xyz");
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

@@ -1,0 +1,55 @@
+//! Collection-project parameters (paper §2, "Popular Data Sources").
+
+/// The fixed parameters of a collection project.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ProjectSpec {
+    /// Project name as used in broker queries.
+    pub name: &'static str,
+    /// RIB dump period in seconds.
+    pub rib_period: u64,
+    /// Updates dump period in seconds.
+    pub updates_period: u64,
+    /// Whether the collector dumps session state-change messages
+    /// (RIPE RIS does; RouteViews does not — §6.2.1 footnote 5).
+    pub dumps_state_messages: bool,
+    /// The collector's own AS number.
+    pub collector_asn: u32,
+}
+
+/// RouteViews: RIB every 2 hours, updates every 15 minutes, no state
+/// messages.
+pub const ROUTEVIEWS: ProjectSpec = ProjectSpec {
+    name: "routeviews",
+    rib_period: 2 * 3600,
+    updates_period: 15 * 60,
+    dumps_state_messages: false,
+    collector_asn: 6447,
+};
+
+/// RIPE RIS: RIB every 8 hours, updates every 5 minutes, state
+/// messages dumped.
+pub const RIS: ProjectSpec = ProjectSpec {
+    name: "ris",
+    rib_period: 8 * 3600,
+    updates_period: 5 * 60,
+    dumps_state_messages: true,
+    collector_asn: 12654,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cadences_match_the_paper() {
+        assert_eq!(ROUTEVIEWS.rib_period, 7200);
+        assert_eq!(ROUTEVIEWS.updates_period, 900);
+        assert_eq!(RIS.rib_period, 28800);
+        assert_eq!(RIS.updates_period, 300);
+        #[allow(clippy::assertions_on_constants)]
+        {
+            assert!(RIS.dumps_state_messages, "RIS dumps state messages");
+            assert!(!ROUTEVIEWS.dumps_state_messages, "RouteViews does not");
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! AS watch — "tracking AS paths containing a particular AS" (§6.2).
+//!
+//! Given a watched ASN, the consumer maintains, from RT diffs:
+//!
+//! * which `(collector, vp, prefix)` routes currently traverse it;
+//! * the neighbor ASes observed immediately up- and downstream of it
+//!   (new upstreams are how de-peering/re-homing events and some
+//!   hijacks first become visible);
+//! * a per-bin time series of the number of traversing routes, the
+//!   same shape the paper's time-series monitoring system stores.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use bgp_types::{Asn, Prefix};
+use corsaro::codec::RtMessage;
+use mq::Cluster;
+
+/// Snapshot of the watch state at one bin.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WatchSample {
+    /// Time bin.
+    pub bin: u64,
+    /// Routes (cells) currently traversing the watched AS.
+    pub routes: usize,
+    /// Distinct prefixes among them.
+    pub prefixes: usize,
+}
+
+/// Tracks the routes traversing one AS.
+pub struct AsWatch {
+    target: Asn,
+    /// (collector, vp, prefix) → whether the current route traverses
+    /// the target (we must track non-traversing routes too, to handle
+    /// reroutes away from the target).
+    traversing: HashSet<(String, Asn, Prefix)>,
+    /// ASes seen immediately closer to the VPs (providers/peers of the
+    /// target, from the routes' perspective).
+    upstreams: BTreeSet<Asn>,
+    /// ASes seen immediately closer to the origins.
+    downstreams: BTreeSet<Asn>,
+    /// bin → routes count, recorded on each message.
+    series: BTreeMap<u64, WatchSample>,
+}
+
+impl AsWatch {
+    /// Watch `target`.
+    pub fn new(target: Asn) -> Self {
+        AsWatch {
+            target,
+            traversing: HashSet::new(),
+            upstreams: BTreeSet::new(),
+            downstreams: BTreeSet::new(),
+            series: BTreeMap::new(),
+        }
+    }
+
+    /// The watched ASN.
+    pub fn target(&self) -> Asn {
+        self.target
+    }
+
+    /// Current number of routes traversing the target.
+    pub fn route_count(&self) -> usize {
+        self.traversing.len()
+    }
+
+    /// Neighbor ASes seen on the VP side of the target.
+    pub fn upstreams(&self) -> &BTreeSet<Asn> {
+        &self.upstreams
+    }
+
+    /// Neighbor ASes seen on the origin side of the target.
+    pub fn downstreams(&self) -> &BTreeSet<Asn> {
+        &self.downstreams
+    }
+
+    /// The recorded per-bin series.
+    pub fn series(&self) -> impl Iterator<Item = &WatchSample> {
+        self.series.values()
+    }
+
+    /// Apply one RT message.
+    pub fn apply(&mut self, msg: &RtMessage) {
+        let (collector, bin, cells) = match msg {
+            RtMessage::Full { collector, bin, cells }
+            | RtMessage::Diff { collector, bin, cells } => (collector, *bin, cells),
+        };
+        if matches!(msg, RtMessage::Full { .. }) {
+            // Resync: forget this collector's traversals.
+            self.traversing.retain(|(c, _, _)| c != collector);
+        }
+        for cell in cells {
+            let key = (collector.clone(), cell.vp, cell.prefix);
+            let hops: Vec<Asn> = match &cell.path {
+                Some(path) => path.asns().collect(),
+                None => {
+                    self.traversing.remove(&key);
+                    continue;
+                }
+            };
+            let mut hit = false;
+            for (i, &h) in hops.iter().enumerate() {
+                if h != self.target {
+                    continue;
+                }
+                hit = true;
+                if i > 0 && hops[i - 1] != self.target {
+                    self.upstreams.insert(hops[i - 1]);
+                }
+                if let Some(&next) = hops.get(i + 1) {
+                    if next != self.target {
+                        self.downstreams.insert(next);
+                    }
+                }
+            }
+            if hit {
+                self.traversing.insert(key);
+            } else {
+                self.traversing.remove(&key);
+            }
+        }
+        let prefixes: HashMap<Prefix, ()> =
+            self.traversing.iter().map(|(_, _, p)| (*p, ())).collect();
+        self.series.insert(
+            bin,
+            WatchSample { bin, routes: self.traversing.len(), prefixes: prefixes.len() },
+        );
+    }
+
+    /// Drain the `rt.tables` topic for `group`.
+    pub fn consume(&mut self, mq: &Cluster, group: &str) -> u64 {
+        crate::drain_rt(mq, group, |msg| self.apply(msg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::AsPath;
+    use corsaro::codec::DiffCell;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn cell(vp: u32, prefix: &str, path: Option<&[u32]>) -> DiffCell {
+        DiffCell {
+            vp: Asn(vp),
+            prefix: p(prefix),
+            path: path.map(|h| AsPath::from_sequence(h.iter().copied())),
+        }
+    }
+
+    fn diff(bin: u64, cells: Vec<DiffCell>) -> RtMessage {
+        RtMessage::Diff { collector: "rrc00".into(), bin, cells }
+    }
+
+    #[test]
+    fn tracks_traversing_routes_and_neighbors() {
+        let mut w = AsWatch::new(Asn(3356));
+        w.apply(&diff(
+            60,
+            vec![
+                cell(1, "10.0.0.0/8", Some(&[1, 3356, 137])),
+                cell(2, "10.0.0.0/8", Some(&[2, 9, 137])), // not traversing
+                cell(1, "20.0.0.0/8", Some(&[1, 3356, 9, 44])),
+            ],
+        ));
+        assert_eq!(w.route_count(), 2);
+        assert_eq!(w.upstreams().iter().copied().collect::<Vec<_>>(), vec![Asn(1)]);
+        assert_eq!(
+            w.downstreams().iter().copied().collect::<Vec<_>>(),
+            vec![Asn(9), Asn(137)]
+        );
+    }
+
+    #[test]
+    fn reroute_away_removes_traversal() {
+        let mut w = AsWatch::new(Asn(3356));
+        w.apply(&diff(60, vec![cell(1, "10.0.0.0/8", Some(&[1, 3356, 137]))]));
+        assert_eq!(w.route_count(), 1);
+        // Same (vp, prefix) reroutes around the target.
+        w.apply(&diff(120, vec![cell(1, "10.0.0.0/8", Some(&[1, 9, 137]))]));
+        assert_eq!(w.route_count(), 0);
+        // Withdrawal also removes.
+        w.apply(&diff(130, vec![cell(1, "10.0.0.0/8", Some(&[1, 3356, 137]))]));
+        w.apply(&diff(180, vec![cell(1, "10.0.0.0/8", None)]));
+        assert_eq!(w.route_count(), 0);
+    }
+
+    #[test]
+    fn prepending_by_target_counts_once() {
+        let mut w = AsWatch::new(Asn(3356));
+        w.apply(&diff(60, vec![cell(1, "10.0.0.0/8", Some(&[1, 3356, 3356, 137]))]));
+        assert_eq!(w.route_count(), 1);
+        assert_eq!(w.upstreams().len(), 1);
+        assert_eq!(w.downstreams().len(), 1);
+    }
+
+    #[test]
+    fn series_records_per_bin_counts() {
+        let mut w = AsWatch::new(Asn(3356));
+        w.apply(&diff(60, vec![cell(1, "10.0.0.0/8", Some(&[1, 3356, 137]))]));
+        w.apply(&diff(120, vec![cell(2, "10.0.0.0/8", Some(&[2, 3356, 137]))]));
+        w.apply(&diff(180, vec![cell(1, "10.0.0.0/8", None)]));
+        let s: Vec<(u64, usize, usize)> =
+            w.series().map(|x| (x.bin, x.routes, x.prefixes)).collect();
+        assert_eq!(s, vec![(60, 1, 1), (120, 2, 1), (180, 1, 1)]);
+    }
+
+    #[test]
+    fn full_resync_clears_collector_state() {
+        let mut w = AsWatch::new(Asn(3356));
+        w.apply(&diff(60, vec![cell(1, "10.0.0.0/8", Some(&[1, 3356, 137]))]));
+        w.apply(&RtMessage::Full {
+            collector: "rrc00".into(),
+            bin: 120,
+            cells: vec![cell(2, "20.0.0.0/8", Some(&[2, 3356, 44]))],
+        });
+        assert_eq!(w.route_count(), 1, "old traversal dropped by resync");
+    }
+
+    #[test]
+    fn consume_via_queue() {
+        let mq = Cluster::shared();
+        mq.produce(
+            "rt.tables",
+            "rrc00",
+            0,
+            diff(60, vec![cell(1, "10.0.0.0/8", Some(&[1, 3356, 137]))]).encode(),
+        );
+        let mut w = AsWatch::new(Asn(3356));
+        assert_eq!(w.consume(&mq, "aswatch-test"), 1);
+        assert_eq!(w.route_count(), 1);
+    }
+}

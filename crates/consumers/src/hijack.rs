@@ -1,0 +1,233 @@
+//! Hijack detection (the "Hijacks" project of §6.2).
+//!
+//! "Most common hijacks manifest as two or more ASes announcing
+//! exactly the same prefix, or a portion of the same address space at
+//! the same time; detecting them requires comparing the prefix
+//! reachability information as observed from multiple VPs." The
+//! detector keeps a learned baseline of `prefix → origins` and raises
+//! an alarm when (i) a new origin appears for a known prefix (MOAS
+//! alarm) or (ii) a new more-specific of a known prefix appears with a
+//! different origin (sub-prefix alarm).
+
+use std::collections::{BTreeSet, HashMap};
+
+use bgp_types::{Asn, Prefix, PrefixTrie};
+
+use crate::view::GlobalView;
+
+/// A raised alarm.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum HijackAlarm {
+    /// A known prefix gained an unexpected origin.
+    Moas {
+        /// The affected prefix.
+        prefix: Prefix,
+        /// Its learned legitimate origins.
+        expected: Vec<Asn>,
+        /// The newly observed origin.
+        observed: Asn,
+        /// Detection bin.
+        bin: u64,
+    },
+    /// A new more-specific of a known prefix appeared with a
+    /// different origin.
+    SubPrefix {
+        /// The covering (victim) prefix.
+        covering: Prefix,
+        /// The new more-specific.
+        sub: Prefix,
+        /// The victim's learned origins.
+        expected: Vec<Asn>,
+        /// The more-specific's origin.
+        observed: Asn,
+        /// Detection bin.
+        bin: u64,
+    },
+}
+
+/// Baseline-learning hijack detector.
+pub struct HijackDetector {
+    /// Learned legitimate origins per prefix.
+    baseline: HashMap<Prefix, BTreeSet<Asn>>,
+    /// Trie over baseline prefixes for sub-prefix checks.
+    trie: PrefixTrie<()>,
+    /// Whether we are still in the learning phase.
+    learning: bool,
+    /// All alarms raised.
+    pub alarms: Vec<HijackAlarm>,
+}
+
+impl Default for HijackDetector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HijackDetector {
+    /// A detector in learning mode.
+    pub fn new() -> Self {
+        HijackDetector {
+            baseline: HashMap::new(),
+            trie: PrefixTrie::new(),
+            learning: true,
+            alarms: Vec::new(),
+        }
+    }
+
+    /// Learn the current view as legitimate.
+    pub fn learn(&mut self, view: &GlobalView) {
+        for (prefix, _, origins) in view.visible_prefixes() {
+            let entry = self.baseline.entry(prefix).or_default();
+            entry.extend(origins);
+            self.trie.insert(prefix, ());
+        }
+    }
+
+    /// Stop learning; subsequent observations raise alarms.
+    pub fn arm(&mut self) {
+        self.learning = false;
+    }
+
+    /// Check the current view against the baseline.
+    pub fn observe_bin(&mut self, view: &GlobalView, bin: u64) {
+        if self.learning {
+            self.learn(view);
+            return;
+        }
+        for (prefix, _, origins) in view.visible_prefixes() {
+            match self.baseline.get(&prefix) {
+                Some(expected) => {
+                    for o in &origins {
+                        if !expected.contains(o) {
+                            self.alarms.push(HijackAlarm::Moas {
+                                prefix,
+                                expected: expected.iter().copied().collect(),
+                                observed: *o,
+                                bin,
+                            });
+                        }
+                    }
+                }
+                None => {
+                    // Unknown prefix: sub-prefix hijack if a baseline
+                    // prefix covers it with a different origin.
+                    let covering = self
+                        .trie
+                        .covering(&prefix)
+                        .into_iter()
+                        .map(|(p, _)| *p).rfind(|p| p != &prefix);
+                    if let Some(covering) = covering {
+                        let expected = &self.baseline[&covering];
+                        for o in &origins {
+                            if !expected.contains(o) {
+                                self.alarms.push(HijackAlarm::SubPrefix {
+                                    covering,
+                                    sub: prefix,
+                                    expected: expected.iter().copied().collect(),
+                                    observed: *o,
+                                    bin,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::AsPath;
+    use corsaro::codec::{DiffCell, RtMessage};
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn cell(vp: u32, prefix: &str, origin: u32) -> DiffCell {
+        DiffCell {
+            vp: Asn(vp),
+            prefix: p(prefix),
+            path: Some(AsPath::from_sequence([vp, origin])),
+        }
+    }
+
+    fn view_with(cells: Vec<DiffCell>) -> GlobalView {
+        let mut v = GlobalView::new();
+        v.apply(&RtMessage::Full { collector: "rrc00".into(), bin: 0, cells });
+        v
+    }
+
+    #[test]
+    fn moas_alarm_on_new_origin() {
+        let mut d = HijackDetector::new();
+        d.observe_bin(&view_with(vec![cell(1, "193.204.0.0/16", 137)]), 0);
+        d.arm();
+        d.observe_bin(
+            &view_with(vec![cell(1, "193.204.0.0/16", 137), cell(2, "193.204.0.0/16", 666)]),
+            300,
+        );
+        assert_eq!(d.alarms.len(), 1);
+        match &d.alarms[0] {
+            HijackAlarm::Moas { observed, expected, bin, .. } => {
+                assert_eq!(*observed, Asn(666));
+                assert_eq!(expected, &[Asn(137)]);
+                assert_eq!(*bin, 300);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subprefix_alarm_on_more_specific() {
+        let mut d = HijackDetector::new();
+        d.observe_bin(&view_with(vec![cell(1, "193.204.0.0/16", 137)]), 0);
+        d.arm();
+        d.observe_bin(&view_with(vec![cell(1, "193.204.7.0/24", 666)]), 300);
+        assert_eq!(d.alarms.len(), 1);
+        match &d.alarms[0] {
+            HijackAlarm::SubPrefix { covering, sub, observed, .. } => {
+                assert_eq!(covering.to_string(), "193.204.0.0/16");
+                assert_eq!(sub.to_string(), "193.204.7.0/24");
+                assert_eq!(*observed, Asn(666));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legitimate_deaggregation_by_owner_is_silent() {
+        let mut d = HijackDetector::new();
+        d.observe_bin(&view_with(vec![cell(1, "193.204.0.0/16", 137)]), 0);
+        d.arm();
+        // The owner itself announces a more-specific: not an alarm.
+        d.observe_bin(&view_with(vec![cell(1, "193.204.7.0/24", 137)]), 300);
+        assert!(d.alarms.is_empty());
+    }
+
+    #[test]
+    fn learned_moas_is_not_an_alarm() {
+        let mut d = HijackDetector::new();
+        d.observe_bin(
+            &view_with(vec![cell(1, "10.0.0.0/8", 50), cell(2, "10.0.0.0/8", 60)]),
+            0,
+        );
+        d.arm();
+        d.observe_bin(
+            &view_with(vec![cell(1, "10.0.0.0/8", 60), cell(2, "10.0.0.0/8", 50)]),
+            300,
+        );
+        assert!(d.alarms.is_empty());
+    }
+
+    #[test]
+    fn unknown_uncovered_prefix_is_ignored() {
+        let mut d = HijackDetector::new();
+        d.observe_bin(&view_with(vec![cell(1, "10.0.0.0/8", 50)]), 0);
+        d.arm();
+        d.observe_bin(&view_with(vec![cell(1, "172.16.0.0/12", 99)]), 300);
+        assert!(d.alarms.is_empty());
+    }
+}

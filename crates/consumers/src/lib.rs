@@ -1,0 +1,71 @@
+//! Monitoring consumers (§6.2.4): analyze the routing tables
+//! retrieved from the queue to perform event detection and extract
+//! time series.
+//!
+//! The paper's deployment feeds RT-plugin diffs through Kafka into
+//! consumers for near-realtime detection of per-country and per-AS
+//! outages (Figure 10) and BGP hijacks. Here:
+//!
+//! * [`view::GlobalView`] — rebuilds full per-collector routing tables
+//!   from `Full` snapshots + `Diff` streams (§6.2.2's complementary
+//!   routines);
+//! * [`outage`] — per-country and per-AS visible-prefix counters over
+//!   full-feed VPs, the Figure 10 series;
+//! * [`moas`] — unique MOAS-set tracking (Figure 5b's consumer-side
+//!   counterpart);
+//! * [`hijack`] — same-prefix (MOAS) and sub-prefix hijack alarms.
+//!
+//! §6.2 also names three further applications of the global view, all
+//! implemented here:
+//!
+//! * [`routeleak`] — valley-free-violation (route-leak) detection over
+//!   an AS-relationship oracle;
+//! * [`newlinks`] — new/suspicious AS-adjacency detection with warm-up
+//!   and expiry;
+//! * [`aswatch`] — tracking every path traversing a particular AS.
+
+pub mod aswatch;
+pub mod hijack;
+pub mod moas;
+pub mod newlinks;
+pub mod outage;
+pub mod routeleak;
+pub mod view;
+
+pub use aswatch::{AsWatch, WatchSample};
+pub use hijack::{HijackAlarm, HijackDetector};
+pub use moas::MoasTracker;
+pub use newlinks::{AsLink, NewLinkAlarm, NewLinkDetector};
+pub use outage::{GeoMap, OutageConsumer};
+pub use routeleak::{judge_path, LeakAlarm, LeakDetector, PathVerdict, RelKind, RelOracle};
+pub use view::GlobalView;
+
+use corsaro::codec::RtMessage;
+use mq::Cluster;
+
+/// Drain all new `rt.tables` messages for a consumer group, invoking
+/// `f` on each decoded message in partition order; commits offsets and
+/// returns the number of messages consumed. Shared by every consumer's
+/// `consume` method.
+pub fn drain_rt<F: FnMut(&RtMessage)>(mq: &Cluster, group: &str, mut f: F) -> u64 {
+    let mut total = 0;
+    for part in 0..mq.partitions("rt.tables").max(1) {
+        let from = mq.committed(group, "rt.tables", part);
+        let mut n = 0;
+        loop {
+            let msgs = mq.fetch("rt.tables", part, from + n, 64);
+            if msgs.is_empty() {
+                break;
+            }
+            for m in &msgs {
+                if let Ok(rt) = RtMessage::decode(&m.payload) {
+                    f(&rt);
+                }
+                n += 1;
+            }
+        }
+        mq.commit(group, "rt.tables", part, from + n);
+        total += n;
+    }
+    total
+}

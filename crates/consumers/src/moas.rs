@@ -1,0 +1,125 @@
+//! MOAS (Multiple-Origin AS) tracking.
+//!
+//! A prefix is MOAS when different VPs observe different origin ASes
+//! for it. The paper shows (Figure 5b) that the number of unique MOAS
+//! *sets* identified overall is always significantly larger than what
+//! any single collector sees — aggregating across collectors matters.
+
+use std::collections::BTreeSet;
+
+use bgp_types::Asn;
+
+use crate::view::GlobalView;
+
+/// Accumulates unique MOAS sets, overall and per collector.
+#[derive(Default)]
+pub struct MoasTracker {
+    /// Every distinct origin set (|set| ≥ 2) seen so far, overall.
+    pub overall: BTreeSet<Vec<Asn>>,
+    /// Per collector.
+    pub per_collector: std::collections::BTreeMap<String, BTreeSet<Vec<Asn>>>,
+}
+
+impl MoasTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in the current view.
+    pub fn observe(&mut self, view: &GlobalView) {
+        for (_, _, origins) in view.visible_prefixes() {
+            if origins.len() >= 2 {
+                self.overall.insert(origins.iter().copied().collect());
+            }
+        }
+        for collector in view.collectors() {
+            let per = view.collector_prefix_origins(&collector);
+            let bucket = self.per_collector.entry(collector).or_default();
+            for (_, origins) in per {
+                if origins.len() >= 2 {
+                    bucket.insert(origins.into_iter().collect());
+                }
+            }
+        }
+    }
+
+    /// Unique MOAS sets overall.
+    pub fn overall_count(&self) -> usize {
+        self.overall.len()
+    }
+
+    /// Largest per-collector count.
+    pub fn max_single_collector(&self) -> usize {
+        self.per_collector.values().map(|s| s.len()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::{AsPath, Prefix};
+    use corsaro::codec::{DiffCell, RtMessage};
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn cell(vp: u32, prefix: &str, origin: u32) -> DiffCell {
+        DiffCell {
+            vp: Asn(vp),
+            prefix: p(prefix),
+            path: Some(AsPath::from_sequence([vp, origin])),
+        }
+    }
+
+    #[test]
+    fn detects_moas_across_collectors_only() {
+        let mut v = GlobalView::new();
+        // rrc00's VPs all see origin 50; rv2's all see origin 60: no
+        // single collector sees the MOAS, but overall does.
+        v.apply(&RtMessage::Full {
+            collector: "rrc00".into(),
+            bin: 0,
+            cells: vec![cell(1, "10.0.0.0/8", 50), cell(2, "10.0.0.0/8", 50)],
+        });
+        v.apply(&RtMessage::Full {
+            collector: "rv2".into(),
+            bin: 0,
+            cells: vec![cell(3, "10.0.0.0/8", 60)],
+        });
+        let mut t = MoasTracker::new();
+        t.observe(&v);
+        assert_eq!(t.overall_count(), 1);
+        assert_eq!(t.max_single_collector(), 0);
+        assert!(t.overall_count() > t.max_single_collector());
+    }
+
+    #[test]
+    fn same_origin_everywhere_is_not_moas() {
+        let mut v = GlobalView::new();
+        v.apply(&RtMessage::Full {
+            collector: "rrc00".into(),
+            bin: 0,
+            cells: vec![cell(1, "10.0.0.0/8", 50), cell(2, "10.0.0.0/8", 50)],
+        });
+        let mut t = MoasTracker::new();
+        t.observe(&v);
+        assert_eq!(t.overall_count(), 0);
+    }
+
+    #[test]
+    fn moas_sets_deduplicate() {
+        let mut v = GlobalView::new();
+        v.apply(&RtMessage::Full {
+            collector: "rrc00".into(),
+            bin: 0,
+            cells: vec![cell(1, "10.0.0.0/8", 50), cell(2, "10.0.0.0/8", 60)],
+        });
+        let mut t = MoasTracker::new();
+        t.observe(&v);
+        t.observe(&v); // same sets again
+        assert_eq!(t.overall_count(), 1);
+        assert_eq!(t.max_single_collector(), 1);
+    }
+}

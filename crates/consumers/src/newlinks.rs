@@ -1,0 +1,193 @@
+//! New-AS-link detection — "spotting new (suspicious) AS links
+//! appearing in the AS-graph" (§6.2).
+//!
+//! Man-in-the-middle hijacks [19,20] and some leaks manifest as AS
+//! adjacencies never seen before in any path. The detector learns the
+//! link universe over a configurable warm-up period, then alarms on
+//! every adjacency absent from it, recording the full evidence path.
+//! Links are tracked with last-seen bins so stale links can be expired
+//! (an adjacency resurfacing after a long silence is also suspicious).
+
+use std::collections::HashMap;
+
+use bgp_types::{AsPath, Asn, Prefix};
+use corsaro::codec::RtMessage;
+use mq::Cluster;
+
+/// An undirected AS adjacency (stored with the smaller ASN first).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct AsLink(pub Asn, pub Asn);
+
+impl AsLink {
+    /// Canonical (order-independent) link.
+    pub fn new(a: Asn, b: Asn) -> Self {
+        if a.0 <= b.0 {
+            AsLink(a, b)
+        } else {
+            AsLink(b, a)
+        }
+    }
+}
+
+/// One new-link alarm.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NewLinkAlarm {
+    /// The never-before-seen adjacency.
+    pub link: AsLink,
+    /// Collector whose data exposed it.
+    pub collector: String,
+    /// Time bin of the exposing diff.
+    pub bin: u64,
+    /// Prefix whose path carried the link.
+    pub prefix: Prefix,
+    /// The full evidence path.
+    pub path: AsPath,
+}
+
+/// Rolling new-AS-link detector.
+pub struct NewLinkDetector {
+    /// link → last bin it was observed in.
+    known: HashMap<AsLink, u64>,
+    /// Bins at or before this value are the learning phase: links are
+    /// absorbed silently.
+    warmup_until: u64,
+    /// Links unseen for this many bins are forgotten (0 = never).
+    expire_after: u64,
+    alarms: Vec<NewLinkAlarm>,
+}
+
+impl NewLinkDetector {
+    /// Learn silently through bin `warmup_until`; alarm afterwards.
+    /// `expire_after = 0` disables expiry.
+    pub fn new(warmup_until: u64, expire_after: u64) -> Self {
+        NewLinkDetector {
+            known: HashMap::new(),
+            warmup_until,
+            expire_after,
+            alarms: Vec::new(),
+        }
+    }
+
+    /// Number of links currently known.
+    pub fn known_links(&self) -> usize {
+        self.known.len()
+    }
+
+    /// Alarms raised so far.
+    pub fn alarms(&self) -> &[NewLinkAlarm] {
+        &self.alarms
+    }
+
+    /// Apply one RT message.
+    pub fn apply(&mut self, msg: &RtMessage) {
+        let (collector, bin, cells) = match msg {
+            RtMessage::Full { collector, bin, cells }
+            | RtMessage::Diff { collector, bin, cells } => (collector, *bin, cells),
+        };
+        if self.expire_after > 0 {
+            let horizon = bin.saturating_sub(self.expire_after);
+            self.known.retain(|_, last| *last >= horizon);
+        }
+        for cell in cells {
+            let Some(path) = &cell.path else { continue };
+            let hops: Vec<Asn> = path.asns().collect();
+            for w in hops.windows(2) {
+                if w[0] == w[1] {
+                    continue; // prepending is not an adjacency
+                }
+                let link = AsLink::new(w[0], w[1]);
+                let is_new = self.known.insert(link, bin).is_none();
+                if is_new && bin > self.warmup_until {
+                    self.alarms.push(NewLinkAlarm {
+                        link,
+                        collector: collector.clone(),
+                        bin,
+                        prefix: cell.prefix,
+                        path: path.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Drain the `rt.tables` topic for `group`.
+    pub fn consume(&mut self, mq: &Cluster, group: &str) -> u64 {
+        crate::drain_rt(mq, group, |msg| self.apply(msg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corsaro::codec::DiffCell;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn msg(bin: u64, path: &[u32]) -> RtMessage {
+        RtMessage::Diff {
+            collector: "rrc00".into(),
+            bin,
+            cells: vec![DiffCell {
+                vp: Asn(path[0]),
+                prefix: p("10.0.0.0/8"),
+                path: Some(AsPath::from_sequence(path.iter().copied())),
+            }],
+        }
+    }
+
+    #[test]
+    fn canonical_link_ordering() {
+        assert_eq!(AsLink::new(Asn(2), Asn(1)), AsLink::new(Asn(1), Asn(2)));
+    }
+
+    #[test]
+    fn warmup_absorbs_then_alarms() {
+        let mut d = NewLinkDetector::new(100, 0);
+        d.apply(&msg(50, &[1, 2, 3]));
+        assert!(d.alarms().is_empty());
+        assert_eq!(d.known_links(), 2);
+        // Known links stay silent after warm-up.
+        d.apply(&msg(150, &[1, 2, 3]));
+        assert!(d.alarms().is_empty());
+        // A new adjacency (2,9) alarms.
+        d.apply(&msg(160, &[1, 2, 9]));
+        assert_eq!(d.alarms().len(), 1);
+        assert_eq!(d.alarms()[0].link, AsLink::new(Asn(2), Asn(9)));
+        assert_eq!(d.alarms()[0].bin, 160);
+        // And is then known: no duplicate alarm.
+        d.apply(&msg(170, &[1, 2, 9]));
+        assert_eq!(d.alarms().len(), 1);
+    }
+
+    #[test]
+    fn prepending_is_not_a_link() {
+        let mut d = NewLinkDetector::new(0, 0);
+        d.apply(&msg(10, &[1, 1, 1]));
+        assert_eq!(d.known_links(), 0);
+        assert!(d.alarms().is_empty());
+    }
+
+    #[test]
+    fn expiry_rearms_old_links() {
+        let mut d = NewLinkDetector::new(0, 100);
+        d.apply(&msg(10, &[1, 2]));
+        assert_eq!(d.alarms().len(), 1);
+        // Seen again within the horizon: refreshed, no alarm.
+        d.apply(&msg(60, &[1, 2]));
+        assert_eq!(d.alarms().len(), 1);
+        // Silent for >100 bins: expired, resurfacing alarms again.
+        d.apply(&msg(300, &[1, 2]));
+        assert_eq!(d.alarms().len(), 2);
+    }
+
+    #[test]
+    fn consume_via_queue() {
+        let mq = Cluster::shared();
+        mq.produce("rt.tables", "rrc00", 0, msg(10, &[1, 2, 3]).encode());
+        let mut d = NewLinkDetector::new(0, 0);
+        assert_eq!(d.consume(&mq, "newlink-test"), 1);
+        assert_eq!(d.alarms().len(), 2);
+    }
+}

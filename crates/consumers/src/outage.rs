@@ -1,0 +1,202 @@
+//! Per-country and per-AS outage detection (§6.2.4, Figure 10).
+//!
+//! "Both consumers select the prefixes observed by full-feed VPs and
+//! monitor the visibility of these prefixes by computing the number of
+//! prefixes geo-located to each country and announced by each AS."
+//! Prefix-to-country geolocation (NetAcuity in the paper's
+//! deployment) is substituted by the simulation's ground truth: a
+//! prefix geolocates to its owner AS's country.
+
+use std::collections::{BTreeMap, HashMap};
+
+use bgp_types::{Asn, Prefix};
+use topology::Topology;
+
+use crate::view::GlobalView;
+
+/// Prefix → country geolocation database.
+#[derive(Clone, Default)]
+pub struct GeoMap {
+    map: HashMap<Prefix, [u8; 2]>,
+    asn_country: HashMap<Asn, [u8; 2]>,
+}
+
+impl GeoMap {
+    /// Build from simulation ground truth.
+    pub fn from_topology(topo: &Topology) -> Self {
+        let mut map = HashMap::new();
+        let mut asn_country = HashMap::new();
+        for node in &topo.nodes {
+            asn_country.insert(node.asn, node.country);
+            for op in node.prefixes_v4.iter().chain(node.prefixes_v6.iter()) {
+                map.insert(op.prefix, node.country);
+            }
+        }
+        GeoMap { map, asn_country }
+    }
+
+    /// Country of a prefix, falling back to the origin AS's country
+    /// for prefixes not in the database (e.g. hijacked
+    /// more-specifics).
+    pub fn country_of(&self, prefix: &Prefix, origin: Option<Asn>) -> Option<[u8; 2]> {
+        self.map
+            .get(prefix)
+            .copied()
+            .or_else(|| origin.and_then(|o| self.asn_country.get(&o).copied()))
+    }
+}
+
+/// One point of a visibility time series.
+pub type SeriesPoint = (u64, usize);
+
+/// The per-country / per-AS visible-prefix counters.
+pub struct OutageConsumer {
+    geo: GeoMap,
+    /// Minimum number of VPs that must see a prefix for it to count
+    /// as visible (outage = global invisibility, not a local failure).
+    pub min_vps: usize,
+    /// country → series of (bin, #visible prefixes).
+    pub country_series: BTreeMap<[u8; 2], Vec<SeriesPoint>>,
+    /// origin AS → series of (bin, #visible prefixes).
+    pub as_series: BTreeMap<Asn, Vec<SeriesPoint>>,
+}
+
+impl OutageConsumer {
+    /// Build over a geolocation database.
+    pub fn new(geo: GeoMap, min_vps: usize) -> Self {
+        OutageConsumer {
+            geo,
+            min_vps: min_vps.max(1),
+            country_series: BTreeMap::new(),
+            as_series: BTreeMap::new(),
+        }
+    }
+
+    /// Record one bin's visibility from the reconstructed view.
+    pub fn observe_bin(&mut self, view: &GlobalView, bin: u64) {
+        let mut per_country: HashMap<[u8; 2], usize> = HashMap::new();
+        let mut per_as: HashMap<Asn, usize> = HashMap::new();
+        for (prefix, vps, origins) in view.visible_prefixes() {
+            if vps < self.min_vps {
+                continue;
+            }
+            let origin = origins.iter().next().copied();
+            if let Some(cc) = self.geo.country_of(&prefix, origin) {
+                *per_country.entry(cc).or_default() += 1;
+            }
+            for o in origins {
+                *per_as.entry(o).or_default() += 1;
+            }
+        }
+        // Keep series dense: countries/ASes already tracked get a
+        // zero when invisible this bin.
+        for (cc, series) in self.country_series.iter_mut() {
+            series.push((bin, per_country.remove(cc).unwrap_or(0)));
+        }
+        for (cc, n) in per_country {
+            self.country_series.entry(cc).or_default().push((bin, n));
+        }
+        for (asn, series) in self.as_series.iter_mut() {
+            series.push((bin, per_as.remove(asn).unwrap_or(0)));
+        }
+        for (asn, n) in per_as {
+            self.as_series.entry(asn).or_default().push((bin, n));
+        }
+    }
+
+    /// The country series, if tracked.
+    pub fn country(&self, cc: [u8; 2]) -> Option<&[SeriesPoint]> {
+        self.country_series.get(&cc).map(|v| v.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::AsPath;
+    use corsaro::codec::{DiffCell, RtMessage};
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn geo(entries: &[(&str, [u8; 2], u32)]) -> GeoMap {
+        let mut g = GeoMap::default();
+        for (prefix, cc, asn) in entries {
+            g.map.insert(p(prefix), *cc);
+            g.asn_country.insert(Asn(*asn), *cc);
+        }
+        g
+    }
+
+    fn full(cells: Vec<DiffCell>) -> RtMessage {
+        RtMessage::Full { collector: "rrc00".into(), bin: 0, cells }
+    }
+
+    fn cell(vp: u32, prefix: &str, origin: u32) -> DiffCell {
+        DiffCell {
+            vp: Asn(vp),
+            prefix: p(prefix),
+            path: Some(AsPath::from_sequence([vp, origin])),
+        }
+    }
+
+    #[test]
+    fn counts_visible_prefixes_per_country_and_as() {
+        let g = geo(&[("10.0.0.0/8", *b"IQ", 50), ("20.0.0.0/8", *b"US", 60)]);
+        let mut v = GlobalView::new();
+        v.apply(&full(vec![
+            cell(1, "10.0.0.0/8", 50),
+            cell(2, "10.0.0.0/8", 50),
+            cell(1, "20.0.0.0/8", 60),
+            cell(2, "20.0.0.0/8", 60),
+        ]));
+        let mut c = OutageConsumer::new(g, 2);
+        c.observe_bin(&v, 0);
+        assert_eq!(c.country(*b"IQ").unwrap(), &[(0, 1)]);
+        assert_eq!(c.country(*b"US").unwrap(), &[(0, 1)]);
+        assert_eq!(c.as_series[&Asn(50)], vec![(0, 1)]);
+    }
+
+    #[test]
+    fn threshold_excludes_locally_visible_prefixes() {
+        let g = geo(&[("10.0.0.0/8", *b"IQ", 50)]);
+        let mut v = GlobalView::new();
+        v.apply(&full(vec![cell(1, "10.0.0.0/8", 50)])); // one VP only
+        let mut c = OutageConsumer::new(g, 2);
+        c.observe_bin(&v, 0);
+        assert!(c.country(*b"IQ").is_none());
+    }
+
+    #[test]
+    fn outage_drops_series_to_zero_and_back() {
+        let g = geo(&[("10.0.0.0/8", *b"IQ", 50)]);
+        let mut c = OutageConsumer::new(g, 1);
+        let mut v = GlobalView::new();
+        v.apply(&full(vec![cell(1, "10.0.0.0/8", 50)]));
+        c.observe_bin(&v, 0);
+        // The prefix disappears (government-ordered shutdown).
+        v.apply(&RtMessage::Diff {
+            collector: "rrc00".into(),
+            bin: 60,
+            cells: vec![DiffCell { vp: Asn(1), prefix: p("10.0.0.0/8"), path: None }],
+        });
+        c.observe_bin(&v, 60);
+        // ...and comes back.
+        v.apply(&RtMessage::Diff {
+            collector: "rrc00".into(),
+            bin: 120,
+            cells: vec![cell(1, "10.0.0.0/8", 50)],
+        });
+        c.observe_bin(&v, 120);
+        assert_eq!(c.country(*b"IQ").unwrap(), &[(0, 1), (60, 0), (120, 1)]);
+    }
+
+    #[test]
+    fn unknown_prefix_geolocates_by_origin() {
+        let g = geo(&[("10.0.0.0/8", *b"IQ", 50)]);
+        // 10.5.0.0/16 not in map, origin 50 → IQ.
+        assert_eq!(g.country_of(&p("10.5.0.0/16"), Some(Asn(50))), Some(*b"IQ"));
+        assert_eq!(g.country_of(&p("10.5.0.0/16"), Some(Asn(99))), None);
+    }
+}

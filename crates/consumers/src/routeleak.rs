@@ -1,0 +1,394 @@
+//! Route-leak detection — one of the §6.2 applications of the
+//! continuously updated global view ("verifying the occurrence of a
+//! route leak").
+//!
+//! A route leak (RFC 7908) is the propagation of an announcement
+//! beyond its intended scope — canonically, a multi-homed customer
+//! re-exporting routes learned from one provider/peer to another
+//! provider/peer. In relationship terms, a leaked path violates the
+//! Gao–Rexford *valley-free* property: read in propagation order
+//! (origin → vantage point), a valid path climbs zero or more
+//! customer→provider links, crosses at most one peer link, then
+//! descends provider→customer links. Any "valley" (descend then climb)
+//! or second peer crossing marks the AS at the turning point as the
+//! leaker.
+//!
+//! The detector consumes reconstructed routing-table diffs from the
+//! queue — it needs full AS paths, which the RT plugin's diff cells
+//! carry — and judges each changed cell against a relationship oracle.
+
+use std::collections::{HashMap, HashSet};
+
+use bgp_types::{AsPath, Asn, Prefix};
+use corsaro::codec::RtMessage;
+use mq::Cluster;
+use topology::model::Topology;
+
+/// Directed relationship of one AS toward a neighbor.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RelKind {
+    /// The first AS is a customer of the second.
+    C2p,
+    /// Settlement-free peers.
+    P2p,
+    /// The first AS is a provider of the second.
+    P2c,
+}
+
+/// AS-relationship oracle: directed link → relationship.
+///
+/// Built from ground truth (the simulator's topology) or inferred
+/// data (CAIDA AS-relationships in the real deployment — the paper
+/// cites the inference work it would use [34,43]).
+#[derive(Clone, Default, Debug)]
+pub struct RelOracle {
+    rels: HashMap<(Asn, Asn), RelKind>,
+}
+
+impl RelOracle {
+    /// An empty oracle (every link unknown).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `customer` buying transit from `provider` (both
+    /// directions are derived).
+    pub fn add_c2p(&mut self, customer: Asn, provider: Asn) {
+        self.rels.insert((customer, provider), RelKind::C2p);
+        self.rels.insert((provider, customer), RelKind::P2c);
+    }
+
+    /// Record a settlement-free peering.
+    pub fn add_p2p(&mut self, a: Asn, b: Asn) {
+        self.rels.insert((a, b), RelKind::P2p);
+        self.rels.insert((b, a), RelKind::P2p);
+    }
+
+    /// The relationship of `a` toward `b`, if known.
+    pub fn rel(&self, a: Asn, b: Asn) -> Option<RelKind> {
+        self.rels.get(&(a, b)).copied()
+    }
+
+    /// Number of directed entries.
+    pub fn len(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Whether the oracle is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rels.is_empty()
+    }
+
+    /// Ground-truth oracle from the simulated topology.
+    pub fn from_topology(topo: &Topology) -> Self {
+        let mut o = RelOracle::new();
+        for node in &topo.nodes {
+            for &ci in &node.customers {
+                o.add_c2p(topo.nodes[ci as usize].asn, node.asn);
+            }
+            for &pi in &node.peers {
+                o.add_p2p(node.asn, topo.nodes[pi as usize].asn);
+            }
+        }
+        o
+    }
+}
+
+/// The verdict on one path.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PathVerdict {
+    /// Consistent with valley-free export policies.
+    ValleyFree,
+    /// Valley or multi-peer crossing: the ASN at the turning point.
+    Leak(Asn),
+    /// A link's relationship is unknown; no judgement.
+    Unknown,
+}
+
+/// Judge a VP-to-origin AS path against the oracle.
+///
+/// `hops` is in path order: `hops[0]` is the VP's AS, `hops.last()`
+/// the origin. Consecutive duplicate hops (prepending) are collapsed
+/// before judging.
+pub fn judge_path(oracle: &RelOracle, hops: &[Asn]) -> PathVerdict {
+    let mut dedup: Vec<Asn> = Vec::with_capacity(hops.len());
+    for &h in hops {
+        if dedup.last() != Some(&h) {
+            dedup.push(h);
+        }
+    }
+    if dedup.len() < 3 {
+        // A direct customer/peer/provider announcement cannot leak.
+        return PathVerdict::ValleyFree;
+    }
+    // Propagation order: origin first.
+    dedup.reverse();
+    // Phases: 0 = climbing (c2p), 1 = crossed the single peer link,
+    // 2 = descending (p2c).
+    let mut phase = 0u8;
+    for w in dedup.windows(2) {
+        let (from, to) = (w[0], w[1]);
+        let Some(rel) = oracle.rel(from, to) else {
+            return PathVerdict::Unknown;
+        };
+        match (phase, rel) {
+            (0, RelKind::C2p) => {}
+            (0, RelKind::P2p) => phase = 1,
+            (0, RelKind::P2c) => phase = 2,
+            // After the peak, any climb or new peer link is a valley;
+            // `from` is the AS that exported beyond its scope.
+            (_, RelKind::C2p) | (_, RelKind::P2p) => {
+                return PathVerdict::Leak(from);
+            }
+            (_, RelKind::P2c) => phase = 2,
+        }
+    }
+    PathVerdict::ValleyFree
+}
+
+/// One detected leak event.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LeakAlarm {
+    /// Collector whose view exposed the leak.
+    pub collector: String,
+    /// Time bin of the offending diff.
+    pub bin: u64,
+    /// VP that received the leaked route.
+    pub vp: Asn,
+    /// Leaked prefix.
+    pub prefix: Prefix,
+    /// The AS judged to have leaked.
+    pub leaker: Asn,
+    /// The offending path.
+    pub path: AsPath,
+}
+
+/// Consumes RT diffs and raises [`LeakAlarm`]s.
+pub struct LeakDetector {
+    oracle: RelOracle,
+    /// Dedup: a (leaker, prefix) pair alarms once until it heals.
+    active: HashSet<(Asn, Prefix)>,
+    alarms: Vec<LeakAlarm>,
+    paths_judged: u64,
+    unknown_paths: u64,
+}
+
+impl LeakDetector {
+    /// A detector over a relationship oracle.
+    pub fn new(oracle: RelOracle) -> Self {
+        LeakDetector {
+            oracle,
+            active: HashSet::new(),
+            alarms: Vec::new(),
+            paths_judged: 0,
+            unknown_paths: 0,
+        }
+    }
+
+    /// Apply one RT message; newly raised alarms are appended to
+    /// [`LeakDetector::alarms`].
+    pub fn apply(&mut self, msg: &RtMessage) {
+        let (collector, bin, cells) = match msg {
+            RtMessage::Full { collector, bin, cells }
+            | RtMessage::Diff { collector, bin, cells } => (collector, *bin, cells),
+        };
+        for cell in cells {
+            let Some(path) = &cell.path else {
+                // Withdrawal: any active leak of this prefix heals.
+                self.active.retain(|(_, p)| p != &cell.prefix);
+                continue;
+            };
+            self.paths_judged += 1;
+            let hops: Vec<Asn> = path.asns().collect();
+            match judge_path(&self.oracle, &hops) {
+                PathVerdict::ValleyFree => {}
+                PathVerdict::Unknown => self.unknown_paths += 1,
+                PathVerdict::Leak(leaker) => {
+                    if self.active.insert((leaker, cell.prefix)) {
+                        self.alarms.push(LeakAlarm {
+                            collector: collector.clone(),
+                            bin,
+                            vp: cell.vp,
+                            prefix: cell.prefix,
+                            leaker,
+                            path: path.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drain the `rt.tables` topic for `group`, applying all messages.
+    pub fn consume(&mut self, mq: &Cluster, group: &str) -> u64 {
+        crate::drain_rt(mq, group, |msg| self.apply(msg))
+    }
+
+    /// Alarms raised so far.
+    pub fn alarms(&self) -> &[LeakAlarm] {
+        &self.alarms
+    }
+
+    /// Paths judged and paths skipped for unknown relationships.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.paths_judged, self.unknown_paths)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corsaro::codec::DiffCell;
+
+    fn a(n: u32) -> Asn {
+        Asn(n)
+    }
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    /// Oracle: 1 and 2 are Tier-1 peers; 1 is provider of 11 and 12;
+    /// 2 is provider of 12 (12 is multi-homed) and 22.
+    fn oracle() -> RelOracle {
+        let mut o = RelOracle::new();
+        o.add_p2p(a(1), a(2));
+        o.add_c2p(a(11), a(1));
+        o.add_c2p(a(12), a(1));
+        o.add_c2p(a(12), a(2));
+        o.add_c2p(a(22), a(2));
+        o
+    }
+
+    #[test]
+    fn normal_transit_paths_are_valley_free() {
+        let o = oracle();
+        // VP 11 ← 1 ← 12: up from 12 to 1, down to 11.
+        assert_eq!(judge_path(&o, &[a(11), a(1), a(12)]), PathVerdict::ValleyFree);
+        // Across the peering: 11 ← 1 ↔ 2 ← 22.
+        assert_eq!(
+            judge_path(&o, &[a(11), a(1), a(2), a(22)]),
+            PathVerdict::ValleyFree
+        );
+    }
+
+    #[test]
+    fn multihomed_customer_leaking_between_providers() {
+        let o = oracle();
+        // 22 ← 2 ← 12 ← 1: AS12 learned from provider 1 and re-exported
+        // to provider 2 — the canonical leak, turning point 12.
+        assert_eq!(
+            judge_path(&o, &[a(22), a(2), a(12), a(1)]),
+            PathVerdict::Leak(a(12))
+        );
+    }
+
+    #[test]
+    fn double_peer_crossing_is_a_leak() {
+        let mut o = oracle();
+        o.add_p2p(a(2), a(3));
+        o.add_c2p(a(33), a(3));
+        // 33 ← 3 ↔ 2 ↔ 1 …: AS2 carried a peer route to another peer.
+        assert_eq!(
+            judge_path(&o, &[a(33), a(3), a(2), a(1), a(11)]),
+            PathVerdict::Leak(a(2))
+        );
+    }
+
+    #[test]
+    fn prepending_does_not_confuse_judgement() {
+        let o = oracle();
+        assert_eq!(
+            judge_path(&o, &[a(11), a(1), a(1), a(1), a(12)]),
+            PathVerdict::ValleyFree
+        );
+    }
+
+    #[test]
+    fn unknown_relationship_gives_no_verdict() {
+        let o = oracle();
+        assert_eq!(judge_path(&o, &[a(11), a(1), a(99)]), PathVerdict::Unknown);
+    }
+
+    #[test]
+    fn short_paths_cannot_leak() {
+        let o = oracle();
+        assert_eq!(judge_path(&o, &[a(11), a(1)]), PathVerdict::ValleyFree);
+        assert_eq!(judge_path(&o, &[a(11)]), PathVerdict::ValleyFree);
+        assert_eq!(judge_path(&o, &[]), PathVerdict::ValleyFree);
+    }
+
+    fn leak_cell() -> DiffCell {
+        DiffCell {
+            vp: a(22),
+            prefix: p("10.0.0.0/8"),
+            path: Some(AsPath::from_sequence([22, 2, 12, 1])),
+        }
+    }
+
+    #[test]
+    fn detector_raises_and_dedups_alarms() {
+        let mut d = LeakDetector::new(oracle());
+        let msg = RtMessage::Diff {
+            collector: "rrc00".into(),
+            bin: 60,
+            cells: vec![leak_cell()],
+        };
+        d.apply(&msg);
+        d.apply(&msg); // same leak again: deduped
+        assert_eq!(d.alarms().len(), 1);
+        let alarm = &d.alarms()[0];
+        assert_eq!(alarm.leaker, a(12));
+        assert_eq!(alarm.prefix, p("10.0.0.0/8"));
+        assert_eq!(alarm.collector, "rrc00");
+    }
+
+    #[test]
+    fn withdrawal_heals_and_rearms() {
+        let mut d = LeakDetector::new(oracle());
+        let leak = RtMessage::Diff {
+            collector: "rrc00".into(),
+            bin: 60,
+            cells: vec![leak_cell()],
+        };
+        let heal = RtMessage::Diff {
+            collector: "rrc00".into(),
+            bin: 120,
+            cells: vec![DiffCell { vp: a(22), prefix: p("10.0.0.0/8"), path: None }],
+        };
+        d.apply(&leak);
+        d.apply(&heal);
+        d.apply(&leak);
+        assert_eq!(d.alarms().len(), 2, "re-leak after heal re-alarms");
+    }
+
+    #[test]
+    fn consume_via_queue() {
+        let mq = Cluster::shared();
+        let msg = RtMessage::Diff {
+            collector: "rrc00".into(),
+            bin: 60,
+            cells: vec![leak_cell()],
+        };
+        mq.produce("rt.tables", "rrc00", 0, msg.encode());
+        let mut d = LeakDetector::new(oracle());
+        assert_eq!(d.consume(&mq, "leak-test"), 1);
+        assert_eq!(d.alarms().len(), 1);
+        assert_eq!(d.consume(&mq, "leak-test"), 0);
+    }
+
+    #[test]
+    fn oracle_from_topology_is_symmetric() {
+        let topo = topology::gen::generate(&topology::gen::TopologyConfig::tiny(7));
+        let o = RelOracle::from_topology(&topo);
+        assert!(!o.is_empty());
+        for ((x, y), k) in o.rels.iter() {
+            let back = o.rel(*y, *x).unwrap();
+            match k {
+                RelKind::C2p => assert_eq!(back, RelKind::P2c),
+                RelKind::P2c => assert_eq!(back, RelKind::C2p),
+                RelKind::P2p => assert_eq!(back, RelKind::P2p),
+            }
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! AS-path regular expressions.
+//!
+//! libBGPStream's `aspath` filter accepts BGP-style path regexes
+//! (`^174`, `_3356_`, `1299$`, …). We implement the same idea over
+//! *tokenized* paths: a pattern is a sequence of elements matched
+//! against the path's ASN tokens, with optional start/end anchors.
+//!
+//! Grammar (whitespace- or `_`-separated tokens):
+//!
+//! * `^`      — anchor at the first hop (must be the first token);
+//! * `$`      — anchor at the origin (must be the last token);
+//! * `1234`   — a literal ASN;
+//! * `?`      — any single ASN;
+//! * `*`      — any (possibly empty) run of ASNs.
+//!
+//! In classic BGP regexps `_` is the token separator, so `_3356_`
+//! ("paths through AS3356") parses here to the unanchored single-token
+//! pattern `3356`, which matches anywhere in the path — the same
+//! semantics.
+//!
+//! Matching is the standard linear-time two-pointer algorithm for
+//! glob-like patterns (a `*` needs only its last backtrack point), so
+//! adversarial patterns cannot blow up filtering cost — a requirement
+//! for a filter applied to every elem of a live stream.
+
+use bgp_types::{AsPath, Asn};
+
+/// One element of a compiled pattern.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Elem {
+    /// A literal ASN.
+    Literal(u32),
+    /// Any single ASN (`?`).
+    AnyOne,
+    /// Any run of ASNs (`*`).
+    AnyRun,
+}
+
+/// Errors from [`AsPathRegex::parse`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PatternError {
+    /// The pattern contains no tokens.
+    Empty,
+    /// `^` appeared anywhere but the start.
+    MisplacedStartAnchor,
+    /// `$` appeared anywhere but the end.
+    MisplacedEndAnchor,
+    /// A token was neither an ASN, `?`, nor `*`.
+    BadToken(String),
+}
+
+impl std::fmt::Display for PatternError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PatternError::Empty => write!(f, "empty AS-path pattern"),
+            PatternError::MisplacedStartAnchor => write!(f, "'^' must start the pattern"),
+            PatternError::MisplacedEndAnchor => write!(f, "'$' must end the pattern"),
+            PatternError::BadToken(t) => write!(f, "bad AS-path pattern token {t:?}"),
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+/// A compiled AS-path pattern.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AsPathRegex {
+    anchored_start: bool,
+    anchored_end: bool,
+    elems: Vec<Elem>,
+}
+
+impl AsPathRegex {
+    /// Compile a pattern string.
+    pub fn parse(pattern: &str) -> Result<AsPathRegex, PatternError> {
+        let mut s = pattern.trim();
+        let mut anchored_start = false;
+        let mut anchored_end = false;
+        if let Some(rest) = s.strip_prefix('^') {
+            anchored_start = true;
+            s = rest;
+        }
+        if let Some(rest) = s.strip_suffix('$') {
+            anchored_end = true;
+            s = rest;
+        }
+        if s.contains('^') {
+            return Err(PatternError::MisplacedStartAnchor);
+        }
+        if s.contains('$') {
+            return Err(PatternError::MisplacedEndAnchor);
+        }
+        let mut elems = Vec::new();
+        for tok in s.split(|c: char| c.is_whitespace() || c == '_').filter(|t| !t.is_empty()) {
+            let elem = match tok {
+                "?" => Elem::AnyOne,
+                "*" => Elem::AnyRun,
+                t => Elem::Literal(
+                    t.parse::<u32>().map_err(|_| PatternError::BadToken(t.to_string()))?,
+                ),
+            };
+            // Collapse adjacent runs: "* *" ≡ "*".
+            if elem == Elem::AnyRun && elems.last() == Some(&Elem::AnyRun) {
+                continue;
+            }
+            elems.push(elem);
+        }
+        if elems.is_empty() && !anchored_start && !anchored_end {
+            return Err(PatternError::Empty);
+        }
+        Ok(AsPathRegex { anchored_start, anchored_end, elems })
+    }
+
+    /// Whether the pattern matches a tokenized path.
+    ///
+    /// An unanchored pattern matches if it matches any substring of
+    /// the token sequence (classic regex "search" semantics).
+    pub fn matches_tokens(&self, tokens: &[u32]) -> bool {
+        // Normalize to a fully-anchored glob match by padding with
+        // implicit `*` on unanchored sides.
+        let mut pat: Vec<Elem> = Vec::with_capacity(self.elems.len() + 2);
+        if !self.anchored_start {
+            pat.push(Elem::AnyRun);
+        }
+        pat.extend_from_slice(&self.elems);
+        if !self.anchored_end && pat.last() != Some(&Elem::AnyRun) {
+            pat.push(Elem::AnyRun);
+        }
+        glob_match(&pat, tokens)
+    }
+
+    /// Whether the pattern matches an [`AsPath`]. `AS_SET` segments
+    /// contribute each member as a token alternative: a literal
+    /// matches if *any* set member equals it (the conventional
+    /// interpretation — a set hop "contains" all its ASes).
+    pub fn matches_path(&self, path: &AsPath) -> bool {
+        let has_set =
+            path.segments().iter().any(|s| matches!(s, bgp_types::AsPathSegment::Set(_)));
+        if !has_set {
+            // Fast path: pure-sequence paths (the overwhelming
+            // majority).
+            let tokens: Vec<u32> = path.asns().map(|asn| asn.0).collect();
+            return self.matches_tokens(&tokens);
+        }
+        // Set-aware matching: an AS_SET is one hop whose token can be
+        // any member; sets are rare and small, so exact recursive
+        // expansion over set hops is affordable.
+        let mut hops: Vec<Vec<u32>> = Vec::new();
+        for seg in path.segments() {
+            match seg {
+                bgp_types::AsPathSegment::Sequence(v) => {
+                    hops.extend(v.iter().map(|a| vec![a.0]));
+                }
+                bgp_types::AsPathSegment::Set(v) => {
+                    hops.push(v.iter().map(|a| a.0).collect());
+                }
+            }
+        }
+        let mut chosen: Vec<u32> = Vec::with_capacity(hops.len());
+        self.try_expansion(&hops, 0, &mut chosen)
+    }
+
+    fn try_expansion(&self, hops: &[Vec<u32>], idx: usize, chosen: &mut Vec<u32>) -> bool {
+        if idx == hops.len() {
+            return self.matches_tokens(chosen);
+        }
+        for &alt in &hops[idx] {
+            chosen.push(alt);
+            if self.try_expansion(hops, idx + 1, chosen) {
+                chosen.pop();
+                return true;
+            }
+            chosen.pop();
+        }
+        false
+    }
+
+    /// Convenience: does any ASN literal of the pattern equal `asn`?
+    /// (Used to pre-filter with cheaper membership tests.)
+    pub fn mentions(&self, asn: Asn) -> bool {
+        self.elems.contains(&Elem::Literal(asn.0))
+    }
+}
+
+/// Linear-time glob match of `pat` (anchored both ends) on `toks`.
+fn glob_match(pat: &[Elem], toks: &[u32]) -> bool {
+    let (mut p, mut t) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None; // (pat idx after *, tok idx)
+    while t < toks.len() {
+        match pat.get(p) {
+            Some(Elem::Literal(l)) if *l == toks[t] => {
+                p += 1;
+                t += 1;
+            }
+            Some(Elem::AnyOne) => {
+                p += 1;
+                t += 1;
+            }
+            Some(Elem::AnyRun) => {
+                star = Some((p + 1, t));
+                p += 1;
+            }
+            _ => match star {
+                // Backtrack: let the last * swallow one more token.
+                Some((sp, st)) => {
+                    p = sp;
+                    t = st + 1;
+                    star = Some((sp, st + 1));
+                }
+                None => return false,
+            },
+        }
+    }
+    while pat.get(p) == Some(&Elem::AnyRun) {
+        p += 1;
+    }
+    p == pat.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn re(s: &str) -> AsPathRegex {
+        AsPathRegex::parse(s).unwrap()
+    }
+
+    #[test]
+    fn literal_substring_search() {
+        let r = re("3356");
+        assert!(r.matches_tokens(&[174, 3356, 137]));
+        assert!(r.matches_tokens(&[3356]));
+        assert!(!r.matches_tokens(&[174, 137]));
+        assert!(!r.matches_tokens(&[]));
+    }
+
+    #[test]
+    fn underscore_form() {
+        // `_3356_` — classic "paths through AS3356".
+        let r = re("_3356_");
+        assert!(r.matches_tokens(&[174, 3356, 137]));
+        assert!(!r.matches_tokens(&[174, 33560, 137]));
+    }
+
+    #[test]
+    fn start_anchor_is_first_hop() {
+        let r = re("^174");
+        assert!(r.matches_tokens(&[174, 3356, 137]));
+        assert!(!r.matches_tokens(&[3356, 174, 137]));
+    }
+
+    #[test]
+    fn end_anchor_is_origin() {
+        let r = re("137$");
+        assert!(r.matches_tokens(&[174, 3356, 137]));
+        assert!(!r.matches_tokens(&[137, 3356]));
+    }
+
+    #[test]
+    fn fully_anchored_exact_path() {
+        let r = re("^174 3356 137$");
+        assert!(r.matches_tokens(&[174, 3356, 137]));
+        assert!(!r.matches_tokens(&[174, 3356, 3356, 137]));
+    }
+
+    #[test]
+    fn wildcards() {
+        let r = re("^174 ? 137$");
+        assert!(r.matches_tokens(&[174, 3356, 137]));
+        assert!(!r.matches_tokens(&[174, 137]));
+        let r = re("^174 * 137$");
+        assert!(r.matches_tokens(&[174, 137]));
+        assert!(r.matches_tokens(&[174, 1, 2, 3, 137]));
+        assert!(!r.matches_tokens(&[1, 174, 137]));
+    }
+
+    #[test]
+    fn consecutive_hops_pattern() {
+        // Adjacency search: does the path contain the link 174-3356?
+        let r = re("174 3356");
+        assert!(r.matches_tokens(&[9, 174, 3356, 137]));
+        assert!(!r.matches_tokens(&[174, 9, 3356]));
+    }
+
+    #[test]
+    fn empty_tokens_with_star_only() {
+        let r = re("*");
+        assert!(r.matches_tokens(&[]));
+        assert!(r.matches_tokens(&[1, 2]));
+    }
+
+    #[test]
+    fn anchors_only_matches_everything_like_empty_bounds() {
+        // "^$" is the empty path.
+        let r = re("^$");
+        assert!(r.matches_tokens(&[]));
+        assert!(!r.matches_tokens(&[1]));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(AsPathRegex::parse(""), Err(PatternError::Empty));
+        assert_eq!(AsPathRegex::parse("   "), Err(PatternError::Empty));
+        assert!(matches!(AsPathRegex::parse("17x4"), Err(PatternError::BadToken(_))));
+        assert!(matches!(
+            AsPathRegex::parse("174 ^ 137"),
+            Err(PatternError::MisplacedStartAnchor)
+        ));
+        assert!(matches!(
+            AsPathRegex::parse("174 $ 137"),
+            Err(PatternError::MisplacedEndAnchor)
+        ));
+    }
+
+    #[test]
+    fn star_collapsing() {
+        let a = re("174 * * 137");
+        let b = re("174 * 137");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn linear_time_on_adversarial_input() {
+        // Classic exponential-backtracking killer: many stars against
+        // a long non-matching input. Must return quickly.
+        let r = re("* 1 * 2 * 3 * 4 * 5 * 99");
+        let toks: Vec<u32> = (0..10_000).map(|i| i % 6).collect();
+        assert!(!r.matches_tokens(&toks));
+    }
+
+    #[test]
+    fn mentions() {
+        let r = re("^174 * 137$");
+        assert!(r.mentions(Asn(174)));
+        assert!(r.mentions(Asn(137)));
+        assert!(!r.mentions(Asn(3356)));
+    }
+}

@@ -1,0 +1,330 @@
+//! Elem-level stream filters.
+//!
+//! Meta-data filters (project, collector, dump type, time) select
+//! *files* and are pushed down into the broker query; the filters here
+//! select *elems* within records: peer ASN, prefix (with the four
+//! match modes of libBGPStream), communities (with wildcards, as used
+//! by the RTBH case study to match any `*:666`), and elem type.
+
+use std::collections::HashSet;
+
+use bgp_types::trie::PrefixMatch;
+use bgp_types::{Asn, Prefix};
+
+use crate::aspath_re::AsPathRegex;
+use crate::elem::{BgpStreamElem, ElemType};
+
+/// Address-family constraint (`ipversion` filter term).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum IpVersion {
+    /// IPv4 prefixes only.
+    V4,
+    /// IPv6 prefixes only.
+    V6,
+}
+
+impl IpVersion {
+    fn admits(self, p: &Prefix) -> bool {
+        match self {
+            IpVersion::V4 => p.is_ipv4(),
+            IpVersion::V6 => !p.is_ipv4(),
+        }
+    }
+}
+
+/// A community filter with optional wildcards on either half: e.g.
+/// `(None, Some(666))` matches any black-holing community `*:666`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CommunityFilter {
+    /// Required AS identifier half; `None` = any.
+    pub asn: Option<u16>,
+    /// Required value half; `None` = any.
+    pub value: Option<u16>,
+}
+
+impl CommunityFilter {
+    /// Match any community whose value half is `value`.
+    pub fn any_asn(value: u16) -> Self {
+        CommunityFilter { asn: None, value: Some(value) }
+    }
+
+    /// Match an exact `asn:value` community.
+    pub fn exact(asn: u16, value: u16) -> Self {
+        CommunityFilter { asn: Some(asn), value: Some(value) }
+    }
+
+    /// Whether one community matches.
+    pub fn matches(&self, c: &bgp_types::Community) -> bool {
+        self.asn.is_none_or(|a| a == c.asn) && self.value.is_none_or(|v| v == c.value)
+    }
+}
+
+/// The elem-level filter set. Empty collections mean "no constraint".
+#[derive(Clone, Debug, Default)]
+pub struct Filters {
+    /// Accepted VP AS numbers.
+    pub peer_asns: HashSet<Asn>,
+    /// Prefix constraints (an elem passes if it matches *any*).
+    pub prefixes: Vec<(Prefix, PrefixMatch)>,
+    /// Community constraints (an elem passes if any community matches
+    /// any filter). Elems without communities fail when this is
+    /// non-empty.
+    pub communities: Vec<CommunityFilter>,
+    /// Accepted elem types.
+    pub elem_types: HashSet<ElemType>,
+    /// AS-path regex constraints (an elem passes if its path matches
+    /// *any* pattern). Like community filters, withdrawals and state
+    /// messages are exempt — they carry no path.
+    pub as_paths: Vec<AsPathRegex>,
+    /// Address-family constraint on the prefix.
+    pub ip_version: Option<IpVersion>,
+}
+
+impl Filters {
+    /// No constraints: everything passes.
+    pub fn none() -> Self {
+        Filters::default()
+    }
+
+    /// Whether an elem passes all configured constraints.
+    ///
+    /// Withdrawals and state messages carry no communities or paths;
+    /// they are exempt from community filters *if* they pass the
+    /// prefix filter (withdrawals) — matching libBGPStream, which
+    /// keeps withdrawal visibility when filtering on announcements'
+    /// attributes would otherwise hide route removal.
+    pub fn matches(&self, elem: &BgpStreamElem) -> bool {
+        if !self.elem_types.is_empty() && !self.elem_types.contains(&elem.elem_type) {
+            return false;
+        }
+        if !self.peer_asns.is_empty() && !self.peer_asns.contains(&elem.peer_asn) {
+            return false;
+        }
+        if !self.prefixes.is_empty() {
+            let Some(p) = &elem.prefix else {
+                // Prefix filters exclude prefix-less elems (state msgs)
+                // only when the filter is the sole way to scope the
+                // stream; state messages always pass prefix filters.
+                return elem.elem_type == ElemType::PeerState && self.passes_non_prefix(elem);
+            };
+            let hit = self.prefixes.iter().any(|(f, mode)| match mode {
+                PrefixMatch::Exact => f == p,
+                PrefixMatch::MoreSpecific => f.contains(p),
+                PrefixMatch::LessSpecific => p.contains(f),
+                PrefixMatch::Any => f.overlaps(p),
+            });
+            if !hit {
+                return false;
+            }
+        }
+        if !self.communities.is_empty() {
+            match (&elem.communities, elem.elem_type) {
+                // Withdrawals pass community filters (no attributes to
+                // test) so that black-holed-prefix withdrawals remain
+                // visible (§4.3 second stream).
+                (_, ElemType::Withdrawal) | (_, ElemType::PeerState) => {}
+                (Some(cs), _) => {
+                    let hit = cs.iter().any(|c| self.communities.iter().any(|f| f.matches(c)));
+                    if !hit {
+                        return false;
+                    }
+                }
+                (None, _) => return false,
+            }
+        }
+        if !self.as_paths.is_empty() {
+            match (&elem.as_path, elem.elem_type) {
+                // Same exemption rationale as community filters.
+                (_, ElemType::Withdrawal) | (_, ElemType::PeerState) => {}
+                (Some(path), _) => {
+                    if !self.as_paths.iter().any(|r| r.matches_path(path)) {
+                        return false;
+                    }
+                }
+                (None, _) => return false,
+            }
+        }
+        if let Some(v) = self.ip_version {
+            // Prefix-less elems (state messages) are family-agnostic.
+            if let Some(p) = &elem.prefix {
+                if !v.admits(p) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn passes_non_prefix(&self, elem: &BgpStreamElem) -> bool {
+        self.peer_asns.is_empty() || self.peer_asns.contains(&elem.peer_asn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::{AsPath, Community, CommunitySet, SessionState};
+    use std::net::IpAddr;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn announce(prefix: &str, comms: &[(u16, u16)]) -> BgpStreamElem {
+        BgpStreamElem {
+            elem_type: ElemType::Announcement,
+            time: 0,
+            peer_address: "192.0.2.1".parse::<IpAddr>().unwrap(),
+            peer_asn: Asn(65001),
+            prefix: Some(p(prefix)),
+            next_hop: Some("192.0.2.1".parse().unwrap()),
+            as_path: Some(AsPath::from_sequence([65001, 137])),
+            communities: Some(CommunitySet::from_iter(
+                comms.iter().map(|&(a, v)| Community::new(a, v)),
+            )),
+            old_state: None,
+            new_state: None,
+        }
+    }
+
+    fn withdrawal(prefix: &str) -> BgpStreamElem {
+        BgpStreamElem {
+            elem_type: ElemType::Withdrawal,
+            prefix: Some(p(prefix)),
+            next_hop: None,
+            as_path: None,
+            communities: None,
+            ..announce(prefix, &[])
+        }
+    }
+
+    fn state_msg() -> BgpStreamElem {
+        BgpStreamElem {
+            elem_type: ElemType::PeerState,
+            prefix: None,
+            next_hop: None,
+            as_path: None,
+            communities: None,
+            old_state: Some(SessionState::Established),
+            new_state: Some(SessionState::Idle),
+            ..announce("10.0.0.0/8", &[])
+        }
+    }
+
+    #[test]
+    fn empty_filters_pass_everything() {
+        let f = Filters::none();
+        assert!(f.matches(&announce("10.0.0.0/8", &[])));
+        assert!(f.matches(&withdrawal("10.0.0.0/8")));
+        assert!(f.matches(&state_msg()));
+    }
+
+    #[test]
+    fn peer_filter() {
+        let mut f = Filters::none();
+        f.peer_asns.insert(Asn(65001));
+        assert!(f.matches(&announce("10.0.0.0/8", &[])));
+        f.peer_asns.clear();
+        f.peer_asns.insert(Asn(9));
+        assert!(!f.matches(&announce("10.0.0.0/8", &[])));
+    }
+
+    #[test]
+    fn prefix_modes() {
+        let mut f = Filters::none();
+        f.prefixes.push((p("192.0.0.0/8"), PrefixMatch::MoreSpecific));
+        // bgpreader -k 192.0.0.0/8: subprefixes match.
+        assert!(f.matches(&announce("192.168.0.0/16", &[])));
+        assert!(f.matches(&announce("192.0.0.0/8", &[])));
+        assert!(!f.matches(&announce("10.0.0.0/8", &[])));
+
+        let mut f = Filters::none();
+        f.prefixes.push((p("192.168.1.0/24"), PrefixMatch::LessSpecific));
+        assert!(f.matches(&announce("192.168.0.0/16", &[])));
+        assert!(!f.matches(&announce("192.168.2.0/24", &[])));
+
+        let mut f = Filters::none();
+        f.prefixes.push((p("192.168.1.0/24"), PrefixMatch::Exact));
+        assert!(f.matches(&announce("192.168.1.0/24", &[])));
+        assert!(!f.matches(&announce("192.168.1.0/25", &[])));
+    }
+
+    #[test]
+    fn community_wildcard_matches_blackholes() {
+        let mut f = Filters::none();
+        f.communities.push(CommunityFilter::any_asn(666));
+        assert!(f.matches(&announce("10.0.0.0/8", &[(3356, 666)])));
+        assert!(f.matches(&announce("10.0.0.0/8", &[(174, 666), (1, 2)])));
+        assert!(!f.matches(&announce("10.0.0.0/8", &[(3356, 100)])));
+        assert!(!f.matches(&announce("10.0.0.0/8", &[])));
+    }
+
+    #[test]
+    fn community_filter_lets_withdrawals_through() {
+        let mut f = Filters::none();
+        f.communities.push(CommunityFilter::any_asn(666));
+        assert!(f.matches(&withdrawal("10.0.0.0/8")));
+    }
+
+    #[test]
+    fn elem_type_filter() {
+        let mut f = Filters::none();
+        f.elem_types.insert(ElemType::Withdrawal);
+        assert!(f.matches(&withdrawal("10.0.0.0/8")));
+        assert!(!f.matches(&announce("10.0.0.0/8", &[])));
+    }
+
+    #[test]
+    fn state_messages_pass_prefix_filters() {
+        let mut f = Filters::none();
+        f.prefixes.push((p("10.0.0.0/8"), PrefixMatch::MoreSpecific));
+        assert!(f.matches(&state_msg()));
+        // But not when a peer filter excludes them.
+        f.peer_asns.insert(Asn(42));
+        assert!(!f.matches(&state_msg()));
+    }
+
+    #[test]
+    fn aspath_filter_matches_paths() {
+        let mut f = Filters::none();
+        f.as_paths.push(AsPathRegex::parse("_137$").unwrap());
+        assert!(f.matches(&announce("10.0.0.0/8", &[]))); // path ends in 137
+        let mut f = Filters::none();
+        f.as_paths.push(AsPathRegex::parse("^9 *").unwrap());
+        assert!(!f.matches(&announce("10.0.0.0/8", &[])));
+    }
+
+    #[test]
+    fn aspath_filter_exempts_withdrawals_and_state() {
+        let mut f = Filters::none();
+        f.as_paths.push(AsPathRegex::parse("_99999_").unwrap());
+        assert!(f.matches(&withdrawal("10.0.0.0/8")));
+        assert!(f.matches(&state_msg()));
+        assert!(!f.matches(&announce("10.0.0.0/8", &[])));
+    }
+
+    #[test]
+    fn ip_version_filter() {
+        let mut f = Filters::none();
+        f.ip_version = Some(IpVersion::V4);
+        assert!(f.matches(&announce("10.0.0.0/8", &[])));
+        let mut v6 = announce("10.0.0.0/8", &[]);
+        v6.prefix = Some("2001:db8::/32".parse().unwrap());
+        assert!(!f.matches(&v6));
+        f.ip_version = Some(IpVersion::V6);
+        assert!(f.matches(&v6));
+        // State messages carry no prefix: family-agnostic.
+        assert!(f.matches(&state_msg()));
+    }
+
+    #[test]
+    fn combined_filters_are_conjunctive() {
+        let mut f = Filters::none();
+        f.peer_asns.insert(Asn(65001));
+        f.prefixes.push((p("192.0.0.0/8"), PrefixMatch::MoreSpecific));
+        f.communities.push(CommunityFilter::exact(3356, 666));
+        assert!(f.matches(&announce("192.0.2.0/24", &[(3356, 666)])));
+        assert!(!f.matches(&announce("192.0.2.0/24", &[(174, 666)])));
+        assert!(!f.matches(&announce("10.0.2.0/24", &[(3356, 666)])));
+    }
+}

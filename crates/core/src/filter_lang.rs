@@ -1,0 +1,337 @@
+//! The filter mini-language — `bgpstream_parse_filter_string`.
+//!
+//! libBGPStream (and `bgpreader -f`) accept a single string combining
+//! meta-data and elem-level filters, e.g.:
+//!
+//! ```text
+//! collector rrc00 and type updates and prefix more 192.0.0.0/8 and comm *:666
+//! ```
+//!
+//! Terms are joined by `and` (all constraints apply; repeating a term
+//! is an any-of within that term, matching [`Filters`] semantics).
+//! Values containing spaces (AS-path patterns) are double-quoted.
+//!
+//! | term | value | effect |
+//! |---|---|---|
+//! | `project`/`proj` | name | meta-data: collection project |
+//! | `collector`/`coll` | name | meta-data: collector |
+//! | `type` | `ribs` \| `updates` | meta-data: dump type |
+//! | `peer` | ASN | elem: VP AS number |
+//! | `prefix` | [`exact`\|`more`\|`less`\|`any`] CIDR | elem: prefix, default `more` (the `bgpreader -k` behaviour) |
+//! | `community`/`comm` | `asn:value`, `*` wildcards | elem: community |
+//! | `aspath` | pattern (quote if spaced) | elem: AS-path regex |
+//! | `elemtype` | `announcements` \| `withdrawals` \| `ribs` \| `peerstates` | elem: type |
+//! | `ipversion` | `4` \| `6` | elem: address family |
+
+use bgp_types::trie::PrefixMatch;
+use bgp_types::Asn;
+use broker::DumpType;
+
+use crate::aspath_re::AsPathRegex;
+use crate::elem::ElemType;
+use crate::filter::{CommunityFilter, Filters, IpVersion};
+
+/// The outcome of parsing: meta-data constraints (pushed down into the
+/// broker query) plus elem-level [`Filters`].
+#[derive(Clone, Debug, Default)]
+pub struct ParsedFilter {
+    /// Collection projects to include.
+    pub projects: Vec<String>,
+    /// Collectors to include.
+    pub collectors: Vec<String>,
+    /// Dump types to include (empty = both).
+    pub dump_types: Vec<DumpType>,
+    /// Elem-level filters.
+    pub filters: Filters,
+}
+
+/// Errors from [`parse_filter_string`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FilterLangError {
+    /// A term keyword we do not know.
+    UnknownTerm(String),
+    /// A term missing its value.
+    MissingValue(&'static str),
+    /// A malformed value for a term.
+    BadValue(&'static str, String),
+    /// An unterminated double quote.
+    UnterminatedQuote,
+    /// Expected `and` between terms.
+    ExpectedAnd(String),
+}
+
+impl std::fmt::Display for FilterLangError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FilterLangError::UnknownTerm(t) => write!(f, "unknown filter term {t:?}"),
+            FilterLangError::MissingValue(t) => write!(f, "filter term {t} needs a value"),
+            FilterLangError::BadValue(t, v) => write!(f, "bad {t} value {v:?}"),
+            FilterLangError::UnterminatedQuote => write!(f, "unterminated quote"),
+            FilterLangError::ExpectedAnd(t) => {
+                write!(f, "expected 'and' between terms, found {t:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FilterLangError {}
+
+/// Split the input into tokens, honouring double quotes.
+fn tokenize(input: &str) -> Result<Vec<String>, FilterLangError> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c == '"' {
+            chars.next();
+            let mut tok = String::new();
+            loop {
+                match chars.next() {
+                    Some('"') => break,
+                    Some(ch) => tok.push(ch),
+                    None => return Err(FilterLangError::UnterminatedQuote),
+                }
+            }
+            tokens.push(tok);
+        } else {
+            let mut tok = String::new();
+            while let Some(&ch) = chars.peek() {
+                if ch.is_whitespace() {
+                    break;
+                }
+                tok.push(ch);
+                chars.next();
+            }
+            tokens.push(tok);
+        }
+    }
+    Ok(tokens)
+}
+
+/// Parse a filter string into meta-data constraints and elem filters.
+pub fn parse_filter_string(input: &str) -> Result<ParsedFilter, FilterLangError> {
+    let tokens = tokenize(input)?;
+    let mut out = ParsedFilter::default();
+    let mut i = 0;
+    let mut first = true;
+    while i < tokens.len() {
+        if !first {
+            if !tokens[i].eq_ignore_ascii_case("and") {
+                return Err(FilterLangError::ExpectedAnd(tokens[i].clone()));
+            }
+            i += 1;
+        }
+        first = false;
+        let Some(term) = tokens.get(i) else { break };
+        i += 1;
+        let mut value = |what: &'static str| -> Result<String, FilterLangError> {
+            let v = tokens.get(i).cloned().ok_or(FilterLangError::MissingValue(what))?;
+            i += 1;
+            Ok(v)
+        };
+        match term.to_ascii_lowercase().as_str() {
+            "project" | "proj" => out.projects.push(value("project")?),
+            "collector" | "coll" => out.collectors.push(value("collector")?),
+            "type" => {
+                let v = value("type")?;
+                let ty = match v.to_ascii_lowercase().as_str() {
+                    "ribs" | "rib" => DumpType::Rib,
+                    "updates" => DumpType::Updates,
+                    _ => return Err(FilterLangError::BadValue("type", v)),
+                };
+                out.dump_types.push(ty);
+            }
+            "peer" => {
+                let v = value("peer")?;
+                let asn =
+                    v.parse::<u32>().map_err(|_| FilterLangError::BadValue("peer", v))?;
+                out.filters.peer_asns.insert(Asn(asn));
+            }
+            "prefix" => {
+                let v = value("prefix")?;
+                let (mode, pfx_str) = match v.to_ascii_lowercase().as_str() {
+                    "exact" => (PrefixMatch::Exact, value("prefix")?),
+                    "more" => (PrefixMatch::MoreSpecific, value("prefix")?),
+                    "less" => (PrefixMatch::LessSpecific, value("prefix")?),
+                    "any" => (PrefixMatch::Any, value("prefix")?),
+                    _ => (PrefixMatch::MoreSpecific, v),
+                };
+                let pfx = pfx_str
+                    .parse()
+                    .map_err(|_| FilterLangError::BadValue("prefix", pfx_str))?;
+                out.filters.prefixes.push((pfx, mode));
+            }
+            "community" | "comm" => {
+                let v = value("community")?;
+                let Some((a, b)) = v.split_once(':') else {
+                    return Err(FilterLangError::BadValue("community", v));
+                };
+                let asn = match a {
+                    "*" => None,
+                    _ => Some(
+                        a.parse::<u16>()
+                            .map_err(|_| FilterLangError::BadValue("community", v.clone()))?,
+                    ),
+                };
+                let val = match b {
+                    "*" => None,
+                    _ => Some(
+                        b.parse::<u16>()
+                            .map_err(|_| FilterLangError::BadValue("community", v.clone()))?,
+                    ),
+                };
+                out.filters.communities.push(CommunityFilter { asn, value: val });
+            }
+            "aspath" => {
+                let v = value("aspath")?;
+                let re = AsPathRegex::parse(&v)
+                    .map_err(|_| FilterLangError::BadValue("aspath", v))?;
+                out.filters.as_paths.push(re);
+            }
+            "elemtype" => {
+                let v = value("elemtype")?;
+                let ty = match v.to_ascii_lowercase().as_str() {
+                    "announcements" | "announcement" | "a" => ElemType::Announcement,
+                    "withdrawals" | "withdrawal" | "w" => ElemType::Withdrawal,
+                    "ribs" | "rib" | "r" => ElemType::RibEntry,
+                    "peerstates" | "peerstate" | "s" => ElemType::PeerState,
+                    _ => return Err(FilterLangError::BadValue("elemtype", v)),
+                };
+                out.filters.elem_types.insert(ty);
+            }
+            "ipversion" => {
+                let v = value("ipversion")?;
+                out.filters.ip_version = Some(match v.as_str() {
+                    "4" => IpVersion::V4,
+                    "6" => IpVersion::V6,
+                    _ => return Err(FilterLangError::BadValue("ipversion", v)),
+                });
+            }
+            other => return Err(FilterLangError::UnknownTerm(other.to_string())),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_expression_parses() {
+        let p = parse_filter_string(
+            "collector rrc00 and type updates and prefix more 192.0.0.0/8 and comm *:666",
+        )
+        .unwrap();
+        assert_eq!(p.collectors, vec!["rrc00"]);
+        assert_eq!(p.dump_types, vec![DumpType::Updates]);
+        assert_eq!(p.filters.prefixes.len(), 1);
+        assert_eq!(p.filters.prefixes[0].1, PrefixMatch::MoreSpecific);
+        assert_eq!(p.filters.communities, vec![CommunityFilter::any_asn(666)]);
+    }
+
+    #[test]
+    fn empty_string_is_no_constraints() {
+        let p = parse_filter_string("").unwrap();
+        assert!(p.projects.is_empty());
+        assert!(p.collectors.is_empty());
+        assert!(p.dump_types.is_empty());
+    }
+
+    #[test]
+    fn repeated_terms_accumulate() {
+        let p = parse_filter_string("coll rrc00 and coll route-views2 and proj ris").unwrap();
+        assert_eq!(p.collectors, vec!["rrc00", "route-views2"]);
+        assert_eq!(p.projects, vec!["ris"]);
+    }
+
+    #[test]
+    fn prefix_modes() {
+        for (mode_str, mode) in [
+            ("exact", PrefixMatch::Exact),
+            ("more", PrefixMatch::MoreSpecific),
+            ("less", PrefixMatch::LessSpecific),
+            ("any", PrefixMatch::Any),
+        ] {
+            let p =
+                parse_filter_string(&format!("prefix {mode_str} 10.0.0.0/8")).unwrap();
+            assert_eq!(p.filters.prefixes[0].1, mode, "{mode_str}");
+        }
+        // Default mode is more-specific.
+        let p = parse_filter_string("prefix 10.0.0.0/8").unwrap();
+        assert_eq!(p.filters.prefixes[0].1, PrefixMatch::MoreSpecific);
+    }
+
+    #[test]
+    fn quoted_aspath_pattern() {
+        let p = parse_filter_string("aspath \"^174 * 137$\" and peer 25152").unwrap();
+        assert_eq!(p.filters.as_paths.len(), 1);
+        assert!(p.filters.as_paths[0].matches_tokens(&[174, 9, 137]));
+        assert!(p.filters.peer_asns.contains(&Asn(25152)));
+    }
+
+    #[test]
+    fn underscore_aspath_needs_no_quotes() {
+        let p = parse_filter_string("aspath _3356_").unwrap();
+        assert!(p.filters.as_paths[0].matches_tokens(&[1, 3356, 2]));
+    }
+
+    #[test]
+    fn elemtype_and_ipversion() {
+        let p = parse_filter_string("elemtype withdrawals and ipversion 6").unwrap();
+        assert!(p.filters.elem_types.contains(&ElemType::Withdrawal));
+        assert_eq!(p.filters.ip_version, Some(IpVersion::V6));
+    }
+
+    #[test]
+    fn community_wildcard_forms() {
+        let p = parse_filter_string("comm 3356:666").unwrap();
+        assert_eq!(p.filters.communities[0], CommunityFilter::exact(3356, 666));
+        let p = parse_filter_string("comm 3356:*").unwrap();
+        assert_eq!(p.filters.communities[0], CommunityFilter { asn: Some(3356), value: None });
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(
+            parse_filter_string("bogus x"),
+            Err(FilterLangError::UnknownTerm(_))
+        ));
+        assert!(matches!(
+            parse_filter_string("peer"),
+            Err(FilterLangError::MissingValue(_))
+        ));
+        assert!(matches!(
+            parse_filter_string("peer twelve"),
+            Err(FilterLangError::BadValue("peer", _))
+        ));
+        assert!(matches!(
+            parse_filter_string("coll rrc00 coll rrc01"),
+            Err(FilterLangError::ExpectedAnd(_))
+        ));
+        assert!(matches!(
+            parse_filter_string("aspath \"^174"),
+            Err(FilterLangError::UnterminatedQuote)
+        ));
+        assert!(matches!(
+            parse_filter_string("type weekly"),
+            Err(FilterLangError::BadValue("type", _))
+        ));
+        assert!(matches!(
+            parse_filter_string("comm 3356-666"),
+            Err(FilterLangError::BadValue("community", _))
+        ));
+        assert!(matches!(
+            parse_filter_string("ipversion 5"),
+            Err(FilterLangError::BadValue("ipversion", _))
+        ));
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let p = parse_filter_string("Collector rrc00 AND Type ribs").unwrap();
+        assert_eq!(p.collectors, vec!["rrc00"]);
+        assert_eq!(p.dump_types, vec![DumpType::Rib]);
+    }
+}

@@ -1,0 +1,139 @@
+//! The `BGPStream record` structure (§3.3.3).
+//!
+//! A record wraps one de-serialized MRT record with an error flag and
+//! annotations about the originating dump: project and collector
+//! names, dump type, the dump's nominal time, and whether the record
+//! begins/ends its dump file (so users can collate the records of a
+//! single RIB dump).
+
+use broker::DumpType;
+
+use crate::elem::BgpStreamElem;
+
+/// Validity status of a record (the paper's `status` field).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RecordStatus {
+    /// Record parsed and is usable.
+    Valid,
+    /// The dump file could not be opened at all.
+    CorruptedSource,
+    /// The dump was readable up to this point and then a corrupted
+    /// read occurred (truncation, bad framing, undecodable BGP body).
+    CorruptedRecord,
+    /// A structurally valid record of a type/subtype this build does
+    /// not interpret.
+    Unsupported,
+}
+
+impl RecordStatus {
+    /// True when the record carries usable data.
+    pub fn is_valid(self) -> bool {
+        self == RecordStatus::Valid
+    }
+}
+
+/// Position of a record within its dump file.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DumpPosition {
+    /// First record of the dump.
+    Start,
+    /// Neither first nor last.
+    Middle,
+    /// Last record of the dump.
+    End,
+    /// The dump's only record (both first and last).
+    Only,
+}
+
+impl DumpPosition {
+    /// Whether this record starts its dump file.
+    pub fn is_start(self) -> bool {
+        matches!(self, DumpPosition::Start | DumpPosition::Only)
+    }
+
+    /// Whether this record ends its dump file.
+    pub fn is_end(self) -> bool {
+        matches!(self, DumpPosition::End | DumpPosition::Only)
+    }
+}
+
+/// One annotated record of the sorted stream.
+#[derive(Clone, Debug)]
+pub struct BgpStreamRecord {
+    /// Collection project ("ris", "routeviews").
+    pub project: String,
+    /// Collector name.
+    pub collector: String,
+    /// RIB or Updates dump.
+    pub dump_type: DumpType,
+    /// Nominal time of the dump file this record came from.
+    pub dump_time: u64,
+    /// Record timestamp (from the MRT header).
+    pub timestamp: u64,
+    /// Position within the dump file.
+    pub position: DumpPosition,
+    /// Validity status.
+    pub status: RecordStatus,
+    /// The elems extracted from this record that passed the stream's
+    /// elem filters (empty for state-only or non-matching records).
+    pub(crate) elems_vec: Vec<BgpStreamElem>,
+}
+
+impl BgpStreamRecord {
+    /// Construct a record directly — used by tools and tests that
+    /// synthesise records without going through a dump file.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        project: impl Into<String>,
+        collector: impl Into<String>,
+        dump_type: DumpType,
+        dump_time: u64,
+        timestamp: u64,
+        position: DumpPosition,
+        status: RecordStatus,
+        elems: Vec<BgpStreamElem>,
+    ) -> Self {
+        BgpStreamRecord {
+            project: project.into(),
+            collector: collector.into(),
+            dump_type,
+            dump_time,
+            timestamp,
+            position,
+            status,
+            elems_vec: elems,
+        }
+    }
+
+    /// The record's elems (already filtered by the stream's filters).
+    pub fn elems(&self) -> &[BgpStreamElem] {
+        &self.elems_vec
+    }
+
+    /// Iterate over elems, consuming style used in examples.
+    pub fn into_elems(self) -> Vec<BgpStreamElem> {
+        self.elems_vec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_validity() {
+        assert!(RecordStatus::Valid.is_valid());
+        assert!(!RecordStatus::CorruptedRecord.is_valid());
+        assert!(!RecordStatus::CorruptedSource.is_valid());
+        assert!(!RecordStatus::Unsupported.is_valid());
+    }
+
+    #[test]
+    fn position_flags() {
+        assert!(DumpPosition::Start.is_start());
+        assert!(!DumpPosition::Start.is_end());
+        assert!(DumpPosition::End.is_end());
+        assert!(DumpPosition::Only.is_start() && DumpPosition::Only.is_end());
+        assert!(!DumpPosition::Middle.is_start() && !DumpPosition::Middle.is_end());
+    }
+}

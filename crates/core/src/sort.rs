@@ -1,0 +1,407 @@
+//! The sorted-stream machinery of §3.3.4.
+//!
+//! Collectors write records in dump files with monotonically
+//! increasing timestamps; additional sorting is needed when a stream
+//! mixes files with overlapping time intervals (multiple collectors,
+//! or RIBs + Updates). libBGPStream:
+//!
+//! 1. breaks the dump-file set into **disjoint subsets** by recursive
+//!    time-interval overlap ([`partition_overlap_groups`]), minimising
+//!    the number of queues each multi-way merge must handle;
+//! 2. runs a **multi-way merge** per subset ([`GroupMerger`]): all
+//!    files open simultaneously, repeatedly extracting the oldest
+//!    record and wrapping it into an annotated `BGPStream record`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fs::File;
+use std::io::BufRead;
+use std::sync::Arc;
+
+use broker::index::DumpMeta;
+use mrt::table_dump_v2::TableDumpV2;
+use mrt::{MrtBody, MrtReader, PeerIndexTable};
+
+use crate::elem::extract_elems;
+use crate::filter::Filters;
+use crate::record::{BgpStreamRecord, DumpPosition, RecordStatus};
+
+/// Partition dump files into the paper's disjoint overlap groups.
+///
+/// Two files belong to the same group if their time intervals overlap,
+/// directly or transitively. Returned groups are ordered by start
+/// time; files within a group keep a deterministic order.
+pub fn partition_overlap_groups(files: &[DumpMeta]) -> Vec<Vec<DumpMeta>> {
+    let mut sorted: Vec<DumpMeta> = files.to_vec();
+    sorted.sort_by(|a, b| {
+        (a.interval_start, &a.project, &a.collector, a.dump_type as u8).cmp(&(
+            b.interval_start,
+            &b.project,
+            &b.collector,
+            b.dump_type as u8,
+        ))
+    });
+    let mut groups: Vec<Vec<DumpMeta>> = Vec::new();
+    let mut current: Vec<DumpMeta> = Vec::new();
+    let mut current_end: u64 = 0;
+    for f in sorted {
+        if current.is_empty() {
+            current_end = f.interval_end();
+            current.push(f);
+            continue;
+        }
+        // Files are sorted by start, so transitive overlap with the
+        // group reduces to: starts strictly before the group's max
+        // end. Intervals are half-open — a file covering [0,300) and
+        // one covering [300,600) need no cross-sorting, which is what
+        // lets Figure 3's 30 minutes of data split into disjoint sets.
+        if f.interval_start < current_end {
+            current_end = current_end.max(f.interval_end());
+            current.push(f);
+        } else {
+            groups.push(std::mem::take(&mut current));
+            current_end = f.interval_end();
+            current.push(f);
+        }
+    }
+    if !current.is_empty() {
+        groups.push(current);
+    }
+    groups
+}
+
+/// One open dump file inside a merge: a streaming MRT reader plus the
+/// state needed to annotate records (peer table, position lookahead).
+struct OpenDump {
+    meta: DumpMeta,
+    reader: Option<MrtReader<std::io::BufReader<File>>>,
+    pit: Option<Arc<PeerIndexTable>>,
+    /// One-record lookahead so the last record can be flagged
+    /// `DumpPosition::End`.
+    pending: Option<BgpStreamRecord>,
+    produced: u64,
+    finished: bool,
+}
+
+impl OpenDump {
+    fn open(meta: DumpMeta, filters: &Filters) -> Self {
+        match File::open(&meta.path) {
+            Ok(f) => {
+                let mut dump = OpenDump {
+                    meta,
+                    reader: Some(MrtReader::new(std::io::BufReader::new(f))),
+                    pit: None,
+                    pending: None,
+                    produced: 0,
+                    finished: false,
+                };
+                dump.pending = dump.read_one(filters);
+                dump
+            }
+            Err(e) => {
+                // "libBGPStream marks a record as not-valid when the
+                // BGP dump file cannot be opened": one synthetic
+                // record carries the error.
+                let _ = e;
+                let rec = BgpStreamRecord {
+                    project: meta.project.clone(),
+                    collector: meta.collector.clone(),
+                    dump_type: meta.dump_type,
+                    dump_time: meta.interval_start,
+                    timestamp: meta.interval_start,
+                    position: DumpPosition::Only,
+                    status: RecordStatus::CorruptedSource,
+                    elems_vec: Vec::new(),
+                };
+                OpenDump {
+                    meta,
+                    reader: None,
+                    pit: None,
+                    pending: Some(rec),
+                    produced: 0,
+                    finished: true,
+                }
+            }
+        }
+    }
+
+    /// Read and annotate the next raw record (position fixed up later).
+    fn read_one(&mut self, filters: &Filters) -> Option<BgpStreamRecord> {
+        let reader = self.reader.as_mut()?;
+        match reader.next() {
+            None => {
+                self.finished = true;
+                None
+            }
+            Some(Err(_)) => {
+                self.finished = true;
+                Some(BgpStreamRecord {
+                    project: self.meta.project.clone(),
+                    collector: self.meta.collector.clone(),
+                    dump_type: self.meta.dump_type,
+                    dump_time: self.meta.interval_start,
+                    timestamp: self.meta.interval_start,
+                    position: DumpPosition::Middle,
+                    status: RecordStatus::CorruptedRecord,
+                    elems_vec: Vec::new(),
+                })
+            }
+            Some(Ok(rec)) => {
+                if let MrtBody::TableDumpV2(TableDumpV2::PeerIndexTable(pit)) = &rec.body {
+                    self.pit = Some(Arc::new(pit.clone()));
+                }
+                let unsupported = matches!(rec.body, MrtBody::Unknown(_));
+                let extracted = extract_elems(&rec, self.pit.as_deref());
+                let status = if unsupported {
+                    RecordStatus::Unsupported
+                } else if extracted.missing_peer {
+                    RecordStatus::CorruptedRecord
+                } else {
+                    RecordStatus::Valid
+                };
+                let elems_vec = extracted
+                    .elems
+                    .into_iter()
+                    .filter(|e| filters.matches(e))
+                    .collect();
+                Some(BgpStreamRecord {
+                    project: self.meta.project.clone(),
+                    collector: self.meta.collector.clone(),
+                    dump_type: self.meta.dump_type,
+                    dump_time: self.meta.interval_start,
+                    timestamp: rec.timestamp as u64,
+                    position: DumpPosition::Middle,
+                    status,
+                    elems_vec,
+                })
+            }
+        }
+    }
+
+    /// Produce the next record with final position annotation.
+    fn next(&mut self, filters: &Filters) -> Option<BgpStreamRecord> {
+        let mut rec = self.pending.take()?;
+        self.pending = if self.finished { None } else { self.read_one(filters) };
+        let first = self.produced == 0;
+        let last = self.pending.is_none();
+        rec.position = match (first, last) {
+            (true, true) => DumpPosition::Only,
+            (true, false) => DumpPosition::Start,
+            (false, true) => DumpPosition::End,
+            (false, false) => DumpPosition::Middle,
+        };
+        self.produced += 1;
+        Some(rec)
+    }
+
+    /// Timestamp of the next record (for heap ordering).
+    fn head_timestamp(&self) -> Option<u64> {
+        self.pending.as_ref().map(|r| r.timestamp)
+    }
+}
+
+/// Heap key: (timestamp, source name) — min-heap via reversed Ord.
+struct HeapEntry {
+    ts: u64,
+    tiebreak: (String, String, u8),
+    slot: usize,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the oldest first.
+        (other.ts, &other.tiebreak, other.slot).cmp(&(self.ts, &self.tiebreak, self.slot))
+    }
+}
+
+/// Multi-way merge over one overlap group: all files open at once,
+/// repeatedly yielding the record with the smallest timestamp.
+pub struct GroupMerger {
+    dumps: Vec<OpenDump>,
+    heap: BinaryHeap<HeapEntry>,
+    filters: Arc<Filters>,
+}
+
+impl GroupMerger {
+    /// Open every file of the group and prime the heap.
+    pub fn open(group: Vec<DumpMeta>, filters: Arc<Filters>) -> Self {
+        let mut dumps: Vec<OpenDump> =
+            group.into_iter().map(|m| OpenDump::open(m, &filters)).collect();
+        let mut heap = BinaryHeap::with_capacity(dumps.len());
+        for (slot, d) in dumps.iter_mut().enumerate() {
+            if let Some(ts) = d.head_timestamp() {
+                heap.push(HeapEntry {
+                    ts,
+                    tiebreak: (
+                        d.meta.project.clone(),
+                        d.meta.collector.clone(),
+                        d.meta.dump_type as u8,
+                    ),
+                    slot,
+                });
+            }
+        }
+        GroupMerger { dumps, heap, filters }
+    }
+
+    /// Number of simultaneously open files.
+    pub fn width(&self) -> usize {
+        self.dumps.len()
+    }
+
+    /// The next record in timestamp order.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<BgpStreamRecord> {
+        let entry = self.heap.pop()?;
+        let dump = &mut self.dumps[entry.slot];
+        let rec = dump.next(&self.filters)?;
+        if let Some(ts) = dump.head_timestamp() {
+            self.heap.push(HeapEntry { ts, tiebreak: entry.tiebreak, slot: entry.slot });
+        }
+        Some(rec)
+    }
+}
+
+/// Convenience: read one local MRT file (no merge) into records —
+/// used by tests and the SingleFile interface path.
+pub fn read_single_file(meta: DumpMeta, filters: &Filters) -> Vec<BgpStreamRecord> {
+    let filters = Arc::new(filters.clone());
+    let mut merger = GroupMerger::open(vec![meta], filters);
+    let mut out = Vec::new();
+    while let Some(r) = merger.next() {
+        out.push(r);
+    }
+    out
+}
+
+/// Check that a path exists and looks like MRT (cheap sanity helper
+/// for tools).
+pub fn looks_like_mrt(path: &std::path::Path) -> bool {
+    let Ok(f) = File::open(path) else { return false };
+    let mut reader = std::io::BufReader::new(f);
+    reader.fill_buf().map(|b| !b.is_empty()).unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use broker::DumpType;
+    use std::path::PathBuf;
+
+    fn meta(collector: &str, ty: DumpType, start: u64, dur: u64) -> DumpMeta {
+        DumpMeta {
+            project: "ris".into(),
+            collector: collector.into(),
+            dump_type: ty,
+            interval_start: start,
+            duration: dur,
+            path: PathBuf::from("/nonexistent"),
+            available_at: 0,
+            size: 0,
+        }
+    }
+
+    #[test]
+    fn figure3_partition() {
+        // The Figure 3 scenario: RRC01 (5-min updates + one RIB) and
+        // RV2 (15-min updates). Updates files 00:00–00:15 overlap each
+        // other transitively; the RIB at 00:20 with zero duration plus
+        // the files covering it join the second group.
+        let files = vec![
+            meta("rrc01", DumpType::Updates, 0, 300),
+            meta("rrc01", DumpType::Updates, 300, 300),
+            meta("rrc01", DumpType::Updates, 600, 300),
+            meta("rv2", DumpType::Updates, 0, 900),
+        ];
+        let groups = partition_overlap_groups(&files);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 4);
+    }
+
+    #[test]
+    fn disjoint_windows_split() {
+        let files = vec![
+            meta("rv2", DumpType::Updates, 0, 450), // overlaps the next
+            meta("rrc01", DumpType::Updates, 300, 300),
+            // Gap: nothing covers (600, 1000).
+            meta("rrc01", DumpType::Updates, 1000, 300),
+            meta("rv2", DumpType::Updates, 1100, 900),
+        ];
+        let groups = partition_overlap_groups(&files);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].len(), 2);
+        assert_eq!(groups[1].len(), 2);
+    }
+
+    #[test]
+    fn rib_snapshot_joins_covering_group() {
+        let files = vec![
+            meta("rrc01", DumpType::Updates, 0, 300),
+            meta("rrc01", DumpType::Rib, 120, 0),
+        ];
+        let groups = partition_overlap_groups(&files);
+        assert_eq!(groups.len(), 1);
+    }
+
+    #[test]
+    fn empty_input_no_groups() {
+        assert!(partition_overlap_groups(&[]).is_empty());
+    }
+
+    #[test]
+    fn adjacent_intervals_stay_disjoint() {
+        // interval_end == next start: half-open intervals do not
+        // overlap; no merge needed between consecutive windows.
+        let files = vec![
+            meta("rrc01", DumpType::Updates, 0, 300),
+            meta("rrc01", DumpType::Updates, 300, 300),
+        ];
+        assert_eq!(partition_overlap_groups(&files).len(), 2);
+    }
+
+    #[test]
+    fn figure3_thirty_minutes_two_disjoint_sets() {
+        // The Figure 3 scenario: 30 minutes (10 files) of data from
+        // RRC01 (5-min updates, midnight RIB with rows spreading
+        // ~9 min) and RV2 (15-min updates, midnight RIB). The files
+        // split into two disjoint sets of 6 and 4, exactly as in the
+        // paper's example.
+        let files = vec![
+            meta("rrc01", DumpType::Updates, 0, 300),
+            meta("rrc01", DumpType::Updates, 300, 300),
+            meta("rrc01", DumpType::Updates, 600, 300),
+            meta("rrc01", DumpType::Rib, 0, 540),
+            meta("rv2", DumpType::Rib, 0, 600),
+            meta("rv2", DumpType::Updates, 0, 900),
+            // Second quarter-hour: nothing bridges across 900.
+            meta("rrc01", DumpType::Updates, 900, 300),
+            meta("rrc01", DumpType::Updates, 1200, 300),
+            meta("rrc01", DumpType::Updates, 1500, 300),
+            meta("rv2", DumpType::Updates, 900, 900),
+        ];
+        let groups = partition_overlap_groups(&files);
+        assert_eq!(groups.len(), 2, "{groups:#?}");
+        assert_eq!(groups[0].len(), 6);
+        assert_eq!(groups[1].len(), 4);
+    }
+
+    #[test]
+    fn missing_file_yields_corrupt_source_record() {
+        let m = meta("rrc01", DumpType::Updates, 0, 300);
+        let recs = read_single_file(m, &Filters::none());
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].status, RecordStatus::CorruptedSource);
+        assert_eq!(recs[0].position, DumpPosition::Only);
+    }
+}

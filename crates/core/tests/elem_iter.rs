@@ -1,0 +1,69 @@
+//! The flattened elem-iteration API (`next_elem`) must agree with the
+//! nested record/elem loops.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use bgpstream::BgpStream;
+use broker::{DataInterface, DumpType, Index};
+use collector_sim::{standard_collectors, SimConfig, Simulator};
+use topology::control::ControlPlane;
+use topology::gen::{generate, TopologyConfig};
+
+fn tmpdir() -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "bgpstream-elemiter-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .subsec_nanos()
+    ));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn next_elem_matches_nested_loops() {
+    let cp = ControlPlane::new(Arc::new(generate(&TopologyConfig::tiny(91))), u64::MAX);
+    let specs = standard_collectors(&cp, 1, 1, 3, 1.0, 91);
+    let dir = tmpdir();
+    let mut sim = Simulator::new(cp, specs, SimConfig::new(&dir));
+    let idx = Index::shared();
+    sim.attach_index(idx.clone());
+    sim.run_until(600);
+
+    let build = || {
+        BgpStream::builder()
+            .data_interface(DataInterface::Broker(idx.clone()))
+            .record_type(DumpType::Rib)
+            .interval(0, Some(600))
+            .start()
+    };
+
+    // Nested loops.
+    let mut nested = Vec::new();
+    let mut s1 = build();
+    while let Some(rec) = s1.next_record() {
+        for e in rec.elems() {
+            nested.push((rec.collector.clone(), e.clone()));
+        }
+    }
+
+    // Flattened.
+    let mut flat = Vec::new();
+    let mut s2 = build();
+    while let Some((elem, src)) = s2.next_elem() {
+        assert!(!src.project.is_empty());
+        assert_eq!(src.dump_type, DumpType::Rib);
+        flat.push((src.collector, elem));
+    }
+
+    assert!(!nested.is_empty());
+    assert_eq!(nested.len(), flat.len());
+    for (a, b) in nested.iter().zip(flat.iter()) {
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,248 @@
+//! End-to-end tests: collector simulator → archive → broker →
+//! libBGPStream sorted stream (historical and live).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bgp_types::trie::PrefixMatch;
+use bgpstream::{BgpStream, Clock, ElemType, RecordStatus};
+use broker::{DataInterface, DumpType, Index};
+use collector_sim::{standard_collectors, SimConfig, Simulator};
+use topology::control::ControlPlane;
+use topology::events::{Event, EventKind, Scenario};
+use topology::gen::{generate, TopologyConfig};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "bgpstream-e2e-{}-{}-{}",
+        tag,
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .subsec_nanos()
+    ));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Build a two-project world (1 RIS + 1 RouteViews collector), run one
+/// hour with some flapping, return (index, archive dir).
+fn build_world(tag: &str, seed: u64, horizon: u64) -> (Arc<Index>, PathBuf) {
+    let cp = ControlPlane::new(Arc::new(generate(&TopologyConfig::tiny(seed))), u64::MAX);
+    let specs = standard_collectors(&cp, 1, 1, 4, 0.8, seed);
+    let dir = tmpdir(tag);
+    let mut sim = Simulator::new(cp, specs, SimConfig::new(&dir));
+    let idx = Index::shared();
+    sim.attach_index(idx.clone());
+    // Flap a few prefixes for update traffic.
+    let mut sc = Scenario::new();
+    let topo = sim.control_plane().topology().clone();
+    for (k, n) in topo
+        .nodes
+        .iter()
+        .filter(|n| !n.prefixes_v4.is_empty())
+        .take(6)
+        .enumerate()
+    {
+        sc.flap(60 + 37 * k as u64, 3, 600, n.asn, n.prefixes_v4[0].prefix);
+    }
+    sim.schedule(&sc);
+    sim.run_until(horizon);
+    (idx, dir)
+}
+
+#[test]
+fn historical_stream_is_time_sorted_across_collectors() {
+    let (idx, dir) = build_world("sorted", 31, 3600);
+    let mut stream = BgpStream::builder()
+        .data_interface(DataInterface::Broker(idx))
+        .record_type(DumpType::Updates)
+        .interval(0, Some(3600))
+        .start();
+    let mut last_ts = 0;
+    let mut n = 0;
+    let mut collectors = std::collections::HashSet::new();
+    let mut group_floor = 0u64; // sorting holds within each overlap group
+    let mut prev_group_max = 0u64;
+    while let Some(rec) = stream.next_record() {
+        collectors.insert(rec.collector.clone());
+        // Our simulated updates are strictly within window bounds, and
+        // all windows overlap transitively, so global ordering holds.
+        assert!(
+            rec.timestamp >= last_ts,
+            "timestamp regression: {} < {}",
+            rec.timestamp,
+            last_ts
+        );
+        last_ts = rec.timestamp;
+        n += 1;
+        prev_group_max = prev_group_max.max(rec.timestamp);
+        group_floor = group_floor.max(1);
+    }
+    assert!(n > 10, "too few records: {n}");
+    assert_eq!(collectors.len(), 2, "expected both collectors: {collectors:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rib_and_updates_interleave_and_positions_mark_dumps() {
+    let (idx, dir) = build_world("interleave", 32, 3600);
+    let mut stream = BgpStream::builder()
+        .data_interface(DataInterface::Broker(idx))
+        .interval(0, Some(3600))
+        .start();
+    let mut rib_starts = 0;
+    let mut rib_ends = 0;
+    let mut rib_elems = 0;
+    let mut upd_elems = 0;
+    while let Some(rec) = stream.next_record() {
+        match rec.dump_type {
+            DumpType::Rib => {
+                if rec.position.is_start() {
+                    rib_starts += 1;
+                }
+                if rec.position.is_end() {
+                    rib_ends += 1;
+                }
+                rib_elems += rec.elems().len();
+            }
+            DumpType::Updates => upd_elems += rec.elems().len(),
+        }
+    }
+    // 1 RIS RIB (t=0) + 1 RV RIB (t=0): both dumped immediately;
+    // RV also dumps at 7200 > horizon.
+    assert_eq!(rib_starts, 2);
+    assert_eq!(rib_ends, 2);
+    assert!(rib_elems > 0, "no RIB elems");
+    assert!(upd_elems > 0, "no update elems");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn prefix_filter_limits_elems() {
+    let (idx, dir) = build_world("filter", 33, 1800);
+    // Find some prefix present in the world.
+    let cp = ControlPlane::new(Arc::new(generate(&TopologyConfig::tiny(33))), u64::MAX);
+    let target = cp.topology().nodes[12].prefixes_v4[0].prefix;
+    let mut stream = BgpStream::builder()
+        .data_interface(DataInterface::Broker(idx))
+        .interval(0, Some(1800))
+        .filter_prefix(target, PrefixMatch::MoreSpecific)
+        .start();
+    let mut matched = 0;
+    while let Some(rec) = stream.next_matching_record() {
+        for e in rec.elems() {
+            if e.elem_type == ElemType::PeerState {
+                continue;
+            }
+            let p = e.prefix.expect("route elems carry prefixes");
+            assert!(target.contains(&p), "{p} escaped the filter");
+            matched += 1;
+        }
+    }
+    assert!(matched > 0, "filter matched nothing");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_files_surface_as_invalid_records() {
+    let cp = ControlPlane::new(Arc::new(generate(&TopologyConfig::tiny(34))), u64::MAX);
+    let specs = standard_collectors(&cp, 1, 0, 3, 1.0, 34);
+    let dir = tmpdir("corrupt");
+    let mut cfg = SimConfig::new(&dir);
+    cfg.faults.truncate_prob = 1.0;
+    let mut sim = Simulator::new(cp, specs, cfg);
+    let idx = Index::shared();
+    sim.attach_index(idx.clone());
+    sim.run_until(20);
+    let mut stream = BgpStream::builder()
+        .data_interface(DataInterface::Broker(idx))
+        .interval(0, Some(3600))
+        .start();
+    let mut corrupt = 0;
+    let mut valid = 0;
+    while let Some(rec) = stream.next_record() {
+        match rec.status {
+            RecordStatus::CorruptedRecord | RecordStatus::CorruptedSource => corrupt += 1,
+            RecordStatus::Valid => valid += 1,
+            RecordStatus::Unsupported => {}
+        }
+    }
+    assert!(corrupt > 0, "no corruption surfaced");
+    assert!(valid > 0, "corruption should not hide earlier valid records");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn live_stream_delivers_as_clock_advances() {
+    // Publish 30 minutes of data, then replay it "live" by advancing
+    // a shared manual clock.
+    let (idx, dir) = build_world("live", 35, 1800);
+    let clock = Clock::manual(0);
+    let stream_clock = clock.clone();
+    let idx2 = idx.clone();
+    let reader = std::thread::spawn(move || {
+        let mut stream = BgpStream::builder()
+            .data_interface(DataInterface::Broker(idx2))
+            .record_type(DumpType::Updates)
+            .project("ris")
+            .live(0)
+            .clock(stream_clock)
+            .live_grace(500) // RIS window (300 s) + max publication delay
+            .poll_interval(Duration::from_millis(1))
+            .start();
+        // Expect at least the records of the first two update windows.
+        let mut got = Vec::new();
+        while got.len() < 2 {
+            match stream.next_record() {
+                Some(rec) => got.push((rec.dump_time, rec.timestamp)),
+                None => break,
+            }
+        }
+        got
+    });
+    // Advance virtual time in steps; the reader unblocks once a whole
+    // broker window (2 h) plus the grace period has elapsed.
+    let mut t = 0u64;
+    while !reader.is_finished() && t <= 16_000 {
+        t += 400;
+        clock.advance_to(t);
+        std::thread::sleep(Duration::from_millis(3));
+    }
+    assert!(reader.is_finished(), "live reader starved");
+    let got = reader.join().unwrap();
+    assert!(got.len() >= 2, "live stream starved: {got:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn withdrawal_events_visible_in_stream() {
+    let cp = ControlPlane::new(Arc::new(generate(&TopologyConfig::tiny(36))), u64::MAX);
+    let topo = cp.topology().clone();
+    let victim = topo.nodes.iter().find(|n| !n.prefixes_v4.is_empty()).unwrap();
+    let prefix = victim.prefixes_v4[0].prefix;
+    let specs = standard_collectors(&cp, 1, 0, 4, 1.0, 36);
+    let dir = tmpdir("wd");
+    let mut sim = Simulator::new(cp, specs, SimConfig::new(&dir));
+    let idx = Index::shared();
+    sim.attach_index(idx.clone());
+    let mut sc = Scenario::new();
+    sc.push(Event::at(100, EventKind::Withdraw { origin: victim.asn, prefix }));
+    sim.schedule(&sc);
+    sim.run_until(900);
+    let mut stream = BgpStream::builder()
+        .data_interface(DataInterface::Broker(idx))
+        .record_type(DumpType::Updates)
+        .interval(0, Some(900))
+        .filter_prefix(prefix, PrefixMatch::Exact)
+        .filter_elem_type(ElemType::Withdrawal)
+        .start();
+    let mut withdrawals = 0;
+    while let Some(rec) = stream.next_matching_record() {
+        withdrawals += rec.elems().len();
+    }
+    assert!(withdrawals > 0, "withdrawal invisible in stream");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,169 @@
+//! Property tests for the core additions: JSON export/ingest
+//! round-trips and the AS-path regex against a brute-force reference.
+
+use bgp_types::{AsPath, Asn, Community, CommunitySet, SessionState};
+use bgpstream::json_input::parse_elem_json;
+use bgpstream::record::{DumpPosition, RecordStatus};
+use bgpstream::{ascii, AsPathRegex, BgpStreamElem, BgpStreamRecord, ElemType};
+use broker::DumpType;
+use proptest::prelude::*;
+
+fn arb_elem() -> impl Strategy<Value = BgpStreamElem> {
+    let announce = (
+        proptest::collection::vec(1u32..100_000, 1..6),
+        proptest::collection::vec((1u16..5000, 0u16..1000), 0..4),
+        any::<u32>(),
+        0u8..2,
+    )
+        .prop_map(|(path, comms, time, family)| {
+            let prefix = if family == 0 {
+                "10.42.0.0/16".parse().unwrap()
+            } else {
+                "2001:db8::/32".parse().unwrap()
+            };
+            BgpStreamElem {
+                elem_type: ElemType::Announcement,
+                time: time as u64,
+                peer_address: "192.0.2.1".parse().unwrap(),
+                peer_asn: Asn(path[0]),
+                prefix: Some(prefix),
+                next_hop: Some("192.0.2.1".parse().unwrap()),
+                as_path: Some(AsPath::from_sequence(path)),
+                communities: Some(CommunitySet::from_iter(
+                    comms.into_iter().map(|(a, v)| Community::new(a, v)),
+                )),
+                old_state: None,
+                new_state: None,
+            }
+        });
+    let withdraw = any::<u32>().prop_map(|time| BgpStreamElem {
+        elem_type: ElemType::Withdrawal,
+        time: time as u64,
+        peer_address: "192.0.2.9".parse().unwrap(),
+        peer_asn: Asn(65001),
+        prefix: Some("203.0.113.0/24".parse().unwrap()),
+        next_hop: None,
+        as_path: None,
+        communities: None,
+        old_state: None,
+        new_state: None,
+    });
+    let state = (1u16..=6, 1u16..=6, any::<u32>()).prop_map(|(o, n, time)| BgpStreamElem {
+        elem_type: ElemType::PeerState,
+        time: time as u64,
+        peer_address: "192.0.2.7".parse().unwrap(),
+        peer_asn: Asn(65001),
+        prefix: None,
+        next_hop: None,
+        as_path: None,
+        communities: None,
+        old_state: Some(SessionState::from_code(o).unwrap()),
+        new_state: Some(SessionState::from_code(n).unwrap()),
+    });
+    prop_oneof![announce, withdraw, state]
+}
+
+fn wrap(elem: BgpStreamElem) -> BgpStreamRecord {
+    BgpStreamRecord::new(
+        "ris",
+        "rrc00",
+        DumpType::Updates,
+        elem.time,
+        elem.time,
+        DumpPosition::Only,
+        RecordStatus::Valid,
+        vec![elem],
+    )
+}
+
+/// Reference implementation of unanchored-pattern search: try the
+/// compiled pattern anchored at every offset via exact recursion.
+fn reference_match(pat: &[PatTok], toks: &[u32]) -> bool {
+    fn anchored(pat: &[PatTok], toks: &[u32]) -> bool {
+        match pat.first() {
+            None => toks.is_empty(),
+            Some(PatTok::Lit(l)) => {
+                toks.first() == Some(l) && anchored(&pat[1..], &toks[1..])
+            }
+            Some(PatTok::One) => !toks.is_empty() && anchored(&pat[1..], &toks[1..]),
+            Some(PatTok::Run) => (0..=toks.len()).any(|k| anchored(&pat[1..], &toks[k..])),
+        }
+    }
+    // Unanchored on both sides.
+    (0..=toks.len()).any(|i| {
+        (i..=toks.len()).any(|_| {
+            // pad with Run on the right by trying every suffix cut.
+            let mut padded = vec![PatTok::Run];
+            padded.extend_from_slice(pat);
+            padded.push(PatTok::Run);
+            anchored(&padded, toks)
+        })
+    })
+}
+
+#[derive(Clone, Copy, Debug)]
+enum PatTok {
+    Lit(u32),
+    One,
+    Run,
+}
+
+fn arb_pattern() -> impl Strategy<Value = Vec<PatTok>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u32..6).prop_map(PatTok::Lit),
+            Just(PatTok::One),
+            Just(PatTok::Run),
+        ],
+        1..6,
+    )
+}
+
+fn pattern_string(pat: &[PatTok]) -> String {
+    pat.iter()
+        .map(|t| match t {
+            PatTok::Lit(l) => l.to_string(),
+            PatTok::One => "?".into(),
+            PatTok::Run => "*".into(),
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+proptest! {
+    /// JSON export → ingest is the identity on every elem shape.
+    #[test]
+    fn elem_json_roundtrip(elem in arb_elem()) {
+        let rec = wrap(elem.clone());
+        let line = ascii::elem_json(&rec, &elem);
+        let parsed = parse_elem_json(&line).unwrap();
+        prop_assert_eq!(parsed.elem, elem);
+        prop_assert_eq!(parsed.project.as_deref(), Some("ris"));
+        prop_assert_eq!(parsed.collector.as_deref(), Some("rrc00"));
+    }
+
+    /// The linear-time glob matcher agrees with an exponential
+    /// reference on small alphabets.
+    #[test]
+    fn regex_agrees_with_reference(
+        pat in arb_pattern(),
+        toks in proptest::collection::vec(0u32..6, 0..10),
+    ) {
+        let re = AsPathRegex::parse(&pattern_string(&pat)).unwrap();
+        prop_assert_eq!(re.matches_tokens(&toks), reference_match(&pat, &toks));
+    }
+
+    /// Anchoring is a strictly tighter constraint.
+    #[test]
+    fn anchored_implies_unanchored(
+        pat in arb_pattern(),
+        toks in proptest::collection::vec(0u32..6, 0..10),
+    ) {
+        let s = pattern_string(&pat);
+        let full = AsPathRegex::parse(&format!("^{s}$")).unwrap();
+        let free = AsPathRegex::parse(&s).unwrap();
+        if full.matches_tokens(&toks) {
+            prop_assert!(free.matches_tokens(&toks));
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Serialization of RT plugin output for the message queue (§6.2.2).
+//!
+//! At the end of each time bin the RT plugin transmits the *changed*
+//! portions of each VP's routing table ("diff cells"); periodically it
+//! also transmits entire routing tables so consumers can (re)sync and
+//! then apply subsequent diffs.
+
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use bgp_types::{AsPath, Asn, Prefix};
+use bytes::{Buf, BufMut, BytesMut};
+
+/// One changed (or full-table) cell: the state of `<prefix, VP>`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DiffCell {
+    /// The VP's AS number.
+    pub vp: Asn,
+    /// The prefix.
+    pub prefix: Prefix,
+    /// The AS path of the selected route; `None` = withdrawn
+    /// (the cell's A/W flag).
+    pub path: Option<AsPath>,
+}
+
+/// An RT plugin bin message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RtMessage {
+    /// Changed cells between the previous bin's table and this one.
+    Diff {
+        /// Producing collector.
+        collector: String,
+        /// Bin start time.
+        bin: u64,
+        /// Changed cells.
+        cells: Vec<DiffCell>,
+    },
+    /// A complete routing-table snapshot (sync point for consumers).
+    Full {
+        /// Producing collector.
+        collector: String,
+        /// Bin start time.
+        bin: u64,
+        /// Every announced cell.
+        cells: Vec<DiffCell>,
+    },
+}
+
+impl RtMessage {
+    /// Bin start time.
+    pub fn bin(&self) -> u64 {
+        match self {
+            RtMessage::Diff { bin, .. } | RtMessage::Full { bin, .. } => *bin,
+        }
+    }
+
+    /// Producing collector.
+    pub fn collector(&self) -> &str {
+        match self {
+            RtMessage::Diff { collector, .. } | RtMessage::Full { collector, .. } => collector,
+        }
+    }
+
+    /// The cells.
+    pub fn cells(&self) -> &[DiffCell] {
+        match self {
+            RtMessage::Diff { cells, .. } | RtMessage::Full { cells, .. } => cells,
+        }
+    }
+
+    /// Binary encoding.
+    pub fn encode(&self) -> Vec<u8> {
+        let (kind, collector, bin, cells) = match self {
+            RtMessage::Diff { collector, bin, cells } => (0u8, collector, *bin, cells),
+            RtMessage::Full { collector, bin, cells } => (1u8, collector, *bin, cells),
+        };
+        let mut out = BytesMut::new();
+        out.put_u8(kind);
+        out.put_u64(bin);
+        out.put_u16(collector.len() as u16);
+        out.put_slice(collector.as_bytes());
+        out.put_u32(cells.len() as u32);
+        for c in cells {
+            out.put_u32(c.vp.0);
+            out.put_u8(c.prefix.is_ipv4() as u8);
+            out.put_u8(c.prefix.len());
+            out.put_u128(c.prefix.raw_bits());
+            match &c.path {
+                None => out.put_u16(u16::MAX),
+                Some(p) => {
+                    let hops: Vec<Asn> = p.asns().collect();
+                    out.put_u16(hops.len() as u16);
+                    for h in hops {
+                        out.put_u32(h.0);
+                    }
+                }
+            }
+        }
+        out.to_vec()
+    }
+
+    /// Binary decoding.
+    pub fn decode(mut buf: &[u8]) -> Result<RtMessage, String> {
+        if buf.len() < 15 {
+            return Err("rt message too short".into());
+        }
+        let kind = buf.get_u8();
+        let bin = buf.get_u64();
+        let name_len = buf.get_u16() as usize;
+        if buf.len() < name_len + 4 {
+            return Err("truncated collector name".into());
+        }
+        let collector = String::from_utf8_lossy(&buf[..name_len]).into_owned();
+        buf.advance(name_len);
+        let count = buf.get_u32() as usize;
+        let mut cells = Vec::with_capacity(count);
+        for _ in 0..count {
+            if buf.len() < 4 + 1 + 1 + 16 + 2 {
+                return Err("truncated cell".into());
+            }
+            let vp = Asn(buf.get_u32());
+            let v4 = buf.get_u8() == 1;
+            let len = buf.get_u8();
+            let bits = buf.get_u128();
+            let prefix = if v4 {
+                Prefix::v4(Ipv4Addr::from((bits >> 96) as u32), len)
+            } else {
+                Prefix::v6(Ipv6Addr::from(bits), len)
+            };
+            let hop_count = buf.get_u16();
+            let path = if hop_count == u16::MAX {
+                None
+            } else {
+                if buf.len() < hop_count as usize * 4 {
+                    return Err("truncated path".into());
+                }
+                let mut hops = Vec::with_capacity(hop_count as usize);
+                for _ in 0..hop_count {
+                    hops.push(buf.get_u32());
+                }
+                Some(AsPath::from_sequence(hops))
+            };
+            cells.push(DiffCell { vp, prefix, path });
+        }
+        match kind {
+            0 => Ok(RtMessage::Diff { collector, bin, cells }),
+            1 => Ok(RtMessage::Full { collector, bin, cells }),
+            k => Err(format!("unknown rt message kind {k}")),
+        }
+    }
+}
+
+/// Sync meta-data: `(collector, bin)` markers watched by sync servers.
+pub fn encode_meta(collector: &str, bin: u64) -> Vec<u8> {
+    let mut out = BytesMut::new();
+    out.put_u64(bin);
+    out.put_slice(collector.as_bytes());
+    out.to_vec()
+}
+
+/// Decode a sync meta-data marker.
+pub fn decode_meta(mut buf: &[u8]) -> Result<(String, u64), String> {
+    if buf.len() < 8 {
+        return Err("meta too short".into());
+    }
+    let bin = buf.get_u64();
+    Ok((String::from_utf8_lossy(buf).into_owned(), bin))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cells() -> Vec<DiffCell> {
+        vec![
+            DiffCell {
+                vp: Asn(65001),
+                prefix: "193.204.0.0/15".parse().unwrap(),
+                path: Some(AsPath::from_sequence([65001, 3356, 137])),
+            },
+            DiffCell { vp: Asn(65002), prefix: "2001:db8::/32".parse().unwrap(), path: None },
+        ]
+    }
+
+    #[test]
+    fn diff_roundtrip() {
+        let m = RtMessage::Diff { collector: "rrc00".into(), bin: 300, cells: cells() };
+        assert_eq!(RtMessage::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn full_roundtrip() {
+        let m = RtMessage::Full { collector: "route-views2".into(), bin: 0, cells: vec![] };
+        assert_eq!(RtMessage::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(RtMessage::decode(&[]).is_err());
+        assert!(RtMessage::decode(&[9; 20]).is_err());
+        let mut ok = RtMessage::Diff { collector: "c".into(), bin: 1, cells: cells() }.encode();
+        ok.truncate(ok.len() - 3);
+        assert!(RtMessage::decode(&ok).is_err());
+    }
+
+    #[test]
+    fn meta_roundtrip() {
+        let raw = encode_meta("rrc12", 900);
+        assert_eq!(decode_meta(&raw).unwrap(), ("rrc12".to_string(), 900));
+        assert!(decode_meta(&[1, 2]).is_err());
+    }
+}

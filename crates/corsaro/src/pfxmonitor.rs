@@ -1,0 +1,202 @@
+//! The pfxmonitor plugin (§6.1, Figure 6).
+//!
+//! Monitors prefixes overlapping a given set of IP address ranges.
+//! For each record it (1) selects only RIB and Updates records related
+//! to overlapping prefixes, and (2) tracks, for each `<prefix, VP>`
+//! pair, the ASN that originated the route. At the end of each time
+//! bin it outputs the number of unique prefixes identified and the
+//! number of unique origin ASNs observed by all the VPs — the two
+//! time series whose divergence exposes the GARR hijacks in Figure 6.
+
+use std::collections::{BTreeSet, HashMap};
+use std::net::IpAddr;
+
+use bgp_types::trie::PrefixMatch;
+use bgp_types::{Asn, Prefix, PrefixTrie};
+use bgpstream::{BgpStreamRecord, ElemType};
+
+use crate::pipeline::Plugin;
+
+/// One output point of the plugin's two time series.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PfxPoint {
+    /// Bin start time.
+    pub time: u64,
+    /// Unique prefixes (overlapping the monitored ranges) currently
+    /// announced by any VP.
+    pub prefixes: usize,
+    /// Unique origin ASNs announcing them.
+    pub origins: usize,
+}
+
+/// The pfxmonitor plugin.
+pub struct PfxMonitor {
+    ranges: PrefixTrie<()>,
+    /// `<prefix, VP>` → origin ASN.
+    table: HashMap<(Prefix, IpAddr), Asn>,
+    /// The per-bin time series.
+    pub series: Vec<PfxPoint>,
+}
+
+impl PfxMonitor {
+    /// Monitor everything overlapping `ranges`.
+    pub fn new<I: IntoIterator<Item = Prefix>>(ranges: I) -> Self {
+        let mut trie = PrefixTrie::new();
+        for p in ranges {
+            trie.insert(p, ());
+        }
+        PfxMonitor { ranges: trie, table: HashMap::new(), series: Vec::new() }
+    }
+
+    /// Current distinct origins (useful in live monitoring loops).
+    pub fn current_origins(&self) -> BTreeSet<Asn> {
+        self.table.values().copied().collect()
+    }
+}
+
+impl Plugin for PfxMonitor {
+    fn name(&self) -> &'static str {
+        "pfxmonitor"
+    }
+
+    fn process_record(&mut self, record: &BgpStreamRecord) {
+        for elem in record.elems() {
+            let Some(prefix) = elem.prefix else { continue };
+            if !self.ranges.matches(&prefix, PrefixMatch::Any) {
+                continue;
+            }
+            match elem.elem_type {
+                ElemType::Announcement | ElemType::RibEntry => {
+                    if let Some(origin) = elem.origin_asn() {
+                        self.table.insert((prefix, elem.peer_address), origin);
+                    }
+                }
+                ElemType::Withdrawal => {
+                    self.table.remove(&(prefix, elem.peer_address));
+                }
+                ElemType::PeerState => {}
+            }
+        }
+    }
+
+    fn end_bin(&mut self, bin_start: u64, _bin_end: u64) {
+        let prefixes: BTreeSet<Prefix> = self.table.keys().map(|(p, _)| *p).collect();
+        let origins: BTreeSet<Asn> = self.table.values().copied().collect();
+        self.series.push(PfxPoint {
+            time: bin_start,
+            prefixes: prefixes.len(),
+            origins: origins.len(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::AsPath;
+    use bgpstream::record::{DumpPosition, RecordStatus};
+    use bgpstream::BgpStreamElem;
+    use broker::DumpType;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn rec(ts: u64, elems: Vec<BgpStreamElem>) -> BgpStreamRecord {
+        BgpStreamRecord::new(
+            "ris",
+            "rrc00",
+            DumpType::Updates,
+            0,
+            ts,
+            DumpPosition::Middle,
+            RecordStatus::Valid,
+            elems,
+        )
+    }
+
+    fn ann(prefix: &str, vp: &str, origin: u32) -> BgpStreamElem {
+        BgpStreamElem {
+            elem_type: ElemType::Announcement,
+            time: 0,
+            peer_address: vp.parse().unwrap(),
+            peer_asn: Asn(65001),
+            prefix: Some(p(prefix)),
+            next_hop: None,
+            as_path: Some(AsPath::from_sequence([65001, origin])),
+            communities: None,
+            old_state: None,
+            new_state: None,
+        }
+    }
+
+    fn wd(prefix: &str, vp: &str) -> BgpStreamElem {
+        BgpStreamElem {
+            elem_type: ElemType::Withdrawal,
+            as_path: None,
+            ..ann(prefix, vp, 0)
+        }
+    }
+
+    #[test]
+    fn tracks_origins_per_prefix_vp() {
+        let mut m = PfxMonitor::new([p("193.204.0.0/15")]);
+        m.process_record(&rec(1, vec![ann("193.204.10.0/24", "10.0.0.1", 137)]));
+        m.process_record(&rec(2, vec![ann("193.204.10.0/24", "10.0.0.2", 137)]));
+        m.end_bin(0, 300);
+        assert_eq!(m.series.last().unwrap().prefixes, 1);
+        assert_eq!(m.series.last().unwrap().origins, 1);
+
+        // Hijack: second origin appears at one VP.
+        m.process_record(&rec(301, vec![ann("193.204.10.0/24", "10.0.0.2", 666)]));
+        m.end_bin(300, 600);
+        assert_eq!(m.series.last().unwrap().origins, 2);
+
+        // Hijack withdrawn at that VP: back to one origin.
+        m.process_record(&rec(601, vec![ann("193.204.10.0/24", "10.0.0.2", 137)]));
+        m.end_bin(600, 900);
+        assert_eq!(m.series.last().unwrap().origins, 1);
+    }
+
+    #[test]
+    fn ignores_non_overlapping_prefixes() {
+        let mut m = PfxMonitor::new([p("193.204.0.0/15")]);
+        m.process_record(&rec(1, vec![ann("10.0.0.0/8", "10.0.0.1", 1)]));
+        m.end_bin(0, 300);
+        assert_eq!(m.series.last().unwrap().prefixes, 0);
+    }
+
+    #[test]
+    fn overlap_includes_less_specific_announcements() {
+        // A /8 covering the monitored /15 still matches (Any overlap).
+        let mut m = PfxMonitor::new([p("193.204.0.0/15")]);
+        m.process_record(&rec(1, vec![ann("193.0.0.0/8", "10.0.0.1", 137)]));
+        m.end_bin(0, 300);
+        assert_eq!(m.series.last().unwrap().prefixes, 1);
+    }
+
+    #[test]
+    fn withdrawals_shrink_the_table() {
+        let mut m = PfxMonitor::new([p("193.204.0.0/15")]);
+        m.process_record(&rec(1, vec![ann("193.204.10.0/24", "10.0.0.1", 137)]));
+        m.process_record(&rec(2, vec![wd("193.204.10.0/24", "10.0.0.1")]));
+        m.end_bin(0, 300);
+        assert_eq!(m.series.last().unwrap().prefixes, 0);
+        assert_eq!(m.series.last().unwrap().origins, 0);
+    }
+
+    #[test]
+    fn aggregation_and_deaggregation_counts_prefixes() {
+        let mut m = PfxMonitor::new([p("193.204.0.0/15")]);
+        m.process_record(&rec(
+            1,
+            vec![
+                ann("193.204.0.0/16", "10.0.0.1", 137),
+                ann("193.205.0.0/16", "10.0.0.1", 137),
+            ],
+        ));
+        m.end_bin(0, 300);
+        assert_eq!(m.series.last().unwrap().prefixes, 2);
+        assert_eq!(m.series.last().unwrap().origins, 1);
+    }
+}

@@ -1,0 +1,217 @@
+//! The plugin trait and the time-bin-driving runner.
+
+use bgpstream::{BgpStream, BgpStreamRecord};
+
+/// A BGPCorsaro plugin. Stateless plugins only implement
+/// `process_record`; stateful plugins aggregate and act on `end_bin`.
+pub trait Plugin {
+    /// Short plugin name (for logs/output).
+    fn name(&self) -> &'static str;
+
+    /// Called for every record of the sorted stream.
+    fn process_record(&mut self, record: &BgpStreamRecord);
+
+    /// Called when the bin `[bin_start, bin_end)` closes.
+    fn end_bin(&mut self, bin_start: u64, bin_end: u64);
+}
+
+/// Drive `plugins` over `stream` with `bin_size`-second bins aligned
+/// to multiples of `bin_size`. Returns the number of records
+/// processed. Bins with no records still close in order (one `end_bin`
+/// per elapsed bin) so time series stay dense.
+pub fn run_pipeline(
+    stream: &mut BgpStream,
+    bin_size: u64,
+    plugins: &mut [&mut dyn Plugin],
+) -> u64 {
+    run_pipeline_until(stream, bin_size, u64::MAX, plugins)
+}
+
+/// [`run_pipeline`] with a stop condition for *live* deployments: the
+/// runner returns once a record timestamped at or after `stop`
+/// arrives (that record is not processed). A live stream never ends
+/// on its own, so Figure 7-style per-collector BGPCorsaro instances
+/// use this to wind down at a horizon (or run with `stop = u64::MAX`
+/// forever, as the paper's 24/7 deployment does).
+pub fn run_pipeline_until(
+    stream: &mut BgpStream,
+    bin_size: u64,
+    stop: u64,
+    plugins: &mut [&mut dyn Plugin],
+) -> u64 {
+    let bin_size = bin_size.max(1);
+    let mut current_bin: Option<u64> = None;
+    let mut records = 0u64;
+    while let Some(rec) = stream.next_record() {
+        if rec.timestamp >= stop {
+            break;
+        }
+        let bin = rec.timestamp - rec.timestamp % bin_size;
+        match current_bin {
+            None => current_bin = Some(bin),
+            Some(cur) if bin > cur => {
+                let mut b = cur;
+                while b < bin {
+                    for p in plugins.iter_mut() {
+                        p.end_bin(b, b + bin_size);
+                    }
+                    b += bin_size;
+                }
+                current_bin = Some(bin);
+            }
+            _ => {}
+        }
+        for p in plugins.iter_mut() {
+            p.process_record(&rec);
+        }
+        records += 1;
+    }
+    if let Some(cur) = current_bin {
+        for p in plugins.iter_mut() {
+            p.end_bin(cur, cur + bin_size);
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpstream::record::{DumpPosition, RecordStatus};
+    use broker::{DataInterface, DumpType, Index};
+
+    /// Collects the (record timestamps, bin boundaries) it sees.
+    struct Probe {
+        seen: Vec<u64>,
+        bins: Vec<(u64, u64)>,
+    }
+
+    impl Plugin for Probe {
+        fn name(&self) -> &'static str {
+            "probe"
+        }
+        fn process_record(&mut self, record: &BgpStreamRecord) {
+            self.seen.push(record.timestamp);
+        }
+        fn end_bin(&mut self, s: u64, e: u64) {
+            self.bins.push((s, e));
+        }
+    }
+
+    #[test]
+    fn empty_stream_processes_nothing() {
+        let mut stream = BgpStream::builder()
+            .data_interface(DataInterface::Broker(Index::shared()))
+            .interval(0, Some(100))
+            .start();
+        let mut probe = Probe { seen: vec![], bins: vec![] };
+        let n = run_pipeline(&mut stream, 60, &mut [&mut probe]);
+        assert_eq!(n, 0);
+        assert!(probe.bins.is_empty());
+    }
+
+    // Bin-boundary logic is easier to test directly against the
+    // closing rules than through a full archive; synthesise the runner
+    // behaviour by feeding records through a tiny fake "stream".
+    fn fake_record(ts: u64) -> BgpStreamRecord {
+        BgpStreamRecord::new(
+            "ris",
+            "rrc00",
+            DumpType::Updates,
+            0,
+            ts,
+            DumpPosition::Middle,
+            RecordStatus::Valid,
+            vec![],
+        )
+    }
+
+    /// Re-implementation of the runner's bin arithmetic over a plain
+    /// iterator, used to pin the binning contract.
+    fn drive(timestamps: &[u64], bin: u64, probe: &mut Probe) {
+        let mut current: Option<u64> = None;
+        for &ts in timestamps {
+            let rec = fake_record(ts);
+            let b = ts - ts % bin;
+            match current {
+                None => current = Some(b),
+                Some(cur) if b > cur => {
+                    let mut x = cur;
+                    while x < b {
+                        probe.end_bin(x, x + bin);
+                        x += bin;
+                    }
+                    current = Some(b);
+                }
+                _ => {}
+            }
+            probe.process_record(&rec);
+        }
+        if let Some(cur) = current {
+            probe.end_bin(cur, cur + bin);
+        }
+    }
+
+    #[test]
+    fn bins_close_in_order_including_empty_ones() {
+        let mut probe = Probe { seen: vec![], bins: vec![] };
+        drive(&[10, 65, 300], 60, &mut probe);
+        assert_eq!(probe.seen, vec![10, 65, 300]);
+        // Bins: [0,60) closed at 65; [60,120), [120..300) empties,
+        // then final [300,360).
+        assert_eq!(
+            probe.bins,
+            vec![(0, 60), (60, 120), (120, 180), (180, 240), (240, 300), (300, 360)]
+        );
+    }
+
+    #[test]
+    fn single_bin_closes_once_at_end() {
+        let mut probe = Probe { seen: vec![], bins: vec![] };
+        drive(&[5, 6, 7], 60, &mut probe);
+        assert_eq!(probe.bins, vec![(0, 60)]);
+    }
+
+    #[test]
+    fn run_until_stops_before_processing_the_stop_record() {
+        // A single-file stream with records straddling the stop time:
+        // the runner must process strictly-before-stop records only.
+        use mrt::{Bgp4mp, MrtRecord, MrtWriter};
+
+        let dir = std::env::temp_dir()
+            .join(format!("pipeline_until_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("updates.mrt");
+        {
+            let mut w = MrtWriter::new(std::fs::File::create(&path).unwrap());
+            for ts in [100u32, 200, 300, 400] {
+                w.write(&MrtRecord::bgp4mp(
+                    ts,
+                    Bgp4mp::StateChange {
+                        peer_asn: bgp_types::Asn(65001),
+                        local_asn: bgp_types::Asn(12654),
+                        peer_ip: "192.0.2.1".parse().unwrap(),
+                        local_ip: "192.0.2.254".parse().unwrap(),
+                        old_state: bgp_types::SessionState::OpenConfirm,
+                        new_state: bgp_types::SessionState::Established,
+                    },
+                ))
+                .unwrap();
+            }
+        }
+        let mut stream = BgpStream::builder()
+            .data_interface(DataInterface::SingleFile {
+                dump_type: DumpType::Updates,
+                path,
+                interval_start: 100,
+                duration: 300,
+            })
+            .interval(0, Some(1000))
+            .start();
+        let mut probe = Probe { seen: vec![], bins: vec![] };
+        let n = run_pipeline_until(&mut stream, 60, 300, &mut [&mut probe]);
+        assert_eq!(n, 2);
+        assert_eq!(probe.seen, vec![100, 200]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

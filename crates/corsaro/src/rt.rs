@@ -1,0 +1,836 @@
+//! The routing-tables (RT) plugin (§6.2.1, Figure 8).
+//!
+//! Reconstructs each VP's observable Loc-RIB at fine time granularity:
+//! a RIB dump provides the starting reference, Updates dumps evolve
+//! it, and subsequent RIB dumps sanity-check and correct it. Because
+//! the input is an inference over distributed, heterogeneous
+//! measurement data, the plugin maintains a per-VP finite state
+//! machine plus *shadow cells* and handles the paper's four special
+//! events:
+//!
+//! * **E1** — a corrupted record inside a RIB dump: ignore the whole
+//!   dump;
+//! * **E2** — RIB records older than already-applied updates: apply a
+//!   RIB record to a cell only if its timestamp is newer than the
+//!   cell's last modification;
+//! * **E3** — a corrupted Updates record: stop applying updates and
+//!   wait for the next RIB dump;
+//! * **E4** — session state messages force FSM transitions
+//!   (`Established` → up, anything else → down).
+//!
+//! At the end of each time bin the plugin counts/publishes **diff
+//! cells** — the changed portion of the reconstructed tables — which
+//! Figure 9 compares against the raw BGP elem count. RouteViews
+//! collectors dump no state messages, so a VP none of whose routes
+//! appear in the latest RIB dump is additionally declared down
+//! (footnote 5).
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::sync::Arc;
+
+use bgp_types::{AsPath, Asn, Prefix};
+use bgpstream::{BgpStreamRecord, ElemType};
+use broker::DumpType;
+use mq::Cluster;
+
+use crate::codec::{encode_meta, DiffCell, RtMessage};
+use crate::pipeline::Plugin;
+
+/// The Figure 8 macro states.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MacroState {
+    /// No consistent routing table available.
+    Down,
+    /// Down, with a RIB dump being applied.
+    DownRibApplication,
+    /// Consistent routing table available.
+    Up,
+    /// Up, with a new RIB dump being applied into shadow cells.
+    UpRibApplication,
+}
+
+impl MacroState {
+    /// Whether a consistent routing table is available.
+    pub fn table_available(self) -> bool {
+        matches!(self, MacroState::Up | MacroState::UpRibApplication)
+    }
+}
+
+/// The route stored in a cell.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CellRoute {
+    /// AS path of the selected route.
+    pub path: AsPath,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Cell {
+    /// `Some` = announced (the A/W flag), `None` = withdrawn/absent.
+    main: Option<CellRoute>,
+    /// When the main cell last changed (from an Updates record).
+    main_ts: u64,
+    /// Shadow storage for the RIB dump being applied.
+    shadow: Option<(Option<CellRoute>, u64)>,
+}
+
+struct VpTable {
+    asn: Asn,
+    state: MacroState,
+    cells: HashMap<Prefix, Cell>,
+    /// Whether any RIB row for this VP was seen in the current dump.
+    rib_seen: bool,
+    /// Whether the VP's table was available when the current RIB
+    /// started (accuracy comparisons are only meaningful then).
+    check_ok: bool,
+}
+
+/// Per-bin statistics (the Figure 9 series).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RtBinStats {
+    /// Bin start.
+    pub bin: u64,
+    /// BGP elems extracted from update messages in this bin.
+    pub elems: u64,
+    /// Diff cells between the previous bin's tables and this one's.
+    pub diff_cells: u64,
+}
+
+/// Accuracy self-check counters (§6.2.1: error probabilities ~1e-8
+/// RIS / ~1e-5 RouteViews).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RtErrorStats {
+    /// Cells compared at RIB boundaries.
+    pub cells_checked: u64,
+    /// Cells whose reconstructed content disagreed with the RIB.
+    pub cells_mismatched: u64,
+}
+
+impl RtErrorStats {
+    /// Mismatching prefixes over all compared prefixes.
+    pub fn error_probability(&self) -> f64 {
+        if self.cells_checked == 0 {
+            0.0
+        } else {
+            self.cells_mismatched as f64 / self.cells_checked as f64
+        }
+    }
+}
+
+/// The RT plugin: one instance per collector (the paper runs one
+/// BGPCorsaro per collector to spread load).
+pub struct RtPlugin {
+    collector: String,
+    vps: HashMap<IpAddr, VpTable>,
+    /// Pre-bin value of every cell touched this bin.
+    dirty: HashMap<(IpAddr, Prefix), Option<CellRoute>>,
+    elems_in_bin: u64,
+    /// A RIB dump is currently being applied.
+    rib_active: bool,
+    rib_corrupted: bool,
+    rib_start_ts: u64,
+    /// E3: a corrupted Updates record was seen; updates ignored until
+    /// the next clean RIB completes.
+    updates_poisoned: bool,
+    mq: Option<Arc<Cluster>>,
+    /// Publish a full table every this many bins (0 = never).
+    full_every_bins: u64,
+    bins_since_full: u64,
+    /// The Figure 9 series.
+    pub bin_series: Vec<RtBinStats>,
+    /// Accuracy counters.
+    pub error_stats: RtErrorStats,
+}
+
+impl RtPlugin {
+    /// A plugin for `collector`'s stream.
+    pub fn new(collector: &str) -> Self {
+        RtPlugin {
+            collector: collector.to_string(),
+            vps: HashMap::new(),
+            dirty: HashMap::new(),
+            elems_in_bin: 0,
+            rib_active: false,
+            rib_corrupted: false,
+            rib_start_ts: 0,
+            updates_poisoned: false,
+            mq: None,
+            full_every_bins: 0,
+            bins_since_full: 0,
+            bin_series: Vec::new(),
+            error_stats: RtErrorStats::default(),
+        }
+    }
+
+    /// Publish bin diffs (and periodic full tables) to the queue.
+    pub fn with_queue(mut self, mq: Arc<Cluster>, full_every_bins: u64) -> Self {
+        self.mq = Some(mq);
+        self.full_every_bins = full_every_bins;
+        self
+    }
+
+    /// The FSM state of the VP at `ip`, if known.
+    pub fn vp_state(&self, ip: IpAddr) -> Option<MacroState> {
+        self.vps.get(&ip).map(|v| v.state)
+    }
+
+    /// Number of announced prefixes in the VP's reconstructed table.
+    pub fn vp_table_size(&self, ip: IpAddr) -> usize {
+        self.vps
+            .get(&ip)
+            .map(|v| v.cells.values().filter(|c| c.main.is_some()).count())
+            .unwrap_or(0)
+    }
+
+    /// Known VPs.
+    pub fn vp_addrs(&self) -> Vec<IpAddr> {
+        self.vps.keys().copied().collect()
+    }
+
+    fn vp_entry(&mut self, ip: IpAddr, asn: Asn) -> &mut VpTable {
+        vp_entry_in(&mut self.vps, self.rib_active, ip, asn)
+    }
+
+    fn mark_dirty(
+        dirty: &mut HashMap<(IpAddr, Prefix), Option<CellRoute>>,
+        ip: IpAddr,
+        prefix: Prefix,
+        prev: &Option<CellRoute>,
+    ) {
+        dirty.entry((ip, prefix)).or_insert_with(|| prev.clone());
+    }
+
+    fn begin_rib(&mut self, ts: u64) {
+        self.rib_active = true;
+        self.rib_corrupted = false;
+        self.rib_start_ts = ts;
+        for vp in self.vps.values_mut() {
+            vp.rib_seen = false;
+            vp.check_ok = vp.state.table_available();
+            vp.state = match vp.state {
+                MacroState::Up | MacroState::UpRibApplication => MacroState::UpRibApplication,
+                _ => MacroState::DownRibApplication,
+            };
+        }
+    }
+
+    fn end_rib(&mut self) {
+        let corrupted = self.rib_corrupted;
+        let rib_start = self.rib_start_ts;
+        for (ip, vp) in self.vps.iter_mut() {
+            if corrupted {
+                // E1: discard the whole dump.
+                for cell in vp.cells.values_mut() {
+                    cell.shadow = None;
+                }
+                vp.state = match vp.state {
+                    MacroState::UpRibApplication => MacroState::Up,
+                    _ => MacroState::Down,
+                };
+                continue;
+            }
+            if !vp.rib_seen {
+                // None of the VP's routes are in the latest RIB dump:
+                // declare it down (RouteViews mitigation, footnote 5).
+                for (prefix, cell) in vp.cells.iter_mut() {
+                    if cell.main.is_some() {
+                        Self::mark_dirty(&mut self.dirty, *ip, *prefix, &cell.main);
+                        cell.main = None;
+                        cell.main_ts = rib_start;
+                    }
+                    cell.shadow = None;
+                }
+                vp.state = MacroState::Down;
+                continue;
+            }
+            // Accuracy check + merge.
+            let prefixes: Vec<Prefix> = vp.cells.keys().copied().collect();
+            for prefix in prefixes {
+                let cell = vp.cells.get_mut(&prefix).expect("cell present");
+                let untouched_since_rib = cell.main_ts <= rib_start;
+                match cell.shadow.take() {
+                    Some((shadow_route, shadow_ts)) => {
+                        if untouched_since_rib && vp.check_ok {
+                            self.error_stats.cells_checked += 1;
+                            if cell.main != shadow_route {
+                                self.error_stats.cells_mismatched += 1;
+                            }
+                        }
+                        // E2: apply only if not older than the cell's
+                        // last modification.
+                        if shadow_ts >= cell.main_ts && cell.main != shadow_route {
+                            Self::mark_dirty(&mut self.dirty, *ip, prefix, &cell.main);
+                            cell.main = shadow_route;
+                            cell.main_ts = shadow_ts;
+                        }
+                    }
+                    None => {
+                        // Announced but absent from the new RIB: stale
+                        // unless an update touched it meanwhile.
+                        if cell.main.is_some() && untouched_since_rib {
+                            if vp.check_ok {
+                                self.error_stats.cells_checked += 1;
+                                self.error_stats.cells_mismatched += 1;
+                            }
+                            Self::mark_dirty(&mut self.dirty, *ip, prefix, &cell.main);
+                            cell.main = None;
+                            cell.main_ts = rib_start;
+                        }
+                    }
+                }
+            }
+            vp.state = MacroState::Up;
+        }
+        self.rib_active = false;
+        if !corrupted {
+            // E3 recovery: a clean RIB restores update processing.
+            self.updates_poisoned = false;
+        }
+    }
+}
+
+impl Plugin for RtPlugin {
+    fn name(&self) -> &'static str {
+        "routing-tables"
+    }
+
+    fn process_record(&mut self, record: &BgpStreamRecord) {
+        if record.collector != self.collector {
+            return;
+        }
+        match record.dump_type {
+            DumpType::Rib => {
+                if record.position.is_start() && !self.rib_active {
+                    self.begin_rib(record.timestamp);
+                }
+                if !record.status.is_valid() {
+                    self.rib_corrupted = true; // E1
+                }
+                if self.rib_active {
+                    for elem in record.elems() {
+                        if elem.elem_type != ElemType::RibEntry {
+                            continue;
+                        }
+                        let (Some(prefix), Some(path)) = (elem.prefix, elem.as_path.clone())
+                        else {
+                            continue;
+                        };
+                        let ts = elem.time;
+                        let vp = self.vp_entry(elem.peer_address, elem.peer_asn);
+                        vp.rib_seen = true;
+                        let cell = vp.cells.entry(prefix).or_default();
+                        cell.shadow = Some((Some(CellRoute { path }), ts));
+                    }
+                }
+                if record.position.is_end() && self.rib_active {
+                    self.end_rib();
+                }
+            }
+            DumpType::Updates => {
+                if !record.status.is_valid() {
+                    // E3: stop applying updates, wait for next RIB.
+                    self.updates_poisoned = true;
+                    for vp in self.vps.values_mut() {
+                        vp.state = MacroState::Down;
+                    }
+                    return;
+                }
+                for elem in record.elems() {
+                    match elem.elem_type {
+                        ElemType::PeerState => {
+                            // E4: forced transitions.
+                            let rib_active = self.rib_active;
+                            let vp = vp_entry_in(
+                                &mut self.vps,
+                                rib_active,
+                                elem.peer_address,
+                                elem.peer_asn,
+                            );
+                            let established = elem
+                                .new_state
+                                .map(|s| s.is_established())
+                                .unwrap_or(false);
+                            vp.state = match (established, rib_active) {
+                                (true, true) => MacroState::UpRibApplication,
+                                (true, false) => MacroState::Up,
+                                (false, true) => MacroState::DownRibApplication,
+                                (false, false) => MacroState::Down,
+                            };
+                            if !established {
+                                // Session lost: the VP's table is no
+                                // longer trustworthy.
+                                for (prefix, cell) in vp.cells.iter_mut() {
+                                    if cell.main.is_some() {
+                                        Self::mark_dirty(
+                                            &mut self.dirty,
+                                            elem.peer_address,
+                                            *prefix,
+                                            &cell.main,
+                                        );
+                                        cell.main = None;
+                                        cell.main_ts = elem.time;
+                                    }
+                                }
+                            }
+                        }
+                        ElemType::Announcement if !self.updates_poisoned => {
+                            self.elems_in_bin += 1;
+                            let (Some(prefix), Some(path)) = (elem.prefix, elem.as_path.clone())
+                            else {
+                                continue;
+                            };
+                            let ts = elem.time;
+                            let dirty = &mut self.dirty;
+                            let ip = elem.peer_address;
+                            let vp =
+                                vp_entry_in(&mut self.vps, self.rib_active, ip, elem.peer_asn);
+                            let cell = vp.cells.entry(prefix).or_default();
+                            let new = Some(CellRoute { path });
+                            if cell.main != new {
+                                Self::mark_dirty(dirty, ip, prefix, &cell.main);
+                                cell.main = new;
+                            }
+                            cell.main_ts = ts;
+                        }
+                        ElemType::Withdrawal if !self.updates_poisoned => {
+                            self.elems_in_bin += 1;
+                            let Some(prefix) = elem.prefix else { continue };
+                            let ts = elem.time;
+                            let dirty = &mut self.dirty;
+                            let ip = elem.peer_address;
+                            let vp =
+                                vp_entry_in(&mut self.vps, self.rib_active, ip, elem.peer_asn);
+                            let cell = vp.cells.entry(prefix).or_default();
+                            if cell.main.is_some() {
+                                Self::mark_dirty(dirty, ip, prefix, &cell.main);
+                                cell.main = None;
+                            }
+                            cell.main_ts = ts;
+                        }
+                        _ => {
+                            // Poisoned updates still count as elems
+                            // received (they are extracted, not applied).
+                            if matches!(
+                                elem.elem_type,
+                                ElemType::Announcement | ElemType::Withdrawal
+                            ) {
+                                self.elems_in_bin += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn end_bin(&mut self, bin_start: u64, _bin_end: u64) {
+        // Count real value changes (a cell that flapped back within
+        // the bin is not a diff).
+        let mut diff_cells: Vec<DiffCell> = Vec::new();
+        for ((ip, prefix), prev) in self.dirty.drain() {
+            let current = self
+                .vps
+                .get(&ip)
+                .and_then(|vp| vp.cells.get(&prefix))
+                .and_then(|c| c.main.clone());
+            if current != prev {
+                let vp_asn = self.vps.get(&ip).map(|v| v.asn).unwrap_or(Asn(0));
+                diff_cells.push(DiffCell {
+                    vp: vp_asn,
+                    prefix,
+                    path: current.map(|r| r.path),
+                });
+            }
+        }
+        self.bin_series.push(RtBinStats {
+            bin: bin_start,
+            elems: self.elems_in_bin,
+            diff_cells: diff_cells.len() as u64,
+        });
+        self.elems_in_bin = 0;
+
+        if let Some(mq) = &self.mq {
+            let msg = RtMessage::Diff {
+                collector: self.collector.clone(),
+                bin: bin_start,
+                cells: diff_cells,
+            };
+            mq.produce("rt.tables", &self.collector, bin_start, msg.encode());
+            self.bins_since_full += 1;
+            if self.full_every_bins > 0 && self.bins_since_full >= self.full_every_bins {
+                self.bins_since_full = 0;
+                let mut cells = Vec::new();
+                for vp in self.vps.values() {
+                    if !vp.state.table_available() {
+                        continue;
+                    }
+                    for (prefix, cell) in &vp.cells {
+                        if let Some(route) = &cell.main {
+                            cells.push(DiffCell {
+                                vp: vp.asn,
+                                prefix: *prefix,
+                                path: Some(route.path.clone()),
+                            });
+                        }
+                    }
+                }
+                let full = RtMessage::Full {
+                    collector: self.collector.clone(),
+                    bin: bin_start,
+                    cells,
+                };
+                mq.produce("rt.tables", &self.collector, bin_start, full.encode());
+            }
+            mq.produce(
+                "rt.meta",
+                &self.collector,
+                bin_start,
+                encode_meta(&self.collector, bin_start),
+            );
+        }
+    }
+}
+
+fn vp_entry_in(
+    vps: &mut HashMap<IpAddr, VpTable>,
+    rib_active: bool,
+    ip: IpAddr,
+    asn: Asn,
+) -> &mut VpTable {
+    vps.entry(ip).or_insert_with(|| VpTable {
+        asn,
+        state: if rib_active {
+            MacroState::DownRibApplication
+        } else {
+            MacroState::Down
+        },
+        cells: HashMap::new(),
+        rib_seen: false,
+        check_ok: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::SessionState;
+    use bgpstream::record::{DumpPosition, RecordStatus};
+    use bgpstream::BgpStreamElem;
+
+    const VP: &str = "10.1.0.1";
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn vp_ip() -> IpAddr {
+        VP.parse().unwrap()
+    }
+
+    fn rec(
+        ts: u64,
+        dump_type: DumpType,
+        position: DumpPosition,
+        status: RecordStatus,
+        elems: Vec<BgpStreamElem>,
+    ) -> BgpStreamRecord {
+        BgpStreamRecord::new("ris", "rrc00", dump_type, 0, ts, position, status, elems)
+    }
+
+    fn elem(ty: ElemType, ts: u64, prefix: &str, path: &[u32]) -> BgpStreamElem {
+        BgpStreamElem {
+            elem_type: ty,
+            time: ts,
+            peer_address: vp_ip(),
+            peer_asn: Asn(65001),
+            prefix: Some(p(prefix)),
+            next_hop: None,
+            as_path: if path.is_empty() {
+                None
+            } else {
+                Some(AsPath::from_sequence(path.iter().copied()))
+            },
+            communities: None,
+            old_state: None,
+            new_state: None,
+        }
+    }
+
+    fn state_elem(ts: u64, new_state: SessionState) -> BgpStreamElem {
+        BgpStreamElem {
+            elem_type: ElemType::PeerState,
+            prefix: None,
+            old_state: Some(SessionState::Established),
+            new_state: Some(new_state),
+            ..elem(ElemType::PeerState, ts, "0.0.0.0/0", &[])
+        }
+    }
+
+    /// A 2-record RIB dump carrying one route.
+    fn feed_rib(rt: &mut RtPlugin, ts: u64, prefix: &str, path: &[u32]) {
+        rt.process_record(&rec(ts, DumpType::Rib, DumpPosition::Start, RecordStatus::Valid, vec![]));
+        rt.process_record(&rec(
+            ts,
+            DumpType::Rib,
+            DumpPosition::End,
+            RecordStatus::Valid,
+            vec![elem(ElemType::RibEntry, ts, prefix, path)],
+        ));
+    }
+
+    #[test]
+    fn fsm_walks_down_rib_up() {
+        let mut rt = RtPlugin::new("rrc00");
+        assert_eq!(rt.vp_state(vp_ip()), None);
+        rt.process_record(&rec(
+            100,
+            DumpType::Rib,
+            DumpPosition::Start,
+            RecordStatus::Valid,
+            vec![],
+        ));
+        rt.process_record(&rec(
+            100,
+            DumpType::Rib,
+            DumpPosition::Middle,
+            RecordStatus::Valid,
+            vec![elem(ElemType::RibEntry, 100, "10.0.0.0/8", &[65001, 137])],
+        ));
+        assert_eq!(rt.vp_state(vp_ip()), Some(MacroState::DownRibApplication));
+        rt.process_record(&rec(101, DumpType::Rib, DumpPosition::End, RecordStatus::Valid, vec![]));
+        assert_eq!(rt.vp_state(vp_ip()), Some(MacroState::Up));
+        assert_eq!(rt.vp_table_size(vp_ip()), 1);
+    }
+
+    #[test]
+    fn updates_evolve_the_table() {
+        let mut rt = RtPlugin::new("rrc00");
+        feed_rib(&mut rt, 100, "10.0.0.0/8", &[65001, 137]);
+        rt.process_record(&rec(
+            200,
+            DumpType::Updates,
+            DumpPosition::Middle,
+            RecordStatus::Valid,
+            vec![elem(ElemType::Announcement, 200, "20.0.0.0/16", &[65001, 9])],
+        ));
+        assert_eq!(rt.vp_table_size(vp_ip()), 2);
+        rt.process_record(&rec(
+            210,
+            DumpType::Updates,
+            DumpPosition::Middle,
+            RecordStatus::Valid,
+            vec![elem(ElemType::Withdrawal, 210, "10.0.0.0/8", &[])],
+        ));
+        assert_eq!(rt.vp_table_size(vp_ip()), 1);
+    }
+
+    #[test]
+    fn e1_corrupted_rib_is_ignored_entirely() {
+        let mut rt = RtPlugin::new("rrc00");
+        feed_rib(&mut rt, 100, "10.0.0.0/8", &[65001, 137]);
+        // Second RIB claims a different path but contains a corrupted
+        // record: it must be discarded; the table keeps the old path.
+        rt.process_record(&rec(500, DumpType::Rib, DumpPosition::Start, RecordStatus::Valid, vec![]));
+        rt.process_record(&rec(
+            500,
+            DumpType::Rib,
+            DumpPosition::Middle,
+            RecordStatus::Valid,
+            vec![elem(ElemType::RibEntry, 500, "10.0.0.0/8", &[65001, 666])],
+        ));
+        rt.process_record(&rec(
+            501,
+            DumpType::Rib,
+            DumpPosition::Middle,
+            RecordStatus::CorruptedRecord,
+            vec![],
+        ));
+        rt.process_record(&rec(502, DumpType::Rib, DumpPosition::End, RecordStatus::Valid, vec![]));
+        assert_eq!(rt.vp_state(vp_ip()), Some(MacroState::Up));
+        // Route unchanged (old path), and no accuracy penalty counted.
+        let errs = rt.error_stats;
+        assert_eq!(errs.cells_checked, 0);
+        assert_eq!(rt.vp_table_size(vp_ip()), 1);
+    }
+
+    #[test]
+    fn e2_stale_rib_rows_do_not_overwrite_newer_updates() {
+        let mut rt = RtPlugin::new("rrc00");
+        feed_rib(&mut rt, 100, "10.0.0.0/8", &[65001, 137]);
+        // An update at t=600 changes the path.
+        rt.process_record(&rec(
+            600,
+            DumpType::Updates,
+            DumpPosition::Middle,
+            RecordStatus::Valid,
+            vec![elem(ElemType::Announcement, 600, "10.0.0.0/8", &[65001, 42])],
+        ));
+        // A RIB whose records carry OLDER timestamps (out-of-order
+        // publication): must not clobber the newer update.
+        feed_rib(&mut rt, 550, "10.0.0.0/8", &[65001, 137]);
+        // Table must still hold the t=600 path: check via diff series.
+        rt.end_bin(0, 3600);
+        // The final value (path 42) vs pre-bin value (none → announced)
+        // is one diff; crucially the *stale* RIB didn't revert it.
+        // Verify by re-announcing the same path: no new diff.
+        rt.process_record(&rec(
+            700,
+            DumpType::Updates,
+            DumpPosition::Middle,
+            RecordStatus::Valid,
+            vec![elem(ElemType::Announcement, 700, "10.0.0.0/8", &[65001, 42])],
+        ));
+        rt.end_bin(3600, 7200);
+        assert_eq!(rt.bin_series.last().unwrap().diff_cells, 0);
+    }
+
+    #[test]
+    fn e3_corrupted_update_poisons_until_next_rib() {
+        let mut rt = RtPlugin::new("rrc00");
+        feed_rib(&mut rt, 100, "10.0.0.0/8", &[65001, 137]);
+        rt.process_record(&rec(
+            200,
+            DumpType::Updates,
+            DumpPosition::Middle,
+            RecordStatus::CorruptedRecord,
+            vec![],
+        ));
+        assert_eq!(rt.vp_state(vp_ip()), Some(MacroState::Down));
+        // Updates while poisoned are not applied.
+        rt.process_record(&rec(
+            210,
+            DumpType::Updates,
+            DumpPosition::Middle,
+            RecordStatus::Valid,
+            vec![elem(ElemType::Announcement, 210, "30.0.0.0/8", &[65001, 9])],
+        ));
+        assert_eq!(rt.vp_table_size(vp_ip()), 1);
+        // A clean RIB restores processing.
+        feed_rib(&mut rt, 300, "10.0.0.0/8", &[65001, 137]);
+        assert_eq!(rt.vp_state(vp_ip()), Some(MacroState::Up));
+        rt.process_record(&rec(
+            400,
+            DumpType::Updates,
+            DumpPosition::Middle,
+            RecordStatus::Valid,
+            vec![elem(ElemType::Announcement, 400, "30.0.0.0/8", &[65001, 9])],
+        ));
+        assert_eq!(rt.vp_table_size(vp_ip()), 2);
+    }
+
+    #[test]
+    fn e4_state_messages_force_transitions() {
+        let mut rt = RtPlugin::new("rrc00");
+        feed_rib(&mut rt, 100, "10.0.0.0/8", &[65001, 137]);
+        assert_eq!(rt.vp_state(vp_ip()), Some(MacroState::Up));
+        rt.process_record(&rec(
+            200,
+            DumpType::Updates,
+            DumpPosition::Middle,
+            RecordStatus::Valid,
+            vec![state_elem(200, SessionState::Idle)],
+        ));
+        assert_eq!(rt.vp_state(vp_ip()), Some(MacroState::Down));
+        assert_eq!(rt.vp_table_size(vp_ip()), 0, "down VP's table cleared");
+        rt.process_record(&rec(
+            300,
+            DumpType::Updates,
+            DumpPosition::Middle,
+            RecordStatus::Valid,
+            vec![state_elem(300, SessionState::Established)],
+        ));
+        assert_eq!(rt.vp_state(vp_ip()), Some(MacroState::Up));
+    }
+
+    #[test]
+    fn vp_missing_from_rib_is_declared_down() {
+        let mut rt = RtPlugin::new("rrc00");
+        feed_rib(&mut rt, 100, "10.0.0.0/8", &[65001, 137]);
+        assert_eq!(rt.vp_state(vp_ip()), Some(MacroState::Up));
+        // Next RIB has no rows for this VP (e.g. RouteViews VP died
+        // silently).
+        rt.process_record(&rec(500, DumpType::Rib, DumpPosition::Start, RecordStatus::Valid, vec![]));
+        rt.process_record(&rec(501, DumpType::Rib, DumpPosition::End, RecordStatus::Valid, vec![]));
+        assert_eq!(rt.vp_state(vp_ip()), Some(MacroState::Down));
+        assert_eq!(rt.vp_table_size(vp_ip()), 0);
+    }
+
+    #[test]
+    fn accuracy_check_counts_mismatches() {
+        let mut rt = RtPlugin::new("rrc00");
+        feed_rib(&mut rt, 100, "10.0.0.0/8", &[65001, 137]);
+        // Second RIB agrees → checked, no mismatch.
+        feed_rib(&mut rt, 500, "10.0.0.0/8", &[65001, 137]);
+        assert_eq!(rt.error_stats.cells_checked, 1);
+        assert_eq!(rt.error_stats.cells_mismatched, 0);
+        // Third RIB disagrees (we "missed" an update) → mismatch.
+        feed_rib(&mut rt, 900, "10.0.0.0/8", &[65001, 42]);
+        assert_eq!(rt.error_stats.cells_checked, 2);
+        assert_eq!(rt.error_stats.cells_mismatched, 1);
+        assert!(rt.error_stats.error_probability() > 0.0);
+    }
+
+    #[test]
+    fn diff_cells_dedupe_within_bin_and_ignore_flap_backs() {
+        let mut rt = RtPlugin::new("rrc00");
+        feed_rib(&mut rt, 0, "10.0.0.0/8", &[65001, 137]);
+        rt.end_bin(0, 60); // absorb RIB-application diffs
+        let announce = |rt: &mut RtPlugin, ts: u64, path: &[u32]| {
+            rt.process_record(&rec(
+                ts,
+                DumpType::Updates,
+                DumpPosition::Middle,
+                RecordStatus::Valid,
+                vec![elem(ElemType::Announcement, ts, "10.0.0.0/8", path)],
+            ));
+        };
+        // Path flaps A→B→A within one bin: zero diffs.
+        announce(&mut rt, 70, &[65001, 42]);
+        announce(&mut rt, 80, &[65001, 137]);
+        rt.end_bin(60, 120);
+        let s = rt.bin_series.last().unwrap();
+        assert_eq!(s.elems, 2);
+        assert_eq!(s.diff_cells, 0);
+        // A single real change: one diff despite two updates.
+        announce(&mut rt, 130, &[65001, 42]);
+        announce(&mut rt, 140, &[65001, 42]);
+        rt.end_bin(120, 180);
+        let s = rt.bin_series.last().unwrap();
+        assert_eq!(s.elems, 2);
+        assert_eq!(s.diff_cells, 1);
+    }
+
+    #[test]
+    fn queue_publication_emits_diffs_and_meta() {
+        let mq = Cluster::shared();
+        let mut rt = RtPlugin::new("rrc00").with_queue(mq.clone(), 2);
+        feed_rib(&mut rt, 0, "10.0.0.0/8", &[65001, 137]);
+        rt.end_bin(0, 60);
+        rt.end_bin(60, 120); // triggers a Full (every 2 bins)
+        let msgs = mq.fetch("rt.tables", 0, 0, 10);
+        assert!(msgs.len() >= 2);
+        let first = RtMessage::decode(&msgs[0].payload).unwrap();
+        assert!(matches!(first, RtMessage::Diff { .. }));
+        assert_eq!(first.cells().len(), 1);
+        let has_full = msgs
+            .iter()
+            .any(|m| matches!(RtMessage::decode(&m.payload), Ok(RtMessage::Full { .. })));
+        assert!(has_full, "no full table published");
+        assert_eq!(mq.stats("rt.meta").messages, 2);
+    }
+
+    #[test]
+    fn records_from_other_collectors_are_ignored() {
+        let mut rt = RtPlugin::new("rrc00");
+        let mut other = rec(
+            10,
+            DumpType::Updates,
+            DumpPosition::Middle,
+            RecordStatus::Valid,
+            vec![elem(ElemType::Announcement, 10, "10.0.0.0/8", &[65001, 1])],
+        );
+        other.collector = "rrc99".into();
+        rt.process_record(&other);
+        assert_eq!(rt.vp_state(vp_ip()), None);
+    }
+}

@@ -1,0 +1,158 @@
+//! A stateless classification plugin (§6.1's "stateless" plugin
+//! category): counts records and elems per bin, per collector and per
+//! class. Downstream plugins (or operators) use these series to watch
+//! feed health — e.g. a collector going quiet, or a burst of
+//! withdrawals.
+
+use std::collections::BTreeMap;
+
+use bgpstream::{BgpStreamRecord, ElemType};
+
+use crate::pipeline::Plugin;
+
+/// Per-bin, per-collector counters.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct BinCounters {
+    /// Records seen (all statuses).
+    pub records: u64,
+    /// Records with a non-valid status.
+    pub invalid_records: u64,
+    /// Announcement elems.
+    pub announcements: u64,
+    /// Withdrawal elems.
+    pub withdrawals: u64,
+    /// RIB-entry elems.
+    pub rib_entries: u64,
+    /// State-message elems.
+    pub state_messages: u64,
+}
+
+/// One output point.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StatsPoint {
+    /// Bin start time.
+    pub time: u64,
+    /// Counters per collector.
+    pub per_collector: BTreeMap<String, BinCounters>,
+}
+
+/// The elem/record statistics plugin.
+#[derive(Default)]
+pub struct ElemCounter {
+    current: BTreeMap<String, BinCounters>,
+    /// The completed bins.
+    pub series: Vec<StatsPoint>,
+}
+
+impl ElemCounter {
+    /// A fresh counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total elems across the whole run.
+    pub fn total_elems(&self) -> u64 {
+        self.series
+            .iter()
+            .flat_map(|p| p.per_collector.values())
+            .map(|c| c.announcements + c.withdrawals + c.rib_entries + c.state_messages)
+            .sum()
+    }
+}
+
+impl Plugin for ElemCounter {
+    fn name(&self) -> &'static str {
+        "elem-counter"
+    }
+
+    fn process_record(&mut self, record: &BgpStreamRecord) {
+        let c = self.current.entry(record.collector.clone()).or_default();
+        c.records += 1;
+        if !record.status.is_valid() {
+            c.invalid_records += 1;
+        }
+        for elem in record.elems() {
+            match elem.elem_type {
+                ElemType::Announcement => c.announcements += 1,
+                ElemType::Withdrawal => c.withdrawals += 1,
+                ElemType::RibEntry => c.rib_entries += 1,
+                ElemType::PeerState => c.state_messages += 1,
+            }
+        }
+    }
+
+    fn end_bin(&mut self, bin_start: u64, _bin_end: u64) {
+        self.series.push(StatsPoint {
+            time: bin_start,
+            per_collector: std::mem::take(&mut self.current),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::{AsPath, Asn, Prefix};
+    use bgpstream::record::{DumpPosition, RecordStatus};
+    use bgpstream::BgpStreamElem;
+    use broker::DumpType;
+
+    fn elem(ty: ElemType) -> BgpStreamElem {
+        BgpStreamElem {
+            elem_type: ty,
+            time: 0,
+            peer_address: "10.0.0.1".parse().unwrap(),
+            peer_asn: Asn(65001),
+            prefix: Some("10.0.0.0/8".parse::<Prefix>().unwrap()),
+            next_hop: None,
+            as_path: Some(AsPath::from_sequence([65001, 1])),
+            communities: None,
+            old_state: None,
+            new_state: None,
+        }
+    }
+
+    fn rec(collector: &str, status: RecordStatus, elems: Vec<BgpStreamElem>) -> BgpStreamRecord {
+        BgpStreamRecord::new(
+            "ris",
+            collector,
+            DumpType::Updates,
+            0,
+            1,
+            DumpPosition::Middle,
+            status,
+            elems,
+        )
+    }
+
+    #[test]
+    fn counts_by_collector_and_class() {
+        let mut p = ElemCounter::new();
+        p.process_record(&rec(
+            "rrc00",
+            RecordStatus::Valid,
+            vec![elem(ElemType::Announcement), elem(ElemType::Withdrawal)],
+        ));
+        p.process_record(&rec("rv2", RecordStatus::Valid, vec![elem(ElemType::RibEntry)]));
+        p.process_record(&rec("rrc00", RecordStatus::CorruptedRecord, vec![]));
+        p.end_bin(0, 60);
+        let point = &p.series[0];
+        let rrc = &point.per_collector["rrc00"];
+        assert_eq!(rrc.records, 2);
+        assert_eq!(rrc.invalid_records, 1);
+        assert_eq!(rrc.announcements, 1);
+        assert_eq!(rrc.withdrawals, 1);
+        assert_eq!(point.per_collector["rv2"].rib_entries, 1);
+        assert_eq!(p.total_elems(), 3);
+    }
+
+    #[test]
+    fn bins_reset_counters() {
+        let mut p = ElemCounter::new();
+        p.process_record(&rec("rrc00", RecordStatus::Valid, vec![elem(ElemType::Announcement)]));
+        p.end_bin(0, 60);
+        p.end_bin(60, 120);
+        assert_eq!(p.series.len(), 2);
+        assert!(p.series[1].per_collector.is_empty());
+    }
+}

@@ -1,0 +1,490 @@
+//! Stateless classification/tagging plugins (§6.1).
+//!
+//! The paper's BGPCorsaro pipeline distinguishes *stateless* plugins —
+//! "performing classification and tagging of BGP records; plugins
+//! following in the pipeline can use such tags to inform their
+//! processing" — from stateful aggregators. This module implements
+//! that tag flow:
+//!
+//! * [`TagSet`] — the tags attached to one record as it moves down the
+//!   pipeline;
+//! * [`Tagger`] — the stateless classifier interface;
+//! * [`ClassifierTagger`] — protocol-level tags (dump type, address
+//!   family, black-holing communities, private ASNs, session state);
+//! * [`GeoTagger`] — origin-AS → country tags from a configurable map;
+//! * [`TaggedPlugin`] / [`run_tagged_pipeline`] — the tag-aware
+//!   pipeline runner;
+//! * [`TagGate`] — adapts any plain [`Plugin`] into a tagged pipeline,
+//!   forwarding only records bearing a required tag;
+//! * [`TagCounter`] — a stateful downstream plugin producing per-bin
+//!   tag-frequency series.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bgp_types::{Asn, BLACKHOLE_VALUE};
+use bgpstream::{BgpStream, BgpStreamRecord, ElemType};
+use broker::DumpType;
+
+use crate::pipeline::Plugin;
+
+/// The tags attached to one record. Tags are short strings; well-known
+/// ones are defined as constants here, plugins may add their own.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct TagSet {
+    tags: BTreeSet<String>,
+}
+
+/// Record came from a RIB dump.
+pub const TAG_RIB: &str = "rib";
+/// Record came from an Updates dump.
+pub const TAG_UPDATES: &str = "updates";
+/// Record carries at least one announcement elem.
+pub const TAG_ANNOUNCE: &str = "announce";
+/// Record carries at least one withdrawal elem.
+pub const TAG_WITHDRAW: &str = "withdraw";
+/// Record carries a session state-change elem.
+pub const TAG_STATE: &str = "state-change";
+/// At least one elem carries a `*:666` black-holing community.
+pub const TAG_BLACKHOLE: &str = "blackhole";
+/// At least one AS path contains a private-use ASN.
+pub const TAG_PRIVATE_ASN: &str = "private-asn";
+/// At least one elem has an IPv4 prefix.
+pub const TAG_V4: &str = "v4";
+/// At least one elem has an IPv6 prefix.
+pub const TAG_V6: &str = "v6";
+/// The record is marked not-valid.
+pub const TAG_NOT_VALID: &str = "not-valid";
+
+impl TagSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a tag; returns whether it was new.
+    pub fn add(&mut self, tag: impl Into<String>) -> bool {
+        self.tags.insert(tag.into())
+    }
+
+    /// Whether a tag is present.
+    pub fn has(&self, tag: &str) -> bool {
+        self.tags.contains(tag)
+    }
+
+    /// Number of tags.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Whether no tags are set.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Iterate tags in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.tags.iter().map(String::as_str)
+    }
+
+    /// Tags with the given prefix (e.g. `geo:`), values only.
+    pub fn values_of(&self, prefix: &str) -> Vec<&str> {
+        self.tags
+            .iter()
+            .filter_map(|t| t.strip_prefix(prefix))
+            .collect()
+    }
+}
+
+/// A stateless classifier: inspects a record, adds tags.
+pub trait Tagger {
+    /// Short name for logs.
+    fn name(&self) -> &'static str;
+
+    /// Add tags for `record` to `tags`.
+    fn tag(&mut self, record: &BgpStreamRecord, tags: &mut TagSet);
+}
+
+/// Protocol-level classification: dump type, elem types, address
+/// family, black-holing communities, private ASNs, validity.
+#[derive(Default)]
+pub struct ClassifierTagger;
+
+impl Tagger for ClassifierTagger {
+    fn name(&self) -> &'static str {
+        "classifier"
+    }
+
+    fn tag(&mut self, record: &BgpStreamRecord, tags: &mut TagSet) {
+        match record.dump_type {
+            DumpType::Rib => tags.add(TAG_RIB),
+            DumpType::Updates => tags.add(TAG_UPDATES),
+        };
+        if !record.status.is_valid() {
+            tags.add(TAG_NOT_VALID);
+        }
+        for elem in record.elems() {
+            match elem.elem_type {
+                ElemType::Announcement => {
+                    tags.add(TAG_ANNOUNCE);
+                }
+                ElemType::Withdrawal => {
+                    tags.add(TAG_WITHDRAW);
+                }
+                ElemType::PeerState => {
+                    tags.add(TAG_STATE);
+                }
+                ElemType::RibEntry => {}
+            }
+            if let Some(p) = &elem.prefix {
+                tags.add(if p.is_ipv4() { TAG_V4 } else { TAG_V6 });
+            }
+            if let Some(cs) = &elem.communities {
+                if cs.iter().any(|c| c.value == BLACKHOLE_VALUE) {
+                    tags.add(TAG_BLACKHOLE);
+                }
+            }
+            if let Some(path) = &elem.as_path {
+                if path.asns().any(|a| a.is_private()) {
+                    tags.add(TAG_PRIVATE_ASN);
+                }
+            }
+        }
+    }
+}
+
+/// Tags records with the origin AS's country (`geo:XX`), from a
+/// configurable origin→country map (ground truth in the simulator,
+/// a geolocation database in a real deployment).
+pub struct GeoTagger {
+    origins: BTreeMap<Asn, [u8; 2]>,
+}
+
+impl GeoTagger {
+    /// Build from `(origin ASN, country)` pairs.
+    pub fn new(pairs: impl IntoIterator<Item = (Asn, [u8; 2])>) -> Self {
+        GeoTagger { origins: pairs.into_iter().collect() }
+    }
+
+    /// Number of mapped origins.
+    pub fn len(&self) -> usize {
+        self.origins.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.origins.is_empty()
+    }
+}
+
+impl Tagger for GeoTagger {
+    fn name(&self) -> &'static str {
+        "geo"
+    }
+
+    fn tag(&mut self, record: &BgpStreamRecord, tags: &mut TagSet) {
+        for elem in record.elems() {
+            if let Some(cc) = elem.origin_asn().and_then(|o| self.origins.get(&o)) {
+                tags.add(format!("geo:{}", String::from_utf8_lossy(cc)));
+            }
+        }
+    }
+}
+
+/// A plugin that sees the tags added by upstream taggers.
+pub trait TaggedPlugin {
+    /// Short name for logs.
+    fn name(&self) -> &'static str;
+
+    /// One record plus its tags.
+    fn process_record(&mut self, record: &BgpStreamRecord, tags: &TagSet);
+
+    /// The bin `[bin_start, bin_end)` closed.
+    fn end_bin(&mut self, bin_start: u64, bin_end: u64);
+}
+
+/// Adapt a plain [`Plugin`] into a tagged pipeline: the inner plugin
+/// receives only records bearing `required` (pass `None` to forward
+/// everything).
+pub struct TagGate<P> {
+    required: Option<String>,
+    inner: P,
+    forwarded: u64,
+    dropped: u64,
+}
+
+impl<P: Plugin> TagGate<P> {
+    /// Gate `inner` on the presence of `required`.
+    pub fn new(required: Option<&str>, inner: P) -> Self {
+        TagGate {
+            required: required.map(str::to_string),
+            inner,
+            forwarded: 0,
+            dropped: 0,
+        }
+    }
+
+    /// `(forwarded, dropped)` record counts.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.forwarded, self.dropped)
+    }
+
+    /// The wrapped plugin.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// The wrapped plugin, mutable.
+    pub fn inner_mut(&mut self) -> &mut P {
+        &mut self.inner
+    }
+}
+
+impl<P: Plugin> TaggedPlugin for TagGate<P> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn process_record(&mut self, record: &BgpStreamRecord, tags: &TagSet) {
+        let pass = self.required.as_deref().is_none_or(|t| tags.has(t));
+        if pass {
+            self.forwarded += 1;
+            self.inner.process_record(record);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    fn end_bin(&mut self, s: u64, e: u64) {
+        self.inner.end_bin(s, e);
+    }
+}
+
+/// Per-bin tag frequencies: one `(bin_start, tag → records)` row per
+/// closed bin.
+#[derive(Default)]
+pub struct TagCounter {
+    current: BTreeMap<String, u64>,
+    rows: Vec<(u64, BTreeMap<String, u64>)>,
+}
+
+impl TagCounter {
+    /// An empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Closed rows so far.
+    pub fn rows(&self) -> &[(u64, BTreeMap<String, u64>)] {
+        &self.rows
+    }
+}
+
+impl TaggedPlugin for TagCounter {
+    fn name(&self) -> &'static str {
+        "tag-counter"
+    }
+
+    fn process_record(&mut self, _record: &BgpStreamRecord, tags: &TagSet) {
+        for t in tags.iter() {
+            *self.current.entry(t.to_string()).or_insert(0) += 1;
+        }
+    }
+
+    fn end_bin(&mut self, bin_start: u64, _bin_end: u64) {
+        self.rows.push((bin_start, std::mem::take(&mut self.current)));
+    }
+}
+
+/// Drive a tagged pipeline: every record is first passed through all
+/// `taggers` (accumulating one [`TagSet`]), then to all `plugins`.
+/// Binning matches [`crate::pipeline::run_pipeline`]: bins aligned to
+/// `bin_size`, empty bins closed in order.
+pub fn run_tagged_pipeline(
+    stream: &mut BgpStream,
+    bin_size: u64,
+    taggers: &mut [&mut dyn Tagger],
+    plugins: &mut [&mut dyn TaggedPlugin],
+) -> u64 {
+    let bin_size = bin_size.max(1);
+    let mut current_bin: Option<u64> = None;
+    let mut records = 0u64;
+    while let Some(rec) = stream.next_record() {
+        let bin = rec.timestamp - rec.timestamp % bin_size;
+        match current_bin {
+            None => current_bin = Some(bin),
+            Some(cur) if bin > cur => {
+                let mut b = cur;
+                while b < bin {
+                    for p in plugins.iter_mut() {
+                        p.end_bin(b, b + bin_size);
+                    }
+                    b += bin_size;
+                }
+                current_bin = Some(bin);
+            }
+            _ => {}
+        }
+        let mut tags = TagSet::new();
+        for t in taggers.iter_mut() {
+            t.tag(&rec, &mut tags);
+        }
+        for p in plugins.iter_mut() {
+            p.process_record(&rec, &tags);
+        }
+        records += 1;
+    }
+    if let Some(cur) = current_bin {
+        for p in plugins.iter_mut() {
+            p.end_bin(cur, cur + bin_size);
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::{AsPath, Community, CommunitySet};
+    use bgpstream::record::{DumpPosition, RecordStatus};
+    use bgpstream::BgpStreamElem;
+
+    fn elem(prefix: &str, path: &[u32], comms: &[(u16, u16)]) -> BgpStreamElem {
+        BgpStreamElem {
+            elem_type: ElemType::Announcement,
+            time: 0,
+            peer_address: "192.0.2.1".parse().unwrap(),
+            peer_asn: Asn(path[0]),
+            prefix: Some(prefix.parse().unwrap()),
+            next_hop: Some("192.0.2.1".parse().unwrap()),
+            as_path: Some(AsPath::from_sequence(path.iter().copied())),
+            communities: Some(CommunitySet::from_iter(
+                comms.iter().map(|&(a, v)| Community::new(a, v)),
+            )),
+            old_state: None,
+            new_state: None,
+        }
+    }
+
+    fn record(ty: DumpType, elems: Vec<BgpStreamElem>) -> BgpStreamRecord {
+        BgpStreamRecord::new(
+            "ris",
+            "rrc00",
+            ty,
+            0,
+            0,
+            DumpPosition::Middle,
+            RecordStatus::Valid,
+            elems,
+        )
+    }
+
+    #[test]
+    fn classifier_tags_protocol_features() {
+        let rec = record(
+            DumpType::Updates,
+            vec![elem("10.0.0.0/8", &[65001, 3356, 137], &[(3356, 666)])],
+        );
+        let mut tags = TagSet::new();
+        ClassifierTagger.tag(&rec, &mut tags);
+        assert!(tags.has(TAG_UPDATES));
+        assert!(tags.has(TAG_ANNOUNCE));
+        assert!(tags.has(TAG_BLACKHOLE));
+        assert!(tags.has(TAG_V4));
+        assert!(tags.has(TAG_PRIVATE_ASN), "65001 is private");
+        assert!(!tags.has(TAG_RIB));
+        assert!(!tags.has(TAG_V6));
+        assert!(!tags.has(TAG_STATE));
+    }
+
+    #[test]
+    fn classifier_tags_v6_and_rib() {
+        let rec = record(DumpType::Rib, vec![{
+            let mut e = elem("10.0.0.0/8", &[9, 137], &[]);
+            e.elem_type = ElemType::RibEntry;
+            e.prefix = Some("2001:db8::/32".parse().unwrap());
+            e
+        }]);
+        let mut tags = TagSet::new();
+        ClassifierTagger.tag(&rec, &mut tags);
+        assert!(tags.has(TAG_RIB));
+        assert!(tags.has(TAG_V6));
+        assert!(!tags.has(TAG_ANNOUNCE));
+        assert!(!tags.has(TAG_PRIVATE_ASN));
+    }
+
+    #[test]
+    fn geo_tagger_maps_origins() {
+        let mut g = GeoTagger::new([(Asn(137), *b"IT"), (Asn(9), *b"AU")]);
+        let rec = record(DumpType::Updates, vec![elem("10.0.0.0/8", &[1, 3356, 137], &[])]);
+        let mut tags = TagSet::new();
+        g.tag(&rec, &mut tags);
+        assert!(tags.has("geo:IT"));
+        assert_eq!(tags.values_of("geo:"), vec!["IT"]);
+    }
+
+    /// Minimal inner plugin counting records it received.
+    struct Count(u64);
+    impl Plugin for Count {
+        fn name(&self) -> &'static str {
+            "count"
+        }
+        fn process_record(&mut self, _r: &BgpStreamRecord) {
+            self.0 += 1;
+        }
+        fn end_bin(&mut self, _s: u64, _e: u64) {}
+    }
+
+    #[test]
+    fn tag_gate_filters_on_required_tag() {
+        let mut gate = TagGate::new(Some(TAG_BLACKHOLE), Count(0));
+        let bh = record(
+            DumpType::Updates,
+            vec![elem("10.0.0.0/8", &[1, 2], &[(3356, 666)])],
+        );
+        let plain = record(DumpType::Updates, vec![elem("10.0.0.0/8", &[1, 2], &[])]);
+        let mut tags = TagSet::new();
+        ClassifierTagger.tag(&bh, &mut tags);
+        gate.process_record(&bh, &tags);
+        let mut tags = TagSet::new();
+        ClassifierTagger.tag(&plain, &mut tags);
+        gate.process_record(&plain, &tags);
+        assert_eq!(gate.stats(), (1, 1));
+        assert_eq!(gate.inner().0, 1);
+    }
+
+    #[test]
+    fn tag_gate_without_requirement_forwards_all() {
+        let mut gate = TagGate::new(None, Count(0));
+        let rec = record(DumpType::Updates, vec![]);
+        gate.process_record(&rec, &TagSet::new());
+        assert_eq!(gate.stats(), (1, 0));
+    }
+
+    #[test]
+    fn tag_counter_rows_per_bin() {
+        let mut c = TagCounter::new();
+        let mut tags = TagSet::new();
+        tags.add(TAG_UPDATES);
+        tags.add(TAG_ANNOUNCE);
+        let rec = record(DumpType::Updates, vec![]);
+        c.process_record(&rec, &tags);
+        c.process_record(&rec, &tags);
+        c.end_bin(0, 60);
+        c.process_record(&rec, &tags);
+        c.end_bin(60, 120);
+        assert_eq!(c.rows().len(), 2);
+        assert_eq!(c.rows()[0].1[TAG_UPDATES], 2);
+        assert_eq!(c.rows()[1].1[TAG_ANNOUNCE], 1);
+    }
+
+    #[test]
+    fn tagset_basics() {
+        let mut t = TagSet::new();
+        assert!(t.is_empty());
+        assert!(t.add("a"));
+        assert!(!t.add("a"));
+        assert_eq!(t.len(), 1);
+        assert!(t.has("a") && !t.has("b"));
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec!["a"]);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property tests on the RT plugin: arbitrary record sequences must
+//! never panic, and the reconstructed table must match a simple oracle
+//! that replays announcements/withdrawals in order.
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+use bgp_types::{AsPath, Asn, Prefix};
+use bgpstream::record::{DumpPosition, RecordStatus};
+use bgpstream::{BgpStreamElem, BgpStreamRecord, ElemType};
+use broker::DumpType;
+use corsaro::rt::RtPlugin;
+use corsaro::Plugin;
+use proptest::prelude::*;
+
+const VPS: [&str; 3] = ["10.0.0.1", "10.0.0.2", "10.0.0.3"];
+const PREFIXES: [&str; 4] = ["11.0.0.0/16", "11.1.0.0/16", "11.2.0.0/16", "11.3.0.0/16"];
+
+#[derive(Clone, Debug)]
+enum Op {
+    Announce { vp: usize, pfx: usize, origin: u32 },
+    Withdraw { vp: usize, pfx: usize },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..3, 0usize..4, 100u32..105)
+            .prop_map(|(vp, pfx, origin)| Op::Announce { vp, pfx, origin }),
+        (0usize..3, 0usize..4).prop_map(|(vp, pfx)| Op::Withdraw { vp, pfx }),
+    ]
+}
+
+fn elem(op: &Op, ts: u64) -> BgpStreamElem {
+    let (vp, pfx, elem_type, path) = match op {
+        Op::Announce { vp, pfx, origin } => (
+            *vp,
+            *pfx,
+            ElemType::Announcement,
+            Some(AsPath::from_sequence([65000 + *vp as u32, *origin])),
+        ),
+        Op::Withdraw { vp, pfx } => (*vp, *pfx, ElemType::Withdrawal, None),
+    };
+    BgpStreamElem {
+        elem_type,
+        time: ts,
+        peer_address: VPS[vp].parse().unwrap(),
+        peer_asn: Asn(65000 + vp as u32),
+        prefix: Some(PREFIXES[pfx].parse().unwrap()),
+        next_hop: None,
+        as_path: path,
+        communities: None,
+        old_state: None,
+        new_state: None,
+    }
+}
+
+fn update_record(ts: u64, elems: Vec<BgpStreamElem>) -> BgpStreamRecord {
+    BgpStreamRecord::new(
+        "ris",
+        "rrc00",
+        DumpType::Updates,
+        0,
+        ts,
+        DumpPosition::Middle,
+        RecordStatus::Valid,
+        elems,
+    )
+}
+
+proptest! {
+    #[test]
+    fn rt_table_matches_sequential_oracle(ops in proptest::collection::vec(arb_op(), 0..60)) {
+        let mut rt = RtPlugin::new("rrc00");
+        // Prime with an empty RIB so VPs come up.
+        rt.process_record(&BgpStreamRecord::new(
+            "ris", "rrc00", DumpType::Rib, 0, 0,
+            DumpPosition::Only, RecordStatus::Valid, vec![],
+        ));
+        let mut oracle: HashMap<(IpAddr, Prefix), u32> = HashMap::new();
+        for (k, op) in ops.iter().enumerate() {
+            let ts = 10 + k as u64;
+            rt.process_record(&update_record(ts, vec![elem(op, ts)]));
+            match op {
+                Op::Announce { vp, pfx, origin } => {
+                    oracle.insert(
+                        (VPS[*vp].parse().unwrap(), PREFIXES[*pfx].parse().unwrap()),
+                        *origin,
+                    );
+                }
+                Op::Withdraw { vp, pfx } => {
+                    oracle.remove(&(
+                        VPS[*vp].parse().unwrap(),
+                        PREFIXES[*pfx].parse().unwrap(),
+                    ));
+                }
+            }
+        }
+        rt.end_bin(0, 1_000_000);
+        // Per-VP table sizes must equal the oracle's.
+        for (i, vp) in VPS.iter().enumerate() {
+            let ip: IpAddr = vp.parse().unwrap();
+            let want = oracle.keys().filter(|(a, _)| *a == ip).count();
+            prop_assert_eq!(rt.vp_table_size(ip), want, "vp {}", i);
+        }
+        // Diff accounting is bounded by elems processed.
+        let total_diffs: u64 = rt.bin_series.iter().map(|b| b.diff_cells).sum();
+        let total_elems: u64 = rt.bin_series.iter().map(|b| b.elems).sum();
+        prop_assert!(total_diffs <= total_elems.max(1));
+    }
+
+    #[test]
+    fn rt_never_panics_on_corrupt_interleavings(
+        script in proptest::collection::vec((0u8..6, 0usize..3, 0usize..4), 0..80)
+    ) {
+        let mut rt = RtPlugin::new("rrc00");
+        for (k, (kind, vp, pfx)) in script.iter().enumerate() {
+            let ts = k as u64;
+            let rec = match kind {
+                0 => update_record(ts, vec![elem(&Op::Announce { vp: *vp, pfx: *pfx, origin: 9 }, ts)]),
+                1 => update_record(ts, vec![elem(&Op::Withdraw { vp: *vp, pfx: *pfx }, ts)]),
+                2 => BgpStreamRecord::new(
+                    "ris", "rrc00", DumpType::Rib, ts, ts,
+                    DumpPosition::Start, RecordStatus::Valid, vec![],
+                ),
+                3 => BgpStreamRecord::new(
+                    "ris", "rrc00", DumpType::Rib, ts, ts,
+                    DumpPosition::End, RecordStatus::Valid, vec![],
+                ),
+                4 => BgpStreamRecord::new(
+                    "ris", "rrc00", DumpType::Updates, ts, ts,
+                    DumpPosition::Middle, RecordStatus::CorruptedRecord, vec![],
+                ),
+                _ => BgpStreamRecord::new(
+                    "ris", "rrc00", DumpType::Rib, ts, ts,
+                    DumpPosition::Middle, RecordStatus::CorruptedRecord, vec![],
+                ),
+            };
+            rt.process_record(&rec);
+            if k % 7 == 6 {
+                rt.end_bin(ts, ts + 1);
+            }
+        }
+        rt.end_bin(1_000, 2_000);
+        // Error probability stays a probability.
+        let p = rt.error_stats.error_probability();
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+}

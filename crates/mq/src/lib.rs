@@ -1,0 +1,21 @@
+//! A Kafka-like message queue (substitute for Apache Kafka, §6.2).
+//!
+//! The paper's continuous global monitoring architecture stores RT
+//! plugin output in a Kafka cluster and coordinates consumers through
+//! per-application *sync servers* that watch lightweight meta-data and
+//! mark time bins ready for consumption. This crate reproduces those
+//! semantics in-process:
+//!
+//! * [`Cluster`] — named topics of partitioned, append-only message
+//!   logs with monotonically increasing offsets, blocking fetch, and
+//!   consumer-group offset commits;
+//! * [`sync::SyncServer`] — the §6.2.3 synchronization policies:
+//!   *completeness* (wait for all producers of a bin) and *timeout*
+//!   (mark the bin ready at most `T` after its first arrival), both
+//!   driven by virtual time.
+
+pub mod log;
+pub mod sync;
+
+pub use log::{Cluster, Message, TopicStats};
+pub use sync::{SyncDecision, SyncPolicy, SyncServer};

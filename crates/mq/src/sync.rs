@@ -1,0 +1,188 @@
+//! Per-application data synchronization (§6.2.3).
+//!
+//! Different collectors publish data with variable delay; consumers
+//! need a policy for when a time bin is "ready". The paper describes
+//! sync servers that watch lightweight meta-data in Kafka and inject
+//! readiness markers per application:
+//!
+//! * hijack detection uses a short **timeout** ("a time-out of a few
+//!   minutes to execute traceroutes as soon as a suspicious event is
+//!   detected");
+//! * IODA relaxes latency for completeness (30-minute timeout yields
+//!   tables from all VPs for 99 % of bins).
+//!
+//! [`SyncServer`] is the pure decision core: feed it per-(producer,
+//! bin) arrival observations and a virtual `now`, and it emits
+//! [`SyncDecision`]s according to its [`SyncPolicy`].
+
+use std::collections::{BTreeMap, HashSet};
+
+/// When is a bin ready?
+#[derive(Clone, Debug, PartialEq)]
+pub enum SyncPolicy {
+    /// Ready only when *all* expected producers delivered the bin.
+    Completeness,
+    /// Ready when all producers delivered, or `timeout` seconds after
+    /// the bin's first arrival, whichever is earlier.
+    Timeout(u64),
+    /// Ready as soon as `frac` (0..=1) of producers delivered.
+    Fraction(f64),
+}
+
+/// A readiness decision for one bin.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SyncDecision {
+    /// The bin's start time.
+    pub bin: u64,
+    /// Producers whose data made it in time.
+    pub producers: Vec<String>,
+    /// True when every expected producer delivered.
+    pub complete: bool,
+}
+
+#[derive(Debug, Default)]
+struct BinState {
+    arrived: HashSet<String>,
+    first_arrival: u64,
+}
+
+/// The sync-server decision core.
+pub struct SyncServer {
+    policy: SyncPolicy,
+    expected: Vec<String>,
+    bins: BTreeMap<u64, BinState>,
+    decided: HashSet<u64>,
+}
+
+impl SyncServer {
+    /// A server expecting one delivery per `expected` producer per
+    /// bin.
+    pub fn new(policy: SyncPolicy, expected: Vec<String>) -> Self {
+        SyncServer { policy, expected, bins: BTreeMap::new(), decided: HashSet::new() }
+    }
+
+    /// Record that `producer` delivered its data for `bin` at `now`.
+    pub fn observe(&mut self, producer: &str, bin: u64, now: u64) {
+        if self.decided.contains(&bin) {
+            return; // late arrival, bin already released
+        }
+        let st = self.bins.entry(bin).or_insert_with(|| BinState {
+            arrived: HashSet::new(),
+            first_arrival: now,
+        });
+        st.arrived.insert(producer.to_string());
+        st.first_arrival = st.first_arrival.min(now);
+    }
+
+    /// Bins pending a decision.
+    pub fn pending(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Evaluate the policy at virtual time `now`, returning newly
+    /// ready bins in time order.
+    pub fn poll(&mut self, now: u64) -> Vec<SyncDecision> {
+        let mut out = Vec::new();
+        let ready_bins: Vec<u64> = self
+            .bins
+            .iter()
+            .filter(|(_, st)| {
+                let complete = st.arrived.len() >= self.expected.len();
+                match self.policy {
+                    SyncPolicy::Completeness => complete,
+                    SyncPolicy::Timeout(t) => complete || now >= st.first_arrival + t,
+                    SyncPolicy::Fraction(f) => {
+                        st.arrived.len() as f64 >= f * self.expected.len() as f64
+                    }
+                }
+            })
+            .map(|(b, _)| *b)
+            .collect();
+        for bin in ready_bins {
+            let st = self.bins.remove(&bin).expect("bin present");
+            self.decided.insert(bin);
+            let mut producers: Vec<String> = st.arrived.into_iter().collect();
+            producers.sort();
+            let complete = producers.len() >= self.expected.len();
+            out.push(SyncDecision { bin, producers, complete });
+        }
+        out.sort_by_key(|d| d.bin);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server(policy: SyncPolicy) -> SyncServer {
+        SyncServer::new(policy, vec!["rrc00".into(), "rrc01".into(), "rv2".into()])
+    }
+
+    #[test]
+    fn completeness_waits_for_all() {
+        let mut s = server(SyncPolicy::Completeness);
+        s.observe("rrc00", 100, 110);
+        s.observe("rrc01", 100, 115);
+        assert!(s.poll(10_000).is_empty());
+        s.observe("rv2", 100, 130);
+        let d = s.poll(130);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].complete);
+        assert_eq!(d[0].producers.len(), 3);
+    }
+
+    #[test]
+    fn timeout_releases_partial_bins() {
+        let mut s = server(SyncPolicy::Timeout(1800));
+        s.observe("rrc00", 100, 110);
+        assert!(s.poll(1000).is_empty());
+        let d = s.poll(110 + 1800);
+        assert_eq!(d.len(), 1);
+        assert!(!d[0].complete);
+        assert_eq!(d[0].producers, vec!["rrc00".to_string()]);
+    }
+
+    #[test]
+    fn timeout_releases_early_when_complete() {
+        let mut s = server(SyncPolicy::Timeout(1800));
+        s.observe("rrc00", 100, 110);
+        s.observe("rrc01", 100, 112);
+        s.observe("rv2", 100, 115);
+        let d = s.poll(116);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].complete);
+    }
+
+    #[test]
+    fn fraction_policy() {
+        let mut s = server(SyncPolicy::Fraction(0.66));
+        s.observe("rrc00", 100, 1);
+        assert!(s.poll(2).is_empty());
+        s.observe("rrc01", 100, 3);
+        let d = s.poll(4);
+        assert_eq!(d.len(), 1);
+        assert!(!d[0].complete);
+    }
+
+    #[test]
+    fn late_arrivals_after_decision_are_dropped() {
+        let mut s = server(SyncPolicy::Timeout(10));
+        s.observe("rrc00", 100, 0);
+        assert_eq!(s.poll(50).len(), 1);
+        // rv2 arrives after the bin was released.
+        s.observe("rv2", 100, 60);
+        assert!(s.poll(1000).is_empty());
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn bins_release_in_time_order() {
+        let mut s = server(SyncPolicy::Timeout(10));
+        s.observe("rrc00", 200, 0);
+        s.observe("rrc00", 100, 0);
+        let d = s.poll(100);
+        assert_eq!(d.len(), 2);
+        assert!(d[0].bin < d[1].bin);
+    }
+}

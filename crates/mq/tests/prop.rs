@@ -1,0 +1,78 @@
+//! Property tests on the message queue: offsets are dense and stable,
+//! fetch windows tile the log exactly, and the sync server releases
+//! every bin exactly once under any interleaving.
+
+use mq::{Cluster, SyncPolicy, SyncServer};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn offsets_are_dense_and_fetch_tiles_the_log(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..20), 1..80),
+        chunk in 1usize..17,
+    ) {
+        let c = Cluster::new();
+        c.create_topic("t", 1);
+        for (k, p) in payloads.iter().enumerate() {
+            let (part, off) = c.produce("t", "key", k as u64, p.clone());
+            prop_assert_eq!(part, 0);
+            prop_assert_eq!(off, k as u64);
+        }
+        // Fetch in chunks; concatenation equals the original sequence.
+        let mut all = Vec::new();
+        let mut off = 0u64;
+        loop {
+            let batch = c.fetch("t", 0, off, chunk);
+            if batch.is_empty() {
+                break;
+            }
+            prop_assert!(batch.len() <= chunk);
+            for m in &batch {
+                prop_assert_eq!(m.offset, off + (all.len() as u64 - off));
+                all.push(m.payload.clone());
+            }
+            off = all.len() as u64;
+        }
+        prop_assert_eq!(all, payloads);
+    }
+
+    #[test]
+    fn keyed_routing_is_a_function(keys in proptest::collection::vec("[a-z]{1,8}", 1..40)) {
+        let c = Cluster::new();
+        c.create_topic("t", 5);
+        let mut seen: std::collections::HashMap<String, usize> = Default::default();
+        for k in &keys {
+            let (part, _) = c.produce("t", k, 0, vec![]);
+            if let Some(prev) = seen.insert(k.clone(), part) {
+                prop_assert_eq!(prev, part, "key {} moved partitions", k);
+            }
+        }
+    }
+
+    #[test]
+    fn sync_server_releases_each_bin_once(
+        arrivals in proptest::collection::vec((0u64..5, 0usize..3, 0u64..1000), 0..60),
+        timeout in 1u64..500,
+    ) {
+        let producers = vec!["a".to_string(), "b".to_string(), "c".to_string()];
+        let mut s = SyncServer::new(SyncPolicy::Timeout(timeout), producers.clone());
+        let mut released: Vec<u64> = Vec::new();
+        let mut now = 0;
+        for (bin, producer, dt) in arrivals {
+            now += dt;
+            s.observe(&producers[producer], bin * 100, now);
+            for d in s.poll(now) {
+                released.push(d.bin);
+            }
+        }
+        // Flush everything.
+        for d in s.poll(u64::MAX) {
+            released.push(d.bin);
+        }
+        let mut dedup = released.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), released.len(), "a bin was released twice");
+        prop_assert_eq!(s.pending(), 0, "bins left pending after final poll");
+    }
+}

@@ -1,0 +1,279 @@
+//! Pull parser for MRT dump files with corruption signalling.
+//!
+//! The paper (§3.3.3) extends libBGPdump to "signal a corrupted read"
+//! so libBGPStream can mark records not-valid instead of silently
+//! skipping them. [`MrtReader`] does the same: every `next()` yields
+//! `Some(Ok(record))`, `Some(Err(error))` (corrupted read — the stream
+//! is not advanced further), or `None` (clean end of file).
+
+use std::io::Read;
+
+use bgp_types::message::CodecError;
+
+use crate::record::{MrtHeader, MrtRecord};
+
+/// Errors surfaced while reading MRT data.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MrtError {
+    /// The input ended inside a structure.
+    Truncated(&'static str),
+    /// A structurally valid but semantically bad field.
+    Invalid(&'static str),
+    /// A record type/subtype this implementation does not handle.
+    Unsupported(&'static str),
+    /// The embedded BGP message failed to decode.
+    Bgp(CodecError),
+    /// An I/O error from the underlying reader.
+    Io(String),
+    /// A record body larger than the sanity cap (corrupt length field).
+    OversizedRecord(u32),
+}
+
+impl std::fmt::Display for MrtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MrtError::Truncated(w) => write!(f, "truncated {w}"),
+            MrtError::Invalid(w) => write!(f, "invalid {w}"),
+            MrtError::Unsupported(w) => write!(f, "unsupported {w}"),
+            MrtError::Bgp(e) => write!(f, "embedded BGP message: {e}"),
+            MrtError::Io(e) => write!(f, "I/O: {e}"),
+            MrtError::OversizedRecord(n) => write!(f, "record body of {n} bytes exceeds cap"),
+        }
+    }
+}
+
+impl std::error::Error for MrtError {}
+
+/// Sanity cap on record bodies; real RIB rows stay well under this and
+/// a larger value almost certainly indicates a corrupt length field.
+pub const MAX_RECORD_LEN: u32 = 1 << 20;
+
+/// A streaming MRT record reader.
+///
+/// ```
+/// use mrt::{MrtReader, MrtRecord, MrtWriter, Bgp4mp};
+/// use bgp_types::{Asn, BgpMessage};
+///
+/// let mut buf = Vec::new();
+/// {
+///     let mut w = MrtWriter::new(&mut buf);
+///     w.write(&MrtRecord::bgp4mp(10, Bgp4mp::Message {
+///         peer_asn: Asn(65001), local_asn: Asn(6447),
+///         peer_ip: "192.0.2.1".parse().unwrap(),
+///         local_ip: "192.0.2.254".parse().unwrap(),
+///         message: BgpMessage::Keepalive,
+///     })).unwrap();
+/// }
+/// let mut r = MrtReader::new(&buf[..]);
+/// let rec = r.next().unwrap().unwrap();
+/// assert_eq!(rec.timestamp, 10);
+/// assert!(r.next().is_none());
+/// ```
+pub struct MrtReader<R> {
+    inner: R,
+    /// Set after a fatal error; all further reads yield `None`.
+    poisoned: bool,
+    /// Records successfully produced so far.
+    count: u64,
+}
+
+impl<R: Read> MrtReader<R> {
+    /// Wrap a byte source.
+    pub fn new(inner: R) -> Self {
+        MrtReader { inner, poisoned: false, count: 0 }
+    }
+
+    /// Number of records read so far.
+    pub fn records_read(&self) -> u64 {
+        self.count
+    }
+
+    /// Read the next record.
+    ///
+    /// Returns `None` at a clean end of input, `Some(Err(_))` exactly
+    /// once on a corrupted read (the reader is then poisoned), and
+    /// `Some(Ok(_))` otherwise.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<Result<MrtRecord, MrtError>> {
+        if self.poisoned {
+            return None;
+        }
+        let mut header_buf = [0u8; MrtHeader::LEN];
+        match read_exact_or_eof(&mut self.inner, &mut header_buf) {
+            Ok(0) => return None, // clean EOF at record boundary
+            Ok(n) if n < MrtHeader::LEN => {
+                self.poisoned = true;
+                return Some(Err(MrtError::Truncated("MRT header")));
+            }
+            Ok(_) => {}
+            Err(e) => {
+                self.poisoned = true;
+                return Some(Err(MrtError::Io(e.to_string())));
+            }
+        }
+        let header = match MrtHeader::decode(&header_buf) {
+            Ok(h) => h,
+            Err(e) => {
+                self.poisoned = true;
+                return Some(Err(e));
+            }
+        };
+        if header.length > MAX_RECORD_LEN {
+            self.poisoned = true;
+            return Some(Err(MrtError::OversizedRecord(header.length)));
+        }
+        let mut body = vec![0u8; header.length as usize];
+        match read_exact_or_eof(&mut self.inner, &mut body) {
+            Ok(n) if n < body.len() => {
+                self.poisoned = true;
+                return Some(Err(MrtError::Truncated("MRT body")));
+            }
+            Ok(_) => {}
+            Err(e) => {
+                self.poisoned = true;
+                return Some(Err(MrtError::Io(e.to_string())));
+            }
+        }
+        match MrtRecord::decode(&header, &body) {
+            Ok(rec) => {
+                self.count += 1;
+                Some(Ok(rec))
+            }
+            Err(e) => {
+                self.poisoned = true;
+                Some(Err(e))
+            }
+        }
+    }
+
+    /// Drain the remaining records, collecting successes; a corrupted
+    /// read is returned as the error alongside everything read before
+    /// it. Convenience for tests and small files.
+    pub fn read_all(mut self) -> (Vec<MrtRecord>, Option<MrtError>) {
+        let mut out = Vec::new();
+        while let Some(item) = self.next() {
+            match item {
+                Ok(r) => out.push(r),
+                Err(e) => return (out, Some(e)),
+            }
+        }
+        (out, None)
+    }
+}
+
+/// Like `read_exact`, but reports how many bytes were read when the
+/// input ends early instead of erroring.
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> std::io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bgp4mp::Bgp4mp;
+    use crate::writer::MrtWriter;
+    use bgp_types::{Asn, BgpMessage, SessionState};
+
+    fn keepalive_record(ts: u32) -> MrtRecord {
+        MrtRecord::bgp4mp(
+            ts,
+            Bgp4mp::Message {
+                peer_asn: Asn(65001),
+                local_asn: Asn(6447),
+                peer_ip: "192.0.2.1".parse().unwrap(),
+                local_ip: "192.0.2.254".parse().unwrap(),
+                message: BgpMessage::Keepalive,
+            },
+        )
+    }
+
+    fn encode_all(records: &[MrtRecord]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut w = MrtWriter::new(&mut buf);
+        for r in records {
+            w.write(r).unwrap();
+        }
+        buf
+    }
+
+    #[test]
+    fn reads_sequence_then_clean_eof() {
+        let recs = vec![keepalive_record(1), keepalive_record(2), keepalive_record(3)];
+        let buf = encode_all(&recs);
+        let (out, err) = MrtReader::new(&buf[..]).read_all();
+        assert!(err.is_none());
+        assert_eq!(out, recs);
+    }
+
+    #[test]
+    fn empty_input_is_clean_eof() {
+        let mut r = MrtReader::new(&[][..]);
+        assert!(r.next().is_none());
+        assert_eq!(r.records_read(), 0);
+    }
+
+    #[test]
+    fn truncated_header_is_corrupt() {
+        let buf = encode_all(&[keepalive_record(1)]);
+        let cut = &buf[..MrtHeader::LEN - 3];
+        let (out, err) = MrtReader::new(cut).read_all();
+        assert!(out.is_empty());
+        assert_eq!(err, Some(MrtError::Truncated("MRT header")));
+    }
+
+    #[test]
+    fn truncated_body_is_corrupt_after_good_records() {
+        let buf = encode_all(&[keepalive_record(1), keepalive_record(2)]);
+        let cut = &buf[..buf.len() - 4];
+        let (out, err) = MrtReader::new(cut).read_all();
+        assert_eq!(out.len(), 1);
+        assert_eq!(err, Some(MrtError::Truncated("MRT body")));
+    }
+
+    #[test]
+    fn poisoned_reader_stops() {
+        let buf = encode_all(&[keepalive_record(1)]);
+        let cut = &buf[..5];
+        let mut r = MrtReader::new(cut);
+        assert!(r.next().unwrap().is_err());
+        assert!(r.next().is_none());
+    }
+
+    #[test]
+    fn oversized_length_field_rejected() {
+        let mut buf = encode_all(&[keepalive_record(1)]);
+        // Overwrite the body length field (bytes 8..12) with 8 MiB.
+        buf[8..12].copy_from_slice(&(8u32 << 20).to_be_bytes());
+        let (out, err) = MrtReader::new(&buf[..]).read_all();
+        assert!(out.is_empty());
+        assert!(matches!(err, Some(MrtError::OversizedRecord(_))));
+    }
+
+    #[test]
+    fn state_change_records_flow_through() {
+        let rec = MrtRecord::bgp4mp(
+            9,
+            Bgp4mp::StateChange {
+                peer_asn: Asn(65001),
+                local_asn: Asn(12654),
+                peer_ip: "192.0.2.1".parse().unwrap(),
+                local_ip: "192.0.2.254".parse().unwrap(),
+                old_state: SessionState::Established,
+                new_state: SessionState::Idle,
+            },
+        );
+        let buf = encode_all(std::slice::from_ref(&rec));
+        let (out, err) = MrtReader::new(&buf[..]).read_all();
+        assert!(err.is_none());
+        assert_eq!(out, vec![rec]);
+    }
+}

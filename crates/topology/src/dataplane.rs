@@ -1,0 +1,251 @@
+//! Data-plane emulation: hop-by-hop forwarding and traceroute.
+//!
+//! Substitute for the RIPE Atlas measurements of Section 4.3: instead
+//! of real probes, we forward a virtual packet AS-by-AS along each
+//! hop's *own* selected route, dropping it at any AS that null-routes
+//! the destination (RTBH). The two metrics of Figure 4 — fraction of
+//! probes reaching the destination and fraction reaching the origin
+//! AS — fall out of [`traceroute`].
+
+use bgp_types::{Asn, Prefix};
+
+use crate::control::ControlPlane;
+
+/// The outcome of one emulated traceroute.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceResult {
+    /// AS-level hops traversed, probe AS first.
+    pub hops: Vec<Asn>,
+    /// Whether the packet entered the origin AS of the covering
+    /// prefix.
+    pub reached_origin: bool,
+    /// Whether the packet reached the destination host (origin AS
+    /// entered and not null-routed anywhere en route).
+    pub reached_dest: bool,
+    /// The AS that dropped the packet, if any.
+    pub dropped_at: Option<Asn>,
+}
+
+/// Emulate a packet from `src` toward the host address `dst` (a /32
+/// or /128 prefix). Returns `None` when `src` is unknown or no
+/// announced prefix covers `dst`.
+pub fn traceroute(cp: &mut ControlPlane, src: Asn, dst: &Prefix) -> Option<TraceResult> {
+    let mut cur = cp.topology().index_of(src)?;
+    // Per-hop FIB fallback chain: most specific covering prefix first.
+    let chain = cp.lpm_chain(dst);
+    let most_specific = *chain.first()?;
+    // The set of ASes null-routing this destination (empty unless the
+    // most specific covering prefix is black-holed).
+    let blackholers: Vec<u32> = cp.rtbh_blackholers(&most_specific);
+    let is_rtbh = cp.is_rtbh(&most_specific);
+    // During RTBH the destination host lives in the black-holing
+    // origin's network; a packet delivered to a different origin of a
+    // MOAS covering prefix went to the wrong network.
+    let expected_origin: Option<Asn> = if is_rtbh {
+        cp.origins_of(&most_specific)
+            .first()
+            .map(|&i| cp.topology().nodes[i as usize].asn)
+    } else {
+        None
+    };
+
+    let mut hops = Vec::new();
+    let n = cp.topology().nodes.len();
+    for _ in 0..=n {
+        let asn = cp.topology().nodes[cur as usize].asn;
+        hops.push(asn);
+
+        // Null-route check: a blackholing AS drops traffic for the
+        // black-holed destination the moment it arrives.
+        if is_rtbh && blackholers.contains(&cur) {
+            return Some(TraceResult {
+                hops,
+                reached_origin: false,
+                reached_dest: false,
+                dropped_at: Some(asn),
+            });
+        }
+
+        // Each hop consults its own FIB: the most specific covering
+        // prefix it has a route for.
+        let route = match chain.iter().find_map(|p| cp.route_at(cur, p)) {
+            Some(r) => r,
+            None => {
+                return Some(TraceResult {
+                    hops,
+                    reached_origin: false,
+                    reached_dest: false,
+                    dropped_at: Some(asn),
+                })
+            }
+        };
+        if route.origin == asn {
+            let right_network = expected_origin.is_none_or(|e| e == asn);
+            return Some(TraceResult {
+                hops,
+                reached_origin: right_network,
+                reached_dest: right_network,
+                dropped_at: None,
+            });
+        }
+        // Step one AS toward the selected origin.
+        let next = route.as_path.hops_dedup().get(1).copied();
+        match next.and_then(|a| cp.topology().index_of(a)) {
+            Some(nx) if nx != cur => cur = nx,
+            _ => {
+                return Some(TraceResult {
+                    hops,
+                    reached_origin: false,
+                    reached_dest: false,
+                    dropped_at: Some(asn),
+                })
+            }
+        }
+    }
+    // Forwarding loop (can only arise from inconsistent MOAS winners);
+    // report as a drop at the last hop.
+    let last = *hops.last().expect("at least the source hop");
+    Some(TraceResult { hops, reached_origin: false, reached_dest: false, dropped_at: Some(last) })
+}
+
+/// Pick up to `n` probe ASes for measuring reachability of `origin`'s
+/// prefixes, mimicking the probe-selection of §4.3: direct neighbours
+/// first, then ASes in the same country, then anything else.
+pub fn select_probes(cp: &ControlPlane, origin: Asn, n: usize) -> Vec<Asn> {
+    let topo = cp.topology();
+    let Some(oidx) = topo.index_of(origin) else {
+        return Vec::new();
+    };
+    let onode = &topo.nodes[oidx as usize];
+    let mut out: Vec<Asn> = Vec::new();
+    let push = |asn: Asn, out: &mut Vec<Asn>| {
+        if asn != origin && !out.contains(&asn) {
+            out.push(asn);
+        }
+    };
+    for &i in onode.providers.iter().chain(&onode.peers).chain(&onode.customers) {
+        push(topo.nodes[i as usize].asn, &mut out);
+    }
+    for node in &topo.nodes {
+        if out.len() >= n {
+            break;
+        }
+        if node.country == onode.country && node.alive_at(cp.month()) {
+            push(node.asn, &mut out);
+        }
+    }
+    for node in &topo.nodes {
+        if out.len() >= n {
+            break;
+        }
+        if node.alive_at(cp.month()) {
+            push(node.asn, &mut out);
+        }
+    }
+    out.truncate(n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{Event, EventKind};
+    use crate::gen::{generate, TopologyConfig};
+    use crate::model::Tier;
+    use std::sync::Arc;
+
+    fn cp() -> ControlPlane {
+        ControlPlane::new(Arc::new(generate(&TopologyConfig::tiny(21))), u64::MAX)
+    }
+
+    #[test]
+    fn traceroute_reaches_everyone_in_steady_state() {
+        let mut c = cp();
+        let topo = c.topology().clone();
+        let dst_node = &topo.nodes[15];
+        let dst = dst_node.prefixes_v4[0].prefix.host(1);
+        for src in topo.nodes.iter().take(8) {
+            let r = traceroute(&mut c, src.asn, &dst).unwrap();
+            assert!(r.reached_dest, "{} cannot reach {}", src.asn, dst);
+            assert_eq!(*r.hops.last().unwrap(), dst_node.asn);
+            assert_eq!(r.hops[0], src.asn);
+        }
+    }
+
+    #[test]
+    fn traceroute_from_origin_is_one_hop() {
+        let mut c = cp();
+        let node = &c.topology().nodes[10];
+        let asn = node.asn;
+        let dst = node.prefixes_v4[0].prefix.host(3);
+        let r = traceroute(&mut c, asn, &dst).unwrap();
+        assert!(r.reached_dest);
+        assert_eq!(r.hops, vec![asn]);
+    }
+
+    #[test]
+    fn rtbh_drops_at_provider_but_not_from_customers() {
+        let mut c = cp();
+        let topo = c.topology().clone();
+        // Edge AS with a provider; black-hole one of its hosts.
+        let (edge_idx, _) = topo
+            .nodes
+            .iter()
+            .enumerate()
+            .find(|(_, n)| n.tier == Tier::Edge && !n.providers.is_empty())
+            .map(|(i, n)| (i as u32, n))
+            .unwrap();
+        let origin = topo.nodes[edge_idx as usize].asn;
+        let host = topo.nodes[edge_idx as usize].prefixes_v4[0].prefix.host(9);
+        c.apply(&Event::at(5, EventKind::StartRtbh { origin, prefix: host }));
+
+        // A probe far away (tier-1 that is not a direct provider)
+        // must be dropped at a black-holing provider.
+        let providers = &topo.nodes[edge_idx as usize].providers;
+        let far = topo
+            .nodes
+            .iter()
+            .enumerate()
+            .find(|(i, n)| n.tier == Tier::Tier1 && !providers.contains(&(*i as u32)))
+            .map(|(_, n)| n.asn)
+            .unwrap();
+        let r = traceroute(&mut c, far, &host).unwrap();
+        assert!(!r.reached_dest, "far probe reached during RTBH: {:?}", r);
+        // Either null-routed en route, or misdelivered to another
+        // origin of a MOAS covering prefix — in both cases the
+        // black-holed host was not reached.
+        assert!(r.dropped_at.is_some() || !r.reached_origin);
+
+        // After RTBH ends, the same probe succeeds.
+        c.apply(&Event::at(50, EventKind::EndRtbh { origin, prefix: host }));
+        let r2 = traceroute(&mut c, far, &host).unwrap();
+        assert!(r2.reached_dest, "far probe failed after RTBH: {:?}", r2);
+    }
+
+    #[test]
+    fn unknown_destination_returns_none() {
+        let mut c = cp();
+        let src = c.topology().nodes[0].asn;
+        let dst: Prefix = "198.18.0.1/32".parse().unwrap();
+        assert!(traceroute(&mut c, src, &dst).is_none());
+    }
+
+    #[test]
+    fn probe_selection_prefers_neighbours() {
+        let c = cp();
+        let topo = c.topology().clone();
+        let (idx, node) = topo
+            .nodes
+            .iter()
+            .enumerate()
+            .find(|(_, n)| !n.providers.is_empty())
+            .unwrap();
+        let _ = idx;
+        let probes = select_probes(&c, node.asn, 10);
+        assert!(!probes.is_empty());
+        assert!(probes.len() <= 10);
+        let first_provider = topo.nodes[node.providers[0] as usize].asn;
+        assert_eq!(probes[0], first_provider);
+        assert!(!probes.contains(&node.asn));
+    }
+}

@@ -1,0 +1,224 @@
+//! The control-plane event vocabulary used by case-study scenarios.
+//!
+//! Events are the simulator's substitute for "things happening on the
+//! Internet": routine announcements/withdrawals, MOAS-creating hijacks
+//! (Figure 6), country-scale outages (Figure 10), remotely triggered
+//! black-holing (Section 4.3), and prefix flapping (the update-burst
+//! source in Figure 9).
+
+use bgp_types::{Asn, Prefix};
+
+/// What happens.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EventKind {
+    /// `origin` (re-)announces one of its prefixes (or a new one).
+    Announce {
+        /// The announcing AS.
+        origin: Asn,
+        /// The announced prefix.
+        prefix: Prefix,
+    },
+    /// `origin` withdraws a prefix.
+    Withdraw {
+        /// The withdrawing AS.
+        origin: Asn,
+        /// The withdrawn prefix.
+        prefix: Prefix,
+    },
+    /// `attacker` starts announcing `prefix` (same- or more-specific
+    /// hijack; MOAS when the prefix is also legitimately announced).
+    StartHijack {
+        /// The hijacking AS.
+        attacker: Asn,
+        /// The hijacked prefix.
+        prefix: Prefix,
+    },
+    /// The hijack announcement stops.
+    EndHijack {
+        /// The hijacking AS.
+        attacker: Asn,
+        /// The hijacked prefix.
+        prefix: Prefix,
+    },
+    /// The AS goes down entirely: its prefixes disappear and it stops
+    /// providing transit (single-homed customers lose reachability).
+    StartOutage {
+        /// The AS going down.
+        asn: Asn,
+    },
+    /// The AS comes back.
+    EndOutage {
+        /// The AS coming back.
+        asn: Asn,
+    },
+    /// The AS starts violating valley-free export: routes learned from
+    /// its providers/peers are re-exported to its other providers and
+    /// peers (an RFC 7908 route leak, typically a multi-homed
+    /// customer's filter misconfiguration).
+    StartLeak {
+        /// The mis-exporting AS.
+        leaker: Asn,
+    },
+    /// The leak is fixed.
+    EndLeak {
+        /// The mis-exporting AS.
+        leaker: Asn,
+    },
+    /// `origin` requests black-holing of `prefix` (usually a /32):
+    /// announces it to its transit providers tagged with each
+    /// provider's black-holing community.
+    StartRtbh {
+        /// The AS under attack requesting black-holing.
+        origin: Asn,
+        /// The black-holed prefix.
+        prefix: Prefix,
+    },
+    /// The black-holed prefix is withdrawn / re-advertised clean.
+    EndRtbh {
+        /// The AS that requested black-holing.
+        origin: Asn,
+        /// The prefix being restored.
+        prefix: Prefix,
+    },
+}
+
+/// A timestamped event (virtual seconds).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Event {
+    /// Virtual time in seconds.
+    pub time: u64,
+    /// What happens.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Shorthand constructor.
+    pub fn at(time: u64, kind: EventKind) -> Self {
+        Event { time, kind }
+    }
+}
+
+/// An ordered script of events.
+#[derive(Clone, Debug, Default)]
+pub struct Scenario {
+    events: Vec<Event>,
+}
+
+impl Scenario {
+    /// An empty scenario.
+    pub fn new() -> Self {
+        Scenario::default()
+    }
+
+    /// Add one event.
+    pub fn push(&mut self, ev: Event) -> &mut Self {
+        self.events.push(ev);
+        self
+    }
+
+    /// Add a hijack lasting `duration` seconds.
+    pub fn hijack(&mut self, time: u64, duration: u64, attacker: Asn, prefix: Prefix) -> &mut Self {
+        self.push(Event::at(time, EventKind::StartHijack { attacker, prefix }));
+        self.push(Event::at(time + duration, EventKind::EndHijack { attacker, prefix }));
+        self
+    }
+
+    /// Add an outage lasting `duration` seconds.
+    pub fn outage(&mut self, time: u64, duration: u64, asn: Asn) -> &mut Self {
+        self.push(Event::at(time, EventKind::StartOutage { asn }));
+        self.push(Event::at(time + duration, EventKind::EndOutage { asn }));
+        self
+    }
+
+    /// Add a route-leak episode lasting `duration` seconds.
+    pub fn leak(&mut self, time: u64, duration: u64, leaker: Asn) -> &mut Self {
+        self.push(Event::at(time, EventKind::StartLeak { leaker }));
+        self.push(Event::at(time + duration, EventKind::EndLeak { leaker }));
+        self
+    }
+
+    /// Add an RTBH episode lasting `duration` seconds.
+    pub fn rtbh(&mut self, time: u64, duration: u64, origin: Asn, prefix: Prefix) -> &mut Self {
+        self.push(Event::at(time, EventKind::StartRtbh { origin, prefix }));
+        self.push(Event::at(time + duration, EventKind::EndRtbh { origin, prefix }));
+        self
+    }
+
+    /// Add `times` withdraw/announce flaps of `prefix` starting at
+    /// `time`, one full cycle every `period` seconds.
+    pub fn flap(
+        &mut self,
+        time: u64,
+        times: u32,
+        period: u64,
+        origin: Asn,
+        prefix: Prefix,
+    ) -> &mut Self {
+        for k in 0..times as u64 {
+            let t = time + k * period;
+            self.push(Event::at(t, EventKind::Withdraw { origin, prefix }));
+            self.push(Event::at(t + period / 2, EventKind::Announce { origin, prefix }));
+        }
+        self
+    }
+
+    /// Events sorted by time (stable for equal timestamps).
+    pub fn sorted(&self) -> Vec<Event> {
+        let mut evs = self.events.clone();
+        evs.sort_by_key(|e| e.time);
+        evs
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are scripted.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn hijack_creates_paired_events() {
+        let mut s = Scenario::new();
+        s.hijack(100, 3600, Asn(666), p("193.0.0.0/24"));
+        let evs = s.sorted();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].time, 100);
+        assert_eq!(evs[1].time, 3700);
+        assert!(matches!(evs[0].kind, EventKind::StartHijack { .. }));
+        assert!(matches!(evs[1].kind, EventKind::EndHijack { .. }));
+    }
+
+    #[test]
+    fn flap_alternates() {
+        let mut s = Scenario::new();
+        s.flap(0, 3, 60, Asn(1), p("10.0.0.0/24"));
+        let evs = s.sorted();
+        assert_eq!(evs.len(), 6);
+        assert!(matches!(evs[0].kind, EventKind::Withdraw { .. }));
+        assert!(matches!(evs[1].kind, EventKind::Announce { .. }));
+        assert_eq!(evs[1].time, 30);
+        assert_eq!(evs[2].time, 60);
+    }
+
+    #[test]
+    fn sorted_orders_interleaved_scripts() {
+        let mut s = Scenario::new();
+        s.outage(500, 100, Asn(2));
+        s.hijack(10, 50, Asn(3), p("10.0.0.0/8"));
+        let evs = s.sorted();
+        let times: Vec<u64> = evs.iter().map(|e| e.time).collect();
+        assert_eq!(times, vec![10, 60, 500, 600]);
+    }
+}

@@ -1,0 +1,543 @@
+//! Seeded random topology generation with a longitudinal growth model.
+//!
+//! The generator produces the *final* topology; every AS and prefix
+//! carries a birth month so earlier snapshots are subsets. The shape
+//! parameters default to values that reproduce the qualitative features
+//! the paper measures on the real Internet (Figure 5): near-linear AS
+//! and routing-table growth, a constant IPv4 transit fraction, IPv6
+//! adoption led by transit ASes, skewed community visibility, and a
+//! slowly growing population of legitimately multi-origin prefixes.
+
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+
+use bgp_types::{Asn, Prefix};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::model::{AsNode, OwnedPrefix, Tier, Topology};
+
+/// Country codes used for geolocation analyses, ordered by assignment
+/// weight (Zipf-like).
+pub const COUNTRIES: [&[u8; 2]; 24] = [
+    b"US", b"DE", b"GB", b"RU", b"BR", b"JP", b"FR", b"IT", b"NL", b"CN", b"IN", b"AU", b"CA",
+    b"PL", b"ES", b"SE", b"UA", b"IQ", b"ZA", b"KR", b"TR", b"AR", b"ID", b"EG",
+];
+
+/// Generator parameters.
+#[derive(Clone, Debug)]
+pub struct TopologyConfig {
+    /// RNG seed: identical configs generate identical topologies.
+    pub seed: u64,
+    /// Growth span in virtual months (0 = static topology).
+    pub months: u32,
+    /// Number of tier-1 (clique) ASes.
+    pub n_tier1: usize,
+    /// Final number of transit ASes.
+    pub n_transit: usize,
+    /// Final number of edge ASes.
+    pub n_edge: usize,
+    /// Fraction of non-tier-1 ASes already present at month 0.
+    pub initial_fraction: f64,
+    /// Probability an edge AS has a second provider.
+    pub multihome_prob: f64,
+    /// Mean number of peer links per transit AS.
+    pub transit_peer_mean: f64,
+    /// Mean number of *extra* IPv4 prefixes per AS beyond the first
+    /// (transit ASes get 4x this).
+    pub extra_prefix_mean: f64,
+    /// Final fraction of edge ASes announcing IPv6.
+    pub v6_edge_adoption: f64,
+    /// Fraction of prefixes with a legitimate second origin (MOAS).
+    pub moas_frac: f64,
+    /// Probability a transit AS strips communities on export.
+    pub strip_prob: f64,
+    /// Probability a transit AS tags routes with ingress communities.
+    pub tag_prob: f64,
+    /// Probability a transit AS re-exports black-holed prefixes.
+    pub leak_blackhole_prob: f64,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        TopologyConfig {
+            seed: 42,
+            months: 0,
+            n_tier1: 8,
+            n_transit: 60,
+            n_edge: 300,
+            initial_fraction: 0.3,
+            multihome_prob: 0.35,
+            transit_peer_mean: 1.5,
+            extra_prefix_mean: 1.2,
+            v6_edge_adoption: 0.5,
+            moas_frac: 0.02,
+            strip_prob: 0.25,
+            tag_prob: 0.55,
+            leak_blackhole_prob: 0.3,
+        }
+    }
+}
+
+impl TopologyConfig {
+    /// A small config for unit tests (fast to route over).
+    pub fn tiny(seed: u64) -> Self {
+        TopologyConfig {
+            seed,
+            months: 0,
+            n_tier1: 3,
+            n_transit: 8,
+            n_edge: 30,
+            ..Default::default()
+        }
+    }
+}
+
+/// Zipf-ish country pick.
+fn pick_country(rng: &mut SmallRng) -> [u8; 2] {
+    // Weight country k by 1/(k+2).
+    let weights: Vec<f64> = (0..COUNTRIES.len()).map(|k| 1.0 / (k as f64 + 2.0)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.gen::<f64>() * total;
+    for (k, w) in weights.iter().enumerate() {
+        if x < *w {
+            return *COUNTRIES[k];
+        }
+        x -= *w;
+    }
+    *COUNTRIES[0]
+}
+
+/// Geometric-ish small count with the given mean.
+fn geometric(rng: &mut SmallRng, mean: f64) -> u32 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let p = 1.0 / (1.0 + mean);
+    let mut n = 0;
+    while rng.gen::<f64>() > p && n < 64 {
+        n += 1;
+    }
+    n
+}
+
+/// Allocates globally disjoint prefixes: each allocation takes a fresh
+/// /16 (IPv4) or /32 (IPv6) block, carving the requested length from
+/// its start.
+struct PrefixAllocator {
+    next_v4_block: u32,
+    next_v6_block: u32,
+}
+
+impl PrefixAllocator {
+    fn new() -> Self {
+        // Start at 11.0.0.0 to keep documentation ranges free for
+        // tests and case-study target prefixes.
+        PrefixAllocator { next_v4_block: 11 << 8, next_v6_block: 1 }
+    }
+
+    fn alloc_v4(&mut self, len: u8) -> Prefix {
+        assert!((16..=24).contains(&len));
+        let block = self.next_v4_block;
+        self.next_v4_block += 1;
+        let addr = std::net::Ipv4Addr::from(block << 16);
+        Prefix::v4(addr, len)
+    }
+
+    fn alloc_v6(&mut self, len: u8) -> Prefix {
+        assert!((32..=48).contains(&len));
+        let block = self.next_v6_block as u128;
+        self.next_v6_block += 1;
+        // 2400::/12 region, /32 blocks.
+        let bits: u128 = (0x2400u128 << 112) | (block << 96);
+        Prefix::v6(Ipv6Addr::from(bits), len)
+    }
+}
+
+/// Generate a topology from `cfg`. Deterministic in `cfg`.
+pub fn generate(cfg: &TopologyConfig) -> Topology {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut alloc = PrefixAllocator::new();
+    let total = cfg.n_tier1 + cfg.n_transit + cfg.n_edge;
+    let mut nodes: Vec<AsNode> = Vec::with_capacity(total);
+
+    // Interleave transit and edge births so both populations grow
+    // together (constant transit fraction — Figure 5c IPv4).
+    #[derive(Clone, Copy)]
+    enum Kind {
+        T1,
+        Transit,
+        Edge,
+    }
+    let mut kinds: Vec<Kind> = Vec::with_capacity(total);
+    kinds.extend(std::iter::repeat_n(Kind::T1, cfg.n_tier1));
+    {
+        // Deterministic interleave by ratio.
+        let (mut t, mut e) = (0usize, 0usize);
+        while t < cfg.n_transit || e < cfg.n_edge {
+            let want_t = (t as f64 + 1.0) / cfg.n_transit.max(1) as f64;
+            let want_e = (e as f64 + 1.0) / cfg.n_edge.max(1) as f64;
+            if t < cfg.n_transit && (e >= cfg.n_edge || want_t <= want_e) {
+                kinds.push(Kind::Transit);
+                t += 1;
+            } else {
+                kinds.push(Kind::Edge);
+                e += 1;
+            }
+        }
+    }
+
+    let non_t1_total = (total - cfg.n_tier1).max(1);
+    let mut non_t1_seen = 0usize;
+    for (i, kind) in kinds.iter().enumerate() {
+        let asn = Asn(100 + i as u32 * 3);
+        let (tier, born_month) = match kind {
+            Kind::T1 => (Tier::Tier1, 0),
+            k => {
+                let tier = if matches!(k, Kind::Transit) { Tier::Transit } else { Tier::Edge };
+                // Linear growth after the initial population.
+                let pos = non_t1_seen as f64 / non_t1_total as f64;
+                non_t1_seen += 1;
+                let born = if pos < cfg.initial_fraction {
+                    0
+                } else {
+                    let frac = (pos - cfg.initial_fraction) / (1.0 - cfg.initial_fraction);
+                    (frac * cfg.months as f64).floor() as u32
+                };
+                (tier, born.min(cfg.months))
+            }
+        };
+
+        // IPv6 adoption: transit adopts early, edge later and only a
+        // fraction — yielding the Figure 5c IPv6 decay-then-flatten.
+        let v6_born_month = match tier {
+            Tier::Tier1 => born_month,
+            Tier::Transit => {
+                let lo = 0.05 * cfg.months as f64;
+                let hi = 0.6 * cfg.months as f64;
+                (born_month as f64).max(lo + rng.gen::<f64>() * (hi - lo)) as u32
+            }
+            Tier::Edge => {
+                if rng.gen::<f64>() < cfg.v6_edge_adoption {
+                    let lo = 0.35 * cfg.months as f64;
+                    let hi = 1.0 * cfg.months as f64;
+                    (born_month as f64).max(lo + rng.gen::<f64>() * (hi - lo)) as u32
+                } else {
+                    u32::MAX
+                }
+            }
+        };
+
+        let is_transit_like = tier != Tier::Edge;
+        nodes.push(AsNode {
+            asn,
+            tier,
+            country: if matches!(tier, Tier::Tier1) {
+                *COUNTRIES[i % 5]
+            } else {
+                pick_country(&mut rng)
+            },
+            born_month,
+            v6_born_month,
+            providers: vec![],
+            customers: vec![],
+            peers: vec![],
+            prefixes_v4: vec![],
+            prefixes_v6: vec![],
+            strips_communities: is_transit_like && rng.gen::<f64>() < cfg.strip_prob,
+            tags_communities: is_transit_like && rng.gen::<f64>() < cfg.tag_prob,
+            leaks_blackholes: is_transit_like && rng.gen::<f64>() < cfg.leak_blackhole_prob,
+        });
+    }
+
+    // Tier-1 full peering clique.
+    for a in 0..cfg.n_tier1 as u32 {
+        for b in (a + 1)..cfg.n_tier1 as u32 {
+            nodes[a as usize].peers.push(b);
+            nodes[b as usize].peers.push(a);
+        }
+    }
+
+    // Providers: preferential attachment among transit-capable ASes
+    // already born.
+    let idx_of: Vec<u32> = (0..total as u32).collect();
+    for &i in idx_of.iter().skip(cfg.n_tier1) {
+        let me_born = nodes[i as usize].born_month;
+        let me_tier = nodes[i as usize].tier;
+        let candidates: Vec<u32> = (0..i)
+            .filter(|&j| {
+                let n = &nodes[j as usize];
+                n.tier != Tier::Edge && n.born_month <= me_born
+            })
+            .collect();
+        if candidates.is_empty() {
+            // Shouldn't happen (tier-1s are born at 0), but guard.
+            continue;
+        }
+        let n_providers = match me_tier {
+            Tier::Transit => 2,
+            Tier::Edge => {
+                if rng.gen::<f64>() < cfg.multihome_prob {
+                    2
+                } else {
+                    1
+                }
+            }
+            Tier::Tier1 => 0,
+        };
+        let mut chosen: Vec<u32> = Vec::new();
+        for _ in 0..n_providers {
+            // Preferential attachment: weight by customer degree + 1.
+            let weights: Vec<f64> = candidates
+                .iter()
+                .map(|&j| {
+                    if chosen.contains(&j) {
+                        0.0
+                    } else {
+                        nodes[j as usize].customers.len() as f64 + 1.0
+                    }
+                })
+                .collect();
+            let totalw: f64 = weights.iter().sum();
+            if totalw <= 0.0 {
+                break;
+            }
+            let mut x = rng.gen::<f64>() * totalw;
+            let mut pick = candidates[0];
+            for (k, w) in weights.iter().enumerate() {
+                if x < *w {
+                    pick = candidates[k];
+                    break;
+                }
+                x -= *w;
+            }
+            if !chosen.contains(&pick) {
+                chosen.push(pick);
+            }
+        }
+        for p in chosen {
+            nodes[i as usize].providers.push(p);
+            nodes[p as usize].customers.push(i);
+        }
+    }
+
+    // Transit peering (beyond the tier-1 clique).
+    let transit_idx: Vec<u32> = (0..total as u32)
+        .filter(|&i| nodes[i as usize].tier == Tier::Transit)
+        .collect();
+    for &i in &transit_idx {
+        let n_peers = geometric(&mut rng, cfg.transit_peer_mean);
+        for _ in 0..n_peers {
+            let j = transit_idx[rng.gen_range(0..transit_idx.len())];
+            if j == i
+                || nodes[i as usize].peers.contains(&j)
+                || nodes[i as usize].providers.contains(&j)
+                || nodes[i as usize].customers.contains(&j)
+            {
+                continue;
+            }
+            nodes[i as usize].peers.push(j);
+            nodes[j as usize].peers.push(i);
+        }
+    }
+
+    // Prefixes.
+    let total_u32 = total as u32;
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..total {
+        let born = nodes[i].born_month;
+        let tier = nodes[i].tier;
+        let extra_mean = match tier {
+            Tier::Edge => cfg.extra_prefix_mean,
+            _ => cfg.extra_prefix_mean * 4.0,
+        };
+        let count = 1 + geometric(&mut rng, extra_mean);
+        let mut v4 = Vec::with_capacity(count as usize);
+        for k in 0..count {
+            let len = match rng.gen_range(0..10) {
+                0 => 16,
+                1..=3 => 20,
+                _ => 24,
+            };
+            let p_born = if k == 0 {
+                born
+            } else {
+                born + ((cfg.months.saturating_sub(born)) as f64 * rng.gen::<f64>()) as u32
+            };
+            let second_origin = if rng.gen::<f64>() < cfg.moas_frac {
+                Some(rng.gen_range(0..total_u32))
+            } else {
+                None
+            };
+            v4.push(OwnedPrefix {
+                prefix: alloc.alloc_v4(len),
+                born_month: p_born,
+                second_origin,
+            });
+        }
+        nodes[i].prefixes_v4 = v4;
+
+        if nodes[i].v6_born_month != u32::MAX {
+            let count6 = 1 + geometric(&mut rng, 0.4);
+            let mut v6 = Vec::with_capacity(count6 as usize);
+            for k in 0..count6 {
+                let len = if rng.gen_bool(0.4) { 32 } else { 48 };
+                let p_born = if k == 0 {
+                    nodes[i].v6_born_month
+                } else {
+                    nodes[i].v6_born_month
+                        + ((cfg.months.saturating_sub(nodes[i].v6_born_month)) as f64
+                            * rng.gen::<f64>()) as u32
+                };
+                v6.push(OwnedPrefix {
+                    prefix: alloc.alloc_v6(len),
+                    born_month: p_born,
+                    second_origin: None,
+                });
+            }
+            nodes[i].prefixes_v6 = v6;
+        }
+    }
+
+    let by_asn: HashMap<Asn, u32> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.asn, i as u32))
+        .collect();
+    let topo = Topology { nodes, by_asn, months: cfg.months };
+    debug_assert!(topo.validate().is_ok(), "{:?}", topo.validate());
+    topo
+}
+
+/// Transit ASes located in `country` at `month`, largest (by customer
+/// count) first — used to pick the "top ISPs" of the Figure 10 case
+/// study.
+pub fn top_isps_of_country(topo: &Topology, country: [u8; 2], month: u32) -> Vec<Asn> {
+    let mut isps: Vec<&AsNode> = topo
+        .nodes
+        .iter()
+        .filter(|n| n.country == country && n.tier == Tier::Transit && n.alive_at(month))
+        .collect();
+    isps.sort_by_key(|n| std::cmp::Reverse(n.customers.len()));
+    isps.iter().map(|n| n.asn).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::compute_tree;
+
+    #[test]
+    fn generate_is_deterministic() {
+        let a = generate(&TopologyConfig::tiny(7));
+        let b = generate(&TopologyConfig::tiny(7));
+        assert_eq!(a.nodes.len(), b.nodes.len());
+        for (x, y) in a.nodes.iter().zip(b.nodes.iter()) {
+            assert_eq!(x.asn, y.asn);
+            assert_eq!(x.providers, y.providers);
+            assert_eq!(x.prefixes_v4.len(), y.prefixes_v4.len());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&TopologyConfig::tiny(1));
+        let b = generate(&TopologyConfig::tiny(2));
+        let pa: Vec<_> = a.nodes.iter().map(|n| n.providers.clone()).collect();
+        let pb: Vec<_> = b.nodes.iter().map(|n| n.providers.clone()).collect();
+        assert_ne!(pa, pb);
+    }
+
+    #[test]
+    fn structure_is_valid() {
+        let t = generate(&TopologyConfig::default());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn prefixes_are_disjoint() {
+        let t = generate(&TopologyConfig::tiny(3));
+        let all: Vec<_> = t
+            .nodes
+            .iter()
+            .flat_map(|n| n.prefixes_v4.iter().map(|p| p.prefix))
+            .collect();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert!(!a.overlaps(b), "{a} overlaps {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_as_reaches_every_origin_when_static() {
+        let t = generate(&TopologyConfig::tiny(4));
+        // Static topology (months=0): the graph must be fully routed.
+        for origin in 0..t.nodes.len() as u32 {
+            let tree = compute_tree(&t, origin, 0);
+            for i in 0..t.nodes.len() as u32 {
+                assert!(
+                    tree.entry(i).is_some(),
+                    "AS {} cannot reach origin {}",
+                    t.nodes[i as usize].asn,
+                    t.nodes[origin as usize].asn
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn growth_is_monotonic() {
+        let cfg = TopologyConfig { months: 60, ..TopologyConfig::default() };
+        let t = generate(&cfg);
+        let mut last = 0;
+        for m in (0..=60).step_by(12) {
+            let now = t.alive_count(m);
+            assert!(now >= last, "shrunk at month {m}");
+            last = now;
+        }
+        assert!(t.alive_count(0) >= cfg.n_tier1);
+        assert_eq!(t.alive_count(60), t.nodes.len());
+        // Meaningful growth overall.
+        assert!(t.alive_count(60) > t.alive_count(0) * 2);
+    }
+
+    #[test]
+    fn v6_lags_v4() {
+        let cfg = TopologyConfig { months: 60, ..TopologyConfig::default() };
+        let t = generate(&cfg);
+        let v4_origins_early = t.announced_prefixes(6, true).len();
+        let v6_origins_early = t.announced_prefixes(6, false).len();
+        assert!(v6_origins_early < v4_origins_early / 4);
+    }
+
+    #[test]
+    fn providers_are_born_before_customers() {
+        let cfg = TopologyConfig { months: 48, ..TopologyConfig::default() };
+        let t = generate(&cfg);
+        for n in &t.nodes {
+            for &p in &n.providers {
+                assert!(t.nodes[p as usize].born_month <= n.born_month);
+            }
+        }
+    }
+
+    #[test]
+    fn country_helper_orders_by_size() {
+        let t = generate(&TopologyConfig::default());
+        let us = top_isps_of_country(&t, *b"US", 0);
+        if us.len() >= 2 {
+            let a = t.node(us[0]).unwrap().customers.len();
+            let b = t.node(us[1]).unwrap().customers.len();
+            assert!(a >= b);
+        }
+    }
+
+    #[test]
+    fn asns_fit_in_community_field() {
+        let t = generate(&TopologyConfig::default());
+        for n in &t.nodes {
+            assert!(n.asn.0 < 64512, "ASN {} too large", n.asn);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Synthetic AS-level Internet substrate.
+//!
+//! The paper consumes measurement data collected from the *real*
+//! Internet via RouteViews and RIPE RIS. Offline, we substitute a
+//! faithful simulation (see DESIGN.md): this crate generates an
+//! AS-level topology with business relationships, computes the routes
+//! every AS selects under the standard Gao–Rexford policy model, and
+//! evolves reachability over virtual time through an event model
+//! (announcements, withdrawals, hijacks, outages, remotely-triggered
+//! black-holing, flapping).
+//!
+//! Layering:
+//!
+//! * [`model`] — ASes, tiers, relationships, countries, prefix
+//!   ownership, birth dates (for longitudinal growth);
+//! * [`gen`] — seeded random topology generation with a growth model
+//!   tuned to reproduce the *shapes* of the paper's Figure 5;
+//! * [`routing`] — per-origin route computation (customer > peer >
+//!   provider preference, shortest AS path, deterministic tiebreaks)
+//!   with parent pointers for AS-path reconstruction;
+//! * [`control`] — the control-plane state: which prefixes are
+//!   announced by whom, with which extra communities; event
+//!   application; per-VP route queries (the input to the collector
+//!   simulator);
+//! * [`events`] — the scenario vocabulary used by case studies;
+//! * [`dataplane`] — hop-by-hop forwarding and traceroute emulation
+//!   honouring RTBH null-routes (substitute for RIPE Atlas, §4.3).
+
+pub mod control;
+pub mod dataplane;
+pub mod events;
+pub mod gen;
+pub mod model;
+pub mod routing;
+
+pub use control::{ControlPlane, Route};
+pub use events::{Event, EventKind};
+pub use gen::TopologyConfig;
+pub use model::{AsNode, Relationship, Tier, Topology};
+pub use routing::{RouteClass, RoutingTree};

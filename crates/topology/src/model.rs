@@ -1,0 +1,275 @@
+//! The static AS-level topology model.
+
+use std::collections::HashMap;
+
+use bgp_types::{Asn, Prefix};
+
+/// The role of an AS in the hierarchy.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Tier {
+    /// Transit-free core; a full peering clique.
+    Tier1,
+    /// Regional/national transit provider: has both providers and
+    /// customers.
+    Transit,
+    /// Stub/edge network: customers only of others.
+    Edge,
+}
+
+/// Business relationship on a link, from the perspective of the first
+/// AS.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Relationship {
+    /// The first AS buys transit from the second.
+    CustomerToProvider,
+    /// Settlement-free peering.
+    PeerToPeer,
+}
+
+/// A prefix owned by an AS, with the virtual month it is first
+/// announced (for longitudinal growth analyses).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct OwnedPrefix {
+    /// The prefix.
+    pub prefix: Prefix,
+    /// First month (inclusive) the prefix is announced.
+    pub born_month: u32,
+    /// Optional second origin (sibling organisation) making this a
+    /// legitimate MOAS prefix; index into [`Topology::nodes`].
+    pub second_origin: Option<u32>,
+}
+
+/// One autonomous system.
+#[derive(Clone, Debug)]
+pub struct AsNode {
+    /// The AS number (kept < 64512 so the 16-bit community AS field can
+    /// carry it).
+    pub asn: Asn,
+    /// Hierarchy tier.
+    pub tier: Tier,
+    /// ISO-3166-alpha-2-style country code.
+    pub country: [u8; 2],
+    /// Month this AS first appears (0 = start of the simulation).
+    pub born_month: u32,
+    /// Month this AS first announces IPv6 prefixes; `u32::MAX` = never.
+    pub v6_born_month: u32,
+    /// Indexes of provider ASes (this AS is their customer).
+    pub providers: Vec<u32>,
+    /// Indexes of customer ASes.
+    pub customers: Vec<u32>,
+    /// Indexes of settlement-free peers.
+    pub peers: Vec<u32>,
+    /// IPv4 prefixes originated by this AS.
+    pub prefixes_v4: Vec<OwnedPrefix>,
+    /// IPv6 prefixes originated by this AS.
+    pub prefixes_v6: Vec<OwnedPrefix>,
+    /// Whether this AS removes community attributes when exporting
+    /// routes (the paper finds communities visible through only ~83 %
+    /// of VPs).
+    pub strips_communities: bool,
+    /// Whether this AS attaches an informational ingress community when
+    /// propagating a route.
+    pub tags_communities: bool,
+    /// Whether this AS re-exports black-holed /32s beyond its own
+    /// network (the misconfiguration §4.3 observes in the wild).
+    pub leaks_blackholes: bool,
+}
+
+impl AsNode {
+    /// Country code as a string.
+    pub fn country_str(&self) -> String {
+        String::from_utf8_lossy(&self.country).into_owned()
+    }
+
+    /// Whether the AS exists at `month`.
+    pub fn alive_at(&self, month: u32) -> bool {
+        self.born_month <= month
+    }
+}
+
+/// The complete (final-state) topology; time-dependent views are taken
+/// with an explicit `month` parameter.
+#[derive(Clone, Debug, Default)]
+pub struct Topology {
+    /// All ASes, index-addressed.
+    pub nodes: Vec<AsNode>,
+    /// ASN → node index.
+    pub by_asn: HashMap<Asn, u32>,
+    /// Total number of growth months modelled.
+    pub months: u32,
+}
+
+impl Topology {
+    /// Look up a node index by ASN.
+    pub fn index_of(&self, asn: Asn) -> Option<u32> {
+        self.by_asn.get(&asn).copied()
+    }
+
+    /// The node for an ASN.
+    pub fn node(&self, asn: Asn) -> Option<&AsNode> {
+        self.index_of(asn).map(|i| &self.nodes[i as usize])
+    }
+
+    /// Number of ASes alive at `month`.
+    pub fn alive_count(&self, month: u32) -> usize {
+        self.nodes.iter().filter(|n| n.alive_at(month)).count()
+    }
+
+    /// Indexes of ASes alive at `month`.
+    pub fn alive_indexes(&self, month: u32) -> Vec<u32> {
+        (0..self.nodes.len() as u32)
+            .filter(|&i| self.nodes[i as usize].alive_at(month))
+            .collect()
+    }
+
+    /// All `(origin index, owned prefix)` pairs announced at `month`
+    /// for the given family.
+    pub fn announced_prefixes(&self, month: u32, v4: bool) -> Vec<(u32, OwnedPrefix)> {
+        let mut out = Vec::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !n.alive_at(month) {
+                continue;
+            }
+            if !v4 && n.v6_born_month > month {
+                continue;
+            }
+            let list = if v4 { &n.prefixes_v4 } else { &n.prefixes_v6 };
+            for p in list {
+                if p.born_month <= month {
+                    out.push((i as u32, *p));
+                }
+            }
+        }
+        out
+    }
+
+    /// Sanity-check structural invariants; used by tests and the
+    /// generator.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, n) in self.nodes.iter().enumerate() {
+            let i = i as u32;
+            for &p in &n.providers {
+                let pn = &self.nodes[p as usize];
+                if !pn.customers.contains(&i) {
+                    return Err(format!("{}: provider edge not mirrored", n.asn));
+                }
+                if pn.born_month > n.born_month {
+                    return Err(format!("{}: provider born after customer", n.asn));
+                }
+            }
+            for &c in &n.customers {
+                if !self.nodes[c as usize].providers.contains(&i) {
+                    return Err(format!("{}: customer edge not mirrored", n.asn));
+                }
+            }
+            for &q in &n.peers {
+                if !self.nodes[q as usize].peers.contains(&i) {
+                    return Err(format!("{}: peer edge not mirrored", n.asn));
+                }
+            }
+            if n.tier == Tier::Edge && !n.customers.is_empty() {
+                return Err(format!("{}: edge AS with customers", n.asn));
+            }
+            if n.tier == Tier::Tier1 && !n.providers.is_empty() {
+                return Err(format!("{}: tier-1 with providers", n.asn));
+            }
+            if n.tier != Tier::Tier1 && n.providers.is_empty() {
+                return Err(format!("{}: non-tier-1 without providers", n.asn));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Topology {
+        // 1 (tier1) provider of 2 (edge).
+        let mut t = Topology {
+            nodes: vec![
+                AsNode {
+                    asn: Asn(10),
+                    tier: Tier::Tier1,
+                    country: *b"US",
+                    born_month: 0,
+                    v6_born_month: 0,
+                    providers: vec![],
+                    customers: vec![1],
+                    peers: vec![],
+                    prefixes_v4: vec![OwnedPrefix {
+                        prefix: "10.0.0.0/16".parse().unwrap(),
+                        born_month: 0,
+                        second_origin: None,
+                    }],
+                    prefixes_v6: vec![],
+                    strips_communities: false,
+                    tags_communities: true,
+                    leaks_blackholes: false,
+                },
+                AsNode {
+                    asn: Asn(20),
+                    tier: Tier::Edge,
+                    country: *b"IT",
+                    born_month: 3,
+                    v6_born_month: u32::MAX,
+                    providers: vec![0],
+                    customers: vec![],
+                    peers: vec![],
+                    prefixes_v4: vec![OwnedPrefix {
+                        prefix: "20.0.0.0/16".parse().unwrap(),
+                        born_month: 5,
+                        second_origin: None,
+                    }],
+                    prefixes_v6: vec![],
+                    strips_communities: true,
+                    tags_communities: false,
+                    leaks_blackholes: false,
+                },
+            ],
+            by_asn: HashMap::new(),
+            months: 12,
+        };
+        t.by_asn.insert(Asn(10), 0);
+        t.by_asn.insert(Asn(20), 1);
+        t
+    }
+
+    #[test]
+    fn validates_ok() {
+        tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_unmirrored_edge() {
+        let mut t = tiny();
+        t.nodes[0].customers.clear();
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn alive_counts_respect_birth() {
+        let t = tiny();
+        assert_eq!(t.alive_count(0), 1);
+        assert_eq!(t.alive_count(3), 2);
+        assert_eq!(t.alive_indexes(0), vec![0]);
+    }
+
+    #[test]
+    fn announced_prefixes_respect_birth_and_family() {
+        let t = tiny();
+        assert_eq!(t.announced_prefixes(0, true).len(), 1);
+        assert_eq!(t.announced_prefixes(5, true).len(), 2);
+        assert_eq!(t.announced_prefixes(4, true).len(), 1);
+        assert!(t.announced_prefixes(5, false).is_empty());
+    }
+
+    #[test]
+    fn lookup_by_asn() {
+        let t = tiny();
+        assert_eq!(t.index_of(Asn(20)), Some(1));
+        assert_eq!(t.node(Asn(10)).unwrap().country_str(), "US");
+        assert!(t.index_of(Asn(999)).is_none());
+    }
+}

@@ -1,0 +1,135 @@
+//! BGPReader (paper §4.1): the bgpdump-compatible command-line tool.
+//!
+//! Reads a CSV-manifest archive (as written by the collector
+//! simulator) and prints matching elems in ASCII, one per line.
+//!
+//! ```sh
+//! # Generate an archive first, then read it back:
+//! cargo run --example bgpreader -- --demo
+//! cargo run --example bgpreader -- <manifest.csv> [options]
+//! ```
+//!
+//! Options (mirroring bgpreader's):
+//!   -t <ribs|updates>   dump type filter
+//!   -p <project>        project filter
+//!   -c <collector>      collector filter
+//!   -w <start>[,<end>]  time window (virtual seconds)
+//!   -k <prefix>         keep only elems overlapping this prefix
+//!   -j <peer-asn>       keep only elems from this VP
+//!   -f <expression>     filter-language string, e.g.
+//!                       "type updates and prefix more 11.0.0.0/8 and comm *:666"
+//!   -m                  bgpdump one-line output format (drop-in mode)
+//!   --json              ExaBGP-style JSON lines
+
+use bgpstream_repro::bgp_types::trie::PrefixMatch;
+use bgpstream_repro::bgp_types::{Asn, Prefix};
+use bgpstream_repro::bgpstream::{ascii, BgpStream};
+use bgpstream_repro::broker::{DataInterface, DumpType};
+use bgpstream_repro::worlds;
+
+enum Format {
+    Native,
+    Bgpdump,
+    Json,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" {
+        eprintln!("usage: bgpreader (--demo | <manifest.csv>) [-t type] [-p project] [-c collector] [-w start[,end]] [-k prefix] [-j peer-asn]");
+        std::process::exit(2);
+    }
+
+    // --demo: build a small archive on the fly and read that.
+    let (manifest, scratch) = if args[0] == "--demo" {
+        let dir = worlds::scratch_dir("bgpreader");
+        let mut world = worlds::quickstart(dir.clone(), 7);
+        world.sim.run_until(world.info.horizon);
+        let manifest = world.sim.write_manifest().expect("manifest");
+        (manifest, Some(dir))
+    } else {
+        (std::path::PathBuf::from(&args[0]), None)
+    };
+
+    let mut builder = BgpStream::builder()
+        .data_interface(DataInterface::CsvFile(manifest));
+    let mut format = Format::Native;
+    let mut start = 0u64;
+    let mut end: Option<u64> = Some(u64::MAX - 1);
+    let mut i = 1;
+    while i + 1 < args.len() + 1 {
+        let Some(flag) = args.get(i) else { break };
+        let value = args.get(i + 1);
+        match (flag.as_str(), value) {
+            ("-t", Some(v)) => {
+                builder = builder.record_type(v.parse::<DumpType>().expect("dump type"));
+                i += 2;
+            }
+            ("-p", Some(v)) => {
+                builder = builder.project(v);
+                i += 2;
+            }
+            ("-c", Some(v)) => {
+                builder = builder.collector(v);
+                i += 2;
+            }
+            ("-w", Some(v)) => {
+                let (s, e) = v.split_once(',').unwrap_or((v.as_str(), ""));
+                start = s.parse().expect("window start");
+                if !e.is_empty() {
+                    end = Some(e.parse().expect("window end"));
+                }
+                i += 2;
+            }
+            ("-k", Some(v)) => {
+                let p: Prefix = v.parse().expect("prefix");
+                builder = builder.filter_prefix(p, PrefixMatch::MoreSpecific);
+                i += 2;
+            }
+            ("-j", Some(v)) => {
+                builder = builder.filter_peer_asn(Asn(v.parse().expect("asn")));
+                i += 2;
+            }
+            ("-f", Some(v)) => {
+                builder = match builder.filter_string(v) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        eprintln!("bad filter expression: {e}");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
+            ("-m", _) => {
+                format = Format::Bgpdump;
+                i += 1;
+            }
+            ("--json", _) => {
+                format = Format::Json;
+                i += 1;
+            }
+            _ => {
+                eprintln!("unknown/incomplete option {flag}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut stream = builder.interval(start, end).start();
+    let mut n = 0u64;
+    while let Some(record) = stream.next_record() {
+        for elem in record.elems() {
+            let line = match format {
+                Format::Native => ascii::elem_line(&record, elem),
+                Format::Bgpdump => ascii::bgpdump_line(elem),
+                Format::Json => ascii::elem_json(&record, elem),
+            };
+            println!("{line}");
+            n += 1;
+        }
+    }
+    eprintln!("# {n} elems");
+    if let Some(dir) = scratch {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,138 @@
+//! Route-leak detection — the §6.2 "verifying the occurrence of a
+//! route leak" application.
+//!
+//! A multi-homed edge AS mis-applies its export filters for 30 virtual
+//! minutes, re-exporting routes learned from one provider to the
+//! other (RFC 7908). The example reconstructs per-VP routing tables
+//! before/during/after the leak (what the RT plugin publishes to the
+//! queue), feeds the diffs to the valley-free [`LeakDetector`] with a
+//! ground-truth relationship oracle, and to the [`NewLinkDetector`],
+//! which flags the never-before-seen adjacency the leak creates.
+//!
+//! ```sh
+//! cargo run --example leak_detection
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bgpstream_repro::bgp_types::{Asn, Prefix};
+use bgpstream_repro::consumers::{AsWatch, LeakDetector, NewLinkDetector, RelOracle};
+use bgpstream_repro::corsaro::codec::{DiffCell, RtMessage};
+use bgpstream_repro::topology::control::ControlPlane;
+use bgpstream_repro::topology::events::{Event, EventKind};
+use bgpstream_repro::topology::gen::{generate, TopologyConfig};
+use bgpstream_repro::topology::model::Tier;
+
+fn main() {
+    let topo = Arc::new(generate(&TopologyConfig::tiny(23)));
+    let oracle = RelOracle::from_topology(&topo);
+    println!("# topology: {} ASes, oracle: {} directed relationships", topo.nodes.len(), oracle.len());
+
+    // The leaker: first multi-homed edge AS.
+    let leaker = topo
+        .nodes
+        .iter()
+        .find(|n| n.tier == Tier::Edge && n.providers.len() >= 2)
+        .map(|n| n.asn)
+        .expect("multi-homed edge");
+    println!("# leaker: AS{leaker} (multi-homed edge)");
+
+    let mut cp = ControlPlane::new(topo.clone(), u64::MAX);
+    // VPs: a handful of transit ASes, like a collector's full feeds.
+    let vps: Vec<Asn> = cp.transit_vp_candidates().into_iter().take(6).collect();
+    let prefixes: Vec<Prefix> = cp.announced_prefixes();
+
+    let mut leak_det = LeakDetector::new(oracle);
+    let mut link_det = NewLinkDetector::new(600, 0); // learn through t=600
+    let mut watch = AsWatch::new(leaker); // §6.2: track paths through one AS
+
+    // Sample the control plane each minute; publish per-VP diffs like
+    // the RT plugin would.
+    let mut previous: HashMap<(Asn, Prefix), bgpstream_repro::bgp_types::AsPath> = HashMap::new();
+    for bin in (0..3600u64).step_by(60) {
+        match bin {
+            1200 => {
+                cp.apply(&Event::at(bin, EventKind::StartLeak { leaker }));
+                println!("t={bin:>4}: AS{leaker} starts leaking");
+            }
+            3000 => {
+                cp.apply(&Event::at(bin, EventKind::EndLeak { leaker }));
+                println!("t={bin:>4}: leak fixed");
+            }
+            _ => {}
+        }
+        let mut cells = Vec::new();
+        for &vp in &vps {
+            for &prefix in &prefixes {
+                let path = cp.route(vp, &prefix).map(|r| r.as_path);
+                let key = (vp, prefix);
+                if previous.get(&key) != path.as_ref() {
+                    match &path {
+                        Some(p) => previous.insert(key, p.clone()),
+                        None => previous.remove(&key),
+                    };
+                    cells.push(DiffCell { vp, prefix, path });
+                }
+            }
+        }
+        if cells.is_empty() {
+            continue;
+        }
+        let msg = RtMessage::Diff { collector: "rrc00".into(), bin, cells };
+        leak_det.apply(&msg);
+        link_det.apply(&msg);
+        watch.apply(&msg);
+    }
+
+    let (judged, unknown) = leak_det.stats();
+    println!("\n# valley-free judge: {judged} paths judged, {unknown} unknown-relationship");
+    println!("# leak alarms: {}", leak_det.alarms().len());
+    for a in leak_det.alarms().iter().take(8) {
+        println!(
+            "  t={:>4} vp=AS{} prefix={} leaker=AS{} path={}",
+            a.bin, a.vp, a.prefix, a.leaker, a.path
+        );
+    }
+    let correct = leak_det.alarms().iter().filter(|a| a.leaker == leaker).count();
+    println!(
+        "# attribution: {}/{} alarms name the scripted leaker AS{}",
+        correct,
+        leak_det.alarms().len(),
+        leaker
+    );
+
+    println!("\n# new-link alarms (warm-up through t=600): {}", link_det.alarms().len());
+    for a in link_det.alarms().iter().take(8) {
+        println!("  t={:>4} link AS{}-AS{} prefix={}", a.bin, a.link.0, a.link.1, a.prefix);
+    }
+    // A pure leak re-uses existing adjacencies (the leaker already had
+    // links to both providers), so the new-link detector stays quiet —
+    // the two detectors are complementary: valley-free analysis flags
+    // mis-exported routes, new-link analysis flags forged adjacencies
+    // (the MITM-hijack signature of §6.2's "suspicious AS links").
+    println!("# (a pure leak creates no new adjacency — that is the MITM-hijack signature)");
+
+    // The AS-watch consumer sees the leak as a surge of routes
+    // traversing the leaker: normally a stub edge AS carries only its
+    // own routes, during the leak it transits for its providers.
+    println!("\n# AS{leaker} watch — routes traversing it per bin (max spans the leak):");
+    let peak = watch.series().map(|s| s.routes).max().unwrap_or(0);
+    let before = watch
+        .series()
+        .filter(|s| s.bin < 1200)
+        .map(|s| s.routes)
+        .max()
+        .unwrap_or(0);
+    println!("#   pre-leak max {before}, overall peak {peak}");
+    println!(
+        "#   upstream neighbors observed: {:?}",
+        watch.upstreams().iter().map(|a| a.0).collect::<Vec<_>>()
+    );
+
+    assert!(
+        leak_det.alarms().iter().any(|a| a.leaker == leaker),
+        "the scripted leak must be detected"
+    );
+    assert!(peak > before, "the leak must raise the leaker's transit load");
+}

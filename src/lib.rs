@@ -1,0 +1,25 @@
+//! Workspace root: canned simulation worlds shared by the runnable
+//! examples, the integration tests and the benchmark harness.
+//!
+//! The individual crates are re-exported so examples can depend on a
+//! single crate:
+//!
+//! * [`bgpstream`] — libBGPStream (core library);
+//! * [`collector_sim`] / [`topology`] — the data-provider substrate;
+//! * [`broker`], [`mrt`], [`bgp_types`] — lower layers;
+//! * [`corsaro`], [`mq`], [`consumers`], [`analytics`] — upper layers;
+//! * [`bmp`] — the RFC 7854 router-direct data path (§7 roadmap).
+
+pub use analytics;
+pub use bgp_types;
+pub use bgpstream;
+pub use bmp;
+pub use broker;
+pub use collector_sim;
+pub use consumers;
+pub use corsaro;
+pub use mq;
+pub use mrt;
+pub use topology;
+
+pub mod worlds;

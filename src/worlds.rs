@@ -1,0 +1,382 @@
+//! Canned simulation worlds for examples, tests and the benchmark
+//! harness. Each builder wires together a topology, a control plane,
+//! collectors, a broker index and a scripted scenario, returning a
+//! ready-to-run [`World`].
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use bgp_types::{Asn, Prefix};
+use broker::Index;
+use collector_sim::{standard_collectors, SimConfig, Simulator};
+use topology::control::ControlPlane;
+use topology::events::Scenario;
+use topology::gen::{generate, top_isps_of_country, TopologyConfig};
+
+/// A wired-up simulation plus the knobs the case studies need.
+pub struct World {
+    /// The collector simulator (owns the control plane).
+    pub sim: Simulator,
+    /// Broker index the simulator publishes into.
+    pub index: Arc<Index>,
+    /// Archive directory.
+    pub dir: PathBuf,
+    /// Collector names, in creation order.
+    pub collectors: Vec<String>,
+    /// Scenario annotations (what was scripted where).
+    pub info: WorldInfo,
+}
+
+/// Ground-truth annotations of the scripted scenario.
+#[derive(Clone, Debug, Default)]
+pub struct WorldInfo {
+    /// Victim AS of a hijack scenario.
+    pub victim: Option<Asn>,
+    /// The victim's monitored IP ranges.
+    pub victim_ranges: Vec<Prefix>,
+    /// Attacker AS.
+    pub attacker: Option<Asn>,
+    /// Hijack episodes (start, duration).
+    pub hijacks: Vec<(u64, u64)>,
+    /// Country under outage and its top ISPs.
+    pub country: Option<[u8; 2]>,
+    /// The ISPs taken down.
+    pub country_isps: Vec<Asn>,
+    /// Outage episodes (start, duration).
+    pub outages: Vec<(u64, u64)>,
+    /// RTBH episodes (start, duration, origin, black-holed host).
+    pub rtbh: Vec<(u64, u64, Asn, Prefix)>,
+    /// The AS scripted to leak routes (RFC 7908).
+    pub leaker: Option<Asn>,
+    /// Leak episodes (start, duration).
+    pub leaks: Vec<(u64, u64)>,
+    /// Suggested horizon (virtual seconds) to run to.
+    pub horizon: u64,
+}
+
+/// A unique scratch directory under the system temp dir.
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "bgpstream-world-{}-{}-{}",
+        tag,
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .subsec_nanos()
+    ));
+    std::fs::create_dir_all(&d).expect("create scratch dir");
+    d
+}
+
+fn wire(
+    cp: ControlPlane,
+    n_ris: usize,
+    n_rv: usize,
+    vps_each: usize,
+    full_frac: f64,
+    seed: u64,
+    dir: PathBuf,
+) -> World {
+    let specs = standard_collectors(&cp, n_ris, n_rv, vps_each, full_frac, seed);
+    let collectors = specs.iter().map(|s| s.name.clone()).collect();
+    let mut cfg = SimConfig::new(&dir);
+    cfg.seed = seed;
+    let mut sim = Simulator::new(cp, specs, cfg);
+    let index = Index::shared();
+    sim.attach_index(index.clone());
+    World { sim, index, dir, collectors, info: WorldInfo::default() }
+}
+
+/// The quickstart world: a small Internet, one RIS + one RouteViews
+/// collector, light route flapping. Run it with
+/// `world.sim.run_until(world.info.horizon)`.
+pub fn quickstart(dir: PathBuf, seed: u64) -> World {
+    let cp = ControlPlane::new(Arc::new(generate(&TopologyConfig::tiny(seed))), u64::MAX);
+    let mut world = wire(cp, 1, 1, 5, 0.8, seed, dir);
+    let topo = world.sim.control_plane().topology().clone();
+    let mut sc = Scenario::new();
+    for (k, n) in topo
+        .nodes
+        .iter()
+        .filter(|n| !n.prefixes_v4.is_empty())
+        .take(8)
+        .enumerate()
+    {
+        sc.flap(120 + 211 * k as u64, 4, 900, n.asn, n.prefixes_v4[0].prefix);
+    }
+    world.sim.schedule(&sc);
+    world.info.horizon = 3600;
+    world
+}
+
+/// The Figure 6 scenario: an attacker repeatedly announces
+/// more-specifics of a victim's IP ranges. `episodes` hijack events
+/// are spread over `horizon` seconds, each lasting ~1 h.
+pub fn hijack_scenario(dir: PathBuf, seed: u64, horizon: u64, episodes: usize) -> World {
+    let cp = ControlPlane::new(Arc::new(generate(&TopologyConfig::tiny(seed))), u64::MAX);
+    let mut world = wire(cp, 1, 1, 5, 1.0, seed, dir);
+    let topo = world.sim.control_plane().topology().clone();
+    // Victim: the AS with the most IPv4 prefixes (a research network
+    // announcing many ranges, like GARR's 78).
+    let victim = topo
+        .nodes
+        .iter()
+        .max_by_key(|n| n.prefixes_v4.len())
+        .expect("nonempty topology");
+    let attacker = topo
+        .nodes
+        .iter()
+        .rev()
+        .find(|n| n.asn != victim.asn && n.tier == topology::Tier::Edge)
+        .expect("attacker");
+    let ranges: Vec<Prefix> = victim.prefixes_v4.iter().map(|p| p.prefix).collect();
+    let mut sc = Scenario::new();
+    let duration = 3600.min(horizon / 8).max(600);
+    let mut hijacks = Vec::new();
+    for e in 0..episodes {
+        let frac = (e as u64 + 1) * horizon / (episodes as u64 + 1);
+        // Announce up to 7 more-specifics of the victim's space
+        // (the GARR event involved 7 /24s).
+        for (k, range) in ranges.iter().take(7).enumerate() {
+            if let Some((lo, hi)) = range.children() {
+                let sub = if k % 2 == 0 { lo } else { hi };
+                sc.hijack(frac, duration, attacker.asn, sub);
+            }
+        }
+        hijacks.push((frac, duration));
+    }
+    world.sim.schedule(&sc);
+    world.info = WorldInfo {
+        victim: Some(victim.asn),
+        victim_ranges: ranges,
+        attacker: Some(attacker.asn),
+        hijacks,
+        horizon,
+        ..Default::default()
+    };
+    world
+}
+
+/// A §6.2 route-leak scenario: a multi-homed edge AS mis-applies its
+/// export filters for `episodes` episodes spread over `horizon`
+/// seconds, re-exporting routes between its providers (RFC 7908).
+pub fn leak_scenario(dir: PathBuf, seed: u64, horizon: u64, episodes: usize) -> World {
+    let cp = ControlPlane::new(Arc::new(generate(&TopologyConfig::tiny(seed))), u64::MAX);
+    let mut world = wire(cp, 1, 1, 5, 1.0, seed, dir);
+    let topo = world.sim.control_plane().topology().clone();
+    let leaker = topo
+        .nodes
+        .iter()
+        .find(|n| n.tier == topology::Tier::Edge && n.providers.len() >= 2)
+        .map(|n| n.asn)
+        .expect("multi-homed edge exists in tiny topology");
+    let mut sc = Scenario::new();
+    let duration = 1800.min(horizon / (episodes as u64 * 2 + 1)).max(600);
+    let mut leaks = Vec::new();
+    for e in 0..episodes {
+        let start = (e as u64 + 1) * horizon / (episodes as u64 + 1);
+        sc.leak(start, duration, leaker);
+        leaks.push((start, duration));
+    }
+    world.sim.schedule(&sc);
+    world.info = WorldInfo {
+        leaker: Some(leaker),
+        leaks,
+        horizon,
+        ..Default::default()
+    };
+    world
+}
+
+/// The Figure 10 scenario: government-ordered outages. The top
+/// `n_isps` transit providers of one country go down together for
+/// ~3 h, once per `period` seconds.
+pub fn outage_scenario(dir: PathBuf, seed: u64, horizon: u64, episodes: usize) -> World {
+    // A bigger topology so one country has several ISPs.
+    let cfg = TopologyConfig { seed, ..TopologyConfig::default() };
+    let cp = ControlPlane::new(Arc::new(generate(&cfg)), u64::MAX);
+    let mut world = wire(cp, 2, 1, 6, 1.0, seed, dir);
+    let topo = world.sim.control_plane().topology().clone();
+    // Pick the country (other than the tier-1 home countries) with the
+    // most transit ISPs.
+    let mut best: Option<([u8; 2], Vec<Asn>)> = None;
+    for cc in topology::gen::COUNTRIES.iter().skip(5) {
+        let isps = top_isps_of_country(&topo, **cc, 0);
+        if best.as_ref().is_none_or(|(_, b)| isps.len() > b.len()) {
+            best = Some((**cc, isps));
+        }
+    }
+    let (country, mut isps) = best.expect("countries exist");
+    isps.truncate(5);
+    let mut sc = Scenario::new();
+    let duration = 3 * 3600;
+    let mut outages = Vec::new();
+    for e in 0..episodes {
+        let start = (e as u64 + 1) * horizon / (episodes as u64 + 1);
+        for isp in &isps {
+            sc.outage(start, duration, *isp);
+        }
+        outages.push((start, duration));
+    }
+    world.sim.schedule(&sc);
+    world.info = WorldInfo {
+        country: Some(country),
+        country_isps: isps,
+        outages,
+        horizon,
+        ..Default::default()
+    };
+    world
+}
+
+/// The §4.3 scenario: `episodes` RTBH requests from random edge ASes,
+/// with the duration distribution of the paper (80 % under a day,
+/// 20 % under 40 minutes — scaled into the horizon).
+pub fn rtbh_scenario(dir: PathBuf, seed: u64, horizon: u64, episodes: usize) -> World {
+    let cfg = TopologyConfig { seed, ..TopologyConfig::default() };
+    let cp = ControlPlane::new(Arc::new(generate(&cfg)), u64::MAX);
+    let mut world = wire(cp, 1, 1, 6, 1.0, seed, dir);
+    let topo = world.sim.control_plane().topology().clone();
+    // Victims: mostly stubs, but some customer-rich transit ASes so
+    // the "partially reachable during RTBH" population of Figure 4a
+    // (customers/peers still reaching the destination) exists.
+    let edge_victims: Vec<&topology::AsNode> = topo
+        .nodes
+        .iter()
+        .filter(|n| n.tier == topology::Tier::Edge && !n.providers.is_empty())
+        .collect();
+    let transit_victims: Vec<&topology::AsNode> = topo
+        .nodes
+        .iter()
+        .filter(|n| {
+            n.tier == topology::Tier::Transit && !n.providers.is_empty() && n.customers.len() >= 2
+        })
+        .collect();
+    let mut sc = Scenario::new();
+    let mut rtbh = Vec::new();
+    for e in 0..episodes {
+        let v = if e % 3 == 2 && !transit_victims.is_empty() {
+            transit_victims[(e * 5 + seed as usize) % transit_victims.len()]
+        } else {
+            edge_victims[(e * 7 + seed as usize) % edge_victims.len()]
+        };
+        let start = (e as u64 + 1) * horizon / (episodes as u64 + 2);
+        // 20 % short (~30 min), 80 % longer episodes.
+        let duration = if e % 5 == 0 { 1800 } else { 3600 * 3 };
+        let host = v.prefixes_v4[0].prefix.host(e as u128 + 1);
+        sc.rtbh(start, duration, v.asn, host);
+        rtbh.push((start, duration, v.asn, host));
+    }
+    world.sim.schedule(&sc);
+    world.info = WorldInfo { rtbh, horizon, ..Default::default() };
+    world
+}
+
+/// A longitudinal world: `months` of growth, RIB-only snapshots every
+/// `step` months on `n_ris + n_rv` collectors. Returns the world and
+/// the snapshot times (already dumped).
+pub fn longitudinal(
+    dir: PathBuf,
+    seed: u64,
+    months: u32,
+    step: u32,
+    topo_cfg: Option<TopologyConfig>,
+) -> (World, Vec<u64>) {
+    let spm = 10_000u64;
+    let cfg = topo_cfg.unwrap_or(TopologyConfig {
+        seed,
+        months,
+        moas_frac: 0.04,
+        ..TopologyConfig::default()
+    });
+    let topo = Arc::new(generate(&cfg));
+    let cp = ControlPlane::new(topo, spm);
+    let specs = standard_collectors(&cp, 2, 2, 6, 0.7, seed);
+    let collectors = specs.iter().map(|s| s.name.clone()).collect();
+    let mut sim_cfg = SimConfig::new(&dir);
+    sim_cfg.seed = seed;
+    sim_cfg.emit_updates = false;
+    sim_cfg.emit_ribs = false;
+    let mut sim = Simulator::new(cp, specs, sim_cfg);
+    let index = Index::shared();
+    sim.attach_index(index.clone());
+    let times: Vec<u64> = (0..=months)
+        .step_by(step.max(1) as usize)
+        .map(|m| m as u64 * spm)
+        .collect();
+    for &t in &times {
+        sim.force_rib_dump(t);
+    }
+    let mut world = World {
+        sim,
+        index,
+        dir,
+        collectors,
+        info: WorldInfo { horizon: months as u64 * spm, ..Default::default() },
+    };
+    world.info.horizon = months as u64 * spm;
+    (world, times)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quickstart_world_runs() {
+        let dir = scratch_dir("qs");
+        let mut w = quickstart(dir.clone(), 3);
+        w.sim.run_until(w.info.horizon);
+        assert!(w.index.len() > 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hijack_world_annotations_consistent() {
+        let dir = scratch_dir("hw");
+        let w = hijack_scenario(dir.clone(), 5, 6 * 3600, 2);
+        assert!(w.info.victim.is_some());
+        assert!(w.info.attacker.is_some());
+        assert_eq!(w.info.hijacks.len(), 2);
+        assert!(!w.info.victim_ranges.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn leak_world_annotations_consistent() {
+        let dir = scratch_dir("lkw");
+        let mut w = leak_scenario(dir.clone(), 77, 4 * 3600, 2);
+        let leaker = w.info.leaker.unwrap();
+        assert_eq!(w.info.leaks.len(), 2);
+        // The leaker really is a multi-homed edge of this topology.
+        let topo = w.sim.control_plane().topology().clone();
+        let node = topo.node(leaker).unwrap();
+        assert!(node.providers.len() >= 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn outage_world_has_isps() {
+        let dir = scratch_dir("ow");
+        let w = outage_scenario(dir.clone(), 7, 24 * 3600, 1);
+        assert!(w.info.country.is_some());
+        assert!(!w.info.country_isps.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn longitudinal_world_dumps_ribs() {
+        let dir = scratch_dir("lw");
+        let (w, times) = longitudinal(
+            dir.clone(),
+            9,
+            12,
+            6,
+            Some(TopologyConfig { months: 12, ..TopologyConfig::tiny(9) }),
+        );
+        assert_eq!(times.len(), 3);
+        assert_eq!(w.index.len(), 3 * w.collectors.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,167 @@
+//! End-to-end test of the §7 OpenBMP data path: a router exports BMP,
+//! the monitoring station bridges it to MRT, the records are written
+//! as a dump file, and libBGPStream consumes that file through the
+//! SingleFile data interface — proving router-direct data flows
+//! through the exact same machinery as archive data.
+
+use std::net::IpAddr;
+
+use bgp_types::{AsPath, Asn, BgpUpdate, PathAttributes, Prefix};
+use bgpstream::{BgpStream, ElemType};
+use bmp::{station, RouterExporter, TerminationReason};
+use broker::{DataInterface, DumpType};
+use mrt::MrtWriter;
+
+fn p(s: &str) -> Prefix {
+    s.parse().unwrap()
+}
+
+fn announce(prefixes: &[&str], path: &[u32]) -> BgpUpdate {
+    BgpUpdate::announce(
+        prefixes.iter().map(|s| p(s)).collect(),
+        PathAttributes::route(
+            AsPath::from_sequence(path.iter().copied()),
+            "192.0.2.1".parse().unwrap(),
+        ),
+    )
+}
+
+#[test]
+fn bmp_feed_flows_through_bgpstream() {
+    let peer_ip: IpAddr = "192.0.2.1".parse().unwrap();
+    let peer2_ip: IpAddr = "192.0.2.2".parse().unwrap();
+
+    // Router side: one BMP session carrying two monitored peers.
+    let mut ex =
+        RouterExporter::new(Vec::new(), "edge1", "192.0.2.254".parse().unwrap(), Asn(64512));
+    ex.initiate("simulated JunOS").unwrap();
+    ex.peer_up(peer_ip, Asn(65001), 1, 1000).unwrap();
+    ex.peer_up(peer2_ip, Asn(65002), 2, 1001).unwrap();
+    ex.route_monitoring(peer_ip, Asn(65001), 1, 1010, announce(&["203.0.113.0/24"], &[65001, 137]))
+        .unwrap();
+    ex.route_monitoring(
+        peer2_ip,
+        Asn(65002),
+        2,
+        1020,
+        announce(&["198.51.100.0/24", "198.51.100.128/25"], &[65002, 3356, 44]),
+    )
+    .unwrap();
+    ex.route_monitoring(
+        peer_ip,
+        Asn(65001),
+        1,
+        1030,
+        BgpUpdate::withdraw(vec![p("203.0.113.0/24")]),
+    )
+    .unwrap();
+    ex.peer_down(peer_ip, Asn(65001), 1, 1040, bmp::PeerDownReason::RemoteNoData).unwrap();
+    ex.terminate(TerminationReason::AdminClose).unwrap();
+    let wire = ex.into_inner();
+
+    // Station side: bridge to MRT records.
+    let (records, err) =
+        station::bridge_stream(&wire[..], Asn(64512), "192.0.2.254".parse().unwrap());
+    assert!(err.is_none());
+    // 2 peer-up state changes + 3 updates + 1 peer-down state change.
+    assert_eq!(records.len(), 6);
+
+    // Write the bridged records as an MRT dump file.
+    let dir = std::env::temp_dir().join(format!("bmp_pipeline_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("updates.1000.mrt");
+    {
+        let file = std::fs::File::create(&path).unwrap();
+        let mut w = MrtWriter::new(file);
+        for r in &records {
+            w.write(r).unwrap();
+        }
+    }
+
+    // Consume through libBGPStream.
+    let mut stream = BgpStream::builder()
+        .data_interface(DataInterface::SingleFile {
+            dump_type: DumpType::Updates,
+            path: path.clone(),
+            interval_start: 1000,
+            duration: 300,
+        })
+        .interval(1000, Some(2000))
+        .start();
+
+    let mut elems = Vec::new();
+    while let Some(rec) = stream.next_record() {
+        assert_eq!(rec.collector, "local");
+        elems.extend(rec.elems().to_vec());
+    }
+    // 2 establishment states + 1 announce + 2 announces + 1 withdrawal
+    // + 1 down state.
+    assert_eq!(elems.len(), 7);
+    // Time-ordered.
+    for w in elems.windows(2) {
+        assert!(w[0].time <= w[1].time);
+    }
+    let announcements =
+        elems.iter().filter(|e| e.elem_type == ElemType::Announcement).count();
+    let withdrawals = elems.iter().filter(|e| e.elem_type == ElemType::Withdrawal).count();
+    let states = elems.iter().filter(|e| e.elem_type == ElemType::PeerState).count();
+    assert_eq!((announcements, withdrawals, states), (3, 1, 3));
+    // The station stamped the right peers.
+    assert!(elems.iter().any(|e| e.peer_asn == Asn(65001)));
+    assert!(elems.iter().any(|e| e.peer_asn == Asn(65002)));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bmp_feed_respects_stream_filters() {
+    let peer_ip: IpAddr = "192.0.2.1".parse().unwrap();
+    let mut ex =
+        RouterExporter::new(Vec::new(), "edge1", "192.0.2.254".parse().unwrap(), Asn(64512));
+    ex.initiate("sim").unwrap();
+    ex.peer_up(peer_ip, Asn(65001), 1, 1000).unwrap();
+    ex.route_monitoring(peer_ip, Asn(65001), 1, 1010, announce(&["203.0.113.0/24"], &[65001, 137]))
+        .unwrap();
+    ex.route_monitoring(peer_ip, Asn(65001), 1, 1020, announce(&["10.9.0.0/16"], &[65001, 9]))
+        .unwrap();
+    let wire = ex.into_inner();
+    let (records, _) =
+        station::bridge_stream(&wire[..], Asn(64512), "192.0.2.254".parse().unwrap());
+
+    let dir = std::env::temp_dir().join(format!("bmp_filtered_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("updates.1000.mrt");
+    {
+        let file = std::fs::File::create(&path).unwrap();
+        let mut w = MrtWriter::new(file);
+        for r in &records {
+            w.write(r).unwrap();
+        }
+    }
+
+    // Filter-language expression applied to a router-direct stream.
+    let mut stream = BgpStream::builder()
+        .data_interface(DataInterface::SingleFile {
+            dump_type: DumpType::Updates,
+            path,
+            interval_start: 1000,
+            duration: 300,
+        })
+        .interval(1000, Some(2000))
+        .filter_string("prefix more 203.0.113.0/24 and elemtype announcements")
+        .unwrap()
+        .start();
+
+    let mut matched = Vec::new();
+    while let Some((elem, _src)) = stream.next_elem() {
+        matched.push(elem);
+    }
+    assert_eq!(matched.len(), 1);
+    assert_eq!(matched[0].prefix, Some(p("203.0.113.0/24")));
+
+    std::fs::remove_dir_all(std::env::temp_dir().join(format!(
+        "bmp_filtered_{}",
+        std::process::id()
+    )))
+    .ok();
+}

@@ -1,0 +1,122 @@
+//! Integration: §3.2 mirror load balancing. The same archive is
+//! replicated to a mirror root; the broker round-robins dump-file
+//! paths across mirror and primary; the sorted stream output is
+//! byte-identical to the unmirrored run, with requests actually
+//! spread — and a *partial* mirror degrades only the spread, never
+//! the data.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use bgpstream_repro::bgpstream::{ascii, BgpStream};
+use bgpstream_repro::broker::{DataInterface, MirrorPolicy, MirrorSet};
+use bgpstream_repro::worlds;
+
+/// Recursively copy an archive tree.
+fn copy_tree(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        let to = dst.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_tree(&entry.path(), &to);
+        } else {
+            std::fs::copy(entry.path(), &to).unwrap();
+        }
+    }
+}
+
+/// Drain a full stream into bgpdump-format lines.
+fn drain(index: Arc<bgpstream_repro::broker::Index>, horizon: u64) -> Vec<String> {
+    let mut stream = BgpStream::builder()
+        .data_interface(DataInterface::Broker(index))
+        .interval(0, Some(horizon))
+        .start();
+    let mut lines = Vec::new();
+    while let Some(rec) = stream.next_record() {
+        for elem in rec.elems() {
+            lines.push(ascii::elem_line(&rec, elem));
+        }
+    }
+    lines
+}
+
+#[test]
+fn mirrored_stream_is_identical_and_spread() {
+    let dir = worlds::scratch_dir("mirrors");
+    let mut world = worlds::quickstart(dir.clone(), 31);
+    world.sim.run_until(world.info.horizon);
+    let horizon = world.info.horizon;
+
+    // Baseline: no mirrors.
+    let baseline = drain(world.index.clone(), horizon);
+    assert!(!baseline.is_empty());
+
+    // Full replica.
+    let mirror_root = dir.parent().unwrap().join(format!(
+        "{}-mirror",
+        dir.file_name().unwrap().to_string_lossy()
+    ));
+    copy_tree(&dir, &mirror_root);
+    let mirrors = Arc::new(MirrorSet::new(
+        &dir,
+        vec![mirror_root.clone()],
+        MirrorPolicy::RoundRobin,
+    ));
+    world.index.set_mirrors(mirrors.clone());
+
+    let mirrored = drain(world.index.clone(), horizon);
+    assert_eq!(mirrored, baseline, "mirroring changed stream content");
+    let hits = mirrors.hit_counts();
+    assert!(hits[0] > 0, "mirror never used: {hits:?}");
+    assert!(hits[1] > 0, "primary never used: {hits:?}");
+    assert_eq!(mirrors.miss_count(), 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&mirror_root).ok();
+}
+
+#[test]
+fn partial_mirror_degrades_spread_not_content() {
+    let dir = worlds::scratch_dir("mirrors-partial");
+    let mut world = worlds::quickstart(dir.clone(), 32);
+    world.sim.run_until(world.info.horizon);
+    let horizon = world.info.horizon;
+    let baseline = drain(world.index.clone(), horizon);
+
+    // Replica missing half its files (a mirror mid-sync).
+    let mirror_root: PathBuf = dir.parent().unwrap().join(format!(
+        "{}-mirror",
+        dir.file_name().unwrap().to_string_lossy()
+    ));
+    copy_tree(&dir, &mirror_root);
+    let mut removed = 0;
+    fn prune(dir: &Path, removed: &mut u32) {
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let entry = entry.unwrap();
+            if entry.file_type().unwrap().is_dir() {
+                prune(&entry.path(), removed);
+            } else if removed.is_multiple_of(2) {
+                std::fs::remove_file(entry.path()).unwrap();
+                *removed += 1;
+            } else {
+                *removed += 1;
+            }
+        }
+    }
+    prune(&mirror_root, &mut removed);
+    assert!(removed > 0);
+
+    let mirrors = Arc::new(MirrorSet::new(
+        &dir,
+        vec![mirror_root.clone()],
+        MirrorPolicy::RoundRobin,
+    ));
+    world.index.set_mirrors(mirrors.clone());
+    let mirrored = drain(world.index.clone(), horizon);
+    assert_eq!(mirrored, baseline, "partial mirror corrupted the stream");
+    assert!(mirrors.miss_count() > 0, "expected fall-backs from pruned mirror");
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&mirror_root).ok();
+}
