@@ -32,7 +32,9 @@ pub fn rib_partitions(index: &Arc<Index>, start: u64, end: u64) -> Vec<RibPartit
         end: Some(end),
         ..Default::default()
     };
-    let mut cursor = BrokerCursor { window_start: start };
+    let mut cursor = BrokerCursor {
+        window_start: start,
+    };
     let mut out = Vec::new();
     loop {
         let resp = index.query(&q, &mut cursor, u64::MAX);
@@ -200,7 +202,11 @@ pub fn moas_sets(
                 .filter(|s| s.len() >= 2)
                 .map(|s| s.iter().copied().collect())
                 .collect();
-            MoasPoint { time, overall: overall_sets.len(), per_collector }
+            MoasPoint {
+                time,
+                overall: overall_sets.len(),
+                per_collector,
+            }
         })
         .collect()
 }
@@ -231,14 +237,20 @@ pub fn transit_fraction(
     let mapped = par_map(partitions.to_vec(), workers, move |p| {
         let mut stream = open_rib(&index, &p);
         // (v4 all, v4 transit, v6 all, v6 transit)
-        let mut sets: Sets =
-            (HashSet::new(), HashSet::new(), HashSet::new(), HashSet::new());
+        let mut sets: Sets = (
+            HashSet::new(),
+            HashSet::new(),
+            HashSet::new(),
+            HashSet::new(),
+        );
         while let Some(rec) = stream.next_record() {
             for e in rec.elems() {
                 if e.elem_type != ElemType::RibEntry {
                     continue;
                 }
-                let (Some(pfx), Some(path)) = (e.prefix, e.as_path.as_ref()) else { continue };
+                let (Some(pfx), Some(path)) = (e.prefix, e.as_path.as_ref()) else {
+                    continue;
+                };
                 let hops = path.hops_dedup();
                 // Sanitization as in Listing 1: skip local routes.
                 if hops.len() < 2 || hops[0] != e.peer_asn {
@@ -267,9 +279,14 @@ pub fn transit_fraction(
     });
     let mut by_time: BTreeMap<u64, Sets> = BTreeMap::new();
     for (time, (a4, t4, a6, t6)) in mapped {
-        let e = by_time
-            .entry(time)
-            .or_insert_with(|| (HashSet::new(), HashSet::new(), HashSet::new(), HashSet::new()));
+        let e = by_time.entry(time).or_insert_with(|| {
+            (
+                HashSet::new(),
+                HashSet::new(),
+                HashSet::new(),
+                HashSet::new(),
+            )
+        });
         e.0.extend(a4);
         e.1.extend(t4);
         e.2.extend(a6);
@@ -280,9 +297,17 @@ pub fn transit_fraction(
         .map(|(time, (a4, t4, a6, t6))| TransitPoint {
             time,
             v4_asns: a4.len(),
-            v4_transit_frac: if a4.is_empty() { 0.0 } else { t4.len() as f64 / a4.len() as f64 },
+            v4_transit_frac: if a4.is_empty() {
+                0.0
+            } else {
+                t4.len() as f64 / a4.len() as f64
+            },
             v6_asns: a6.len(),
-            v6_transit_frac: if a6.is_empty() { 0.0 } else { t6.len() as f64 / a6.len() as f64 },
+            v6_transit_frac: if a6.is_empty() {
+                0.0
+            } else {
+                t6.len() as f64 / a6.len() as f64
+            },
         })
         .collect()
 }
@@ -311,28 +336,27 @@ pub fn community_diversity(
 ) -> CommunityDiversity {
     let index = index.clone();
     type VpComm = HashMap<(String, String, IpAddr), HashSet<u16>>;
-    let mapped: Vec<(VpComm, HashSet<u32>)> =
-        par_map(partitions.to_vec(), workers, move |p| {
-            let mut stream = open_rib(&index, &p);
-            let mut per_vp: VpComm = HashMap::new();
-            let mut uniq: HashSet<u32> = HashSet::new();
-            while let Some(rec) = stream.next_record() {
-                for e in rec.elems() {
-                    if e.elem_type != ElemType::RibEntry {
-                        continue;
-                    }
-                    let key = (p.project.clone(), p.collector.clone(), e.peer_address);
-                    let entry = per_vp.entry(key).or_default();
-                    if let Some(cs) = &e.communities {
-                        for c in cs.iter() {
-                            entry.insert(c.asn);
-                            uniq.insert(c.as_u32());
-                        }
+    let mapped: Vec<(VpComm, HashSet<u32>)> = par_map(partitions.to_vec(), workers, move |p| {
+        let mut stream = open_rib(&index, &p);
+        let mut per_vp: VpComm = HashMap::new();
+        let mut uniq: HashSet<u32> = HashSet::new();
+        while let Some(rec) = stream.next_record() {
+            for e in rec.elems() {
+                if e.elem_type != ElemType::RibEntry {
+                    continue;
+                }
+                let key = (p.project.clone(), p.collector.clone(), e.peer_address);
+                let entry = per_vp.entry(key).or_default();
+                if let Some(cs) = &e.communities {
+                    for c in cs.iter() {
+                        entry.insert(c.asn);
+                        uniq.insert(c.as_u32());
                     }
                 }
             }
-            (per_vp, uniq)
-        });
+        }
+        (per_vp, uniq)
+    });
     let mut out = CommunityDiversity::default();
     let mut per_collector: HashMap<String, HashSet<u16>> = HashMap::new();
     let mut per_project: HashMap<String, HashSet<u16>> = HashMap::new();
@@ -346,16 +370,24 @@ pub fn community_diversity(
             if !asns.is_empty() {
                 vp_seeing += 1;
             }
-            per_collector.entry(collector.clone()).or_default().extend(asns.iter());
+            per_collector
+                .entry(collector.clone())
+                .or_default()
+                .extend(asns.iter());
             per_project.entry(project).or_default().extend(asns.iter());
             out.per_vp.insert((collector, peer), asns.len());
         }
     }
-    out.per_collector =
-        per_collector.into_iter().map(|(k, v)| (k, v.len())).collect();
+    out.per_collector = per_collector
+        .into_iter()
+        .map(|(k, v)| (k, v.len()))
+        .collect();
     out.per_project = per_project.into_iter().map(|(k, v)| (k, v.len())).collect();
-    out.vps_seeing_communities =
-        if vp_total == 0 { 0.0 } else { vp_seeing as f64 / vp_total as f64 };
+    out.vps_seeing_communities = if vp_total == 0 {
+        0.0
+    } else {
+        vp_seeing as f64 / vp_total as f64
+    };
     out.unique_communities = all_comms.len();
     out
 }
@@ -383,36 +415,37 @@ pub fn path_inflation(
 ) -> InflationReport {
     let index = index.clone();
     type Lens = HashMap<(Asn, Asn), usize>;
-    let mapped: Vec<(Lens, Vec<(Asn, Asn)>)> =
-        par_map(partitions.to_vec(), workers, move |p| {
-            let mut stream = open_rib(&index, &p);
-            let mut bgp_lens: Lens = HashMap::new();
-            let mut edges: Vec<(Asn, Asn)> = Vec::new();
-            while let Some(rec) = stream.next_record() {
-                for e in rec.elems() {
-                    if e.elem_type != ElemType::RibEntry {
-                        continue;
-                    }
-                    let Some(path) = e.as_path.as_ref() else { continue };
-                    let hops = path.hops_dedup();
-                    // Sanitization: ignore local routes (Listing 1).
-                    if hops.len() <= 1 || hops[0] != e.peer_asn {
-                        continue;
-                    }
-                    let monitor = hops[0];
-                    let origin = *hops.last().expect("non-empty");
-                    for w in hops.windows(2) {
-                        edges.push((w[0], w[1]));
-                    }
-                    let len = hops.len();
-                    bgp_lens
-                        .entry((monitor, origin))
-                        .and_modify(|l| *l = (*l).min(len))
-                        .or_insert(len);
+    let mapped: Vec<(Lens, Vec<(Asn, Asn)>)> = par_map(partitions.to_vec(), workers, move |p| {
+        let mut stream = open_rib(&index, &p);
+        let mut bgp_lens: Lens = HashMap::new();
+        let mut edges: Vec<(Asn, Asn)> = Vec::new();
+        while let Some(rec) = stream.next_record() {
+            for e in rec.elems() {
+                if e.elem_type != ElemType::RibEntry {
+                    continue;
                 }
+                let Some(path) = e.as_path.as_ref() else {
+                    continue;
+                };
+                let hops = path.hops_dedup();
+                // Sanitization: ignore local routes (Listing 1).
+                if hops.len() <= 1 || hops[0] != e.peer_asn {
+                    continue;
+                }
+                let monitor = hops[0];
+                let origin = *hops.last().expect("non-empty");
+                for w in hops.windows(2) {
+                    edges.push((w[0], w[1]));
+                }
+                let len = hops.len();
+                bgp_lens
+                    .entry((monitor, origin))
+                    .and_modify(|l| *l = (*l).min(len))
+                    .or_insert(len);
             }
-            (bgp_lens, edges)
-        });
+        }
+        (bgp_lens, edges)
+    });
     // Reduce: merge graphs and minimum path lengths.
     let mut graph = AsGraph::new();
     let mut bgp_lens: Lens = HashMap::new();
@@ -421,7 +454,10 @@ pub fn path_inflation(
             graph.add_edge(a, b);
         }
         for (k, v) in lens {
-            bgp_lens.entry(k).and_modify(|l| *l = (*l).min(v)).or_insert(v);
+            bgp_lens
+                .entry(k)
+                .and_modify(|l| *l = (*l).min(v))
+                .or_insert(v);
         }
     }
     // Group by monitor so one BFS serves all its origins.
@@ -450,9 +486,17 @@ pub fn path_inflation(
             report.pairs += n;
         }
     }
-    let inflated: u64 = report.histogram.iter().filter(|(e, _)| **e > 0).map(|(_, n)| n).sum();
-    report.inflated_frac =
-        if report.pairs == 0 { 0.0 } else { inflated as f64 / report.pairs as f64 };
+    let inflated: u64 = report
+        .histogram
+        .iter()
+        .filter(|(e, _)| **e > 0)
+        .map(|(_, n)| n)
+        .sum();
+    report.inflated_frac = if report.pairs == 0 {
+        0.0
+    } else {
+        inflated as f64 / report.pairs as f64
+    };
     report.max_extra_hops = report.histogram.keys().max().copied().unwrap_or(0);
     report
 }

@@ -21,9 +21,9 @@ pub mod asgraph;
 pub mod mapreduce;
 
 pub use analyses::{
-    community_diversity, full_feed_vps, moas_sets, path_inflation, rib_partitions,
-    rib_size_per_vp, transit_fraction, CommunityDiversity, InflationReport, MoasPoint,
-    RibPartition, RibSizePoint, TransitPoint,
+    community_diversity, full_feed_vps, moas_sets, path_inflation, rib_partitions, rib_size_per_vp,
+    transit_fraction, CommunityDiversity, InflationReport, MoasPoint, RibPartition, RibSizePoint,
+    TransitPoint,
 };
 pub use asgraph::AsGraph;
 pub use mapreduce::par_map;

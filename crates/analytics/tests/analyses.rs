@@ -120,7 +120,10 @@ fn longitudinal_analyses_reproduce_figure5_shapes() {
         assert!(
             v6_points[0].v6_transit_frac >= v6_points.last().unwrap().v6_transit_frac,
             "v6 transit fraction should decay: {:?}",
-            v6_points.iter().map(|t| t.v6_transit_frac).collect::<Vec<_>>()
+            v6_points
+                .iter()
+                .map(|t| t.v6_transit_frac)
+                .collect::<Vec<_>>()
         );
     }
 
@@ -143,7 +146,10 @@ fn path_inflation_reports_inflated_pairs() {
     // Inflation needs a rich graph: many VPs contribute edges that
     // policy forbids other VPs from using. Use the full default
     // topology with several collectors.
-    let topo = Arc::new(generate(&TopologyConfig { seed: 52, ..TopologyConfig::default() }));
+    let topo = Arc::new(generate(&TopologyConfig {
+        seed: 52,
+        ..TopologyConfig::default()
+    }));
     let cp = ControlPlane::new(topo, u64::MAX);
     let specs = standard_collectors(&cp, 2, 2, 8, 0.9, 52);
     let dir = tmpdir("inflation");

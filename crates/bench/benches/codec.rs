@@ -12,7 +12,9 @@ fn sample_update(k: u32) -> MrtRecord {
         AsPath::from_sequence([65001, 3356 + k % 7, 174, 137 + k % 911]),
         "192.0.2.1".parse().unwrap(),
     );
-    attrs.communities.insert(bgp_types::Community::new(3356, 100 + (k % 50) as u16));
+    attrs
+        .communities
+        .insert(bgp_types::Community::new(3356, 100 + (k % 50) as u16));
     let prefix = Prefix::v4(std::net::Ipv4Addr::from(0x0b00_0000 + k * 256), 24);
     MrtRecord::bgp4mp(
         1_000_000 + k,
@@ -60,7 +62,10 @@ fn bench_mrt_codec(c: &mut Criterion) {
 fn bench_trie(c: &mut Criterion) {
     let mut trie = PrefixTrie::new();
     for k in 0u32..10_000 {
-        trie.insert(Prefix::v4(std::net::Ipv4Addr::from(0x0b00_0000 + k * 1024), 22), k);
+        trie.insert(
+            Prefix::v4(std::net::Ipv4Addr::from(0x0b00_0000 + k * 1024), 22),
+            k,
+        );
     }
     let queries: Vec<Prefix> = (0u32..1024)
         .map(|k| Prefix::v4(std::net::Ipv4Addr::from(0x0b00_0000 + k * 7919), 32))

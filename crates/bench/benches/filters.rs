@@ -6,7 +6,9 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
 use bgp_types::trie::PrefixMatch;
-use bgp_types::{AsPath, Asn, BgpMessage, BgpUpdate, Community, CommunitySet, PathAttributes, Prefix, PrefixTrie};
+use bgp_types::{
+    AsPath, Asn, BgpMessage, BgpUpdate, Community, CommunitySet, PathAttributes, Prefix, PrefixTrie,
+};
 use bgpstream::{AsPathRegex, BgpStreamElem, CommunityFilter, ElemType, Filters};
 use bmp::{BmpMessage, BmpReader, PerPeerHeader};
 
@@ -16,7 +18,10 @@ fn sample_elem(k: u32) -> BgpStreamElem {
         time: 1_000_000 + k as u64,
         peer_address: "192.0.2.1".parse().unwrap(),
         peer_asn: Asn(65001 + k % 8),
-        prefix: Some(Prefix::v4(std::net::Ipv4Addr::from(0x0b00_0000 + k * 256), 24)),
+        prefix: Some(Prefix::v4(
+            std::net::Ipv4Addr::from(0x0b00_0000 + k * 256),
+            24,
+        )),
         next_hop: Some("192.0.2.1".parse().unwrap()),
         as_path: Some(AsPath::from_sequence([
             65001 + k % 8,
@@ -114,7 +119,8 @@ fn bench_filter_set(c: &mut Criterion) {
 
     let mut full = Filters::none();
     full.peer_asns.extend([Asn(65001), Asn(65003), Asn(65005)]);
-    full.prefixes.push(("11.0.0.0/8".parse().unwrap(), PrefixMatch::MoreSpecific));
+    full.prefixes
+        .push(("11.0.0.0/8".parse().unwrap(), PrefixMatch::MoreSpecific));
     full.communities.push(CommunityFilter::any_asn(300));
     full.as_paths.push(AsPathRegex::parse("_174_").unwrap());
     g.bench_function("combined", |b| {

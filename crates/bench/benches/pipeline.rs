@@ -19,9 +19,18 @@ fn build_archive() -> Archive {
     let dir = worlds::scratch_dir("bench-pipeline");
     let mut world = worlds::quickstart(dir, 99);
     world.sim.run_until(3600);
-    let files: Vec<_> = world.sim.manifest().iter().map(|m| m.path.clone()).collect();
+    let files: Vec<_> = world
+        .sim
+        .manifest()
+        .iter()
+        .map(|m| m.path.clone())
+        .collect();
     let bytes = world.sim.stats().bytes;
-    Archive { world, files, bytes }
+    Archive {
+        world,
+        files,
+        bytes,
+    }
 }
 
 fn bench_pipeline(c: &mut Criterion) {

@@ -19,13 +19,20 @@ use bgpstream_repro::mrt::MrtReader;
 use bgpstream_repro::worlds;
 
 fn main() {
-    header("Ablation §3.3.4", "overlap-partitioned merge vs single k-way merge");
+    header(
+        "Ablation §3.3.4",
+        "overlap-partitioned merge vs single k-way merge",
+    );
     let dir = worlds::scratch_dir("ablation");
     let mut world = worlds::quickstart(dir.clone(), 14);
     let horizon = scaled(12 * 3600);
     world.sim.run_until(horizon);
 
-    let q = Query { start: 0, end: Some(horizon), ..Default::default() };
+    let q = Query {
+        start: 0,
+        end: Some(horizon),
+        ..Default::default()
+    };
     let mut cursor = BrokerCursor { window_start: 0 };
     let mut files = Vec::new();
     loop {
@@ -35,7 +42,11 @@ fn main() {
             break;
         }
     }
-    println!("archive: {} files, {} bytes", files.len(), world.sim.stats().bytes);
+    println!(
+        "archive: {} files, {} bytes",
+        files.len(),
+        world.sim.stats().bytes
+    );
     let filters = Arc::new(Filters::none());
 
     // (a) Partitioned merge (the paper's design).
@@ -95,7 +106,10 @@ fn main() {
         single_width,
         inversions_b == 0
     );
-    println!("raw sequential (unsorted)  {n_c:9} {:12} {:7} {time_c:?}", "-", "-");
+    println!(
+        "raw sequential (unsorted)  {n_c:9} {:12} {:7} {time_c:?}",
+        "-", "-"
+    );
     println!(
         "\npartitioning caps the merge width at {max_width} instead of {single_width} \
          ({} groups); both produce identical sorted output.",

@@ -19,7 +19,11 @@ fn main() {
     world.sim.run_until(1800);
 
     // The dump-file set for the first 30 minutes.
-    let q = Query { start: 0, end: Some(1800), ..Default::default() };
+    let q = Query {
+        start: 0,
+        end: Some(1800),
+        ..Default::default()
+    };
     let mut cursor = BrokerCursor { window_start: 0 };
     let mut files = Vec::new();
     loop {
@@ -39,7 +43,12 @@ fn main() {
             .iter()
             .map(|m| format!("{}/{}@{}", m.collector, m.dump_type, m.interval_start))
             .collect();
-        println!("  set {}: {} files covering [{lo}, {hi}): {}", i + 1, g.len(), names.join(" "));
+        println!(
+            "  set {}: {} files covering [{lo}, {hi}): {}",
+            i + 1,
+            g.len(),
+            names.join(" ")
+        );
     }
 
     // Merge and verify ordering (the figure's bottom lane).

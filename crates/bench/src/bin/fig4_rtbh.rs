@@ -59,13 +59,29 @@ fn main() {
         }
         let cp = world.sim.control_plane();
         let probes = select_probes(cp, origin, 25);
-        cp.apply(&Event::at(cp.time() + 1, EventKind::StartRtbh { origin, prefix }));
-        let during: Vec<_> = probes.iter().filter_map(|p| traceroute(cp, *p, &prefix)).collect();
-        cp.apply(&Event::at(cp.time() + 1, EventKind::EndRtbh { origin, prefix }));
-        let after: Vec<_> = probes.iter().filter_map(|p| traceroute(cp, *p, &prefix)).collect();
+        cp.apply(&Event::at(
+            cp.time() + 1,
+            EventKind::StartRtbh { origin, prefix },
+        ));
+        let during: Vec<_> = probes
+            .iter()
+            .filter_map(|p| traceroute(cp, *p, &prefix))
+            .collect();
+        cp.apply(&Event::at(
+            cp.time() + 1,
+            EventKind::EndRtbh { origin, prefix },
+        ));
+        let after: Vec<_> = probes
+            .iter()
+            .filter_map(|p| traceroute(cp, *p, &prefix))
+            .collect();
         let frac = |v: &[_], f: fn(&bgpstream_repro::topology::dataplane::TraceResult) -> bool| {
             let v: &[bgpstream_repro::topology::dataplane::TraceResult] = v;
-            if v.is_empty() { 0.0 } else { v.iter().filter(|r| f(r)).count() as f64 / v.len() as f64 }
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().filter(|r| f(r)).count() as f64 / v.len() as f64
+            }
         };
         during_dest.push(frac(&during, |r| r.reached_dest));
         after_dest.push(frac(&after, |r| r.reached_dest));

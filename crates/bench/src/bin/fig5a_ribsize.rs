@@ -11,7 +11,10 @@ use bgpstream_repro::analytics::{full_feed_vps, rib_partitions, rib_size_per_vp}
 use bgpstream_repro::worlds;
 
 fn main() {
-    header("Figure 5a", "IPv4 routing-table growth per VP; full- vs partial-feed");
+    header(
+        "Figure 5a",
+        "IPv4 routing-table growth per VP; full- vs partial-feed",
+    );
     let dir = worlds::scratch_dir("fig5a");
     let months = scaled(60) as u32;
     let step = 6u32.min(months.max(1));

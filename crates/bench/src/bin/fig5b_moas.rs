@@ -12,7 +12,8 @@ fn main() {
     header("Figure 5b", "unique MOAS sets: overall vs per-collector");
     let dir = worlds::scratch_dir("fig5b");
     let months = scaled(60) as u32;
-    let (world, times) = worlds::longitudinal(dir.clone(), 6, months, 6u32.min(months.max(1)), None);
+    let (world, times) =
+        worlds::longitudinal(dir.clone(), 6, months, 6u32.min(months.max(1)), None);
     let parts = rib_partitions(&world.index, 0, *times.last().unwrap());
     let points = moas_sets(&world.index, &parts, 8);
 
@@ -29,7 +30,10 @@ fn main() {
             p.overall as f64 / best.max(1) as f64
         );
     }
-    println!("\noverall MOAS sets over time: {}", sparkline(&overall_series));
+    println!(
+        "\noverall MOAS sets over time: {}",
+        sparkline(&overall_series)
+    );
     let last = points.last().expect("at least one snapshot");
     let best = last.per_collector.values().max().copied().unwrap_or(0);
     assert!(

@@ -14,7 +14,8 @@ fn main() {
     header("Figure 5c", "transit-AS fraction, IPv4 vs IPv6");
     let dir = worlds::scratch_dir("fig5c");
     let months = scaled(60) as u32;
-    let (world, times) = worlds::longitudinal(dir.clone(), 7, months, 6u32.min(months.max(1)), None);
+    let (world, times) =
+        worlds::longitudinal(dir.clone(), 7, months, 6u32.min(months.max(1)), None);
     let parts = rib_partitions(&world.index, 0, *times.last().unwrap());
     let points = transit_fraction(&world.index, &parts, 8);
 
@@ -28,7 +29,11 @@ fn main() {
             p.v4_asns,
             p.v4_transit_frac * 100.0,
             p.v6_asns,
-            if p.v6_asns == 0 { 0.0 } else { p.v6_transit_frac * 100.0 }
+            if p.v6_asns == 0 {
+                0.0
+            } else {
+                p.v6_transit_frac * 100.0
+            }
         );
     }
     println!("\nv4 ASN count over time: {}", sparkline(&v4_asns));

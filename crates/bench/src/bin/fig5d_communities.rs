@@ -11,7 +11,10 @@ use bgpstream_repro::analytics::{community_diversity, rib_partitions};
 use bgpstream_repro::worlds;
 
 fn main() {
-    header("Figure 5d", "community diversity per VP / collector / project");
+    header(
+        "Figure 5d",
+        "community diversity per VP / collector / project",
+    );
     let dir = worlds::scratch_dir("fig5d");
     let months = scaled(24) as u32;
     let (world, times) = worlds::longitudinal(dir.clone(), 8, months, months.max(1), None);

@@ -13,7 +13,10 @@ use bgpstream_repro::corsaro::{run_pipeline, PfxMonitor};
 use bgpstream_repro::worlds;
 
 fn main() {
-    header("Figure 6", "pfxmonitor over a victim's IP space (GARR hijacks)");
+    header(
+        "Figure 6",
+        "pfxmonitor over a victim's IP space (GARR hijacks)",
+    );
     let dir = worlds::scratch_dir("fig6");
     let horizon = scaled(86_400);
     let mut world = worlds::hijack_scenario(dir.clone(), 6, horizon, 4);
@@ -22,7 +25,12 @@ fn main() {
         world.info.victim.unwrap(),
         world.info.victim_ranges.len(),
         world.info.attacker.unwrap(),
-        world.info.hijacks.iter().map(|(t, _)| *t).collect::<Vec<_>>()
+        world
+            .info
+            .hijacks
+            .iter()
+            .map(|(t, _)| *t)
+            .collect::<Vec<_>>()
     );
     world.sim.run_until(horizon);
 
@@ -46,13 +54,23 @@ fn main() {
         .map(|w| w[1].time)
         .collect();
     println!("\norigin-count spikes detected at bins: {spikes:?}");
-    println!("ground-truth episode starts:          {:?}",
-        world.info.hijacks.iter().map(|(t, _)| *t).collect::<Vec<_>>());
+    println!(
+        "ground-truth episode starts:          {:?}",
+        world
+            .info
+            .hijacks
+            .iter()
+            .map(|(t, _)| *t)
+            .collect::<Vec<_>>()
+    );
     assert_eq!(
         spikes.len(),
         world.info.hijacks.len(),
         "each scripted hijack must produce exactly one spike"
     );
-    println!("paper shape: {} spikes of the origin series 1 -> 2, ~1 h each.", spikes.len());
+    println!(
+        "paper shape: {} spikes of the origin series 1 -> 2, ~1 h each.",
+        spikes.len()
+    );
     std::fs::remove_dir_all(&dir).ok();
 }

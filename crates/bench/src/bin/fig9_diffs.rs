@@ -25,7 +25,10 @@ fn main() {
     let dir = scratch_dir("fig9");
     let horizon = scaled(6 * 3600);
     let cp = ControlPlane::new(
-        Arc::new(generate(&TopologyConfig { seed: 9, ..TopologyConfig::default() })),
+        Arc::new(generate(&TopologyConfig {
+            seed: 9,
+            ..TopologyConfig::default()
+        })),
         u64::MAX,
     );
     let specs = standard_collectors(&cp, 1, 0, 6, 1.0, 9);
@@ -42,9 +45,9 @@ fn main() {
     for n in topo.nodes.iter().filter(|n| !n.prefixes_v4.is_empty()) {
         for op in n.prefixes_v4.iter().take(2) {
             let period = match k % 3 {
-                0 => 40,         // path-exploration-style bursts
-                1 => 300,        // medium churn
-                _ => 1500,       // slow flapping
+                0 => 40,   // path-exploration-style bursts
+                1 => 300,  // medium churn
+                _ => 1500, // slow flapping
             };
             let times = (horizon / period / 4).clamp(2, 200) as u32;
             sc.flap(60 + (k * 29) % 600, times, period, n.asn, op.prefix);
@@ -59,8 +62,12 @@ fn main() {
     }
     sim.schedule(&sc);
     sim.run_until(horizon);
-    println!("workload: {} flap scripts over {} s, {} update records", k, horizon,
-        sim.stats().records);
+    println!(
+        "workload: {} flap scripts over {} s, {} update records",
+        k,
+        horizon,
+        sim.stats().records
+    );
 
     println!("\n bin(min)   avg-elems  avg-diffs  reduction   max-elems  max-diffs");
     let mut reductions = Vec::new();

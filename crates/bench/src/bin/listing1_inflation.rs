@@ -37,7 +37,10 @@ fn main() {
         "inflated pairs: {:.1}% (paper: >30%; Gao-Wang 2002: >20%)",
         report.inflated_frac * 100.0
     );
-    println!("max extra hops: {} (paper: 11; Gao-Wang: 10)", report.max_extra_hops);
+    println!(
+        "max extra hops: {} (paper: 11; Gao-Wang: 10)",
+        report.max_extra_hops
+    );
     println!("\nextra hops   pairs   share");
     for (extra, n) in &report.histogram {
         println!(
@@ -45,7 +48,10 @@ fn main() {
             *n as f64 * 100.0 / report.pairs.max(1) as f64
         );
     }
-    assert!(report.inflated_frac > 0.0, "policy routing must inflate some paths");
+    assert!(
+        report.inflated_frac > 0.0,
+        "policy routing must inflate some paths"
+    );
     println!("\nshape: most pairs uninflated; a policy-induced tail of +1..+N hops. The");
     println!("simulated topology is shallower than the Internet, so the tail is shorter.");
     std::fs::remove_dir_all(&dir).ok();

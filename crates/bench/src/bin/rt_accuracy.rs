@@ -15,7 +15,9 @@ use std::sync::Arc;
 use bench::{header, scaled};
 use bgpstream_repro::bgpstream::BgpStream;
 use bgpstream_repro::broker::{DataInterface, Index};
-use bgpstream_repro::collector_sim::{CollectorSpec, SimConfig, Simulator, VpSpec, RIS, ROUTEVIEWS};
+use bgpstream_repro::collector_sim::{
+    CollectorSpec, SimConfig, Simulator, VpSpec, RIS, ROUTEVIEWS,
+};
 use bgpstream_repro::corsaro::{run_pipeline, RtPlugin};
 use bgpstream_repro::topology::control::ControlPlane;
 use bgpstream_repro::topology::events::{Event, EventKind, Scenario};
@@ -26,7 +28,10 @@ fn main() {
     header("§6.2.1", "RT plugin error probability: RIS vs RouteViews");
     let dir = scratch_dir("rtacc");
     let cp = ControlPlane::new(
-        Arc::new(generate(&TopologyConfig { seed: 12, ..TopologyConfig::default() })),
+        Arc::new(generate(&TopologyConfig {
+            seed: 12,
+            ..TopologyConfig::default()
+        })),
         u64::MAX,
     );
     // Same VPs behind one RIS and one RouteViews collector, so the
@@ -35,11 +40,22 @@ fn main() {
         .transit_vp_candidates()
         .into_iter()
         .take(6)
-        .map(|asn| VpSpec { asn, full_feed: true })
+        .map(|asn| VpSpec {
+            asn,
+            full_feed: true,
+        })
         .collect();
     let specs = vec![
-        CollectorSpec { name: "rrc00".into(), project: RIS, vps: vps.clone() },
-        CollectorSpec { name: "route-views2".into(), project: ROUTEVIEWS, vps: vps.clone() },
+        CollectorSpec {
+            name: "rrc00".into(),
+            project: RIS,
+            vps: vps.clone(),
+        },
+        CollectorSpec {
+            name: "route-views2".into(),
+            project: ROUTEVIEWS,
+            vps: vps.clone(),
+        },
     ];
     let mut sim = Simulator::new(cp, specs, SimConfig::new(&dir));
     let idx = Index::shared();
@@ -56,18 +72,30 @@ fn main() {
     let topo = sim.control_plane().topology().clone();
     let bounce_vp = vps[0].asn;
     let mut sc = Scenario::new();
-    for (k, n) in topo.nodes.iter().filter(|n| !n.prefixes_v4.is_empty()).take(60).enumerate() {
+    for (k, n) in topo
+        .nodes
+        .iter()
+        .filter(|n| !n.prefixes_v4.is_empty())
+        .take(60)
+        .enumerate()
+    {
         let k = k as u64;
         // Withdraw during the k-th bounce window; re-announce only
         // after RouteViews' *next* RIB (2 h cadence) has dumped.
         let bounce_start = 3000 + (k % 6) * 9000;
         sc.push(Event::at(
             bounce_start + 120,
-            EventKind::Withdraw { origin: n.asn, prefix: n.prefixes_v4[0].prefix },
+            EventKind::Withdraw {
+                origin: n.asn,
+                prefix: n.prefixes_v4[0].prefix,
+            },
         ));
         sc.push(Event::at(
             bounce_start + 4 * 3600,
-            EventKind::Announce { origin: n.asn, prefix: n.prefixes_v4[0].prefix },
+            EventKind::Announce {
+                origin: n.asn,
+                prefix: n.prefixes_v4[0].prefix,
+            },
         ));
     }
     sim.schedule(&sc);
@@ -106,6 +134,9 @@ fn main() {
         "\nRouteViews/RIS error ratio: {:.1}x (paper: ~1000x — RIS dumps state messages, RouteViews does not)",
         rv / ris.max(1e-12)
     );
-    assert!(rv > ris, "RouteViews must reconstruct less accurately than RIS");
+    assert!(
+        rv > ris,
+        "RouteViews must reconstruct less accurately than RIS"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }

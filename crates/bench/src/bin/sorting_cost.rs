@@ -67,6 +67,9 @@ fn main() {
         "sorted/raw time ratio:  {overhead:.2}x (includes elem extraction + annotation; \
          paper: sorting negligible vs reading)"
     );
-    assert_eq!(raw_records, stream_records, "both paths must see every record");
+    assert_eq!(
+        raw_records, stream_records,
+        "both paths must see every record"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }

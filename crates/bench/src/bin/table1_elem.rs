@@ -11,27 +11,52 @@ use bgpstream_repro::broker::DataInterface;
 use bgpstream_repro::worlds;
 
 fn show(elem: &bgpstream_repro::bgpstream::BgpStreamElem) {
-    println!("type:         {:?} ({})", elem.elem_type, elem.elem_type.code());
+    println!(
+        "type:         {:?} ({})",
+        elem.elem_type,
+        elem.elem_type.code()
+    );
     println!("time:         {}", elem.time);
     println!("peer address: {}", elem.peer_address);
     println!("peer ASN:     {}", elem.peer_asn);
-    println!("prefix*:      {}", elem.prefix.map(|p| p.to_string()).unwrap_or("-".into()));
-    println!("next hop*:    {}", elem.next_hop.map(|n| n.to_string()).unwrap_or("-".into()));
+    println!(
+        "prefix*:      {}",
+        elem.prefix.map(|p| p.to_string()).unwrap_or("-".into())
+    );
+    println!(
+        "next hop*:    {}",
+        elem.next_hop.map(|n| n.to_string()).unwrap_or("-".into())
+    );
     println!(
         "AS path*:     {}",
-        elem.as_path.as_ref().map(|p| p.to_string()).unwrap_or("-".into())
+        elem.as_path
+            .as_ref()
+            .map(|p| p.to_string())
+            .unwrap_or("-".into())
     );
     println!(
         "community*:   {}",
-        elem.communities.as_ref().map(|c| c.to_string()).unwrap_or("-".into())
+        elem.communities
+            .as_ref()
+            .map(|c| c.to_string())
+            .unwrap_or("-".into())
     );
-    println!("old state*:   {}", elem.old_state.map(|s| s.to_string()).unwrap_or("-".into()));
-    println!("new state*:   {}", elem.new_state.map(|s| s.to_string()).unwrap_or("-".into()));
+    println!(
+        "old state*:   {}",
+        elem.old_state.map(|s| s.to_string()).unwrap_or("-".into())
+    );
+    println!(
+        "new state*:   {}",
+        elem.new_state.map(|s| s.to_string()).unwrap_or("-".into())
+    );
     println!();
 }
 
 fn main() {
-    header("Table 1", "BGPStream elem fields (one sample per elem type)");
+    header(
+        "Table 1",
+        "BGPStream elem fields (one sample per elem type)",
+    );
     let dir = worlds::scratch_dir("table1");
     let mut world = worlds::quickstart(dir.clone(), 1);
     // A session reset on the RIS collector produces state-message

@@ -28,7 +28,10 @@ pub fn scaled(base: u64) -> u64 {
 /// Print a standard header naming the experiment.
 pub fn header(id: &str, what: &str) {
     println!("### {id} — {what}");
-    println!("### BENCH_SCALE={} (set the env var to scale the workload)", scale());
+    println!(
+        "### BENCH_SCALE={} (set the env var to scale the workload)",
+        scale()
+    );
 }
 
 /// Render a one-line ASCII sparkline for a series (for quick visual

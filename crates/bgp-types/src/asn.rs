@@ -86,15 +86,15 @@ pub struct AsPath {
 impl AsPath {
     /// An empty path (used for locally originated routes).
     pub fn empty() -> Self {
-        AsPath { segments: Vec::new() }
+        AsPath {
+            segments: Vec::new(),
+        }
     }
 
     /// Build a path consisting of a single `AS_SEQUENCE`.
     pub fn from_sequence<I: IntoIterator<Item = u32>>(asns: I) -> Self {
         AsPath {
-            segments: vec![AsPathSegment::Sequence(
-                asns.into_iter().map(Asn).collect(),
-            )],
+            segments: vec![AsPathSegment::Sequence(asns.into_iter().map(Asn).collect())],
         }
     }
 
@@ -128,7 +128,9 @@ impl AsPath {
     /// The neighbour AS of the vantage point (first ASN of the first
     /// sequence segment), if any.
     pub fn first_asn(&self) -> Option<Asn> {
-        self.segments.first().and_then(|s| s.asns().first().copied())
+        self.segments
+            .first()
+            .and_then(|s| s.asns().first().copied())
     }
 
     /// The origin AS (last ASN of the path) if the path ends with a
@@ -157,9 +159,7 @@ impl AsPath {
     pub fn prepend(&mut self, asn: Asn) {
         match self.segments.first_mut() {
             Some(AsPathSegment::Sequence(v)) => v.insert(0, asn),
-            _ => self
-                .segments
-                .insert(0, AsPathSegment::Sequence(vec![asn])),
+            _ => self.segments.insert(0, AsPathSegment::Sequence(vec![asn])),
         }
     }
 
@@ -284,10 +284,7 @@ mod tests {
     #[test]
     fn hops_dedup_collapses_prepending() {
         let p = AsPath::from_sequence([1, 1, 1, 2, 3, 3]);
-        assert_eq!(
-            p.hops_dedup(),
-            vec![Asn(1), Asn(2), Asn(3)]
-        );
+        assert_eq!(p.hops_dedup(), vec![Asn(1), Asn(2), Asn(3)]);
     }
 
     #[test]

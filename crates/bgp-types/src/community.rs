@@ -32,7 +32,10 @@ impl Community {
 
     /// Build from the raw 32-bit wire value.
     pub fn from_u32(raw: u32) -> Self {
-        Community { asn: (raw >> 16) as u16, value: raw as u16 }
+        Community {
+            asn: (raw >> 16) as u16,
+            value: raw as u16,
+        }
     }
 
     /// The raw 32-bit wire value.
@@ -42,7 +45,10 @@ impl Community {
 
     /// The conventional black-holing community of provider `asn`.
     pub fn blackhole(asn: u16) -> Self {
-        Community { asn, value: BLACKHOLE_VALUE }
+        Community {
+            asn,
+            value: BLACKHOLE_VALUE,
+        }
     }
 
     /// Whether this community requests black-holing by convention.
@@ -187,10 +193,7 @@ mod tests {
     fn blackhole_detection() {
         assert!(Community::blackhole(3356).is_blackhole());
         assert!(!Community::new(3356, 667).is_blackhole());
-        let set = CommunitySet::from_iter([
-            Community::new(1, 2),
-            Community::blackhole(174),
-        ]);
+        let set = CommunitySet::from_iter([Community::new(1, 2), Community::blackhole(174)]);
         assert!(set.has_blackhole());
     }
 

@@ -92,12 +92,20 @@ pub struct BgpUpdate {
 impl BgpUpdate {
     /// An announcement of `prefixes` with attributes `attrs`.
     pub fn announce(prefixes: Vec<Prefix>, attrs: PathAttributes) -> Self {
-        BgpUpdate { withdrawals: Vec::new(), attrs: Some(attrs), announcements: prefixes }
+        BgpUpdate {
+            withdrawals: Vec::new(),
+            attrs: Some(attrs),
+            announcements: prefixes,
+        }
     }
 
     /// A withdrawal of `prefixes`.
     pub fn withdraw(prefixes: Vec<Prefix>) -> Self {
-        BgpUpdate { withdrawals: prefixes, attrs: None, announcements: Vec::new() }
+        BgpUpdate {
+            withdrawals: prefixes,
+            attrs: None,
+            announcements: Vec::new(),
+        }
     }
 
     /// True when the update carries nothing (keepalive-ish; collectors
@@ -137,10 +145,18 @@ impl BgpMessage {
     pub fn encode(&self) -> Bytes {
         let mut body = BytesMut::new();
         let ty = match self {
-            BgpMessage::Open { asn, hold_time, bgp_id } => {
+            BgpMessage::Open {
+                asn,
+                hold_time,
+                bgp_id,
+            } => {
                 body.put_u8(4); // version
-                // 2-byte ASN field: AS_TRANS for 4-byte ASNs.
-                let as16 = if asn.0 > u16::MAX as u32 { 23456 } else { asn.0 as u16 };
+                                // 2-byte ASN field: AS_TRANS for 4-byte ASNs.
+                let as16 = if asn.0 > u16::MAX as u32 {
+                    23456
+                } else {
+                    asn.0 as u16
+                };
                 body.put_u16(as16);
                 body.put_u16(*hold_time);
                 body.put_u32(*bgp_id);
@@ -195,14 +211,21 @@ impl BgpMessage {
                 let asn = Asn(body.get_u16() as u32);
                 let hold_time = body.get_u16();
                 let bgp_id = body.get_u32();
-                Ok(BgpMessage::Open { asn, hold_time, bgp_id })
+                Ok(BgpMessage::Open {
+                    asn,
+                    hold_time,
+                    bgp_id,
+                })
             }
             TYPE_UPDATE => Ok(BgpMessage::Update(decode_update_body(body)?)),
             TYPE_NOTIFICATION => {
                 if body.len() < 2 {
                     return Err(CodecError::Truncated("NOTIFICATION body"));
                 }
-                Ok(BgpMessage::Notification { code: body.get_u8(), subcode: body.get_u8() })
+                Ok(BgpMessage::Notification {
+                    code: body.get_u8(),
+                    subcode: body.get_u8(),
+                })
             }
             TYPE_KEEPALIVE => Ok(BgpMessage::Keepalive),
             other => Err(CodecError::UnknownType(other)),
@@ -278,7 +301,12 @@ pub fn encode_attrs(
             for c in a.communities.iter() {
                 cs.put_u32(c.as_u32());
             }
-            put_attr(attrs, FLAG_OPTIONAL | FLAG_TRANSITIVE, ATTR_COMMUNITIES, &cs);
+            put_attr(
+                attrs,
+                FLAG_OPTIONAL | FLAG_TRANSITIVE,
+                ATTR_COMMUNITIES,
+                &cs,
+            );
         }
         let v6_nexthop = matches!(a.next_hop, Some(IpAddr::V6(_)));
         if !ann_v6.is_empty() || (force_mp_nexthop && v6_nexthop) {
@@ -458,7 +486,11 @@ fn decode_update_body(mut body: &[u8]) -> Result<BgpUpdate, CodecError> {
 
     Ok(BgpUpdate {
         withdrawals,
-        attrs: if decoded.present { Some(decoded.attrs) } else { None },
+        attrs: if decoded.present {
+            Some(decoded.attrs)
+        } else {
+            None
+        },
         announcements,
     })
 }
@@ -669,19 +701,30 @@ mod tests {
         assert_eq!(wire.len(), HEADER_LEN);
         assert_eq!(BgpMessage::decode(&wire).unwrap(), BgpMessage::Keepalive);
 
-        let n = BgpMessage::Notification { code: 6, subcode: 2 };
+        let n = BgpMessage::Notification {
+            code: 6,
+            subcode: 2,
+        };
         assert_eq!(BgpMessage::decode(&n.encode()).unwrap(), n);
     }
 
     #[test]
     fn open_roundtrip_small_asn() {
-        let o = BgpMessage::Open { asn: Asn(65001), hold_time: 180, bgp_id: 0x0a000001 };
+        let o = BgpMessage::Open {
+            asn: Asn(65001),
+            hold_time: 180,
+            bgp_id: 0x0a000001,
+        };
         assert_eq!(BgpMessage::decode(&o.encode()).unwrap(), o);
     }
 
     #[test]
     fn open_large_asn_uses_as_trans() {
-        let o = BgpMessage::Open { asn: Asn(400_000), hold_time: 90, bgp_id: 1 };
+        let o = BgpMessage::Open {
+            asn: Asn(400_000),
+            hold_time: 90,
+            bgp_id: 1,
+        };
         match BgpMessage::decode(&o.encode()).unwrap() {
             BgpMessage::Open { asn, .. } => assert_eq!(asn, Asn(23456)),
             other => panic!("unexpected {other:?}"),
@@ -697,11 +740,8 @@ mod tests {
 
     #[test]
     fn decode_rejects_truncation() {
-        let wire = BgpMessage::Update(BgpUpdate::announce(
-            vec![p("10.0.0.0/8")],
-            sample_attrs(),
-        ))
-        .encode();
+        let wire =
+            BgpMessage::Update(BgpUpdate::announce(vec![p("10.0.0.0/8")], sample_attrs())).encode();
         for cut in [0, 5, HEADER_LEN, wire.len() - 1] {
             assert!(BgpMessage::decode(&wire[..cut]).is_err(), "cut at {cut}");
         }
@@ -742,10 +782,7 @@ mod tests {
             BgpMessage::Update(back) => {
                 let path = back.attrs.unwrap().as_path;
                 assert_eq!(path.hop_count(), 300);
-                assert_eq!(
-                    path.asns().map(|a| a.0).collect::<Vec<_>>(),
-                    hops
-                );
+                assert_eq!(path.asns().map(|a| a.0).collect::<Vec<_>>(), hops);
             }
             other => panic!("unexpected {other:?}"),
         }

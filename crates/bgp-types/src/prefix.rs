@@ -46,7 +46,11 @@ impl Prefix {
     pub fn v4(addr: Ipv4Addr, len: u8) -> Self {
         assert!(len <= 32, "IPv4 prefix length {len} > 32");
         let raw = (u32::from(addr) as u128) << 96;
-        Prefix { bits: mask(raw, len), len, v4: true }
+        Prefix {
+            bits: mask(raw, len),
+            len,
+            v4: true,
+        }
     }
 
     /// Construct an IPv6 prefix; host bits beyond `len` are masked off.
@@ -55,7 +59,11 @@ impl Prefix {
     /// Panics if `len > 128`.
     pub fn v6(addr: Ipv6Addr, len: u8) -> Self {
         assert!(len <= 128, "IPv6 prefix length {len} > 128");
-        Prefix { bits: mask(u128::from(addr), len), len, v4: false }
+        Prefix {
+            bits: mask(u128::from(addr), len),
+            len,
+            v4: false,
+        }
     }
 
     /// Construct from a generic [`IpAddr`].
@@ -92,7 +100,11 @@ impl Prefix {
 
     /// Maximum prefix length for the family (32 or 128).
     pub fn max_len(&self) -> u8 {
-        if self.v4 { 32 } else { 128 }
+        if self.v4 {
+            32
+        } else {
+            128
+        }
     }
 
     /// Network address as an [`IpAddr`].
@@ -120,9 +132,7 @@ impl Prefix {
     /// than `other`, and network bits agree on `self.len` bits).
     /// Reflexive.
     pub fn contains(&self, other: &Prefix) -> bool {
-        self.v4 == other.v4
-            && self.len <= other.len
-            && mask(other.bits, self.len) == self.bits
+        self.v4 == other.v4 && self.len <= other.len && mask(other.bits, self.len) == self.bits
     }
 
     /// True iff one of the two prefixes contains the other (address
@@ -137,7 +147,11 @@ impl Prefix {
             return None;
         }
         let len = self.len - 1;
-        Some(Prefix { bits: mask(self.bits, len), len, v4: self.v4 })
+        Some(Prefix {
+            bits: mask(self.bits, len),
+            len,
+            v4: self.v4,
+        })
     }
 
     /// The two children one bit longer, or `None` at the family's
@@ -149,8 +163,16 @@ impl Prefix {
         let len = self.len + 1;
         let hi_bit = 1u128 << (127 - self.len as u32);
         Some((
-            Prefix { bits: self.bits, len, v4: self.v4 },
-            Prefix { bits: self.bits | hi_bit, len, v4: self.v4 },
+            Prefix {
+                bits: self.bits,
+                len,
+                v4: self.v4,
+            },
+            Prefix {
+                bits: self.bits | hi_bit,
+                len,
+                v4: self.v4,
+            },
         ))
     }
 
@@ -160,7 +182,11 @@ impl Prefix {
     pub fn host(&self, n: u128) -> Prefix {
         let max = self.max_len();
         let host_bits = (max - self.len) as u32;
-        let span: u128 = if host_bits >= 128 { u128::MAX } else { (1 << host_bits) - 1 };
+        let span: u128 = if host_bits >= 128 {
+            u128::MAX
+        } else {
+            (1 << host_bits) - 1
+        };
         let offset = if span == 0 { 0 } else { n & span };
         let shift = 128 - max as u32;
         Prefix {
@@ -240,7 +266,13 @@ mod tests {
 
     #[test]
     fn parse_and_display_roundtrip() {
-        for s in ["10.0.0.0/8", "192.168.1.0/24", "0.0.0.0/0", "2001:db8::/32", "::/0"] {
+        for s in [
+            "10.0.0.0/8",
+            "192.168.1.0/24",
+            "0.0.0.0/0",
+            "2001:db8::/32",
+            "::/0",
+        ] {
             assert_eq!(p(s).to_string(), s);
         }
     }

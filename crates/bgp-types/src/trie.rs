@@ -36,7 +36,10 @@ struct Node<V> {
 
 impl<V> Node<V> {
     fn new() -> Self {
-        Node { value: None, children: [None, None] }
+        Node {
+            value: None,
+            children: [None, None],
+        }
     }
 }
 
@@ -60,7 +63,11 @@ impl<V> Default for PrefixTrie<V> {
 impl<V> PrefixTrie<V> {
     /// An empty trie.
     pub fn new() -> Self {
-        PrefixTrie { root_v4: Node::new(), root_v6: Node::new(), len: 0 }
+        PrefixTrie {
+            root_v4: Node::new(),
+            root_v6: Node::new(),
+            len: 0,
+        }
     }
 
     /// Number of stored prefixes.
@@ -74,11 +81,19 @@ impl<V> PrefixTrie<V> {
     }
 
     fn root(&self, v4: bool) -> &Node<V> {
-        if v4 { &self.root_v4 } else { &self.root_v6 }
+        if v4 {
+            &self.root_v4
+        } else {
+            &self.root_v6
+        }
     }
 
     fn root_mut(&mut self, v4: bool) -> &mut Node<V> {
-        if v4 { &mut self.root_v4 } else { &mut self.root_v6 }
+        if v4 {
+            &mut self.root_v4
+        } else {
+            &mut self.root_v6
+        }
     }
 
     /// Insert `prefix` with `value`, returning the previous value if the

@@ -281,7 +281,10 @@ impl BmpMessage {
             TYPE_TERMINATION => Ok(BmpMessage::Termination(Termination::decode(body)?)),
             TYPE_ROUTE_MIRRORING => {
                 let peer = PerPeerHeader::decode(&mut body)?;
-                Ok(BmpMessage::RouteMirroring { peer, raw: Bytes::copy_from_slice(body) })
+                Ok(BmpMessage::RouteMirroring {
+                    peer,
+                    raw: Bytes::copy_from_slice(body),
+                })
             }
             other => Err(BmpError::UnknownType(other)),
         }
@@ -317,7 +320,11 @@ mod tests {
     }
 
     fn open(asn: u32) -> BgpMessage {
-        BgpMessage::Open { asn: Asn(asn), hold_time: 180, bgp_id: asn }
+        BgpMessage::Open {
+            asn: Asn(asn),
+            hold_time: 180,
+            bgp_id: asn,
+        }
     }
 
     fn roundtrip(m: &BmpMessage) -> BmpMessage {
@@ -372,13 +379,22 @@ mod tests {
     #[test]
     fn peer_down_all_reasons_roundtrip() {
         let reasons = [
-            PeerDownReason::LocalNotification(BgpMessage::Notification { code: 6, subcode: 2 }),
+            PeerDownReason::LocalNotification(BgpMessage::Notification {
+                code: 6,
+                subcode: 2,
+            }),
             PeerDownReason::LocalFsmEvent(17),
-            PeerDownReason::RemoteNotification(BgpMessage::Notification { code: 4, subcode: 0 }),
+            PeerDownReason::RemoteNotification(BgpMessage::Notification {
+                code: 4,
+                subcode: 0,
+            }),
             PeerDownReason::RemoteNoData,
         ];
         for reason in reasons {
-            let m = BmpMessage::PeerDown { peer: peer(), reason };
+            let m = BmpMessage::PeerDown {
+                peer: peer(),
+                reason,
+            };
             assert_eq!(roundtrip(&m), m);
         }
     }
@@ -427,7 +443,10 @@ mod tests {
 
     #[test]
     fn stats_with_trailing_garbage_rejected() {
-        let m = BmpMessage::StatisticsReport { peer: peer(), stats: vec![] };
+        let m = BmpMessage::StatisticsReport {
+            peer: peer(),
+            stats: vec![],
+        };
         let mut wire = BytesMut::from(&m.encode()[..]);
         wire.put_u8(0xAA);
         let len = wire.len() as u32;

@@ -84,7 +84,10 @@ impl PerPeerHeader {
     pub fn global(peer_address: IpAddr, peer_asn: Asn, peer_bgp_id: u32, ts_sec: u32) -> Self {
         PerPeerHeader {
             peer_type: PEER_TYPE_GLOBAL,
-            flags: PeerFlags { ipv6: peer_address.is_ipv6(), ..PeerFlags::default() },
+            flags: PeerFlags {
+                ipv6: peer_address.is_ipv6(),
+                ..PeerFlags::default()
+            },
             distinguisher: 0,
             peer_address,
             peer_asn,

@@ -73,7 +73,11 @@ pub struct BmpReader<R> {
 impl<R: Read> BmpReader<R> {
     /// Wrap a byte stream.
     pub fn new(inner: R) -> Self {
-        BmpReader { inner, messages_read: 0, poisoned: false }
+        BmpReader {
+            inner,
+            messages_read: 0,
+            poisoned: false,
+        }
     }
 
     /// Messages successfully decoded so far.

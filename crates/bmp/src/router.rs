@@ -151,7 +151,11 @@ impl<W: Write> RouterExporter<W> {
                 hold_time: 180,
                 bgp_id: bgp_id_of(self.local_address),
             },
-            received_open: BgpMessage::Open { asn: peer_asn, hold_time: 180, bgp_id: peer_bgp_id },
+            received_open: BgpMessage::Open {
+                asn: peer_asn,
+                hold_time: 180,
+                bgp_id: peer_bgp_id,
+            },
         };
         self.send(&msg)
     }
@@ -166,10 +170,12 @@ impl<W: Write> RouterExporter<W> {
         update: BgpUpdate,
     ) -> Result<(), ExportError> {
         self.check_open()?;
-        let counters = self
-            .peers
-            .get_mut(&(peer_address, peer_bgp_id))
-            .ok_or(ExportError::Discipline("route monitoring for a peer not up"))?;
+        let counters =
+            self.peers
+                .get_mut(&(peer_address, peer_bgp_id))
+                .ok_or(ExportError::Discipline(
+                    "route monitoring for a peer not up",
+                ))?;
         counters.updates += 1;
         counters.announced += update.announcements.len() as u64;
         counters.withdrawn += update.withdrawals.len() as u64;
@@ -178,7 +184,10 @@ impl<W: Write> RouterExporter<W> {
             .saturating_add(update.announcements.len() as u64)
             .saturating_sub(update.withdrawals.len() as u64);
         let peer = PerPeerHeader::global(peer_address, peer_asn, peer_bgp_id, now);
-        let msg = BmpMessage::RouteMonitoring { peer, update: BgpMessage::Update(update) };
+        let msg = BmpMessage::RouteMonitoring {
+            peer,
+            update: BgpMessage::Update(update),
+        };
         self.send(&msg)
     }
 
@@ -263,12 +272,20 @@ mod tests {
     fn update() -> BgpUpdate {
         BgpUpdate::announce(
             vec![p("203.0.113.0/24")],
-            PathAttributes::route(AsPath::from_sequence([65001, 137]), "192.0.2.1".parse().unwrap()),
+            PathAttributes::route(
+                AsPath::from_sequence([65001, 137]),
+                "192.0.2.1".parse().unwrap(),
+            ),
         )
     }
 
     fn exporter() -> RouterExporter<Vec<u8>> {
-        RouterExporter::new(Vec::new(), "edge1", "192.0.2.254".parse().unwrap(), Asn(64512))
+        RouterExporter::new(
+            Vec::new(),
+            "edge1",
+            "192.0.2.254".parse().unwrap(),
+            Asn(64512),
+        )
     }
 
     #[test]
@@ -277,9 +294,11 @@ mod tests {
         let mut ex = exporter();
         ex.initiate("sim router").unwrap();
         ex.peer_up(peer_ip, Asn(65001), 1, 100).unwrap();
-        ex.route_monitoring(peer_ip, Asn(65001), 1, 101, update()).unwrap();
+        ex.route_monitoring(peer_ip, Asn(65001), 1, 101, update())
+            .unwrap();
         ex.stats_report(peer_ip, Asn(65001), 1, 160).unwrap();
-        ex.peer_down(peer_ip, Asn(65001), 1, 200, PeerDownReason::RemoteNoData).unwrap();
+        ex.peer_down(peer_ip, Asn(65001), 1, 200, PeerDownReason::RemoteNoData)
+            .unwrap();
         ex.terminate(TerminationReason::AdminClose).unwrap();
         assert_eq!(ex.messages_sent(), 6);
         let wire = ex.into_inner();
@@ -346,9 +365,16 @@ mod tests {
         let mut ex = exporter();
         ex.initiate("x").unwrap();
         ex.peer_up(peer_ip, Asn(1), 1, 0).unwrap();
-        ex.route_monitoring(peer_ip, Asn(1), 1, 1, update()).unwrap();
-        ex.route_monitoring(peer_ip, Asn(1), 1, 2, BgpUpdate::withdraw(vec![p("203.0.113.0/24")]))
+        ex.route_monitoring(peer_ip, Asn(1), 1, 1, update())
             .unwrap();
+        ex.route_monitoring(
+            peer_ip,
+            Asn(1),
+            1,
+            2,
+            BgpUpdate::withdraw(vec![p("203.0.113.0/24")]),
+        )
+        .unwrap();
         ex.stats_report(peer_ip, Asn(1), 1, 3).unwrap();
         let wire = ex.into_inner();
         let (msgs, _) = BmpReader::new(&wire[..]).read_all();

@@ -119,7 +119,10 @@ impl MonitoringStation {
                     events.push(StationEvent::Anomaly("re-initiation without termination"));
                 }
                 self.initiated = true;
-                events.push(StationEvent::RouterUp { sys_name, sys_descr });
+                events.push(StationEvent::RouterUp {
+                    sys_name,
+                    sys_descr,
+                });
                 events
             }
             BmpMessage::Termination(t) => {
@@ -148,7 +151,11 @@ impl MonitoringStation {
             }
             BmpMessage::PeerDown { peer, .. } => {
                 let mut events = Vec::new();
-                if self.peers_up.remove(&(peer.peer_address, peer.peer_bgp_id)).is_none() {
+                if self
+                    .peers_up
+                    .remove(&(peer.peer_address, peer.peer_bgp_id))
+                    .is_none()
+                {
                     self.anomalies += 1;
                     events.push(StationEvent::Anomaly("peer-down for a peer not up"));
                 }
@@ -162,7 +169,10 @@ impl MonitoringStation {
             }
             BmpMessage::RouteMonitoring { peer, update } => {
                 let mut events = Vec::new();
-                if !self.peers_up.contains_key(&(peer.peer_address, peer.peer_bgp_id)) {
+                if !self
+                    .peers_up
+                    .contains_key(&(peer.peer_address, peer.peer_bgp_id))
+                {
                     self.anomalies += 1;
                     events.push(StationEvent::Anomaly("route monitoring for a peer not up"));
                 }
@@ -264,8 +274,12 @@ mod tests {
 
     fn full_session_wire() -> Vec<u8> {
         let peer_ip: IpAddr = "192.0.2.1".parse().unwrap();
-        let mut ex =
-            RouterExporter::new(Vec::new(), "edge1", "192.0.2.254".parse().unwrap(), Asn(64512));
+        let mut ex = RouterExporter::new(
+            Vec::new(),
+            "edge1",
+            "192.0.2.254".parse().unwrap(),
+            Asn(64512),
+        );
         ex.initiate("sim").unwrap();
         ex.peer_up(peer_ip, Asn(65001), 1, 100).unwrap();
         ex.route_monitoring(
@@ -297,19 +311,27 @@ mod tests {
     #[test]
     fn bridges_full_session_to_mrt() {
         let wire = full_session_wire();
-        let (records, err) =
-            bridge_stream(&wire[..], Asn(64512), "192.0.2.254".parse().unwrap());
+        let (records, err) = bridge_stream(&wire[..], Asn(64512), "192.0.2.254".parse().unwrap());
         assert!(err.is_none());
         // peer-up state change + update + peer-down state change.
         assert_eq!(records.len(), 3);
         assert!(matches!(
             &records[0].body,
-            MrtBody::Bgp4mp(Bgp4mp::StateChange { new_state: SessionState::Established, .. })
+            MrtBody::Bgp4mp(Bgp4mp::StateChange {
+                new_state: SessionState::Established,
+                ..
+            })
         ));
-        assert!(matches!(&records[1].body, MrtBody::Bgp4mp(Bgp4mp::Message { .. })));
+        assert!(matches!(
+            &records[1].body,
+            MrtBody::Bgp4mp(Bgp4mp::Message { .. })
+        ));
         assert!(matches!(
             &records[2].body,
-            MrtBody::Bgp4mp(Bgp4mp::StateChange { new_state: SessionState::Idle, .. })
+            MrtBody::Bgp4mp(Bgp4mp::StateChange {
+                new_state: SessionState::Idle,
+                ..
+            })
         ));
         // Timestamps carried from the per-peer headers.
         assert_eq!(records[0].timestamp, 100);
@@ -343,8 +365,16 @@ mod tests {
             local_address: "10.0.0.254".parse().unwrap(),
             local_port: 179,
             remote_port: 33001,
-            sent_open: BgpMessage::Open { asn: Asn(2), hold_time: 180, bgp_id: 2 },
-            received_open: BgpMessage::Open { asn: Asn(1), hold_time: 180, bgp_id: 1 },
+            sent_open: BgpMessage::Open {
+                asn: Asn(2),
+                hold_time: 180,
+                bgp_id: 2,
+            },
+            received_open: BgpMessage::Open {
+                asn: Asn(1),
+                hold_time: 180,
+                bgp_id: 1,
+            },
         });
         assert_eq!(st.peers_up(), 1);
         let events = st.ingest(BmpMessage::Initiation(vec![]));

@@ -221,13 +221,11 @@ impl StatTlv {
     pub fn decode(buf: &mut &[u8]) -> Result<StatTlv, BmpError> {
         let (ty, value) = decode_tlv_header(buf, "stat TLV")?;
         let u32v = |w: &'static str| -> Result<u32, BmpError> {
-            let arr: [u8; 4] =
-                value.try_into().map_err(|_| BmpError::Invalid(w))?;
+            let arr: [u8; 4] = value.try_into().map_err(|_| BmpError::Invalid(w))?;
             Ok(u32::from_be_bytes(arr))
         };
         let u64v = |w: &'static str| -> Result<u64, BmpError> {
-            let arr: [u8; 8] =
-                value.try_into().map_err(|_| BmpError::Invalid(w))?;
+            let arr: [u8; 8] = value.try_into().map_err(|_| BmpError::Invalid(w))?;
             Ok(u64::from_be_bytes(arr))
         };
         let stat = match ty {

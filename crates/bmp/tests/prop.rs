@@ -12,7 +12,11 @@ use proptest::prelude::*;
 
 fn arb_prefix() -> impl Strategy<Value = Prefix> {
     (any::<u32>(), 8u8..=32).prop_map(|(bits, len)| {
-        let masked = if len == 32 { bits } else { (bits >> (32 - len)) << (32 - len) };
+        let masked = if len == 32 {
+            bits
+        } else {
+            (bits >> (32 - len)) << (32 - len)
+        };
         Prefix::v4(std::net::Ipv4Addr::from(masked), len)
     })
 }
@@ -40,7 +44,11 @@ fn arb_update() -> impl Strategy<Value = BgpUpdate> {
             let attrs = (!announcements.is_empty()).then(|| {
                 PathAttributes::route(AsPath::from_sequence(path), "192.0.2.1".parse().unwrap())
             });
-            BgpUpdate { withdrawals, attrs, announcements }
+            BgpUpdate {
+                withdrawals,
+                attrs,
+                announcements,
+            }
         })
         .prop_filter("collectors never emit empty updates", |u| !u.is_empty())
 }
@@ -82,8 +90,16 @@ fn arb_message() -> impl Strategy<Value = BmpMessage> {
             local_address: "192.0.2.254".parse().unwrap(),
             local_port: 179,
             remote_port: 33001,
-            sent_open: BgpMessage::Open { asn: Asn(a as u32), hold_time: 180, bgp_id: a as u32 },
-            received_open: BgpMessage::Open { asn: Asn(b as u32), hold_time: 90, bgp_id: b as u32 },
+            sent_open: BgpMessage::Open {
+                asn: Asn(a as u32),
+                hold_time: 180,
+                bgp_id: a as u32
+            },
+            received_open: BgpMessage::Open {
+                asn: Asn(b as u32),
+                hold_time: 90,
+                bgp_id: b as u32
+            },
         }),
         proptest::collection::vec("[a-z]{1,12}", 0..3).prop_map(|names| BmpMessage::Initiation(
             names.into_iter().map(InfoTlv::SysName).collect()

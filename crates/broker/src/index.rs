@@ -155,7 +155,10 @@ impl Index {
     /// per response).
     pub fn with_window(window: u64) -> Self {
         Index {
-            inner: Mutex::new(Inner { entries: Vec::new(), version: 0 }),
+            inner: Mutex::new(Inner {
+                entries: Vec::new(),
+                version: 0,
+            }),
             cond: Condvar::new(),
             window: window.max(1),
             mirrors: Mutex::new(None),
@@ -235,12 +238,18 @@ impl Index {
             .cloned()
             .collect();
         files.sort_by(|a, b| {
-            (a.interval_start, &a.project, &a.collector, a.dump_type as u8).cmp(&(
-                b.interval_start,
-                &b.project,
-                &b.collector,
-                b.dump_type as u8,
-            ))
+            (
+                a.interval_start,
+                &a.project,
+                &a.collector,
+                a.dump_type as u8,
+            )
+                .cmp(&(
+                    b.interval_start,
+                    &b.project,
+                    &b.collector,
+                    b.dump_type as u8,
+                ))
         });
         // Deduplicate files that overlap multiple windows: a file is
         // attributed to the window containing its interval_start.
@@ -302,7 +311,12 @@ mod tests {
 
     fn meta(collector: &str, ty: DumpType, start: u64, dur: u64, avail: u64) -> DumpMeta {
         DumpMeta {
-            project: if collector.starts_with("rrc") { "ris" } else { "routeviews" }.into(),
+            project: if collector.starts_with("rrc") {
+                "ris"
+            } else {
+                "routeviews"
+            }
+            .into(),
             collector: collector.into(),
             dump_type: ty,
             interval_start: start,
@@ -336,8 +350,18 @@ mod tests {
         let idx = Index::with_window(3600);
         idx.register(meta("rrc01", DumpType::Updates, 0, 300, 400));
         // A lone file eons later.
-        idx.register(meta("rrc01", DumpType::Updates, 1_000_000_000, 300, 1_000_000_400));
-        let q = Query { start: 0, end: Some(u64::MAX - 1), ..Default::default() };
+        idx.register(meta(
+            "rrc01",
+            DumpType::Updates,
+            1_000_000_000,
+            300,
+            1_000_000_400,
+        ));
+        let q = Query {
+            start: 0,
+            end: Some(u64::MAX - 1),
+            ..Default::default()
+        };
         let mut cur = BrokerCursor { window_start: 0 };
         let now = u64::MAX;
         let mut queries = 0;
@@ -359,7 +383,11 @@ mod tests {
     fn live_query_never_skips_gaps() {
         let idx = Index::with_window(3600);
         idx.register(meta("rrc01", DumpType::Updates, 1_000_000, 300, 1_000_400));
-        let q = Query { start: 0, end: None, ..Default::default() };
+        let q = Query {
+            start: 0,
+            end: None,
+            ..Default::default()
+        };
         let mut cur = BrokerCursor { window_start: 0 };
         let r = idx.query(&q, &mut cur, u64::MAX);
         assert!(r.files.is_empty());
@@ -372,7 +400,11 @@ mod tests {
     #[test]
     fn windowed_query_pages_through() {
         let idx = populated();
-        let q = Query { start: 0, end: Some(7200), ..Default::default() };
+        let q = Query {
+            start: 0,
+            end: Some(7200),
+            ..Default::default()
+        };
         let mut cur = BrokerCursor { window_start: 0 };
         let now = u64::MAX;
         let r1 = idx.query(&q, &mut cur, now);
@@ -428,7 +460,11 @@ mod tests {
     #[test]
     fn unpublished_files_are_invisible() {
         let idx = populated();
-        let q = Query { start: 0, end: Some(7200), ..Default::default() };
+        let q = Query {
+            start: 0,
+            end: Some(7200),
+            ..Default::default()
+        };
         let mut cur = BrokerCursor { window_start: 0 };
         // At now=450 only files with available_at <= 450 are visible:
         // the first rrc01 update (avail 400).
@@ -441,7 +477,11 @@ mod tests {
     #[test]
     fn ordering_is_time_then_name() {
         let idx = populated();
-        let q = Query { start: 0, end: Some(3600), ..Default::default() };
+        let q = Query {
+            start: 0,
+            end: Some(3600),
+            ..Default::default()
+        };
         let mut cur = BrokerCursor { window_start: 0 };
         let r = idx.query(&q, &mut cur, u64::MAX);
         for w in r.files.windows(2) {
@@ -452,7 +492,11 @@ mod tests {
     #[test]
     fn live_query_never_exhausts() {
         let idx = populated();
-        let q = Query { start: 0, end: None, ..Default::default() };
+        let q = Query {
+            start: 0,
+            end: None,
+            ..Default::default()
+        };
         let mut cur = BrokerCursor { window_start: 0 };
         for _ in 0..10 {
             let r = idx.query(&q, &mut cur, u64::MAX);

@@ -40,7 +40,12 @@ impl DataInterface {
     pub fn into_index(self) -> Result<Arc<Index>, String> {
         match self {
             DataInterface::Broker(idx) => Ok(idx),
-            DataInterface::SingleFile { dump_type, path, interval_start, duration } => {
+            DataInterface::SingleFile {
+                dump_type,
+                path,
+                interval_start,
+                duration,
+            } => {
                 let idx = Index::shared();
                 let size = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
                 idx.register(DumpMeta {
@@ -205,7 +210,11 @@ mod tests {
         };
         let idx = iface.into_index().unwrap();
         let mut cur = BrokerCursor { window_start: 0 };
-        let q = Query { start: 0, end: Some(1000), ..Default::default() };
+        let q = Query {
+            start: 0,
+            end: Some(1000),
+            ..Default::default()
+        };
         let r = idx.query(&q, &mut cur, u64::MAX);
         assert_eq!(r.files.len(), 1);
         assert_eq!(r.files[0].interval_start, 50);

@@ -43,11 +43,7 @@ pub struct MirrorSet {
 
 impl MirrorSet {
     /// A mirror set over `primary` with the given mirror roots.
-    pub fn new(
-        primary: impl Into<PathBuf>,
-        mirrors: Vec<PathBuf>,
-        policy: MirrorPolicy,
-    ) -> Self {
+    pub fn new(primary: impl Into<PathBuf>, mirrors: Vec<PathBuf>, policy: MirrorPolicy) -> Self {
         let n = mirrors.len();
         MirrorSet {
             primary: primary.into(),
@@ -71,7 +67,10 @@ impl MirrorSet {
 
     /// Requests served per mirror, primary last.
     pub fn hit_counts(&self) -> Vec<u64> {
-        self.hits.iter().map(|h| h.load(Ordering::Relaxed)).collect()
+        self.hits
+            .iter()
+            .map(|h| h.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Fall-backs caused by files missing on the selected mirror.

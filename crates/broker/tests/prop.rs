@@ -18,11 +18,20 @@ fn arb_meta() -> impl Strategy<Value = DumpMeta> {
         .prop_map(|(c, dump_type, start, dur)| {
             let collector = ["rrc00", "rrc01", "rv2"][c];
             DumpMeta {
-                project: if collector.starts_with("rrc") { "ris" } else { "routeviews" }.into(),
+                project: if collector.starts_with("rrc") {
+                    "ris"
+                } else {
+                    "routeviews"
+                }
+                .into(),
                 collector: collector.into(),
                 dump_type,
                 interval_start: start,
-                duration: if dump_type == DumpType::Rib { dur / 10 } else { dur },
+                duration: if dump_type == DumpType::Rib {
+                    dur / 10
+                } else {
+                    dur
+                },
                 path: PathBuf::from(format!("/x/{collector}-{start}-{dur}")),
                 available_at: start,
                 size: 1,

@@ -70,8 +70,7 @@ mod tests {
 
     #[test]
     fn write_creates_directories() {
-        let root =
-            std::env::temp_dir().join(format!("bgpstream-arch-{}", std::process::id()));
+        let root = std::env::temp_dir().join(format!("bgpstream-arch-{}", std::process::id()));
         let p = write_dump(&root, "routeviews", "rv2", DumpType::Rib, 7200, b"xyz").unwrap();
         assert!(p.exists());
         assert_eq!(std::fs::read(&p).unwrap(), b"xyz");

@@ -187,11 +187,20 @@ impl Simulator {
                             if let Some(r) = feed_route(&mut cp, v, p) {
                                 table.insert(
                                     *p,
-                                    TableEntry { route: r, since: cfg.start_time },
+                                    TableEntry {
+                                        route: r,
+                                        since: cfg.start_time,
+                                    },
                                 );
                             }
                         }
-                        VpState { asn: v.asn, ip, full_feed: v.full_feed, up: true, table }
+                        VpState {
+                            asn: v.asn,
+                            ip,
+                            full_feed: v.full_feed,
+                            up: true,
+                            table,
+                        }
                     })
                     .collect();
                 CollectorState {
@@ -237,8 +246,18 @@ impl Simulator {
     /// `downtime` seconds.
     pub fn schedule_session_reset(&mut self, time: u64, collector: usize, vp: Asn, downtime: u64) {
         let mut all: Vec<SessionEvent> = self.session_events.drain(..).collect();
-        all.push(SessionEvent { time, collector, vp, up: false });
-        all.push(SessionEvent { time: time + downtime, collector, vp, up: true });
+        all.push(SessionEvent {
+            time,
+            collector,
+            vp,
+            up: false,
+        });
+        all.push(SessionEvent {
+            time: time + downtime,
+            collector,
+            vp,
+            up: true,
+        });
         all.sort_by_key(|e| e.time);
         self.session_events = all.into();
     }
@@ -440,25 +459,26 @@ impl Simulator {
                 }
             }
             // Table re-announcement burst.
-            let spec = VpSpec { asn: se.vp, full_feed };
+            let spec = VpSpec {
+                asn: se.vp,
+                full_feed,
+            };
             let announced = self.cp.announced_prefixes();
             let mut table = HashMap::new();
             for (k, p) in announced.iter().enumerate() {
                 if let Some(r) = feed_route(&mut self.cp, &spec, p) {
                     let ts = t + 5 + (k as u64 % 60);
                     if self.cfg.emit_updates {
-                        let rec = announce_record(
-                            ts,
-                            se.vp,
-                            local_asn,
-                            peer_ip,
-                            local_ip,
-                            *p,
-                            &r,
-                        );
+                        let rec = announce_record(ts, se.vp, local_asn, peer_ip, local_ip, *p, &r);
                         self.collectors[ci].pending.push((ts, rec));
                     }
-                    table.insert(*p, TableEntry { route: r, since: ts });
+                    table.insert(
+                        *p,
+                        TableEntry {
+                            route: r,
+                            since: ts,
+                        },
+                    );
                 }
             }
             self.collectors[ci].vps[vi].table = table;
@@ -479,7 +499,10 @@ impl Simulator {
                     let vp = &self.collectors[ci].vps[vi];
                     (vp.asn, vp.ip, vp.full_feed)
                 };
-                let spec = VpSpec { asn: vp_asn, full_feed };
+                let spec = VpSpec {
+                    asn: vp_asn,
+                    full_feed,
+                };
                 for p in prefixes {
                     let new = feed_route(&mut self.cp, &spec, p);
                     let old = self.collectors[ci].vps[vi].table.get(p).map(|e| &e.route);
@@ -490,14 +513,17 @@ impl Simulator {
                     match new {
                         Some(r) => {
                             if self.cfg.emit_updates {
-                                let rec = announce_record(
-                                    ts, vp_asn, local_asn, vp_ip, local_ip, *p, &r,
-                                );
+                                let rec =
+                                    announce_record(ts, vp_asn, local_asn, vp_ip, local_ip, *p, &r);
                                 self.collectors[ci].pending.push((ts, rec));
                             }
-                            self.collectors[ci].vps[vi]
-                                .table
-                                .insert(*p, TableEntry { route: r, since: ts });
+                            self.collectors[ci].vps[vi].table.insert(
+                                *p,
+                                TableEntry {
+                                    route: r,
+                                    since: ts,
+                                },
+                            );
                         }
                         None => {
                             if self.cfg.emit_updates {
@@ -612,7 +638,11 @@ impl Simulator {
                 }
                 let row = MrtRecord::table_dump_v2(
                     row_ts as u32,
-                    TableDumpV2::RibRow(RibRow { sequence: seq as u32, prefix: *p, entries }),
+                    TableDumpV2::RibRow(RibRow {
+                        sequence: seq as u32,
+                        prefix: *p,
+                        entries,
+                    }),
                 );
                 w.write(&row).expect("in-memory write");
                 records += 1;
@@ -778,7 +808,11 @@ pub fn standard_collectors(
         let mut used: Vec<Asn> = Vec::new();
         while vps.len() < vps_each {
             // 70 % transit VPs, 30 % from the whole population.
-            let pool = if rng.gen::<f64>() < 0.7 && !transit.is_empty() { &transit } else { &all };
+            let pool = if rng.gen::<f64>() < 0.7 && !transit.is_empty() {
+                &transit
+            } else {
+                &all
+            };
             let asn = pool[rng.gen_range(0..pool.len())];
             if used.contains(&asn) {
                 continue;
@@ -793,7 +827,11 @@ pub fn standard_collectors(
         mk(format!("rrc{k:02}"), crate::project::RIS, &mut rng);
     }
     for k in 0..n_rv {
-        mk(format!("route-views{}", k + 2), crate::project::ROUTEVIEWS, &mut rng);
+        mk(
+            format!("route-views{}", k + 2),
+            crate::project::ROUTEVIEWS,
+            &mut rng,
+        );
     }
     specs
 }
@@ -906,7 +944,8 @@ mod tests {
         let mut found = false;
         for r in recs {
             if let mrt::MrtBody::Bgp4mp(Bgp4mp::Message {
-                message: BgpMessage::Update(u), ..
+                message: BgpMessage::Update(u),
+                ..
             }) = r.body
             {
                 if u.withdrawals.contains(&prefix) {
@@ -928,19 +967,34 @@ mod tests {
         let mut sim = Simulator::new(cp, specs, SimConfig::new(&dir));
         let mut sc = Scenario::new();
         // Flap a few prefixes to create traffic.
-        for (k, n) in topo.nodes.iter().filter(|n| !n.prefixes_v4.is_empty()).take(5).enumerate() {
+        for (k, n) in topo
+            .nodes
+            .iter()
+            .filter(|n| !n.prefixes_v4.is_empty())
+            .take(5)
+            .enumerate()
+        {
             sc.flap(20 + k as u64 * 13, 4, 120, n.asn, n.prefixes_v4[0].prefix);
         }
         sim.schedule(&sc);
         sim.run_until(1500);
-        for m in sim.manifest().iter().filter(|m| m.dump_type == DumpType::Updates) {
+        for m in sim
+            .manifest()
+            .iter()
+            .filter(|m| m.dump_type == DumpType::Updates)
+        {
             let bytes = std::fs::read(&m.path).unwrap();
             let (recs, err) = MrtReader::new(&bytes[..]).read_all();
             assert!(err.is_none());
             let ts: Vec<u32> = recs.iter().map(|r| r.timestamp).collect();
             let mut sorted = ts.clone();
             sorted.sort_unstable();
-            assert_eq!(ts, sorted, "timestamps out of order in {}", m.path.display());
+            assert_eq!(
+                ts,
+                sorted,
+                "timestamps out of order in {}",
+                m.path.display()
+            );
             // Records belong to the window.
             for t in ts {
                 assert!((t as u64) >= m.interval_start && (t as u64) < m.interval_end());
@@ -957,8 +1011,14 @@ mod tests {
             name: "rrc00".into(),
             project: crate::project::RIS,
             vps: vec![
-                VpSpec { asn: transit[0], full_feed: true },
-                VpSpec { asn: transit[0], full_feed: false },
+                VpSpec {
+                    asn: transit[0],
+                    full_feed: true,
+                },
+                VpSpec {
+                    asn: transit[0],
+                    full_feed: false,
+                },
             ],
         }];
         let dir = tmpdir("partial");
@@ -1040,10 +1100,7 @@ mod tests {
         let mut sim = Simulator::new(cp, specs, cfg);
         sim.run_until(9 * 3600); // would normally dump 2 RIS RIBs
         assert!(sim.stats().skipped_ribs >= 2);
-        assert!(sim
-            .manifest()
-            .iter()
-            .all(|m| m.dump_type != DumpType::Rib));
+        assert!(sim.manifest().iter().all(|m| m.dump_type != DumpType::Rib));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -63,7 +63,13 @@ fn second_rib_matches_control_plane_after_events() {
 
     // Stir the control plane well before the 8 h RIB.
     let mut sc = Scenario::new();
-    for (k, n) in topo.nodes.iter().filter(|n| !n.prefixes_v4.is_empty()).take(10).enumerate() {
+    for (k, n) in topo
+        .nodes
+        .iter()
+        .filter(|n| !n.prefixes_v4.is_empty())
+        .take(10)
+        .enumerate()
+    {
         sc.flap(600 + 77 * k as u64, 5, 1200, n.asn, n.prefixes_v4[0].prefix);
     }
     sim.schedule(&sc);
@@ -117,8 +123,20 @@ fn replaying_updates_reaches_rib_state() {
     let dir = tmpdir("replay");
     let mut sim = Simulator::new(cp, specs, SimConfig::new(&dir));
     let mut sc = Scenario::new();
-    for (k, n) in topo.nodes.iter().filter(|n| !n.prefixes_v4.is_empty()).take(12).enumerate() {
-        sc.flap(500 + 311 * k as u64, 4, 2000, n.asn, n.prefixes_v4[0].prefix);
+    for (k, n) in topo
+        .nodes
+        .iter()
+        .filter(|n| !n.prefixes_v4.is_empty())
+        .take(12)
+        .enumerate()
+    {
+        sc.flap(
+            500 + 311 * k as u64,
+            4,
+            2000,
+            n.asn,
+            n.prefixes_v4[0].prefix,
+        );
     }
     sim.schedule(&sc);
     sim.run_until(8 * 3600 + 30);

@@ -82,8 +82,16 @@ impl AsWatch {
     /// Apply one RT message.
     pub fn apply(&mut self, msg: &RtMessage) {
         let (collector, bin, cells) = match msg {
-            RtMessage::Full { collector, bin, cells }
-            | RtMessage::Diff { collector, bin, cells } => (collector, *bin, cells),
+            RtMessage::Full {
+                collector,
+                bin,
+                cells,
+            }
+            | RtMessage::Diff {
+                collector,
+                bin,
+                cells,
+            } => (collector, *bin, cells),
         };
         if matches!(msg, RtMessage::Full { .. }) {
             // Resync: forget this collector's traversals.
@@ -123,7 +131,11 @@ impl AsWatch {
             self.traversing.iter().map(|(_, _, p)| (*p, ())).collect();
         self.series.insert(
             bin,
-            WatchSample { bin, routes: self.traversing.len(), prefixes: prefixes.len() },
+            WatchSample {
+                bin,
+                routes: self.traversing.len(),
+                prefixes: prefixes.len(),
+            },
         );
     }
 
@@ -152,7 +164,11 @@ mod tests {
     }
 
     fn diff(bin: u64, cells: Vec<DiffCell>) -> RtMessage {
-        RtMessage::Diff { collector: "rrc00".into(), bin, cells }
+        RtMessage::Diff {
+            collector: "rrc00".into(),
+            bin,
+            cells,
+        }
     }
 
     #[test]
@@ -167,7 +183,10 @@ mod tests {
             ],
         ));
         assert_eq!(w.route_count(), 2);
-        assert_eq!(w.upstreams().iter().copied().collect::<Vec<_>>(), vec![Asn(1)]);
+        assert_eq!(
+            w.upstreams().iter().copied().collect::<Vec<_>>(),
+            vec![Asn(1)]
+        );
         assert_eq!(
             w.downstreams().iter().copied().collect::<Vec<_>>(),
             vec![Asn(9), Asn(137)]
@@ -177,13 +196,19 @@ mod tests {
     #[test]
     fn reroute_away_removes_traversal() {
         let mut w = AsWatch::new(Asn(3356));
-        w.apply(&diff(60, vec![cell(1, "10.0.0.0/8", Some(&[1, 3356, 137]))]));
+        w.apply(&diff(
+            60,
+            vec![cell(1, "10.0.0.0/8", Some(&[1, 3356, 137]))],
+        ));
         assert_eq!(w.route_count(), 1);
         // Same (vp, prefix) reroutes around the target.
         w.apply(&diff(120, vec![cell(1, "10.0.0.0/8", Some(&[1, 9, 137]))]));
         assert_eq!(w.route_count(), 0);
         // Withdrawal also removes.
-        w.apply(&diff(130, vec![cell(1, "10.0.0.0/8", Some(&[1, 3356, 137]))]));
+        w.apply(&diff(
+            130,
+            vec![cell(1, "10.0.0.0/8", Some(&[1, 3356, 137]))],
+        ));
         w.apply(&diff(180, vec![cell(1, "10.0.0.0/8", None)]));
         assert_eq!(w.route_count(), 0);
     }
@@ -191,7 +216,10 @@ mod tests {
     #[test]
     fn prepending_by_target_counts_once() {
         let mut w = AsWatch::new(Asn(3356));
-        w.apply(&diff(60, vec![cell(1, "10.0.0.0/8", Some(&[1, 3356, 3356, 137]))]));
+        w.apply(&diff(
+            60,
+            vec![cell(1, "10.0.0.0/8", Some(&[1, 3356, 3356, 137]))],
+        ));
         assert_eq!(w.route_count(), 1);
         assert_eq!(w.upstreams().len(), 1);
         assert_eq!(w.downstreams().len(), 1);
@@ -200,8 +228,14 @@ mod tests {
     #[test]
     fn series_records_per_bin_counts() {
         let mut w = AsWatch::new(Asn(3356));
-        w.apply(&diff(60, vec![cell(1, "10.0.0.0/8", Some(&[1, 3356, 137]))]));
-        w.apply(&diff(120, vec![cell(2, "10.0.0.0/8", Some(&[2, 3356, 137]))]));
+        w.apply(&diff(
+            60,
+            vec![cell(1, "10.0.0.0/8", Some(&[1, 3356, 137]))],
+        ));
+        w.apply(&diff(
+            120,
+            vec![cell(2, "10.0.0.0/8", Some(&[2, 3356, 137]))],
+        ));
         w.apply(&diff(180, vec![cell(1, "10.0.0.0/8", None)]));
         let s: Vec<(u64, usize, usize)> =
             w.series().map(|x| (x.bin, x.routes, x.prefixes)).collect();
@@ -211,7 +245,10 @@ mod tests {
     #[test]
     fn full_resync_clears_collector_state() {
         let mut w = AsWatch::new(Asn(3356));
-        w.apply(&diff(60, vec![cell(1, "10.0.0.0/8", Some(&[1, 3356, 137]))]));
+        w.apply(&diff(
+            60,
+            vec![cell(1, "10.0.0.0/8", Some(&[1, 3356, 137]))],
+        ));
         w.apply(&RtMessage::Full {
             collector: "rrc00".into(),
             bin: 120,

@@ -115,7 +115,8 @@ impl HijackDetector {
                         .trie
                         .covering(&prefix)
                         .into_iter()
-                        .map(|(p, _)| *p).rfind(|p| p != &prefix);
+                        .map(|(p, _)| *p)
+                        .rfind(|p| p != &prefix);
                     if let Some(covering) = covering {
                         let expected = &self.baseline[&covering];
                         for o in &origins {
@@ -156,7 +157,11 @@ mod tests {
 
     fn view_with(cells: Vec<DiffCell>) -> GlobalView {
         let mut v = GlobalView::new();
-        v.apply(&RtMessage::Full { collector: "rrc00".into(), bin: 0, cells });
+        v.apply(&RtMessage::Full {
+            collector: "rrc00".into(),
+            bin: 0,
+            cells,
+        });
         v
     }
 
@@ -166,12 +171,20 @@ mod tests {
         d.observe_bin(&view_with(vec![cell(1, "193.204.0.0/16", 137)]), 0);
         d.arm();
         d.observe_bin(
-            &view_with(vec![cell(1, "193.204.0.0/16", 137), cell(2, "193.204.0.0/16", 666)]),
+            &view_with(vec![
+                cell(1, "193.204.0.0/16", 137),
+                cell(2, "193.204.0.0/16", 666),
+            ]),
             300,
         );
         assert_eq!(d.alarms.len(), 1);
         match &d.alarms[0] {
-            HijackAlarm::Moas { observed, expected, bin, .. } => {
+            HijackAlarm::Moas {
+                observed,
+                expected,
+                bin,
+                ..
+            } => {
                 assert_eq!(*observed, Asn(666));
                 assert_eq!(expected, &[Asn(137)]);
                 assert_eq!(*bin, 300);
@@ -188,7 +201,12 @@ mod tests {
         d.observe_bin(&view_with(vec![cell(1, "193.204.7.0/24", 666)]), 300);
         assert_eq!(d.alarms.len(), 1);
         match &d.alarms[0] {
-            HijackAlarm::SubPrefix { covering, sub, observed, .. } => {
+            HijackAlarm::SubPrefix {
+                covering,
+                sub,
+                observed,
+                ..
+            } => {
                 assert_eq!(covering.to_string(), "193.204.0.0/16");
                 assert_eq!(sub.to_string(), "193.204.7.0/24");
                 assert_eq!(*observed, Asn(666));

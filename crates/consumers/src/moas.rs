@@ -51,7 +51,11 @@ impl MoasTracker {
 
     /// Largest per-collector count.
     pub fn max_single_collector(&self) -> usize {
-        self.per_collector.values().map(|s| s.len()).max().unwrap_or(0)
+        self.per_collector
+            .values()
+            .map(|s| s.len())
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -81,8 +81,16 @@ impl NewLinkDetector {
     /// Apply one RT message.
     pub fn apply(&mut self, msg: &RtMessage) {
         let (collector, bin, cells) = match msg {
-            RtMessage::Full { collector, bin, cells }
-            | RtMessage::Diff { collector, bin, cells } => (collector, *bin, cells),
+            RtMessage::Full {
+                collector,
+                bin,
+                cells,
+            }
+            | RtMessage::Diff {
+                collector,
+                bin,
+                cells,
+            } => (collector, *bin, cells),
         };
         if self.expire_after > 0 {
             let horizon = bin.saturating_sub(self.expire_after);

@@ -130,7 +130,11 @@ mod tests {
     }
 
     fn full(cells: Vec<DiffCell>) -> RtMessage {
-        RtMessage::Full { collector: "rrc00".into(), bin: 0, cells }
+        RtMessage::Full {
+            collector: "rrc00".into(),
+            bin: 0,
+            cells,
+        }
     }
 
     fn cell(vp: u32, prefix: &str, origin: u32) -> DiffCell {
@@ -179,7 +183,11 @@ mod tests {
         v.apply(&RtMessage::Diff {
             collector: "rrc00".into(),
             bin: 60,
-            cells: vec![DiffCell { vp: Asn(1), prefix: p("10.0.0.0/8"), path: None }],
+            cells: vec![DiffCell {
+                vp: Asn(1),
+                prefix: p("10.0.0.0/8"),
+                path: None,
+            }],
         });
         c.observe_bin(&v, 60);
         // ...and comes back.

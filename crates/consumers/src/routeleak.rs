@@ -189,8 +189,16 @@ impl LeakDetector {
     /// [`LeakDetector::alarms`].
     pub fn apply(&mut self, msg: &RtMessage) {
         let (collector, bin, cells) = match msg {
-            RtMessage::Full { collector, bin, cells }
-            | RtMessage::Diff { collector, bin, cells } => (collector, *bin, cells),
+            RtMessage::Full {
+                collector,
+                bin,
+                cells,
+            }
+            | RtMessage::Diff {
+                collector,
+                bin,
+                cells,
+            } => (collector, *bin, cells),
         };
         for cell in cells {
             let Some(path) = &cell.path else {
@@ -264,7 +272,10 @@ mod tests {
     fn normal_transit_paths_are_valley_free() {
         let o = oracle();
         // VP 11 ← 1 ← 12: up from 12 to 1, down to 11.
-        assert_eq!(judge_path(&o, &[a(11), a(1), a(12)]), PathVerdict::ValleyFree);
+        assert_eq!(
+            judge_path(&o, &[a(11), a(1), a(12)]),
+            PathVerdict::ValleyFree
+        );
         // Across the peering: 11 ← 1 ↔ 2 ← 22.
         assert_eq!(
             judge_path(&o, &[a(11), a(1), a(2), a(22)]),
@@ -354,7 +365,11 @@ mod tests {
         let heal = RtMessage::Diff {
             collector: "rrc00".into(),
             bin: 120,
-            cells: vec![DiffCell { vp: a(22), prefix: p("10.0.0.0/8"), path: None }],
+            cells: vec![DiffCell {
+                vp: a(22),
+                prefix: p("10.0.0.0/8"),
+                path: None,
+            }],
         };
         d.apply(&leak);
         d.apply(&heal);

@@ -30,7 +30,9 @@ impl GlobalView {
         self.applied += 1;
         self.seen.insert(msg.collector().to_string());
         match msg {
-            RtMessage::Full { collector, cells, .. } => {
+            RtMessage::Full {
+                collector, cells, ..
+            } => {
                 let table = self.tables.entry(collector.clone()).or_default();
                 table.clear();
                 for c in cells {
@@ -39,7 +41,9 @@ impl GlobalView {
                     }
                 }
             }
-            RtMessage::Diff { collector, cells, .. } => {
+            RtMessage::Diff {
+                collector, cells, ..
+            } => {
                 let table = self.tables.entry(collector.clone()).or_default();
                 for c in cells {
                     match c.path.as_ref().and_then(|p| p.origin()) {
@@ -183,14 +187,20 @@ mod tests {
         v.apply(&RtMessage::Full {
             collector: "rrc00".into(),
             bin: 0,
-            cells: vec![cell(1, "10.0.0.0/8", Some(137)), cell(2, "10.0.0.0/8", Some(137))],
+            cells: vec![
+                cell(1, "10.0.0.0/8", Some(137)),
+                cell(2, "10.0.0.0/8", Some(137)),
+            ],
         });
         assert_eq!(v.prefix_visibility(&p("10.0.0.0/8")), 2);
         // Diff: vp 2 withdraws; vp 1 reroutes to another origin.
         v.apply(&RtMessage::Diff {
             collector: "rrc00".into(),
             bin: 60,
-            cells: vec![cell(2, "10.0.0.0/8", None), cell(1, "10.0.0.0/8", Some(666))],
+            cells: vec![
+                cell(2, "10.0.0.0/8", None),
+                cell(1, "10.0.0.0/8", Some(666)),
+            ],
         });
         assert_eq!(v.prefix_visibility(&p("10.0.0.0/8")), 1);
         let origins = v.prefix_origins(&p("10.0.0.0/8"));
@@ -266,7 +276,10 @@ mod tests {
         });
         let vis = v.visible_prefixes();
         assert_eq!(vis.len(), 2);
-        let ten = vis.iter().find(|(p_, _, _)| *p_ == p("10.0.0.0/8")).unwrap();
+        let ten = vis
+            .iter()
+            .find(|(p_, _, _)| *p_ == p("10.0.0.0/8"))
+            .unwrap();
         assert_eq!(ten.1, 2);
         assert_eq!(ten.2.len(), 2);
         assert_eq!(v.vp_count(), 2);

@@ -47,7 +47,11 @@ pub fn elem_line(record: &BgpStreamRecord, elem: &BgpStreamElem) -> String {
 
 /// Render every elem of a record, one line each.
 pub fn record_lines(record: &BgpStreamRecord) -> Vec<String> {
-    record.elems().iter().map(|e| elem_line(record, e)).collect()
+    record
+        .elems()
+        .iter()
+        .map(|e| elem_line(record, e))
+        .collect()
 }
 
 /// Classic `bgpdump -m` one-line format — BGPReader's compatibility
@@ -73,8 +77,12 @@ pub fn bgpdump_line(elem: &BgpStreamElem) -> String {
             format!(
                 "BGP4MP|{}|STATE|{peer}|{}|{}",
                 elem.time,
-                elem.old_state.map(|s| s.code().to_string()).unwrap_or_default(),
-                elem.new_state.map(|s| s.code().to_string()).unwrap_or_default()
+                elem.old_state
+                    .map(|s| s.code().to_string())
+                    .unwrap_or_default(),
+                elem.new_state
+                    .map(|s| s.code().to_string())
+                    .unwrap_or_default()
             )
         }
         ty => {
@@ -83,14 +91,24 @@ pub fn bgpdump_line(elem: &BgpStreamElem) -> String {
             } else {
                 "BGP4MP"
             };
-            let code = if ty == crate::elem::ElemType::RibEntry { "B" } else { "A" };
+            let code = if ty == crate::elem::ElemType::RibEntry {
+                "B"
+            } else {
+                "A"
+            };
             format!(
                 "{marker}|{}|{code}|{peer}|{}|{}|IGP|{}|0|0|{}|NAG||",
                 elem.time,
                 elem.prefix.map(|p| p.to_string()).unwrap_or_default(),
-                elem.as_path.as_ref().map(|p| p.to_bgpdump_string()).unwrap_or_default(),
+                elem.as_path
+                    .as_ref()
+                    .map(|p| p.to_bgpdump_string())
+                    .unwrap_or_default(),
                 elem.next_hop.map(|n| n.to_string()).unwrap_or_default(),
-                elem.communities.as_ref().map(|c| c.to_bgpdump_string()).unwrap_or_default(),
+                elem.communities
+                    .as_ref()
+                    .map(|c| c.to_bgpdump_string())
+                    .unwrap_or_default(),
             )
         }
     }
@@ -237,7 +255,10 @@ mod tests {
         };
         let rec = record(vec![elem.clone()]);
         let line = elem_line(&rec, &elem);
-        assert_eq!(line, "U|S|5|ris|rrc01|65001|192.0.2.1|||||OPENCONFIRM|ESTABLISHED");
+        assert_eq!(
+            line,
+            "U|S|5|ris|rrc01|65001|192.0.2.1|||||OPENCONFIRM|ESTABLISHED"
+        );
     }
 
     #[test]
@@ -258,7 +279,10 @@ mod tests {
             bgpdump_line(&elem),
             "BGP4MP|1463011200|A|192.0.2.1|65001|192.0.2.0/24|65001 137|IGP|192.0.2.1|0|0|3356:666|NAG||"
         );
-        let rib = BgpStreamElem { elem_type: ElemType::RibEntry, ..elem.clone() };
+        let rib = BgpStreamElem {
+            elem_type: ElemType::RibEntry,
+            ..elem.clone()
+        };
         assert!(bgpdump_line(&rib).starts_with("TABLE_DUMP2|1463011200|B|"));
         let wd = BgpStreamElem {
             elem_type: ElemType::Withdrawal,
@@ -267,7 +291,10 @@ mod tests {
             communities: None,
             ..elem.clone()
         };
-        assert_eq!(bgpdump_line(&wd), "BGP4MP|1463011200|W|192.0.2.1|65001|192.0.2.0/24");
+        assert_eq!(
+            bgpdump_line(&wd),
+            "BGP4MP|1463011200|W|192.0.2.1|65001|192.0.2.0/24"
+        );
         let st = BgpStreamElem {
             elem_type: ElemType::PeerState,
             prefix: None,
@@ -278,7 +305,10 @@ mod tests {
             new_state: Some(SessionState::Established),
             ..elem
         };
-        assert_eq!(bgpdump_line(&st), "BGP4MP|1463011200|STATE|192.0.2.1|65001|5|6");
+        assert_eq!(
+            bgpdump_line(&st),
+            "BGP4MP|1463011200|STATE|192.0.2.1|65001|5|6"
+        );
     }
 
     #[test]

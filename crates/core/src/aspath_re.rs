@@ -91,12 +91,16 @@ impl AsPathRegex {
             return Err(PatternError::MisplacedEndAnchor);
         }
         let mut elems = Vec::new();
-        for tok in s.split(|c: char| c.is_whitespace() || c == '_').filter(|t| !t.is_empty()) {
+        for tok in s
+            .split(|c: char| c.is_whitespace() || c == '_')
+            .filter(|t| !t.is_empty())
+        {
             let elem = match tok {
                 "?" => Elem::AnyOne,
                 "*" => Elem::AnyRun,
                 t => Elem::Literal(
-                    t.parse::<u32>().map_err(|_| PatternError::BadToken(t.to_string()))?,
+                    t.parse::<u32>()
+                        .map_err(|_| PatternError::BadToken(t.to_string()))?,
                 ),
             };
             // Collapse adjacent runs: "* *" ≡ "*".
@@ -108,7 +112,11 @@ impl AsPathRegex {
         if elems.is_empty() && !anchored_start && !anchored_end {
             return Err(PatternError::Empty);
         }
-        Ok(AsPathRegex { anchored_start, anchored_end, elems })
+        Ok(AsPathRegex {
+            anchored_start,
+            anchored_end,
+            elems,
+        })
     }
 
     /// Whether the pattern matches a tokenized path.
@@ -134,8 +142,10 @@ impl AsPathRegex {
     /// matches if *any* set member equals it (the conventional
     /// interpretation — a set hop "contains" all its ASes).
     pub fn matches_path(&self, path: &AsPath) -> bool {
-        let has_set =
-            path.segments().iter().any(|s| matches!(s, bgp_types::AsPathSegment::Set(_)));
+        let has_set = path
+            .segments()
+            .iter()
+            .any(|s| matches!(s, bgp_types::AsPathSegment::Set(_)));
         if !has_set {
             // Fast path: pure-sequence paths (the overwhelming
             // majority).
@@ -301,7 +311,10 @@ mod tests {
     fn parse_errors() {
         assert_eq!(AsPathRegex::parse(""), Err(PatternError::Empty));
         assert_eq!(AsPathRegex::parse("   "), Err(PatternError::Empty));
-        assert!(matches!(AsPathRegex::parse("17x4"), Err(PatternError::BadToken(_))));
+        assert!(matches!(
+            AsPathRegex::parse("17x4"),
+            Err(PatternError::BadToken(_))
+        ));
         assert!(matches!(
             AsPathRegex::parse("174 ^ 137"),
             Err(PatternError::MisplacedStartAnchor)

@@ -89,7 +89,12 @@ pub fn extract_elems(record: &MrtRecord, pit: Option<&PeerIndexTable>) -> Extrac
     let mut elems = Vec::new();
     let mut missing_peer = false;
     match &record.body {
-        MrtBody::Bgp4mp(Bgp4mp::Message { peer_asn, peer_ip, message, .. }) => {
+        MrtBody::Bgp4mp(Bgp4mp::Message {
+            peer_asn,
+            peer_ip,
+            message,
+            ..
+        }) => {
             if let BgpMessage::Update(update) = message {
                 for w in &update.withdrawals {
                     elems.push(BgpStreamElem {
@@ -166,7 +171,10 @@ pub fn extract_elems(record: &MrtRecord, pit: Option<&PeerIndexTable>) -> Extrac
         }
         MrtBody::TableDumpV2(TableDumpV2::PeerIndexTable(_)) | MrtBody::Unknown(_) => {}
     }
-    ExtractedElems { elems, missing_peer }
+    ExtractedElems {
+        elems,
+        missing_peer,
+    }
 }
 
 #[cfg(test)]
@@ -245,8 +253,16 @@ mod tests {
             collector_bgp_id: 1,
             view_name: String::new(),
             peers: vec![
-                PeerEntry { bgp_id: 1, ip: "192.0.2.1".parse().unwrap(), asn: Asn(65001) },
-                PeerEntry { bgp_id: 2, ip: "192.0.2.2".parse().unwrap(), asn: Asn(65002) },
+                PeerEntry {
+                    bgp_id: 1,
+                    ip: "192.0.2.1".parse().unwrap(),
+                    asn: Asn(65001),
+                },
+                PeerEntry {
+                    bgp_id: 2,
+                    ip: "192.0.2.2".parse().unwrap(),
+                    asn: Asn(65002),
+                },
             ],
         }
     }
@@ -259,7 +275,11 @@ mod tests {
                 prefix: p("203.0.113.0/24"),
                 entries: peer_indexes
                     .iter()
-                    .map(|&i| RibEntry { peer_index: i, originated_time: 10, attrs: attrs() })
+                    .map(|&i| RibEntry {
+                        peer_index: i,
+                        originated_time: 10,
+                        attrs: attrs(),
+                    })
                     .collect(),
             }),
         )

@@ -45,12 +45,18 @@ pub struct CommunityFilter {
 impl CommunityFilter {
     /// Match any community whose value half is `value`.
     pub fn any_asn(value: u16) -> Self {
-        CommunityFilter { asn: None, value: Some(value) }
+        CommunityFilter {
+            asn: None,
+            value: Some(value),
+        }
     }
 
     /// Match an exact `asn:value` community.
     pub fn exact(asn: u16, value: u16) -> Self {
-        CommunityFilter { asn: Some(asn), value: Some(value) }
+        CommunityFilter {
+            asn: Some(asn),
+            value: Some(value),
+        }
     }
 
     /// Whether one community matches.
@@ -124,7 +130,9 @@ impl Filters {
                 // visible (§4.3 second stream).
                 (_, ElemType::Withdrawal) | (_, ElemType::PeerState) => {}
                 (Some(cs), _) => {
-                    let hit = cs.iter().any(|c| self.communities.iter().any(|f| f.matches(c)));
+                    let hit = cs
+                        .iter()
+                        .any(|c| self.communities.iter().any(|f| f.matches(c)));
                     if !hit {
                         return false;
                     }
@@ -232,14 +240,16 @@ mod tests {
     #[test]
     fn prefix_modes() {
         let mut f = Filters::none();
-        f.prefixes.push((p("192.0.0.0/8"), PrefixMatch::MoreSpecific));
+        f.prefixes
+            .push((p("192.0.0.0/8"), PrefixMatch::MoreSpecific));
         // bgpreader -k 192.0.0.0/8: subprefixes match.
         assert!(f.matches(&announce("192.168.0.0/16", &[])));
         assert!(f.matches(&announce("192.0.0.0/8", &[])));
         assert!(!f.matches(&announce("10.0.0.0/8", &[])));
 
         let mut f = Filters::none();
-        f.prefixes.push((p("192.168.1.0/24"), PrefixMatch::LessSpecific));
+        f.prefixes
+            .push((p("192.168.1.0/24"), PrefixMatch::LessSpecific));
         assert!(f.matches(&announce("192.168.0.0/16", &[])));
         assert!(!f.matches(&announce("192.168.2.0/24", &[])));
 
@@ -277,7 +287,8 @@ mod tests {
     #[test]
     fn state_messages_pass_prefix_filters() {
         let mut f = Filters::none();
-        f.prefixes.push((p("10.0.0.0/8"), PrefixMatch::MoreSpecific));
+        f.prefixes
+            .push((p("10.0.0.0/8"), PrefixMatch::MoreSpecific));
         assert!(f.matches(&state_msg()));
         // But not when a peer filter excludes them.
         f.peer_asns.insert(Asn(42));
@@ -321,7 +332,8 @@ mod tests {
     fn combined_filters_are_conjunctive() {
         let mut f = Filters::none();
         f.peer_asns.insert(Asn(65001));
-        f.prefixes.push((p("192.0.0.0/8"), PrefixMatch::MoreSpecific));
+        f.prefixes
+            .push((p("192.0.0.0/8"), PrefixMatch::MoreSpecific));
         f.communities.push(CommunityFilter::exact(3356, 666));
         assert!(f.matches(&announce("192.0.2.0/24", &[(3356, 666)])));
         assert!(!f.matches(&announce("192.0.2.0/24", &[(174, 666)])));

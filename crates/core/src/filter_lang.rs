@@ -126,7 +126,10 @@ pub fn parse_filter_string(input: &str) -> Result<ParsedFilter, FilterLangError>
         let Some(term) = tokens.get(i) else { break };
         i += 1;
         let mut value = |what: &'static str| -> Result<String, FilterLangError> {
-            let v = tokens.get(i).cloned().ok_or(FilterLangError::MissingValue(what))?;
+            let v = tokens
+                .get(i)
+                .cloned()
+                .ok_or(FilterLangError::MissingValue(what))?;
             i += 1;
             Ok(v)
         };
@@ -144,8 +147,9 @@ pub fn parse_filter_string(input: &str) -> Result<ParsedFilter, FilterLangError>
             }
             "peer" => {
                 let v = value("peer")?;
-                let asn =
-                    v.parse::<u32>().map_err(|_| FilterLangError::BadValue("peer", v))?;
+                let asn = v
+                    .parse::<u32>()
+                    .map_err(|_| FilterLangError::BadValue("peer", v))?;
                 out.filters.peer_asns.insert(Asn(asn));
             }
             "prefix" => {
@@ -181,12 +185,14 @@ pub fn parse_filter_string(input: &str) -> Result<ParsedFilter, FilterLangError>
                             .map_err(|_| FilterLangError::BadValue("community", v.clone()))?,
                     ),
                 };
-                out.filters.communities.push(CommunityFilter { asn, value: val });
+                out.filters
+                    .communities
+                    .push(CommunityFilter { asn, value: val });
             }
             "aspath" => {
                 let v = value("aspath")?;
-                let re = AsPathRegex::parse(&v)
-                    .map_err(|_| FilterLangError::BadValue("aspath", v))?;
+                let re =
+                    AsPathRegex::parse(&v).map_err(|_| FilterLangError::BadValue("aspath", v))?;
                 out.filters.as_paths.push(re);
             }
             "elemtype" => {
@@ -254,8 +260,7 @@ mod tests {
             ("less", PrefixMatch::LessSpecific),
             ("any", PrefixMatch::Any),
         ] {
-            let p =
-                parse_filter_string(&format!("prefix {mode_str} 10.0.0.0/8")).unwrap();
+            let p = parse_filter_string(&format!("prefix {mode_str} 10.0.0.0/8")).unwrap();
             assert_eq!(p.filters.prefixes[0].1, mode, "{mode_str}");
         }
         // Default mode is more-specific.
@@ -289,7 +294,13 @@ mod tests {
         let p = parse_filter_string("comm 3356:666").unwrap();
         assert_eq!(p.filters.communities[0], CommunityFilter::exact(3356, 666));
         let p = parse_filter_string("comm 3356:*").unwrap();
-        assert_eq!(p.filters.communities[0], CommunityFilter { asn: Some(3356), value: None });
+        assert_eq!(
+            p.filters.communities[0],
+            CommunityFilter {
+                asn: Some(3356),
+                value: None
+            }
+        );
     }
 
     #[test]

@@ -101,9 +101,9 @@ pub fn parse_elem_json(line: &str) -> Result<JsonElem, JsonError> {
     let as_path = match map.get("as_path") {
         Some(Value::IntArray(hops)) => {
             let hops: Result<Vec<u32>, _> = hops.iter().map(|&h| u32::try_from(h)).collect();
-            Some(AsPath::from_sequence(
-                hops.map_err(|_| JsonError::Schema("as_path hop out of range"))?,
-            ))
+            Some(AsPath::from_sequence(hops.map_err(|_| {
+                JsonError::Schema("as_path hop out of range")
+            })?))
         }
         Some(_) => return Err(JsonError::Schema("as_path must be an integer array")),
         None => None,
@@ -112,10 +112,15 @@ pub fn parse_elem_json(line: &str) -> Result<JsonElem, JsonError> {
         Some(Value::StrArray(cs)) => {
             let mut set = CommunitySet::new();
             for c in cs {
-                let (a, v) =
-                    c.split_once(':').ok_or(JsonError::Schema("bad community format"))?;
-                let a = a.parse().map_err(|_| JsonError::Schema("bad community asn"))?;
-                let v = v.parse().map_err(|_| JsonError::Schema("bad community value"))?;
+                let (a, v) = c
+                    .split_once(':')
+                    .ok_or(JsonError::Schema("bad community format"))?;
+                let a = a
+                    .parse()
+                    .map_err(|_| JsonError::Schema("bad community asn"))?;
+                let v = v
+                    .parse()
+                    .map_err(|_| JsonError::Schema("bad community value"))?;
                 set.insert(Community::new(a, v));
             }
             Some(set)
@@ -124,8 +129,7 @@ pub fn parse_elem_json(line: &str) -> Result<JsonElem, JsonError> {
         None => {
             // The exporter omits empty community sets; route-carrying
             // elems still have Some(empty) semantics downstream.
-            matches!(elem_type, ElemType::RibEntry | ElemType::Announcement)
-                .then(CommunitySet::new)
+            matches!(elem_type, ElemType::RibEntry | ElemType::Announcement).then(CommunitySet::new)
         }
     };
     let parse_state = |key: &'static str| -> Result<Option<SessionState>, JsonError> {
@@ -179,7 +183,10 @@ pub fn parse_elem_json(line: &str) -> Result<JsonElem, JsonError> {
 
 /// Parse a flat JSON object into a key→value map.
 fn parse_flat_object(input: &str) -> Result<BTreeMap<String, Value>, JsonError> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     p.expect(b'{')?;
     let mut map = BTreeMap::new();
@@ -221,7 +228,9 @@ impl<'a> Parser<'a> {
     }
 
     fn next_byte(&mut self) -> Result<u8, JsonError> {
-        let b = self.peek().ok_or(JsonError::Syntax("unexpected end of input"))?;
+        let b = self
+            .peek()
+            .ok_or(JsonError::Syntax("unexpected end of input"))?;
         self.pos += 1;
         Ok(b)
     }

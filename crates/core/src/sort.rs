@@ -34,12 +34,18 @@ use crate::record::{BgpStreamRecord, DumpPosition, RecordStatus};
 pub fn partition_overlap_groups(files: &[DumpMeta]) -> Vec<Vec<DumpMeta>> {
     let mut sorted: Vec<DumpMeta> = files.to_vec();
     sorted.sort_by(|a, b| {
-        (a.interval_start, &a.project, &a.collector, a.dump_type as u8).cmp(&(
-            b.interval_start,
-            &b.project,
-            &b.collector,
-            b.dump_type as u8,
-        ))
+        (
+            a.interval_start,
+            &a.project,
+            &a.collector,
+            a.dump_type as u8,
+        )
+            .cmp(&(
+                b.interval_start,
+                &b.project,
+                &b.collector,
+                b.dump_type as u8,
+            ))
     });
     let mut groups: Vec<Vec<DumpMeta>> = Vec::new();
     let mut current: Vec<DumpMeta> = Vec::new();
@@ -181,7 +187,11 @@ impl OpenDump {
     /// Produce the next record with final position annotation.
     fn next(&mut self, filters: &Filters) -> Option<BgpStreamRecord> {
         let mut rec = self.pending.take()?;
-        self.pending = if self.finished { None } else { self.read_one(filters) };
+        self.pending = if self.finished {
+            None
+        } else {
+            self.read_one(filters)
+        };
         let first = self.produced == 0;
         let last = self.pending.is_none();
         rec.position = match (first, last) {
@@ -236,8 +246,10 @@ pub struct GroupMerger {
 impl GroupMerger {
     /// Open every file of the group and prime the heap.
     pub fn open(group: Vec<DumpMeta>, filters: Arc<Filters>) -> Self {
-        let mut dumps: Vec<OpenDump> =
-            group.into_iter().map(|m| OpenDump::open(m, &filters)).collect();
+        let mut dumps: Vec<OpenDump> = group
+            .into_iter()
+            .map(|m| OpenDump::open(m, &filters))
+            .collect();
         let mut heap = BinaryHeap::with_capacity(dumps.len());
         for (slot, d) in dumps.iter_mut().enumerate() {
             if let Some(ts) = d.head_timestamp() {
@@ -252,7 +264,11 @@ impl GroupMerger {
                 });
             }
         }
-        GroupMerger { dumps, heap, filters }
+        GroupMerger {
+            dumps,
+            heap,
+            filters,
+        }
     }
 
     /// Number of simultaneously open files.
@@ -267,7 +283,11 @@ impl GroupMerger {
         let dump = &mut self.dumps[entry.slot];
         let rec = dump.next(&self.filters)?;
         if let Some(ts) = dump.head_timestamp() {
-            self.heap.push(HeapEntry { ts, tiebreak: entry.tiebreak, slot: entry.slot });
+            self.heap.push(HeapEntry {
+                ts,
+                tiebreak: entry.tiebreak,
+                slot: entry.slot,
+            });
         }
         Some(rec)
     }
@@ -288,7 +308,9 @@ pub fn read_single_file(meta: DumpMeta, filters: &Filters) -> Vec<BgpStreamRecor
 /// Check that a path exists and looks like MRT (cheap sanity helper
 /// for tools).
 pub fn looks_like_mrt(path: &std::path::Path) -> bool {
-    let Ok(f) = File::open(path) else { return false };
+    let Ok(f) = File::open(path) else {
+        return false;
+    };
     let mut reader = std::io::BufReader::new(f);
     reader.fill_buf().map(|b| !b.is_empty()).unwrap_or(false)
 }

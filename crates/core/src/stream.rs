@@ -226,9 +226,13 @@ impl BgpStreamBuilder {
 
     /// Finish configuration and enter the reading phase.
     pub fn start(self) -> BgpStream {
-        let iface = self.interface.unwrap_or_else(|| DataInterface::Broker(Index::shared()));
+        let iface = self
+            .interface
+            .unwrap_or_else(|| DataInterface::Broker(Index::shared()));
         let index = iface.into_index().expect("data interface");
-        let cursor = BrokerCursor { window_start: self.query.start };
+        let cursor = BrokerCursor {
+            window_start: self.query.start,
+        };
         BgpStream {
             index,
             cursor,

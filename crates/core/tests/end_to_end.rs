@@ -82,7 +82,11 @@ fn historical_stream_is_time_sorted_across_collectors() {
         group_floor = group_floor.max(1);
     }
     assert!(n > 10, "too few records: {n}");
-    assert_eq!(collectors.len(), 2, "expected both collectors: {collectors:?}");
+    assert_eq!(
+        collectors.len(),
+        2,
+        "expected both collectors: {collectors:?}"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -171,7 +175,10 @@ fn corrupted_files_surface_as_invalid_records() {
         }
     }
     assert!(corrupt > 0, "no corruption surfaced");
-    assert!(valid > 0, "corruption should not hide earlier valid records");
+    assert!(
+        valid > 0,
+        "corruption should not hide earlier valid records"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -221,7 +228,11 @@ fn live_stream_delivers_as_clock_advances() {
 fn withdrawal_events_visible_in_stream() {
     let cp = ControlPlane::new(Arc::new(generate(&TopologyConfig::tiny(36))), u64::MAX);
     let topo = cp.topology().clone();
-    let victim = topo.nodes.iter().find(|n| !n.prefixes_v4.is_empty()).unwrap();
+    let victim = topo
+        .nodes
+        .iter()
+        .find(|n| !n.prefixes_v4.is_empty())
+        .unwrap();
     let prefix = victim.prefixes_v4[0].prefix;
     let specs = standard_collectors(&cp, 1, 0, 4, 1.0, 36);
     let dir = tmpdir("wd");
@@ -229,7 +240,13 @@ fn withdrawal_events_visible_in_stream() {
     let idx = Index::shared();
     sim.attach_index(idx.clone());
     let mut sc = Scenario::new();
-    sc.push(Event::at(100, EventKind::Withdraw { origin: victim.asn, prefix }));
+    sc.push(Event::at(
+        100,
+        EventKind::Withdraw {
+            origin: victim.asn,
+            prefix,
+        },
+    ));
     sim.schedule(&sc);
     sim.run_until(900);
     let mut stream = BgpStream::builder()

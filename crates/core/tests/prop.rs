@@ -82,9 +82,7 @@ fn reference_match(pat: &[PatTok], toks: &[u32]) -> bool {
     fn anchored(pat: &[PatTok], toks: &[u32]) -> bool {
         match pat.first() {
             None => toks.is_empty(),
-            Some(PatTok::Lit(l)) => {
-                toks.first() == Some(l) && anchored(&pat[1..], &toks[1..])
-            }
+            Some(PatTok::Lit(l)) => toks.first() == Some(l) && anchored(&pat[1..], &toks[1..]),
             Some(PatTok::One) => !toks.is_empty() && anchored(&pat[1..], &toks[1..]),
             Some(PatTok::Run) => (0..=toks.len()).any(|k| anchored(&pat[1..], &toks[k..])),
         }

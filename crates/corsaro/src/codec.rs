@@ -70,8 +70,16 @@ impl RtMessage {
     /// Binary encoding.
     pub fn encode(&self) -> Vec<u8> {
         let (kind, collector, bin, cells) = match self {
-            RtMessage::Diff { collector, bin, cells } => (0u8, collector, *bin, cells),
-            RtMessage::Full { collector, bin, cells } => (1u8, collector, *bin, cells),
+            RtMessage::Diff {
+                collector,
+                bin,
+                cells,
+            } => (0u8, collector, *bin, cells),
+            RtMessage::Full {
+                collector,
+                bin,
+                cells,
+            } => (1u8, collector, *bin, cells),
         };
         let mut out = BytesMut::new();
         out.put_u8(kind);
@@ -142,8 +150,16 @@ impl RtMessage {
             cells.push(DiffCell { vp, prefix, path });
         }
         match kind {
-            0 => Ok(RtMessage::Diff { collector, bin, cells }),
-            1 => Ok(RtMessage::Full { collector, bin, cells }),
+            0 => Ok(RtMessage::Diff {
+                collector,
+                bin,
+                cells,
+            }),
+            1 => Ok(RtMessage::Full {
+                collector,
+                bin,
+                cells,
+            }),
             k => Err(format!("unknown rt message kind {k}")),
         }
     }
@@ -177,19 +193,31 @@ mod tests {
                 prefix: "193.204.0.0/15".parse().unwrap(),
                 path: Some(AsPath::from_sequence([65001, 3356, 137])),
             },
-            DiffCell { vp: Asn(65002), prefix: "2001:db8::/32".parse().unwrap(), path: None },
+            DiffCell {
+                vp: Asn(65002),
+                prefix: "2001:db8::/32".parse().unwrap(),
+                path: None,
+            },
         ]
     }
 
     #[test]
     fn diff_roundtrip() {
-        let m = RtMessage::Diff { collector: "rrc00".into(), bin: 300, cells: cells() };
+        let m = RtMessage::Diff {
+            collector: "rrc00".into(),
+            bin: 300,
+            cells: cells(),
+        };
         assert_eq!(RtMessage::decode(&m.encode()).unwrap(), m);
     }
 
     #[test]
     fn full_roundtrip() {
-        let m = RtMessage::Full { collector: "route-views2".into(), bin: 0, cells: vec![] };
+        let m = RtMessage::Full {
+            collector: "route-views2".into(),
+            bin: 0,
+            cells: vec![],
+        };
         assert_eq!(RtMessage::decode(&m.encode()).unwrap(), m);
     }
 
@@ -197,7 +225,12 @@ mod tests {
     fn decode_rejects_garbage() {
         assert!(RtMessage::decode(&[]).is_err());
         assert!(RtMessage::decode(&[9; 20]).is_err());
-        let mut ok = RtMessage::Diff { collector: "c".into(), bin: 1, cells: cells() }.encode();
+        let mut ok = RtMessage::Diff {
+            collector: "c".into(),
+            bin: 1,
+            cells: cells(),
+        }
+        .encode();
         ok.truncate(ok.len() - 3);
         assert!(RtMessage::decode(&ok).is_err());
     }

@@ -45,7 +45,11 @@ impl PfxMonitor {
         for p in ranges {
             trie.insert(p, ());
         }
-        PfxMonitor { ranges: trie, table: HashMap::new(), series: Vec::new() }
+        PfxMonitor {
+            ranges: trie,
+            table: HashMap::new(),
+            series: Vec::new(),
+        }
     }
 
     /// Current distinct origins (useful in live monitoring loops).

@@ -19,11 +19,7 @@ pub trait Plugin {
 /// to multiples of `bin_size`. Returns the number of records
 /// processed. Bins with no records still close in order (one `end_bin`
 /// per elapsed bin) so time series stay dense.
-pub fn run_pipeline(
-    stream: &mut BgpStream,
-    bin_size: u64,
-    plugins: &mut [&mut dyn Plugin],
-) -> u64 {
+pub fn run_pipeline(stream: &mut BgpStream, bin_size: u64, plugins: &mut [&mut dyn Plugin]) -> u64 {
     run_pipeline_until(stream, bin_size, u64::MAX, plugins)
 }
 
@@ -104,7 +100,10 @@ mod tests {
             .data_interface(DataInterface::Broker(Index::shared()))
             .interval(0, Some(100))
             .start();
-        let mut probe = Probe { seen: vec![], bins: vec![] };
+        let mut probe = Probe {
+            seen: vec![],
+            bins: vec![],
+        };
         let n = run_pipeline(&mut stream, 60, &mut [&mut probe]);
         assert_eq!(n, 0);
         assert!(probe.bins.is_empty());
@@ -154,20 +153,33 @@ mod tests {
 
     #[test]
     fn bins_close_in_order_including_empty_ones() {
-        let mut probe = Probe { seen: vec![], bins: vec![] };
+        let mut probe = Probe {
+            seen: vec![],
+            bins: vec![],
+        };
         drive(&[10, 65, 300], 60, &mut probe);
         assert_eq!(probe.seen, vec![10, 65, 300]);
         // Bins: [0,60) closed at 65; [60,120), [120..300) empties,
         // then final [300,360).
         assert_eq!(
             probe.bins,
-            vec![(0, 60), (60, 120), (120, 180), (180, 240), (240, 300), (300, 360)]
+            vec![
+                (0, 60),
+                (60, 120),
+                (120, 180),
+                (180, 240),
+                (240, 300),
+                (300, 360)
+            ]
         );
     }
 
     #[test]
     fn single_bin_closes_once_at_end() {
-        let mut probe = Probe { seen: vec![], bins: vec![] };
+        let mut probe = Probe {
+            seen: vec![],
+            bins: vec![],
+        };
         drive(&[5, 6, 7], 60, &mut probe);
         assert_eq!(probe.bins, vec![(0, 60)]);
     }
@@ -178,8 +190,7 @@ mod tests {
         // the runner must process strictly-before-stop records only.
         use mrt::{Bgp4mp, MrtRecord, MrtWriter};
 
-        let dir = std::env::temp_dir()
-            .join(format!("pipeline_until_{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("pipeline_until_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("updates.mrt");
         {
@@ -208,7 +219,10 @@ mod tests {
             })
             .interval(0, Some(1000))
             .start();
-        let mut probe = Probe { seen: vec![], bins: vec![] };
+        let mut probe = Probe {
+            seen: vec![],
+            bins: vec![],
+        };
         let n = run_pipeline_until(&mut stream, 60, 300, &mut [&mut probe]);
         assert_eq!(n, 2);
         assert_eq!(probe.seen, vec![100, 200]);

@@ -311,8 +311,7 @@ impl Plugin for RtPlugin {
                         if elem.elem_type != ElemType::RibEntry {
                             continue;
                         }
-                        let (Some(prefix), Some(path)) = (elem.prefix, elem.as_path.clone())
-                        else {
+                        let (Some(prefix), Some(path)) = (elem.prefix, elem.as_path.clone()) else {
                             continue;
                         };
                         let ts = elem.time;
@@ -346,10 +345,8 @@ impl Plugin for RtPlugin {
                                 elem.peer_address,
                                 elem.peer_asn,
                             );
-                            let established = elem
-                                .new_state
-                                .map(|s| s.is_established())
-                                .unwrap_or(false);
+                            let established =
+                                elem.new_state.map(|s| s.is_established()).unwrap_or(false);
                             vp.state = match (established, rib_active) {
                                 (true, true) => MacroState::UpRibApplication,
                                 (true, false) => MacroState::Up,
@@ -382,8 +379,7 @@ impl Plugin for RtPlugin {
                             let ts = elem.time;
                             let dirty = &mut self.dirty;
                             let ip = elem.peer_address;
-                            let vp =
-                                vp_entry_in(&mut self.vps, self.rib_active, ip, elem.peer_asn);
+                            let vp = vp_entry_in(&mut self.vps, self.rib_active, ip, elem.peer_asn);
                             let cell = vp.cells.entry(prefix).or_default();
                             let new = Some(CellRoute { path });
                             if cell.main != new {
@@ -398,8 +394,7 @@ impl Plugin for RtPlugin {
                             let ts = elem.time;
                             let dirty = &mut self.dirty;
                             let ip = elem.peer_address;
-                            let vp =
-                                vp_entry_in(&mut self.vps, self.rib_active, ip, elem.peer_asn);
+                            let vp = vp_entry_in(&mut self.vps, self.rib_active, ip, elem.peer_asn);
                             let cell = vp.cells.entry(prefix).or_default();
                             if cell.main.is_some() {
                                 Self::mark_dirty(dirty, ip, prefix, &cell.main);
@@ -568,7 +563,13 @@ mod tests {
 
     /// A 2-record RIB dump carrying one route.
     fn feed_rib(rt: &mut RtPlugin, ts: u64, prefix: &str, path: &[u32]) {
-        rt.process_record(&rec(ts, DumpType::Rib, DumpPosition::Start, RecordStatus::Valid, vec![]));
+        rt.process_record(&rec(
+            ts,
+            DumpType::Rib,
+            DumpPosition::Start,
+            RecordStatus::Valid,
+            vec![],
+        ));
         rt.process_record(&rec(
             ts,
             DumpType::Rib,
@@ -597,7 +598,13 @@ mod tests {
             vec![elem(ElemType::RibEntry, 100, "10.0.0.0/8", &[65001, 137])],
         ));
         assert_eq!(rt.vp_state(vp_ip()), Some(MacroState::DownRibApplication));
-        rt.process_record(&rec(101, DumpType::Rib, DumpPosition::End, RecordStatus::Valid, vec![]));
+        rt.process_record(&rec(
+            101,
+            DumpType::Rib,
+            DumpPosition::End,
+            RecordStatus::Valid,
+            vec![],
+        ));
         assert_eq!(rt.vp_state(vp_ip()), Some(MacroState::Up));
         assert_eq!(rt.vp_table_size(vp_ip()), 1);
     }
@@ -611,7 +618,12 @@ mod tests {
             DumpType::Updates,
             DumpPosition::Middle,
             RecordStatus::Valid,
-            vec![elem(ElemType::Announcement, 200, "20.0.0.0/16", &[65001, 9])],
+            vec![elem(
+                ElemType::Announcement,
+                200,
+                "20.0.0.0/16",
+                &[65001, 9],
+            )],
         ));
         assert_eq!(rt.vp_table_size(vp_ip()), 2);
         rt.process_record(&rec(
@@ -630,7 +642,13 @@ mod tests {
         feed_rib(&mut rt, 100, "10.0.0.0/8", &[65001, 137]);
         // Second RIB claims a different path but contains a corrupted
         // record: it must be discarded; the table keeps the old path.
-        rt.process_record(&rec(500, DumpType::Rib, DumpPosition::Start, RecordStatus::Valid, vec![]));
+        rt.process_record(&rec(
+            500,
+            DumpType::Rib,
+            DumpPosition::Start,
+            RecordStatus::Valid,
+            vec![],
+        ));
         rt.process_record(&rec(
             500,
             DumpType::Rib,
@@ -645,7 +663,13 @@ mod tests {
             RecordStatus::CorruptedRecord,
             vec![],
         ));
-        rt.process_record(&rec(502, DumpType::Rib, DumpPosition::End, RecordStatus::Valid, vec![]));
+        rt.process_record(&rec(
+            502,
+            DumpType::Rib,
+            DumpPosition::End,
+            RecordStatus::Valid,
+            vec![],
+        ));
         assert_eq!(rt.vp_state(vp_ip()), Some(MacroState::Up));
         // Route unchanged (old path), and no accuracy penalty counted.
         let errs = rt.error_stats;
@@ -663,7 +687,12 @@ mod tests {
             DumpType::Updates,
             DumpPosition::Middle,
             RecordStatus::Valid,
-            vec![elem(ElemType::Announcement, 600, "10.0.0.0/8", &[65001, 42])],
+            vec![elem(
+                ElemType::Announcement,
+                600,
+                "10.0.0.0/8",
+                &[65001, 42],
+            )],
         ));
         // A RIB whose records carry OLDER timestamps (out-of-order
         // publication): must not clobber the newer update.
@@ -678,7 +707,12 @@ mod tests {
             DumpType::Updates,
             DumpPosition::Middle,
             RecordStatus::Valid,
-            vec![elem(ElemType::Announcement, 700, "10.0.0.0/8", &[65001, 42])],
+            vec![elem(
+                ElemType::Announcement,
+                700,
+                "10.0.0.0/8",
+                &[65001, 42],
+            )],
         ));
         rt.end_bin(3600, 7200);
         assert_eq!(rt.bin_series.last().unwrap().diff_cells, 0);
@@ -749,8 +783,20 @@ mod tests {
         assert_eq!(rt.vp_state(vp_ip()), Some(MacroState::Up));
         // Next RIB has no rows for this VP (e.g. RouteViews VP died
         // silently).
-        rt.process_record(&rec(500, DumpType::Rib, DumpPosition::Start, RecordStatus::Valid, vec![]));
-        rt.process_record(&rec(501, DumpType::Rib, DumpPosition::End, RecordStatus::Valid, vec![]));
+        rt.process_record(&rec(
+            500,
+            DumpType::Rib,
+            DumpPosition::Start,
+            RecordStatus::Valid,
+            vec![],
+        ));
+        rt.process_record(&rec(
+            501,
+            DumpType::Rib,
+            DumpPosition::End,
+            RecordStatus::Valid,
+            vec![],
+        ));
         assert_eq!(rt.vp_state(vp_ip()), Some(MacroState::Down));
         assert_eq!(rt.vp_table_size(vp_ip()), 0);
     }

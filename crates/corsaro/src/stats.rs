@@ -133,7 +133,11 @@ mod tests {
             RecordStatus::Valid,
             vec![elem(ElemType::Announcement), elem(ElemType::Withdrawal)],
         ));
-        p.process_record(&rec("rv2", RecordStatus::Valid, vec![elem(ElemType::RibEntry)]));
+        p.process_record(&rec(
+            "rv2",
+            RecordStatus::Valid,
+            vec![elem(ElemType::RibEntry)],
+        ));
         p.process_record(&rec("rrc00", RecordStatus::CorruptedRecord, vec![]));
         p.end_bin(0, 60);
         let point = &p.series[0];
@@ -149,7 +153,11 @@ mod tests {
     #[test]
     fn bins_reset_counters() {
         let mut p = ElemCounter::new();
-        p.process_record(&rec("rrc00", RecordStatus::Valid, vec![elem(ElemType::Announcement)]));
+        p.process_record(&rec(
+            "rrc00",
+            RecordStatus::Valid,
+            vec![elem(ElemType::Announcement)],
+        ));
         p.end_bin(0, 60);
         p.end_bin(60, 120);
         assert_eq!(p.series.len(), 2);

@@ -162,7 +162,9 @@ pub struct GeoTagger {
 impl GeoTagger {
     /// Build from `(origin ASN, country)` pairs.
     pub fn new(pairs: impl IntoIterator<Item = (Asn, [u8; 2])>) -> Self {
-        GeoTagger { origins: pairs.into_iter().collect() }
+        GeoTagger {
+            origins: pairs.into_iter().collect(),
+        }
     }
 
     /// Number of mapped origins.
@@ -291,7 +293,8 @@ impl TaggedPlugin for TagCounter {
     }
 
     fn end_bin(&mut self, bin_start: u64, _bin_end: u64) {
-        self.rows.push((bin_start, std::mem::take(&mut self.current)));
+        self.rows
+            .push((bin_start, std::mem::take(&mut self.current)));
     }
 }
 
@@ -398,12 +401,15 @@ mod tests {
 
     #[test]
     fn classifier_tags_v6_and_rib() {
-        let rec = record(DumpType::Rib, vec![{
-            let mut e = elem("10.0.0.0/8", &[9, 137], &[]);
-            e.elem_type = ElemType::RibEntry;
-            e.prefix = Some("2001:db8::/32".parse().unwrap());
-            e
-        }]);
+        let rec = record(
+            DumpType::Rib,
+            vec![{
+                let mut e = elem("10.0.0.0/8", &[9, 137], &[]);
+                e.elem_type = ElemType::RibEntry;
+                e.prefix = Some("2001:db8::/32".parse().unwrap());
+                e
+            }],
+        );
         let mut tags = TagSet::new();
         ClassifierTagger.tag(&rec, &mut tags);
         assert!(tags.has(TAG_RIB));
@@ -415,7 +421,10 @@ mod tests {
     #[test]
     fn geo_tagger_maps_origins() {
         let mut g = GeoTagger::new([(Asn(137), *b"IT"), (Asn(9), *b"AU")]);
-        let rec = record(DumpType::Updates, vec![elem("10.0.0.0/8", &[1, 3356, 137], &[])]);
+        let rec = record(
+            DumpType::Updates,
+            vec![elem("10.0.0.0/8", &[1, 3356, 137], &[])],
+        );
         let mut tags = TagSet::new();
         g.tag(&rec, &mut tags);
         assert!(tags.has("geo:IT"));

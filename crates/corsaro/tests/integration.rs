@@ -108,7 +108,13 @@ fn rt_plugin_reconstructs_tables_accurately_over_sim() {
         .take(8)
         .enumerate()
     {
-        sc.flap(600 + k as u64 * 313, 6, 1800, n.asn, n.prefixes_v4[0].prefix);
+        sc.flap(
+            600 + k as u64 * 313,
+            6,
+            1800,
+            n.asn,
+            n.prefixes_v4[0].prefix,
+        );
     }
     sim.schedule(&sc);
     sim.run_until(9 * 3600);
@@ -128,7 +134,10 @@ fn rt_plugin_reconstructs_tables_accurately_over_sim() {
     }
     // The reconstruction must be essentially error-free: every update
     // the collector saw is in the dumps, so the second RIB agrees.
-    assert!(rt.error_stats.cells_checked > 100, "accuracy check never ran");
+    assert!(
+        rt.error_stats.cells_checked > 100,
+        "accuracy check never ran"
+    );
     assert_eq!(
         rt.error_stats.cells_mismatched, 0,
         "reconstruction diverged: {:?}",
@@ -140,7 +149,15 @@ fn rt_plugin_reconstructs_tables_accurately_over_sim() {
     // elems but zero diff cells.
     let steady = |b: &&corsaro::RtBinStats| b.bin >= 3600 && b.bin + 1800 <= 8 * 3600;
     let elems: u64 = rt.bin_series.iter().filter(steady).map(|b| b.elems).sum();
-    let diffs: u64 = rt.bin_series.iter().filter(steady).map(|b| b.diff_cells).sum();
+    let diffs: u64 = rt
+        .bin_series
+        .iter()
+        .filter(steady)
+        .map(|b| b.diff_cells)
+        .sum();
     assert!(elems > 0);
-    assert!(diffs < elems, "no redundancy absorbed: diffs {diffs} vs elems {elems}");
+    assert!(
+        diffs < elems,
+        "no redundancy absorbed: diffs {diffs} vs elems {elems}"
+    );
 }

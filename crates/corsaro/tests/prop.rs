@@ -24,8 +24,11 @@ enum Op {
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0usize..3, 0usize..4, 100u32..105)
-            .prop_map(|(vp, pfx, origin)| Op::Announce { vp, pfx, origin }),
+        (0usize..3, 0usize..4, 100u32..105).prop_map(|(vp, pfx, origin)| Op::Announce {
+            vp,
+            pfx,
+            origin
+        }),
         (0usize..3, 0usize..4).prop_map(|(vp, pfx)| Op::Withdraw { vp, pfx }),
     ]
 }

@@ -53,7 +53,10 @@ impl Default for Cluster {
 impl Cluster {
     /// An empty cluster.
     pub fn new() -> Self {
-        Cluster { topics: RwLock::new(HashMap::new()), commits: Mutex::new(HashMap::new()) }
+        Cluster {
+            topics: RwLock::new(HashMap::new()),
+            commits: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Shared handle.
@@ -68,7 +71,10 @@ impl Cluster {
         topics.entry(name.to_string()).or_insert_with(|| {
             Arc::new(Topic {
                 partitions: (0..partitions.max(1))
-                    .map(|_| Partition { log: Mutex::new(Vec::new()), cond: Condvar::new() })
+                    .map(|_| Partition {
+                        log: Mutex::new(Vec::new()),
+                        cond: Condvar::new(),
+                    })
                     .collect(),
             })
         });
@@ -85,7 +91,13 @@ impl Cluster {
 
     /// Produce a message, routing by `key` hash. Creates the topic
     /// (1 partition) if needed. Returns (partition, offset).
-    pub fn produce(&self, topic: &str, key: &str, timestamp: u64, payload: Vec<u8>) -> (usize, u64) {
+    pub fn produce(
+        &self,
+        topic: &str,
+        key: &str,
+        timestamp: u64,
+        payload: Vec<u8>,
+    ) -> (usize, u64) {
         if self.topic(topic).is_none() {
             self.create_topic(topic, 1);
         }
@@ -94,7 +106,12 @@ impl Cluster {
         let p = &t.partitions[part];
         let mut log = p.log.lock();
         let offset = log.len() as u64;
-        log.push(Message { offset, key: key.to_string(), timestamp, payload });
+        log.push(Message {
+            offset,
+            key: key.to_string(),
+            timestamp,
+            payload,
+        });
         drop(log);
         p.cond.notify_all();
         (part, offset)
@@ -102,8 +119,12 @@ impl Cluster {
 
     /// Fetch up to `max` messages from `offset` (non-blocking).
     pub fn fetch(&self, topic: &str, partition: usize, offset: u64, max: usize) -> Vec<Message> {
-        let Some(t) = self.topic(topic) else { return Vec::new() };
-        let Some(p) = t.partitions.get(partition) else { return Vec::new() };
+        let Some(t) = self.topic(topic) else {
+            return Vec::new();
+        };
+        let Some(p) = t.partitions.get(partition) else {
+            return Vec::new();
+        };
         let log = p.log.lock();
         let start = (offset as usize).min(log.len());
         let end = (start + max).min(log.len());
@@ -113,15 +134,23 @@ impl Cluster {
     /// Next offset to be assigned in the partition (= current length).
     pub fn latest_offset(&self, topic: &str, partition: usize) -> u64 {
         self.topic(topic)
-            .and_then(|t| t.partitions.get(partition).map(|p| p.log.lock().len() as u64))
+            .and_then(|t| {
+                t.partitions
+                    .get(partition)
+                    .map(|p| p.log.lock().len() as u64)
+            })
             .unwrap_or(0)
     }
 
     /// Block until the partition grows beyond `offset` or `timeout`
     /// elapses; returns true when data is available.
     pub fn wait_for(&self, topic: &str, partition: usize, offset: u64, timeout: Duration) -> bool {
-        let Some(t) = self.topic(topic) else { return false };
-        let Some(p) = t.partitions.get(partition) else { return false };
+        let Some(t) = self.topic(topic) else {
+            return false;
+        };
+        let Some(p) = t.partitions.get(partition) else {
+            return false;
+        };
         let mut log = p.log.lock();
         if log.len() as u64 > offset {
             return true;
@@ -148,7 +177,9 @@ impl Cluster {
 
     /// Topic statistics.
     pub fn stats(&self, topic: &str) -> TopicStats {
-        let Some(t) = self.topic(topic) else { return TopicStats::default() };
+        let Some(t) = self.topic(topic) else {
+            return TopicStats::default();
+        };
         let mut s = TopicStats::default();
         for p in &t.partitions {
             let log = p.log.lock();
@@ -212,8 +243,9 @@ mod tests {
         let (p1, _) = c.produce("t", "rrc00", 0, vec![1]);
         let (p2, _) = c.produce("t", "rrc00", 0, vec![2]);
         assert_eq!(p1, p2, "same key must route to same partition");
-        let per_key: Vec<usize> =
-            (0..20).map(|k| c.produce("t", &format!("c{k}"), 0, vec![]).0).collect();
+        let per_key: Vec<usize> = (0..20)
+            .map(|k| c.produce("t", &format!("c{k}"), 0, vec![]).0)
+            .collect();
         let distinct: std::collections::HashSet<_> = per_key.iter().collect();
         assert!(distinct.len() > 1, "keys all hashed to one partition");
     }

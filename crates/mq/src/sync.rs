@@ -58,7 +58,12 @@ impl SyncServer {
     /// A server expecting one delivery per `expected` producer per
     /// bin.
     pub fn new(policy: SyncPolicy, expected: Vec<String>) -> Self {
-        SyncServer { policy, expected, bins: BTreeMap::new(), decided: HashSet::new() }
+        SyncServer {
+            policy,
+            expected,
+            bins: BTreeMap::new(),
+            decided: HashSet::new(),
+        }
     }
 
     /// Record that `producer` delivered its data for `bin` at `now`.
@@ -104,7 +109,11 @@ impl SyncServer {
             let mut producers: Vec<String> = st.arrived.into_iter().collect();
             producers.sort();
             let complete = producers.len() >= self.expected.len();
-            out.push(SyncDecision { bin, producers, complete });
+            out.push(SyncDecision {
+                bin,
+                producers,
+                complete,
+            });
         }
         out.sort_by_key(|d| d.bin);
         out

@@ -77,7 +77,13 @@ impl Bgp4mp {
     /// Encode into `out`; returns the subtype code for the header.
     pub fn encode(&self, out: &mut BytesMut) -> u16 {
         match self {
-            Bgp4mp::Message { peer_asn, local_asn, peer_ip, local_ip, message } => {
+            Bgp4mp::Message {
+                peer_asn,
+                local_asn,
+                peer_ip,
+                local_ip,
+                message,
+            } => {
                 encode_session_header(*peer_asn, *local_asn, *peer_ip, *local_ip, out);
                 out.put_slice(&message.encode());
                 SUBTYPE_MESSAGE_AS4
@@ -111,7 +117,13 @@ impl Bgp4mp {
         match subtype {
             SUBTYPE_MESSAGE_AS4 => {
                 let message = BgpMessage::decode(body).map_err(MrtError::Bgp)?;
-                Ok(Bgp4mp::Message { peer_asn, local_asn, peer_ip, local_ip, message })
+                Ok(Bgp4mp::Message {
+                    peer_asn,
+                    local_asn,
+                    peer_ip,
+                    local_ip,
+                    message,
+                })
             }
             _ => {
                 if body.len() < 4 {

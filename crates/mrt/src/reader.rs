@@ -80,7 +80,11 @@ pub struct MrtReader<R> {
 impl<R: Read> MrtReader<R> {
     /// Wrap a byte source.
     pub fn new(inner: R) -> Self {
-        MrtReader { inner, poisoned: false, count: 0 }
+        MrtReader {
+            inner,
+            poisoned: false,
+            count: 0,
+        }
     }
 
     /// Number of records read so far.
@@ -207,7 +211,11 @@ mod tests {
 
     #[test]
     fn reads_sequence_then_clean_eof() {
-        let recs = vec![keepalive_record(1), keepalive_record(2), keepalive_record(3)];
+        let recs = vec![
+            keepalive_record(1),
+            keepalive_record(2),
+            keepalive_record(3),
+        ];
         let buf = encode_all(&recs);
         let (out, err) = MrtReader::new(&buf[..]).read_all();
         assert!(err.is_none());

@@ -99,12 +99,18 @@ pub struct MrtRecord {
 impl MrtRecord {
     /// Build a BGP4MP record.
     pub fn bgp4mp(timestamp: u32, body: Bgp4mp) -> Self {
-        MrtRecord { timestamp, body: MrtBody::Bgp4mp(body) }
+        MrtRecord {
+            timestamp,
+            body: MrtBody::Bgp4mp(body),
+        }
     }
 
     /// Build a TABLE_DUMP_V2 record.
     pub fn table_dump_v2(timestamp: u32, body: TableDumpV2) -> Self {
-        MrtRecord { timestamp, body: MrtBody::TableDumpV2(body) }
+        MrtRecord {
+            timestamp,
+            body: MrtBody::TableDumpV2(body),
+        }
     }
 
     /// Encode the full record (header + body).
@@ -146,7 +152,10 @@ impl MrtRecord {
             MrtType::Bgp4mp => MrtBody::Bgp4mp(Bgp4mp::decode(header.subtype, body)?),
             MrtType::Other(_) => MrtBody::Unknown(Bytes::copy_from_slice(body)),
         };
-        Ok(MrtRecord { timestamp: header.timestamp, body: decoded })
+        Ok(MrtRecord {
+            timestamp: header.timestamp,
+            body: decoded,
+        })
     }
 }
 

@@ -217,7 +217,11 @@ impl TableDumpV2 {
                         attrs: decoded.attrs,
                     });
                 }
-                Ok(TableDumpV2::RibRow(RibRow { sequence, prefix, entries }))
+                Ok(TableDumpV2::RibRow(RibRow {
+                    sequence,
+                    prefix,
+                    entries,
+                }))
             }
             _ => Err(MrtError::Unsupported("unknown TABLE_DUMP_V2 subtype")),
         }
@@ -291,8 +295,16 @@ mod tests {
             sequence: 7,
             prefix: "193.204.0.0/15".parse().unwrap(),
             entries: vec![
-                RibEntry { peer_index: 0, originated_time: 1_000, attrs: attrs_v4() },
-                RibEntry { peer_index: 1, originated_time: 2_000, attrs: attrs_v4() },
+                RibEntry {
+                    peer_index: 0,
+                    originated_time: 1_000,
+                    attrs: attrs_v4(),
+                },
+                RibEntry {
+                    peer_index: 1,
+                    originated_time: 2_000,
+                    attrs: attrs_v4(),
+                },
             ],
         });
         assert_eq!(roundtrip(&t), t);
@@ -307,7 +319,11 @@ mod tests {
         let t = TableDumpV2::RibRow(RibRow {
             sequence: 0,
             prefix: "2001:db8:100::/40".parse().unwrap(),
-            entries: vec![RibEntry { peer_index: 1, originated_time: 5, attrs }],
+            entries: vec![RibEntry {
+                peer_index: 1,
+                originated_time: 5,
+                attrs,
+            }],
         });
         match roundtrip(&t) {
             TableDumpV2::RibRow(r) => {
@@ -344,7 +360,11 @@ mod tests {
         let t = TableDumpV2::RibRow(RibRow {
             sequence: 7,
             prefix: "10.0.0.0/8".parse().unwrap(),
-            entries: vec![RibEntry { peer_index: 0, originated_time: 1, attrs: attrs_v4() }],
+            entries: vec![RibEntry {
+                peer_index: 0,
+                originated_time: 1,
+                attrs: attrs_v4(),
+            }],
         });
         let mut buf = BytesMut::new();
         let subtype = t.encode(&mut buf);

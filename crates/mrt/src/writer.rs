@@ -15,7 +15,11 @@ pub struct MrtWriter<W> {
 impl<W: Write> MrtWriter<W> {
     /// Wrap a sink.
     pub fn new(inner: W) -> Self {
-        MrtWriter { inner, records: 0, bytes: 0 }
+        MrtWriter {
+            inner,
+            records: 0,
+            bytes: 0,
+        }
     }
 
     /// Append one record.

@@ -11,12 +11,13 @@ fn arb_prefix_v4() -> impl Strategy<Value = Prefix> {
 }
 
 fn arb_attrs() -> impl Strategy<Value = PathAttributes> {
-    (proptest::collection::vec(1u32..1_000_000, 1..6), any::<u32>()).prop_map(|(path, nh)| {
-        PathAttributes::route(
-            AsPath::from_sequence(path),
-            IpAddr::V4(Ipv4Addr::from(nh)),
-        )
-    })
+    (
+        proptest::collection::vec(1u32..1_000_000, 1..6),
+        any::<u32>(),
+    )
+        .prop_map(|(path, nh)| {
+            PathAttributes::route(AsPath::from_sequence(path), IpAddr::V4(Ipv4Addr::from(nh)))
+        })
 }
 
 fn arb_record() -> impl Strategy<Value = MrtRecord> {

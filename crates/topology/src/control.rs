@@ -236,11 +236,14 @@ impl ControlPlane {
                         .get(&prefix)
                         .is_some_and(|anns| anns.iter().any(|a| a.origin == idx));
                     if !known {
-                        self.static_index.entry(prefix).or_default().push(StaticAnn {
-                            origin: idx,
-                            born: self.month,
-                            second: None,
-                        });
+                        self.static_index
+                            .entry(prefix)
+                            .or_default()
+                            .push(StaticAnn {
+                                origin: idx,
+                                born: self.month,
+                                second: None,
+                            });
                     }
                     affected.push(prefix);
                 }
@@ -322,14 +325,22 @@ impl ControlPlane {
     /// The routing tree for `origin_idx` under current conditions.
     /// `rtbh` selects the restricted-propagation tree.
     pub fn tree(&mut self, origin_idx: u32, rtbh: bool) -> Arc<RoutingTree> {
-        let key = TreeKey { origin: origin_idx, month: self.month, epoch: self.epoch, rtbh };
+        let key = TreeKey {
+            origin: origin_idx,
+            month: self.month,
+            epoch: self.epoch,
+            rtbh,
+        };
         if let Some(t) = self.trees.get(&key) {
             return t.clone();
         }
         let topo = self.topo.clone();
         let tree = if rtbh {
-            let providers: HashSet<u32> =
-                topo.nodes[origin_idx as usize].providers.iter().copied().collect();
+            let providers: HashSet<u32> = topo.nodes[origin_idx as usize]
+                .providers
+                .iter()
+                .copied()
+                .collect();
             let relay = |i: u32| -> bool {
                 !providers.contains(&i) || topo.nodes[i as usize].leaks_blackholes
             };
@@ -431,7 +442,9 @@ impl ControlPlane {
         let onode = &self.topo.nodes[origin as usize];
         if let Some(ro) = rtbh_origin {
             for &prov in &self.topo.nodes[ro as usize].providers {
-                acc.insert(Community::blackhole(self.topo.nodes[prov as usize].asn.0 as u16));
+                acc.insert(Community::blackhole(
+                    self.topo.nodes[prov as usize].asn.0 as u16,
+                ));
             }
         }
         if onode.tags_communities {
@@ -471,8 +484,12 @@ impl ControlPlane {
     /// still forwards along the covering aggregate).
     pub fn lpm_chain(&mut self, addr: &Prefix) -> Vec<Prefix> {
         self.refresh_lpm();
-        let mut chain: Vec<Prefix> =
-            self.lpm_trie.covering(addr).into_iter().map(|(p, _)| *p).collect();
+        let mut chain: Vec<Prefix> = self
+            .lpm_trie
+            .covering(addr)
+            .into_iter()
+            .map(|(p, _)| *p)
+            .collect();
         chain.reverse();
         chain
     }
@@ -563,7 +580,13 @@ mod tests {
         let mut c = cp();
         let p = first_prefix_of(&c, 25);
         let attacker = c.topology().nodes[30].asn;
-        c.apply(&Event::at(5, EventKind::StartHijack { attacker, prefix: p }));
+        c.apply(&Event::at(
+            5,
+            EventKind::StartHijack {
+                attacker,
+                prefix: p,
+            },
+        ));
         let origins = c.origins_of(&p);
         assert_eq!(origins.len(), 2);
         // Somewhere in the topology, at least one AS should route to
@@ -579,7 +602,13 @@ mod tests {
             }
         }
         assert!(saw_attacker, "no VP routed to the hijacker");
-        c.apply(&Event::at(6, EventKind::EndHijack { attacker, prefix: p }));
+        c.apply(&Event::at(
+            6,
+            EventKind::EndHijack {
+                attacker,
+                prefix: p,
+            },
+        ));
         assert_eq!(c.origins_of(&p).len(), 1);
     }
 
@@ -589,7 +618,13 @@ mod tests {
         let victim_pfx = first_prefix_of(&c, 25);
         let sub = victim_pfx.children().unwrap().0; // more specific
         let attacker = c.topology().nodes[30].asn;
-        c.apply(&Event::at(5, EventKind::StartHijack { attacker, prefix: sub }));
+        c.apply(&Event::at(
+            5,
+            EventKind::StartHijack {
+                attacker,
+                prefix: sub,
+            },
+        ));
         let vp = c.topology().nodes[4].asn;
         let r = c.route(vp, &sub).unwrap();
         assert_eq!(r.origin, attacker);
@@ -629,8 +664,14 @@ mod tests {
             .unwrap();
         assert!(c.route(vp, &edge_prefix).is_some());
         c.apply(&Event::at(5, EventKind::StartOutage { asn: provider_asn }));
-        assert!(c.route(vp, &provider_prefix).is_none(), "provider prefix still up");
-        assert!(c.route(vp, &edge_prefix).is_none(), "single-homed customer still up");
+        assert!(
+            c.route(vp, &provider_prefix).is_none(),
+            "provider prefix still up"
+        );
+        assert!(
+            c.route(vp, &edge_prefix).is_none(),
+            "single-homed customer still up"
+        );
         c.apply(&Event::at(6, EventKind::EndOutage { asn: provider_asn }));
         assert!(c.route(vp, &edge_prefix).is_some());
     }
@@ -654,13 +695,31 @@ mod tests {
             .unwrap();
         let origin = topo.nodes[edge_idx as usize].asn;
         let host = topo.nodes[edge_idx as usize].prefixes_v4[0].prefix.host(7);
-        c.apply(&Event::at(5, EventKind::StartRtbh { origin, prefix: host }));
+        c.apply(&Event::at(
+            5,
+            EventKind::StartRtbh {
+                origin,
+                prefix: host,
+            },
+        ));
         assert!(c.is_rtbh(&host));
         // The provider must see the /32 with a black-holing community.
         let provider_asn = topo.nodes[provider_idx as usize].asn;
-        let r = c.route(provider_asn, &host).expect("provider sees RTBH route");
-        assert!(r.communities.has_blackhole(), "communities: {}", r.communities);
-        c.apply(&Event::at(9, EventKind::EndRtbh { origin, prefix: host }));
+        let r = c
+            .route(provider_asn, &host)
+            .expect("provider sees RTBH route");
+        assert!(
+            r.communities.has_blackhole(),
+            "communities: {}",
+            r.communities
+        );
+        c.apply(&Event::at(
+            9,
+            EventKind::EndRtbh {
+                origin,
+                prefix: host,
+            },
+        ));
         assert!(c.route(provider_asn, &host).is_none());
     }
 
@@ -685,9 +744,18 @@ mod tests {
         if let Some(edge_idx) = found {
             let origin = topo.nodes[edge_idx as usize].asn;
             let host = topo.nodes[edge_idx as usize].prefixes_v4[0].prefix.host(1);
-            c.apply(&Event::at(5, EventKind::StartRtbh { origin, prefix: host }));
-            let providers: HashSet<u32> =
-                topo.nodes[edge_idx as usize].providers.iter().copied().collect();
+            c.apply(&Event::at(
+                5,
+                EventKind::StartRtbh {
+                    origin,
+                    prefix: host,
+                },
+            ));
+            let providers: HashSet<u32> = topo.nodes[edge_idx as usize]
+                .providers
+                .iter()
+                .copied()
+                .collect();
             for (j, n) in topo.nodes.iter().enumerate() {
                 let j = j as u32;
                 if j == edge_idx || providers.contains(&j) {
@@ -736,7 +804,11 @@ mod tests {
             "leak did not attract B: path {}",
             during.as_path
         );
-        assert_eq!(during.class, RouteClass::Customer, "leaked route looks customer-learned");
+        assert_eq!(
+            during.class,
+            RouteClass::Customer,
+            "leaked route looks customer-learned"
+        );
         c.apply(&Event::at(20, EventKind::EndLeak { leaker }));
         let after = c.route(vp_b, &p).unwrap();
         assert_eq!(after.as_path, before.as_path, "route heals after leak ends");

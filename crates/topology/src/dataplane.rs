@@ -105,7 +105,12 @@ pub fn traceroute(cp: &mut ControlPlane, src: Asn, dst: &Prefix) -> Option<Trace
     // Forwarding loop (can only arise from inconsistent MOAS winners);
     // report as a drop at the last hop.
     let last = *hops.last().expect("at least the source hop");
-    Some(TraceResult { hops, reached_origin: false, reached_dest: false, dropped_at: Some(last) })
+    Some(TraceResult {
+        hops,
+        reached_origin: false,
+        reached_dest: false,
+        dropped_at: Some(last),
+    })
 }
 
 /// Pick up to `n` probe ASes for measuring reachability of `origin`'s
@@ -123,7 +128,12 @@ pub fn select_probes(cp: &ControlPlane, origin: Asn, n: usize) -> Vec<Asn> {
             out.push(asn);
         }
     };
-    for &i in onode.providers.iter().chain(&onode.peers).chain(&onode.customers) {
+    for &i in onode
+        .providers
+        .iter()
+        .chain(&onode.peers)
+        .chain(&onode.customers)
+    {
         push(topo.nodes[i as usize].asn, &mut out);
     }
     for node in &topo.nodes {
@@ -197,7 +207,13 @@ mod tests {
             .unwrap();
         let origin = topo.nodes[edge_idx as usize].asn;
         let host = topo.nodes[edge_idx as usize].prefixes_v4[0].prefix.host(9);
-        c.apply(&Event::at(5, EventKind::StartRtbh { origin, prefix: host }));
+        c.apply(&Event::at(
+            5,
+            EventKind::StartRtbh {
+                origin,
+                prefix: host,
+            },
+        ));
 
         // A probe far away (tier-1 that is not a direct provider)
         // must be dropped at a black-holing provider.
@@ -217,7 +233,13 @@ mod tests {
         assert!(r.dropped_at.is_some() || !r.reached_origin);
 
         // After RTBH ends, the same probe succeeds.
-        c.apply(&Event::at(50, EventKind::EndRtbh { origin, prefix: host }));
+        c.apply(&Event::at(
+            50,
+            EventKind::EndRtbh {
+                origin,
+                prefix: host,
+            },
+        ));
         let r2 = traceroute(&mut c, far, &host).unwrap();
         assert!(r2.reached_dest, "far probe failed after RTBH: {:?}", r2);
     }

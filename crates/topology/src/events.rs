@@ -119,7 +119,10 @@ impl Scenario {
     /// Add a hijack lasting `duration` seconds.
     pub fn hijack(&mut self, time: u64, duration: u64, attacker: Asn, prefix: Prefix) -> &mut Self {
         self.push(Event::at(time, EventKind::StartHijack { attacker, prefix }));
-        self.push(Event::at(time + duration, EventKind::EndHijack { attacker, prefix }));
+        self.push(Event::at(
+            time + duration,
+            EventKind::EndHijack { attacker, prefix },
+        ));
         self
     }
 
@@ -140,7 +143,10 @@ impl Scenario {
     /// Add an RTBH episode lasting `duration` seconds.
     pub fn rtbh(&mut self, time: u64, duration: u64, origin: Asn, prefix: Prefix) -> &mut Self {
         self.push(Event::at(time, EventKind::StartRtbh { origin, prefix }));
-        self.push(Event::at(time + duration, EventKind::EndRtbh { origin, prefix }));
+        self.push(Event::at(
+            time + duration,
+            EventKind::EndRtbh { origin, prefix },
+        ));
         self
     }
 
@@ -157,7 +163,10 @@ impl Scenario {
         for k in 0..times as u64 {
             let t = time + k * period;
             self.push(Event::at(t, EventKind::Withdraw { origin, prefix }));
-            self.push(Event::at(t + period / 2, EventKind::Announce { origin, prefix }));
+            self.push(Event::at(
+                t + period / 2,
+                EventKind::Announce { origin, prefix },
+            ));
         }
         self
     }

@@ -96,7 +96,9 @@ impl TopologyConfig {
 /// Zipf-ish country pick.
 fn pick_country(rng: &mut SmallRng) -> [u8; 2] {
     // Weight country k by 1/(k+2).
-    let weights: Vec<f64> = (0..COUNTRIES.len()).map(|k| 1.0 / (k as f64 + 2.0)).collect();
+    let weights: Vec<f64> = (0..COUNTRIES.len())
+        .map(|k| 1.0 / (k as f64 + 2.0))
+        .collect();
     let total: f64 = weights.iter().sum();
     let mut x = rng.gen::<f64>() * total;
     for (k, w) in weights.iter().enumerate() {
@@ -133,7 +135,10 @@ impl PrefixAllocator {
     fn new() -> Self {
         // Start at 11.0.0.0 to keep documentation ranges free for
         // tests and case-study target prefixes.
-        PrefixAllocator { next_v4_block: 11 << 8, next_v6_block: 1 }
+        PrefixAllocator {
+            next_v4_block: 11 << 8,
+            next_v6_block: 1,
+        }
     }
 
     fn alloc_v4(&mut self, len: u8) -> Prefix {
@@ -194,7 +199,11 @@ pub fn generate(cfg: &TopologyConfig) -> Topology {
         let (tier, born_month) = match kind {
             Kind::T1 => (Tier::Tier1, 0),
             k => {
-                let tier = if matches!(k, Kind::Transit) { Tier::Transit } else { Tier::Edge };
+                let tier = if matches!(k, Kind::Transit) {
+                    Tier::Transit
+                } else {
+                    Tier::Edge
+                };
                 // Linear growth after the initial population.
                 let pos = non_t1_seen as f64 / non_t1_total as f64;
                 non_t1_seen += 1;
@@ -404,7 +413,11 @@ pub fn generate(cfg: &TopologyConfig) -> Topology {
         .enumerate()
         .map(|(i, n)| (n.asn, i as u32))
         .collect();
-    let topo = Topology { nodes, by_asn, months: cfg.months };
+    let topo = Topology {
+        nodes,
+        by_asn,
+        months: cfg.months,
+    };
     debug_assert!(topo.validate().is_ok(), "{:?}", topo.validate());
     topo
 }
@@ -488,7 +501,10 @@ mod tests {
 
     #[test]
     fn growth_is_monotonic() {
-        let cfg = TopologyConfig { months: 60, ..TopologyConfig::default() };
+        let cfg = TopologyConfig {
+            months: 60,
+            ..TopologyConfig::default()
+        };
         let t = generate(&cfg);
         let mut last = 0;
         for m in (0..=60).step_by(12) {
@@ -504,7 +520,10 @@ mod tests {
 
     #[test]
     fn v6_lags_v4() {
-        let cfg = TopologyConfig { months: 60, ..TopologyConfig::default() };
+        let cfg = TopologyConfig {
+            months: 60,
+            ..TopologyConfig::default()
+        };
         let t = generate(&cfg);
         let v4_origins_early = t.announced_prefixes(6, true).len();
         let v6_origins_early = t.announced_prefixes(6, false).len();
@@ -513,7 +532,10 @@ mod tests {
 
     #[test]
     fn providers_are_born_before_customers() {
-        let cfg = TopologyConfig { months: 48, ..TopologyConfig::default() };
+        let cfg = TopologyConfig {
+            months: 48,
+            ..TopologyConfig::default()
+        };
         let t = generate(&cfg);
         for n in &t.nodes {
             for &p in &n.providers {

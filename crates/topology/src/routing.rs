@@ -100,19 +100,11 @@ impl RoutingTree {
 
 /// Candidate comparison: smaller wins. Deterministic by (class, dist,
 /// parent ASN).
-fn better(
-    topo: &Topology,
-    cand: TreeEntry,
-    incumbent: Option<TreeEntry>,
-) -> bool {
+fn better(topo: &Topology, cand: TreeEntry, incumbent: Option<TreeEntry>) -> bool {
     match incumbent {
         None => true,
         Some(inc) => {
-            let ck = (
-                cand.class,
-                cand.dist,
-                topo.nodes[cand.parent as usize].asn,
-            );
+            let ck = (cand.class, cand.dist, topo.nodes[cand.parent as usize].asn);
             let ik = (inc.class, inc.dist, topo.nodes[inc.parent as usize].asn);
             ck < ik
         }
@@ -157,12 +149,15 @@ pub fn compute_tree_opts(
     let n = topo.nodes.len();
     let mut entries: Vec<Option<TreeEntry>> = vec![None; n];
     let alive = |i: u32| {
-        topo.nodes[i as usize].alive_at(month)
-            && opts.disabled.is_none_or(|d| !d.contains(&i))
+        topo.nodes[i as usize].alive_at(month) && opts.disabled.is_none_or(|d| !d.contains(&i))
     };
     let may_relay = |i: u32| i == origin || opts.relay.is_none_or(|f| f(i));
     if !alive(origin) {
-        return RoutingTree { origin, entries, stored_paths: Vec::new() };
+        return RoutingTree {
+            origin,
+            entries,
+            stored_paths: Vec::new(),
+        };
     }
 
     entries[origin as usize] = Some(TreeEntry {
@@ -183,7 +178,11 @@ pub fn compute_tree_opts(
             if !alive(p) {
                 continue;
             }
-            let cand = TreeEntry { class: RouteClass::Customer, dist: du + 1, parent: u };
+            let cand = TreeEntry {
+                class: RouteClass::Customer,
+                dist: du + 1,
+                parent: u,
+            };
             if better(topo, cand, entries[p as usize]) {
                 let first = entries[p as usize].is_none();
                 entries[p as usize] = Some(cand);
@@ -199,7 +198,10 @@ pub fn compute_tree_opts(
         .filter(|&i| {
             matches!(
                 entries[i as usize],
-                Some(TreeEntry { class: RouteClass::Origin | RouteClass::Customer, .. })
+                Some(TreeEntry {
+                    class: RouteClass::Origin | RouteClass::Customer,
+                    ..
+                })
             )
         })
         .collect();
@@ -212,7 +214,11 @@ pub fn compute_tree_opts(
             if !alive(q) {
                 continue;
             }
-            let cand = TreeEntry { class: RouteClass::Peer, dist: du + 1, parent: u };
+            let cand = TreeEntry {
+                class: RouteClass::Peer,
+                dist: du + 1,
+                parent: u,
+            };
             if better(topo, cand, entries[q as usize]) {
                 entries[q as usize] = Some(cand);
             }
@@ -235,7 +241,11 @@ pub fn compute_tree_opts(
             if !alive(c) {
                 continue;
             }
-            let cand = TreeEntry { class: RouteClass::Provider, dist: du + 1, parent: u };
+            let cand = TreeEntry {
+                class: RouteClass::Provider,
+                dist: du + 1,
+                parent: u,
+            };
             if better(topo, cand, entries[c as usize]) {
                 entries[c as usize] = Some(cand);
                 queue.push_back(c);
@@ -243,7 +253,11 @@ pub fn compute_tree_opts(
         }
     }
 
-    RoutingTree { origin, entries, stored_paths: Vec::new() }
+    RoutingTree {
+        origin,
+        entries,
+        stored_paths: Vec::new(),
+    }
 }
 
 /// Generic worklist propagation: the same Gao–Rexford preference and
@@ -276,16 +290,22 @@ fn compute_tree_worklist(
     // routes flow against the three-phase order.
     let mut ribs: Vec<AdjRibIn> = vec![HashMap::new(); n];
     let alive = |i: u32| {
-        topo.nodes[i as usize].alive_at(month)
-            && opts.disabled.is_none_or(|d| !d.contains(&i))
+        topo.nodes[i as usize].alive_at(month) && opts.disabled.is_none_or(|d| !d.contains(&i))
     };
     let may_relay = |i: u32| i == origin || opts.relay.is_none_or(|f| f(i));
     let leaks = |i: u32| opts.leakers.is_some_and(|l| l.contains(&i));
     if !alive(origin) {
-        return RoutingTree { origin, entries, stored_paths: paths };
+        return RoutingTree {
+            origin,
+            entries,
+            stored_paths: paths,
+        };
     }
-    entries[origin as usize] =
-        Some(TreeEntry { class: RouteClass::Origin, dist: 0, parent: origin });
+    entries[origin as usize] = Some(TreeEntry {
+        class: RouteClass::Origin,
+        dist: 0,
+        parent: origin,
+    });
     paths[origin as usize] = Some(vec![origin]);
 
     // Re-select v's best from its Adj-RIBs-In; returns whether the
@@ -297,11 +317,16 @@ fn compute_tree_worklist(
      -> bool {
         let best = ribs[v as usize]
             .iter()
-            .min_by_key(|(nbr, (class, dist, _))| {
-                (*class, *dist, topo.nodes[**nbr as usize].asn)
-            })
+            .min_by_key(|(nbr, (class, dist, _))| (*class, *dist, topo.nodes[**nbr as usize].asn))
             .map(|(nbr, (class, dist, path))| {
-                (TreeEntry { class: *class, dist: *dist, parent: *nbr }, path.clone())
+                (
+                    TreeEntry {
+                        class: *class,
+                        dist: *dist,
+                        parent: *nbr,
+                    },
+                    path.clone(),
+                )
             });
         match best {
             Some((e, path)) => {
@@ -350,12 +375,12 @@ fn compute_tree_worklist(
         // §9.1.2's loop prevention, which is what stops a leaked route
         // from re-importing through itself) removes it.
         let update = |v: u32,
-                          class: Option<RouteClass>,
-                          entries: &mut Vec<Option<TreeEntry>>,
-                          paths: &mut Vec<Option<Vec<u32>>>,
-                          ribs: &mut Vec<AdjRibIn>,
-                          queue: &mut VecDeque<u32>,
-                          queued: &mut Vec<bool>| {
+                      class: Option<RouteClass>,
+                      entries: &mut Vec<Option<TreeEntry>>,
+                      paths: &mut Vec<Option<Vec<u32>>>,
+                      ribs: &mut Vec<AdjRibIn>,
+                      queue: &mut VecDeque<u32>,
+                      queued: &mut Vec<bool>| {
             if !alive(v) {
                 return;
             }
@@ -368,10 +393,7 @@ fn compute_tree_worklist(
                     ribs[v as usize].insert(u, (c, du + 1, up.clone()));
                     reselect(v, entries, paths, ribs)
                 }
-                None => {
-                    ribs[v as usize].remove(&u).is_some()
-                        && reselect(v, entries, paths, ribs)
-                }
+                None => ribs[v as usize].remove(&u).is_some() && reselect(v, entries, paths, ribs),
             };
             if changed && !queued[v as usize] {
                 queued[v as usize] = true;
@@ -380,24 +402,50 @@ fn compute_tree_worklist(
         };
         let up_class = (relay_ok && exportable_up).then_some(RouteClass::Customer);
         for &p in &topo.nodes[u as usize].providers.clone() {
-            update(p, up_class, &mut entries, &mut paths, &mut ribs, &mut queue, &mut queued);
+            update(
+                p,
+                up_class,
+                &mut entries,
+                &mut paths,
+                &mut ribs,
+                &mut queue,
+                &mut queued,
+            );
         }
-        let peer_class = (relay_ok
-            && exportable_up
-            && !(u == origin && opts.origin_to_providers_only))
-        .then_some(RouteClass::Peer);
+        let peer_class =
+            (relay_ok && exportable_up && !(u == origin && opts.origin_to_providers_only))
+                .then_some(RouteClass::Peer);
         for &q in &topo.nodes[u as usize].peers.clone() {
-            update(q, peer_class, &mut entries, &mut paths, &mut ribs, &mut queue, &mut queued);
+            update(
+                q,
+                peer_class,
+                &mut entries,
+                &mut paths,
+                &mut ribs,
+                &mut queue,
+                &mut queued,
+            );
         }
-        let down_class = (relay_ok
-            && entry.is_some()
-            && !(u == origin && opts.origin_to_providers_only))
-        .then_some(RouteClass::Provider);
+        let down_class =
+            (relay_ok && entry.is_some() && !(u == origin && opts.origin_to_providers_only))
+                .then_some(RouteClass::Provider);
         for &c in &topo.nodes[u as usize].customers.clone() {
-            update(c, down_class, &mut entries, &mut paths, &mut ribs, &mut queue, &mut queued);
+            update(
+                c,
+                down_class,
+                &mut entries,
+                &mut paths,
+                &mut ribs,
+                &mut queue,
+                &mut queued,
+            );
         }
     }
-    RoutingTree { origin, entries, stored_paths: paths }
+    RoutingTree {
+        origin,
+        entries,
+        stored_paths: paths,
+    }
 }
 
 /// Memoises routing trees per `(origin, month)`.
@@ -503,7 +551,11 @@ mod tests {
             .enumerate()
             .map(|(i, n)| (n.asn, i as u32))
             .collect();
-        Topology { nodes, by_asn, months: 1 }
+        Topology {
+            nodes,
+            by_asn,
+            months: 1,
+        }
     }
 
     /// The classic "shark fin": two tier-1s peering, each with one
@@ -693,7 +745,10 @@ mod tests {
                     &topo,
                     origin,
                     0,
-                    &TreeOpts { leakers: Some(&leakers), ..TreeOpts::default() },
+                    &TreeOpts {
+                        leakers: Some(&leakers),
+                        ..TreeOpts::default()
+                    },
                 );
                 assert_eq!(tree.entries, reference.entries, "origin {origin}");
             }
@@ -715,7 +770,10 @@ mod tests {
             &t,
             2,
             0,
-            &TreeOpts { leakers: Some(&leakers), ..TreeOpts::default() },
+            &TreeOpts {
+                leakers: Some(&leakers),
+                ..TreeOpts::default()
+            },
         );
         let e1 = leaked.entry(1).unwrap();
         assert_eq!(e1.class, RouteClass::Customer);
@@ -738,7 +796,10 @@ mod tests {
             &t,
             4,
             0,
-            &TreeOpts { leakers: Some(&leakers), ..TreeOpts::default() },
+            &TreeOpts {
+                leakers: Some(&leakers),
+                ..TreeOpts::default()
+            },
         );
         let e0 = leaked.entry(0).unwrap();
         // 0 prefers the customer route through the leaker 3 over its
@@ -758,7 +819,10 @@ mod tests {
             &t,
             2,
             0,
-            &TreeOpts { leakers: Some(&leakers), ..TreeOpts::default() },
+            &TreeOpts {
+                leakers: Some(&leakers),
+                ..TreeOpts::default()
+            },
         );
         let clean = compute_tree(&t, 2, 0);
         assert_eq!(leaked.entries, clean.entries);

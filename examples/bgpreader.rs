@@ -51,8 +51,7 @@ fn main() {
         (std::path::PathBuf::from(&args[0]), None)
     };
 
-    let mut builder = BgpStream::builder()
-        .data_interface(DataInterface::CsvFile(manifest));
+    let mut builder = BgpStream::builder().data_interface(DataInterface::CsvFile(manifest));
     let mut format = Format::Native;
     let mut start = 0u64;
     let mut end: Option<u64> = Some(u64::MAX - 1);

@@ -25,7 +25,10 @@ use bgpstream_repro::mrt::MrtWriter;
 
 fn announce(prefixes: &[&str], path: &[u32]) -> BgpUpdate {
     BgpUpdate::announce(
-        prefixes.iter().map(|s| s.parse::<Prefix>().unwrap()).collect(),
+        prefixes
+            .iter()
+            .map(|s| s.parse::<Prefix>().unwrap())
+            .collect(),
         PathAttributes::route(
             AsPath::from_sequence(path.iter().copied()),
             "192.0.2.1".parse().unwrap(),
@@ -37,14 +40,24 @@ fn main() {
     // ---- Router side -------------------------------------------------
     let peer1: IpAddr = "192.0.2.1".parse().unwrap();
     let peer2: IpAddr = "192.0.2.2".parse().unwrap();
-    let mut router =
-        RouterExporter::new(Vec::new(), "edge1.milan", "192.0.2.254".parse().unwrap(), Asn(137));
+    let mut router = RouterExporter::new(
+        Vec::new(),
+        "edge1.milan",
+        "192.0.2.254".parse().unwrap(),
+        Asn(137),
+    );
     router.initiate("simulated JunOS 23.1 / BMP v3").unwrap();
     router.peer_up(peer1, Asn(3356), 1, 1000).unwrap();
     router.peer_up(peer2, Asn(174), 2, 1001).unwrap();
     // A morning of routing activity, as the router's Adj-RIBs-In see it.
     router
-        .route_monitoring(peer1, Asn(3356), 1, 1010, announce(&["203.0.113.0/24"], &[3356, 44]))
+        .route_monitoring(
+            peer1,
+            Asn(3356),
+            1,
+            1010,
+            announce(&["203.0.113.0/24"], &[3356, 44]),
+        )
         .unwrap();
     router
         .route_monitoring(
@@ -65,10 +78,16 @@ fn main() {
             BgpUpdate::withdraw(vec!["203.0.113.0/24".parse().unwrap()]),
         )
         .unwrap();
-    router.peer_down(peer2, Asn(174), 2, 1120, PeerDownReason::RemoteNoData).unwrap();
+    router
+        .peer_down(peer2, Asn(174), 2, 1120, PeerDownReason::RemoteNoData)
+        .unwrap();
     router.terminate(TerminationReason::AdminClose).unwrap();
     let wire = router.into_inner();
-    println!("# router exported {} BMP messages ({} bytes)", router_msgs(&wire), wire.len());
+    println!(
+        "# router exported {} BMP messages ({} bytes)",
+        router_msgs(&wire),
+        wire.len()
+    );
 
     // ---- Station side ------------------------------------------------
     let mut station = MonitoringStation::new(Asn(64512), "192.0.2.254".parse().unwrap());
@@ -78,13 +97,18 @@ fn main() {
         let msg = msg.expect("well-formed stream");
         for ev in station.ingest(msg) {
             match ev {
-                StationEvent::RouterUp { sys_name, sys_descr } => println!(
+                StationEvent::RouterUp {
+                    sys_name,
+                    sys_descr,
+                } => println!(
                     "# router up: {} ({})",
                     sys_name.as_deref().unwrap_or("?"),
                     sys_descr.as_deref().unwrap_or("?")
                 ),
                 StationEvent::RouterDown(t) => println!("# router down: {:?}", t.reason),
-                StationEvent::Stats { peer_asn, stats, .. } => {
+                StationEvent::Stats {
+                    peer_asn, stats, ..
+                } => {
                     println!("# stats from AS{}: {} counters", peer_asn.0, stats.len())
                 }
                 StationEvent::Anomaly(a) => println!("# anomaly: {a}"),

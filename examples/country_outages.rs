@@ -26,7 +26,12 @@ fn main() {
     let cc = String::from_utf8_lossy(&country).into_owned();
     println!(
         "# country {cc}: ISPs {:?} go down for 3h, twice",
-        world.info.country_isps.iter().map(|a| a.0).collect::<Vec<_>>()
+        world
+            .info
+            .country_isps
+            .iter()
+            .map(|a| a.0)
+            .collect::<Vec<_>>()
     );
     let geo = GeoMap::from_topology(world.sim.control_plane().topology());
     world.sim.run_until(horizon);
@@ -62,9 +67,7 @@ fn main() {
     // as the sync server releases bins.)
     let mut view = GlobalView::new();
     let mut consumer = OutageConsumer::new(geo, 3);
-    let mut queued: Vec<bgpstream_repro::mq::Message> = (0..mq
-        .partitions("rt.tables")
-        .max(1))
+    let mut queued: Vec<bgpstream_repro::mq::Message> = (0..mq.partitions("rt.tables").max(1))
         .flat_map(|part| {
             let mut out = Vec::new();
             loop {
@@ -103,7 +106,11 @@ fn main() {
                 .any(|(s, d)| t >= s && t < &(s + d));
             println!(
                 "{t:10}  {n:6} {bar}{}",
-                if flag { "   <-- scripted outage window" } else { "" }
+                if flag {
+                    "   <-- scripted outage window"
+                } else {
+                    ""
+                }
             );
         }
     }

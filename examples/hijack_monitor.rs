@@ -38,8 +38,15 @@ fn main() {
 
     println!("#  bin_time  unique_prefixes  unique_origins");
     for p in &monitor.series {
-        let marker = if p.origins > 1 { "   <-- hijack visible" } else { "" };
-        println!("{:10}  {:15}  {:14}{}", p.time, p.prefixes, p.origins, marker);
+        let marker = if p.origins > 1 {
+            "   <-- hijack visible"
+        } else {
+            ""
+        };
+        println!(
+            "{:10}  {:15}  {:14}{}",
+            p.time, p.prefixes, p.origins, marker
+        );
     }
     let spikes = monitor
         .series

@@ -27,7 +27,11 @@ use bgpstream_repro::topology::model::Tier;
 fn main() {
     let topo = Arc::new(generate(&TopologyConfig::tiny(23)));
     let oracle = RelOracle::from_topology(&topo);
-    println!("# topology: {} ASes, oracle: {} directed relationships", topo.nodes.len(), oracle.len());
+    println!(
+        "# topology: {} ASes, oracle: {} directed relationships",
+        topo.nodes.len(),
+        oracle.len()
+    );
 
     // The leaker: first multi-homed edge AS.
     let leaker = topo
@@ -79,7 +83,11 @@ fn main() {
         if cells.is_empty() {
             continue;
         }
-        let msg = RtMessage::Diff { collector: "rrc00".into(), bin, cells };
+        let msg = RtMessage::Diff {
+            collector: "rrc00".into(),
+            bin,
+            cells,
+        };
         leak_det.apply(&msg);
         link_det.apply(&msg);
         watch.apply(&msg);
@@ -94,7 +102,11 @@ fn main() {
             a.bin, a.vp, a.prefix, a.leaker, a.path
         );
     }
-    let correct = leak_det.alarms().iter().filter(|a| a.leaker == leaker).count();
+    let correct = leak_det
+        .alarms()
+        .iter()
+        .filter(|a| a.leaker == leaker)
+        .count();
     println!(
         "# attribution: {}/{} alarms name the scripted leaker AS{}",
         correct,
@@ -102,9 +114,15 @@ fn main() {
         leaker
     );
 
-    println!("\n# new-link alarms (warm-up through t=600): {}", link_det.alarms().len());
+    println!(
+        "\n# new-link alarms (warm-up through t=600): {}",
+        link_det.alarms().len()
+    );
     for a in link_det.alarms().iter().take(8) {
-        println!("  t={:>4} link AS{}-AS{} prefix={}", a.bin, a.link.0, a.link.1, a.prefix);
+        println!(
+            "  t={:>4} link AS{}-AS{} prefix={}",
+            a.bin, a.link.0, a.link.1, a.prefix
+        );
     }
     // A pure leak re-uses existing adjacencies (the leaker already had
     // links to both providers), so the new-link detector stays quiet —
@@ -134,5 +152,8 @@ fn main() {
         leak_det.alarms().iter().any(|a| a.leaker == leaker),
         "the scripted leak must be detected"
     );
-    assert!(peak > before, "the leak must raise the leaker's transit load");
+    assert!(
+        peak > before,
+        "the leak must raise the leaker's transit load"
+    );
 }

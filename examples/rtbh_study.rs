@@ -42,7 +42,10 @@ fn main() {
             }
         }
     }
-    println!("# detected {} black-holed prefixes via community filter", detected.len());
+    println!(
+        "# detected {} black-holed prefixes via community filter",
+        detected.len()
+    );
 
     // Stream 2: per-prefix withdrawal watch (end of RTBH).
     let mut episodes: Vec<(bgpstream_repro::bgp_types::Prefix, u64, u64)> = Vec::new();
@@ -82,7 +85,10 @@ fn main() {
         // During: re-apply the RTBH state.
         cp.apply(&bgpstream_repro::topology::Event::at(
             *start + 1,
-            bgpstream_repro::topology::EventKind::StartRtbh { origin, prefix: *prefix },
+            bgpstream_repro::topology::EventKind::StartRtbh {
+                origin,
+                prefix: *prefix,
+            },
         ));
         let during: Vec<_> = probes
             .iter()
@@ -91,20 +97,24 @@ fn main() {
         // After: withdraw it.
         cp.apply(&bgpstream_repro::topology::Event::at(
             *end + 1,
-            bgpstream_repro::topology::EventKind::EndRtbh { origin, prefix: *prefix },
+            bgpstream_repro::topology::EventKind::EndRtbh {
+                origin,
+                prefix: *prefix,
+            },
         ));
         let after: Vec<_> = probes
             .iter()
             .filter_map(|p| traceroute(cp, *p, prefix))
             .collect();
-        let pct = |v: &[bgpstream_repro::topology::dataplane::TraceResult],
-                   f: fn(&bgpstream_repro::topology::dataplane::TraceResult) -> bool| {
-            if v.is_empty() {
-                0.0
-            } else {
-                v.iter().filter(|r| f(r)).count() as f64 * 100.0 / v.len() as f64
-            }
-        };
+        let pct =
+            |v: &[bgpstream_repro::topology::dataplane::TraceResult],
+             f: fn(&bgpstream_repro::topology::dataplane::TraceResult) -> bool| {
+                if v.is_empty() {
+                    0.0
+                } else {
+                    v.iter().filter(|r| f(r)).count() as f64 * 100.0 / v.len() as f64
+                }
+            };
         println!(
             "{:20} {:11.0}% {:11.0}% {:14.0}% {:13.0}%",
             prefix.to_string(),

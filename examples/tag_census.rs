@@ -10,9 +10,7 @@
 
 use bgpstream_repro::bgpstream::BgpStream;
 use bgpstream_repro::broker::DataInterface;
-use bgpstream_repro::corsaro::tag::{
-    run_tagged_pipeline, ClassifierTagger, GeoTagger, TagCounter,
-};
+use bgpstream_repro::corsaro::tag::{run_tagged_pipeline, ClassifierTagger, GeoTagger, TagCounter};
 use bgpstream_repro::worlds;
 
 fn main() {
@@ -35,14 +33,29 @@ fn main() {
         &mut [&mut classifier, &mut geo],
         &mut [&mut counter],
     );
-    println!("# {records} records classified into {} bins\n", counter.rows().len());
+    println!(
+        "# {records} records classified into {} bins\n",
+        counter.rows().len()
+    );
 
     // Per-bin table of the protocol-level tags.
-    let cols = ["rib", "updates", "announce", "withdraw", "state-change", "blackhole"];
-    println!("{:>6} {}", "bin", cols.map(|c| format!("{c:>13}")).join(" "));
+    let cols = [
+        "rib",
+        "updates",
+        "announce",
+        "withdraw",
+        "state-change",
+        "blackhole",
+    ];
+    println!(
+        "{:>6} {}",
+        "bin",
+        cols.map(|c| format!("{c:>13}")).join(" ")
+    );
     for (bin, row) in counter.rows() {
-        let cells: String =
-            cols.map(|c| format!("{:>13}", row.get(c).copied().unwrap_or(0))).join(" ");
+        let cells: String = cols
+            .map(|c| format!("{:>13}", row.get(c).copied().unwrap_or(0)))
+            .join(" ");
         println!("{bin:>6} {cells}");
     }
 

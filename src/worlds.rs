@@ -85,7 +85,13 @@ fn wire(
     let mut sim = Simulator::new(cp, specs, cfg);
     let index = Index::shared();
     sim.attach_index(index.clone());
-    World { sim, index, dir, collectors, info: WorldInfo::default() }
+    World {
+        sim,
+        index,
+        dir,
+        collectors,
+        info: WorldInfo::default(),
+    }
 }
 
 /// The quickstart world: a small Internet, one RIS + one RouteViews
@@ -194,7 +200,10 @@ pub fn leak_scenario(dir: PathBuf, seed: u64, horizon: u64, episodes: usize) -> 
 /// ~3 h, once per `period` seconds.
 pub fn outage_scenario(dir: PathBuf, seed: u64, horizon: u64, episodes: usize) -> World {
     // A bigger topology so one country has several ISPs.
-    let cfg = TopologyConfig { seed, ..TopologyConfig::default() };
+    let cfg = TopologyConfig {
+        seed,
+        ..TopologyConfig::default()
+    };
     let cp = ControlPlane::new(Arc::new(generate(&cfg)), u64::MAX);
     let mut world = wire(cp, 2, 1, 6, 1.0, seed, dir);
     let topo = world.sim.control_plane().topology().clone();
@@ -234,7 +243,10 @@ pub fn outage_scenario(dir: PathBuf, seed: u64, horizon: u64, episodes: usize) -
 /// with the duration distribution of the paper (80 % under a day,
 /// 20 % under 40 minutes — scaled into the horizon).
 pub fn rtbh_scenario(dir: PathBuf, seed: u64, horizon: u64, episodes: usize) -> World {
-    let cfg = TopologyConfig { seed, ..TopologyConfig::default() };
+    let cfg = TopologyConfig {
+        seed,
+        ..TopologyConfig::default()
+    };
     let cp = ControlPlane::new(Arc::new(generate(&cfg)), u64::MAX);
     let mut world = wire(cp, 1, 1, 6, 1.0, seed, dir);
     let topo = world.sim.control_plane().topology().clone();
@@ -269,7 +281,11 @@ pub fn rtbh_scenario(dir: PathBuf, seed: u64, horizon: u64, episodes: usize) -> 
         rtbh.push((start, duration, v.asn, host));
     }
     world.sim.schedule(&sc);
-    world.info = WorldInfo { rtbh, horizon, ..Default::default() };
+    world.info = WorldInfo {
+        rtbh,
+        horizon,
+        ..Default::default()
+    };
     world
 }
 
@@ -313,7 +329,10 @@ pub fn longitudinal(
         index,
         dir,
         collectors,
-        info: WorldInfo { horizon: months as u64 * spm, ..Default::default() },
+        info: WorldInfo {
+            horizon: months as u64 * spm,
+            ..Default::default()
+        },
     };
     world.info.horizon = months as u64 * spm;
     (world, times)
@@ -373,7 +392,10 @@ mod tests {
             9,
             12,
             6,
-            Some(TopologyConfig { months: 12, ..TopologyConfig::tiny(9) }),
+            Some(TopologyConfig {
+                months: 12,
+                ..TopologyConfig::tiny(9)
+            }),
         );
         assert_eq!(times.len(), 3);
         assert_eq!(w.index.len(), 3 * w.collectors.len());

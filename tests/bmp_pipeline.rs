@@ -32,19 +32,32 @@ fn bmp_feed_flows_through_bgpstream() {
     let peer2_ip: IpAddr = "192.0.2.2".parse().unwrap();
 
     // Router side: one BMP session carrying two monitored peers.
-    let mut ex =
-        RouterExporter::new(Vec::new(), "edge1", "192.0.2.254".parse().unwrap(), Asn(64512));
+    let mut ex = RouterExporter::new(
+        Vec::new(),
+        "edge1",
+        "192.0.2.254".parse().unwrap(),
+        Asn(64512),
+    );
     ex.initiate("simulated JunOS").unwrap();
     ex.peer_up(peer_ip, Asn(65001), 1, 1000).unwrap();
     ex.peer_up(peer2_ip, Asn(65002), 2, 1001).unwrap();
-    ex.route_monitoring(peer_ip, Asn(65001), 1, 1010, announce(&["203.0.113.0/24"], &[65001, 137]))
-        .unwrap();
+    ex.route_monitoring(
+        peer_ip,
+        Asn(65001),
+        1,
+        1010,
+        announce(&["203.0.113.0/24"], &[65001, 137]),
+    )
+    .unwrap();
     ex.route_monitoring(
         peer2_ip,
         Asn(65002),
         2,
         1020,
-        announce(&["198.51.100.0/24", "198.51.100.128/25"], &[65002, 3356, 44]),
+        announce(
+            &["198.51.100.0/24", "198.51.100.128/25"],
+            &[65002, 3356, 44],
+        ),
     )
     .unwrap();
     ex.route_monitoring(
@@ -55,7 +68,14 @@ fn bmp_feed_flows_through_bgpstream() {
         BgpUpdate::withdraw(vec![p("203.0.113.0/24")]),
     )
     .unwrap();
-    ex.peer_down(peer_ip, Asn(65001), 1, 1040, bmp::PeerDownReason::RemoteNoData).unwrap();
+    ex.peer_down(
+        peer_ip,
+        Asn(65001),
+        1,
+        1040,
+        bmp::PeerDownReason::RemoteNoData,
+    )
+    .unwrap();
     ex.terminate(TerminationReason::AdminClose).unwrap();
     let wire = ex.into_inner();
 
@@ -101,10 +121,18 @@ fn bmp_feed_flows_through_bgpstream() {
     for w in elems.windows(2) {
         assert!(w[0].time <= w[1].time);
     }
-    let announcements =
-        elems.iter().filter(|e| e.elem_type == ElemType::Announcement).count();
-    let withdrawals = elems.iter().filter(|e| e.elem_type == ElemType::Withdrawal).count();
-    let states = elems.iter().filter(|e| e.elem_type == ElemType::PeerState).count();
+    let announcements = elems
+        .iter()
+        .filter(|e| e.elem_type == ElemType::Announcement)
+        .count();
+    let withdrawals = elems
+        .iter()
+        .filter(|e| e.elem_type == ElemType::Withdrawal)
+        .count();
+    let states = elems
+        .iter()
+        .filter(|e| e.elem_type == ElemType::PeerState)
+        .count();
     assert_eq!((announcements, withdrawals, states), (3, 1, 3));
     // The station stamped the right peers.
     assert!(elems.iter().any(|e| e.peer_asn == Asn(65001)));
@@ -116,14 +144,30 @@ fn bmp_feed_flows_through_bgpstream() {
 #[test]
 fn bmp_feed_respects_stream_filters() {
     let peer_ip: IpAddr = "192.0.2.1".parse().unwrap();
-    let mut ex =
-        RouterExporter::new(Vec::new(), "edge1", "192.0.2.254".parse().unwrap(), Asn(64512));
+    let mut ex = RouterExporter::new(
+        Vec::new(),
+        "edge1",
+        "192.0.2.254".parse().unwrap(),
+        Asn(64512),
+    );
     ex.initiate("sim").unwrap();
     ex.peer_up(peer_ip, Asn(65001), 1, 1000).unwrap();
-    ex.route_monitoring(peer_ip, Asn(65001), 1, 1010, announce(&["203.0.113.0/24"], &[65001, 137]))
-        .unwrap();
-    ex.route_monitoring(peer_ip, Asn(65001), 1, 1020, announce(&["10.9.0.0/16"], &[65001, 9]))
-        .unwrap();
+    ex.route_monitoring(
+        peer_ip,
+        Asn(65001),
+        1,
+        1010,
+        announce(&["203.0.113.0/24"], &[65001, 137]),
+    )
+    .unwrap();
+    ex.route_monitoring(
+        peer_ip,
+        Asn(65001),
+        1,
+        1020,
+        announce(&["10.9.0.0/16"], &[65001, 9]),
+    )
+    .unwrap();
     let wire = ex.into_inner();
     let (records, _) =
         station::bridge_stream(&wire[..], Asn(64512), "192.0.2.254".parse().unwrap());
@@ -159,9 +203,8 @@ fn bmp_feed_respects_stream_filters() {
     assert_eq!(matched.len(), 1);
     assert_eq!(matched[0].prefix, Some(p("203.0.113.0/24")));
 
-    std::fs::remove_dir_all(std::env::temp_dir().join(format!(
-        "bmp_filtered_{}",
-        std::process::id()
-    )))
+    std::fs::remove_dir_all(
+        std::env::temp_dir().join(format!("bmp_filtered_{}", std::process::id())),
+    )
     .ok();
 }

@@ -88,7 +88,11 @@ fn hijack_is_detected_through_the_full_pipeline() {
             }
         })
         .count();
-    assert!(attacker_alarms > 0, "alarms do not name the attacker: {:?}", detector.alarms);
+    assert!(
+        attacker_alarms > 0,
+        "alarms do not name the attacker: {:?}",
+        detector.alarms
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 

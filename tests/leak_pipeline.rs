@@ -41,7 +41,10 @@ fn route_leak_is_detected_through_the_full_pipeline() {
 
     let (judged, _unknown) = detector.stats();
     assert!(judged > 0, "no paths judged");
-    assert!(!detector.alarms().is_empty(), "scripted leak went undetected");
+    assert!(
+        !detector.alarms().is_empty(),
+        "scripted leak went undetected"
+    );
     // Every alarm names the scripted leaker (nobody else leaks), and
     // alarm bins fall inside the scripted episode (RIB/update
     // propagation may add one bin of slack).

@@ -82,9 +82,12 @@ fn rtbh_detection_via_two_live_streams() {
     let (prefix, start, end) = outcome.expect("no RTBH episode detected live");
     assert!(end > start, "withdrawal must follow detection");
     // The detected episode corresponds to a scripted one.
-    let matches_script = scripted.iter().any(|(s, d, _, p)| {
-        *p == prefix && start >= *s && end <= s + d + 7200
-    });
-    assert!(matches_script, "detected ({prefix}, {start}, {end}) not in script {scripted:?}");
+    let matches_script = scripted
+        .iter()
+        .any(|(s, d, _, p)| *p == prefix && start >= *s && end <= s + d + 7200);
+    assert!(
+        matches_script,
+        "detected ({prefix}, {start}, {end}) not in script {scripted:?}"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }

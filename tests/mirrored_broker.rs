@@ -115,7 +115,10 @@ fn partial_mirror_degrades_spread_not_content() {
     world.index.set_mirrors(mirrors.clone());
     let mirrored = drain(world.index.clone(), horizon);
     assert_eq!(mirrored, baseline, "partial mirror corrupted the stream");
-    assert!(mirrors.miss_count() > 0, "expected fall-backs from pruned mirror");
+    assert!(
+        mirrors.miss_count() > 0,
+        "expected fall-backs from pruned mirror"
+    );
 
     std::fs::remove_dir_all(&dir).ok();
     std::fs::remove_dir_all(&mirror_root).ok();

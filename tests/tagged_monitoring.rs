@@ -46,13 +46,25 @@ fn tagged_pipeline_over_simulated_archive() {
         }
     }
     // The archive contains both dump types and both record classes.
-    assert!(totals.get(TAG_RIB).copied().unwrap_or(0) > 0, "no rib tags: {totals:?}");
-    assert!(totals.get(TAG_UPDATES).copied().unwrap_or(0) > 0, "no updates tags");
-    assert!(totals.get(TAG_ANNOUNCE).copied().unwrap_or(0) > 0, "no announce tags");
+    assert!(
+        totals.get(TAG_RIB).copied().unwrap_or(0) > 0,
+        "no rib tags: {totals:?}"
+    );
+    assert!(
+        totals.get(TAG_UPDATES).copied().unwrap_or(0) > 0,
+        "no updates tags"
+    );
+    assert!(
+        totals.get(TAG_ANNOUNCE).copied().unwrap_or(0) > 0,
+        "no announce tags"
+    );
     assert!(totals.get(TAG_V4).copied().unwrap_or(0) > 0, "no v4 tags");
     // Geo tags resolve for announced prefixes.
-    let geo_total: u64 =
-        totals.iter().filter(|(t, _)| t.starts_with("geo:")).map(|(_, n)| *n).sum();
+    let geo_total: u64 = totals
+        .iter()
+        .filter(|(t, _)| t.starts_with("geo:"))
+        .map(|(_, n)| *n)
+        .sum();
     assert!(geo_total > 0, "no geo tags: {totals:?}");
     // Tag counts are internally consistent: every record is rib xor
     // updates, so the two together equal the record count.
@@ -93,8 +105,7 @@ fn tag_gate_scopes_inner_plugin_to_dump_type() {
 
     let mut classifier = ClassifierTagger;
     let mut gate = TagGate::new(Some(TAG_UPDATES), UpdatesOnly(0));
-    let records =
-        run_tagged_pipeline(&mut stream, 300, &mut [&mut classifier], &mut [&mut gate]);
+    let records = run_tagged_pipeline(&mut stream, 300, &mut [&mut classifier], &mut [&mut gate]);
     let (forwarded, dropped) = gate.stats();
     assert_eq!(forwarded + dropped, records);
     assert!(forwarded > 0, "no updates forwarded");

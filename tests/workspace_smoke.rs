@@ -1,0 +1,40 @@
+//! Workspace smoke test: the top-level guard for the
+//! broker → stream → elem pipeline. If this fails, the workspace is
+//! miswired at a layer boundary regardless of what per-crate tests say.
+
+use bgpstream_repro::bgpstream::BgpStream;
+use bgpstream_repro::broker::DataInterface;
+use bgpstream_repro::worlds;
+
+#[test]
+fn quickstart_world_streams_ordered_records_end_to_end() {
+    let dir = worlds::scratch_dir("workspace-smoke");
+    let mut world = worlds::quickstart(dir.clone(), 7);
+    let horizon = world.info.horizon;
+    world.sim.run_until(horizon);
+
+    let mut stream = BgpStream::builder()
+        .data_interface(DataInterface::Broker(world.index.clone()))
+        .interval(0, Some(horizon))
+        .start();
+
+    let mut records = 0u64;
+    let mut elems = 0u64;
+    let mut last_ts = 0u64;
+    while let Some(record) = stream.next_record() {
+        assert!(
+            record.timestamp >= last_ts,
+            "stream went backwards in time: {} after {}",
+            record.timestamp,
+            last_ts
+        );
+        last_ts = record.timestamp;
+        records += 1;
+        elems += record.elems().len() as u64;
+    }
+
+    assert!(records > 0, "quickstart world produced no records");
+    assert!(elems > 0, "quickstart world produced no elems");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

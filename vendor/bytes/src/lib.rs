@@ -1,0 +1,466 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! shim provides the subset of the `bytes` API the workspace actually
+//! uses: big-endian `Buf`/`BufMut` cursors plus the `Bytes`/`BytesMut`
+//! owned buffers. Semantics match the real crate for that subset;
+//! zero-copy sharing is intentionally not reproduced (`Bytes` clones
+//! are deep), which is fine for correctness and for the scale of the
+//! tests and benches in this repository.
+
+use std::ops::{Deref, DerefMut};
+
+/// Read cursor over a contiguous byte source. All integer getters are
+/// big-endian (network order), matching the real `bytes` crate.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn chunk(&self) -> &[u8];
+    fn advance(&mut self, cnt: usize);
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        let src = self.chunk();
+        dst.copy_from_slice(&src[..dst.len()]);
+        let n = dst.len();
+        self.advance(n);
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+
+    fn get_u128(&mut self) -> u128 {
+        let mut b = [0u8; 16];
+        self.copy_to_slice(&mut b);
+        u128::from_be_bytes(b)
+    }
+
+    fn get_i8(&mut self) -> i8 {
+        self.get_u8() as i8
+    }
+
+    fn get_i16(&mut self) -> i16 {
+        self.get_u16() as i16
+    }
+
+    fn get_i32(&mut self) -> i32 {
+        self.get_u32() as i32
+    }
+
+    fn get_i64(&mut self) -> i64 {
+        self.get_u64() as i64
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of slice");
+        *self = &self[cnt..];
+    }
+}
+
+/// Write sink for big-endian wire encoding.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u128(&mut self, v: u128) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_i8(&mut self, v: i8) {
+        self.put_u8(v as u8);
+    }
+
+    fn put_i16(&mut self, v: i16) {
+        self.put_u16(v as u16);
+    }
+
+    fn put_i32(&mut self, v: i32) {
+        self.put_u32(v as u32);
+    }
+
+    fn put_i64(&mut self, v: i64) {
+        self.put_u64(v as u64);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Immutable owned byte buffer. Unlike the real crate this is a plain
+/// `Vec<u8>` with a read cursor: clones are deep copies.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+// Equality/hash are over the unread content only, like the real
+// crate: a partially consumed buffer equals a fresh one with the
+// same remaining bytes.
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn from_static(src: &'static [u8]) -> Self {
+        Self::copy_from_slice(src)
+    }
+
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Bytes {
+            data: src.to_vec(),
+            pos: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes::copy_from_slice(&self.as_slice()[range])
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            write!(f, "\\x{b:02x}")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(src: &[u8]) -> Self {
+        Bytes::copy_from_slice(src)
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of Bytes");
+        self.pos += cnt;
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::iter::Skip<std::vec::IntoIter<u8>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.into_iter().skip(self.pos)
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// Growable byte buffer with a read cursor at the front: writes append
+/// at the back, `Buf` reads consume from the front.
+#[derive(Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+// Content-only equality over the unread remainder, like `Bytes`.
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for BytesMut {}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+            pos: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.pos = 0;
+    }
+
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Consume the buffer, yielding the unread remainder as `Bytes`.
+    pub fn freeze(mut self) -> Bytes {
+        if self.pos > 0 {
+            self.data.drain(..self.pos);
+        }
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+
+    /// Split off and return the first `at` unread bytes.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to past end");
+        let head = self.data[self.pos..self.pos + at].to_vec();
+        self.pos += at;
+        BytesMut { data: head, pos: 0 }
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let pos = self.pos;
+        &mut self.data[pos..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&Bytes::copy_from_slice(self.as_slice()), f)
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        BytesMut {
+            data: src.to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(data: Vec<u8>) -> Self {
+        BytesMut { data, pos: 0 }
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of BytesMut");
+        self.pos += cnt;
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_integers() {
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_u16(0xbeef);
+        b.put_u32(0xdead_beef);
+        b.put_u64(42);
+        b.put_u128(1 << 100);
+        b.put_slice(&[1, 2, 3]);
+        assert_eq!(b.len(), 1 + 2 + 4 + 8 + 16 + 3);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u16(), 0xbeef);
+        assert_eq!(b.get_u32(), 0xdead_beef);
+        assert_eq!(b.get_u64(), 42);
+        assert_eq!(b.get_u128(), 1 << 100);
+        let mut rest = [0u8; 3];
+        b.copy_to_slice(&mut rest);
+        assert_eq!(rest, [1, 2, 3]);
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn freeze_drops_consumed_prefix() {
+        let mut b = BytesMut::from(&[1u8, 2, 3, 4][..]);
+        b.advance(2);
+        let frozen = b.freeze();
+        assert_eq!(&frozen[..], &[3, 4]);
+    }
+
+    #[test]
+    fn equality_ignores_consumed_prefix() {
+        let mut a = Bytes::from(vec![9u8, 1, 2]);
+        a.advance(1);
+        assert_eq!(a, Bytes::from(vec![1u8, 2]));
+        let mut h1 = std::collections::hash_map::DefaultHasher::new();
+        let mut h2 = h1.clone();
+        use std::hash::{Hash, Hasher};
+        a.hash(&mut h1);
+        Bytes::from(vec![1u8, 2]).hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+
+        let mut m = BytesMut::from(&[9u8, 1, 2][..]);
+        m.advance(1);
+        assert_eq!(m, BytesMut::from(&[1u8, 2][..]));
+    }
+
+    #[test]
+    fn slice_buf_advances() {
+        let mut s: &[u8] = &[0, 0, 1, 0];
+        assert_eq!(s.get_u16(), 0);
+        assert_eq!(s.get_u16(), 256);
+        assert!(!s.has_remaining());
+    }
+}

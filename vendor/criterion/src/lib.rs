@@ -1,0 +1,214 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the group/bencher API subset the workspace's benches
+//! use: `criterion_group!`/`criterion_main!`, `Criterion::default()
+//! .sample_size(n)`, `benchmark_group`, `Throughput`, and
+//! `Bencher::iter`. Measurement is a simple calibrated wall-clock
+//! loop (warmup, then `sample_size` timed samples; the median sample
+//! is reported) — adequate for tracking relative regressions, without
+//! the real crate's statistical machinery.
+//!
+//! Results are printed human-readably and, when `CRITERION_MINI_JSON`
+//! is set, appended to that path as JSON lines so harnesses can
+//! capture baselines.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let mut g = self.benchmark_group("ungrouped");
+        g.bench_function(name, f);
+        g.finish();
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    measurement_time: Duration,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            result_ns: None,
+        };
+        f(&mut bencher);
+        let Some(ns_per_iter) = bencher.result_ns else {
+            eprintln!("warning: bench {}/{} never called iter()", self.name, name);
+            return;
+        };
+        report(&self.name, name, ns_per_iter, self.throughput);
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    result_ns: Option<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: how many iterations fit in one sample slot.
+        let calibrate_start = Instant::now();
+        black_box(f());
+        let one = calibrate_start.elapsed().max(Duration::from_nanos(25));
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        let iters_per_sample = (per_sample.as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        // Warmup one sample slot, then measure.
+        for _ in 0..iters_per_sample {
+            black_box(f());
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.result_ns = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn report(group: &str, name: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => {
+            let mib_s = n as f64 / (ns_per_iter / 1e9) / (1024.0 * 1024.0);
+            (format!("{mib_s:.1} MiB/s"), "bytes", n, mib_s)
+        }
+        Throughput::Elements(n) => {
+            let elem_s = n as f64 / (ns_per_iter / 1e9);
+            (format!("{elem_s:.0} elem/s"), "elements", n, elem_s)
+        }
+    });
+    match &rate {
+        Some((pretty, ..)) => {
+            println!("{group}/{name}: {ns_per_iter:.0} ns/iter ({pretty})")
+        }
+        None => println!("{group}/{name}: {ns_per_iter:.0} ns/iter"),
+    }
+    if let Ok(path) = std::env::var("CRITERION_MINI_JSON") {
+        use std::io::Write as _;
+        let (tp_kind, tp_n, tp_rate) = match &rate {
+            Some((_, kind, n, r)) => (*kind, *n, *r),
+            None => ("none", 0, 0.0),
+        };
+        let line = format!(
+            "{{\"group\":\"{group}\",\"bench\":\"{name}\",\"ns_per_iter\":{ns_per_iter:.1},\
+             \"throughput_kind\":\"{tp_kind}\",\"throughput_per_iter\":{tp_n},\
+             \"rate_per_sec\":{tp_rate:.1}}}"
+        );
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = writeln!(f, "{line}");
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(std::time::Duration::from_millis(20));
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| {
+            b.iter(|| (0u64..100).map(black_box).sum::<u64>())
+        });
+        g.finish();
+    }
+}

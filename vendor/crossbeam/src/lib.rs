@@ -1,0 +1,267 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the two pieces the workspace uses: `crossbeam::channel`
+//! (multi-producer multi-consumer unbounded channels, a condvar-backed
+//! queue so blocked receivers never starve their siblings) and
+//! `crossbeam::scope` (scoped threads, here delegating to
+//! `std::thread::scope`).
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        not_empty: Condvar,
+    }
+
+    impl<T> Shared<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+            self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// Multi-producer sender half; cloneable.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.lock().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.0.lock();
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                // Wake parked receivers so they observe disconnection.
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    /// Multi-consumer receiver half; cloneable (receivers share one
+    /// queue — each message is delivered to exactly one receiver).
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.lock().receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0.lock().receivers -= 1;
+        }
+    }
+
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            // Like the real crate: no `T: Debug` bound.
+            f.write_str("SendError(..)")
+        }
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut inner = self.0.lock();
+            if inner.receivers == 0 {
+                return Err(SendError(value));
+            }
+            inner.queue.push_back(value);
+            drop(inner);
+            self.0.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.0.lock();
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self
+                    .0
+                    .not_empty
+                    .wait(inner)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.0.lock();
+            match inner.queue.pop_front() {
+                Some(v) => Ok(v),
+                None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocking iterator draining the channel until all senders drop.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+}
+
+/// Scoped-thread handle passed to `scope` closures and to each spawned
+/// closure (crossbeam's spawn closures receive `&Scope` as argument).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle(self.inner.spawn(move || f(&Scope { inner })))
+    }
+}
+
+pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+impl<T> ScopedJoinHandle<'_, T> {
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.0.join()
+    }
+}
+
+/// Run `f` with a scope in which borrowed-data threads can be spawned;
+/// all spawned threads are joined before `scope` returns. Returns
+/// `Err` if `f` or any unjoined spawned thread panicked, like the real
+/// `crossbeam::scope`.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_fan_in_fan_out() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut got: Vec<u32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scope_joins_workers() {
+        let data = [1u64, 2, 3, 4];
+        let total = std::sync::atomic::AtomicU64::new(0);
+        scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    let sum: u64 = chunk.iter().sum();
+                    total.fetch_add(sum, std::sync::atomic::Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.into_inner(), 10);
+    }
+
+    #[test]
+    fn parked_recv_does_not_block_siblings() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let rx2 = rx.clone();
+        let parked = std::thread::spawn(move || rx.recv());
+        // Give the spawned receiver time to park inside recv(); a
+        // sibling's try_recv must still return immediately.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(matches!(rx2.try_recv(), Err(channel::TryRecvError::Empty)));
+        tx.send(9).unwrap();
+        assert_eq!(parked.join().unwrap(), Ok(9));
+    }
+
+    #[test]
+    fn send_fails_after_all_receivers_drop() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn scope_reports_panics() {
+        let res = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(res.is_err());
+    }
+}

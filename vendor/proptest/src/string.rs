@@ -1,0 +1,152 @@
+//! String strategies from a small regex subset.
+//!
+//! The real crate interprets `&str` strategies as full regexes. This
+//! shim supports the forms the workspace actually uses — literal
+//! characters and character classes `[a-z]`, optionally repeated with
+//! `{m}` or `{m,n}` — and panics on anything fancier so new patterns
+//! fail loudly rather than silently generating the wrong language.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Clone, Debug)]
+enum Atom {
+    Literal(char),
+    /// Inclusive character ranges, e.g. `[a-z0-9]` is `[('a','z'), ('0','9')]`.
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Clone, Debug)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+                    if lo == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = chars
+                            .next()
+                            .unwrap_or_else(|| panic!("unterminated range in {pattern:?}"));
+                        assert!(lo <= hi, "inverted range in {pattern:?}");
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty class in {pattern:?}");
+                Atom::Class(ranges)
+            }
+            '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '.' | '\\' | '^' | '$' => {
+                panic!("unsupported regex construct {c:?} in {pattern:?} (offline proptest shim)")
+            }
+            other => Atom::Literal(other),
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for r in chars.by_ref() {
+                if r == '}' {
+                    break;
+                }
+                spec.push(r);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad repeat in {pattern:?}")),
+                    n.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad repeat in {pattern:?}")),
+                ),
+                None => {
+                    let n = spec
+                        .trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad repeat in {pattern:?}"));
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted repeat in {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse_pattern(self) {
+            let count = piece.min + rng.below((piece.max - piece.min) as u64 + 1) as usize;
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(ranges) => {
+                        let total: u64 = ranges
+                            .iter()
+                            .map(|(lo, hi)| *hi as u64 - *lo as u64 + 1)
+                            .sum();
+                        let mut pick = rng.below(total);
+                        for (lo, hi) in ranges {
+                            let span = *hi as u64 - *lo as u64 + 1;
+                            if pick < span {
+                                out.push(char::from_u32(*lo as u32 + pick as u32).unwrap());
+                                break;
+                            }
+                            pick -= span;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_repeat() {
+        let mut rng = TestRng::from_seed(6);
+        for _ in 0..200 {
+            let s = "[a-z]{1,12}".new_value(&mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        let mut rng = TestRng::from_seed(7);
+        assert_eq!("rrc".new_value(&mut rng), "rrc");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex construct")]
+    fn unsupported_constructs_panic() {
+        let mut rng = TestRng::from_seed(8);
+        let _ = "(a|b)".new_value(&mut rng);
+    }
+}
