@@ -1,0 +1,125 @@
+//! CI perf gate: fail when `pipeline/sorted_stream` regresses more
+//! than the allowed margin against a committed baseline.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_gate <fresh.jsonl> <baseline.json> [max_regression_pct]
+//! ```
+//!
+//! `<fresh.jsonl>` is the `CRITERION_MINI_JSON` output of a bench run
+//! on the current machine; `<baseline.json>` is a committed snapshot
+//! (e.g. `BENCH_pr2.json`). Because CI runners and the machines that
+//! captured the baselines differ in speed, the gate compares the
+//! *ratio* of `pipeline/sorted_stream` to `pipeline/raw_sequential_read`
+//! — both measured in the same run — against the baseline's ratio.
+//! The raw sequential read is a fixed workload touched by neither the
+//! sorting nor the stream layers, so the ratio isolates exactly the
+//! overhead this repo's §3.3.4 machinery adds, independent of host
+//! speed. The run fails when the fresh ratio exceeds the baseline
+//! ratio by more than `max_regression_pct` percent (default 15).
+
+use std::process::ExitCode;
+
+/// Extract `ns_per_iter` for `group/bench` from JSON text (works on
+/// both the mini JSON-lines format and the committed pretty-printed
+/// snapshots: whitespace is stripped before matching, and none of the
+/// string values here contain spaces).
+fn ns_per_iter(json: &str, group: &str, bench: &str) -> Option<f64> {
+    let squashed: String = json.chars().filter(|c| !c.is_whitespace()).collect();
+    let needle = format!("\"group\":\"{group}\",\"bench\":\"{bench}\",\"ns_per_iter\":");
+    let start = squashed.find(&needle)? + needle.len();
+    let rest = &squashed[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == 'e' || c == '-' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 {
+        eprintln!("usage: bench_gate <fresh.jsonl> <baseline.json> [max_regression_pct]");
+        return ExitCode::from(2);
+    }
+    let max_pct: f64 = args
+        .get(3)
+        .map(|s| s.parse().expect("max_regression_pct must be a number"))
+        .unwrap_or(15.0);
+    let fresh = std::fs::read_to_string(&args[1])
+        .unwrap_or_else(|e| panic!("cannot read fresh results {}: {e}", args[1]));
+    let base = std::fs::read_to_string(&args[2])
+        .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", args[2]));
+
+    let read = |json: &str, what: &str, bench: &str| -> f64 {
+        match ns_per_iter(json, "pipeline", bench) {
+            Some(v) if v > 0.0 => v,
+            _ => {
+                eprintln!("bench_gate: pipeline/{bench} missing from {what}");
+                std::process::exit(2);
+            }
+        }
+    };
+    let fresh_sorted = read(&fresh, "fresh results", "sorted_stream");
+    let fresh_raw = read(&fresh, "fresh results", "raw_sequential_read");
+    let base_sorted = read(&base, "baseline", "sorted_stream");
+    let base_raw = read(&base, "baseline", "raw_sequential_read");
+
+    let fresh_ratio = fresh_sorted / fresh_raw;
+    let base_ratio = base_sorted / base_raw;
+    let limit = base_ratio * (1.0 + max_pct / 100.0);
+    println!(
+        "bench_gate: sorted/raw ratio {fresh_ratio:.3} (sorted {fresh_sorted:.0} ns, \
+         raw {fresh_raw:.0} ns); baseline ratio {base_ratio:.3}; limit {limit:.3} (+{max_pct}%)"
+    );
+    if fresh_ratio > limit {
+        eprintln!(
+            "bench_gate: FAIL — pipeline/sorted_stream regressed {:.1}% relative to \
+             raw_sequential_read vs the committed baseline",
+            (fresh_ratio / base_ratio - 1.0) * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_gate: OK");
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ns_per_iter;
+
+    const MINI: &str = r#"{"group":"pipeline","bench":"raw_sequential_read","ns_per_iter":550365.2,"throughput_kind":"bytes","throughput_per_iter":95224,"rate_per_sec":165.0}
+{"group":"pipeline","bench":"sorted_stream","ns_per_iter":528177.0,"throughput_kind":"bytes","throughput_per_iter":95224,"rate_per_sec":171.9}"#;
+
+    const PRETTY: &str = r#"{
+  "results": [
+    {
+      "group": "pipeline",
+      "bench": "sorted_stream",
+      "ns_per_iter": 741445.8,
+      "throughput_kind": "bytes"
+    }
+  ]
+}"#;
+
+    #[test]
+    fn parses_mini_json_lines() {
+        assert_eq!(
+            ns_per_iter(MINI, "pipeline", "sorted_stream"),
+            Some(528177.0)
+        );
+        assert_eq!(
+            ns_per_iter(MINI, "pipeline", "raw_sequential_read"),
+            Some(550365.2)
+        );
+    }
+
+    #[test]
+    fn parses_pretty_printed_snapshot() {
+        assert_eq!(
+            ns_per_iter(PRETTY, "pipeline", "sorted_stream"),
+            Some(741445.8)
+        );
+        assert_eq!(ns_per_iter(PRETTY, "pipeline", "missing"), None);
+    }
+}

@@ -65,7 +65,7 @@ fn main() {
             inversions += 1;
         }
         last = rec.timestamp;
-        sources.insert(format!("{}:{}", rec.collector, rec.dump_type as u8));
+        sources.insert(format!("{}:{}", rec.collector(), rec.dump_type() as u8));
         n += 1;
     }
     let st = stream.stats();

@@ -7,7 +7,7 @@ use std::time::Duration;
 use parking_lot::{Condvar, Mutex};
 
 /// RIB snapshot or Updates dump.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum DumpType {
     /// A RIB snapshot (TABLE_DUMP_V2).
     Rib,
@@ -62,6 +62,13 @@ impl DumpMeta {
     /// Nominal end of the covered interval.
     pub fn interval_end(&self) -> u64 {
         self.interval_start + self.duration
+    }
+
+    /// The interned identity of this dump's source. Called once per
+    /// dump open; records derived from the dump carry the returned
+    /// `Copy` handle instead of cloning the name strings.
+    pub fn source_id(&self) -> crate::source::SourceId {
+        crate::source::SourceId::intern(&self.project, &self.collector, self.dump_type)
     }
 
     /// Whether the dump's interval overlaps `[start, end]`

@@ -29,7 +29,9 @@
 pub mod index;
 pub mod interface;
 pub mod mirror;
+pub mod source;
 
 pub use index::{BrokerCursor, DumpMeta, DumpType, Index, Query};
 pub use interface::DataInterface;
 pub use mirror::{MirrorPolicy, MirrorSet};
+pub use source::{SourceId, SourceMeta};

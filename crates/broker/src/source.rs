@@ -1,0 +1,195 @@
+//! Interned dump-source identity.
+//!
+//! Every record of a BGPStream is annotated with the project,
+//! collector and dump type of the dump file it came from. The naive
+//! representation — two `String`s per record — puts two heap
+//! allocations on the merge hot path for data that has tiny
+//! cardinality (a stream rarely mixes more than a few dozen
+//! project/collector/type combinations). [`SourceId`] interns each
+//! distinct combination once, process-wide, and hands out a `Copy`
+//! handle; records, elem annotations and merge-heap tiebreaks all
+//! carry the handle instead of owned strings.
+//!
+//! The table is append-only and never shrinks: entries are leaked into
+//! `'static` storage, and the handle *is* the `&'static` reference —
+//! so resolving a name ([`SourceId::project`] etc.) touches no lock at
+//! all, and probing the table for an already-interned combination
+//! allocates nothing.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::index::DumpType;
+
+/// The interned metadata of one dump source.
+#[derive(PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct SourceMeta {
+    /// Collection project ("ris", "routeviews").
+    pub project: String,
+    /// Collector name ("rrc01", "route-views2"…).
+    pub collector: String,
+    /// RIB or Updates dump.
+    pub dump_type: DumpType,
+}
+
+/// Intern table: project → collector → per-dump-type ids. The nested
+/// `String` maps are probed with plain `&str` keys (via `Borrow`), so
+/// the hit path — every intern call after a combination's first
+/// sight — performs no allocation.
+type InternTable = HashMap<String, HashMap<String, Vec<(DumpType, SourceId)>>>;
+
+fn table() -> &'static Mutex<InternTable> {
+    static TABLE: std::sync::OnceLock<Mutex<InternTable>> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// A `Copy` handle to an interned (project, collector, dump type)
+/// combination.
+///
+/// Internally a `&'static SourceMeta`: name lookups are direct field
+/// reads with no locking, equality is a pointer comparison (interning
+/// guarantees one entry per combination), and ordering is
+/// lexicographic by (project, collector, dump type).
+#[derive(Clone, Copy, Debug)]
+pub struct SourceId(&'static SourceMeta);
+
+impl PartialEq for SourceId {
+    fn eq(&self, other: &Self) -> bool {
+        // One interned entry per combination, so identity ⇔ equality.
+        std::ptr::eq(self.0, other.0)
+    }
+}
+impl Eq for SourceId {}
+
+impl std::hash::Hash for SourceId {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (self.0 as *const SourceMeta as usize).hash(state);
+    }
+}
+
+impl PartialOrd for SourceId {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for SourceId {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(other.0)
+    }
+}
+
+impl SourceId {
+    /// Intern a combination, returning its stable process-wide id.
+    ///
+    /// Allocation-free once a combination has been seen; the table
+    /// lock is held only for the probe/insert, never by readers.
+    pub fn intern(project: &str, collector: &str, dump_type: DumpType) -> SourceId {
+        let mut t = table().lock();
+        if let Some(&(_, id)) = t
+            .get(project)
+            .and_then(|collectors| collectors.get(collector))
+            .and_then(|types| types.iter().find(|(dt, _)| *dt == dump_type))
+        {
+            return id;
+        }
+        let meta: &'static SourceMeta = Box::leak(Box::new(SourceMeta {
+            project: project.to_string(),
+            collector: collector.to_string(),
+            dump_type,
+        }));
+        let id = SourceId(meta);
+        t.entry(project.to_string())
+            .or_default()
+            .entry(collector.to_string())
+            .or_default()
+            .push((dump_type, id));
+        id
+    }
+
+    /// The interned metadata.
+    pub fn meta(self) -> &'static SourceMeta {
+        self.0
+    }
+
+    /// Collection project name.
+    pub fn project(self) -> &'static str {
+        &self.0.project
+    }
+
+    /// Collector name.
+    pub fn collector(self) -> &'static str {
+        &self.0.collector
+    }
+
+    /// Dump type.
+    pub fn dump_type(self) -> DumpType {
+        self.0.dump_type
+    }
+}
+
+impl std::fmt::Display for SourceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{}/{}",
+            self.0.project, self.0.collector, self.0.dump_type
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = SourceId::intern("ris", "rrc01", DumpType::Updates);
+        let b = SourceId::intern("ris", "rrc01", DumpType::Updates);
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.meta(), b.meta()));
+        assert_eq!(a.project(), "ris");
+        assert_eq!(a.collector(), "rrc01");
+        assert_eq!(a.dump_type(), DumpType::Updates);
+    }
+
+    #[test]
+    fn distinct_components_distinct_ids() {
+        let a = SourceId::intern("ris", "rrc01", DumpType::Updates);
+        let b = SourceId::intern("ris", "rrc01", DumpType::Rib);
+        let c = SourceId::intern("ris", "rrc02", DumpType::Updates);
+        let d = SourceId::intern("routeviews", "rrc01", DumpType::Updates);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let b = SourceId::intern("ris", "zz-last", DumpType::Updates);
+        let a = SourceId::intern("ris", "aa-first", DumpType::Updates);
+        let c = SourceId::intern("routeviews", "aa-first", DumpType::Updates);
+        assert!(a < b, "collector order");
+        assert!(a < c, "project order ('ris' < 'routeviews')");
+    }
+
+    #[test]
+    fn display_joins_components() {
+        let a = SourceId::intern("ris", "rrc03", DumpType::Rib);
+        assert_eq!(a.to_string(), "ris/rrc03/ribs");
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let ids: Vec<SourceId> = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| s.spawn(|| SourceId::intern("ris", "rrc-concurrent", DumpType::Updates)))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -16,7 +16,7 @@ use broker::DumpType;
 
 /// Render one elem in the context of its record.
 pub fn elem_line(record: &BgpStreamRecord, elem: &BgpStreamElem) -> String {
-    let dump = match record.dump_type {
+    let dump = match record.dump_type() {
         DumpType::Rib => "R",
         DumpType::Updates => "U",
     };
@@ -38,8 +38,8 @@ pub fn elem_line(record: &BgpStreamRecord, elem: &BgpStreamElem) -> String {
         "{dump}|{}|{}|{}|{}|{}|{}|{prefix}|{next_hop}|{as_path}|{communities}|{old_state}|{new_state}",
         elem.elem_type.code(),
         elem.time,
-        record.project,
-        record.collector,
+        record.project(),
+        record.collector(),
         elem.peer_asn,
         elem.peer_address,
     )
@@ -126,9 +126,9 @@ pub fn elem_json(record: &BgpStreamRecord, elem: &BgpStreamElem) -> String {
     out.push(',');
     out.push_str(&format!("\"time\":{}", elem.time));
     out.push(',');
-    push_kv(&mut out, "project", &record.project);
+    push_kv(&mut out, "project", record.project());
     out.push(',');
-    push_kv(&mut out, "collector", &record.collector);
+    push_kv(&mut out, "collector", record.collector());
     out.push(',');
     out.push_str(&format!("\"peer_asn\":{}", elem.peer_asn.0));
     out.push(',');
@@ -205,16 +205,16 @@ mod tests {
     use bgp_types::{AsPath, Asn, Community, CommunitySet, SessionState};
 
     fn record(elems: Vec<BgpStreamElem>) -> BgpStreamRecord {
-        BgpStreamRecord {
-            project: "ris".into(),
-            collector: "rrc01".into(),
-            dump_type: DumpType::Updates,
-            dump_time: 0,
-            timestamp: 100,
-            position: DumpPosition::Middle,
-            status: RecordStatus::Valid,
-            elems_vec: elems,
-        }
+        BgpStreamRecord::new(
+            "ris",
+            "rrc01",
+            DumpType::Updates,
+            0,
+            100,
+            DumpPosition::Middle,
+            RecordStatus::Valid,
+            elems,
+        )
     }
 
     #[test]

@@ -84,11 +84,25 @@ pub struct ExtractedElems {
 
 /// Decompose an MRT record into elems. RIB rows need the dump's peer
 /// index table (`pit`).
+///
+/// Borrowing convenience over [`extract_elems_owned`]; clones the
+/// record body. The sorted-stream hot path uses the owned variant,
+/// which moves path attributes into the elems instead of cloning.
 pub fn extract_elems(record: &MrtRecord, pit: Option<&PeerIndexTable>) -> ExtractedElems {
+    extract_elems_owned(record.clone(), pit)
+}
+
+/// Decompose an MRT record into elems, consuming the record.
+///
+/// Ownership is what keeps the merge hot path allocation-light: every
+/// RIB entry's attributes and the last announcement's attributes are
+/// *moved* into their elems (`AsPath`/`CommunitySet` are `Vec`-backed,
+/// so a clone is one or more heap allocations each).
+pub fn extract_elems_owned(record: MrtRecord, pit: Option<&PeerIndexTable>) -> ExtractedElems {
     let time = record.timestamp as u64;
     let mut elems = Vec::new();
     let mut missing_peer = false;
-    match &record.body {
+    match record.body {
         MrtBody::Bgp4mp(Bgp4mp::Message {
             peer_asn,
             peer_ip,
@@ -96,13 +110,14 @@ pub fn extract_elems(record: &MrtRecord, pit: Option<&PeerIndexTable>) -> Extrac
             ..
         }) => {
             if let BgpMessage::Update(update) = message {
-                for w in &update.withdrawals {
+                elems.reserve_exact(update.withdrawals.len() + update.announcements.len());
+                for w in update.withdrawals {
                     elems.push(BgpStreamElem {
                         elem_type: ElemType::Withdrawal,
                         time,
-                        peer_address: *peer_ip,
-                        peer_asn: *peer_asn,
-                        prefix: Some(*w),
+                        peer_address: peer_ip,
+                        peer_asn,
+                        prefix: Some(w),
                         next_hop: None,
                         as_path: None,
                         communities: None,
@@ -110,17 +125,36 @@ pub fn extract_elems(record: &MrtRecord, pit: Option<&PeerIndexTable>) -> Extrac
                         new_state: None,
                     });
                 }
-                if let Some(attrs) = &update.attrs {
-                    for a in &update.announcements {
+                if let Some(attrs) = update.attrs {
+                    let mut announcements = update.announcements;
+                    // All but the last announcement clone the shared
+                    // attributes; the last takes ownership (the common
+                    // single-announcement update never clones).
+                    let last = announcements.pop();
+                    for a in announcements {
                         elems.push(BgpStreamElem {
                             elem_type: ElemType::Announcement,
                             time,
-                            peer_address: *peer_ip,
-                            peer_asn: *peer_asn,
-                            prefix: Some(*a),
+                            peer_address: peer_ip,
+                            peer_asn,
+                            prefix: Some(a),
                             next_hop: attrs.next_hop,
                             as_path: Some(attrs.as_path.clone()),
                             communities: Some(attrs.communities.clone()),
+                            old_state: None,
+                            new_state: None,
+                        });
+                    }
+                    if let Some(a) = last {
+                        elems.push(BgpStreamElem {
+                            elem_type: ElemType::Announcement,
+                            time,
+                            peer_address: peer_ip,
+                            peer_asn,
+                            prefix: Some(a),
+                            next_hop: attrs.next_hop,
+                            as_path: Some(attrs.as_path),
+                            communities: Some(attrs.communities),
                             old_state: None,
                             new_state: None,
                         });
@@ -138,23 +172,25 @@ pub fn extract_elems(record: &MrtRecord, pit: Option<&PeerIndexTable>) -> Extrac
             elems.push(BgpStreamElem {
                 elem_type: ElemType::PeerState,
                 time,
-                peer_address: *peer_ip,
-                peer_asn: *peer_asn,
+                peer_address: peer_ip,
+                peer_asn,
                 prefix: None,
                 next_hop: None,
                 as_path: None,
                 communities: None,
-                old_state: Some(*old_state),
-                new_state: Some(*new_state),
+                old_state: Some(old_state),
+                new_state: Some(new_state),
             });
         }
         MrtBody::TableDumpV2(TableDumpV2::RibRow(row)) => {
-            for entry in &row.entries {
+            elems.reserve_exact(row.entries.len());
+            for entry in row.entries {
                 let peer = pit.and_then(|t| t.peers.get(entry.peer_index as usize));
                 let Some(peer) = peer else {
                     missing_peer = true;
                     continue;
                 };
+                // Each entry owns its attributes: move, don't clone.
                 elems.push(BgpStreamElem {
                     elem_type: ElemType::RibEntry,
                     time,
@@ -162,8 +198,8 @@ pub fn extract_elems(record: &MrtRecord, pit: Option<&PeerIndexTable>) -> Extrac
                     peer_asn: peer.asn,
                     prefix: Some(row.prefix),
                     next_hop: entry.attrs.next_hop,
-                    as_path: Some(entry.attrs.as_path.clone()),
-                    communities: Some(entry.attrs.communities.clone()),
+                    as_path: Some(entry.attrs.as_path),
+                    communities: Some(entry.attrs.communities),
                     old_state: None,
                     new_state: None,
                 });

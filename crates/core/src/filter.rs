@@ -92,6 +92,27 @@ impl Filters {
         Filters::default()
     }
 
+    /// True when no constraint is configured, i.e. [`Filters::matches`]
+    /// would accept every elem. Lets hot paths skip per-elem checks.
+    pub fn is_pass_all(&self) -> bool {
+        // Exhaustive destructuring: adding a Filters field without
+        // deciding its pass-all semantics must not compile.
+        let Filters {
+            peer_asns,
+            prefixes,
+            communities,
+            elem_types,
+            as_paths,
+            ip_version,
+        } = self;
+        peer_asns.is_empty()
+            && prefixes.is_empty()
+            && communities.is_empty()
+            && elem_types.is_empty()
+            && as_paths.is_empty()
+            && ip_version.is_none()
+    }
+
     /// Whether an elem passes all configured constraints.
     ///
     /// Withdrawals and state messages carry no communities or paths;

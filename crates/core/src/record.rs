@@ -6,7 +6,7 @@
 //! begins/ends its dump file (so users can collate the records of a
 //! single RIB dump).
 
-use broker::DumpType;
+use broker::{DumpType, SourceId};
 
 use crate::elem::BgpStreamElem;
 
@@ -58,14 +58,16 @@ impl DumpPosition {
 }
 
 /// One annotated record of the sorted stream.
+///
+/// Source identity (project, collector, dump type) is carried as an
+/// interned [`SourceId`] — a `Copy` handle — so producing a record
+/// never clones name strings. Use [`BgpStreamRecord::project`] /
+/// [`BgpStreamRecord::collector`] / [`BgpStreamRecord::dump_type`]
+/// for the resolved values.
 #[derive(Clone, Debug)]
 pub struct BgpStreamRecord {
-    /// Collection project ("ris", "routeviews").
-    pub project: String,
-    /// Collector name.
-    pub collector: String,
-    /// RIB or Updates dump.
-    pub dump_type: DumpType,
+    /// Interned source identity (project + collector + dump type).
+    pub source: SourceId,
     /// Nominal time of the dump file this record came from.
     pub dump_time: u64,
     /// Record timestamp (from the MRT header).
@@ -81,11 +83,12 @@ pub struct BgpStreamRecord {
 
 impl BgpStreamRecord {
     /// Construct a record directly — used by tools and tests that
-    /// synthesise records without going through a dump file.
+    /// synthesise records without going through a dump file. Interns
+    /// the source names (cheap after first sight).
     #[allow(clippy::too_many_arguments)]
     pub fn new(
-        project: impl Into<String>,
-        collector: impl Into<String>,
+        project: impl AsRef<str>,
+        collector: impl AsRef<str>,
         dump_type: DumpType,
         dump_time: u64,
         timestamp: u64,
@@ -94,15 +97,28 @@ impl BgpStreamRecord {
         elems: Vec<BgpStreamElem>,
     ) -> Self {
         BgpStreamRecord {
-            project: project.into(),
-            collector: collector.into(),
-            dump_type,
+            source: SourceId::intern(project.as_ref(), collector.as_ref(), dump_type),
             dump_time,
             timestamp,
             position,
             status,
             elems_vec: elems,
         }
+    }
+
+    /// Collection project ("ris", "routeviews").
+    pub fn project(&self) -> &'static str {
+        self.source.project()
+    }
+
+    /// Collector name.
+    pub fn collector(&self) -> &'static str {
+        self.source.collector()
+    }
+
+    /// RIB or Updates dump.
+    pub fn dump_type(&self) -> DumpType {
+        self.source.dump_type()
     }
 
     /// The record's elems (already filtered by the stream's filters).

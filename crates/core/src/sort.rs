@@ -15,14 +15,16 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::fs::File;
-use std::io::BufRead;
+use std::io::Read as _;
 use std::sync::Arc;
 
 use broker::index::DumpMeta;
+use broker::SourceId;
+use mrt::record::MrtType;
 use mrt::table_dump_v2::TableDumpV2;
-use mrt::{MrtBody, MrtReader, PeerIndexTable};
+use mrt::{MrtBody, MrtHeader, MrtSliceReader, PeerIndexTable};
 
-use crate::elem::extract_elems;
+use crate::elem::extract_elems_owned;
 use crate::filter::Filters;
 use crate::record::{BgpStreamRecord, DumpPosition, RecordStatus};
 
@@ -80,22 +82,35 @@ pub fn partition_overlap_groups(files: &[DumpMeta]) -> Vec<Vec<DumpMeta>> {
 /// state needed to annotate records (peer table, position lookahead).
 struct OpenDump {
     meta: DumpMeta,
-    reader: Option<MrtReader<std::io::BufReader<File>>>,
+    /// Interned source identity, resolved once at open; every record
+    /// copies this handle instead of cloning the name strings.
+    source: SourceId,
+    reader: Option<MrtSliceReader>,
     pit: Option<Arc<PeerIndexTable>>,
     /// One-record lookahead so the last record can be flagged
     /// `DumpPosition::End`.
     pending: Option<BgpStreamRecord>,
     produced: u64,
     finished: bool,
+    /// Timestamp of the last record delivered from this dump; placeholder
+    /// records for corrupted reads are stamped with it so the merged
+    /// stream never goes backwards in time.
+    last_ts: u64,
 }
 
 impl OpenDump {
     fn open(meta: DumpMeta, filters: &Filters) -> Self {
-        match File::open(&meta.path) {
-            Ok(f) => {
+        let source = meta.source_id();
+        // Slurp the whole file: dump files are bounded (one broker
+        // window's worth) and a single read beats per-record BufReader
+        // syscalls on the merge path.
+        match std::fs::read(&meta.path) {
+            Ok(bytes) => {
                 let mut dump = OpenDump {
+                    last_ts: meta.interval_start,
                     meta,
-                    reader: Some(MrtReader::new(std::io::BufReader::new(f))),
+                    source,
+                    reader: Some(MrtSliceReader::new(bytes)),
                     pit: None,
                     pending: None,
                     produced: 0,
@@ -110,9 +125,7 @@ impl OpenDump {
                 // record carries the error.
                 let _ = e;
                 let rec = BgpStreamRecord {
-                    project: meta.project.clone(),
-                    collector: meta.collector.clone(),
-                    dump_type: meta.dump_type,
+                    source,
                     dump_time: meta.interval_start,
                     timestamp: meta.interval_start,
                     position: DumpPosition::Only,
@@ -120,7 +133,9 @@ impl OpenDump {
                     elems_vec: Vec::new(),
                 };
                 OpenDump {
+                    last_ts: meta.interval_start,
                     meta,
+                    source,
                     reader: None,
                     pit: None,
                     pending: Some(rec),
@@ -141,12 +156,14 @@ impl OpenDump {
             }
             Some(Err(_)) => {
                 self.finished = true;
+                // Stamp the placeholder with the last timestamp this
+                // dump delivered — not `interval_start`, which can lie
+                // before records already emitted and would make the
+                // merged stream go backwards in time.
                 Some(BgpStreamRecord {
-                    project: self.meta.project.clone(),
-                    collector: self.meta.collector.clone(),
-                    dump_type: self.meta.dump_type,
+                    source: self.source,
                     dump_time: self.meta.interval_start,
-                    timestamp: self.meta.interval_start,
+                    timestamp: self.last_ts,
                     position: DumpPosition::Middle,
                     status: RecordStatus::CorruptedRecord,
                     elems_vec: Vec::new(),
@@ -157,7 +174,8 @@ impl OpenDump {
                     self.pit = Some(Arc::new(pit.clone()));
                 }
                 let unsupported = matches!(rec.body, MrtBody::Unknown(_));
-                let extracted = extract_elems(&rec, self.pit.as_deref());
+                let ts = rec.timestamp as u64;
+                let extracted = extract_elems_owned(rec, self.pit.as_deref());
                 let status = if unsupported {
                     RecordStatus::Unsupported
                 } else if extracted.missing_peer {
@@ -165,17 +183,22 @@ impl OpenDump {
                 } else {
                     RecordStatus::Valid
                 };
-                let elems_vec = extracted
-                    .elems
-                    .into_iter()
-                    .filter(|e| filters.matches(e))
-                    .collect();
+                // Fast path: with no elem filters configured, keep the
+                // extracted Vec as-is instead of re-collecting it.
+                let elems_vec = if filters.is_pass_all() {
+                    extracted.elems
+                } else {
+                    extracted
+                        .elems
+                        .into_iter()
+                        .filter(|e| filters.matches(e))
+                        .collect()
+                };
+                self.last_ts = self.last_ts.max(ts);
                 Some(BgpStreamRecord {
-                    project: self.meta.project.clone(),
-                    collector: self.meta.collector.clone(),
-                    dump_type: self.meta.dump_type,
+                    source: self.source,
                     dump_time: self.meta.interval_start,
-                    timestamp: rec.timestamp as u64,
+                    timestamp: ts,
                     position: DumpPosition::Middle,
                     status,
                     elems_vec,
@@ -210,11 +233,17 @@ impl OpenDump {
     }
 }
 
-/// Heap key: (timestamp, source name) — min-heap via reversed Ord.
+/// Heap key: (timestamp, source rank) — min-heap via reversed Ord.
+///
+/// `rank` is the dump's position in the lexicographic
+/// (project, collector, dump type) order of its group, computed once
+/// at open time, so equal-timestamp ties break exactly as the old
+/// string-tuple comparison did — without any per-push allocation.
+#[derive(Clone, Copy)]
 struct HeapEntry {
     ts: u64,
-    tiebreak: (String, String, u8),
-    slot: usize,
+    rank: u32,
+    slot: u32,
 }
 
 impl PartialEq for HeapEntry {
@@ -231,7 +260,7 @@ impl PartialOrd for HeapEntry {
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the oldest first.
-        (other.ts, &other.tiebreak, other.slot).cmp(&(self.ts, &self.tiebreak, self.slot))
+        (other.ts, other.rank, other.slot).cmp(&(self.ts, self.rank, self.slot))
     }
 }
 
@@ -240,33 +269,47 @@ impl Ord for HeapEntry {
 pub struct GroupMerger {
     dumps: Vec<OpenDump>,
     heap: BinaryHeap<HeapEntry>,
+    /// `ranks[slot]`: lexicographic tiebreak rank of that dump.
+    ranks: Vec<u32>,
     filters: Arc<Filters>,
 }
 
 impl GroupMerger {
     /// Open every file of the group and prime the heap.
     pub fn open(group: Vec<DumpMeta>, filters: Arc<Filters>) -> Self {
-        let mut dumps: Vec<OpenDump> = group
+        let dumps: Vec<OpenDump> = group
             .into_iter()
             .map(|m| OpenDump::open(m, &filters))
             .collect();
+        // Integer tiebreaks: rank slots by (project, collector, type)
+        // once, so the heap never compares (or clones) strings.
+        let mut order: Vec<usize> = (0..dumps.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (ma, mb) = (&dumps[a].meta, &dumps[b].meta);
+            (&ma.project, &ma.collector, ma.dump_type as u8).cmp(&(
+                &mb.project,
+                &mb.collector,
+                mb.dump_type as u8,
+            ))
+        });
+        let mut ranks = vec![0u32; dumps.len()];
+        for (rank, &slot) in order.iter().enumerate() {
+            ranks[slot] = rank as u32;
+        }
         let mut heap = BinaryHeap::with_capacity(dumps.len());
-        for (slot, d) in dumps.iter_mut().enumerate() {
+        for (slot, d) in dumps.iter().enumerate() {
             if let Some(ts) = d.head_timestamp() {
                 heap.push(HeapEntry {
                     ts,
-                    tiebreak: (
-                        d.meta.project.clone(),
-                        d.meta.collector.clone(),
-                        d.meta.dump_type as u8,
-                    ),
-                    slot,
+                    rank: ranks[slot],
+                    slot: slot as u32,
                 });
             }
         }
         GroupMerger {
             dumps,
             heap,
+            ranks,
             filters,
         }
     }
@@ -280,12 +323,12 @@ impl GroupMerger {
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<BgpStreamRecord> {
         let entry = self.heap.pop()?;
-        let dump = &mut self.dumps[entry.slot];
+        let dump = &mut self.dumps[entry.slot as usize];
         let rec = dump.next(&self.filters)?;
         if let Some(ts) = dump.head_timestamp() {
             self.heap.push(HeapEntry {
                 ts,
-                tiebreak: entry.tiebreak,
+                rank: self.ranks[entry.slot as usize],
                 slot: entry.slot,
             });
         }
@@ -306,13 +349,28 @@ pub fn read_single_file(meta: DumpMeta, filters: &Filters) -> Vec<BgpStreamRecor
 }
 
 /// Check that a path exists and looks like MRT (cheap sanity helper
-/// for tools).
+/// for tools): peek the 12-byte common header and require a known
+/// record type and a sane body length, so arbitrary non-empty files
+/// are not misclassified.
 pub fn looks_like_mrt(path: &std::path::Path) -> bool {
-    let Ok(f) = File::open(path) else {
+    let Ok(mut f) = File::open(path) else {
         return false;
     };
-    let mut reader = std::io::BufReader::new(f);
-    reader.fill_buf().map(|b| !b.is_empty()).unwrap_or(false)
+    let mut buf = [0u8; MrtHeader::LEN];
+    if f.read_exact(&mut buf).is_err() {
+        return false;
+    }
+    let Ok(header) = MrtHeader::decode(&buf) else {
+        return false;
+    };
+    // RFC 6396 §4 type registry: OSPFv2(11), TABLE_DUMP(12),
+    // TABLE_DUMP_V2(13), BGP4MP(16), BGP4MP_ET(17), ISIS(32/33),
+    // OSPFv3(48/49).
+    let known_type = matches!(
+        header.mrt_type,
+        MrtType::TableDumpV2 | MrtType::Bgp4mp | MrtType::Other(11 | 12 | 17 | 32 | 33 | 48 | 49)
+    );
+    known_type && header.length <= mrt::reader::MAX_RECORD_LEN
 }
 
 #[cfg(test)]
@@ -425,5 +483,118 @@ mod tests {
         assert_eq!(recs.len(), 1);
         assert_eq!(recs[0].status, RecordStatus::CorruptedSource);
         assert_eq!(recs[0].position, DumpPosition::Only);
+    }
+
+    fn scratch(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "bgpstream-sort-{tag}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn keepalive(ts: u32) -> mrt::MrtRecord {
+        mrt::MrtRecord::bgp4mp(
+            ts,
+            mrt::Bgp4mp::Message {
+                peer_asn: bgp_types::Asn(65001),
+                local_asn: bgp_types::Asn(12654),
+                peer_ip: "192.0.2.1".parse().unwrap(),
+                local_ip: "192.0.2.254".parse().unwrap(),
+                message: bgp_types::BgpMessage::Keepalive,
+            },
+        )
+    }
+
+    fn encode(records: &[mrt::MrtRecord]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut w = mrt::MrtWriter::new(&mut buf);
+        for r in records {
+            w.write(r).unwrap();
+        }
+        buf
+    }
+
+    #[test]
+    fn corrupted_record_placeholder_keeps_time_monotonic() {
+        // Regression: the placeholder for a corrupted read used to be
+        // stamped with `interval_start` (here 0), jumping the stream
+        // back in time after records at 500 and 600 were delivered.
+        let dir = scratch("corrupt");
+        let path = dir.join("u.mrt");
+        let mut bytes = encode(&[keepalive(500), keepalive(600)]);
+        bytes.extend_from_slice(&[0xFF; 7]); // truncated garbage tail
+        std::fs::write(&path, &bytes).unwrap();
+        let m = DumpMeta {
+            path,
+            ..meta("rrc01", DumpType::Updates, 0, 900)
+        };
+        let recs = read_single_file(m, &Filters::none());
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[2].status, RecordStatus::CorruptedRecord);
+        assert_eq!(
+            recs[2].timestamp, 600,
+            "placeholder must carry the last delivered timestamp"
+        );
+        assert!(
+            recs.windows(2).all(|w| w[0].timestamp <= w[1].timestamp),
+            "timestamps must be non-decreasing: {:?}",
+            recs.iter().map(|r| r.timestamp).collect::<Vec<_>>()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_dump_head_placeholder_uses_interval_start() {
+        // A dump that is garbage from the first byte has delivered
+        // nothing; its placeholder falls back to `interval_start`.
+        let dir = scratch("corrupt-head");
+        let path = dir.join("u.mrt");
+        std::fs::write(&path, [0xFFu8; 7]).unwrap();
+        let m = DumpMeta {
+            path,
+            ..meta("rrc01", DumpType::Updates, 450, 300)
+        };
+        let recs = read_single_file(m, &Filters::none());
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].status, RecordStatus::CorruptedRecord);
+        assert_eq!(recs[0].timestamp, 450);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn looks_like_mrt_peeks_header() {
+        let dir = scratch("sniff");
+        // Real MRT: accepted.
+        let good = dir.join("good.mrt");
+        std::fs::write(&good, encode(&[keepalive(1)])).unwrap();
+        assert!(looks_like_mrt(&good));
+        // Arbitrary text used to pass the old "non-empty" check.
+        let text = dir.join("notes.txt");
+        std::fs::write(&text, "hello world, definitely not MRT data").unwrap();
+        assert!(!looks_like_mrt(&text));
+        // Empty, too-short, and missing files are rejected.
+        let empty = dir.join("empty");
+        std::fs::write(&empty, b"").unwrap();
+        assert!(!looks_like_mrt(&empty));
+        let short = dir.join("short");
+        std::fs::write(&short, [0u8; 5]).unwrap();
+        assert!(!looks_like_mrt(&short));
+        assert!(!looks_like_mrt(&dir.join("nonexistent")));
+        // A known type with an insane length field is rejected.
+        let oversized = dir.join("oversized");
+        let mut hdr = Vec::new();
+        hdr.extend_from_slice(&1u32.to_be_bytes()); // timestamp
+        hdr.extend_from_slice(&16u16.to_be_bytes()); // BGP4MP
+        hdr.extend_from_slice(&4u16.to_be_bytes()); // subtype
+        hdr.extend_from_slice(&(64u32 << 20).to_be_bytes()); // 64 MiB body
+        std::fs::write(&oversized, &hdr).unwrap();
+        assert!(!looks_like_mrt(&oversized));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

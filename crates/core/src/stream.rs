@@ -15,8 +15,9 @@ use std::time::Duration;
 
 use bgp_types::trie::PrefixMatch;
 use bgp_types::{Asn, Prefix};
-use broker::index::{BrokerCursor, Query};
-use broker::{DataInterface, DumpType, Index};
+use broker::index::{BrokerCursor, DumpMeta, Query};
+use broker::{DataInterface, DumpType, Index, SourceId};
+use crossbeam::channel::{Receiver, Sender};
 
 use crate::filter::{CommunityFilter, Filters};
 use crate::record::BgpStreamRecord;
@@ -233,20 +234,40 @@ impl BgpStreamBuilder {
         let cursor = BrokerCursor {
             window_start: self.query.start,
         };
+        // Repeatable setters and `filter_string` can push the same
+        // term twice; dedup so the broker query carries each at most
+        // once (order-preserving).
+        let mut query = self.query;
+        dedup_preserving(&mut query.projects);
+        dedup_preserving(&mut query.collectors);
+        dedup_preserving(&mut query.dump_types);
         BgpStream {
             index,
             cursor,
-            live: self.query.end.is_none(),
-            query: self.query,
+            live: query.end.is_none(),
+            query,
             filters: Arc::new(self.filters),
             clock: self.clock,
             live_grace: self.live_grace,
             poll: self.poll,
             groups: VecDeque::new(),
             merger: None,
+            prefetch: None,
             exhausted: false,
             stats: StreamStats::default(),
             elem_cursor: None,
+        }
+    }
+}
+
+/// Remove duplicate entries, keeping first occurrences in order.
+fn dedup_preserving<T: PartialEq>(v: &mut Vec<T>) {
+    let mut i = 0;
+    while i < v.len() {
+        if v[..i].contains(&v[i]) {
+            v.remove(i);
+        } else {
+            i += 1;
         }
     }
 }
@@ -261,12 +282,66 @@ pub struct BgpStream {
     clock: Clock,
     live_grace: u64,
     poll: Duration,
-    groups: VecDeque<Vec<broker::index::DumpMeta>>,
+    groups: VecDeque<Vec<DumpMeta>>,
     merger: Option<GroupMerger>,
+    /// Overlap-group pipelining: a worker thread pre-opens the next
+    /// group's files (file reads + PeerIndexTable parsing) while the
+    /// current merger drains.
+    prefetch: Option<Prefetch>,
     exhausted: bool,
     stats: StreamStats,
-    /// Current record + next elem index for `next_elem`.
-    elem_cursor: Option<(BgpStreamRecord, usize)>,
+    /// Remaining elems of the current record + its source annotation,
+    /// for `next_elem`. Elems are moved out of the record (no clones).
+    elem_cursor: Option<(std::vec::IntoIter<crate::elem::BgpStreamElem>, ElemSource)>,
+}
+
+/// One group-prefetch request for the shared worker.
+struct PrefetchReq {
+    group: Vec<DumpMeta>,
+    filters: Arc<Filters>,
+    reply: Sender<GroupMerger>,
+}
+
+/// The shared prefetch workers: a small detached pool per process,
+/// spawned on first use, serving every stream (the vendored crossbeam
+/// channel is MPMC, so the workers share one request queue). Requests
+/// and replies travel over unbounded channels, so neither side ever
+/// blocks on send. Sharing the pool keeps the per-stream cost to
+/// channel operations — no thread spawn on the stream path — while
+/// more than one worker avoids head-of-line blocking between
+/// concurrent streams.
+fn prefetch_worker() -> &'static Sender<PrefetchReq> {
+    static WORKER: std::sync::OnceLock<Sender<PrefetchReq>> = std::sync::OnceLock::new();
+    WORKER.get_or_init(|| {
+        let (req_tx, req_rx) = crossbeam::channel::unbounded::<PrefetchReq>();
+        for _ in 0..2 {
+            let rx = req_rx.clone();
+            std::thread::spawn(move || {
+                while let Ok(req) = rx.recv() {
+                    // Contain panics from a pathological open: the
+                    // worker must survive, and dropping `reply`
+                    // un-blocks the requesting stream (its recv fails
+                    // and it re-opens the group synchronously).
+                    let opened = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        GroupMerger::open(req.group, req.filters)
+                    }));
+                    if let Ok(merger) = opened {
+                        // A dropped stream makes the send fail; ignore.
+                        let _ = req.reply.send(merger);
+                    }
+                }
+            });
+        }
+        req_tx
+    })
+}
+
+/// A stream's in-flight prefetch: the reply channel plus a copy of the
+/// requested group so it can be re-opened synchronously if the worker
+/// ever dies.
+struct Prefetch {
+    res_rx: Receiver<GroupMerger>,
+    group: Vec<DumpMeta>,
 }
 
 impl BgpStream {
@@ -300,12 +375,7 @@ impl BgpStream {
                 }
                 self.merger = None;
             }
-            if let Some(group) = self.groups.pop_front() {
-                self.stats.files_opened += group.len() as u64;
-                self.stats.groups += 1;
-                let merger = GroupMerger::open(group, self.filters.clone());
-                self.stats.max_group_width = self.stats.max_group_width.max(merger.width());
-                self.merger = Some(merger);
+            if self.install_next_merger() {
                 continue;
             }
             if self.exhausted {
@@ -348,6 +418,47 @@ impl BgpStream {
         }
     }
 
+    /// Install the next group's merger: take the prefetched one if a
+    /// request is in flight, otherwise open synchronously. Then hand
+    /// the *following* group to the worker so its file reads and
+    /// PeerIndexTable parsing overlap with draining the one just
+    /// installed. Returns false when no group is available.
+    fn install_next_merger(&mut self) -> bool {
+        let merger = match self.prefetch.take() {
+            Some(p) => match p.res_rx.recv() {
+                Ok(m) => m,
+                // Worker died (only possible via panic); re-open the
+                // in-flight group synchronously so no records are lost.
+                Err(_) => GroupMerger::open(p.group, self.filters.clone()),
+            },
+            None => match self.groups.pop_front() {
+                Some(g) => GroupMerger::open(g, self.filters.clone()),
+                None => return false,
+            },
+        };
+        self.stats.files_opened += merger.width() as u64;
+        self.stats.groups += 1;
+        self.stats.max_group_width = self.stats.max_group_width.max(merger.width());
+        self.merger = Some(merger);
+        // Kick off the next group's open while this one drains.
+        if let Some(group) = self.groups.pop_front() {
+            let (reply, res_rx) = crossbeam::channel::unbounded();
+            let req = PrefetchReq {
+                group: group.clone(),
+                filters: self.filters.clone(),
+                reply,
+            };
+            if prefetch_worker().send(req).is_ok() {
+                self.prefetch = Some(Prefetch { res_rx, group });
+            } else {
+                // Worker gone: put the group back for synchronous
+                // opening next round.
+                self.groups.push_front(group);
+            }
+        }
+        true
+    }
+
     /// Pull the next record that has at least one elem passing the
     /// filters (skipping empty/marker records).
     pub fn next_matching_record(&mut self) -> Option<BgpStreamRecord> {
@@ -365,22 +476,18 @@ impl BgpStream {
     /// its source annotations.
     pub fn next_elem(&mut self) -> Option<(crate::elem::BgpStreamElem, ElemSource)> {
         loop {
-            if let Some((rec, idx)) = self.elem_cursor.as_mut() {
-                if *idx < rec.elems().len() {
-                    let elem = rec.elems()[*idx].clone();
-                    let src = ElemSource {
-                        project: rec.project.clone(),
-                        collector: rec.collector.clone(),
-                        dump_type: rec.dump_type,
-                        dump_time: rec.dump_time,
-                    };
-                    *idx += 1;
-                    return Some((elem, src));
+            if let Some((iter, src)) = self.elem_cursor.as_mut() {
+                if let Some(elem) = iter.next() {
+                    return Some((elem, *src));
                 }
                 self.elem_cursor = None;
             }
             let rec = self.next_matching_record()?;
-            self.elem_cursor = Some((rec, 0));
+            let src = ElemSource {
+                source: rec.source,
+                dump_time: rec.dump_time,
+            };
+            self.elem_cursor = Some((rec.into_elems().into_iter(), src));
         }
     }
 }
@@ -412,17 +519,31 @@ impl Iterator for BgpStream {
 }
 
 /// Source annotations attached to elems yielded by
-/// [`BgpStream::next_elem`].
-#[derive(Clone, PartialEq, Eq, Debug)]
+/// [`BgpStream::next_elem`]. `Copy`: the identity is an interned
+/// [`SourceId`], so annotating an elem allocates nothing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct ElemSource {
-    /// Collection project.
-    pub project: String,
-    /// Collector name.
-    pub collector: String,
-    /// Dump type the elem came from.
-    pub dump_type: DumpType,
+    /// Interned source identity (project + collector + dump type).
+    pub source: SourceId,
     /// Nominal time of the source dump.
     pub dump_time: u64,
+}
+
+impl ElemSource {
+    /// Collection project.
+    pub fn project(&self) -> &'static str {
+        self.source.project()
+    }
+
+    /// Collector name.
+    pub fn collector(&self) -> &'static str {
+        self.source.collector()
+    }
+
+    /// Dump type the elem came from.
+    pub fn dump_type(&self) -> DumpType {
+        self.source.dump_type()
+    }
 }
 
 #[cfg(test)]
@@ -451,6 +572,31 @@ mod tests {
             .start();
         assert!(s.next_record().is_none());
         assert!(s.stats().broker_queries >= 1);
+    }
+
+    #[test]
+    fn builder_dedups_repeated_query_terms() {
+        // Repeatable setters and `filter_string` used to push
+        // duplicate terms into the broker query.
+        let s = BgpStream::builder()
+            .data_interface(DataInterface::Broker(Index::shared()))
+            .project("ris")
+            .project("ris")
+            .collector("rrc00")
+            .collector("rrc00")
+            .collector("rrc01")
+            .record_type(DumpType::Rib)
+            .record_type(DumpType::Rib)
+            .filter_string("project ris and collector rrc00 and type ribs")
+            .unwrap()
+            .interval(0, Some(10))
+            .start();
+        assert_eq!(s.query.projects, vec!["ris".to_string()]);
+        assert_eq!(
+            s.query.collectors,
+            vec!["rrc00".to_string(), "rrc01".to_string()]
+        );
+        assert_eq!(s.query.dump_types, vec![DumpType::Rib]);
     }
 
     #[test]

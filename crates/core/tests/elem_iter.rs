@@ -46,17 +46,18 @@ fn next_elem_matches_nested_loops() {
     let mut s1 = build();
     while let Some(rec) = s1.next_record() {
         for e in rec.elems() {
-            nested.push((rec.collector.clone(), e.clone()));
+            nested.push((rec.source, e.clone()));
         }
     }
 
-    // Flattened.
+    // Flattened: the annotation must be the owning record's interned
+    // source identity.
     let mut flat = Vec::new();
     let mut s2 = build();
     while let Some((elem, src)) = s2.next_elem() {
-        assert!(!src.project.is_empty());
-        assert_eq!(src.dump_type, DumpType::Rib);
-        flat.push((src.collector, elem));
+        assert!(!src.project().is_empty());
+        assert_eq!(src.dump_type(), DumpType::Rib);
+        flat.push((src.source, elem));
     }
 
     assert!(!nested.is_empty());

@@ -67,7 +67,7 @@ fn historical_stream_is_time_sorted_across_collectors() {
     let mut group_floor = 0u64; // sorting holds within each overlap group
     let mut prev_group_max = 0u64;
     while let Some(rec) = stream.next_record() {
-        collectors.insert(rec.collector.clone());
+        collectors.insert(rec.collector().to_string());
         // Our simulated updates are strictly within window bounds, and
         // all windows overlap transitively, so global ordering holds.
         assert!(
@@ -102,7 +102,7 @@ fn rib_and_updates_interleave_and_positions_mark_dumps() {
     let mut rib_elems = 0;
     let mut upd_elems = 0;
     while let Some(rec) = stream.next_record() {
-        match rec.dump_type {
+        match rec.dump_type() {
             DumpType::Rib => {
                 if rec.position.is_start() {
                     rib_starts += 1;

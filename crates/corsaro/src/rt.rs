@@ -295,10 +295,10 @@ impl Plugin for RtPlugin {
     }
 
     fn process_record(&mut self, record: &BgpStreamRecord) {
-        if record.collector != self.collector {
+        if record.collector() != self.collector {
             return;
         }
-        match record.dump_type {
+        match record.dump_type() {
             DumpType::Rib => {
                 if record.position.is_start() && !self.rib_active {
                     self.begin_rib(record.timestamp);
@@ -875,7 +875,7 @@ mod tests {
             RecordStatus::Valid,
             vec![elem(ElemType::Announcement, 10, "10.0.0.0/8", &[65001, 1])],
         );
-        other.collector = "rrc99".into();
+        other.source = broker::SourceId::intern("ris", "rrc99", DumpType::Updates);
         rt.process_record(&other);
         assert_eq!(rt.vp_state(vp_ip()), None);
     }

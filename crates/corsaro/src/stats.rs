@@ -66,7 +66,15 @@ impl Plugin for ElemCounter {
     }
 
     fn process_record(&mut self, record: &BgpStreamRecord) {
-        let c = self.current.entry(record.collector.clone()).or_default();
+        // Probe with the interned `&str` first: allocating the `String`
+        // key only on a collector's first record keeps the per-record
+        // path allocation-free.
+        let collector = record.collector();
+        if !self.current.contains_key(collector) {
+            self.current
+                .insert(collector.to_string(), BinCounters::default());
+        }
+        let c = self.current.get_mut(collector).expect("just inserted");
         c.records += 1;
         if !record.status.is_valid() {
             c.invalid_records += 1;

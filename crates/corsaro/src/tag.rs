@@ -115,7 +115,7 @@ impl Tagger for ClassifierTagger {
     }
 
     fn tag(&mut self, record: &BgpStreamRecord, tags: &mut TagSet) {
-        match record.dump_type {
+        match record.dump_type() {
             DumpType::Rib => tags.add(TAG_RIB),
             DumpType::Updates => tags.add(TAG_UPDATES),
         };

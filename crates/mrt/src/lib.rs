@@ -31,7 +31,7 @@ pub mod table_dump_v2;
 pub mod writer;
 
 pub use bgp4mp::Bgp4mp;
-pub use reader::{MrtError, MrtReader};
+pub use reader::{MrtError, MrtReader, MrtSliceReader};
 pub use record::{MrtBody, MrtHeader, MrtRecord, MrtType};
 pub use table_dump_v2::{PeerEntry, PeerIndexTable, RibEntry, RibRow};
 pub use writer::MrtWriter;

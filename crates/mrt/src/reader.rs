@@ -165,6 +165,81 @@ impl<R: Read> MrtReader<R> {
     }
 }
 
+/// An MRT record reader over an in-memory buffer.
+///
+/// Same contract as [`MrtReader`] (clean EOF vs poisoning corrupted
+/// read), but record bodies are sliced out of the buffer instead of
+/// being copied into a per-record `Vec` — the sorted-stream merge
+/// path slurps each dump file once and then parses allocation-free up
+/// to the decoded structures themselves.
+pub struct MrtSliceReader {
+    buf: Vec<u8>,
+    pos: usize,
+    poisoned: bool,
+    count: u64,
+}
+
+impl MrtSliceReader {
+    /// Wrap a fully loaded dump file.
+    pub fn new(buf: Vec<u8>) -> Self {
+        MrtSliceReader {
+            buf,
+            pos: 0,
+            poisoned: false,
+            count: 0,
+        }
+    }
+
+    /// Number of records read so far.
+    pub fn records_read(&self) -> u64 {
+        self.count
+    }
+
+    /// Read the next record (same semantics as [`MrtReader::next`]).
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<Result<MrtRecord, MrtError>> {
+        if self.poisoned {
+            return None;
+        }
+        let remaining = self.buf.len() - self.pos;
+        if remaining == 0 {
+            return None; // clean EOF at record boundary
+        }
+        if remaining < MrtHeader::LEN {
+            self.poisoned = true;
+            return Some(Err(MrtError::Truncated("MRT header")));
+        }
+        let header = match MrtHeader::decode(&self.buf[self.pos..self.pos + MrtHeader::LEN]) {
+            Ok(h) => h,
+            Err(e) => {
+                self.poisoned = true;
+                return Some(Err(e));
+            }
+        };
+        if header.length > MAX_RECORD_LEN {
+            self.poisoned = true;
+            return Some(Err(MrtError::OversizedRecord(header.length)));
+        }
+        let body_start = self.pos + MrtHeader::LEN;
+        let body_end = body_start + header.length as usize;
+        if body_end > self.buf.len() {
+            self.poisoned = true;
+            return Some(Err(MrtError::Truncated("MRT body")));
+        }
+        match MrtRecord::decode(&header, &self.buf[body_start..body_end]) {
+            Ok(rec) => {
+                self.pos = body_end;
+                self.count += 1;
+                Some(Ok(rec))
+            }
+            Err(e) => {
+                self.poisoned = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
 /// Like `read_exact`, but reports how many bytes were read when the
 /// input ends early instead of erroring.
 fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> std::io::Result<usize> {
@@ -264,6 +339,45 @@ mod tests {
         let (out, err) = MrtReader::new(&buf[..]).read_all();
         assert!(out.is_empty());
         assert!(matches!(err, Some(MrtError::OversizedRecord(_))));
+    }
+
+    #[test]
+    fn slice_reader_matches_stream_reader() {
+        let recs = vec![
+            keepalive_record(1),
+            keepalive_record(2),
+            keepalive_record(3),
+        ];
+        let buf = encode_all(&recs);
+        let mut r = MrtSliceReader::new(buf.clone());
+        let mut out = Vec::new();
+        while let Some(item) = r.next() {
+            out.push(item.unwrap());
+        }
+        assert_eq!(out, recs);
+        assert_eq!(r.records_read(), 3);
+        assert!(r.next().is_none());
+    }
+
+    #[test]
+    fn slice_reader_signals_truncation_and_poisons() {
+        let buf = encode_all(&[keepalive_record(1), keepalive_record(2)]);
+        let cut = buf[..buf.len() - 4].to_vec();
+        let mut r = MrtSliceReader::new(cut);
+        assert!(r.next().unwrap().is_ok());
+        assert_eq!(
+            r.next().unwrap().unwrap_err(),
+            MrtError::Truncated("MRT body")
+        );
+        assert!(r.next().is_none());
+        // Oversized length field.
+        let mut buf = encode_all(&[keepalive_record(1)]);
+        buf[8..12].copy_from_slice(&(8u32 << 20).to_be_bytes());
+        let mut r = MrtSliceReader::new(buf);
+        assert!(matches!(
+            r.next().unwrap().unwrap_err(),
+            MrtError::OversizedRecord(_)
+        ));
     }
 
     #[test]

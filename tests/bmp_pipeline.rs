@@ -111,7 +111,7 @@ fn bmp_feed_flows_through_bgpstream() {
 
     let mut elems = Vec::new();
     while let Some(rec) = stream.next_record() {
-        assert_eq!(rec.collector, "local");
+        assert_eq!(rec.collector(), "local");
         elems.extend(rec.elems().to_vec());
     }
     // 2 establishment states + 1 announce + 2 announces + 1 withdrawal

@@ -88,7 +88,7 @@ fn tag_gate_scopes_inner_plugin_to_dump_type() {
             "updates-only"
         }
         fn process_record(&mut self, record: &bgpstream_repro::bgpstream::BgpStreamRecord) {
-            assert_eq!(record.dump_type, DumpType::Updates);
+            assert_eq!(record.dump_type(), DumpType::Updates);
             self.0 += 1;
         }
         fn end_bin(&mut self, _s: u64, _e: u64) {}
