@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! bench_gate <fresh.jsonl> <baseline.json> [max_regression_pct]
+//! bench_gate --min-speedup <fresh.jsonl> <slow_bench> <fast_bench> <factor> [min_cores]
 //! ```
 //!
 //! `<fresh.jsonl>` is the `CRITERION_MINI_JSON` output of a bench run
@@ -18,6 +19,13 @@
 //! overhead this repo's §3.3.4 machinery adds, independent of host
 //! speed. The run fails when the fresh ratio exceeds the baseline
 //! ratio by more than `max_regression_pct` percent (default 15).
+//!
+//! `--min-speedup` gates the sharded-runtime scaling claim:
+//! `pipeline/<fast_bench>` must be at least `factor`× faster than
+//! `pipeline/<slow_bench>` in the same fresh run. A parallelism claim
+//! is only testable where parallelism exists, so the check SKIPs
+//! (exit 0, with a notice) when the host has fewer than `min_cores`
+//! (default 4) CPUs.
 
 use std::process::ExitCode;
 
@@ -36,8 +44,61 @@ fn ns_per_iter(json: &str, group: &str, bench: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+fn min_speedup(args: &[String]) -> ExitCode {
+    if args.len() < 4 {
+        eprintln!(
+            "usage: bench_gate --min-speedup <fresh.jsonl> <slow_bench> <fast_bench> \
+             <factor> [min_cores]"
+        );
+        return ExitCode::from(2);
+    }
+    let (fresh_path, slow, fast) = (&args[0], &args[1], &args[2]);
+    let factor: f64 = args[3].parse().expect("factor must be a number");
+    let min_cores: usize = args
+        .get(4)
+        .map(|s| s.parse().expect("min_cores must be an integer"))
+        .unwrap_or(4);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores < min_cores {
+        println!(
+            "bench_gate: SKIP — {cores} CPU(s) available, speedup gate needs {min_cores} \
+             (a parallel runtime cannot beat sequential on a serial machine)"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let fresh = std::fs::read_to_string(fresh_path)
+        .unwrap_or_else(|e| panic!("cannot read fresh results {fresh_path}: {e}"));
+    let read = |bench: &str| -> f64 {
+        match ns_per_iter(&fresh, "pipeline", bench) {
+            Some(v) if v > 0.0 => v,
+            _ => {
+                eprintln!("bench_gate: pipeline/{bench} missing from fresh results");
+                std::process::exit(2);
+            }
+        }
+    };
+    let slow_ns = read(slow);
+    let fast_ns = read(fast);
+    let speedup = slow_ns / fast_ns;
+    println!(
+        "bench_gate: {fast} {speedup:.2}x vs {slow} ({fast_ns:.0} ns vs {slow_ns:.0} ns) \
+         on {cores} cores; required {factor:.2}x"
+    );
+    if speedup < factor {
+        eprintln!("bench_gate: FAIL — speedup {speedup:.2}x below required {factor:.2}x");
+        return ExitCode::FAILURE;
+    }
+    println!("bench_gate: OK");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(|s| s.as_str()) == Some("--min-speedup") {
+        return min_speedup(&args[2..]);
+    }
     if args.len() < 3 {
         eprintln!("usage: bench_gate <fresh.jsonl> <baseline.json> [max_regression_pct]");
         return ExitCode::from(2);

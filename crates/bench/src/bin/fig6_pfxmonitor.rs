@@ -5,12 +5,30 @@
 //! (aggregation/de-aggregation) while the unique-origin series spikes
 //! from 1 to 2 during each of the four hijack episodes, each lasting
 //! about an hour.
+//!
+//! Pass `--workers N` to drive the monitor on the sharded runtime
+//! (`corsaro::runtime`) instead of the sequential pipeline — the
+//! figure must come out identical either way.
 
 use bench::{header, scaled, sparkline};
 use bgpstream_repro::bgpstream::BgpStream;
 use bgpstream_repro::broker::DataInterface;
+use bgpstream_repro::corsaro::runtime::{ShardedPlugin, ShardedRuntime};
 use bgpstream_repro::corsaro::{run_pipeline, PfxMonitor};
 use bgpstream_repro::worlds;
+
+/// `--workers N` (0/absent = sequential pipeline).
+fn workers_flag() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--workers") {
+        None => 0,
+        Some(i) => args
+            .get(i + 1)
+            .expect("--workers requires a value")
+            .parse()
+            .expect("--workers takes an integer"),
+    }
+}
 
 fn main() {
     header(
@@ -39,7 +57,19 @@ fn main() {
         .interval(0, Some(horizon))
         .start();
     let mut monitor = PfxMonitor::new(world.info.victim_ranges.iter().copied());
-    run_pipeline(&mut stream, 300, &mut [&mut monitor]);
+    match workers_flag() {
+        0 => {
+            run_pipeline(&mut stream, 300, &mut [&mut monitor]);
+        }
+        workers => {
+            println!("(sharded runtime, {workers} workers)");
+            ShardedRuntime::builder()
+                .workers(workers)
+                .bin_size(300)
+                .build()
+                .run(&mut stream, &mut [&mut monitor as &mut dyn ShardedPlugin]);
+        }
+    }
 
     let prefixes: Vec<u64> = monitor.series.iter().map(|p| p.prefixes as u64).collect();
     let origins: Vec<u64> = monitor.series.iter().map(|p| p.origins as u64).collect();

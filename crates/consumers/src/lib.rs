@@ -50,22 +50,122 @@ use mq::Cluster;
 pub fn drain_rt<F: FnMut(&RtMessage)>(mq: &Cluster, group: &str, mut f: F) -> u64 {
     let mut total = 0;
     for part in 0..mq.partitions("rt.tables").max(1) {
-        let from = mq.committed(group, "rt.tables", part);
-        let mut n = 0;
-        loop {
-            let msgs = mq.fetch("rt.tables", part, from + n, 64);
-            if msgs.is_empty() {
-                break;
-            }
-            for m in &msgs {
-                if let Ok(rt) = RtMessage::decode(&m.payload) {
-                    f(&rt);
-                }
-                n += 1;
-            }
-        }
-        mq.commit(group, "rt.tables", part, from + n);
-        total += n;
+        total += drain_rt_partition(mq, group, part, &mut f);
     }
     total
+}
+
+/// Drain one partition of `rt.tables` for `group`, invoking `f` on
+/// each decoded message in offset order; commits and returns the
+/// count.
+fn drain_rt_partition<F: FnMut(&RtMessage)>(
+    mq: &Cluster,
+    group: &str,
+    part: usize,
+    f: &mut F,
+) -> u64 {
+    let from = mq.committed(group, "rt.tables", part);
+    let mut n = 0;
+    loop {
+        let msgs = mq.fetch("rt.tables", part, from + n, 64);
+        if msgs.is_empty() {
+            break;
+        }
+        for m in &msgs {
+            if let Ok(rt) = RtMessage::decode(&m.payload) {
+                f(&rt);
+            }
+            n += 1;
+        }
+    }
+    mq.commit(group, "rt.tables", part, from + n);
+    n
+}
+
+/// Sharded [`drain_rt`]: partitions are drained concurrently on
+/// `workers` threads (the consumer-side counterpart of the
+/// `corsaro::runtime` scale-out — the queue's partitioning by
+/// collector is exactly a shard key).
+///
+/// Ordering within a partition is preserved and each partition's
+/// offsets commit independently, but `f` runs concurrently across
+/// partitions, so it must be `Fn + Sync` and synchronise any shared
+/// state itself (per-collector consumers typically keep state keyed
+/// by collector, which partitions cleanly).
+pub fn drain_rt_sharded<F: Fn(&RtMessage) + Sync>(
+    mq: &Cluster,
+    group: &str,
+    workers: usize,
+    f: F,
+) -> u64 {
+    let parts: Vec<usize> = (0..mq.partitions("rt.tables").max(1)).collect();
+    analytics::par_map(parts, workers, |part| {
+        drain_rt_partition(mq, group, part, &mut |m| f(m))
+    })
+    .into_iter()
+    .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    fn produce_diffs(mq: &Cluster, collector: &str, bins: u64) {
+        for bin in 0..bins {
+            let msg = RtMessage::Diff {
+                collector: collector.to_string(),
+                bin,
+                cells: vec![],
+            };
+            mq.produce("rt.tables", collector, bin, msg.encode());
+        }
+    }
+
+    #[test]
+    fn sharded_drain_matches_sequential_drain() {
+        let mq = Cluster::new();
+        mq.create_topic("rt.tables", 4);
+        for (i, c) in ["rrc00", "rrc01", "rv2", "rv3"].iter().enumerate() {
+            produce_diffs(&mq, c, (i as u64 + 1) * 3);
+        }
+
+        let seen_seq = Mutex::new(Vec::<(String, u64)>::new());
+        let n_seq = drain_rt(&mq, "seq", |m| {
+            seen_seq
+                .lock()
+                .unwrap()
+                .push((m.collector().to_string(), m.bin()));
+        });
+
+        let seen_par = Mutex::new(Vec::<(String, u64)>::new());
+        let n_par = drain_rt_sharded(&mq, "par", 4, |m| {
+            seen_par
+                .lock()
+                .unwrap()
+                .push((m.collector().to_string(), m.bin()));
+        });
+
+        assert_eq!(n_seq, n_par);
+        assert_eq!(n_par, 3 + 6 + 9 + 12);
+        // Same message multiset; per-collector (= per-partition)
+        // sequences stay in offset order under the sharded drain.
+        let mut a = seen_seq.into_inner().unwrap();
+        let b_raw = seen_par.into_inner().unwrap();
+        for c in ["rrc00", "rrc01", "rv2", "rv3"] {
+            let bins: Vec<u64> = b_raw
+                .iter()
+                .filter(|(name, _)| name == c)
+                .map(|(_, b)| *b)
+                .collect();
+            assert!(bins.windows(2).all(|w| w[0] <= w[1]), "{c}: {bins:?}");
+        }
+        let mut b = b_raw;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+
+        // Offsets committed: a second sharded drain sees nothing new.
+        assert_eq!(drain_rt_sharded(&mq, "par", 4, |_| {}), 0);
+    }
 }

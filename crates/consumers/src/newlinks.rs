@@ -1,7 +1,7 @@
 //! New-AS-link detection — "spotting new (suspicious) AS links
 //! appearing in the AS-graph" (§6.2).
 //!
-//! Man-in-the-middle hijacks [19,20] and some leaks manifest as AS
+//! Man-in-the-middle hijacks \[19,20\] and some leaks manifest as AS
 //! adjacencies never seen before in any path. The detector learns the
 //! link universe over a configurable warm-up period, then alarms on
 //! every adjacency absent from it, recording the full evidence path.

@@ -39,7 +39,7 @@ pub enum RelKind {
 ///
 /// Built from ground truth (the simulator's topology) or inferred
 /// data (CAIDA AS-relationships in the real deployment — the paper
-/// cites the inference work it would use [34,43]).
+/// cites the inference work it would use \[34,43\]).
 #[derive(Clone, Default, Debug)]
 pub struct RelOracle {
     rels: HashMap<(Asn, Asn), RelKind>,

@@ -17,7 +17,7 @@
 //! | `collector`/`coll` | name | meta-data: collector |
 //! | `type` | `ribs` \| `updates` | meta-data: dump type |
 //! | `peer` | ASN | elem: VP AS number |
-//! | `prefix` | [`exact`\|`more`\|`less`\|`any`] CIDR | elem: prefix, default `more` (the `bgpreader -k` behaviour) |
+//! | `prefix` | \[`exact`\|`more`\|`less`\|`any`\] CIDR | elem: prefix, default `more` (the `bgpreader -k` behaviour) |
 //! | `community`/`comm` | `asn:value`, `*` wildcards | elem: community |
 //! | `aspath` | pattern (quote if spaced) | elem: AS-path regex |
 //! | `elemtype` | `announcements` \| `withdrawals` \| `ribs` \| `peerstates` | elem: type |

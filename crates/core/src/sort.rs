@@ -319,6 +319,12 @@ impl GroupMerger {
         self.dumps.len()
     }
 
+    /// Whether another record is ready without further file reads
+    /// being required to know so (the heap holds a primed head).
+    pub fn has_next(&self) -> bool {
+        !self.heap.is_empty()
+    }
+
     /// The next record in timestamp order.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<BgpStreamRecord> {

@@ -81,7 +81,38 @@ pub struct StreamStats {
     pub records: u64,
 }
 
+/// Error starting a stream: the configured [`DataInterface`] could
+/// not be materialised (unreadable CSV manifest, malformed manifest
+/// line, …).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StreamStartError(String);
+
+impl std::fmt::Display for StreamStartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot start stream: {}", self.0)
+    }
+}
+
+impl std::error::Error for StreamStartError {}
+
 /// Configuration-phase builder (mirrors `bgpstream_set_filter` etc.).
+///
+/// ```
+/// use bgpstream::BgpStream;
+/// use broker::{DataInterface, DumpType, Index};
+///
+/// let mut stream = BgpStream::builder()
+///     .data_interface(DataInterface::Broker(Index::shared()))
+///     .project("ris")
+///     .collector("rrc00")
+///     .record_type(DumpType::Updates)
+///     .interval(0, Some(3600))
+///     .try_start()
+///     .expect("local broker index is always materialisable");
+/// // Reading phase: the index above is empty, so the historical
+/// // stream ends immediately.
+/// assert!(stream.next_record().is_none());
+/// ```
 pub struct BgpStreamBuilder {
     interface: Option<DataInterface>,
     query: Query,
@@ -226,11 +257,25 @@ impl BgpStreamBuilder {
     }
 
     /// Finish configuration and enter the reading phase.
+    ///
+    /// Panics when the data interface cannot be materialised (e.g. an
+    /// unreadable CSV manifest); use [`BgpStreamBuilder::try_start`]
+    /// to handle that case.
     pub fn start(self) -> BgpStream {
+        self.try_start()
+            .unwrap_or_else(|e| panic!("BgpStreamBuilder::start: {e}"))
+    }
+
+    /// Fallible [`BgpStreamBuilder::start`]: returns an error instead
+    /// of panicking when the configured [`DataInterface`] cannot be
+    /// resolved into an index (the `CsvFile` interface reads its
+    /// manifest here, so a missing or malformed file surfaces at
+    /// configuration time, not mid-stream).
+    pub fn try_start(self) -> Result<BgpStream, StreamStartError> {
         let iface = self
             .interface
             .unwrap_or_else(|| DataInterface::Broker(Index::shared()));
-        let index = iface.into_index().expect("data interface");
+        let index = iface.into_index().map_err(StreamStartError)?;
         let cursor = BrokerCursor {
             window_start: self.query.start,
         };
@@ -241,7 +286,7 @@ impl BgpStreamBuilder {
         dedup_preserving(&mut query.projects);
         dedup_preserving(&mut query.collectors);
         dedup_preserving(&mut query.dump_types);
-        BgpStream {
+        Ok(BgpStream {
             index,
             cursor,
             live: query.end.is_none(),
@@ -251,12 +296,13 @@ impl BgpStreamBuilder {
             live_grace: self.live_grace,
             poll: self.poll,
             groups: VecDeque::new(),
+            lookahead: VecDeque::new(),
             merger: None,
             prefetch: None,
             exhausted: false,
             stats: StreamStats::default(),
             elem_cursor: None,
-        }
+        })
     }
 }
 
@@ -283,6 +329,9 @@ pub struct BgpStream {
     live_grace: u64,
     poll: Duration,
     groups: VecDeque<Vec<DumpMeta>>,
+    /// Records handed back via [`BgpStream::unread`], delivered again
+    /// (in order) before anything else.
+    lookahead: VecDeque<BgpStreamRecord>,
     merger: Option<GroupMerger>,
     /// Overlap-group pipelining: a worker thread pre-opens the next
     /// group's files (file reads + PeerIndexTable parsing) while the
@@ -367,6 +416,10 @@ impl BgpStream {
     /// so it returns `None` only if the clock is `Fixed` and no more
     /// data can ever appear.
     pub fn next_record(&mut self) -> Option<BgpStreamRecord> {
+        if let Some(rec) = self.lookahead.pop_front() {
+            self.stats.records += 1;
+            return Some(rec);
+        }
         loop {
             if let Some(m) = self.merger.as_mut() {
                 if let Some(rec) = m.next() {
@@ -457,6 +510,66 @@ impl BgpStream {
             }
         }
         true
+    }
+
+    /// Hand already-pulled records back to the stream; subsequent
+    /// [`BgpStream::next_record`]/[`BgpStream::next_batch`] calls
+    /// deliver them again, in the given (stream) order, before
+    /// anything else. Used by consumers that read ahead in batches
+    /// and hit a stop condition mid-batch — the unconsumed tail goes
+    /// back so the stream can be handed to another reader without
+    /// losing records. [`StreamStats::records`] is adjusted so
+    /// re-delivered records are not double-counted.
+    pub fn unread(&mut self, records: Vec<BgpStreamRecord>) {
+        debug_assert!(
+            self.stats.records >= records.len() as u64,
+            "unread of more records than this stream ever delivered"
+        );
+        self.stats.records = self.stats.records.saturating_sub(records.len() as u64);
+        for rec in records.into_iter().rev() {
+            self.lookahead.push_front(rec);
+        }
+    }
+
+    /// Pull up to `max` records of the sorted stream in one call.
+    ///
+    /// Batch handoff for multi-threaded consumers (the sharded
+    /// BGPCorsaro runtime): pulling a batch and handing it to worker
+    /// queues as one unit amortises per-record channel traffic. The
+    /// batch preserves stream order and never blocks once at least one
+    /// record has been read — in live mode a partially filled batch is
+    /// returned as soon as the next record would block on the broker,
+    /// so batching adds no latency at bin boundaries.
+    ///
+    /// Returns `None` only when the stream is exhausted (`max == 0`
+    /// also returns `None`).
+    pub fn next_batch(&mut self, max: usize) -> Option<Vec<BgpStreamRecord>> {
+        if max == 0 {
+            return None;
+        }
+        let first = self.next_record()?;
+        let mut out = Vec::with_capacity(max.clamp(1, 4096));
+        out.push(first);
+        while out.len() < max {
+            // Only continue while a record is ready without blocking:
+            // an unread record is buffered, the current merger has one
+            // primed, or a fully materialised group is queued locally.
+            // An in-flight prefetch does NOT count — collecting it
+            // waits on the worker's file reads, and this method
+            // promises to return the partial batch instead of
+            // stalling once at least one record is in hand.
+            let ready = !self.lookahead.is_empty()
+                || self.merger.as_ref().map(|m| m.has_next()).unwrap_or(false)
+                || !self.groups.is_empty();
+            if !ready {
+                break;
+            }
+            match self.next_record() {
+                Some(rec) => out.push(rec),
+                None => break,
+            }
+        }
+        Some(out)
     }
 
     /// Pull the next record that has at least one elem passing the
@@ -597,6 +710,111 @@ mod tests {
             vec!["rrc00".to_string(), "rrc01".to_string()]
         );
         assert_eq!(s.query.dump_types, vec![DumpType::Rib]);
+    }
+
+    #[test]
+    fn try_start_reports_unresolvable_interface() {
+        // A CSV manifest that does not exist: `try_start` must return
+        // an error (and `start` would panic) instead of yielding a
+        // half-configured stream.
+        let missing = std::env::temp_dir().join("bgpstream-no-such-manifest.csv");
+        let err = match BgpStream::builder()
+            .data_interface(DataInterface::CsvFile(missing))
+            .interval(0, Some(10))
+            .try_start()
+        {
+            Ok(_) => panic!("missing manifest must not start"),
+            Err(e) => e,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("cannot start stream"), "got: {msg}");
+        // Source chain: implements std::error::Error.
+        let _: &dyn std::error::Error = &err;
+    }
+
+    #[test]
+    #[should_panic(expected = "BgpStreamBuilder::start")]
+    fn start_panics_with_context_on_unresolvable_interface() {
+        let missing = std::env::temp_dir().join("bgpstream-no-such-manifest.csv");
+        let _ = BgpStream::builder()
+            .data_interface(DataInterface::CsvFile(missing))
+            .start();
+    }
+
+    #[test]
+    fn next_batch_preserves_order_and_exhausts() {
+        use mrt::{Bgp4mp, MrtRecord, MrtWriter};
+        let dir = std::env::temp_dir().join(format!("next_batch_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("updates.mrt");
+        {
+            let mut w = MrtWriter::new(std::fs::File::create(&path).unwrap());
+            for ts in 0..10u32 {
+                w.write(&MrtRecord::bgp4mp(
+                    100 + ts,
+                    Bgp4mp::StateChange {
+                        peer_asn: bgp_types::Asn(65001),
+                        local_asn: bgp_types::Asn(12654),
+                        peer_ip: "192.0.2.1".parse().unwrap(),
+                        local_ip: "192.0.2.254".parse().unwrap(),
+                        old_state: bgp_types::SessionState::OpenConfirm,
+                        new_state: bgp_types::SessionState::Established,
+                    },
+                ))
+                .unwrap();
+            }
+        }
+        let build = || {
+            BgpStream::builder()
+                .data_interface(DataInterface::SingleFile {
+                    dump_type: DumpType::Updates,
+                    path: path.clone(),
+                    interval_start: 100,
+                    duration: 10,
+                })
+                .interval(0, Some(1000))
+                .start()
+        };
+        // Batched timestamps must equal record-at-a-time timestamps.
+        let mut one_by_one = Vec::new();
+        let mut s = build();
+        while let Some(r) = s.next_record() {
+            one_by_one.push(r.timestamp);
+        }
+        let mut batched = Vec::new();
+        let mut s = build();
+        while let Some(batch) = s.next_batch(4) {
+            assert!(!batch.is_empty() && batch.len() <= 4);
+            batched.extend(batch.into_iter().map(|r| r.timestamp));
+        }
+        assert_eq!(batched, one_by_one);
+        assert!(!batched.is_empty());
+        let mut s = build();
+        assert!(s.next_batch(0).is_none());
+
+        // Unread: a consumed tail handed back is re-delivered in
+        // order, ahead of everything else, without double-counting.
+        let mut s = build();
+        let mut batch = s.next_batch(4).unwrap();
+        let counted = s.stats().records;
+        let tail = batch.split_off(2);
+        let tail_ts: Vec<u64> = tail.iter().map(|r| r.timestamp).collect();
+        s.unread(tail);
+        assert_eq!(s.stats().records, counted - tail_ts.len() as u64);
+        let mut redelivered = Vec::new();
+        while let Some(r) = s.next_record() {
+            redelivered.push(r.timestamp);
+        }
+        assert_eq!(&redelivered[..tail_ts.len()], &tail_ts[..]);
+        assert_eq!(
+            batch
+                .iter()
+                .map(|r| r.timestamp)
+                .chain(redelivered.iter().copied())
+                .collect::<Vec<_>>(),
+            one_by_one
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

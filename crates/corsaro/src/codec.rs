@@ -22,6 +22,84 @@ pub struct DiffCell {
     pub path: Option<AsPath>,
 }
 
+/// Sort cells into the canonical publication order: `(vp, prefix,
+/// path)`. Both the sequential RT plugin and the sharded runtime's
+/// merge publish in this order, which is what makes their queue
+/// payloads byte-identical (a `HashMap` drain order would differ from
+/// run to run, let alone between shard layouts).
+pub fn sort_cells(cells: &mut [DiffCell]) {
+    cells.sort_by_cached_key(|c| {
+        (
+            c.vp.0,
+            !c.prefix.is_ipv4(),
+            c.prefix.len(),
+            c.prefix.raw_bits(),
+            c.path
+                .as_ref()
+                .map(|p| p.asns().map(|a| a.0).collect::<Vec<u32>>()),
+        )
+    });
+}
+
+/// Append the wire form of `cells` (count-prefixed) to `out`.
+pub fn encode_cells(out: &mut BytesMut, cells: &[DiffCell]) {
+    out.put_u32(cells.len() as u32);
+    for c in cells {
+        out.put_u32(c.vp.0);
+        out.put_u8(c.prefix.is_ipv4() as u8);
+        out.put_u8(c.prefix.len());
+        out.put_u128(c.prefix.raw_bits());
+        match &c.path {
+            None => out.put_u16(u16::MAX),
+            Some(p) => {
+                let hops: Vec<Asn> = p.asns().collect();
+                out.put_u16(hops.len() as u16);
+                for h in hops {
+                    out.put_u32(h.0);
+                }
+            }
+        }
+    }
+}
+
+/// Decode a count-prefixed cell list, advancing `buf` past it.
+pub fn decode_cells(buf: &mut &[u8]) -> Result<Vec<DiffCell>, String> {
+    if buf.len() < 4 {
+        return Err("truncated cell count".into());
+    }
+    let count = buf.get_u32() as usize;
+    let mut cells = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        if buf.len() < 4 + 1 + 1 + 16 + 2 {
+            return Err("truncated cell".into());
+        }
+        let vp = Asn(buf.get_u32());
+        let v4 = buf.get_u8() == 1;
+        let len = buf.get_u8();
+        let bits = buf.get_u128();
+        let prefix = if v4 {
+            Prefix::v4(Ipv4Addr::from((bits >> 96) as u32), len)
+        } else {
+            Prefix::v6(Ipv6Addr::from(bits), len)
+        };
+        let hop_count = buf.get_u16();
+        let path = if hop_count == u16::MAX {
+            None
+        } else {
+            if buf.len() < hop_count as usize * 4 {
+                return Err("truncated path".into());
+            }
+            let mut hops = Vec::with_capacity(hop_count as usize);
+            for _ in 0..hop_count {
+                hops.push(buf.get_u32());
+            }
+            Some(AsPath::from_sequence(hops))
+        };
+        cells.push(DiffCell { vp, prefix, path });
+    }
+    Ok(cells)
+}
+
 /// An RT plugin bin message.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum RtMessage {
@@ -86,23 +164,7 @@ impl RtMessage {
         out.put_u64(bin);
         out.put_u16(collector.len() as u16);
         out.put_slice(collector.as_bytes());
-        out.put_u32(cells.len() as u32);
-        for c in cells {
-            out.put_u32(c.vp.0);
-            out.put_u8(c.prefix.is_ipv4() as u8);
-            out.put_u8(c.prefix.len());
-            out.put_u128(c.prefix.raw_bits());
-            match &c.path {
-                None => out.put_u16(u16::MAX),
-                Some(p) => {
-                    let hops: Vec<Asn> = p.asns().collect();
-                    out.put_u16(hops.len() as u16);
-                    for h in hops {
-                        out.put_u32(h.0);
-                    }
-                }
-            }
-        }
+        encode_cells(&mut out, cells);
         out.to_vec()
     }
 
@@ -119,36 +181,7 @@ impl RtMessage {
         }
         let collector = String::from_utf8_lossy(&buf[..name_len]).into_owned();
         buf.advance(name_len);
-        let count = buf.get_u32() as usize;
-        let mut cells = Vec::with_capacity(count);
-        for _ in 0..count {
-            if buf.len() < 4 + 1 + 1 + 16 + 2 {
-                return Err("truncated cell".into());
-            }
-            let vp = Asn(buf.get_u32());
-            let v4 = buf.get_u8() == 1;
-            let len = buf.get_u8();
-            let bits = buf.get_u128();
-            let prefix = if v4 {
-                Prefix::v4(Ipv4Addr::from((bits >> 96) as u32), len)
-            } else {
-                Prefix::v6(Ipv6Addr::from(bits), len)
-            };
-            let hop_count = buf.get_u16();
-            let path = if hop_count == u16::MAX {
-                None
-            } else {
-                if buf.len() < hop_count as usize * 4 {
-                    return Err("truncated path".into());
-                }
-                let mut hops = Vec::with_capacity(hop_count as usize);
-                for _ in 0..hop_count {
-                    hops.push(buf.get_u32());
-                }
-                Some(AsPath::from_sequence(hops))
-            };
-            cells.push(DiffCell { vp, prefix, path });
-        }
+        let cells = decode_cells(&mut buf)?;
         match kind {
             0 => Ok(RtMessage::Diff {
                 collector,
@@ -233,6 +266,23 @@ mod tests {
         .encode();
         ok.truncate(ok.len() - 3);
         assert!(RtMessage::decode(&ok).is_err());
+    }
+
+    #[test]
+    fn sort_cells_is_canonical_regardless_of_input_order() {
+        let mut a = cells();
+        a.push(DiffCell {
+            vp: Asn(65001),
+            prefix: "193.204.0.0/15".parse().unwrap(),
+            path: None,
+        });
+        let mut b = a.clone();
+        b.reverse();
+        sort_cells(&mut a);
+        sort_cells(&mut b);
+        assert_eq!(a, b);
+        // v4 sorts before v6 for the same VP ordering rules.
+        assert!(a[0].prefix.is_ipv4());
     }
 
     #[test]

@@ -19,18 +19,26 @@
 //! * [`codec`] — the diff/full-table serialization used for the
 //!   Kafka-like queue;
 //! * [`tag`] — stateless classification/tagging plugins and the
-//!   tag-aware pipeline runner (§6.1's stateless plugin class).
+//!   tag-aware pipeline runner (§6.1's stateless plugin class);
+//! * [`runtime`] — the sharded multi-core runtime: fans the sorted
+//!   elem stream out to N shard workers (hash-partitioned by prefix
+//!   or by peer, declared per plugin via
+//!   [`pipeline::Plugin::partitioning`]) and merges per-bin shard
+//!   outputs deterministically, so results are byte-identical to the
+//!   sequential pipeline.
 
 pub mod codec;
 pub mod pfxmonitor;
 pub mod pipeline;
 pub mod rt;
+pub mod runtime;
 pub mod stats;
 pub mod tag;
 
 pub use pfxmonitor::{PfxMonitor, PfxPoint};
-pub use pipeline::{run_pipeline, run_pipeline_until, Plugin};
+pub use pipeline::{run_pipeline, run_pipeline_until, Partitioning, Plugin};
 pub use rt::{RtBinStats, RtErrorStats, RtPlugin};
+pub use runtime::{ShardedPlugin, ShardedRuntime, ShardedRuntimeBuilder};
 pub use stats::{BinCounters, ElemCounter, StatsPoint};
 pub use tag::{
     run_tagged_pipeline, ClassifierTagger, GeoTagger, TagCounter, TagGate, TagSet, TaggedPlugin,

@@ -14,8 +14,10 @@ use std::net::IpAddr;
 use bgp_types::trie::PrefixMatch;
 use bgp_types::{Asn, Prefix, PrefixTrie};
 use bgpstream::{BgpStreamRecord, ElemType};
+use bytes::{Buf, BufMut};
 
-use crate::pipeline::Plugin;
+use crate::pipeline::{Partitioning, Plugin};
+use crate::runtime::{shard_of_prefix, ShardedPlugin};
 
 /// One output point of the plugin's two time series.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -30,10 +32,36 @@ pub struct PfxPoint {
 }
 
 /// The pfxmonitor plugin.
+///
+/// Distinct-prefix and distinct-origin counts are maintained
+/// *incrementally* (reference-counted alongside the `<prefix, VP>`
+/// table), so closing a bin is O(1) and — under the sharded runtime —
+/// the per-bin partial is O(changes in the bin), not O(table). On a
+/// full-feed table of hundreds of thousands of cells, an O(table)
+/// interval barrier would serialise exactly the work sharding exists
+/// to spread out.
 pub struct PfxMonitor {
     ranges: PrefixTrie<()>,
+    /// The monitored ranges, kept for [`ShardedPlugin::fork`].
+    range_list: Vec<Prefix>,
     /// `<prefix, VP>` → origin ASN.
     table: HashMap<(Prefix, IpAddr), Asn>,
+    /// Prefix → number of table entries carrying it.
+    prefix_refs: HashMap<Prefix, u32>,
+    /// Origin → number of table entries carrying it.
+    origin_refs: HashMap<Asn, u32>,
+    /// `Some((shard, shards))` on a shard instance of the sharded
+    /// runtime: only elems whose prefix hashes to `shard` are applied.
+    shard: Option<(usize, usize)>,
+    /// Shard instances record the bin's origin-presence transitions
+    /// here (the partial shipped at each barrier); `None` on
+    /// sequential/root instances.
+    delta: Option<Vec<u8>>,
+    delta_ops: u32,
+    /// Root-side (merge) state: the latest distinct-prefix count
+    /// reported by each shard. Prefixes are shard-disjoint, so the
+    /// union count is the sum.
+    shard_prefix_counts: Vec<u32>,
     /// The per-bin time series.
     pub series: Vec<PfxPoint>,
 }
@@ -41,20 +69,111 @@ pub struct PfxMonitor {
 impl PfxMonitor {
     /// Monitor everything overlapping `ranges`.
     pub fn new<I: IntoIterator<Item = Prefix>>(ranges: I) -> Self {
+        let range_list: Vec<Prefix> = ranges.into_iter().collect();
         let mut trie = PrefixTrie::new();
-        for p in ranges {
-            trie.insert(p, ());
+        for p in &range_list {
+            trie.insert(*p, ());
         }
         PfxMonitor {
             ranges: trie,
+            range_list,
             table: HashMap::new(),
+            prefix_refs: HashMap::new(),
+            origin_refs: HashMap::new(),
+            shard: None,
+            delta: None,
+            delta_ops: 0,
+            shard_prefix_counts: Vec::new(),
             series: Vec::new(),
         }
     }
 
     /// Current distinct origins (useful in live monitoring loops).
     pub fn current_origins(&self) -> BTreeSet<Asn> {
-        self.table.values().copied().collect()
+        self.origin_refs.keys().copied().collect()
+    }
+
+    /// Apply "route for `(prefix, vp)` is now announced by `origin`"
+    /// to the table and the refcounted distinct sets.
+    fn apply_set(&mut self, prefix: Prefix, vp: IpAddr, origin: Asn) {
+        match self.table.insert((prefix, vp), origin) {
+            Some(old) if old == origin => return, // no change
+            Some(old) => {
+                if decref(&mut self.origin_refs, old) {
+                    self.record_op(1, old);
+                }
+            }
+            None => {
+                *self.prefix_refs.entry(prefix).or_insert(0) += 1;
+            }
+        }
+        if incref(&mut self.origin_refs, origin) {
+            self.record_op(0, origin);
+        }
+    }
+
+    /// Apply "route for `(prefix, vp)` is withdrawn".
+    fn apply_remove(&mut self, prefix: Prefix, vp: IpAddr) {
+        let Some(old) = self.table.remove(&(prefix, vp)) else {
+            return; // no change
+        };
+        decref(&mut self.prefix_refs, prefix);
+        if decref(&mut self.origin_refs, old) {
+            self.record_op(1, old);
+        }
+    }
+
+    /// Match one elem against the ranges and apply it to the table.
+    fn apply_elem(&mut self, prefix: Prefix, elem: &bgpstream::BgpStreamElem) {
+        if !self.ranges.matches(&prefix, PrefixMatch::Any) {
+            return;
+        }
+        match elem.elem_type {
+            ElemType::Announcement | ElemType::RibEntry => {
+                if let Some(origin) = elem.origin_asn() {
+                    self.apply_set(prefix, elem.peer_address, origin);
+                }
+            }
+            ElemType::Withdrawal => {
+                self.apply_remove(prefix, elem.peer_address);
+            }
+            ElemType::PeerState => {}
+        }
+    }
+
+    /// Append one origin-presence transition (`tag` 0 = appeared,
+    /// 1 = vanished) to the shard delta; no-op outside the sharded
+    /// runtime.
+    fn record_op(&mut self, tag: u8, origin: Asn) {
+        let Some(delta) = &mut self.delta else { return };
+        delta.put_u8(tag);
+        delta.put_u32(origin.0);
+        self.delta_ops += 1;
+    }
+}
+
+/// Increment; true when the key just appeared.
+fn incref<K: std::hash::Hash + Eq>(refs: &mut HashMap<K, u32>, key: K) -> bool {
+    let n = refs.entry(key).or_insert(0);
+    *n += 1;
+    *n == 1
+}
+
+/// Decrement; true when the key just vanished.
+fn decref<K: std::hash::Hash + Eq>(refs: &mut HashMap<K, u32>, key: K) -> bool {
+    match refs.get_mut(&key) {
+        Some(1) => {
+            refs.remove(&key);
+            true
+        }
+        Some(n) => {
+            *n -= 1;
+            false
+        }
+        None => {
+            debug_assert!(false, "decref of untracked key");
+            false
+        }
     }
 }
 
@@ -66,30 +185,97 @@ impl Plugin for PfxMonitor {
     fn process_record(&mut self, record: &BgpStreamRecord) {
         for elem in record.elems() {
             let Some(prefix) = elem.prefix else { continue };
-            if !self.ranges.matches(&prefix, PrefixMatch::Any) {
-                continue;
-            }
-            match elem.elem_type {
-                ElemType::Announcement | ElemType::RibEntry => {
-                    if let Some(origin) = elem.origin_asn() {
-                        self.table.insert((prefix, elem.peer_address), origin);
-                    }
+            // Shard gate (only on shard instances driven outside the
+            // runtime's mask path; the runtime precomputes ownership
+            // per record instead of hashing here per plugin).
+            if let Some((shard, shards)) = self.shard {
+                if shard_of_prefix(&prefix, shards) != shard {
+                    continue;
                 }
-                ElemType::Withdrawal => {
-                    self.table.remove(&(prefix, elem.peer_address));
-                }
-                ElemType::PeerState => {}
             }
+            self.apply_elem(prefix, elem);
         }
     }
 
     fn end_bin(&mut self, bin_start: u64, _bin_end: u64) {
-        let prefixes: BTreeSet<Prefix> = self.table.keys().map(|(p, _)| *p).collect();
-        let origins: BTreeSet<Asn> = self.table.values().copied().collect();
+        // Shard instances (delta collection on) keep no series of
+        // their own — only the merged root series is ever read, and a
+        // 24/7 run must not grow per-shard memory one point per bin.
+        if self.delta.is_none() {
+            self.series.push(PfxPoint {
+                time: bin_start,
+                prefixes: self.prefix_refs.len(),
+                origins: self.origin_refs.len(),
+            });
+        }
+    }
+
+    fn partitioning(&self) -> Partitioning {
+        // Table state is keyed by `(prefix, VP)` and the bin output is
+        // a union of per-prefix facts, so prefix sharding partitions
+        // the state exactly.
+        Partitioning::ByPrefix
+    }
+}
+
+impl ShardedPlugin for PfxMonitor {
+    fn fork(&self, shard: usize, shards: usize) -> Box<dyn ShardedPlugin> {
+        let mut fresh = PfxMonitor::new(self.range_list.iter().copied());
+        fresh.shard = Some((shard, shards));
+        fresh.delta = Some(Vec::new());
+        Box::new(fresh)
+    }
+
+    fn process_sharded(&mut self, record: &BgpStreamRecord, mask: &[bool]) {
+        for (i, elem) in record.elems().iter().enumerate() {
+            if !mask[i] {
+                continue;
+            }
+            let Some(prefix) = elem.prefix else { continue };
+            self.apply_elem(prefix, elem);
+        }
+    }
+
+    /// Partial = the shard's distinct-prefix count plus the bin's
+    /// origin-*presence* transitions, O(origin churn). Prefix counts
+    /// sum across shards (prefixes are shard-disjoint); origins are
+    /// not disjoint, so the root refcounts per-shard presence instead
+    /// — both O(1)-per-change, so the serialized interval barrier
+    /// never does O(table) work.
+    fn take_partial(&mut self) -> Vec<u8> {
+        let ops = std::mem::take(&mut self.delta_ops);
+        let body = self.delta.as_mut().expect("take_partial on a shard");
+        let mut out = Vec::with_capacity(8 + body.len());
+        out.put_u32(self.prefix_refs.len() as u32);
+        out.put_u32(ops);
+        out.append(body);
+        out
+    }
+
+    fn merge_bin(&mut self, bin_start: u64, _bin_end: u64, partials: Vec<Vec<u8>>) {
+        self.shard_prefix_counts.resize(partials.len(), 0);
+        for (shard, partial) in partials.iter().enumerate() {
+            let mut buf = &partial[..];
+            self.shard_prefix_counts[shard] = buf.get_u32();
+            let ops = buf.get_u32();
+            for _ in 0..ops {
+                let tag = buf.get_u8();
+                let origin = Asn(buf.get_u32());
+                // `origin_refs` on the root counts shards where the
+                // origin is present; transitions from different shards
+                // commute, so replay order across partials is
+                // irrelevant.
+                if tag == 0 {
+                    incref(&mut self.origin_refs, origin);
+                } else {
+                    decref(&mut self.origin_refs, origin);
+                }
+            }
+        }
         self.series.push(PfxPoint {
             time: bin_start,
-            prefixes: prefixes.len(),
-            origins: origins.len(),
+            prefixes: self.shard_prefix_counts.iter().sum::<u32>() as usize,
+            origins: self.origin_refs.len(),
         });
     }
 }

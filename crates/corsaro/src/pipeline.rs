@@ -2,6 +2,31 @@
 
 use bgpstream::{BgpStream, BgpStreamRecord};
 
+/// How a plugin's input may be distributed across the workers of the
+/// sharded runtime (`crate::runtime`), declared per plugin via
+/// [`Plugin::partitioning`].
+///
+/// The sequential runners ([`run_pipeline`] and friends) ignore this
+/// hook entirely; it only matters when the plugin is driven by a
+/// [`crate::runtime::ShardedRuntime`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Partitioning {
+    /// The plugin runs as a single instance pinned to one worker and
+    /// sees the full record stream there. The only always-safe mode,
+    /// hence the default: sharding is opt-in per plugin.
+    #[default]
+    Pinned,
+    /// Table-state plugins whose state is keyed by prefix (e.g.
+    /// [`crate::PfxMonitor`]): elems are hash-partitioned by prefix,
+    /// every shard instance sees every record envelope but only its
+    /// own prefixes' elems.
+    ByPrefix,
+    /// Per-VP plugins whose state is keyed by the vantage point (e.g.
+    /// [`crate::RtPlugin`], whose tables, FSMs and accuracy checks are
+    /// all per-VP): elems are hash-partitioned by peer address.
+    ByPeer,
+}
+
 /// A BGPCorsaro plugin. Stateless plugins only implement
 /// `process_record`; stateful plugins aggregate and act on `end_bin`.
 pub trait Plugin {
@@ -13,12 +38,36 @@ pub trait Plugin {
 
     /// Called when the bin `[bin_start, bin_end)` closes.
     fn end_bin(&mut self, bin_start: u64, bin_end: u64);
+
+    /// How the sharded runtime may distribute this plugin's input
+    /// (defaults to [`Partitioning::Pinned`]; sequential runners never
+    /// call this).
+    fn partitioning(&self) -> Partitioning {
+        Partitioning::Pinned
+    }
 }
 
 /// Drive `plugins` over `stream` with `bin_size`-second bins aligned
 /// to multiples of `bin_size`. Returns the number of records
 /// processed. Bins with no records still close in order (one `end_bin`
 /// per elapsed bin) so time series stay dense.
+///
+/// ```
+/// use bgpstream::BgpStream;
+/// use broker::{DataInterface, Index};
+/// use corsaro::{run_pipeline, ElemCounter};
+///
+/// let mut stream = BgpStream::builder()
+///     .data_interface(DataInterface::Broker(Index::shared()))
+///     .interval(0, Some(3600))
+///     .start();
+/// let mut stats = ElemCounter::new();
+/// let records = run_pipeline(&mut stream, 300, &mut [&mut stats]);
+/// assert_eq!(records, 0); // the index above is empty
+/// ```
+///
+/// For multi-core execution of the same plugin set, see
+/// [`crate::runtime::ShardedRuntime`].
 pub fn run_pipeline(stream: &mut BgpStream, bin_size: u64, plugins: &mut [&mut dyn Plugin]) -> u64 {
     run_pipeline_until(stream, bin_size, u64::MAX, plugins)
 }

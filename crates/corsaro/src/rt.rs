@@ -32,10 +32,12 @@ use std::sync::Arc;
 use bgp_types::{AsPath, Asn, Prefix};
 use bgpstream::{BgpStreamRecord, ElemType};
 use broker::DumpType;
+use bytes::{Buf, BufMut, BytesMut};
 use mq::Cluster;
 
-use crate::codec::{encode_meta, DiffCell, RtMessage};
-use crate::pipeline::Plugin;
+use crate::codec::{decode_cells, encode_cells, encode_meta, sort_cells, DiffCell, RtMessage};
+use crate::pipeline::{Partitioning, Plugin};
+use crate::runtime::{shard_of_peer, ShardedPlugin};
 
 /// The Figure 8 macro states.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -98,7 +100,7 @@ pub struct RtBinStats {
 
 /// Accuracy self-check counters (§6.2.1: error probabilities ~1e-8
 /// RIS / ~1e-5 RouteViews).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct RtErrorStats {
     /// Cells compared at RIB boundaries.
     pub cells_checked: u64,
@@ -136,6 +138,18 @@ pub struct RtPlugin {
     /// Publish a full table every this many bins (0 = never).
     full_every_bins: u64,
     bins_since_full: u64,
+    /// `Some((shard, shards))` on a shard instance of the sharded
+    /// runtime: only elems whose VP hashes to `shard` are applied
+    /// (record-level events — E1/E3 corruption, RIB dump start/end —
+    /// replay on every shard).
+    shard: Option<(usize, usize)>,
+    /// Shard instances retain each bin's outputs for
+    /// [`ShardedPlugin::take_partial`].
+    collect_partials: bool,
+    pending_partial: Option<Vec<u8>>,
+    /// Error counters already shipped in partials (partials carry
+    /// deltas, the per-run totals live on the root).
+    err_reported: RtErrorStats,
     /// The Figure 9 series.
     pub bin_series: Vec<RtBinStats>,
     /// Accuracy counters.
@@ -157,6 +171,10 @@ impl RtPlugin {
             mq: None,
             full_every_bins: 0,
             bins_since_full: 0,
+            shard: None,
+            collect_partials: false,
+            pending_partial: None,
+            err_reported: RtErrorStats::default(),
             bin_series: Vec::new(),
             error_stats: RtErrorStats::default(),
         }
@@ -189,6 +207,14 @@ impl RtPlugin {
 
     fn vp_entry(&mut self, ip: IpAddr, asn: Asn) -> &mut VpTable {
         vp_entry_in(&mut self.vps, self.rib_active, ip, asn)
+    }
+
+    /// Shard gate: does this instance own the VP's state?
+    fn owns_peer(&self, ip: &IpAddr) -> bool {
+        match self.shard {
+            Some((shard, shards)) => shard_of_peer(ip, shards) == shard,
+            None => true,
+        }
     }
 
     fn mark_dirty(
@@ -289,15 +315,19 @@ impl RtPlugin {
     }
 }
 
-impl Plugin for RtPlugin {
-    fn name(&self) -> &'static str {
-        "routing-tables"
-    }
-
-    fn process_record(&mut self, record: &BgpStreamRecord) {
+impl RtPlugin {
+    /// Shared body of `process_record` (elem gate: peer-shard hash)
+    /// and `process_sharded` (elem gate: the runtime's precomputed
+    /// ownership mask). Record-level events — E1/E3 corruption, RIB
+    /// dump start/end — always apply, whatever the gate.
+    fn process_impl(&mut self, record: &BgpStreamRecord, mask: Option<&[bool]>) {
         if record.collector() != self.collector {
             return;
         }
+        let owned = |rt: &RtPlugin, i: usize, ip: &IpAddr| match mask {
+            Some(m) => m[i],
+            None => rt.owns_peer(ip),
+        };
         match record.dump_type() {
             DumpType::Rib => {
                 if record.position.is_start() && !self.rib_active {
@@ -307,7 +337,10 @@ impl Plugin for RtPlugin {
                     self.rib_corrupted = true; // E1
                 }
                 if self.rib_active {
-                    for elem in record.elems() {
+                    for (i, elem) in record.elems().iter().enumerate() {
+                        if !owned(self, i, &elem.peer_address) {
+                            continue;
+                        }
                         if elem.elem_type != ElemType::RibEntry {
                             continue;
                         }
@@ -334,7 +367,10 @@ impl Plugin for RtPlugin {
                     }
                     return;
                 }
-                for elem in record.elems() {
+                for (i, elem) in record.elems().iter().enumerate() {
+                    if !owned(self, i, &elem.peer_address) {
+                        continue;
+                    }
                     match elem.elem_type {
                         ElemType::PeerState => {
                             // E4: forced transitions.
@@ -417,6 +453,16 @@ impl Plugin for RtPlugin {
             }
         }
     }
+}
+
+impl Plugin for RtPlugin {
+    fn name(&self) -> &'static str {
+        "routing-tables"
+    }
+
+    fn process_record(&mut self, record: &BgpStreamRecord) {
+        self.process_impl(record, None);
+    }
 
     fn end_bin(&mut self, bin_start: u64, _bin_end: u64) {
         // Count real value changes (a cell that flapped back within
@@ -437,52 +483,178 @@ impl Plugin for RtPlugin {
                 });
             }
         }
-        self.bin_series.push(RtBinStats {
-            bin: bin_start,
-            elems: self.elems_in_bin,
-            diff_cells: diff_cells.len() as u64,
-        });
+        // Canonical order: the `dirty` drain above is HashMap-ordered,
+        // which would make queue payloads differ run to run (and shard
+        // layout to shard layout). Only the serializing paths need it
+        // — a queue-less sequential plugin just counts the cells.
+        if self.mq.is_some() || self.collect_partials {
+            sort_cells(&mut diff_cells);
+        }
+        let elems = self.elems_in_bin;
+        // Shard instances (collect_partials) keep no series of their
+        // own — the stats travel in the partial, and a 24/7 run must
+        // not grow per-shard memory one point per bin.
+        if !self.collect_partials {
+            self.bin_series.push(RtBinStats {
+                bin: bin_start,
+                elems,
+                diff_cells: diff_cells.len() as u64,
+            });
+        }
         self.elems_in_bin = 0;
 
-        if let Some(mq) = &self.mq {
-            let msg = RtMessage::Diff {
+        // Full-table cadence: advanced by publishers (mq) *and* by
+        // shard instances, which must ship full cells in the same bins
+        // the sequential plugin would publish them.
+        let mut full: Option<Vec<DiffCell>> = None;
+        if (self.mq.is_some() || self.collect_partials) && self.full_every_bins > 0 {
+            self.bins_since_full += 1;
+            if self.bins_since_full >= self.full_every_bins {
+                self.bins_since_full = 0;
+                let mut cells = self.full_cells();
+                sort_cells(&mut cells);
+                full = Some(cells);
+            }
+        }
+
+        if self.collect_partials {
+            let checked = self.error_stats.cells_checked - self.err_reported.cells_checked;
+            let mismatched = self.error_stats.cells_mismatched - self.err_reported.cells_mismatched;
+            self.err_reported = self.error_stats;
+            let mut out = BytesMut::new();
+            out.put_u64(elems);
+            out.put_u64(checked);
+            out.put_u64(mismatched);
+            encode_cells(&mut out, &diff_cells);
+            match &full {
+                Some(cells) => {
+                    out.put_u8(1);
+                    encode_cells(&mut out, cells);
+                }
+                None => out.put_u8(0),
+            }
+            self.pending_partial = Some(out.to_vec());
+        }
+        self.publish(bin_start, diff_cells, full);
+    }
+
+    fn partitioning(&self) -> Partitioning {
+        // Everything this plugin tracks — cells, FSM state, `rib_seen`
+        // bookkeeping, accuracy checks — is keyed by the VP, so peer
+        // sharding partitions the state exactly. (Prefix sharding
+        // would *not* be safe here: a shard seeing none of a VP's RIB
+        // rows would wrongly declare the VP down via the footnote-5
+        // rule.)
+        Partitioning::ByPeer
+    }
+}
+
+impl RtPlugin {
+    /// Every announced cell of every available VP (the `Full` message
+    /// body), unsorted.
+    fn full_cells(&self) -> Vec<DiffCell> {
+        let mut cells = Vec::new();
+        for vp in self.vps.values() {
+            if !vp.state.table_available() {
+                continue;
+            }
+            for (prefix, cell) in &vp.cells {
+                if let Some(route) = &cell.main {
+                    cells.push(DiffCell {
+                        vp: vp.asn,
+                        prefix: *prefix,
+                        path: Some(route.path.clone()),
+                    });
+                }
+            }
+        }
+        cells
+    }
+
+    /// Publish one bin's outputs to the queue (no-op without one).
+    /// Shared by the sequential `end_bin` and the sharded merge, so
+    /// both paths emit identical message sequences.
+    fn publish(&self, bin_start: u64, diff: Vec<DiffCell>, full: Option<Vec<DiffCell>>) {
+        let Some(mq) = &self.mq else { return };
+        let msg = RtMessage::Diff {
+            collector: self.collector.clone(),
+            bin: bin_start,
+            cells: diff,
+        };
+        mq.produce("rt.tables", &self.collector, bin_start, msg.encode());
+        if let Some(cells) = full {
+            let full = RtMessage::Full {
                 collector: self.collector.clone(),
                 bin: bin_start,
-                cells: diff_cells,
+                cells,
             };
-            mq.produce("rt.tables", &self.collector, bin_start, msg.encode());
-            self.bins_since_full += 1;
-            if self.full_every_bins > 0 && self.bins_since_full >= self.full_every_bins {
-                self.bins_since_full = 0;
-                let mut cells = Vec::new();
-                for vp in self.vps.values() {
-                    if !vp.state.table_available() {
-                        continue;
-                    }
-                    for (prefix, cell) in &vp.cells {
-                        if let Some(route) = &cell.main {
-                            cells.push(DiffCell {
-                                vp: vp.asn,
-                                prefix: *prefix,
-                                path: Some(route.path.clone()),
-                            });
-                        }
-                    }
-                }
-                let full = RtMessage::Full {
-                    collector: self.collector.clone(),
-                    bin: bin_start,
-                    cells,
-                };
-                mq.produce("rt.tables", &self.collector, bin_start, full.encode());
-            }
-            mq.produce(
-                "rt.meta",
-                &self.collector,
-                bin_start,
-                encode_meta(&self.collector, bin_start),
-            );
+            mq.produce("rt.tables", &self.collector, bin_start, full.encode());
         }
+        mq.produce(
+            "rt.meta",
+            &self.collector,
+            bin_start,
+            encode_meta(&self.collector, bin_start),
+        );
+    }
+}
+
+impl ShardedPlugin for RtPlugin {
+    fn fork(&self, shard: usize, shards: usize) -> Box<dyn ShardedPlugin> {
+        let mut fresh = RtPlugin::new(&self.collector);
+        // Shards compute full-table cells only if the root will
+        // actually publish them.
+        fresh.full_every_bins = if self.mq.is_some() {
+            self.full_every_bins
+        } else {
+            0
+        };
+        fresh.shard = Some((shard, shards));
+        fresh.collect_partials = true;
+        Box::new(fresh)
+    }
+
+    fn process_sharded(&mut self, record: &BgpStreamRecord, mask: &[bool]) {
+        self.process_impl(record, Some(mask));
+    }
+
+    fn take_partial(&mut self) -> Vec<u8> {
+        self.pending_partial
+            .take()
+            .expect("take_partial follows end_bin on a shard instance")
+    }
+
+    fn merge_bin(&mut self, bin_start: u64, _bin_end: u64, partials: Vec<Vec<u8>>) {
+        let mut elems = 0u64;
+        let mut checked = 0u64;
+        let mut mismatched = 0u64;
+        let mut diff: Vec<DiffCell> = Vec::new();
+        let mut full: Option<Vec<DiffCell>> = None;
+        for partial in &partials {
+            let mut buf = &partial[..];
+            elems += buf.get_u64();
+            checked += buf.get_u64();
+            mismatched += buf.get_u64();
+            diff.extend(decode_cells(&mut buf).expect("well-formed shard partial"));
+            if buf.get_u8() == 1 {
+                full.get_or_insert_with(Vec::new)
+                    .extend(decode_cells(&mut buf).expect("well-formed shard partial"));
+            }
+        }
+        // VPs are disjoint across shards, so concatenation + canonical
+        // sort reproduces the sequential cell lists exactly.
+        sort_cells(&mut diff);
+        if let Some(cells) = &mut full {
+            sort_cells(cells);
+        }
+        self.bin_series.push(RtBinStats {
+            bin: bin_start,
+            elems,
+            diff_cells: diff.len() as u64,
+        });
+        self.error_stats.cells_checked += checked;
+        self.error_stats.cells_mismatched += mismatched;
+        self.publish(bin_start, diff, full);
     }
 }
 

@@ -1,0 +1,665 @@
+//! The sharded, multi-core consumer runtime (§6's scale-out
+//! deployment: "more BGPCorsaro instances than cores" becomes "more
+//! shards than one core can absorb").
+//!
+//! [`run_pipeline`](crate::run_pipeline) drives every plugin on the
+//! calling thread; once the sorted stream outruns the consumers, the
+//! plugin layer is the bottleneck. A [`ShardedRuntime`] keeps the
+//! stream read sequential (time order is the product §3.3.4 sells)
+//! but fans the *processing* out:
+//!
+//! 1. the coordinator (the calling thread) pulls record **batches**
+//!    from the stream ([`BgpStream::next_batch`]) and broadcasts each
+//!    batch — behind an `Arc`, so a broadcast is a refcount bump per
+//!    worker — into N per-worker bounded queues
+//!    ([`analytics::mapreduce::ShardPool`]); bounded queues mean a
+//!    slow worker backpressures the reader instead of buffering
+//!    without limit;
+//! 2. every worker owns one **shard instance** of each partitioned
+//!    plugin (forked via [`ShardedPlugin::fork`]). A shard instance
+//!    sees every record envelope (so record-level events — corrupted
+//!    dumps, RIB dump start/end — replay identically on every shard)
+//!    but processes only the elems its shard owns, per the plugin's
+//!    [`Partitioning`]: hash of the prefix, hash of the peer address,
+//!    or pinned to a single worker;
+//! 3. at each bin boundary the coordinator broadcasts a barrier;
+//!    every shard instance closes its bin and ships a serialized
+//!    **partial** back; the coordinator merges the partials *in shard
+//!    order* on the root plugin ([`ShardedPlugin::merge_bin`]), so
+//!    per-bin outputs are byte-identical to the sequential pipeline
+//!    regardless of worker count or queue interleaving.
+//!
+//! Determinism argument: each worker's queue is FIFO, batches and
+//! barriers are enqueued in stream order, shard ownership is a pure
+//! hash, and the merge consumes partials indexed by `(bin, plugin,
+//! shard)` — no step observes scheduling order.
+//!
+//! ```
+//! use bgpstream::BgpStream;
+//! use broker::{DataInterface, Index};
+//! use corsaro::runtime::ShardedRuntime;
+//! use corsaro::PfxMonitor;
+//!
+//! let mut stream = BgpStream::builder()
+//!     .data_interface(DataInterface::Broker(Index::shared()))
+//!     .interval(0, Some(3600))
+//!     .start();
+//! let mut monitor = PfxMonitor::new(["193.204.0.0/15".parse().unwrap()]);
+//! let runtime = ShardedRuntime::builder()
+//!     .workers(4)
+//!     .bin_size(300)
+//!     .build();
+//! let records = runtime.run(&mut stream, &mut [&mut monitor]);
+//! assert_eq!(records, 0); // the index above is empty
+//! // `monitor.series` now holds exactly what `run_pipeline` would
+//! // have produced, merged deterministically from the shards.
+//! ```
+
+use std::collections::VecDeque;
+use std::net::IpAddr;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use analytics::mapreduce::ShardPool;
+use bgp_types::Prefix;
+use bgpstream::{BgpStream, BgpStreamRecord};
+use crossbeam::channel::{Receiver, Sender, TryRecvError};
+
+use crate::pipeline::{Partitioning, Plugin};
+
+/// A plugin the sharded runtime can fan out.
+///
+/// The contract mirrors a map-reduce over time bins: shard instances
+/// (created by [`fork`](ShardedPlugin::fork)) process disjoint elem
+/// subsets, emit a serialized partial per bin
+/// ([`take_partial`](ShardedPlugin::take_partial), called right after
+/// `end_bin`), and the root instance folds the partials — always in
+/// shard order — into its canonical per-bin output
+/// ([`merge_bin`](ShardedPlugin::merge_bin)). For a correct
+/// implementation, merging the partials of N shards must reproduce
+/// the sequential output byte-for-byte; `fork(0, 1)` (one shard that
+/// owns everything) is the degenerate case tests lean on.
+pub trait ShardedPlugin: Plugin + Send {
+    /// A fresh instance that owns shard `shard` of `shards` (same
+    /// configuration, empty state). Pinned plugins are forked as
+    /// `fork(0, 1)`.
+    fn fork(&self, shard: usize, shards: usize) -> Box<dyn ShardedPlugin>;
+
+    /// Process a record on a shard instance: `mask[i]` is true iff
+    /// this shard owns elem `i` of the record. The runtime computes
+    /// the mask *once per record per partitioning mode* and shares it
+    /// across all same-mode plugins on the worker, so the per-elem
+    /// shard hash is not replicated per plugin. Implementations must
+    /// touch owned elems only; record-level state (corruption flags,
+    /// dump boundaries) is fair game for every shard.
+    ///
+    /// The default ignores the mask and processes everything — only
+    /// correct for `Pinned` plugins (whose mask is all-true).
+    fn process_sharded(&mut self, record: &BgpStreamRecord, mask: &[bool]) {
+        let _ = mask;
+        self.process_record(record);
+    }
+
+    /// Serialized partial output of the bin that just closed; called
+    /// on shard instances immediately after their `end_bin`.
+    fn take_partial(&mut self) -> Vec<u8>;
+
+    /// Fold shard partials (ordered by shard index) into the
+    /// canonical output for `[bin_start, bin_end)`, recording it on
+    /// `self` exactly as a sequential `end_bin` would have.
+    fn merge_bin(&mut self, bin_start: u64, bin_end: u64, partials: Vec<Vec<u8>>);
+}
+
+/// Stable shard hash for a prefix (a splitmix64-style mix over the
+/// prefix bits and length — deliberately *not* `DefaultHasher`, so
+/// shard placement is a documented function of the data, nothing
+/// else; and cheap enough to run once per elem on every worker).
+pub fn shard_of_prefix(prefix: &Prefix, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let bits = prefix.raw_bits();
+    let key = (bits as u64)
+        ^ ((bits >> 64) as u64)
+        ^ ((prefix.len() as u64) << 1)
+        ^ prefix.is_ipv4() as u64;
+    (mix64(key) % shards as u64) as usize
+}
+
+/// Stable shard hash for a VP address.
+pub fn shard_of_peer(peer: &IpAddr, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let key = match peer {
+        IpAddr::V4(a) => u32::from_be_bytes(a.octets()) as u64,
+        IpAddr::V6(a) => {
+            let b = u128::from_be_bytes(a.octets());
+            (b as u64) ^ ((b >> 64) as u64) ^ 1
+        }
+    };
+    (mix64(key) % shards as u64) as usize
+}
+
+/// splitmix64 finalizer: full-avalanche 64-bit mix.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Configuration for a [`ShardedRuntime`].
+pub struct ShardedRuntimeBuilder {
+    workers: usize,
+    bin_size: u64,
+    batch_records: usize,
+    queue_batches: usize,
+}
+
+impl Default for ShardedRuntimeBuilder {
+    fn default() -> Self {
+        ShardedRuntimeBuilder {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            bin_size: 60,
+            batch_records: 256,
+            queue_batches: 4,
+        }
+    }
+}
+
+impl ShardedRuntimeBuilder {
+    /// Number of shard workers (default: available parallelism).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Time-bin size in seconds (default 60), aligned like
+    /// [`run_pipeline`](crate::run_pipeline).
+    pub fn bin_size(mut self, seconds: u64) -> Self {
+        self.bin_size = seconds.max(1);
+        self
+    }
+
+    /// Records per broadcast batch (default 256). Larger batches
+    /// amortise channel traffic; smaller ones reduce latency.
+    pub fn batch_records(mut self, n: usize) -> Self {
+        self.batch_records = n.max(1);
+        self
+    }
+
+    /// Bounded queue depth per worker, in batches (default 4): the
+    /// backpressure window between the reader and a slow worker.
+    pub fn queue_batches(mut self, n: usize) -> Self {
+        self.queue_batches = n.max(1);
+        self
+    }
+
+    /// Finish configuration.
+    pub fn build(self) -> ShardedRuntime {
+        ShardedRuntime { cfg: self }
+    }
+}
+
+/// The sharded consumer runtime. See the [module docs](self) for the
+/// execution model; construct via [`ShardedRuntime::builder`].
+pub struct ShardedRuntime {
+    cfg: ShardedRuntimeBuilder,
+}
+
+/// Messages broadcast to shard workers.
+#[derive(Clone)]
+enum ShardMsg {
+    /// A run of records, all belonging to the current bin.
+    Batch(Arc<Vec<BgpStreamRecord>>),
+    /// Close the bin `[bin_start, bin_end)` and ship partials.
+    EndBin { bin_start: u64, bin_end: u64 },
+}
+
+/// Messages from shard workers back to the coordinator.
+enum ResMsg {
+    Partial {
+        plugin: usize,
+        worker: usize,
+        bin_start: u64,
+        bytes: Vec<u8>,
+    },
+    Panicked {
+        worker: usize,
+    },
+}
+
+/// One hosted shard instance.
+struct Hosted {
+    /// Index of the root plugin this instance shards.
+    root_idx: usize,
+    partitioning: Partitioning,
+    plugin: Box<dyn ShardedPlugin>,
+}
+
+/// One shard worker's private state.
+struct WorkerState {
+    plugins: Vec<Hosted>,
+    res_tx: Sender<ResMsg>,
+    worker: usize,
+    workers: usize,
+    /// Reusable per-record ownership masks, one per partitioning mode
+    /// in use: computed once per record, shared by every same-mode
+    /// plugin instance on this worker.
+    mask_prefix: Vec<bool>,
+    mask_peer: Vec<bool>,
+    need_prefix_mask: bool,
+    need_peer_mask: bool,
+    /// Set after a plugin panicked: remaining messages are drained
+    /// without processing so the coordinator never deadlocks.
+    poisoned: bool,
+}
+
+impl WorkerState {
+    fn handle(&mut self, msg: ShardMsg) {
+        if self.poisoned {
+            return;
+        }
+        let worker = self.worker;
+        let r = catch_unwind(AssertUnwindSafe(|| match msg {
+            ShardMsg::Batch(batch) => {
+                for rec in batch.iter() {
+                    self.process(rec);
+                }
+            }
+            ShardMsg::EndBin { bin_start, bin_end } => {
+                for hosted in self.plugins.iter_mut() {
+                    hosted.plugin.end_bin(bin_start, bin_end);
+                    let bytes = hosted.plugin.take_partial();
+                    let _ = self.res_tx.send(ResMsg::Partial {
+                        plugin: hosted.root_idx,
+                        worker,
+                        bin_start,
+                        bytes,
+                    });
+                }
+            }
+        }));
+        if r.is_err() {
+            self.poisoned = true;
+            let _ = self.res_tx.send(ResMsg::Panicked { worker });
+        }
+    }
+
+    fn process(&mut self, rec: &BgpStreamRecord) {
+        let elems = rec.elems();
+        if self.need_prefix_mask {
+            self.mask_prefix.clear();
+            self.mask_prefix
+                .extend(elems.iter().map(|e| match &e.prefix {
+                    // Prefix-less elems (state messages) broadcast to
+                    // every shard: per-VP bookkeeping must replay
+                    // everywhere a VP's prefixes might live.
+                    None => true,
+                    Some(p) => shard_of_prefix(p, self.workers) == self.worker,
+                }));
+        }
+        if self.need_peer_mask {
+            self.mask_peer.clear();
+            self.mask_peer.extend(
+                elems
+                    .iter()
+                    .map(|e| shard_of_peer(&e.peer_address, self.workers) == self.worker),
+            );
+        }
+        for hosted in self.plugins.iter_mut() {
+            match hosted.partitioning {
+                Partitioning::Pinned => hosted.plugin.process_record(rec),
+                Partitioning::ByPrefix => hosted.plugin.process_sharded(rec, &self.mask_prefix),
+                Partitioning::ByPeer => hosted.plugin.process_sharded(rec, &self.mask_peer),
+            }
+        }
+    }
+}
+
+/// An open bin barrier awaiting shard partials.
+struct PendingBin {
+    bin_start: u64,
+    bin_end: u64,
+    /// One slot per hosted plugin instance (flat index).
+    slots: Vec<Option<Vec<u8>>>,
+    missing: usize,
+}
+
+/// Per-plugin placement: which workers host a shard instance, and
+/// where each `(plugin, worker)` pair lives in the flat slot array.
+struct Placement {
+    /// `holders[p]` = sorted worker indexes hosting plugin `p`.
+    holders: Vec<Vec<usize>>,
+    /// `base[p]` = first flat slot of plugin `p`.
+    base: Vec<usize>,
+    total_instances: usize,
+}
+
+impl Placement {
+    fn new(partitionings: &[Partitioning], workers: usize) -> Self {
+        let mut holders = Vec::with_capacity(partitionings.len());
+        let mut base = Vec::with_capacity(partitionings.len());
+        let mut total = 0usize;
+        for (p, part) in partitionings.iter().enumerate() {
+            let h: Vec<usize> = match part {
+                Partitioning::Pinned => vec![p % workers],
+                Partitioning::ByPrefix | Partitioning::ByPeer => (0..workers).collect(),
+            };
+            base.push(total);
+            total += h.len();
+            holders.push(h);
+        }
+        Placement {
+            holders,
+            base,
+            total_instances: total,
+        }
+    }
+
+    fn slot(&self, plugin: usize, worker: usize) -> usize {
+        let pos = self.holders[plugin]
+            .iter()
+            .position(|&w| w == worker)
+            .expect("partial from a worker that does not host this plugin");
+        self.base[plugin] + pos
+    }
+}
+
+impl ShardedRuntime {
+    /// Start configuring a runtime.
+    pub fn builder() -> ShardedRuntimeBuilder {
+        ShardedRuntimeBuilder::default()
+    }
+
+    /// Configured worker count.
+    pub fn workers(&self) -> usize {
+        self.cfg.workers
+    }
+
+    /// Drive `plugins` over the whole stream. Returns the number of
+    /// records processed; per-bin outputs land on the root plugins
+    /// exactly as under [`run_pipeline`](crate::run_pipeline).
+    pub fn run(&self, stream: &mut BgpStream, plugins: &mut [&mut dyn ShardedPlugin]) -> u64 {
+        self.run_until(stream, u64::MAX, plugins)
+    }
+
+    /// [`ShardedRuntime::run`] with the stop semantics of
+    /// [`run_pipeline_until`](crate::run_pipeline_until): returns once
+    /// a record timestamped at or after `stop` arrives (that record is
+    /// not processed).
+    pub fn run_until(
+        &self,
+        stream: &mut BgpStream,
+        stop: u64,
+        roots: &mut [&mut dyn ShardedPlugin],
+    ) -> u64 {
+        let bin_size = self.cfg.bin_size.max(1);
+        let workers = self.cfg.workers.max(1);
+        let partitionings: Vec<Partitioning> = roots.iter().map(|p| p.partitioning()).collect();
+        let placement = Placement::new(&partitionings, workers);
+
+        // Fork shard instances up front, grouped per worker.
+        let mut per_worker: Vec<Vec<Hosted>> = (0..workers).map(|_| Vec::new()).collect();
+        for (p, root) in roots.iter().enumerate() {
+            match partitionings[p] {
+                Partitioning::Pinned => {
+                    per_worker[p % workers].push(Hosted {
+                        root_idx: p,
+                        partitioning: Partitioning::Pinned,
+                        plugin: root.fork(0, 1),
+                    });
+                }
+                part @ (Partitioning::ByPrefix | Partitioning::ByPeer) => {
+                    for (shard, host) in per_worker.iter_mut().enumerate() {
+                        host.push(Hosted {
+                            root_idx: p,
+                            partitioning: part,
+                            plugin: root.fork(shard, workers),
+                        });
+                    }
+                }
+            }
+        }
+
+        let (res_tx, res_rx) = crossbeam::channel::unbounded::<ResMsg>();
+        let mut states: Vec<Option<WorkerState>> = per_worker
+            .into_iter()
+            .enumerate()
+            .map(|(w, plugins)| {
+                let need_prefix_mask = plugins
+                    .iter()
+                    .any(|h| h.partitioning == Partitioning::ByPrefix);
+                let need_peer_mask = plugins
+                    .iter()
+                    .any(|h| h.partitioning == Partitioning::ByPeer);
+                Some(WorkerState {
+                    plugins,
+                    res_tx: res_tx.clone(),
+                    worker: w,
+                    workers,
+                    mask_prefix: Vec::new(),
+                    mask_peer: Vec::new(),
+                    need_prefix_mask,
+                    need_peer_mask,
+                    poisoned: false,
+                })
+            })
+            .collect();
+        // The coordinator's own clone must go away before the final
+        // drain, so `res_rx` disconnects once the workers exit.
+        drop(res_tx);
+        let pool = ShardPool::spawn(
+            workers,
+            self.cfg.queue_batches,
+            |w| states[w].take().expect("each worker initialised once"),
+            |_w, state: &mut WorkerState, msg: ShardMsg| state.handle(msg),
+        );
+
+        let mut pending: VecDeque<PendingBin> = VecDeque::new();
+        let mut records = 0u64;
+        let mut current_bin: Option<u64> = None;
+        let mut batch: Vec<BgpStreamRecord> = Vec::with_capacity(self.cfg.batch_records);
+
+        let flush = |batch: &mut Vec<BgpStreamRecord>, pool: &ShardPool<ShardMsg>| {
+            if !batch.is_empty() {
+                let arc = Arc::new(std::mem::take(batch));
+                pool.broadcast(ShardMsg::Batch(arc));
+            }
+        };
+
+        'read: while let Some(recs) = stream.next_batch(self.cfg.batch_records) {
+            let mut recs = recs.into_iter();
+            while let Some(rec) = recs.next() {
+                if rec.timestamp >= stop {
+                    // Mirror `run_pipeline_until`: the stop record is
+                    // consumed but not processed, and everything the
+                    // batch read beyond it goes back to the stream so
+                    // a later reader sees it.
+                    stream.unread(recs.collect());
+                    break 'read;
+                }
+                let bin = rec.timestamp - rec.timestamp % bin_size;
+                match current_bin {
+                    None => current_bin = Some(bin),
+                    Some(cur) if bin > cur => {
+                        // The batch so far belongs to closed bins:
+                        // ship it, then barrier every elapsed bin.
+                        flush(&mut batch, &pool);
+                        let mut b = cur;
+                        while b < bin {
+                            self.close_bin(&pool, &mut pending, &placement, b, b + bin_size);
+                            b += bin_size;
+                        }
+                        current_bin = Some(bin);
+                    }
+                    _ => {}
+                }
+                batch.push(rec);
+                records += 1;
+                if batch.len() >= self.cfg.batch_records {
+                    flush(&mut batch, &pool);
+                }
+            }
+            // Opportunistically fold finished bins while streaming, so
+            // partials do not pile up over a long run.
+            Self::drain_results(&res_rx, &mut pending, &placement, roots, false);
+        }
+        flush(&mut batch, &pool);
+        if let Some(cur) = current_bin {
+            self.close_bin(&pool, &mut pending, &placement, cur, cur + bin_size);
+        }
+        // Disconnect the queues; workers drain them and exit, dropping
+        // their result senders.
+        pool.join();
+        Self::drain_results(&res_rx, &mut pending, &placement, roots, true);
+        records
+    }
+
+    fn close_bin(
+        &self,
+        pool: &ShardPool<ShardMsg>,
+        pending: &mut VecDeque<PendingBin>,
+        placement: &Placement,
+        bin_start: u64,
+        bin_end: u64,
+    ) {
+        pool.broadcast(ShardMsg::EndBin { bin_start, bin_end });
+        pending.push_back(PendingBin {
+            bin_start,
+            bin_end,
+            slots: (0..placement.total_instances).map(|_| None).collect(),
+            missing: placement.total_instances,
+        });
+    }
+
+    /// Fold arrived partials into the roots, strictly in bin order.
+    /// With `block` set, waits until every pending bin is merged.
+    fn drain_results(
+        res_rx: &Receiver<ResMsg>,
+        pending: &mut VecDeque<PendingBin>,
+        placement: &Placement,
+        roots: &mut [&mut dyn ShardedPlugin],
+        block: bool,
+    ) {
+        loop {
+            // Merge every completed bin at the front of the queue.
+            while pending.front().map(|b| b.missing == 0).unwrap_or(false) {
+                let done = pending.pop_front().expect("front checked");
+                let mut slots = done.slots;
+                for (p, root) in roots.iter_mut().enumerate() {
+                    let partials: Vec<Vec<u8>> = placement.holders[p]
+                        .iter()
+                        .map(|&w| {
+                            slots[placement.slot(p, w)]
+                                .take()
+                                .expect("bin complete, slot filled")
+                        })
+                        .collect();
+                    root.merge_bin(done.bin_start, done.bin_end, partials);
+                }
+            }
+            if block && pending.is_empty() {
+                return;
+            }
+            let msg = if block {
+                match res_rx.recv() {
+                    Ok(m) => m,
+                    Err(_) => {
+                        assert!(
+                            pending.is_empty(),
+                            "shard workers exited with {} bin(s) unmerged",
+                            pending.len()
+                        );
+                        return;
+                    }
+                }
+            } else {
+                match res_rx.try_recv() {
+                    Ok(m) => m,
+                    Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => return,
+                }
+            };
+            match msg {
+                ResMsg::Partial {
+                    plugin,
+                    worker,
+                    bin_start,
+                    bytes,
+                } => {
+                    let slot = placement.slot(plugin, worker);
+                    let bin = pending
+                        .iter_mut()
+                        .find(|b| b.bin_start == bin_start)
+                        .expect("partial for an unknown bin");
+                    debug_assert!(bin.slots[slot].is_none(), "duplicate partial");
+                    bin.slots[slot] = Some(bytes);
+                    bin.missing -= 1;
+                }
+                ResMsg::Panicked { worker } => {
+                    panic!("shard worker {worker} panicked while processing a plugin");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_hashes_are_stable_and_in_range() {
+        let p: Prefix = "193.204.10.0/24".parse().unwrap();
+        let a = shard_of_prefix(&p, 4);
+        assert_eq!(a, shard_of_prefix(&p, 4));
+        assert!(a < 4);
+        assert_eq!(shard_of_prefix(&p, 1), 0);
+        let ip: IpAddr = "10.0.0.1".parse().unwrap();
+        let b = shard_of_peer(&ip, 4);
+        assert_eq!(b, shard_of_peer(&ip, 4));
+        assert!(b < 4);
+        assert_eq!(shard_of_peer(&ip, 0), 0);
+    }
+
+    #[test]
+    fn prefix_shards_spread() {
+        // Not a distribution-quality test, just "not everything lands
+        // on one shard".
+        let mut seen = [false; 4];
+        for i in 0..64u8 {
+            let p: Prefix = format!("10.{i}.0.0/16").parse().unwrap();
+            seen[shard_of_prefix(&p, 4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn placement_pins_and_partitions() {
+        let pl = Placement::new(
+            &[
+                Partitioning::Pinned,
+                Partitioning::ByPrefix,
+                Partitioning::Pinned,
+            ],
+            3,
+        );
+        assert_eq!(pl.holders[0], vec![0]);
+        assert_eq!(pl.holders[1], vec![0, 1, 2]);
+        assert_eq!(pl.holders[2], vec![2]);
+        assert_eq!(pl.total_instances, 5);
+        // Flat slots are unique and dense.
+        let mut slots: Vec<usize> = pl
+            .holders
+            .iter()
+            .enumerate()
+            .flat_map(|(p, hs)| hs.iter().map(move |&w| (p, w)))
+            .map(|(p, w)| pl.slot(p, w))
+            .collect();
+        slots.sort_unstable();
+        assert_eq!(slots, (0..5).collect::<Vec<_>>());
+    }
+}

@@ -7,8 +7,10 @@
 use std::collections::BTreeMap;
 
 use bgpstream::{BgpStreamRecord, ElemType};
+use bytes::{Buf, BufMut, BytesMut};
 
 use crate::pipeline::Plugin;
+use crate::runtime::ShardedPlugin;
 
 /// Per-bin, per-collector counters.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
@@ -93,6 +95,72 @@ impl Plugin for ElemCounter {
         self.series.push(StatsPoint {
             time: bin_start,
             per_collector: std::mem::take(&mut self.current),
+        });
+    }
+
+    // Record-level counters (`records`, `invalid_records`) cannot be
+    // reconstructed from hash-partitioned elems — a record whose elems
+    // span shards would be counted once per shard — so this plugin
+    // keeps the default `Partitioning::Pinned`: one instance, pinned
+    // to a single worker, still off the reader thread.
+}
+
+impl ShardedPlugin for ElemCounter {
+    fn fork(&self, _shard: usize, _shards: usize) -> Box<dyn ShardedPlugin> {
+        Box::new(ElemCounter::new())
+    }
+
+    /// Partial = the bin's `StatsPoint`, encoded losslessly (sorted by
+    /// collector name thanks to the `BTreeMap`). The point is *popped*
+    /// — the shard instance keeps no series of its own, so a 24/7 run
+    /// does not grow per-shard memory one point per bin.
+    fn take_partial(&mut self) -> Vec<u8> {
+        let point = self.series.pop().expect("take_partial follows end_bin");
+        let mut out = BytesMut::new();
+        out.put_u64(point.time);
+        out.put_u32(point.per_collector.len() as u32);
+        for (name, c) in &point.per_collector {
+            out.put_u16(name.len() as u16);
+            out.put_slice(name.as_bytes());
+            for v in [
+                c.records,
+                c.invalid_records,
+                c.announcements,
+                c.withdrawals,
+                c.rib_entries,
+                c.state_messages,
+            ] {
+                out.put_u64(v);
+            }
+        }
+        out.to_vec()
+    }
+
+    fn merge_bin(&mut self, bin_start: u64, _bin_end: u64, partials: Vec<Vec<u8>>) {
+        // Pinned: exactly one partial, decoded back into the series.
+        let mut per_collector = BTreeMap::new();
+        for partial in &partials {
+            let mut buf = &partial[..];
+            let _time = buf.get_u64();
+            let n = buf.get_u32();
+            for _ in 0..n {
+                let len = buf.get_u16() as usize;
+                let name = String::from_utf8_lossy(&buf[..len]).into_owned();
+                buf.advance(len);
+                let c = BinCounters {
+                    records: buf.get_u64(),
+                    invalid_records: buf.get_u64(),
+                    announcements: buf.get_u64(),
+                    withdrawals: buf.get_u64(),
+                    rib_entries: buf.get_u64(),
+                    state_messages: buf.get_u64(),
+                };
+                per_collector.insert(name, c);
+            }
+        }
+        self.series.push(StatsPoint {
+            time: bin_start,
+            per_collector,
         });
     }
 }

@@ -1,10 +1,12 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
 //! Provides the two pieces the workspace uses: `crossbeam::channel`
-//! (multi-producer multi-consumer unbounded channels, a condvar-backed
-//! queue so blocked receivers never starve their siblings) and
+//! (multi-producer multi-consumer unbounded and bounded channels, a
+//! condvar-backed queue so blocked receivers never starve their
+//! siblings; bounded senders block while the queue is at capacity) and
 //! `crossbeam::scope` (scoped threads, here delegating to
-//! `std::thread::scope`).
+//! `std::thread::scope`). Deviation from the real crate: a bounded
+//! capacity of 0 (rendezvous channel) is treated as capacity 1.
 
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -17,11 +19,14 @@ pub mod channel {
         queue: VecDeque<T>,
         senders: usize,
         receivers: usize,
+        /// `None` = unbounded; `Some(cap)` = senders block at `cap`.
+        capacity: Option<usize>,
     }
 
     struct Shared<T> {
         inner: Mutex<Inner<T>>,
         not_empty: Condvar,
+        not_full: Condvar,
     }
 
     impl<T> Shared<T> {
@@ -64,7 +69,13 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.0.lock().receivers -= 1;
+            let mut inner = self.0.lock();
+            inner.receivers -= 1;
+            if inner.receivers == 0 {
+                // Wake senders parked on a full bounded queue so they
+                // observe disconnection instead of blocking forever.
+                self.0.not_full.notify_all();
+            }
         }
     }
 
@@ -90,8 +101,21 @@ pub mod channel {
     impl<T> Sender<T> {
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut inner = self.0.lock();
-            if inner.receivers == 0 {
-                return Err(SendError(value));
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match inner.capacity {
+                    Some(cap) if inner.queue.len() >= cap => {
+                        // Backpressure: park until a receiver pops.
+                        inner = self
+                            .0
+                            .not_full
+                            .wait(inner)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                    _ => break,
+                }
             }
             inner.queue.push_back(value);
             drop(inner);
@@ -105,6 +129,8 @@ pub mod channel {
             let mut inner = self.0.lock();
             loop {
                 if let Some(v) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.0.not_full.notify_one();
                     return Ok(v);
                 }
                 if inner.senders == 0 {
@@ -121,7 +147,11 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut inner = self.0.lock();
             match inner.queue.pop_front() {
-                Some(v) => Ok(v),
+                Some(v) => {
+                    drop(inner);
+                    self.0.not_full.notify_one();
+                    Ok(v)
+                }
                 None if inner.senders == 0 => Err(TryRecvError::Disconnected),
                 None => Err(TryRecvError::Empty),
             }
@@ -154,16 +184,28 @@ pub mod channel {
         }
     }
 
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner {
                 queue: VecDeque::new(),
                 senders: 1,
                 receivers: 1,
+                capacity,
             }),
             not_empty: Condvar::new(),
+            not_full: Condvar::new(),
         });
         (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// A channel holding at most `cap` messages: `send` blocks while
+    /// the queue is full (backpressure). `cap = 0` behaves as 1.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap.max(1)))
     }
 }
 
@@ -248,6 +290,40 @@ mod tests {
         assert!(matches!(rx2.try_recv(), Err(channel::TryRecvError::Empty)));
         tx.send(9).unwrap();
         assert_eq!(parked.join().unwrap(), Ok(9));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_recv() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        // Third send must block until the receiver pops one.
+        let t = std::thread::spawn(move || {
+            tx.send(3).unwrap();
+            3u32
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(t.join().unwrap(), 3);
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn bounded_send_unblocks_on_receiver_drop() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        drop(rx);
+        assert!(t.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn bounded_zero_capacity_is_one() {
+        let (tx, rx) = channel::bounded::<u32>(0);
+        tx.send(7).unwrap(); // must not deadlock
+        assert_eq!(rx.recv(), Ok(7));
     }
 
     #[test]

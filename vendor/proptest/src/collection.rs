@@ -3,7 +3,7 @@
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 
-/// Accepted size specifications for [`vec`].
+/// Accepted size specifications for [`vec()`].
 #[derive(Clone, Debug)]
 pub struct SizeRange {
     min: usize,
