@@ -47,7 +47,7 @@ fn main() {
         files.len(),
         world.sim.stats().bytes
     );
-    let filters = Arc::new(Filters::none());
+    let filters = Arc::new(Filters::none().compile());
 
     // (a) Partitioned merge (the paper's design).
     let t = Instant::now();

@@ -168,6 +168,50 @@ impl<V> PrefixTrie<V> {
         best.map(|(p, v)| (p, v))
     }
 
+    /// Walk the stored prefixes that contain `prefix` (root-down,
+    /// shortest first), stopping as soon as `f` returns true. Returns
+    /// whether any call did. Allocation-free counterpart of
+    /// [`PrefixTrie::covering`] for hot-path membership tests.
+    pub fn any_covering(&self, prefix: &Prefix, mut f: impl FnMut(&Prefix, &V) -> bool) -> bool {
+        let mut node = self.root(prefix.is_ipv4());
+        if let Some((p, v)) = node.value.as_ref() {
+            if f(p, v) {
+                return true;
+            }
+        }
+        for i in 0..prefix.len() {
+            let b = prefix.bit(i) as usize;
+            match node.children[b].as_deref() {
+                Some(n) => {
+                    node = n;
+                    if let Some((p, v)) = node.value.as_ref() {
+                        if f(p, v) {
+                            return true;
+                        }
+                    }
+                }
+                None => break,
+            }
+        }
+        false
+    }
+
+    /// Walk the stored prefixes contained in `prefix` (subtree, bit
+    /// order), stopping as soon as `f` returns true. Returns whether
+    /// any call did. Allocation-free counterpart of
+    /// [`PrefixTrie::covered_by`].
+    pub fn any_covered_by(&self, prefix: &Prefix, mut f: impl FnMut(&Prefix, &V) -> bool) -> bool {
+        let mut node = self.root(prefix.is_ipv4());
+        for i in 0..prefix.len() {
+            let b = prefix.bit(i) as usize;
+            match node.children[b].as_deref() {
+                Some(n) => node = n,
+                None => return false,
+            }
+        }
+        any_in_subtree(node, &mut f)
+    }
+
     /// All stored prefixes that contain `prefix` (walk from the root),
     /// shortest first.
     pub fn covering(&self, prefix: &Prefix) -> Vec<(&Prefix, &V)> {
@@ -208,15 +252,15 @@ impl<V> PrefixTrie<V> {
     }
 
     /// True iff any stored prefix overlaps `prefix` in the requested
-    /// `mode`.
+    /// `mode`. Allocation-free: membership reduces to the early-exit
+    /// walks, never to materialised covering/covered-by lists.
     pub fn matches(&self, prefix: &Prefix, mode: PrefixMatch) -> bool {
+        let any = |_: &Prefix, _: &V| true;
         match mode {
             PrefixMatch::Exact => self.get(prefix).is_some(),
-            PrefixMatch::MoreSpecific => !self.covering(prefix).is_empty(),
-            PrefixMatch::LessSpecific => !self.covered_by(prefix).is_empty(),
-            PrefixMatch::Any => {
-                !self.covering(prefix).is_empty() || !self.covered_by(prefix).is_empty()
-            }
+            PrefixMatch::MoreSpecific => self.any_covering(prefix, any),
+            PrefixMatch::LessSpecific => self.any_covered_by(prefix, any),
+            PrefixMatch::Any => self.any_covering(prefix, any) || self.any_covered_by(prefix, any),
         }
     }
 
@@ -228,6 +272,18 @@ impl<V> PrefixTrie<V> {
         collect(&self.root_v6, &mut out);
         out.into_iter()
     }
+}
+
+fn any_in_subtree<V>(node: &Node<V>, f: &mut impl FnMut(&Prefix, &V) -> bool) -> bool {
+    if let Some((p, v)) = node.value.as_ref() {
+        if f(p, v) {
+            return true;
+        }
+    }
+    node.children
+        .iter()
+        .flatten()
+        .any(|child| any_in_subtree(child, f))
 }
 
 fn collect<'a, V>(node: &'a Node<V>, out: &mut Vec<(&'a Prefix, &'a V)>) {
@@ -335,6 +391,35 @@ mod tests {
         assert_eq!(t.iter().count(), 5);
         let sum: u32 = t.iter().map(|(_, v)| *v).sum();
         assert_eq!(sum, 15);
+    }
+
+    #[test]
+    fn any_covering_walks_and_early_exits() {
+        let t = sample();
+        // Agrees with the materialised walk.
+        assert!(t.any_covering(&p("10.1.2.3/32"), |_, _| true));
+        assert!(!t.any_covering(&p("172.16.0.0/12"), |_, _| true));
+        // Predicate filtering: only the /24 value is 3.
+        assert!(t.any_covering(&p("10.1.2.3/32"), |_, v| *v == 3));
+        assert!(!t.any_covering(&p("10.1.2.3/32"), |_, v| *v == 99));
+        // Early exit: stops at the first hit (shortest prefix first).
+        let mut seen = Vec::new();
+        t.any_covering(&p("10.1.2.3/32"), |pfx, _| {
+            seen.push(pfx.to_string());
+            true
+        });
+        assert_eq!(seen, vec!["10.0.0.0/8"]);
+    }
+
+    #[test]
+    fn any_covered_by_scans_subtree() {
+        let t = sample();
+        assert!(t.any_covered_by(&p("10.0.0.0/8"), |_, _| true));
+        assert!(t.any_covered_by(&p("10.1.0.0/16"), |_, v| *v == 3));
+        assert!(!t.any_covered_by(&p("10.1.0.0/16"), |_, v| *v == 4));
+        assert!(!t.any_covered_by(&p("172.16.0.0/12"), |_, _| true));
+        // Exact-length node counts as covered-by (reflexive).
+        assert!(t.any_covered_by(&p("192.0.2.0/24"), |_, v| *v == 4));
     }
 
     #[test]

@@ -99,8 +99,28 @@ pub fn extract_elems(record: &MrtRecord, pit: Option<&PeerIndexTable>) -> Extrac
 /// *moved* into their elems (`AsPath`/`CommunitySet` are `Vec`-backed,
 /// so a clone is one or more heap allocations each).
 pub fn extract_elems_owned(record: MrtRecord, pit: Option<&PeerIndexTable>) -> ExtractedElems {
-    let time = record.timestamp as u64;
     let mut elems = Vec::new();
+    let missing_peer = extract_elems_into(record, pit, &mut elems);
+    ExtractedElems {
+        elems,
+        missing_peer,
+    }
+}
+
+/// [`extract_elems_owned`] into a caller-provided buffer.
+///
+/// The filtered hot path extracts every record into one reusable
+/// scratch `Vec` (appending; the caller clears between records),
+/// filters it in place, and only then right-sizes an owned `Vec` for
+/// the survivors — so records whose elems are all filtered away cost
+/// zero allocations instead of one-or-two per record. Returns the
+/// missing-peer flag of [`ExtractedElems`].
+pub fn extract_elems_into(
+    record: MrtRecord,
+    pit: Option<&PeerIndexTable>,
+    elems: &mut Vec<BgpStreamElem>,
+) -> bool {
+    let time = record.timestamp as u64;
     let mut missing_peer = false;
     match record.body {
         MrtBody::Bgp4mp(Bgp4mp::Message {
@@ -110,7 +130,7 @@ pub fn extract_elems_owned(record: MrtRecord, pit: Option<&PeerIndexTable>) -> E
             ..
         }) => {
             if let BgpMessage::Update(update) = message {
-                elems.reserve_exact(update.withdrawals.len() + update.announcements.len());
+                elems.reserve(update.withdrawals.len() + update.announcements.len());
                 for w in update.withdrawals {
                     elems.push(BgpStreamElem {
                         elem_type: ElemType::Withdrawal,
@@ -183,7 +203,7 @@ pub fn extract_elems_owned(record: MrtRecord, pit: Option<&PeerIndexTable>) -> E
             });
         }
         MrtBody::TableDumpV2(TableDumpV2::RibRow(row)) => {
-            elems.reserve_exact(row.entries.len());
+            elems.reserve(row.entries.len());
             for entry in row.entries {
                 let peer = pit.and_then(|t| t.peers.get(entry.peer_index as usize));
                 let Some(peer) = peer else {
@@ -207,10 +227,7 @@ pub fn extract_elems_owned(record: MrtRecord, pit: Option<&PeerIndexTable>) -> E
         }
         MrtBody::TableDumpV2(TableDumpV2::PeerIndexTable(_)) | MrtBody::Unknown(_) => {}
     }
-    ExtractedElems {
-        elems,
-        missing_peer,
-    }
+    missing_peer
 }
 
 #[cfg(test)]

@@ -63,7 +63,7 @@ pub mod stream;
 pub use aspath_re::AsPathRegex;
 pub use broker::{SourceId, SourceMeta};
 pub use elem::{BgpStreamElem, ElemType};
-pub use filter::{CommunityFilter, Filters, IpVersion};
+pub use filter::{CommunityFilter, CompiledFilters, Filters, IpVersion};
 pub use filter_lang::{parse_filter_string, FilterLangError, ParsedFilter};
 pub use json_input::{parse_elem_json, JsonElem, JsonError};
 pub use record::{BgpStreamRecord, DumpPosition, RecordStatus};

@@ -21,11 +21,11 @@ use std::sync::Arc;
 use broker::index::DumpMeta;
 use broker::SourceId;
 use mrt::record::MrtType;
-use mrt::table_dump_v2::TableDumpV2;
-use mrt::{MrtBody, MrtHeader, MrtSliceReader, PeerIndexTable};
+use mrt::table_dump_v2::{TableDumpV2, SUBTYPE_PEER_INDEX_TABLE};
+use mrt::{MrtBody, MrtHeader, MrtRecord, MrtSliceReader, PeerIndexTable, RawMrtView};
 
-use crate::elem::extract_elems_owned;
-use crate::filter::Filters;
+use crate::elem::{extract_elems_into, extract_elems_owned, BgpStreamElem};
+use crate::filter::{CompiledFilters, Filters};
 use crate::record::{BgpStreamRecord, DumpPosition, RecordStatus};
 
 /// Partition dump files into the paper's disjoint overlap groups.
@@ -99,7 +99,7 @@ struct OpenDump {
 }
 
 impl OpenDump {
-    fn open(meta: DumpMeta, filters: &Filters) -> Self {
+    fn open(meta: DumpMeta, filters: &CompiledFilters, scratch: &mut Vec<BgpStreamElem>) -> Self {
         let source = meta.source_id();
         // Slurp the whole file: dump files are bounded (one broker
         // window's worth) and a single read beats per-record BufReader
@@ -116,7 +116,7 @@ impl OpenDump {
                     produced: 0,
                     finished: false,
                 };
-                dump.pending = dump.read_one(filters);
+                dump.pending = dump.read_one(filters, scratch);
                 dump
             }
             Err(e) => {
@@ -147,12 +147,30 @@ impl OpenDump {
     }
 
     /// Read and annotate the next raw record (position fixed up later).
-    fn read_one(&mut self, filters: &Filters) -> Option<BgpStreamRecord> {
+    ///
+    /// Filter pushdown happens here: the record is *framed* first
+    /// ([`MrtSliceReader::next_raw`]), and when the compiled filters
+    /// can prove from the raw bytes that no elem of the record will
+    /// pass ([`CompiledFilters::record_may_match`]), the full decode —
+    /// and every allocation it implies — is skipped and an elem-less
+    /// record envelope is emitted instead. The envelope sequence
+    /// (timestamps, positions, dump annotations) is identical to the
+    /// decode-then-filter path; only the wasted work is gone.
+    fn read_one(
+        &mut self,
+        filters: &CompiledFilters,
+        scratch: &mut Vec<BgpStreamElem>,
+    ) -> Option<BgpStreamRecord> {
+        // Direct field access throughout (no `&mut self` helpers):
+        // `raw` keeps a loan on `self.reader` alive, and the borrow
+        // checker only tolerates touching the *other* fields.
+        let source = self.source;
+        let dump_time = self.meta.interval_start;
         let reader = self.reader.as_mut()?;
-        match reader.next() {
+        let raw = match reader.next_raw() {
             None => {
                 self.finished = true;
-                None
+                return None;
             }
             Some(Err(_)) => {
                 self.finished = true;
@@ -160,60 +178,120 @@ impl OpenDump {
                 // dump delivered — not `interval_start`, which can lie
                 // before records already emitted and would make the
                 // merged stream go backwards in time.
-                Some(BgpStreamRecord {
-                    source: self.source,
-                    dump_time: self.meta.interval_start,
-                    timestamp: self.last_ts,
-                    position: DumpPosition::Middle,
-                    status: RecordStatus::CorruptedRecord,
-                    elems_vec: Vec::new(),
-                })
+                return Some(empty_record(
+                    source,
+                    dump_time,
+                    self.last_ts,
+                    RecordStatus::CorruptedRecord,
+                ));
             }
-            Some(Ok(rec)) => {
-                if let MrtBody::TableDumpV2(TableDumpV2::PeerIndexTable(pit)) = &rec.body {
-                    self.pit = Some(Arc::new(pit.clone()));
+            Some(Ok(raw)) => raw,
+        };
+        let ts = raw.header.timestamp as u64;
+        if !filters.is_pass_all() {
+            match raw.header.mrt_type {
+                // Unsupported record types never decompose into elems;
+                // skip even the body-preserving copy the decoder does.
+                MrtType::Other(_) => {
+                    self.last_ts = self.last_ts.max(ts);
+                    return Some(empty_record(
+                        source,
+                        dump_time,
+                        ts,
+                        RecordStatus::Unsupported,
+                    ));
                 }
-                let unsupported = matches!(rec.body, MrtBody::Unknown(_));
-                let ts = rec.timestamp as u64;
-                let extracted = extract_elems_owned(rec, self.pit.as_deref());
-                let status = if unsupported {
-                    RecordStatus::Unsupported
-                } else if extracted.missing_peer {
-                    RecordStatus::CorruptedRecord
-                } else {
-                    RecordStatus::Valid
-                };
-                // Fast path: with no elem filters configured, keep the
-                // extracted Vec as-is instead of re-collecting it.
-                let elems_vec = if filters.is_pass_all() {
-                    extracted.elems
-                } else {
-                    extracted
-                        .elems
-                        .into_iter()
-                        .filter(|e| filters.matches(e))
-                        .collect()
-                };
-                self.last_ts = self.last_ts.max(ts);
-                Some(BgpStreamRecord {
-                    source: self.source,
-                    dump_time: self.meta.interval_start,
-                    timestamp: ts,
-                    position: DumpPosition::Middle,
-                    status,
-                    elems_vec,
-                })
+                // The peer index table must always be decoded (RIB
+                // rows that follow resolve peers through it).
+                MrtType::TableDumpV2 if raw.header.subtype == SUBTYPE_PEER_INDEX_TABLE => {}
+                _ => {
+                    if let Some(view) = RawMrtView::parse(&raw.header, raw.body) {
+                        // A rejection also certifies the body would
+                        // have decoded cleanly (the prefilter scans
+                        // validate as they go), so skipping the decode
+                        // can never hide a corrupted read that the
+                        // unfiltered path would have signalled.
+                        if !filters.record_may_match(&view, self.pit.as_deref()) {
+                            self.last_ts = self.last_ts.max(ts);
+                            return Some(empty_record(source, dump_time, ts, RecordStatus::Valid));
+                        }
+                    }
+                    // Unparseable or possibly-corrupt views fall
+                    // through to the full decode, which owns
+                    // corruption signalling.
+                }
             }
         }
+        let rec = match MrtRecord::decode(&raw.header, raw.body) {
+            Ok(rec) => rec,
+            Err(_) => {
+                self.finished = true;
+                return Some(empty_record(
+                    source,
+                    dump_time,
+                    self.last_ts,
+                    RecordStatus::CorruptedRecord,
+                ));
+            }
+        };
+        if let MrtBody::TableDumpV2(TableDumpV2::PeerIndexTable(pit)) = &rec.body {
+            self.pit = Some(Arc::new(pit.clone()));
+        }
+        let unsupported = matches!(rec.body, MrtBody::Unknown(_));
+        let (elems_vec, missing_peer) = if filters.is_pass_all() {
+            // Fast path: with no elem filters configured, the
+            // extracted Vec is handed over as-is.
+            let extracted = extract_elems_owned(rec, self.pit.as_deref());
+            (extracted.elems, extracted.missing_peer)
+        } else {
+            // Extract into the merger-wide scratch buffer, filter in
+            // place, and right-size an owned Vec only for survivors —
+            // fully-filtered records allocate nothing.
+            scratch.clear();
+            let missing_peer = extract_elems_into(rec, self.pit.as_deref(), scratch);
+            scratch.retain(|e| filters.matches(e));
+            let elems = if scratch.is_empty() {
+                Vec::new()
+            } else {
+                // Deliberately NOT `mem::take` (clippy::drain_collect):
+                // taking would steal the scratch buffer's capacity and
+                // defeat its reuse across records. Draining moves the
+                // survivors into one exact-size Vec and keeps the
+                // buffer allocated.
+                #[allow(clippy::drain_collect)]
+                scratch.drain(..).collect()
+            };
+            (elems, missing_peer)
+        };
+        let status = if unsupported {
+            RecordStatus::Unsupported
+        } else if missing_peer {
+            RecordStatus::CorruptedRecord
+        } else {
+            RecordStatus::Valid
+        };
+        self.last_ts = self.last_ts.max(ts);
+        Some(BgpStreamRecord {
+            source: self.source,
+            dump_time: self.meta.interval_start,
+            timestamp: ts,
+            position: DumpPosition::Middle,
+            status,
+            elems_vec,
+        })
     }
 
     /// Produce the next record with final position annotation.
-    fn next(&mut self, filters: &Filters) -> Option<BgpStreamRecord> {
+    fn next(
+        &mut self,
+        filters: &CompiledFilters,
+        scratch: &mut Vec<BgpStreamElem>,
+    ) -> Option<BgpStreamRecord> {
         let mut rec = self.pending.take()?;
         self.pending = if self.finished {
             None
         } else {
-            self.read_one(filters)
+            self.read_one(filters, scratch)
         };
         let first = self.produced == 0;
         let last = self.pending.is_none();
@@ -230,6 +308,26 @@ impl OpenDump {
     /// Timestamp of the next record (for heap ordering).
     fn head_timestamp(&self) -> Option<u64> {
         self.pending.as_ref().map(|r| r.timestamp)
+    }
+}
+
+/// An elem-less record envelope: corrupted-read placeholders,
+/// unsupported record types, and prefilter-rejected records (whose
+/// envelope must still flow so positions and record-level events are
+/// identical to the decode-then-filter path).
+fn empty_record(
+    source: SourceId,
+    dump_time: u64,
+    timestamp: u64,
+    status: RecordStatus,
+) -> BgpStreamRecord {
+    BgpStreamRecord {
+        source,
+        dump_time,
+        timestamp,
+        position: DumpPosition::Middle,
+        status,
+        elems_vec: Vec::new(),
     }
 }
 
@@ -266,20 +364,27 @@ impl Ord for HeapEntry {
 
 /// Multi-way merge over one overlap group: all files open at once,
 /// repeatedly yielding the record with the smallest timestamp.
+///
+/// Carries the stream's [`CompiledFilters`] (compiled once at stream
+/// start) and one scratch elem buffer shared by every open dump, so
+/// the filtered read path allocates nothing per rejected record.
 pub struct GroupMerger {
     dumps: Vec<OpenDump>,
     heap: BinaryHeap<HeapEntry>,
     /// `ranks[slot]`: lexicographic tiebreak rank of that dump.
     ranks: Vec<u32>,
-    filters: Arc<Filters>,
+    filters: Arc<CompiledFilters>,
+    /// Reusable elem extraction buffer (see [`extract_elems_into`]).
+    scratch: Vec<BgpStreamElem>,
 }
 
 impl GroupMerger {
     /// Open every file of the group and prime the heap.
-    pub fn open(group: Vec<DumpMeta>, filters: Arc<Filters>) -> Self {
+    pub fn open(group: Vec<DumpMeta>, filters: Arc<CompiledFilters>) -> Self {
+        let mut scratch = Vec::new();
         let dumps: Vec<OpenDump> = group
             .into_iter()
-            .map(|m| OpenDump::open(m, &filters))
+            .map(|m| OpenDump::open(m, &filters, &mut scratch))
             .collect();
         // Integer tiebreaks: rank slots by (project, collector, type)
         // once, so the heap never compares (or clones) strings.
@@ -311,6 +416,7 @@ impl GroupMerger {
             heap,
             ranks,
             filters,
+            scratch,
         }
     }
 
@@ -330,7 +436,7 @@ impl GroupMerger {
     pub fn next(&mut self) -> Option<BgpStreamRecord> {
         let entry = self.heap.pop()?;
         let dump = &mut self.dumps[entry.slot as usize];
-        let rec = dump.next(&self.filters)?;
+        let rec = dump.next(&self.filters, &mut self.scratch)?;
         if let Some(ts) = dump.head_timestamp() {
             self.heap.push(HeapEntry {
                 ts,
@@ -345,7 +451,7 @@ impl GroupMerger {
 /// Convenience: read one local MRT file (no merge) into records —
 /// used by tests and the SingleFile interface path.
 pub fn read_single_file(meta: DumpMeta, filters: &Filters) -> Vec<BgpStreamRecord> {
-    let filters = Arc::new(filters.clone());
+    let filters = Arc::new(filters.compile());
     let mut merger = GroupMerger::open(vec![meta], filters);
     let mut out = Vec::new();
     while let Some(r) = merger.next() {

@@ -19,7 +19,7 @@ use broker::index::{BrokerCursor, DumpMeta, Query};
 use broker::{DataInterface, DumpType, Index, SourceId};
 use crossbeam::channel::{Receiver, Sender};
 
-use crate::filter::{CommunityFilter, Filters};
+use crate::filter::{CommunityFilter, CompiledFilters, Filters};
 use crate::record::BgpStreamRecord;
 use crate::sort::{partition_overlap_groups, GroupMerger};
 
@@ -286,12 +286,17 @@ impl BgpStreamBuilder {
         dedup_preserving(&mut query.projects);
         dedup_preserving(&mut query.collectors);
         dedup_preserving(&mut query.dump_types);
+        // Compile the elem filters once for the whole reading phase:
+        // every group merger (and every prefetch worker) shares the
+        // same trie/bitset form and its record-level prefilter.
+        let compiled = Arc::new(self.filters.compile());
         Ok(BgpStream {
             index,
             cursor,
             live: query.end.is_none(),
             query,
             filters: Arc::new(self.filters),
+            compiled,
             clock: self.clock,
             live_grace: self.live_grace,
             poll: self.poll,
@@ -325,6 +330,9 @@ pub struct BgpStream {
     cursor: BrokerCursor,
     live: bool,
     filters: Arc<Filters>,
+    /// The reading-phase compiled form of `filters` (tries, bitsets,
+    /// record-level prefilter), built once in `try_start`.
+    compiled: Arc<CompiledFilters>,
     clock: Clock,
     live_grace: u64,
     poll: Duration,
@@ -347,7 +355,7 @@ pub struct BgpStream {
 /// One group-prefetch request for the shared worker.
 struct PrefetchReq {
     group: Vec<DumpMeta>,
-    filters: Arc<Filters>,
+    filters: Arc<CompiledFilters>,
     reply: Sender<GroupMerger>,
 }
 
@@ -482,10 +490,10 @@ impl BgpStream {
                 Ok(m) => m,
                 // Worker died (only possible via panic); re-open the
                 // in-flight group synchronously so no records are lost.
-                Err(_) => GroupMerger::open(p.group, self.filters.clone()),
+                Err(_) => GroupMerger::open(p.group, self.compiled.clone()),
             },
             None => match self.groups.pop_front() {
-                Some(g) => GroupMerger::open(g, self.filters.clone()),
+                Some(g) => GroupMerger::open(g, self.compiled.clone()),
                 None => return false,
             },
         };
@@ -498,7 +506,7 @@ impl BgpStream {
             let (reply, res_rx) = crossbeam::channel::unbounded();
             let req = PrefetchReq {
                 group: group.clone(),
-                filters: self.filters.clone(),
+                filters: self.compiled.clone(),
                 reply,
             };
             if prefetch_worker().send(req).is_ok() {

@@ -195,7 +195,7 @@ proptest! {
         // Per overlap group: the multi-way merge must deliver
         // non-decreasing timestamps, corrupted dumps included.
         let groups = partition_overlap_groups(&metas);
-        let filters = Arc::new(Filters::none());
+        let filters = Arc::new(Filters::none().compile());
         let mut total = 0usize;
         for group in groups {
             let mut merger = GroupMerger::open(group, filters.clone());

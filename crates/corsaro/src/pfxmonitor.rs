@@ -8,13 +8,15 @@
 //! number of unique origin ASNs observed by all the VPs — the two
 //! time series whose divergence exposes the GARR hijacks in Figure 6.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::net::IpAddr;
+use std::sync::Arc;
 
 use bgp_types::trie::PrefixMatch;
 use bgp_types::{Asn, Prefix, PrefixTrie};
 use bgpstream::{BgpStreamRecord, ElemType};
 use bytes::{Buf, BufMut};
+use fxhash::FxHashMap;
 
 use crate::pipeline::{Partitioning, Plugin};
 use crate::runtime::{shard_of_prefix, ShardedPlugin};
@@ -41,15 +43,18 @@ pub struct PfxPoint {
 /// interval barrier would serialise exactly the work sharding exists
 /// to spread out.
 pub struct PfxMonitor {
-    ranges: PrefixTrie<()>,
-    /// The monitored ranges, kept for [`ShardedPlugin::fork`].
-    range_list: Vec<Prefix>,
-    /// `<prefix, VP>` → origin ASN.
-    table: HashMap<(Prefix, IpAddr), Asn>,
+    /// The monitored ranges. Behind an `Arc` so the sharded runtime's
+    /// N forks share one trie instead of rebuilding (and storing) a
+    /// copy per worker; the same compiled structure also serves as
+    /// every shard's per-elem range gate.
+    ranges: Arc<PrefixTrie<()>>,
+    /// `<prefix, VP>` → origin ASN. Fx-hashed: probed once per
+    /// overlapping elem, the hottest map in the plugin.
+    table: FxHashMap<(Prefix, IpAddr), Asn>,
     /// Prefix → number of table entries carrying it.
-    prefix_refs: HashMap<Prefix, u32>,
+    prefix_refs: FxHashMap<Prefix, u32>,
     /// Origin → number of table entries carrying it.
-    origin_refs: HashMap<Asn, u32>,
+    origin_refs: FxHashMap<Asn, u32>,
     /// `Some((shard, shards))` on a shard instance of the sharded
     /// runtime: only elems whose prefix hashes to `shard` are applied.
     shard: Option<(usize, usize)>,
@@ -69,17 +74,22 @@ pub struct PfxMonitor {
 impl PfxMonitor {
     /// Monitor everything overlapping `ranges`.
     pub fn new<I: IntoIterator<Item = Prefix>>(ranges: I) -> Self {
-        let range_list: Vec<Prefix> = ranges.into_iter().collect();
         let mut trie = PrefixTrie::new();
-        for p in &range_list {
-            trie.insert(*p, ());
+        for p in ranges {
+            trie.insert(p, ());
         }
+        Self::with_shared_ranges(Arc::new(trie))
+    }
+
+    /// Monitor everything overlapping an already-built (possibly
+    /// shared) range trie — what [`ShardedPlugin::fork`] uses so all
+    /// shard instances reference one trie.
+    pub fn with_shared_ranges(ranges: Arc<PrefixTrie<()>>) -> Self {
         PfxMonitor {
-            ranges: trie,
-            range_list,
-            table: HashMap::new(),
-            prefix_refs: HashMap::new(),
-            origin_refs: HashMap::new(),
+            ranges,
+            table: FxHashMap::default(),
+            prefix_refs: FxHashMap::default(),
+            origin_refs: FxHashMap::default(),
             shard: None,
             delta: None,
             delta_ops: 0,
@@ -153,14 +163,14 @@ impl PfxMonitor {
 }
 
 /// Increment; true when the key just appeared.
-fn incref<K: std::hash::Hash + Eq>(refs: &mut HashMap<K, u32>, key: K) -> bool {
+fn incref<K: std::hash::Hash + Eq>(refs: &mut FxHashMap<K, u32>, key: K) -> bool {
     let n = refs.entry(key).or_insert(0);
     *n += 1;
     *n == 1
 }
 
 /// Decrement; true when the key just vanished.
-fn decref<K: std::hash::Hash + Eq>(refs: &mut HashMap<K, u32>, key: K) -> bool {
+fn decref<K: std::hash::Hash + Eq>(refs: &mut FxHashMap<K, u32>, key: K) -> bool {
     match refs.get_mut(&key) {
         Some(1) => {
             refs.remove(&key);
@@ -220,7 +230,9 @@ impl Plugin for PfxMonitor {
 
 impl ShardedPlugin for PfxMonitor {
     fn fork(&self, shard: usize, shards: usize) -> Box<dyn ShardedPlugin> {
-        let mut fresh = PfxMonitor::new(self.range_list.iter().copied());
+        // Forks share the root's range trie by refcount: forking N
+        // shards costs N `Arc` clones, not N trie rebuilds.
+        let mut fresh = PfxMonitor::with_shared_ranges(self.ranges.clone());
         fresh.shard = Some((shard, shards));
         fresh.delta = Some(Vec::new());
         Box::new(fresh)

@@ -25,7 +25,6 @@
 //! appear in the latest RIB dump is additionally declared down
 //! (footnote 5).
 
-use std::collections::HashMap;
 use std::net::IpAddr;
 use std::sync::Arc;
 
@@ -33,6 +32,7 @@ use bgp_types::{AsPath, Asn, Prefix};
 use bgpstream::{BgpStreamRecord, ElemType};
 use broker::DumpType;
 use bytes::{Buf, BufMut, BytesMut};
+use fxhash::FxHashMap;
 use mq::Cluster;
 
 use crate::codec::{decode_cells, encode_cells, encode_meta, sort_cells, DiffCell, RtMessage};
@@ -79,7 +79,7 @@ struct Cell {
 struct VpTable {
     asn: Asn,
     state: MacroState,
-    cells: HashMap<Prefix, Cell>,
+    cells: FxHashMap<Prefix, Cell>,
     /// Whether any RIB row for this VP was seen in the current dump.
     rib_seen: bool,
     /// Whether the VP's table was available when the current RIB
@@ -123,9 +123,9 @@ impl RtErrorStats {
 /// BGPCorsaro per collector to spread load).
 pub struct RtPlugin {
     collector: String,
-    vps: HashMap<IpAddr, VpTable>,
+    vps: FxHashMap<IpAddr, VpTable>,
     /// Pre-bin value of every cell touched this bin.
-    dirty: HashMap<(IpAddr, Prefix), Option<CellRoute>>,
+    dirty: FxHashMap<(IpAddr, Prefix), Option<CellRoute>>,
     elems_in_bin: u64,
     /// A RIB dump is currently being applied.
     rib_active: bool,
@@ -161,8 +161,8 @@ impl RtPlugin {
     pub fn new(collector: &str) -> Self {
         RtPlugin {
             collector: collector.to_string(),
-            vps: HashMap::new(),
-            dirty: HashMap::new(),
+            vps: FxHashMap::default(),
+            dirty: FxHashMap::default(),
             elems_in_bin: 0,
             rib_active: false,
             rib_corrupted: false,
@@ -218,7 +218,7 @@ impl RtPlugin {
     }
 
     fn mark_dirty(
-        dirty: &mut HashMap<(IpAddr, Prefix), Option<CellRoute>>,
+        dirty: &mut FxHashMap<(IpAddr, Prefix), Option<CellRoute>>,
         ip: IpAddr,
         prefix: Prefix,
         prev: &Option<CellRoute>,
@@ -659,7 +659,7 @@ impl ShardedPlugin for RtPlugin {
 }
 
 fn vp_entry_in(
-    vps: &mut HashMap<IpAddr, VpTable>,
+    vps: &mut FxHashMap<IpAddr, VpTable>,
     rib_active: bool,
     ip: IpAddr,
     asn: Asn,
@@ -671,7 +671,7 @@ fn vp_entry_in(
         } else {
             MacroState::Down
         },
-        cells: HashMap::new(),
+        cells: FxHashMap::default(),
         rib_seen: false,
         check_ok: false,
     })

@@ -9,7 +9,10 @@
 //! but fans the *processing* out:
 //!
 //! 1. the coordinator (the calling thread) pulls record **batches**
-//!    from the stream ([`BgpStream::next_batch`]) and broadcasts each
+//!    from the stream ([`BgpStream::next_batch`]) — under selective
+//!    filters the stream's compiled pushdown has already rejected
+//!    non-matching records before decode, so most envelopes arrive
+//!    elem-less and broadcast for pennies — and broadcasts each
 //!    batch — behind an `Arc`, so a broadcast is a refcount bump per
 //!    worker — into N per-worker bounded queues
 //!    ([`analytics::mapreduce::ShardPool`]); bounded queues mean a
@@ -464,9 +467,13 @@ impl ShardedRuntime {
         let mut current_bin: Option<u64> = None;
         let mut batch: Vec<BgpStreamRecord> = Vec::with_capacity(self.cfg.batch_records);
 
+        let batch_cap = self.cfg.batch_records;
         let flush = |batch: &mut Vec<BgpStreamRecord>, pool: &ShardPool<ShardMsg>| {
             if !batch.is_empty() {
-                let arc = Arc::new(std::mem::take(batch));
+                // Swap in a pre-sized buffer: `mem::take` would leave a
+                // zero-capacity Vec that regrows (and reallocates)
+                // every batch on the broadcast hot path.
+                let arc = Arc::new(std::mem::replace(batch, Vec::with_capacity(batch_cap)));
                 pool.broadcast(ShardMsg::Batch(arc));
             }
         };

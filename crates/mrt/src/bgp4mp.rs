@@ -177,7 +177,9 @@ fn to_v6(ip: IpAddr) -> Ipv6Addr {
     }
 }
 
-fn decode_session_header(body: &mut &[u8]) -> Result<(Asn, Asn, IpAddr, IpAddr), MrtError> {
+pub(crate) fn decode_session_header(
+    body: &mut &[u8],
+) -> Result<(Asn, Asn, IpAddr, IpAddr), MrtError> {
     if body.len() < 12 {
         return Err(MrtError::Truncated("BGP4MP session header"));
     }

@@ -16,6 +16,9 @@
 //!   paper extends libBGPdump to "signal a corrupted read" so that
 //!   libBGPStream can mark records not-valid; [`MrtError`] is that
 //!   signal here;
+//! * [`raw::RawMrtView`] — borrowed, decode-free record views for
+//!   filter pushdown: classify a record and scan its peer, NLRI and
+//!   community bytes without building any owned structure;
 //! * [`writer::MrtWriter`] — the encoder used by the collector
 //!   simulator to produce archives.
 //!
@@ -25,13 +28,15 @@
 //! are accepted by real-world parsers and ours round-trips.
 
 pub mod bgp4mp;
+pub mod raw;
 pub mod reader;
 pub mod record;
 pub mod table_dump_v2;
 pub mod writer;
 
 pub use bgp4mp::Bgp4mp;
-pub use reader::{MrtError, MrtReader, MrtSliceReader};
+pub use raw::RawMrtView;
+pub use reader::{MrtError, MrtReader, MrtSliceReader, RawRecord};
 pub use record::{MrtBody, MrtHeader, MrtRecord, MrtType};
 pub use table_dump_v2::{PeerEntry, PeerIndexTable, RibEntry, RibRow};
 pub use writer::MrtWriter;

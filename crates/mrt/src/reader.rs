@@ -171,12 +171,26 @@ impl<R: Read> MrtReader<R> {
 /// read), but record bodies are sliced out of the buffer instead of
 /// being copied into a per-record `Vec` — the sorted-stream merge
 /// path slurps each dump file once and then parses allocation-free up
-/// to the decoded structures themselves.
+/// to the decoded structures themselves. [`MrtSliceReader::next_raw`]
+/// exposes the framing step on its own, so filter pushdown can
+/// inspect a record (via [`crate::raw::RawMrtView`]) and skip the full
+/// decode entirely.
 pub struct MrtSliceReader {
     buf: Vec<u8>,
     pos: usize,
     poisoned: bool,
     count: u64,
+}
+
+/// One framed-but-undecoded record handed out by
+/// [`MrtSliceReader::next_raw`]: the decoded 12-byte header plus the
+/// body bytes, borrowed straight from the reader's buffer.
+#[derive(Debug)]
+pub struct RawRecord<'a> {
+    /// The record's common header.
+    pub header: MrtHeader,
+    /// The undecoded body (exactly `header.length` bytes).
+    pub body: &'a [u8],
 }
 
 impl MrtSliceReader {
@@ -195,9 +209,10 @@ impl MrtSliceReader {
         self.count
     }
 
-    /// Read the next record (same semantics as [`MrtReader::next`]).
-    #[allow(clippy::should_implement_trait)]
-    pub fn next(&mut self) -> Option<Result<MrtRecord, MrtError>> {
+    /// Frame the next record: decode the header, bounds-check the
+    /// body, advance the cursor past it. Framing errors poison the
+    /// reader (same semantics as a corrupted read in `next`).
+    fn frame_next(&mut self) -> Option<Result<(MrtHeader, std::ops::Range<usize>), MrtError>> {
         if self.poisoned {
             return None;
         }
@@ -226,9 +241,41 @@ impl MrtSliceReader {
             self.poisoned = true;
             return Some(Err(MrtError::Truncated("MRT body")));
         }
-        match MrtRecord::decode(&header, &self.buf[body_start..body_end]) {
+        self.pos = body_end;
+        Some(Ok((header, body_start..body_end)))
+    }
+
+    /// Frame the next record without decoding its body.
+    ///
+    /// Framing errors (truncated/oversized/garbled header, body past
+    /// the end of the buffer) poison the reader exactly as
+    /// [`MrtSliceReader::next`] does; whether and how to decode the
+    /// returned body — and how to signal *decode* errors — is the
+    /// caller's business. This is the filter-pushdown entry point: a
+    /// caller can classify the body with [`crate::raw::RawMrtView`]
+    /// and never build the owned record at all.
+    pub fn next_raw(&mut self) -> Option<Result<RawRecord<'_>, MrtError>> {
+        match self.frame_next()? {
+            Ok((header, range)) => {
+                self.count += 1;
+                Some(Ok(RawRecord {
+                    header,
+                    body: &self.buf[range],
+                }))
+            }
+            Err(e) => Some(Err(e)),
+        }
+    }
+
+    /// Read the next record (same semantics as [`MrtReader::next`]).
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<Result<MrtRecord, MrtError>> {
+        let (header, range) = match self.frame_next()? {
+            Ok(framed) => framed,
+            Err(e) => return Some(Err(e)),
+        };
+        match MrtRecord::decode(&header, &self.buf[range]) {
             Ok(rec) => {
-                self.pos = body_end;
                 self.count += 1;
                 Some(Ok(rec))
             }
@@ -356,6 +403,34 @@ mod tests {
         }
         assert_eq!(out, recs);
         assert_eq!(r.records_read(), 3);
+        assert!(r.next().is_none());
+    }
+
+    #[test]
+    fn slice_reader_next_raw_frames_without_decoding() {
+        let recs = vec![keepalive_record(4), keepalive_record(9)];
+        let buf = encode_all(&recs);
+        let mut r = MrtSliceReader::new(buf.clone());
+        // Raw framing sees the same records the decoding path does.
+        let raw = r.next_raw().unwrap().unwrap();
+        assert_eq!(raw.header.timestamp, 4);
+        let decoded = MrtRecord::decode(&raw.header, raw.body).unwrap();
+        assert_eq!(decoded, recs[0]);
+        // Interleaving raw and decoded reads keeps the cursor in sync.
+        assert_eq!(r.next().unwrap().unwrap(), recs[1]);
+        assert!(r.next_raw().is_none());
+        assert_eq!(r.records_read(), 2);
+
+        // Framing errors poison next_raw exactly like next.
+        let mut cut = encode_all(&recs);
+        cut.truncate(cut.len() - 4);
+        let mut r = MrtSliceReader::new(cut);
+        assert!(r.next_raw().unwrap().is_ok());
+        assert_eq!(
+            r.next_raw().unwrap().unwrap_err(),
+            MrtError::Truncated("MRT body")
+        );
+        assert!(r.next_raw().is_none());
         assert!(r.next().is_none());
     }
 

@@ -10,7 +10,11 @@
 //!
 //! Results are printed human-readably and, when `CRITERION_MINI_JSON`
 //! is set, appended to that path as JSON lines so harnesses can
-//! capture baselines.
+//! capture baselines. Each line carries `ns_per_iter` plus the
+//! throughput triple (`throughput_kind`, `throughput_per_iter`,
+//! `rate_per_sec`) and an explicit `rate_unit` field naming what
+//! `rate_per_sec` measures (`"MiB/s"` for byte throughput, `"elem/s"`
+//! for element throughput, `"none"` without a throughput).
 
 pub use std::hint::black_box;
 
@@ -132,14 +136,26 @@ impl Bencher {
 }
 
 fn report(group: &str, name: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
+    // Schema note: byte benches report MiB per second and element
+    // benches report elements per second, but both land under the
+    // generic `rate_per_sec` key — so every JSON line carries an
+    // explicit `rate_unit` ("MiB/s" / "elem/s" / "none") naming what
+    // the number means. `bench_gate` keys on `ns_per_iter` only and is
+    // unaffected by the extra field.
     let rate = throughput.map(|t| match t {
         Throughput::Bytes(n) => {
             let mib_s = n as f64 / (ns_per_iter / 1e9) / (1024.0 * 1024.0);
-            (format!("{mib_s:.1} MiB/s"), "bytes", n, mib_s)
+            (format!("{mib_s:.1} MiB/s"), "bytes", n, mib_s, "MiB/s")
         }
         Throughput::Elements(n) => {
             let elem_s = n as f64 / (ns_per_iter / 1e9);
-            (format!("{elem_s:.0} elem/s"), "elements", n, elem_s)
+            (
+                format!("{elem_s:.0} elem/s"),
+                "elements",
+                n,
+                elem_s,
+                "elem/s",
+            )
         }
     });
     match &rate {
@@ -150,14 +166,14 @@ fn report(group: &str, name: &str, ns_per_iter: f64, throughput: Option<Throughp
     }
     if let Ok(path) = std::env::var("CRITERION_MINI_JSON") {
         use std::io::Write as _;
-        let (tp_kind, tp_n, tp_rate) = match &rate {
-            Some((_, kind, n, r)) => (*kind, *n, *r),
-            None => ("none", 0, 0.0),
+        let (tp_kind, tp_n, tp_rate, tp_unit) = match &rate {
+            Some((_, kind, n, r, unit)) => (*kind, *n, *r, *unit),
+            None => ("none", 0, 0.0, "none"),
         };
         let line = format!(
             "{{\"group\":\"{group}\",\"bench\":\"{name}\",\"ns_per_iter\":{ns_per_iter:.1},\
              \"throughput_kind\":\"{tp_kind}\",\"throughput_per_iter\":{tp_n},\
-             \"rate_per_sec\":{tp_rate:.1}}}"
+             \"rate_per_sec\":{tp_rate:.1},\"rate_unit\":\"{tp_unit}\"}}"
         );
         if let Ok(mut f) = std::fs::OpenOptions::new()
             .create(true)

@@ -1,0 +1,145 @@
+//! Offline stand-in for the `fxhash` crate.
+//!
+//! Implements the Firefox/rustc "Fx" hash: a non-cryptographic
+//! multiply-rotate mix that is dramatically cheaper than std's
+//! SipHash-1-3 for the small fixed-size keys (ASNs, elem types,
+//! prefixes, addresses) this workspace keeps in hot sets and maps.
+//! SipHash buys DoS resistance we do not need for values derived from
+//! already-validated routing data; Fx buys back the per-lookup cost
+//! that dominates filter and plugin table probes.
+//!
+//! API subset covered: [`FxHasher`], [`FxBuildHasher`] and the
+//! [`FxHashMap`]/[`FxHashSet`] aliases — the same surface the real
+//! crate exposes, so swapping in the crates.io version is the usual
+//! one-line change in the workspace manifest.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+/// Builder producing default [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// 64-bit multiplicative constant (the golden-ratio-derived one the
+/// upstream crate uses).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx streaming hasher: `hash = (hash.rotl(5) ^ word) * SEED` per
+/// input word.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(&bytes[..8]);
+            self.add_to_hash(u64::from_ne_bytes(w));
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            let mut w = [0u8; 4];
+            w.copy_from_slice(&bytes[..4]);
+            self.add_to_hash(u32::from_ne_bytes(w) as u64);
+            bytes = &bytes[4..];
+        }
+        for &b in bytes {
+            self.add_to_hash(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(hash_of(&42u32), hash_of(&42u32));
+        assert_ne!(hash_of(&42u32), hash_of(&43u32));
+        assert_ne!(hash_of(&"abc"), hash_of(&"abd"));
+        // Distinct word groupings must not collide trivially.
+        assert_ne!(hash_of(&(1u64, 2u64)), hash_of(&(2u64, 1u64)));
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        let mut s: FxHashSet<u128> = FxHashSet::default();
+        assert!(s.insert(1 << 100));
+        assert!(s.contains(&(1 << 100)));
+        assert!(!s.insert(1 << 100));
+    }
+
+    #[test]
+    fn byte_tail_paths_covered() {
+        // Exercise the 8-byte, 4-byte and trailing-byte paths.
+        for len in 0..20usize {
+            let bytes: Vec<u8> = (0..len as u8).collect();
+            let mut h = FxHasher::default();
+            h.write(&bytes);
+            let first = h.finish();
+            let mut h2 = FxHasher::default();
+            h2.write(&bytes);
+            assert_eq!(first, h2.finish(), "len {len}");
+        }
+    }
+}
