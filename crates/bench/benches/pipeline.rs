@@ -108,6 +108,62 @@ fn bench_pipeline(c: &mut Criterion) {
             black_box(n)
         })
     });
+    // Live tailing: the same archive consumed through the live-mode
+    // machinery — a LiveFeeder re-publishing into a fresh index
+    // (truthful watermark), a watermark-released LiveCursor, and the
+    // non-blocking batch interface — publication and consumption
+    // interleaved window by window on one thread, so the measurement
+    // is pure publication→delivery cost with no sleeps. CI gates this
+    // against sorted_stream with `bench_gate --max-latency-ratio`:
+    // the live path may cost at most a small factor over the
+    // historical read of the same bytes.
+    let manifest = archive.world.sim.manifest().to_vec();
+    g.bench_function("live_tail", |b| {
+        use bgpstream_repro::bgpstream::{BatchStep, Clock};
+        use bgpstream_repro::broker::Index;
+        use bgpstream_repro::collector_sim::{FaultPlan, LiveFeeder};
+
+        b.iter(|| {
+            let index = std::sync::Arc::new(Index::with_window(900));
+            let mut feeder = LiveFeeder::new(&manifest, index.clone(), &FaultPlan::none(), 1);
+            let clock = Clock::manual(0);
+            let mut stream = BgpStream::builder()
+                .data_interface(DataInterface::Broker(index))
+                .live(0)
+                .watermark_release()
+                .clock(clock.clone())
+                .poll_interval(std::time::Duration::from_micros(10))
+                .start();
+            let horizon = feeder.horizon().saturating_add(1);
+            let mut t = 0u64;
+            let mut n = 0u64;
+            loop {
+                if !feeder.done() {
+                    t += 900;
+                    feeder.publish_until(t);
+                    clock.advance_to(t);
+                } else {
+                    clock.advance_to(horizon);
+                }
+                loop {
+                    match stream.next_batch_step(256) {
+                        BatchStep::Records(recs) => {
+                            for rec in recs {
+                                n += 1 + black_box(rec.elems().len() as u64);
+                            }
+                        }
+                        BatchStep::Idle { released_through } => {
+                            if feeder.done() && released_through > horizon {
+                                return black_box(n);
+                            }
+                            break;
+                        }
+                        BatchStep::End => return black_box(n),
+                    }
+                }
+            }
+        })
+    });
     g.finish();
     std::fs::remove_dir_all(&archive.world.dir).ok();
 

@@ -6,6 +6,7 @@
 //! ```text
 //! bench_gate <fresh.jsonl> <baseline.json> [max_regression_pct]
 //! bench_gate --min-speedup <fresh.jsonl> <slow_bench> <fast_bench> <factor> [min_cores]
+//! bench_gate --max-latency-ratio <fresh.jsonl> <bench> <base_bench> <max_ratio>
 //! ```
 //!
 //! `<fresh.jsonl>` is the `CRITERION_MINI_JSON` output of a bench run
@@ -26,6 +27,13 @@
 //! is only testable where parallelism exists, so the check SKIPs
 //! (exit 0, with a notice) when the host has fewer than `min_cores`
 //! (default 4) CPUs.
+//!
+//! `--max-latency-ratio` is the inverse bound, gating an overhead
+//! claim: `pipeline/<bench>` may cost at most `max_ratio`× of
+//! `pipeline/<base_bench>` in the same fresh run. PR 5 uses it to cap
+//! the live tail's publication→delivery cost against the historical
+//! `sorted_stream` read of the same archive. Never self-skips (no
+//! parallelism involved).
 
 use std::process::ExitCode;
 
@@ -42,6 +50,17 @@ fn ns_per_iter(json: &str, group: &str, bench: &str) -> Option<f64> {
         .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == 'e' || c == '-' || c == '+'))
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+/// `pipeline/<bench>` ns/iter from fresh results, or exit 2.
+fn read_pipeline_ns(fresh: &str, bench: &str) -> f64 {
+    match ns_per_iter(fresh, "pipeline", bench) {
+        Some(v) if v > 0.0 => v,
+        _ => {
+            eprintln!("bench_gate: pipeline/{bench} missing from fresh results");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn min_speedup(args: &[String]) -> ExitCode {
@@ -70,17 +89,8 @@ fn min_speedup(args: &[String]) -> ExitCode {
     }
     let fresh = std::fs::read_to_string(fresh_path)
         .unwrap_or_else(|e| panic!("cannot read fresh results {fresh_path}: {e}"));
-    let read = |bench: &str| -> f64 {
-        match ns_per_iter(&fresh, "pipeline", bench) {
-            Some(v) if v > 0.0 => v,
-            _ => {
-                eprintln!("bench_gate: pipeline/{bench} missing from fresh results");
-                std::process::exit(2);
-            }
-        }
-    };
-    let slow_ns = read(slow);
-    let fast_ns = read(fast);
+    let slow_ns = read_pipeline_ns(&fresh, slow);
+    let fast_ns = read_pipeline_ns(&fresh, fast);
     let speedup = slow_ns / fast_ns;
     println!(
         "bench_gate: {fast} {speedup:.2}x vs {slow} ({fast_ns:.0} ns vs {slow_ns:.0} ns) \
@@ -94,10 +104,39 @@ fn min_speedup(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn max_latency_ratio(args: &[String]) -> ExitCode {
+    if args.len() < 4 {
+        eprintln!(
+            "usage: bench_gate --max-latency-ratio <fresh.jsonl> <bench> <base_bench> <max_ratio>"
+        );
+        return ExitCode::from(2);
+    }
+    let (fresh_path, bench, base) = (&args[0], &args[1], &args[2]);
+    let max_ratio: f64 = args[3].parse().expect("max_ratio must be a number");
+    let fresh = std::fs::read_to_string(fresh_path)
+        .unwrap_or_else(|e| panic!("cannot read fresh results {fresh_path}: {e}"));
+    let bench_ns = read_pipeline_ns(&fresh, bench);
+    let base_ns = read_pipeline_ns(&fresh, base);
+    let ratio = bench_ns / base_ns;
+    println!(
+        "bench_gate: {bench} {ratio:.2}x of {base} ({bench_ns:.0} ns vs {base_ns:.0} ns); \
+         allowed {max_ratio:.2}x"
+    );
+    if ratio > max_ratio {
+        eprintln!("bench_gate: FAIL — ratio {ratio:.2}x above allowed {max_ratio:.2}x");
+        return ExitCode::FAILURE;
+    }
+    println!("bench_gate: OK");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     if args.get(1).map(|s| s.as_str()) == Some("--min-speedup") {
         return min_speedup(&args[2..]);
+    }
+    if args.get(1).map(|s| s.as_str()) == Some("--max-latency-ratio") {
+        return max_latency_ratio(&args[2..]);
     }
     if args.len() < 3 {
         eprintln!("usage: bench_gate <fresh.jsonl> <baseline.json> [max_regression_pct]");

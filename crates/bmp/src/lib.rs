@@ -31,6 +31,7 @@
 //! `Read`/`Write` pair, which the tests and examples connect through
 //! in-memory buffers exactly as the MRT path connects through files.
 
+pub mod feed;
 pub mod msg;
 pub mod peer;
 pub mod reader;
@@ -38,6 +39,7 @@ pub mod router;
 pub mod station;
 pub mod tlv;
 
+pub use feed::BmpLiveFeed;
 pub use msg::{BmpMessage, PeerDownReason, BMP_VERSION};
 pub use peer::{PeerFlags, PerPeerHeader};
 pub use reader::{BmpError, BmpReader};

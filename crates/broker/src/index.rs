@@ -36,7 +36,7 @@ impl std::str::FromStr for DumpType {
 }
 
 /// Meta-data about one dump file in a data provider's archive.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct DumpMeta {
     /// Collection project ("routeviews", "ris").
     pub project: String,
@@ -131,8 +131,20 @@ pub const DEFAULT_WINDOW: u64 = 2 * 3600;
 
 struct Inner {
     entries: Vec<DumpMeta>,
+    /// Every registered entry, so an exact re-publication of a dump
+    /// (same `DumpMeta` field for field) is recognised and ignored —
+    /// the paper's SQL store keys on dump identity, and re-inserting
+    /// the same row is a no-op there too. Without this, a duplicate
+    /// registration would make every historical query (and every live
+    /// poll) deliver the dump twice.
+    seen: std::collections::HashSet<DumpMeta>,
     /// Monotone registration counter, bumped on every publish.
     version: u64,
+    /// Publication watermark: the data provider asserts that every
+    /// dump with `interval_start < watermark` matching its feed has
+    /// been registered. 0 = no watermark support (time/grace-based
+    /// live release applies instead).
+    watermark: u64,
 }
 
 /// The meta-data store. Thread-safe; live consumers can block on
@@ -164,7 +176,9 @@ impl Index {
         Index {
             inner: Mutex::new(Inner {
                 entries: Vec::new(),
+                seen: std::collections::HashSet::new(),
                 version: 0,
+                watermark: 0,
             }),
             cond: Condvar::new(),
             window: window.max(1),
@@ -184,13 +198,19 @@ impl Index {
     }
 
     /// Register a published dump file (what the paper's scraper feeds
-    /// into the SQL database). Wakes any live pollers.
-    pub fn register(&self, meta: DumpMeta) {
+    /// into the SQL database). Wakes any live pollers. Registering the
+    /// exact same `DumpMeta` again is a no-op (returns false): a
+    /// re-published dump must not double every query that covers it.
+    pub fn register(&self, meta: DumpMeta) -> bool {
         let mut inner = self.inner.lock();
+        if !inner.seen.insert(meta.clone()) {
+            return false;
+        }
         inner.entries.push(meta);
         inner.version += 1;
         drop(inner);
         self.cond.notify_all();
+        true
     }
 
     /// Number of registered files.
@@ -211,6 +231,100 @@ impl Index {
     /// Current registration version (for change detection).
     pub fn version(&self) -> u64 {
         self.inner.lock().version
+    }
+
+    /// Advance the publication watermark to `t` (monotone; moving
+    /// backwards is a no-op). By advancing to `t` the data provider
+    /// asserts "every dump with `interval_start < t` has been
+    /// registered" — the live cursor's [`ReleasePolicy::Watermark`]
+    /// releases broker windows off this instead of waiting out a
+    /// publication-delay grace period, which is both lower-latency and
+    /// stall-proof: a stalled or out-of-order publisher holds the
+    /// watermark (and therefore bin closing) back rather than losing
+    /// data. Wakes live pollers.
+    ///
+    /// [`ReleasePolicy::Watermark`]: crate::live::ReleasePolicy::Watermark
+    pub fn advance_watermark(&self, t: u64) {
+        let mut inner = self.inner.lock();
+        if t > inner.watermark {
+            inner.watermark = t;
+            inner.version += 1;
+            drop(inner);
+            self.cond.notify_all();
+        }
+    }
+
+    /// The current publication watermark ("complete through T"); 0
+    /// when the provider never advanced one.
+    pub fn watermark(&self) -> u64 {
+        self.inner.lock().watermark
+    }
+
+    /// Whether any entry matching `query` has `interval_start >= t`
+    /// (used by the live cursor to detect that a feed declared
+    /// complete has nothing left beyond its cursor).
+    pub(crate) fn has_entry_at_or_after(&self, query: &Query, t: u64) -> bool {
+        self.inner
+            .lock()
+            .entries
+            .iter()
+            .any(|m| m.interval_start >= t && query.matches(m))
+    }
+
+    /// Scan for live delivery: every entry matching `query`, visible
+    /// by `now`, with `interval_start` in `[query.start,
+    /// release_before)`, whose position is not yet marked in
+    /// `delivered`. Marks and returns them. Positions are stable
+    /// (entries are append-only and deduped), so a dump is delivered
+    /// to a given cursor exactly once no matter how often it is
+    /// re-published or how late it appears.
+    ///
+    /// `frontier` is the cursor's skip hint: the number of leading
+    /// entries already delivered. It is advanced here, so over a
+    /// long-lived live session (where delivery is a growing prefix of
+    /// the append-only list) the steady-state scan cost is O(new
+    /// entries), not O(all entries ever registered). Entries behind
+    /// the frontier left undelivered (filtered out, or still awaiting
+    /// release) keep the frontier pinned and are simply rescanned.
+    pub(crate) fn scan_undelivered(
+        &self,
+        query: &Query,
+        delivered: &mut Vec<bool>,
+        frontier: &mut usize,
+        release_before: u64,
+        now: u64,
+    ) -> Vec<DumpMeta> {
+        let inner = self.inner.lock();
+        delivered.resize(inner.entries.len(), false);
+        let mut out: Vec<DumpMeta> = Vec::new();
+        for (pos, m) in inner.entries.iter().enumerate().skip(*frontier) {
+            if delivered[pos] {
+                continue;
+            }
+            // Permanently out of scope for this cursor (the query is
+            // fixed for the stream's lifetime): resolve the slot so it
+            // never pins the frontier.
+            if !query.matches(m) || m.interval_end() < query.start {
+                delivered[pos] = true;
+                continue;
+            }
+            // Transiently undeliverable: unpublished or not released.
+            if m.available_at > now || m.interval_start >= release_before {
+                continue;
+            }
+            delivered[pos] = true;
+            out.push(m.clone());
+        }
+        while *frontier < delivered.len() && delivered[*frontier] {
+            *frontier += 1;
+        }
+        drop(inner);
+        if let Some(mirrors) = self.mirrors.lock().clone() {
+            for f in &mut out {
+                f.path = mirrors.pick(&f.path);
+            }
+        }
+        out
     }
 
     /// The response window span in seconds (how much data one query
@@ -541,6 +655,49 @@ mod tests {
         assert!(!m.overlaps(401, Some(500)));
         assert!(m.overlaps(0, None));
         assert!(!m.overlaps(0, Some(99)));
+    }
+
+    #[test]
+    fn register_ignores_exact_duplicates() {
+        // Regression companion to live_query_never_skips_gaps: a dump
+        // re-published with identical DumpMeta must not appear twice
+        // in query responses (historical readers would double-read the
+        // file; live cursors would double-deliver).
+        let idx = Index::with_window(3600);
+        let m = meta("rrc01", DumpType::Updates, 0, 300, 400);
+        assert!(idx.register(m.clone()));
+        assert!(!idx.register(m.clone()));
+        assert_eq!(idx.len(), 1);
+        let q = Query {
+            start: 0,
+            end: Some(7200),
+            ..Default::default()
+        };
+        let mut cur = BrokerCursor { window_start: 0 };
+        let r = idx.query(&q, &mut cur, u64::MAX);
+        assert_eq!(r.files.len(), 1);
+        // A genuinely different publication (new path) still lands.
+        let mut m2 = m;
+        m2.path = PathBuf::from("/tmp/rrc01-0-retry");
+        assert!(idx.register(m2));
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn watermark_is_monotone_and_wakes_waiters() {
+        let idx = Arc::new(Index::new());
+        assert_eq!(idx.watermark(), 0);
+        let v0 = idx.version();
+        let idx2 = idx.clone();
+        let handle = std::thread::spawn(move || idx2.advance_watermark(500));
+        assert!(idx.wait_for_new(v0, Duration::from_secs(5)));
+        handle.join().unwrap();
+        assert_eq!(idx.watermark(), 500);
+        // Moving backwards is a no-op and does not bump the version.
+        let v1 = idx.version();
+        idx.advance_watermark(100);
+        assert_eq!(idx.watermark(), 500);
+        assert_eq!(idx.version(), v1);
     }
 
     #[test]

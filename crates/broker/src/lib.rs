@@ -20,6 +20,10 @@
 //!   ships besides the Broker: a single file and a CSV manifest.
 //!   (The SQLite interface is omitted — no SQL engine in the allowed
 //!   dependency set; the CSV interface covers the same use case.)
+//! * [`LiveCursor`] — the incremental live query handle: windowed
+//!   release (grace- or watermark-driven), exactly-once delivery
+//!   across polls, and a completeness watermark downstream time bins
+//!   close against (§"(ii) live data processing").
 //! * [`mirror::MirrorSet`] — §3.2's load balancing: the Broker
 //!   "can transparently round-robin amongst multiple mirror servers or
 //!   adopt more sophisticated policies"; response paths are rewritten
@@ -28,10 +32,12 @@
 
 pub mod index;
 pub mod interface;
+pub mod live;
 pub mod mirror;
 pub mod source;
 
 pub use index::{BrokerCursor, DumpMeta, DumpType, Index, Query};
 pub use interface::DataInterface;
+pub use live::{LiveCursor, LivePoll, ReleasePolicy};
 pub use mirror::{MirrorPolicy, MirrorSet};
 pub use source::{SourceId, SourceMeta};

@@ -1,0 +1,329 @@
+//! The incremental live cursor: a resumable query handle for
+//! unbounded ("live") streams.
+//!
+//! Historical queries page through the index with a plain
+//! [`BrokerCursor`](crate::index::BrokerCursor) and stop at the
+//! interval end. A live stream never ends, and its consumer needs two
+//! things the plain cursor cannot give:
+//!
+//! 1. **exactly-once delivery across polls** — the same dump must not
+//!    be handed out twice, even when it is re-published with identical
+//!    meta-data after the cursor already passed its window, and a dump
+//!    published *late* (after its window was released) must still be
+//!    delivered instead of being lost behind the advancing cursor;
+//! 2. **a completeness watermark** — "the data is complete through T"
+//!    — so downstream time bins can close deterministically instead of
+//!    closing on stream EOF (which never comes).
+//!
+//! A [`LiveCursor`] provides both. Window release is governed by a
+//! [`ReleasePolicy`]:
+//!
+//! * [`ReleasePolicy::Grace`] reproduces the paper's §6.2.3 trade-off:
+//!   a window is released once its span plus a grace period covering
+//!   the provider's maximum publication delay has elapsed on the
+//!   (virtual) clock. Low machinery, but a publisher stalled beyond
+//!   the grace loses completeness (late dumps are still delivered —
+//!   as stragglers, out of order).
+//! * [`ReleasePolicy::Watermark`] releases a window only when the
+//!   provider's explicit publication watermark
+//!   ([`Index::advance_watermark`]) has passed the window end. Any
+//!   fault schedule — delays, stalls, out-of-order publication —
+//!   holds the watermark (and therefore release) back rather than
+//!   dropping data, which is what makes live output provably
+//!   byte-identical to a historical run over the final archive.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::index::{DumpMeta, Index, Query};
+
+/// When a live window may be released to the consumer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReleasePolicy {
+    /// Release window `[w, w+span)` once `now >= w + span + grace`
+    /// (grace in virtual seconds, covering the maximum publication
+    /// delay).
+    Grace(u64),
+    /// Release window `[w, w+span)` once the index's publication
+    /// watermark reaches `w + span`.
+    Watermark,
+}
+
+/// One poll's outcome.
+#[derive(Clone, Debug, Default)]
+pub struct LivePoll {
+    /// Files of the window released by this poll (at most one window
+    /// advances per poll, so batches group exactly as a historical
+    /// windowed query would).
+    pub files: Vec<DumpMeta>,
+    /// Dumps that surfaced *behind* the cursor since the last poll:
+    /// late publications under [`ReleasePolicy::Grace`]. Delivered
+    /// exactly once, but out of window order — the consumer decides
+    /// how to merge them (the stream admits them into its current
+    /// merge).
+    pub late: Vec<DumpMeta>,
+    /// True when a window boundary was crossed (even if it held no
+    /// files); the caller should poll again before blocking.
+    pub advanced: bool,
+    /// Everything with `interval_start` below this has either been
+    /// delivered or will surface only in `late`; downstream bins with
+    /// `end <= released_through` can close.
+    pub released_through: u64,
+}
+
+/// Resumable live query handle over one [`Index`]. See the
+/// [module docs](self).
+pub struct LiveCursor {
+    index: Arc<Index>,
+    query: Query,
+    policy: ReleasePolicy,
+    /// Start of the next unreleased window.
+    window_start: u64,
+    /// Positional delivered-set over the index's append-only entry
+    /// list: entry `i` delivered iff `delivered[i]`.
+    delivered: Vec<bool>,
+    /// Leading-prefix skip hint over `delivered` (see
+    /// [`Index::scan_undelivered`]): steady-state polls scan only
+    /// entries published since the last poll.
+    frontier: usize,
+}
+
+impl LiveCursor {
+    /// A cursor over `index` for `query` (whose `end` is ignored —
+    /// live cursors never exhaust). Delivery starts at `query.start`.
+    pub fn new(index: Arc<Index>, query: Query, policy: ReleasePolicy) -> Self {
+        let window_start = query.start;
+        LiveCursor {
+            index,
+            query,
+            policy,
+            window_start,
+            delivered: Vec::new(),
+            frontier: 0,
+        }
+    }
+
+    /// The completeness watermark: everything with `interval_start`
+    /// below this has been released (modulo `late` stragglers).
+    pub fn released_through(&self) -> u64 {
+        self.window_start
+    }
+
+    /// Whether the next window can be released at virtual time `now`.
+    fn releasable(&self, now: u64) -> bool {
+        if self.window_start == u64::MAX {
+            // Feed declared complete and fully released: no further
+            // windows exist; surprise registrations (a provider
+            // breaking its own completeness claim) still surface
+            // through the straggler sweep.
+            return false;
+        }
+        let w_end = self.window_start.saturating_add(self.index.window());
+        match self.policy {
+            ReleasePolicy::Grace(grace) => now >= w_end.saturating_add(grace),
+            ReleasePolicy::Watermark => self.index.watermark() >= w_end,
+        }
+    }
+
+    /// One incremental poll at virtual time `now`: release at most one
+    /// window (collecting its files), then sweep for stragglers behind
+    /// the cursor. Every dump is delivered exactly once per cursor, no
+    /// matter how often it is re-published.
+    pub fn poll(&mut self, now: u64) -> LivePoll {
+        // Visibility gate: under the grace policy, `available_at`
+        // models the provider's publication delay against the clock.
+        // Under watermark release the watermark itself vouches that
+        // covered dumps are published — registration IS publication —
+        // so clock-gating them again would only race a publisher that
+        // registers before its driver advances the shared clock.
+        let vis_now = match self.policy {
+            ReleasePolicy::Grace(_) => now,
+            ReleasePolicy::Watermark => u64::MAX,
+        };
+        let mut out = LivePoll::default();
+        if self.releasable(now) {
+            let w_end = self.window_start.saturating_add(self.index.window());
+            out.files = self.index.scan_undelivered(
+                &self.query,
+                &mut self.delivered,
+                &mut self.frontier,
+                w_end,
+                vis_now,
+            );
+            self.window_start = w_end;
+            out.advanced = true;
+            // Feed-complete short-circuit: a provider that parked the
+            // watermark at `u64::MAX` has declared "nothing more,
+            // ever". Once no matching dump remains at or beyond the
+            // cursor, stepping window by window through the empty
+            // eternity is meaningless — jump the watermark to the end
+            // of time so consumers see `released_through == u64::MAX`
+            // and can treat the session as complete. (Data windows
+            // still release one per poll first, preserving historical
+            // batching.)
+            if self.policy == ReleasePolicy::Watermark
+                && self.index.watermark() == u64::MAX
+                && !self
+                    .index
+                    .has_entry_at_or_after(&self.query, self.window_start)
+            {
+                self.window_start = u64::MAX;
+            }
+        } else {
+            // No window released: sweep for dumps that appeared behind
+            // the cursor since the last poll (late publications past
+            // the grace, or re-publications — the latter dedup away).
+            out.late = self.index.scan_undelivered(
+                &self.query,
+                &mut self.delivered,
+                &mut self.frontier,
+                self.window_start,
+                vis_now,
+            );
+        }
+        out.released_through = self.window_start;
+        out
+    }
+
+    /// Block until the index changes (new publication or watermark
+    /// advance) past `last_version`, or `timeout` elapses. Sugar over
+    /// [`Index::wait_for_new`] so live consumers need only the cursor.
+    pub fn wait(&self, last_version: u64, timeout: Duration) -> bool {
+        self.index.wait_for_new(last_version, timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::DumpType;
+    use std::path::PathBuf;
+
+    fn meta(collector: &str, start: u64, avail: u64) -> DumpMeta {
+        DumpMeta {
+            project: "ris".into(),
+            collector: collector.into(),
+            dump_type: DumpType::Updates,
+            interval_start: start,
+            duration: 300,
+            path: PathBuf::from(format!("/tmp/{collector}-{start}")),
+            available_at: avail,
+            size: 100,
+        }
+    }
+
+    fn cursor(index: &Arc<Index>, policy: ReleasePolicy) -> LiveCursor {
+        let q = Query {
+            start: 0,
+            end: None,
+            ..Default::default()
+        };
+        LiveCursor::new(index.clone(), q, policy)
+    }
+
+    #[test]
+    fn grace_policy_releases_window_after_span_plus_grace() {
+        let idx = Arc::new(Index::with_window(3600));
+        idx.register(meta("rrc01", 0, 400));
+        idx.register(meta("rrc01", 300, 700));
+        let mut cur = cursor(&idx, ReleasePolicy::Grace(500));
+        // Before span+grace: nothing releases.
+        let p = cur.poll(3600);
+        assert!(!p.advanced && p.files.is_empty() && p.late.is_empty());
+        assert_eq!(p.released_through, 0);
+        // At 4100 the window [0, 3600) is complete per the grace model.
+        let p = cur.poll(4100);
+        assert!(p.advanced);
+        assert_eq!(p.files.len(), 2);
+        assert_eq!(p.released_through, 3600);
+    }
+
+    #[test]
+    fn watermark_policy_ignores_clock_and_follows_provider() {
+        let idx = Arc::new(Index::with_window(3600));
+        idx.register(meta("rrc01", 0, 10));
+        let mut cur = cursor(&idx, ReleasePolicy::Watermark);
+        // Clock far ahead, but the provider has not vouched for the
+        // window: a stalled publisher must hold release back.
+        let p = cur.poll(u64::MAX);
+        assert!(!p.advanced && p.files.is_empty());
+        idx.advance_watermark(3600);
+        let p = cur.poll(u64::MAX);
+        assert!(p.advanced);
+        assert_eq!(p.files.len(), 1);
+        assert_eq!(p.released_through, 3600);
+    }
+
+    #[test]
+    fn one_window_per_poll_preserves_historical_batching() {
+        let idx = Arc::new(Index::with_window(3600));
+        idx.register(meta("rrc01", 0, 0));
+        idx.register(meta("rrc01", 3600, 3600));
+        idx.advance_watermark(7200);
+        let mut cur = cursor(&idx, ReleasePolicy::Watermark);
+        let p1 = cur.poll(u64::MAX);
+        assert!(p1.advanced);
+        assert_eq!(p1.files.len(), 1);
+        assert_eq!(p1.files[0].interval_start, 0);
+        let p2 = cur.poll(u64::MAX);
+        assert!(p2.advanced);
+        assert_eq!(p2.files.len(), 1);
+        assert_eq!(p2.files[0].interval_start, 3600);
+    }
+
+    #[test]
+    fn republished_dump_after_cursor_passed_is_delivered_exactly_once() {
+        // Regression (companion to index::tests::
+        // live_query_never_skips_gaps): a dump re-published with
+        // identical DumpMeta after the live cursor already released
+        // its window used to be a correctness trap — a plain windowed
+        // query never revisits the window (losing it), while a naive
+        // rescan would deliver it twice.
+        let idx = Arc::new(Index::with_window(3600));
+        let m = meta("rrc01", 0, 100);
+        idx.register(m.clone());
+        let mut cur = cursor(&idx, ReleasePolicy::Grace(100));
+        let p = cur.poll(3700);
+        assert_eq!(p.files, vec![m.clone()]);
+        // Re-publish the very same dump, well after the cursor moved on.
+        idx.register(m.clone());
+        for now in [3800u64, 7400, 11_000] {
+            let p = cur.poll(now);
+            assert!(
+                p.files.iter().chain(p.late.iter()).count() == 0,
+                "duplicate delivered at now={now}: {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn late_publication_behind_cursor_surfaces_as_straggler_once() {
+        let idx = Arc::new(Index::with_window(3600));
+        let mut cur = cursor(&idx, ReleasePolicy::Grace(100));
+        assert!(cur.poll(3700).advanced); // window [0,3600) released empty
+                                          // A dump for that window published far beyond the grace.
+        let m = meta("rrc01", 300, 5000);
+        idx.register(m.clone());
+        let p = cur.poll(5000);
+        assert_eq!(p.late, vec![m]);
+        assert!(p.files.is_empty());
+        // ...and never again.
+        assert!(cur.poll(5100).late.is_empty());
+    }
+
+    #[test]
+    fn distinct_metas_same_dump_time_both_deliver() {
+        // Dedup keys on the whole DumpMeta: two different files for
+        // the same (collector, window) — e.g. a corrected re-upload
+        // under a new path — are distinct publications.
+        let idx = Arc::new(Index::with_window(3600));
+        let a = meta("rrc01", 0, 100);
+        let mut b = meta("rrc01", 0, 100);
+        b.path = PathBuf::from("/tmp/rrc01-0.retry");
+        idx.register(a);
+        idx.register(b);
+        let mut cur = cursor(&idx, ReleasePolicy::Grace(0));
+        let p = cur.poll(3600);
+        assert_eq!(p.files.len(), 2);
+    }
+}

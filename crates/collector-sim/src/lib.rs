@@ -21,12 +21,19 @@
 //!   CSV manifest;
 //! * fault injection — truncated (corrupt) dump files and session
 //!   resets, exercising libBGPStream's error paths and the RT
-//!   plugin's E1–E4 handling.
+//!   plugin's E1–E4 handling;
+//! * [`feeder::LiveFeeder`] — replays a finished archive into a broker
+//!   index as a *publication process* (jittered delays, stalls,
+//!   out-of-order and duplicate publication) with a truthful
+//!   completeness watermark; the substrate live streams tail and CI
+//!   soaks against.
 
 pub mod archive;
+pub mod feeder;
 pub mod project;
 pub mod sim;
 
+pub use feeder::{FaultPlan, FeederStats, LiveFeeder, Stall};
 pub use project::{ProjectSpec, RIS, ROUTEVIEWS};
 pub use sim::{
     standard_collectors, CollectorSpec, FaultConfig, SimConfig, SimStats, Simulator, VpSpec,

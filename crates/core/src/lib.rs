@@ -67,4 +67,4 @@ pub use filter::{CommunityFilter, CompiledFilters, Filters, IpVersion};
 pub use filter_lang::{parse_filter_string, FilterLangError, ParsedFilter};
 pub use json_input::{parse_elem_json, JsonElem, JsonError};
 pub use record::{BgpStreamRecord, DumpPosition, RecordStatus};
-pub use stream::{BgpStream, BgpStreamBuilder, Clock, ElemSource};
+pub use stream::{BatchStep, BgpStream, BgpStreamBuilder, Clock, ElemSource, StreamMode};

@@ -425,6 +425,30 @@ impl GroupMerger {
         self.dumps.len()
     }
 
+    /// Admit a newly published dump into the running merge (live mode:
+    /// a straggler that surfaced behind the broker cursor while this
+    /// group drains). The dump is opened and its head joins the heap;
+    /// records older than what the merge already delivered surface
+    /// next and are re-stamped by the stream's live monotonic clamp —
+    /// the same machinery that keeps corrupted-read placeholders from
+    /// moving time backwards. Ties against existing dumps break after
+    /// them (the admitted dump gets the next rank), so admission never
+    /// perturbs the relative order of records already queued.
+    pub fn admit(&mut self, meta: DumpMeta) {
+        let slot = self.dumps.len();
+        let rank = self.ranks.iter().copied().max().map_or(0, |r| r + 1);
+        let dump = OpenDump::open(meta, &self.filters, &mut self.scratch);
+        self.ranks.push(rank);
+        if let Some(ts) = dump.head_timestamp() {
+            self.heap.push(HeapEntry {
+                ts,
+                rank,
+                slot: slot as u32,
+            });
+        }
+        self.dumps.push(dump);
+    }
+
     /// Whether another record is ready without further file reads
     /// being required to know so (the heap holds a primed head).
     pub fn has_next(&self) -> bool {
@@ -676,6 +700,33 @@ mod tests {
         assert_eq!(recs.len(), 1);
         assert_eq!(recs[0].status, RecordStatus::CorruptedRecord);
         assert_eq!(recs[0].timestamp, 450);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn admitted_dump_joins_the_running_merge() {
+        let dir = scratch("admit");
+        let a = dir.join("a.mrt");
+        std::fs::write(&a, encode(&[keepalive(100), keepalive(400)])).unwrap();
+        let b = dir.join("b.mrt");
+        std::fs::write(&b, encode(&[keepalive(200), keepalive(300)])).unwrap();
+        let ma = DumpMeta {
+            path: a,
+            ..meta("rrc01", DumpType::Updates, 0, 900)
+        };
+        let mb = DumpMeta {
+            path: b,
+            ..meta("rv2", DumpType::Updates, 0, 900)
+        };
+        let mut merger = GroupMerger::open(vec![ma], Arc::new(Filters::none().compile()));
+        // Drain one record, then admit the second dump mid-merge: its
+        // still-future records interleave in timestamp order.
+        let first = merger.next().unwrap();
+        assert_eq!(first.timestamp, 100);
+        merger.admit(mb);
+        assert_eq!(merger.width(), 2);
+        let rest: Vec<u64> = std::iter::from_fn(|| merger.next().map(|r| r.timestamp)).collect();
+        assert_eq!(rest, vec![200, 300, 400]);
         std::fs::remove_dir_all(&dir).ok();
     }
 

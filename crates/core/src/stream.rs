@@ -16,7 +16,7 @@ use std::time::Duration;
 use bgp_types::trie::PrefixMatch;
 use bgp_types::{Asn, Prefix};
 use broker::index::{BrokerCursor, DumpMeta, Query};
-use broker::{DataInterface, DumpType, Index, SourceId};
+use broker::{DataInterface, DumpType, Index, LiveCursor, ReleasePolicy, SourceId};
 use crossbeam::channel::{Receiver, Sender};
 
 use crate::filter::{CommunityFilter, CompiledFilters, Filters};
@@ -64,6 +64,30 @@ impl Clock {
             a.fetch_max(t, Ordering::SeqCst);
         }
     }
+}
+
+/// How the reading phase behaves once the configured interval's
+/// published data is exhausted.
+///
+/// The paper: "code can be converted into a live monitoring process
+/// simply by setting the end of the time interval to -1" —
+/// [`BgpStreamBuilder::interval`] with `end = None` (or
+/// [`BgpStreamBuilder::live`]) selects [`StreamMode::Live`]
+/// implicitly; [`BgpStreamBuilder::stream_mode`] makes the choice
+/// explicit and carries the live poll interval.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StreamMode {
+    /// Bounded interval: the stream ends when the interval is
+    /// exhausted.
+    Historical,
+    /// Unbounded: instead of ending, the stream polls the broker
+    /// (blocking up to `poll` per wait) for newly published dumps,
+    /// releasing windows per the configured
+    /// [`broker::ReleasePolicy`].
+    Live {
+        /// Wall-clock poll interval while blocked waiting for data.
+        poll: Duration,
+    },
 }
 
 /// Stream statistics (exposed for the §3.3.4 sorting-cost analysis).
@@ -120,6 +144,7 @@ pub struct BgpStreamBuilder {
     clock: Clock,
     live_grace: u64,
     poll: Duration,
+    release: Option<ReleasePolicy>,
 }
 
 impl Default for BgpStreamBuilder {
@@ -131,6 +156,7 @@ impl Default for BgpStreamBuilder {
             clock: Clock::all_published(),
             live_grace: 300,
             poll: Duration::from_millis(2),
+            release: None,
         }
     }
 }
@@ -172,6 +198,32 @@ impl BgpStreamBuilder {
     /// Live mode starting at `start`.
     pub fn live(self, start: u64) -> Self {
         self.interval(start, None)
+    }
+
+    /// Select the stream mode explicitly. [`StreamMode::Live`] clears
+    /// the interval end and sets the poll interval;
+    /// [`StreamMode::Historical`] keeps the configured interval.
+    pub fn stream_mode(mut self, mode: StreamMode) -> Self {
+        match mode {
+            StreamMode::Historical => {}
+            StreamMode::Live { poll } => {
+                self.query.end = None;
+                self.poll = poll;
+            }
+        }
+        self
+    }
+
+    /// Release live broker windows off the provider's publication
+    /// watermark ([`broker::Index::advance_watermark`]) instead of the
+    /// default grace-period wait ([`BgpStreamBuilder::live_grace`]).
+    /// Watermark release is both lower-latency (no grace to wait out)
+    /// and lossless under publication faults: a stalled or
+    /// out-of-order publisher holds window release back instead of
+    /// being overtaken by the clock.
+    pub fn watermark_release(mut self) -> Self {
+        self.release = Some(ReleasePolicy::Watermark);
+        self
     }
 
     /// Keep only elems from this VP (repeatable).
@@ -290,15 +342,24 @@ impl BgpStreamBuilder {
         // every group merger (and every prefetch worker) shares the
         // same trie/bitset form and its record-level prefilter.
         let compiled = Arc::new(self.filters.compile());
+        let live = query.end.is_none();
+        let release = self
+            .release
+            .unwrap_or(ReleasePolicy::Grace(self.live_grace));
+        let live_cursor = live.then(|| LiveCursor::new(index.clone(), query.clone(), release));
+        let released_through = query.start;
         Ok(BgpStream {
             index,
             cursor,
-            live: query.end.is_none(),
+            live,
+            live_cursor,
+            released_through,
+            last_delivered_ts: 0,
+            last_polled_version: None,
             query,
             filters: Arc::new(self.filters),
             compiled,
             clock: self.clock,
-            live_grace: self.live_grace,
             poll: self.poll,
             groups: VecDeque::new(),
             lookahead: VecDeque::new(),
@@ -329,12 +390,27 @@ pub struct BgpStream {
     query: Query,
     cursor: BrokerCursor,
     live: bool,
+    /// The incremental broker handle driving the reading phase in live
+    /// mode: windowed release (grace- or watermark-based), cross-poll
+    /// dedup, completeness watermark.
+    live_cursor: Option<LiveCursor>,
+    /// Completeness watermark from the live cursor: every record with
+    /// a timestamp below this has been released to the stream (live
+    /// mode; tracks the interval start otherwise).
+    released_through: u64,
+    /// Timestamp of the last record handed out, enforcing the §3.3.4
+    /// monotonicity promise end to end: a live straggler admitted
+    /// behind the merge (or a corrupted-read placeholder racing
+    /// another dump) is re-stamped rather than moving time backwards.
+    last_delivered_ts: u64,
+    /// Index version as of the last live poll; polling is skipped
+    /// while the version is unchanged and local buffers hold data.
+    last_polled_version: Option<u64>,
     filters: Arc<Filters>,
     /// The reading-phase compiled form of `filters` (tries, bitsets,
     /// record-level prefilter), built once in `try_start`.
     compiled: Arc<CompiledFilters>,
     clock: Clock,
-    live_grace: u64,
     poll: Duration,
     groups: VecDeque<Vec<DumpMeta>>,
     /// Records handed back via [`BgpStream::unread`], delivered again
@@ -401,6 +477,38 @@ struct Prefetch {
     group: Vec<DumpMeta>,
 }
 
+/// Outcome of one non-blocking [`BgpStream::pump`] step.
+enum Pump {
+    /// A record was produced.
+    Record(BgpStreamRecord),
+    /// Nothing buffered and nothing releasable right now (live mode).
+    Idle,
+    /// The stream is exhausted (historical interval end).
+    End,
+}
+
+/// Outcome of one [`BgpStream::next_batch_step`] call — the
+/// non-blocking batch interface live consumers drive, so they regain
+/// control between batches (to close time bins off the watermark,
+/// check shutdown flags, …) instead of parking inside the stream.
+#[derive(Debug)]
+pub enum BatchStep {
+    /// One or more records, in stream order.
+    Records(Vec<BgpStreamRecord>),
+    /// Nothing deliverable right now; the stream waited at most one
+    /// poll interval for news before returning. Everything timestamped
+    /// below `released_through` that will ever exist has been
+    /// delivered — bins ending at or before it can close.
+    Idle {
+        /// The stream's completeness watermark
+        /// ([`BgpStream::released_through`]).
+        released_through: u64,
+    },
+    /// The stream is exhausted: historical interval end, or a live
+    /// stream whose fixed clock can never make progress.
+    End,
+}
+
 impl BgpStream {
     /// Start configuring a stream.
     pub fn builder() -> BgpStreamBuilder {
@@ -417,6 +525,21 @@ impl BgpStream {
         self.filters.clone()
     }
 
+    /// The stream's completeness watermark: every record timestamped
+    /// below this has been released to the stream (live mode — see
+    /// [`broker::LiveCursor`]; historical streams report the interval
+    /// start until exhaustion, then `u64::MAX`). Downstream time bins
+    /// with `end <= released_through()` can close: nothing older will
+    /// arrive, except re-stamped stragglers which land at or after the
+    /// current stream time.
+    pub fn released_through(&self) -> u64 {
+        if self.exhausted {
+            u64::MAX
+        } else {
+            self.released_through
+        }
+    }
+
     /// Pull the next record of the sorted stream.
     ///
     /// Historical mode returns `None` when the interval is exhausted.
@@ -429,10 +552,102 @@ impl BgpStream {
             return Some(rec);
         }
         loop {
-            if let Some(m) = self.merger.as_mut() {
-                if let Some(rec) = m.next() {
+            match self.pump() {
+                Pump::Record(rec) => {
                     self.stats.records += 1;
                     return Some(rec);
+                }
+                Pump::End => return None,
+                Pump::Idle => {
+                    self.promise_released_through();
+                    let v = self.index.version();
+                    // Block: wake on new publications (or watermark
+                    // advances) or poll timeout, then re-check the
+                    // clock.
+                    let _ = self.index.wait_for_new(v, self.poll);
+                    if matches!(self.clock, Clock::Fixed(_)) && self.index.version() == v {
+                        // A fixed clock can never make progress.
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// One non-blocking reading-phase step: drain the current merge,
+    /// install queued groups, and (live) fold in newly published
+    /// dumps. Never sleeps; `Pump::Idle` means "nothing buffered and
+    /// nothing releasable right now".
+    fn pump(&mut self) -> Pump {
+        // Guard against unbounded in-call window advancement: a
+        // cursor whose every window is releasable (e.g. the provider
+        // finished and parked the watermark at `u64::MAX`) would
+        // otherwise spin here forever releasing empty windows. After a
+        // long run of file-less windows, yield `Idle` — callers regain
+        // control (live bin closing, shutdown checks) and the next
+        // pump call picks up where this one left off.
+        const MAX_EMPTY_ADVANCES: u32 = 1024;
+        let mut empty_advances = 0u32;
+        loop {
+            // Live: fold in anything newly published since the last
+            // poll. Skipped while the index is unchanged and local
+            // buffers still hold data, so the steady-state per-record
+            // cost is one version load.
+            if self.live {
+                let version = self.index.version();
+                let drained = self.merger.is_none() && self.groups.is_empty();
+                if self.last_polled_version != Some(version) || drained {
+                    self.last_polled_version = Some(version);
+                    let now = self.clock.now();
+                    let cursor = self.live_cursor.as_mut().expect("live stream has a cursor");
+                    let poll = cursor.poll(now);
+                    self.released_through = poll.released_through;
+                    let productive = !poll.files.is_empty() || !poll.late.is_empty();
+                    if poll.advanced {
+                        self.stats.broker_queries += 1;
+                    }
+                    if !poll.late.is_empty() {
+                        // Stragglers surfaced behind the cursor: admit
+                        // them into the running merge so their
+                        // still-future records interleave in order
+                        // (past ones are re-stamped on delivery);
+                        // without a running merge they form their own
+                        // groups, delivered before anything queued.
+                        if let Some(m) = self.merger.as_mut() {
+                            for meta in poll.late {
+                                self.stats.files_opened += 1;
+                                m.admit(meta);
+                            }
+                            let w = self.merger.as_ref().map(|m| m.width()).unwrap_or(0);
+                            self.stats.max_group_width = self.stats.max_group_width.max(w);
+                        } else {
+                            for group in partition_overlap_groups(&poll.late).into_iter().rev() {
+                                self.groups.push_front(group);
+                            }
+                        }
+                    }
+                    if !poll.files.is_empty() {
+                        self.groups.extend(partition_overlap_groups(&poll.files));
+                    }
+                    if poll.advanced {
+                        // A window boundary was crossed (possibly
+                        // empty): re-poll before concluding idleness —
+                        // the next window may already be releasable.
+                        self.last_polled_version = None;
+                        if productive {
+                            empty_advances = 0;
+                        } else {
+                            empty_advances += 1;
+                            if empty_advances > MAX_EMPTY_ADVANCES {
+                                return Pump::Idle;
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some(m) = self.merger.as_mut() {
+                if let Some(rec) = m.next() {
+                    return Pump::Record(self.stamp(rec));
                 }
                 self.merger = None;
             }
@@ -440,32 +655,18 @@ impl BgpStream {
                 continue;
             }
             if self.exhausted {
-                return None;
+                return Pump::End;
             }
-            // Need a new broker window.
-            let now = self.clock.now();
             if self.live {
-                // Wait until the window's whole span has elapsed plus
-                // a publication-delay grace period; querying earlier
-                // would advance the cursor past files still being
-                // published and lose them permanently.
-                let window_safe_at = self
-                    .cursor
-                    .window_start
-                    .saturating_add(self.index.window())
-                    .saturating_add(self.live_grace);
-                if now < window_safe_at {
-                    let v = self.index.version();
-                    // Block: wake on new publications or poll timeout,
-                    // then re-check the clock.
-                    let _ = self.index.wait_for_new(v, self.poll);
-                    if matches!(self.clock, Clock::Fixed(_)) && self.index.version() == v {
-                        // A fixed clock can never make progress.
-                        return None;
-                    }
+                if self.last_polled_version.is_none() {
+                    // An advanced (possibly empty) window: loop to
+                    // poll for the next one immediately.
                     continue;
                 }
+                return Pump::Idle;
             }
+            // Historical: page the broker window cursor forward.
+            let now = self.clock.now();
             self.stats.broker_queries += 1;
             let resp = self.index.query(&self.query, &mut self.cursor, now);
             if resp.exhausted {
@@ -474,8 +675,39 @@ impl BgpStream {
             if !resp.files.is_empty() {
                 self.groups = partition_overlap_groups(&resp.files).into();
             } else if self.exhausted {
-                return None;
+                return Pump::End;
             }
+        }
+    }
+
+    /// Enforce end-to-end timestamp monotonicity on delivery: a record
+    /// older than the stream's last output (live straggler admitted
+    /// behind the merge, or a corrupted-read placeholder racing
+    /// another dump in its group) is re-stamped with the last
+    /// delivered timestamp — the same rule PR 2 applies within a dump.
+    fn stamp(&mut self, mut rec: BgpStreamRecord) -> BgpStreamRecord {
+        if rec.timestamp < self.last_delivered_ts {
+            rec.timestamp = self.last_delivered_ts;
+        } else {
+            self.last_delivered_ts = rec.timestamp;
+        }
+        rec
+    }
+
+    /// Make the idleness contract binding: once idleness has been
+    /// observed with watermark `released_through`, nothing older may
+    /// be delivered afterwards — consumers will have closed bins up to
+    /// that point. Raising the monotonic delivery floor to the
+    /// promised watermark means a grace-policy straggler that
+    /// undercuts it is re-stamped to (at least) the promise instead of
+    /// landing in a bin that already closed. Records of windows not
+    /// yet released start at or after the watermark, so the floor
+    /// never rewrites the normal flow.
+    fn promise_released_through(&mut self) {
+        // A feed-complete watermark (`u64::MAX`) is an end-of-session
+        // signal, not a timestamp to re-stamp surprise stragglers to.
+        if self.released_through != u64::MAX {
+            self.last_delivered_ts = self.last_delivered_ts.max(self.released_through);
         }
     }
 
@@ -578,6 +810,71 @@ impl BgpStream {
             }
         }
         Some(out)
+    }
+
+    /// One bounded step of batched reading: like
+    /// [`BgpStream::next_batch`], but instead of blocking indefinitely
+    /// when a live stream runs dry it returns [`BatchStep::Idle`]
+    /// (after waiting at most one poll interval), handing the caller
+    /// the completeness watermark so live time bins can close during
+    /// quiet periods. The sharded corsaro runtime's `run_live` loop is
+    /// the intended driver.
+    ///
+    /// `max == 0` returns `Idle` without touching the stream.
+    pub fn next_batch_step(&mut self, max: usize) -> BatchStep {
+        if max == 0 {
+            return BatchStep::Idle {
+                released_through: self.released_through(),
+            };
+        }
+        let mut out: Vec<BgpStreamRecord> = Vec::new();
+        while out.len() < max {
+            if let Some(rec) = self.lookahead.pop_front() {
+                self.stats.records += 1;
+                out.push(rec);
+                continue;
+            }
+            // Mirror `next_batch`: once at least one record is in
+            // hand, only continue while another is ready without
+            // waiting on the prefetch worker's file reads.
+            if !out.is_empty() {
+                let ready = self.merger.as_ref().map(|m| m.has_next()).unwrap_or(false)
+                    || !self.groups.is_empty();
+                if !ready {
+                    break;
+                }
+            }
+            match self.pump() {
+                Pump::Record(rec) => {
+                    self.stats.records += 1;
+                    out.push(rec);
+                }
+                Pump::End => {
+                    if out.is_empty() {
+                        return BatchStep::End;
+                    }
+                    break;
+                }
+                Pump::Idle => {
+                    if !out.is_empty() {
+                        break;
+                    }
+                    // Bounded block, then hand control back. The
+                    // reported watermark becomes a delivery floor:
+                    // stragglers may not undercut it afterwards.
+                    self.promise_released_through();
+                    let v = self.index.version();
+                    let _ = self.index.wait_for_new(v, self.poll);
+                    if matches!(self.clock, Clock::Fixed(_)) && self.index.version() == v {
+                        return BatchStep::End;
+                    }
+                    return BatchStep::Idle {
+                        released_through: self.released_through(),
+                    };
+                }
+            }
+        }
+        BatchStep::Records(out)
     }
 
     /// Pull the next record that has at least one elem passing the
@@ -822,6 +1119,261 @@ mod tests {
                 .collect::<Vec<_>>(),
             one_by_one
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn one_file_index(path: &std::path::Path, start: u64, dur: u64, avail: u64) -> Arc<Index> {
+        let idx = Index::shared();
+        idx.register(broker::DumpMeta {
+            project: "ris".into(),
+            collector: "rrc00".into(),
+            dump_type: DumpType::Updates,
+            interval_start: start,
+            duration: dur,
+            path: path.to_path_buf(),
+            available_at: avail,
+            size: 1,
+        });
+        idx
+    }
+
+    fn write_keepalives(dir: &std::path::Path, name: &str, stamps: &[u32]) -> std::path::PathBuf {
+        use mrt::{Bgp4mp, MrtRecord, MrtWriter};
+        std::fs::create_dir_all(dir).unwrap();
+        let path = dir.join(name);
+        let mut w = MrtWriter::new(std::fs::File::create(&path).unwrap());
+        for &ts in stamps {
+            w.write(&MrtRecord::bgp4mp(
+                ts,
+                Bgp4mp::Message {
+                    peer_asn: bgp_types::Asn(65001),
+                    local_asn: bgp_types::Asn(12654),
+                    peer_ip: "192.0.2.1".parse().unwrap(),
+                    local_ip: "192.0.2.254".parse().unwrap(),
+                    message: bgp_types::BgpMessage::Keepalive,
+                },
+            ))
+            .unwrap();
+        }
+        path
+    }
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "bgpstream-stream-{tag}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ))
+    }
+
+    #[test]
+    fn stream_mode_live_clears_end_and_sets_poll() {
+        let s = BgpStream::builder()
+            .data_interface(DataInterface::Broker(Index::shared()))
+            .interval(100, Some(200))
+            .stream_mode(StreamMode::Live {
+                poll: Duration::from_millis(7),
+            })
+            .start();
+        assert!(s.live);
+        assert_eq!(s.query.end, None);
+        assert_eq!(s.poll, Duration::from_millis(7));
+        let h = BgpStream::builder()
+            .data_interface(DataInterface::Broker(Index::shared()))
+            .interval(100, Some(200))
+            .stream_mode(StreamMode::Historical)
+            .start();
+        assert!(!h.live);
+        assert_eq!(h.query.end, Some(200));
+    }
+
+    #[test]
+    fn watermark_release_delivers_without_grace_wait() {
+        // A watermark-released live stream needs no clock progress at
+        // all: the provider vouching for the window is enough.
+        let dir = scratch("wm");
+        let path = write_keepalives(&dir, "u.mrt", &[10, 20, 30]);
+        let idx = one_file_index(&path, 0, 300, 40);
+        let mut s = BgpStream::builder()
+            .data_interface(DataInterface::Broker(idx.clone()))
+            .live(0)
+            .watermark_release()
+            .clock(Clock::manual(50))
+            .poll_interval(Duration::from_millis(1))
+            .start();
+        // No watermark yet: the stream idles (probe via batch step, so
+        // the test cannot hang).
+        match s.next_batch_step(8) {
+            BatchStep::Idle { released_through } => assert_eq!(released_through, 0),
+            other => panic!("expected Idle, got {other:?}"),
+        }
+        idx.advance_watermark(broker::index::DEFAULT_WINDOW);
+        let mut got = Vec::new();
+        while got.len() < 3 {
+            match s.next_batch_step(8) {
+                BatchStep::Records(recs) => got.extend(recs.into_iter().map(|r| r.timestamp)),
+                BatchStep::Idle { .. } => {}
+                BatchStep::End => panic!("live stream must not end"),
+            }
+        }
+        assert_eq!(got, vec![10, 20, 30]);
+        assert!(s.released_through() >= broker::index::DEFAULT_WINDOW);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_step_reports_end_on_historical_exhaustion() {
+        let mut s = BgpStream::builder()
+            .data_interface(DataInterface::Broker(Index::shared()))
+            .interval(0, Some(1000))
+            .start();
+        assert!(matches!(s.next_batch_step(4), BatchStep::End));
+        assert_eq!(s.released_through(), u64::MAX);
+        // max == 0 never touches the stream.
+        let mut s2 = BgpStream::builder()
+            .data_interface(DataInterface::Broker(Index::shared()))
+            .live(0)
+            .clock(Clock::Fixed(0))
+            .start();
+        assert!(matches!(s2.next_batch_step(0), BatchStep::Idle { .. }));
+    }
+
+    #[test]
+    fn late_straggler_is_restamped_monotonically() {
+        // Grace-released live stream; a dump published long after its
+        // window was released must still be delivered (exactly once),
+        // with its stale timestamps re-stamped so the stream never
+        // goes backwards.
+        let dir = scratch("straggler");
+        let early = write_keepalives(&dir, "early.mrt", &[100, 200]);
+        let late = write_keepalives(&dir, "late.mrt", &[150, 160]);
+        let idx = one_file_index(&early, 0, 300, 400);
+        let clock = Clock::manual(broker::index::DEFAULT_WINDOW + 600);
+        let mut s = BgpStream::builder()
+            .data_interface(DataInterface::Broker(idx.clone()))
+            .live(0)
+            .clock(clock.clone())
+            .live_grace(500)
+            .poll_interval(Duration::from_millis(1))
+            .start();
+        // Window [0, 7200) releases; both records arrive.
+        assert_eq!(s.next_record().unwrap().timestamp, 100);
+        assert_eq!(s.next_record().unwrap().timestamp, 200);
+        // Now the straggler surfaces, hours late, behind the cursor.
+        idx.register(broker::DumpMeta {
+            project: "ris".into(),
+            collector: "rrc00".into(),
+            dump_type: DumpType::Updates,
+            interval_start: 0,
+            duration: 300,
+            path: late,
+            available_at: clock.now(),
+            size: 1,
+        });
+        let a = s.next_record().unwrap();
+        let b = s.next_record().unwrap();
+        assert_eq!(
+            (a.timestamp, b.timestamp),
+            (200, 200),
+            "stale straggler records must be re-stamped to the last delivered time"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn straggler_cannot_undercut_a_reported_idle_watermark() {
+        // The BatchStep::Idle contract: once Idle { released_through }
+        // is observed, nothing older may be delivered — consumers
+        // close bins up to that point. A grace-policy straggler
+        // arriving afterwards must be re-stamped to at least the
+        // promised watermark, not merely to the last delivered record.
+        let dir = scratch("idle-floor");
+        let early = write_keepalives(&dir, "early.mrt", &[100]);
+        let late = write_keepalives(&dir, "late.mrt", &[150]);
+        let idx = one_file_index(&early, 0, 300, 400);
+        let window = broker::index::DEFAULT_WINDOW;
+        // Clock far enough that windows [0, w) and [w, 2w) released.
+        let clock = Clock::manual(2 * window + 600);
+        let mut s = BgpStream::builder()
+            .data_interface(DataInterface::Broker(idx.clone()))
+            .live(0)
+            .clock(clock.clone())
+            .live_grace(500)
+            .poll_interval(Duration::from_millis(1))
+            .start();
+        // Drain the early record, then observe idleness: the stream
+        // promises released_through = 2 * window.
+        let released = loop {
+            match s.next_batch_step(8) {
+                BatchStep::Records(_) => {}
+                BatchStep::Idle { released_through } => {
+                    if released_through >= 2 * window {
+                        break released_through;
+                    }
+                }
+                BatchStep::End => panic!("live stream must not end"),
+            }
+        };
+        // A straggler for the long-closed first window surfaces.
+        idx.register(broker::DumpMeta {
+            project: "ris".into(),
+            collector: "rrc00".into(),
+            dump_type: DumpType::Updates,
+            interval_start: 0,
+            duration: 300,
+            path: late,
+            available_at: clock.now(),
+            size: 1,
+        });
+        let rec = loop {
+            match s.next_batch_step(8) {
+                BatchStep::Records(mut recs) => break recs.remove(0),
+                BatchStep::Idle { .. } => {}
+                BatchStep::End => panic!("live stream must not end"),
+            }
+        };
+        assert!(
+            rec.timestamp >= released,
+            "straggler stamped {} below the promised watermark {released}",
+            rec.timestamp
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parked_watermark_with_no_data_left_signals_feed_complete() {
+        // A provider that parks the watermark at u64::MAX has declared
+        // the feed over; once every dump released, the stream reports
+        // released_through == u64::MAX instead of stepping windows
+        // through the empty eternity (which would make run_live close
+        // unbounded empty bins).
+        let dir = scratch("feed-complete");
+        let path = write_keepalives(&dir, "u.mrt", &[10, 20]);
+        let idx = one_file_index(&path, 0, 300, 40);
+        idx.advance_watermark(u64::MAX);
+        let mut s = BgpStream::builder()
+            .data_interface(DataInterface::Broker(idx))
+            .live(0)
+            .watermark_release()
+            .clock(Clock::manual(50))
+            .poll_interval(Duration::from_millis(1))
+            .start();
+        let mut got = 0;
+        loop {
+            match s.next_batch_step(8) {
+                BatchStep::Records(recs) => got += recs.len(),
+                BatchStep::Idle { released_through } => {
+                    if released_through == u64::MAX {
+                        break;
+                    }
+                }
+                BatchStep::End => panic!("manual-clock live stream must idle, not end"),
+            }
+        }
+        assert_eq!(got, 2, "all data delivered before the completion signal");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -61,11 +61,12 @@
 use std::collections::VecDeque;
 use std::net::IpAddr;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use analytics::mapreduce::ShardPool;
 use bgp_types::Prefix;
-use bgpstream::{BgpStream, BgpStreamRecord};
+use bgpstream::{BatchStep, BgpStream, BgpStreamRecord};
 use crossbeam::channel::{Receiver, Sender, TryRecvError};
 
 use crate::pipeline::{Partitioning, Plugin};
@@ -211,6 +212,19 @@ impl ShardedRuntimeBuilder {
 /// execution model; construct via [`ShardedRuntime::builder`].
 pub struct ShardedRuntime {
     cfg: ShardedRuntimeBuilder,
+}
+
+/// What a [`ShardedRuntime::run_live`] session did.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LiveRunReport {
+    /// Records processed (same meaning as the return value of
+    /// [`ShardedRuntime::run_until`]).
+    pub records: u64,
+    /// Time bins closed and merged onto the root plugins.
+    pub bins_closed: u64,
+    /// True when the session ended because the shutdown flag was
+    /// raised (as opposed to reaching `stop`).
+    pub shutdown: bool,
 }
 
 /// Messages broadcast to shard workers.
@@ -390,17 +404,14 @@ impl ShardedRuntime {
         self.run_until(stream, u64::MAX, plugins)
     }
 
-    /// [`ShardedRuntime::run`] with the stop semantics of
-    /// [`run_pipeline_until`](crate::run_pipeline_until): returns once
-    /// a record timestamped at or after `stop` arrives (that record is
-    /// not processed).
-    pub fn run_until(
+    /// Fork shard instances of every root plugin (grouped per worker,
+    /// per its [`Partitioning`]) and spawn the worker pool. The
+    /// coordinator's result-sender clone is dropped before returning,
+    /// so `res_rx` disconnects once the workers exit.
+    fn spawn_workers(
         &self,
-        stream: &mut BgpStream,
-        stop: u64,
         roots: &mut [&mut dyn ShardedPlugin],
-    ) -> u64 {
-        let bin_size = self.cfg.bin_size.max(1);
+    ) -> (Placement, ShardPool<ShardMsg>, Receiver<ResMsg>) {
         let workers = self.cfg.workers.max(1);
         let partitionings: Vec<Partitioning> = roots.iter().map(|p| p.partitioning()).collect();
         let placement = Placement::new(&partitionings, workers);
@@ -452,8 +463,6 @@ impl ShardedRuntime {
                 })
             })
             .collect();
-        // The coordinator's own clone must go away before the final
-        // drain, so `res_rx` disconnects once the workers exit.
         drop(res_tx);
         let pool = ShardPool::spawn(
             workers,
@@ -461,69 +470,173 @@ impl ShardedRuntime {
             |w| states[w].take().expect("each worker initialised once"),
             |_w, state: &mut WorkerState, msg: ShardMsg| state.handle(msg),
         );
+        (placement, pool, res_rx)
+    }
 
+    /// [`ShardedRuntime::run`] with the stop semantics of
+    /// [`run_pipeline_until`](crate::run_pipeline_until): returns once
+    /// a record timestamped at or after `stop` arrives (that record is
+    /// not processed).
+    pub fn run_until(
+        &self,
+        stream: &mut BgpStream,
+        stop: u64,
+        roots: &mut [&mut dyn ShardedPlugin],
+    ) -> u64 {
+        // One coordinator loop serves both runners: on a historical
+        // stream `next_batch_step` never reports Idle, so run_live's
+        // extra watermark-driven closing is unreachable and the flow
+        // reduces to exactly the historical batching/binning/stop
+        // semantics (the determinism suite pins this equivalence).
+        self.run_live(stream, stop, None, roots).records
+    }
+
+    /// Drive `roots` over a **live** stream, closing time bins off the
+    /// broker's completeness watermark instead of stream EOF (which a
+    /// live stream never reaches).
+    ///
+    /// The loop is built on [`BgpStream::next_batch_step`], so the
+    /// coordinator regains control whenever the stream would block:
+    ///
+    /// * records are batched, broadcast and binned exactly as in
+    ///   [`ShardedRuntime::run_until`] — bins close when a record of a
+    ///   later bin arrives;
+    /// * on [`BatchStep::Idle`] the runtime additionally closes every
+    ///   bin whose end lies at or below the stream's
+    ///   `released_through` watermark: the broker has vouched that
+    ///   nothing older can arrive, so the bin is complete even though
+    ///   no later record has been seen yet. Quiet periods therefore
+    ///   emit dense (empty) bins promptly instead of stalling the time
+    ///   series;
+    /// * `shutdown` (checked between steps) requests a cooperative
+    ///   exit: the current batch is flushed, workers join, and every
+    ///   already-closed bin is merged — nothing hangs and no partials
+    ///   are lost, but the in-progress bin is *not* closed (it is
+    ///   incomplete by definition).
+    ///
+    /// The session ends at `stop` with the exact semantics of
+    /// [`ShardedRuntime::run_until`] (a record at or after `stop` is
+    /// consumed but not processed; read-ahead goes back to the
+    /// stream), or as soon as the watermark proves every record below
+    /// `stop` has been delivered. For every closed bin the merged
+    /// output on the root plugins is byte-identical to a historical
+    /// [`run_pipeline`](crate::run_pipeline) over the same (final)
+    /// archive — the live-vs-historical equivalence CI proves across
+    /// fault schedules and worker counts.
+    pub fn run_live(
+        &self,
+        stream: &mut BgpStream,
+        stop: u64,
+        shutdown: Option<&AtomicBool>,
+        roots: &mut [&mut dyn ShardedPlugin],
+    ) -> LiveRunReport {
+        let bin_size = self.cfg.bin_size.max(1);
+        let (placement, pool, res_rx) = self.spawn_workers(roots);
+
+        let mut report = LiveRunReport::default();
         let mut pending: VecDeque<PendingBin> = VecDeque::new();
-        let mut records = 0u64;
+        // The bin currently receiving records; `dirty` = at least one
+        // record fell into it since it opened (only dirty bins close
+        // at session end, mirroring the sequential runner's EOF close).
         let mut current_bin: Option<u64> = None;
+        let mut dirty = false;
         let mut batch: Vec<BgpStreamRecord> = Vec::with_capacity(self.cfg.batch_records);
-
         let batch_cap = self.cfg.batch_records;
         let flush = |batch: &mut Vec<BgpStreamRecord>, pool: &ShardPool<ShardMsg>| {
             if !batch.is_empty() {
-                // Swap in a pre-sized buffer: `mem::take` would leave a
-                // zero-capacity Vec that regrows (and reallocates)
-                // every batch on the broadcast hot path.
                 let arc = Arc::new(std::mem::replace(batch, Vec::with_capacity(batch_cap)));
                 pool.broadcast(ShardMsg::Batch(arc));
             }
         };
 
-        'read: while let Some(recs) = stream.next_batch(self.cfg.batch_records) {
-            let mut recs = recs.into_iter();
-            while let Some(rec) = recs.next() {
-                if rec.timestamp >= stop {
-                    // Mirror `run_pipeline_until`: the stop record is
-                    // consumed but not processed, and everything the
-                    // batch read beyond it goes back to the stream so
-                    // a later reader sees it.
-                    stream.unread(recs.collect());
-                    break 'read;
-                }
-                let bin = rec.timestamp - rec.timestamp % bin_size;
-                match current_bin {
-                    None => current_bin = Some(bin),
-                    Some(cur) if bin > cur => {
-                        // The batch so far belongs to closed bins:
-                        // ship it, then barrier every elapsed bin.
-                        flush(&mut batch, &pool);
-                        let mut b = cur;
-                        while b < bin {
-                            self.close_bin(&pool, &mut pending, &placement, b, b + bin_size);
-                            b += bin_size;
-                        }
-                        current_bin = Some(bin);
-                    }
-                    _ => {}
-                }
-                batch.push(rec);
-                records += 1;
-                if batch.len() >= self.cfg.batch_records {
-                    flush(&mut batch, &pool);
-                }
+        'read: loop {
+            if shutdown.is_some_and(|f| f.load(Ordering::SeqCst)) {
+                report.shutdown = true;
+                break 'read;
             }
-            // Opportunistically fold finished bins while streaming, so
-            // partials do not pile up over a long run.
-            Self::drain_results(&res_rx, &mut pending, &placement, roots, false);
+            match stream.next_batch_step(self.cfg.batch_records) {
+                BatchStep::Records(recs) => {
+                    let mut recs = recs.into_iter();
+                    while let Some(rec) = recs.next() {
+                        if rec.timestamp >= stop {
+                            stream.unread(recs.collect());
+                            break 'read;
+                        }
+                        let bin = rec.timestamp - rec.timestamp % bin_size;
+                        match current_bin {
+                            None => current_bin = Some(bin),
+                            Some(cur) if bin > cur => {
+                                flush(&mut batch, &pool);
+                                let mut b = cur;
+                                while b < bin {
+                                    self.close_bin(
+                                        &pool,
+                                        &mut pending,
+                                        &placement,
+                                        b,
+                                        b + bin_size,
+                                    );
+                                    report.bins_closed += 1;
+                                    b += bin_size;
+                                }
+                                current_bin = Some(bin);
+                            }
+                            _ => {}
+                        }
+                        dirty = true;
+                        batch.push(rec);
+                        report.records += 1;
+                        if batch.len() >= self.cfg.batch_records {
+                            flush(&mut batch, &pool);
+                        }
+                    }
+                    Self::drain_results(&res_rx, &mut pending, &placement, roots, false);
+                }
+                BatchStep::Idle { released_through } => {
+                    // Watermark-driven closing: everything below the
+                    // watermark has been delivered, so bins ending at
+                    // or below it are complete — including empty ones.
+                    // A `u64::MAX` limit is not a bin boundary but an
+                    // end-of-feed signal (provider parked the
+                    // watermark at the end of time with nothing left,
+                    // or `stop == u64::MAX` on an open-ended session):
+                    // closing empty bins toward it would spin forever,
+                    // so it only ever terminates via the break below.
+                    let limit = released_through.min(stop);
+                    if limit != u64::MAX && current_bin.is_some_and(|cur| cur + bin_size <= limit) {
+                        flush(&mut batch, &pool);
+                        while let Some(cur) = current_bin {
+                            if cur + bin_size > limit {
+                                break;
+                            }
+                            self.close_bin(&pool, &mut pending, &placement, cur, cur + bin_size);
+                            report.bins_closed += 1;
+                            current_bin = Some(cur + bin_size);
+                            dirty = false;
+                        }
+                    }
+                    Self::drain_results(&res_rx, &mut pending, &placement, roots, false);
+                    if released_through >= stop {
+                        // Every record below `stop` has been released
+                        // and delivered: the session is complete.
+                        break 'read;
+                    }
+                }
+                BatchStep::End => break 'read,
+            }
         }
         flush(&mut batch, &pool);
-        if let Some(cur) = current_bin {
-            self.close_bin(&pool, &mut pending, &placement, cur, cur + bin_size);
+        if dirty {
+            if let Some(cur) = current_bin {
+                if !report.shutdown {
+                    self.close_bin(&pool, &mut pending, &placement, cur, cur + bin_size);
+                    report.bins_closed += 1;
+                }
+            }
         }
-        // Disconnect the queues; workers drain them and exit, dropping
-        // their result senders.
         pool.join();
         Self::drain_results(&res_rx, &mut pending, &placement, roots, true);
-        records
+        report
     }
 
     fn close_bin(

@@ -149,6 +149,8 @@ struct World {
     ranges: Vec<bgp_types::Prefix>,
     horizon: u64,
     dir: PathBuf,
+    /// The final archive, for replaying through a live feeder.
+    manifest: Vec<broker::DumpMeta>,
 }
 
 fn build_world(seed: u64) -> World {
@@ -180,12 +182,14 @@ fn build_world(seed: u64) -> World {
     sim.schedule(&sc);
     let horizon = 2 * 3600;
     sim.run_until(horizon);
+    let manifest = sim.manifest().to_vec();
     World {
         index,
         collectors,
         ranges,
         horizon,
         dir,
+        manifest,
     }
 }
 
@@ -239,6 +243,219 @@ fn run_once(world: &World, workers: Option<(usize, usize, usize)>) -> RunOutput 
         jitter_series: jitter.series.clone(),
         mq_payloads,
     }
+}
+
+/// Last bin boundary strictly above every record of the archive —
+/// the stop both the historical baseline and the live runs use, so
+/// neither closes trailing empty bins the other does not.
+fn stop_after_last_record(world: &World, bin: u64) -> u64 {
+    let mut stream = BgpStream::builder()
+        .data_interface(DataInterface::Broker(world.index.clone()))
+        .interval(0, Some(world.horizon))
+        .start();
+    let mut max = 0u64;
+    while let Some(r) = stream.next_record() {
+        max = max.max(r.timestamp);
+    }
+    (max / bin) * bin + bin
+}
+
+/// The sequential historical baseline over the final archive, stopped
+/// at `stop` (the reference the live runs must reproduce bin for bin).
+fn run_historical_until(world: &World, stop: u64) -> RunOutput {
+    let mut stream = BgpStream::builder()
+        .data_interface(DataInterface::Broker(world.index.clone()))
+        .interval(0, Some(world.horizon))
+        .start();
+    let mq = Cluster::shared();
+    let mut pfx = PfxMonitor::new(world.ranges.iter().copied());
+    let mut rts: Vec<RtPlugin> = world
+        .collectors
+        .iter()
+        .map(|c| RtPlugin::new(c).with_queue(mq.clone(), 3))
+        .collect();
+    let mut stats = ElemCounter::new();
+    let mut jitter = Jitter::new();
+    let mut plugins: Vec<&mut dyn Plugin> = vec![&mut pfx, &mut stats, &mut jitter];
+    for rt in rts.iter_mut() {
+        plugins.push(rt);
+    }
+    let records = corsaro::run_pipeline_until(&mut stream, 300, stop, &mut plugins);
+    let mut mq_payloads = drain_topic(&mq, "rt.tables");
+    mq_payloads.extend(drain_topic(&mq, "rt.meta"));
+    RunOutput {
+        records,
+        pfx_bytes: format!("{:?}", pfx.series).into_bytes(),
+        rt_series: rts.iter().flat_map(|rt| rt.bin_series.clone()).collect(),
+        rt_errors: rts.iter().map(|rt| rt.error_stats).collect(),
+        stats_bytes: format!("{:?}", stats.series).into_bytes(),
+        jitter_series: jitter.series.clone(),
+        mq_payloads,
+    }
+}
+
+/// Replay the archive through a faulty live feeder into a fresh index
+/// and consume it with `run_live` at `workers`; returns the same
+/// comparable output as the historical runner.
+fn run_live_once(
+    world: &World,
+    workers: usize,
+    plan: &collector_sim::FaultPlan,
+    seed: u64,
+    stop: u64,
+) -> RunOutput {
+    use bgpstream::Clock;
+
+    let live_index = Index::shared();
+    let mut feeder =
+        collector_sim::LiveFeeder::new(&world.manifest, live_index.clone(), plan, seed);
+    let clock = Clock::manual(0);
+    let horizon = feeder.horizon();
+    let driver = {
+        let clock = clock.clone();
+        std::thread::spawn(move || {
+            let mut t = 0u64;
+            while !feeder.done() {
+                t += 600;
+                feeder.publish_until(t);
+                clock.advance_to(t);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            clock.advance_to(horizon.saturating_add(1));
+            feeder.stats()
+        })
+    };
+
+    let mut stream = BgpStream::builder()
+        .data_interface(DataInterface::Broker(live_index))
+        .live(0)
+        .watermark_release()
+        .clock(clock)
+        .poll_interval(std::time::Duration::from_millis(1))
+        .start();
+    let mq = Cluster::shared();
+    let mut pfx = PfxMonitor::new(world.ranges.iter().copied());
+    let mut rts: Vec<RtPlugin> = world
+        .collectors
+        .iter()
+        .map(|c| RtPlugin::new(c).with_queue(mq.clone(), 3))
+        .collect();
+    let mut stats = ElemCounter::new();
+    let mut jitter = Jitter::new();
+    let mut plugins: Vec<&mut dyn ShardedPlugin> = vec![&mut pfx, &mut stats, &mut jitter];
+    for rt in rts.iter_mut() {
+        plugins.push(rt);
+    }
+    let report = ShardedRuntime::builder()
+        .workers(workers)
+        .bin_size(300)
+        .build()
+        .run_live(&mut stream, stop, None, &mut plugins);
+    let feeder_stats = driver.join().expect("feeder driver");
+    assert!(feeder_stats.published > 0);
+    assert!(!report.shutdown);
+    assert!(report.bins_closed > 0, "live run must close bins");
+
+    let mut mq_payloads = drain_topic(&mq, "rt.tables");
+    mq_payloads.extend(drain_topic(&mq, "rt.meta"));
+    RunOutput {
+        records: report.records,
+        pfx_bytes: format!("{:?}", pfx.series).into_bytes(),
+        rt_series: rts.iter().flat_map(|rt| rt.bin_series.clone()).collect(),
+        rt_errors: rts.iter().map(|rt| rt.error_stats).collect(),
+        stats_bytes: format!("{:?}", stats.series).into_bytes(),
+        jitter_series: jitter.series.clone(),
+        mq_payloads,
+    }
+}
+
+#[test]
+fn run_live_output_is_byte_identical_to_historical_run() {
+    // The PR 5 live-mode determinism contract: for every closed bin,
+    // `run_live` over a faulty live replay of the archive produces
+    // byte-identical plugin output (series and queue payloads) to the
+    // sequential historical run over the final archive — across
+    // worker counts and an injected fault schedule with delays,
+    // stalls, out-of-order and duplicate publication.
+    let world = build_world(83);
+    let stop = stop_after_last_record(&world, 300);
+    let baseline = run_historical_until(&world, stop);
+    assert!(baseline.records > 0);
+    let benign = collector_sim::FaultPlan::none();
+    let faulty = collector_sim::FaultPlan {
+        extra_delay: (0, 400),
+        stalls: vec![collector_sim::Stall {
+            start: 2000,
+            duration: 1500,
+            collector: Some(0),
+        }],
+        swap_prob: 0.25,
+        duplicate_prob: 0.25,
+    };
+    for (workers, plan, seed) in [
+        (1usize, &benign, 7u64),
+        (2, &faulty, 11),
+        (4, &faulty, 13),
+        (4, &benign, 17),
+    ] {
+        let live = run_live_once(&world, workers, plan, seed, stop);
+        assert_eq!(
+            baseline, live,
+            "live output diverged at workers={workers} seed={seed}"
+        );
+    }
+    std::fs::remove_dir_all(&world.dir).ok();
+}
+
+#[test]
+fn run_live_shutdown_flag_exits_cleanly() {
+    // Cooperative shutdown: raising the flag mid-session must return
+    // (no hang), with every already-closed bin merged.
+    let world = build_world(29);
+    // Small broker windows, so the half-published archive still
+    // releases data before the stream starves.
+    let live_index = Arc::new(Index::with_window(900));
+    let mut feeder = collector_sim::LiveFeeder::new(
+        &world.manifest,
+        live_index.clone(),
+        &collector_sim::FaultPlan::none(),
+        1,
+    );
+    let clock = bgpstream::Clock::manual(0);
+    // Publish only half the archive, then leave the stream starving:
+    // without the shutdown flag, run_live would wait forever.
+    feeder.publish_until(world.horizon / 2);
+    clock.advance_to(world.horizon / 2);
+    let mut stream = BgpStream::builder()
+        .data_interface(DataInterface::Broker(live_index))
+        .live(0)
+        .watermark_release()
+        .clock(clock)
+        .poll_interval(std::time::Duration::from_millis(1))
+        .start();
+    let stop_flag = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let raiser = {
+        let flag = stop_flag.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(150));
+            flag.store(true, std::sync::atomic::Ordering::SeqCst);
+        })
+    };
+    let mut stats = ElemCounter::new();
+    let report = ShardedRuntime::builder()
+        .workers(2)
+        .bin_size(300)
+        .build()
+        .run_live(
+            &mut stream,
+            u64::MAX,
+            Some(&stop_flag),
+            &mut [&mut stats as &mut dyn ShardedPlugin],
+        );
+    raiser.join().unwrap();
+    assert!(report.shutdown, "must report the cooperative exit");
+    assert!(report.records > 0, "half the archive was published");
+    std::fs::remove_dir_all(&world.dir).ok();
 }
 
 #[test]
