@@ -21,18 +21,25 @@
 //! speed. The run fails when the fresh ratio exceeds the baseline
 //! ratio by more than `max_regression_pct` percent (default 15).
 //!
+//! Bench references in `--min-speedup` / `--max-latency-ratio` may
+//! be fully qualified as `group/bench` (e.g.
+//! `broker/queries_per_sec`); a bare name defaults to the `pipeline`
+//! group for back-compat with the earlier CI invocations.
+//!
 //! `--min-speedup` gates the sharded-runtime scaling claim:
-//! `pipeline/<fast_bench>` must be at least `factor`× faster than
-//! `pipeline/<slow_bench>` in the same fresh run. A parallelism claim
+//! `<fast_bench>` must be at least `factor`× faster than
+//! `<slow_bench>` in the same fresh run. A parallelism claim
 //! is only testable where parallelism exists, so the check SKIPs
 //! (exit 0, with a notice) when the host has fewer than `min_cores`
 //! (default 4) CPUs.
 //!
 //! `--max-latency-ratio` is the inverse bound, gating an overhead
-//! claim: `pipeline/<bench>` may cost at most `max_ratio`× of
-//! `pipeline/<base_bench>` in the same fresh run. PR 5 uses it to cap
+//! claim: `<bench>` may cost at most `max_ratio`× of
+//! `<base_bench>` in the same fresh run. PR 5 uses it to cap
 //! the live tail's publication→delivery cost against the historical
-//! `sorted_stream` read of the same archive. Never self-skips (no
+//! `sorted_stream` read of the same archive; PR 6 caps the served
+//! broker's query cost against the in-process `LocalBroker` and the
+//! p99 live-poll round trip against the p50. Never self-skips (no
 //! parallelism involved).
 
 use std::process::ExitCode;
@@ -52,12 +59,24 @@ fn ns_per_iter(json: &str, group: &str, bench: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// `pipeline/<bench>` ns/iter from fresh results, or exit 2.
-fn read_pipeline_ns(fresh: &str, bench: &str) -> f64 {
-    match ns_per_iter(fresh, "pipeline", bench) {
+/// Split a bench reference into `(group, bench)`. References may be
+/// fully qualified (`broker/queries_per_sec`); a bare name keeps the
+/// historical default group `pipeline`, so committed CI invocations
+/// predating non-pipeline gates parse unchanged.
+fn parse_ref(reference: &str) -> (&str, &str) {
+    match reference.split_once('/') {
+        Some((group, bench)) => (group, bench),
+        None => ("pipeline", reference),
+    }
+}
+
+/// `<[group/]bench>` ns/iter from fresh results, or exit 2.
+fn read_bench_ns(fresh: &str, reference: &str) -> f64 {
+    let (group, bench) = parse_ref(reference);
+    match ns_per_iter(fresh, group, bench) {
         Some(v) if v > 0.0 => v,
         _ => {
-            eprintln!("bench_gate: pipeline/{bench} missing from fresh results");
+            eprintln!("bench_gate: {group}/{bench} missing from fresh results");
             std::process::exit(2);
         }
     }
@@ -89,8 +108,8 @@ fn min_speedup(args: &[String]) -> ExitCode {
     }
     let fresh = std::fs::read_to_string(fresh_path)
         .unwrap_or_else(|e| panic!("cannot read fresh results {fresh_path}: {e}"));
-    let slow_ns = read_pipeline_ns(&fresh, slow);
-    let fast_ns = read_pipeline_ns(&fresh, fast);
+    let slow_ns = read_bench_ns(&fresh, slow);
+    let fast_ns = read_bench_ns(&fresh, fast);
     let speedup = slow_ns / fast_ns;
     println!(
         "bench_gate: {fast} {speedup:.2}x vs {slow} ({fast_ns:.0} ns vs {slow_ns:.0} ns) \
@@ -115,8 +134,8 @@ fn max_latency_ratio(args: &[String]) -> ExitCode {
     let max_ratio: f64 = args[3].parse().expect("max_ratio must be a number");
     let fresh = std::fs::read_to_string(fresh_path)
         .unwrap_or_else(|e| panic!("cannot read fresh results {fresh_path}: {e}"));
-    let bench_ns = read_pipeline_ns(&fresh, bench);
-    let base_ns = read_pipeline_ns(&fresh, base);
+    let bench_ns = read_bench_ns(&fresh, bench);
+    let base_ns = read_bench_ns(&fresh, base);
     let ratio = bench_ns / base_ns;
     println!(
         "bench_gate: {bench} {ratio:.2}x of {base} ({bench_ns:.0} ns vs {base_ns:.0} ns); \
@@ -186,7 +205,16 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::ns_per_iter;
+    use super::{ns_per_iter, parse_ref};
+
+    #[test]
+    fn bench_refs_parse_with_and_without_group() {
+        assert_eq!(
+            parse_ref("broker/queries_per_sec"),
+            ("broker", "queries_per_sec")
+        );
+        assert_eq!(parse_ref("sorted_stream"), ("pipeline", "sorted_stream"));
+    }
 
     const MINI: &str = r#"{"group":"pipeline","bench":"raw_sequential_read","ns_per_iter":550365.2,"throughput_kind":"bytes","throughput_per_iter":95224,"rate_per_sec":165.0}
 {"group":"pipeline","bench":"sorted_stream","ns_per_iter":528177.0,"throughput_kind":"bytes","throughput_per_iter":95224,"rate_per_sec":171.9}"#;

@@ -25,12 +25,14 @@ impl std::fmt::Display for DumpType {
 }
 
 impl std::str::FromStr for DumpType {
-    type Err = String;
+    type Err = crate::error::BrokerError;
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
             "ribs" | "rib" => Ok(DumpType::Rib),
             "updates" => Ok(DumpType::Updates),
-            other => Err(format!("unknown dump type {other:?}")),
+            other => Err(crate::error::BrokerError::Malformed(format!(
+                "unknown dump type {other:?}"
+            ))),
         }
     }
 }
@@ -84,7 +86,7 @@ impl DumpMeta {
 
 /// A stream request, mirroring libBGPStream's meta-data filters
 /// (§3.3.1): projects, collectors, dump types, time interval, live.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Query {
     /// Accepted projects; empty = all.
     pub projects: Vec<String>,
@@ -260,6 +262,33 @@ impl Index {
         self.inner.lock().watermark
     }
 
+    /// One consistent snapshot of everything registered at or after
+    /// position `from` in the append-only entry list, together with
+    /// the version and watermark it reflects. The broker service's
+    /// partitioned view ([`crate::service`]) tails the index with
+    /// this, so its refresh cost is O(new entries), not O(all).
+    pub(crate) fn entries_from(&self, from: usize) -> (u64, u64, Vec<DumpMeta>) {
+        let inner = self.inner.lock();
+        let from = from.min(inner.entries.len());
+        (
+            inner.version,
+            inner.watermark,
+            inner.entries[from..].to_vec(),
+        )
+    }
+
+    /// Rewrite dump-file paths through the configured mirror set
+    /// (no-op without mirrors). Response paths — from [`Index::query`]
+    /// or the service's cached view — go through here so mirror
+    /// selection behaves identically on every query path.
+    pub(crate) fn rewrite_mirrors(&self, files: &mut [DumpMeta]) {
+        if let Some(mirrors) = self.mirrors.lock().clone() {
+            for f in files {
+                f.path = mirrors.pick(&f.path);
+            }
+        }
+    }
+
     /// Whether any entry matching `query` has `interval_start >= t`
     /// (used by the live cursor to detect that a feed declared
     /// complete has nothing left beyond its cursor).
@@ -319,11 +348,7 @@ impl Index {
             *frontier += 1;
         }
         drop(inner);
-        if let Some(mirrors) = self.mirrors.lock().clone() {
-            for f in &mut out {
-                f.path = mirrors.pick(&f.path);
-            }
-        }
+        self.rewrite_mirrors(&mut out);
         out
     }
 
@@ -405,11 +430,7 @@ impl Index {
             None => false,
         };
         drop(inner);
-        if let Some(mirrors) = self.mirrors.lock().clone() {
-            for f in &mut files {
-                f.path = mirrors.pick(&f.path);
-            }
-        }
+        self.rewrite_mirrors(&mut files);
         Response { files, exhausted }
     }
 

@@ -1,21 +1,27 @@
 //! Data interfaces: how libBGPStream learns which files to read.
 //!
 //! The paper ships four: the Broker (primary), Single file, CSV file
-//! and SQLite. We implement the first three ([`Index`] is the Broker;
-//! [`DataInterface::SingleFile`] and [`DataInterface::CsvFile`] here);
-//! SQLite is omitted for dependency reasons — the CSV manifest covers
-//! the same "local index" use case.
+//! and SQLite. We implement the first three
+//! ([`DataInterface::Client`] is the Broker — local or served;
+//! [`DataInterface::SingleFile`] and [`DataInterface::CsvFile`]
+//! here); SQLite is omitted for dependency reasons — the CSV manifest
+//! covers the same "local index" use case.
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use crate::client::{BrokerClient, LocalBroker};
+use crate::error::BrokerError;
 use crate::index::{DumpMeta, DumpType, Index};
 
 /// Where stream meta-data comes from.
 #[derive(Clone)]
 pub enum DataInterface {
-    /// The Broker meta-data service.
-    Broker(Arc<Index>),
+    /// The Broker meta-data service, behind the [`BrokerClient`]
+    /// abstraction: an in-process [`LocalBroker`] or a served
+    /// [`RemoteBroker`](crate::RemoteBroker) — streams cannot tell
+    /// the difference.
+    Client(Arc<dyn BrokerClient>),
     /// Exactly one local dump file.
     SingleFile {
         /// Dump type of the file.
@@ -34,12 +40,45 @@ pub enum DataInterface {
 }
 
 impl DataInterface {
-    /// Materialise this interface as an [`Index`] so the stream layer
-    /// has one query path. `SingleFile`/`CsvFile` build a fresh,
-    /// fully-available index; `Broker` returns the live handle.
-    pub fn into_index(self) -> Result<Arc<Index>, String> {
+    /// Back-compat constructor for the pre-service API, where the
+    /// Broker interface held a bare `Arc<Index>`. Wraps the index in
+    /// a [`LocalBroker`] and returns [`DataInterface::Client`] — so
+    /// the long-standing `DataInterface::Broker(index)` call syntax
+    /// keeps compiling. Deprecated in favor of
+    /// [`DataInterface::client`] (or constructing the variant
+    /// directly); new code should pick its [`BrokerClient`]
+    /// explicitly.
+    #[allow(non_snake_case)] // historical variant-constructor syntax
+    pub fn Broker(index: Arc<Index>) -> Self {
+        DataInterface::Client(LocalBroker::shared(index))
+    }
+
+    /// The broker interface over an explicit client.
+    pub fn client(client: Arc<dyn BrokerClient>) -> Self {
+        DataInterface::Client(client)
+    }
+
+    /// Materialise this interface as a [`BrokerClient`] — the one
+    /// query surface the stream layer drives. `SingleFile`/`CsvFile`
+    /// build a fresh, fully-available local index behind a
+    /// [`LocalBroker`]; `Client` returns the handle as-is.
+    pub fn into_client(self) -> Result<Arc<dyn BrokerClient>, BrokerError> {
         match self {
-            DataInterface::Broker(idx) => Ok(idx),
+            DataInterface::Client(client) => Ok(client),
+            other => Ok(LocalBroker::shared(other.into_index()?)),
+        }
+    }
+
+    /// Materialise this interface as an [`Index`].
+    /// `SingleFile`/`CsvFile` build a fresh, fully-available index; a
+    /// `Client` yields its wrapped index when it is local, and
+    /// [`BrokerError::Protocol`] when the broker lives across a wire
+    /// (there is no index to hand out).
+    pub fn into_index(self) -> Result<Arc<Index>, BrokerError> {
+        match self {
+            DataInterface::Client(client) => client.local_index().ok_or_else(|| {
+                BrokerError::Protocol("broker client is not backed by a local index".into())
+            }),
             DataInterface::SingleFile {
                 dump_type,
                 path,
@@ -47,7 +86,12 @@ impl DataInterface {
                 duration,
             } => {
                 let idx = Index::shared();
-                let size = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                // A single-file interface names exactly one file; if
+                // that file cannot be stat'ed the stream would only
+                // discover the problem mid-read. Fail loudly here.
+                let size = std::fs::metadata(&path)
+                    .map_err(|e| BrokerError::Io(format!("cannot stat {}: {e}", path.display())))?
+                    .len();
                 idx.register(DumpMeta {
                     project: "local".into(),
                     collector: "local".into(),
@@ -72,9 +116,9 @@ impl DataInterface {
 }
 
 /// Parse a CSV manifest file into dump meta-data entries.
-pub fn parse_csv_manifest(path: &Path) -> Result<Vec<DumpMeta>, String> {
+pub fn parse_csv_manifest(path: &Path) -> Result<Vec<DumpMeta>, BrokerError> {
     let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read manifest {}: {e}", path.display()))?;
+        .map_err(|e| BrokerError::Io(format!("cannot read manifest {}: {e}", path.display())))?;
     let mut out = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -83,25 +127,28 @@ pub fn parse_csv_manifest(path: &Path) -> Result<Vec<DumpMeta>, String> {
         }
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != 8 {
-            return Err(format!(
+            return Err(BrokerError::Malformed(format!(
                 "{}:{}: expected 8 fields, got {}",
                 path.display(),
                 lineno + 1,
                 fields.len()
-            ));
+            )));
         }
-        let parse_u64 = |s: &str, what: &str| -> Result<u64, String> {
-            s.trim()
-                .parse()
-                .map_err(|e| format!("{}:{}: bad {what}: {e}", path.display(), lineno + 1))
+        let parse_u64 = |s: &str, what: &str| -> Result<u64, BrokerError> {
+            s.trim().parse().map_err(|e| {
+                BrokerError::Malformed(format!(
+                    "{}:{}: bad {what}: {e}",
+                    path.display(),
+                    lineno + 1
+                ))
+            })
         };
         out.push(DumpMeta {
             project: fields[0].trim().to_string(),
             collector: fields[1].trim().to_string(),
-            dump_type: fields[2]
-                .trim()
-                .parse()
-                .map_err(|e| format!("{}:{}: {e}", path.display(), lineno + 1))?,
+            dump_type: fields[2].trim().parse().map_err(|e| {
+                BrokerError::Malformed(format!("{}:{}: {e}", path.display(), lineno + 1))
+            })?,
             interval_start: parse_u64(fields[3], "interval_start")?,
             duration: parse_u64(fields[4], "duration")?,
             available_at: parse_u64(fields[5], "available_at")?,
@@ -178,14 +225,30 @@ mod tests {
     }
 
     #[test]
-    fn csv_rejects_malformed() {
+    fn csv_rejects_malformed_with_typed_errors() {
         let dir = std::env::temp_dir().join(format!("bgpstream-csv-bad-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bad.csv");
         std::fs::write(&path, "ris,rrc01,ribs,notanumber,0,0,0,/x\n").unwrap();
-        assert!(parse_csv_manifest(&path).is_err());
+        assert!(matches!(
+            parse_csv_manifest(&path),
+            Err(BrokerError::Malformed(_))
+        ));
         std::fs::write(&path, "too,few,fields\n").unwrap();
-        assert!(parse_csv_manifest(&path).is_err());
+        assert!(matches!(
+            parse_csv_manifest(&path),
+            Err(BrokerError::Malformed(_))
+        ));
+        std::fs::write(&path, "ris,rrc01,frobs,1,0,0,0,/x\n").unwrap();
+        assert!(matches!(
+            parse_csv_manifest(&path),
+            Err(BrokerError::Malformed(_))
+        ));
+        // An unreadable manifest is I/O, not parse.
+        assert!(matches!(
+            parse_csv_manifest(&dir.join("absent.csv")),
+            Err(BrokerError::Io(_))
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -202,9 +265,13 @@ mod tests {
 
     #[test]
     fn single_file_interface_builds_index() {
+        let dir = std::env::temp_dir().join(format!("bgpstream-sf-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("u.mrt");
+        std::fs::write(&file, [0u8; 32]).unwrap();
         let iface = DataInterface::SingleFile {
             dump_type: DumpType::Updates,
-            path: PathBuf::from("/nonexistent/u.mrt"),
+            path: file,
             interval_start: 50,
             duration: 300,
         };
@@ -218,6 +285,26 @@ mod tests {
         let r = idx.query(&q, &mut cur, u64::MAX);
         assert_eq!(r.files.len(), 1);
         assert_eq!(r.files[0].interval_start, 50);
+        assert_eq!(r.files[0].size, 32, "size must come from the file");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn single_file_missing_file_is_an_io_error() {
+        // Regression: this used to be swallowed into `size: 0`,
+        // deferring the failure to mid-stream file opens.
+        let iface = DataInterface::SingleFile {
+            dump_type: DumpType::Updates,
+            path: PathBuf::from("/nonexistent/u.mrt"),
+            interval_start: 50,
+            duration: 300,
+        };
+        match iface.clone().into_index() {
+            Err(BrokerError::Io(msg)) => assert!(msg.contains("/nonexistent/u.mrt")),
+            Err(other) => panic!("expected Io error, got {other:?}"),
+            Ok(_) => panic!("expected Io error, got an index"),
+        }
+        assert!(matches!(iface.into_client(), Err(BrokerError::Io(_))));
     }
 
     #[test]
@@ -229,5 +316,16 @@ mod tests {
         let idx = DataInterface::CsvFile(path).into_index().unwrap();
         assert_eq!(idx.len(), 2);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn broker_constructor_is_a_local_client() {
+        // The back-compat surface: `DataInterface::Broker(idx)` still
+        // works and both materialisations recover the same index.
+        let idx = Index::shared();
+        let iface = DataInterface::Broker(idx.clone());
+        let client = iface.clone().into_client().unwrap();
+        assert!(Arc::ptr_eq(&client.local_index().unwrap(), &idx));
+        assert!(Arc::ptr_eq(&iface.into_index().unwrap(), &idx));
     }
 }

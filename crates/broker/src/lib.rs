@@ -29,15 +29,43 @@
 //!   adopt more sophisticated policies"; response paths are rewritten
 //!   onto the selected mirror, with transparent fallback when a mirror
 //!   lacks a file.
+//!
+//! The broker is also *served*: the paper's deployment is a
+//! multi-tenant HTTP service that many independent libBGPStream
+//! processes query concurrently. We reproduce that topology over the
+//! in-repo message queue instead of HTTP:
+//!
+//! * [`BrokerClient`] — the one query surface streams drive. Two
+//!   implementations: [`LocalBroker`] (wraps an [`Index`] in-process,
+//!   zero cost) and [`RemoteBroker`] (speaks the [`wire`] protocol
+//!   over `mq` topics to a [`BrokerService`]). A pipeline is
+//!   byte-identical through either.
+//! * [`BrokerService`] — the served side: a partitioned, memoized
+//!   [`service::IndexView`] answers historical windows; per-client
+//!   live leases carry [`LiveCursor`] state server-side so a crashed
+//!   client can resume exactly-once by lease id; admission control
+//!   sheds load with an explicit [`BrokerError::Busy`].
+//! * [`wire`] — the small versioned request/response protocol
+//!   (hand-rolled little-endian frames; no serialization deps).
+//! * [`BrokerError`] — typed errors across the public broker API.
 
+pub mod client;
+pub mod error;
 pub mod index;
 pub mod interface;
 pub mod live;
 pub mod mirror;
+pub mod remote;
+pub mod service;
 pub mod source;
+pub mod wire;
 
-pub use index::{BrokerCursor, DumpMeta, DumpType, Index, Query};
+pub use client::{BrokerClient, LeaseId, LocalBroker};
+pub use error::BrokerError;
+pub use index::{BrokerCursor, DumpMeta, DumpType, Index, Query, Response};
 pub use interface::DataInterface;
 pub use live::{LiveCursor, LivePoll, ReleasePolicy};
 pub use mirror::{MirrorPolicy, MirrorSet};
+pub use remote::{RemoteBroker, RemoteConfig};
+pub use service::{BrokerService, ServiceConfig, ServiceHandle, ServiceStats};
 pub use source::{SourceId, SourceMeta};

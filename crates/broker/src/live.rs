@@ -50,7 +50,7 @@ pub enum ReleasePolicy {
 }
 
 /// One poll's outcome.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct LivePoll {
     /// Files of the window released by this poll (at most one window
     /// advances per poll, so batches group exactly as a historical

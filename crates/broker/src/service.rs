@@ -1,0 +1,793 @@
+//! The served broker: a multi-tenant metadata service over `mq`.
+//!
+//! The paper's broker is one HTTP service fielding windowed meta-data
+//! queries from many independent libBGPStream clients (§3.2). This
+//! module stands that architecture up in-process: a
+//! [`BrokerService`] consumes [`wire`](crate::wire) request frames
+//! from a shared request topic, answers each client on its own reply
+//! topic, and announces index changes on an events topic so remote
+//! clients can block exactly like local ones do on
+//! [`Index::wait_for_new`].
+//!
+//! Three server-side concerns distinguish a *served* broker from the
+//! in-process [`Index`]:
+//!
+//! * **A partitioned, time-bucketed view** ([`IndexView`]) — the
+//!   service answers historical queries from a snapshot sorted by the
+//!   response order key, locating each window's candidates by binary
+//!   search instead of the index's full scan, and memoizes fully
+//!   published windows (`now == u64::MAX`) in a hot-query cache so
+//!   thousands of clients paging the same popular interval cost one
+//!   scan, not thousands. The cache is invalidated wholesale whenever
+//!   the index version moves — which includes
+//!   [`Index::advance_watermark`] — so a cached page can never
+//!   outlive the data it summarises.
+//! * **Cursor leases** — live sessions are server-side
+//!   [`LiveCursor`]s keyed by [`LeaseId`] with a wall-clock TTL. Any
+//!   request touching a lease renews it; a client that goes quiet
+//!   past the TTL is reaped, and later requests get
+//!   [`BrokerError::LeaseExpired`]. Within the TTL a crashed client
+//!   may re-attach by id ([`BrokerRequest::OpenLive`] with `resume`)
+//!   and continue exactly-once: the delivered-set lives with the
+//!   lease, not the connection.
+//! * **Admission control** — each service step processes a bounded
+//!   batch: at most [`ServiceConfig::max_inflight_global`] requests
+//!   per step and [`ServiceConfig::max_inflight_per_client`] per
+//!   client within it. Excess requests are answered with an explicit
+//!   [`BrokerError::Busy`] instead of queueing unboundedly — load is
+//!   shed visibly, and a flooding client cannot starve the rest.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mq::Cluster;
+
+use crate::client::LeaseId;
+use crate::error::BrokerError;
+use crate::index::{BrokerCursor, DumpMeta, DumpType, Index, Query};
+use crate::live::LiveCursor;
+use crate::wire::{BrokerRequest, BrokerResponse, RequestEnvelope, ResponseEnvelope};
+
+/// Topic layout and service tuning.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Topic all clients produce requests to (single partition: the
+    /// service is the only consumer and preserves arrival order).
+    pub request_topic: String,
+    /// Per-client reply topics are `{reply_prefix}{client}`.
+    pub reply_prefix: String,
+    /// Topic carrying `(index_version, watermark)` change events.
+    pub events_topic: String,
+    /// Wall-clock lease TTL: a lease untouched this long is reaped.
+    pub lease_ttl: Duration,
+    /// Max requests processed per service step across all clients;
+    /// the rest of the fetched batch is answered `Busy`.
+    pub max_inflight_global: usize,
+    /// Max requests per client within one step; excess is `Busy`.
+    pub max_inflight_per_client: usize,
+    /// Memoized historical pages kept before the cache is reset.
+    pub cache_capacity: usize,
+    /// Idle wait per loop iteration in [`BrokerService::run`]; bounds
+    /// the latency of change-event publication.
+    pub tick: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            request_topic: "broker.requests".into(),
+            reply_prefix: "broker.replies.".into(),
+            events_topic: "broker.events".into(),
+            lease_ttl: Duration::from_secs(30),
+            max_inflight_global: 512,
+            max_inflight_per_client: 64,
+            cache_capacity: 4096,
+            tick: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Counters the service accumulates over its lifetime.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceStats {
+    /// Requests answered (including errors, excluding `Busy`).
+    pub requests: u64,
+    /// Requests shed with [`BrokerError::Busy`].
+    pub busy: u64,
+    /// Frames that failed to decode (no reply possible).
+    pub malformed: u64,
+    /// Historical pages served from the memo cache.
+    pub cache_hits: u64,
+    /// Historical pages that had to scan the view.
+    pub cache_misses: u64,
+    /// Leases opened.
+    pub leases_opened: u64,
+    /// Leases re-attached via resume-by-id.
+    pub leases_resumed: u64,
+    /// Leases reaped by TTL expiry.
+    pub leases_expired: u64,
+}
+
+/// Key of one memoized historical page: the query identity plus the
+/// cursor position. Only fully published reads (`now == u64::MAX`)
+/// are cached, so `now` is not part of the key.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct PageKey {
+    projects: Vec<String>,
+    collectors: Vec<String>,
+    dump_types: Vec<DumpType>,
+    start: u64,
+    end: Option<u64>,
+    window_start: u64,
+}
+
+impl PageKey {
+    fn new(q: &Query, window_start: u64) -> Self {
+        PageKey {
+            projects: q.projects.clone(),
+            collectors: q.collectors.clone(),
+            dump_types: q.dump_types.clone(),
+            start: q.start,
+            end: q.end,
+            window_start,
+        }
+    }
+}
+
+#[derive(Clone)]
+struct CachedPage {
+    files: Vec<DumpMeta>,
+    exhausted: bool,
+    next_window_start: u64,
+}
+
+/// The service's partitioned, time-bucketed snapshot of an [`Index`].
+///
+/// Entries are kept pre-sorted by the response order key
+/// `(interval_start, project, collector, dump_type)`, so a window's
+/// candidates are one `partition_point` range scan and come out
+/// already ordered. Refresh tails the index incrementally (new
+/// entries only) and re-establishes the sort stably, which preserves
+/// registration order among equal keys — exactly what
+/// [`Index::query`]'s stable sort produces, keeping served responses
+/// byte-identical to local ones.
+pub struct IndexView {
+    entries: Vec<DumpMeta>,
+    /// Entries consumed from the index so far (tail position).
+    raw_count: usize,
+    version: u64,
+    watermark: u64,
+    /// Longest dump duration seen; bounds how far before a window an
+    /// overlapping entry's `interval_start` can lie.
+    max_duration: u64,
+    window: u64,
+    cache: HashMap<PageKey, CachedPage>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl IndexView {
+    /// An empty view over an index with response window `window`.
+    pub fn new(window: u64, cache_capacity: usize) -> Self {
+        IndexView {
+            entries: Vec::new(),
+            raw_count: 0,
+            version: 0,
+            watermark: 0,
+            max_duration: 0,
+            window: window.max(1),
+            cache: HashMap::new(),
+            capacity: cache_capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// `(cache_hits, cache_misses)` so far.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// The index version this view reflects.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The publication watermark this view reflects.
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// Catch up with `index`: pull entries registered since the last
+    /// refresh, re-sort, and drop every cached page (any version
+    /// change — new dumps or a watermark advance — invalidates).
+    /// Returns true when the view changed.
+    pub fn refresh(&mut self, index: &Index) -> bool {
+        if index.version() == self.version {
+            return false;
+        }
+        let (version, watermark, fresh) = index.entries_from(self.raw_count);
+        self.raw_count += fresh.len();
+        if !fresh.is_empty() {
+            for m in &fresh {
+                self.max_duration = self.max_duration.max(m.duration);
+            }
+            self.entries.extend(fresh);
+            // Stable: equal order keys stay in registration order,
+            // matching Index::query's stable sort of its scan result.
+            self.entries.sort_by(|a, b| order_key(a).cmp(&order_key(b)));
+        }
+        self.version = version;
+        self.watermark = watermark;
+        self.cache.clear();
+        true
+    }
+
+    /// Answer one windowed page with [`Index::query`] semantics.
+    /// Paths are NOT mirror-rewritten here — the caller applies
+    /// [`Index`] mirror selection after the (possibly cached) page is
+    /// materialised, so cached pages stay mirror-agnostic.
+    pub fn query(
+        &mut self,
+        query: &Query,
+        cursor: &mut BrokerCursor,
+        now: u64,
+    ) -> (Vec<DumpMeta>, bool) {
+        let cacheable = now == u64::MAX;
+        let key = cacheable.then(|| PageKey::new(query, cursor.window_start));
+        if let Some(k) = &key {
+            if let Some(page) = self.cache.get(k) {
+                self.hits += 1;
+                cursor.window_start = page.next_window_start;
+                return (page.files.clone(), page.exhausted);
+            }
+            self.misses += 1;
+        }
+        let entered = cursor.window_start;
+        let w_start = cursor.window_start.max(query.start);
+        let w_end = w_start.saturating_add(self.window);
+        // Candidates: interval_start ∈ [w_start - max_duration, w_end).
+        // Anything earlier cannot reach the window (interval_end =
+        // interval_start + duration ≤ interval_start + max_duration <
+        // w_start); anything later is attributed to a later window.
+        let lo = self
+            .entries
+            .partition_point(|m| m.interval_start < w_start.saturating_sub(self.max_duration));
+        let hi = self.entries.partition_point(|m| m.interval_start < w_end);
+        let first_window = cursor.window_start <= query.start;
+        let files: Vec<DumpMeta> = self.entries[lo..hi]
+            .iter()
+            .filter(|m| m.available_at <= now)
+            .filter(|m| query.matches(m))
+            .filter(|m| m.interval_end() >= w_start)
+            .filter(|m| m.overlaps(query.start, query.end))
+            // Window attribution: a file belongs to the window holding
+            // its interval_start, except in the query's first window.
+            .filter(|m| m.interval_start >= w_start || first_window)
+            .cloned()
+            .collect();
+        cursor.window_start = w_end;
+        if files.is_empty() {
+            if let Some(e) = query.end {
+                // Historical fast-forward over file-less time: the
+                // entries are sorted by interval_start, so the first
+                // visible match at or past w_end is the minimum.
+                let next = self.entries
+                    [self.entries.partition_point(|m| m.interval_start < w_end)..]
+                    .iter()
+                    .filter(|m| m.available_at <= now)
+                    .find(|m| query.matches(m))
+                    .map(|m| m.interval_start);
+                cursor.window_start = match next {
+                    Some(s) if s <= e => s,
+                    _ => e.saturating_add(1),
+                };
+            }
+        }
+        let exhausted = match query.end {
+            Some(e) => cursor.window_start > e,
+            None => false,
+        };
+        if let Some(k) = key {
+            if self.cache.len() >= self.capacity {
+                // Plain memoization, not an LRU: on overflow the whole
+                // memo resets (it will warm back up from the view).
+                self.cache.clear();
+            }
+            debug_assert_eq!(k.window_start, entered);
+            self.cache.insert(
+                k,
+                CachedPage {
+                    files: files.clone(),
+                    exhausted,
+                    next_window_start: cursor.window_start,
+                },
+            );
+        }
+        (files, exhausted)
+    }
+}
+
+fn order_key(m: &DumpMeta) -> (u64, &String, &String, u8) {
+    (
+        m.interval_start,
+        &m.project,
+        &m.collector,
+        m.dump_type as u8,
+    )
+}
+
+/// One live lease: the server-side cursor plus liveness bookkeeping.
+struct Lease {
+    cursor: LiveCursor,
+    last_active: Instant,
+}
+
+/// The broker server. Construct with [`BrokerService::new`], then
+/// either [`BrokerService::spawn`] a thread or drive
+/// [`BrokerService::step`] manually (deterministic tests).
+pub struct BrokerService {
+    cluster: Arc<Cluster>,
+    index: Arc<Index>,
+    cfg: ServiceConfig,
+    view: IndexView,
+    leases: HashMap<LeaseId, Lease>,
+    next_lease: LeaseId,
+    /// Next unread offset on the request topic.
+    req_offset: u64,
+    /// Index version last announced on the events topic.
+    announced_version: u64,
+    stats: ServiceStats,
+}
+
+impl BrokerService {
+    /// A service over `index`, speaking on `cluster` per `cfg`.
+    /// Creates the request and events topics (idempotent).
+    pub fn new(cluster: Arc<Cluster>, index: Arc<Index>, cfg: ServiceConfig) -> Self {
+        cluster.create_topic(&cfg.request_topic, 1);
+        cluster.create_topic(&cfg.events_topic, 1);
+        let view = IndexView::new(index.window(), cfg.cache_capacity);
+        BrokerService {
+            cluster,
+            index,
+            cfg,
+            view,
+            leases: HashMap::new(),
+            next_lease: 1,
+            req_offset: 0,
+            announced_version: 0,
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ServiceStats {
+        let mut s = self.stats;
+        (s.cache_hits, s.cache_misses) = self.view.cache_stats();
+        s
+    }
+
+    /// Live leases currently held.
+    pub fn lease_count(&self) -> usize {
+        self.leases.len()
+    }
+
+    /// One deterministic service step: refresh the view, announce
+    /// changes, reap expired leases, then fetch and answer one
+    /// admission-bounded batch of requests. Returns the number of
+    /// requests consumed from the request topic (answered or shed).
+    pub fn step(&mut self) -> usize {
+        self.view.refresh(&self.index);
+        if self.view.version() != self.announced_version {
+            self.announced_version = self.view.version();
+            let mut payload = Vec::with_capacity(16);
+            payload.extend_from_slice(&self.view.version().to_le_bytes());
+            payload.extend_from_slice(&self.view.watermark().to_le_bytes());
+            self.cluster
+                .produce(&self.cfg.events_topic, "version", 0, payload);
+        }
+        self.reap_expired();
+        let batch = self.cluster.fetch(
+            &self.cfg.request_topic,
+            0,
+            self.req_offset,
+            self.cfg.max_inflight_global.saturating_mul(2).max(16),
+        );
+        if batch.is_empty() {
+            return 0;
+        }
+        self.req_offset += batch.len() as u64;
+        let mut admitted_total = 0usize;
+        let mut admitted_per_client: HashMap<String, usize> = HashMap::new();
+        for msg in &batch {
+            let env = match RequestEnvelope::decode(&msg.payload) {
+                Ok(env) => env,
+                Err(_) => {
+                    // Undecodable frames carry no routable client or
+                    // correlation id: count and drop.
+                    self.stats.malformed += 1;
+                    continue;
+                }
+            };
+            let per_client = admitted_per_client.entry(env.client.clone()).or_insert(0);
+            let body = if admitted_total >= self.cfg.max_inflight_global
+                || *per_client >= self.cfg.max_inflight_per_client
+            {
+                self.stats.busy += 1;
+                BrokerResponse::Error(BrokerError::Busy)
+            } else {
+                admitted_total += 1;
+                *per_client += 1;
+                self.stats.requests += 1;
+                self.handle(&env)
+            };
+            let reply = ResponseEnvelope {
+                req_id: env.req_id,
+                index_version: self.view.version(),
+                watermark: self.view.watermark(),
+                body,
+            };
+            let topic = format!("{}{}", self.cfg.reply_prefix, env.client);
+            self.cluster.produce(&topic, &env.client, 0, reply.encode());
+        }
+        batch.len()
+    }
+
+    fn reap_expired(&mut self) {
+        let ttl = self.cfg.lease_ttl;
+        let before = self.leases.len();
+        self.leases
+            .retain(|_, lease| lease.last_active.elapsed() < ttl);
+        self.stats.leases_expired += (before - self.leases.len()) as u64;
+    }
+
+    fn handle(&mut self, env: &RequestEnvelope) -> BrokerResponse {
+        match &env.body {
+            BrokerRequest::Query {
+                query,
+                window_start,
+                now,
+            } => {
+                let mut cursor = BrokerCursor {
+                    window_start: *window_start,
+                };
+                let (mut files, exhausted) = self.view.query(query, &mut cursor, *now);
+                self.index.rewrite_mirrors(&mut files);
+                BrokerResponse::Query {
+                    files,
+                    exhausted,
+                    next_window_start: cursor.window_start,
+                }
+            }
+            BrokerRequest::OpenLive {
+                query,
+                policy,
+                resume,
+            } => {
+                if let Some(id) = resume {
+                    return match self.leases.get_mut(id) {
+                        Some(lease) => {
+                            lease.last_active = Instant::now();
+                            self.stats.leases_resumed += 1;
+                            BrokerResponse::LiveOpened { lease: *id }
+                        }
+                        None => BrokerResponse::Error(BrokerError::LeaseExpired),
+                    };
+                }
+                let id = self.next_lease;
+                self.next_lease += 1;
+                self.leases.insert(
+                    id,
+                    Lease {
+                        cursor: LiveCursor::new(self.index.clone(), query.clone(), *policy),
+                        last_active: Instant::now(),
+                    },
+                );
+                self.stats.leases_opened += 1;
+                BrokerResponse::LiveOpened { lease: id }
+            }
+            BrokerRequest::PollLive { lease, now } => match self.leases.get_mut(lease) {
+                Some(l) => {
+                    l.last_active = Instant::now();
+                    BrokerResponse::Live(l.cursor.poll(*now))
+                }
+                None => BrokerResponse::Error(BrokerError::LeaseExpired),
+            },
+            BrokerRequest::Renew { lease } => match self.leases.get_mut(lease) {
+                Some(l) => {
+                    l.last_active = Instant::now();
+                    BrokerResponse::Renewed
+                }
+                None => BrokerResponse::Error(BrokerError::LeaseExpired),
+            },
+            BrokerRequest::Close { lease } => {
+                self.leases.remove(lease);
+                BrokerResponse::Closed
+            }
+        }
+    }
+
+    /// Serve until `shutdown` is raised, blocking up to
+    /// [`ServiceConfig::tick`] per idle iteration. Returns the final
+    /// counters.
+    pub fn run(mut self, shutdown: Arc<AtomicBool>) -> ServiceStats {
+        while !shutdown.load(Ordering::Relaxed) {
+            if self.step() == 0 {
+                self.cluster
+                    .wait_for(&self.cfg.request_topic, 0, self.req_offset, self.cfg.tick);
+            }
+        }
+        // Drain what's already enqueued so shutdown is not lossy for
+        // requests accepted before the flag was observed.
+        while self.step() != 0 {}
+        self.stats()
+    }
+
+    /// Serve on a background thread; the returned handle stops the
+    /// service and joins it.
+    pub fn spawn(self) -> ServiceHandle {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = shutdown.clone();
+        let thread = std::thread::Builder::new()
+            .name("broker-service".into())
+            .spawn(move || self.run(flag))
+            .expect("spawn broker service thread");
+        ServiceHandle { shutdown, thread }
+    }
+}
+
+/// Handle over a spawned [`BrokerService`].
+pub struct ServiceHandle {
+    shutdown: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<ServiceStats>,
+}
+
+impl ServiceHandle {
+    /// Raise the shutdown flag, join the service thread, and return
+    /// its final counters.
+    pub fn shutdown(self) -> ServiceStats {
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.thread.join().expect("broker service thread panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn meta(collector: &str, ty: DumpType, start: u64, dur: u64, avail: u64) -> DumpMeta {
+        DumpMeta {
+            project: if collector.starts_with("rrc") {
+                "ris"
+            } else {
+                "routeviews"
+            }
+            .into(),
+            collector: collector.into(),
+            dump_type: ty,
+            interval_start: start,
+            duration: dur,
+            path: PathBuf::from(format!("/tmp/{collector}-{ty:?}-{start}")),
+            available_at: avail,
+            size: 1000,
+        }
+    }
+
+    fn scattered_index(window: u64) -> Arc<Index> {
+        let idx = Arc::new(Index::with_window(window));
+        for k in 0..24 {
+            let s = k * 300;
+            idx.register(meta("rrc01", DumpType::Updates, s, 300, s + 400));
+        }
+        for k in 0..8 {
+            let s = k * 900;
+            idx.register(meta("rv2", DumpType::Updates, s, 900, s + 1100));
+        }
+        idx.register(meta("rrc01", DumpType::Rib, 0, 0, 600));
+        idx.register(meta("rv2", DumpType::Rib, 0, 0, 600));
+        // A far-future straggler to exercise fast-forward.
+        idx.register(meta("rrc01", DumpType::Updates, 1_000_000, 300, 1_000_400));
+        idx
+    }
+
+    /// The view must replicate `Index::query` byte for byte: same
+    /// files, same order, same cursor motion, same exhaustion — across
+    /// queries, windows, and visibility times.
+    #[test]
+    fn view_pages_identically_to_index_query() {
+        let idx = scattered_index(3600);
+        let mut view = IndexView::new(idx.window(), 64);
+        view.refresh(&idx);
+        let queries = [
+            Query {
+                start: 0,
+                end: Some(2_000_000),
+                ..Default::default()
+            },
+            Query {
+                projects: vec!["ris".into()],
+                start: 150,
+                end: Some(7200),
+                ..Default::default()
+            },
+            Query {
+                collectors: vec!["rv2".into()],
+                dump_types: vec![DumpType::Updates],
+                start: 900,
+                end: Some(u64::MAX - 1),
+                ..Default::default()
+            },
+            Query {
+                start: 500,
+                end: None,
+                ..Default::default()
+            },
+        ];
+        for q in &queries {
+            for now in [u64::MAX, 1500, 0] {
+                let mut ci = BrokerCursor {
+                    window_start: q.start,
+                };
+                let mut cv = ci;
+                for _ in 0..64 {
+                    let want = idx.query(q, &mut ci, now);
+                    let (files, exhausted) = view.query(q, &mut cv, now);
+                    assert_eq!(files, want.files, "files diverged (q={q:?}, now={now})");
+                    assert_eq!(exhausted, want.exhausted);
+                    assert_eq!(cv.window_start, ci.window_start);
+                    if want.exhausted {
+                        break;
+                    }
+                    if q.end.is_none() && want.files.is_empty() {
+                        break; // live never exhausts; stop on quiet
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn view_cache_hits_repeat_queries_and_invalidates_on_change() {
+        let idx = scattered_index(3600);
+        let mut view = IndexView::new(idx.window(), 64);
+        view.refresh(&idx);
+        let q = Query {
+            start: 0,
+            end: Some(7200),
+            ..Default::default()
+        };
+        let page = |view: &mut IndexView| {
+            let mut c = BrokerCursor { window_start: 0 };
+            view.query(&q, &mut c, u64::MAX)
+        };
+        let first = page(&mut view);
+        let (h0, m0) = view.cache_stats();
+        assert_eq!((h0, m0), (0, 1));
+        let second = page(&mut view);
+        assert_eq!(second, first);
+        assert_eq!(view.cache_stats(), (1, 1));
+        // Live-visibility queries bypass the cache.
+        let mut c = BrokerCursor { window_start: 0 };
+        view.query(&q, &mut c, 1234);
+        assert_eq!(view.cache_stats(), (1, 1));
+        // Registration invalidates: the new file must appear.
+        idx.register(meta("rrc09", DumpType::Updates, 60, 300, 0));
+        view.refresh(&idx);
+        let third = page(&mut view);
+        assert_eq!(third.0.len(), first.0.len() + 1);
+        // Watermark advance also bumps the version → invalidates.
+        let v = view.version();
+        idx.advance_watermark(999_999_999);
+        view.refresh(&idx);
+        assert!(view.version() > v);
+        assert_eq!(page(&mut view).0, third.0);
+    }
+
+    #[test]
+    fn service_step_answers_and_sheds() {
+        let cluster = Cluster::shared();
+        let idx = scattered_index(3600);
+        let cfg = ServiceConfig {
+            max_inflight_per_client: 2,
+            max_inflight_global: 8,
+            ..Default::default()
+        };
+        let reply_prefix = cfg.reply_prefix.clone();
+        let request_topic = cfg.request_topic.clone();
+        let mut svc = BrokerService::new(cluster.clone(), idx, cfg);
+        // One client floods 5 identical queries: 2 admitted, 3 Busy.
+        for i in 0..5u64 {
+            let frame = RequestEnvelope {
+                client: "flood".into(),
+                req_id: i,
+                body: BrokerRequest::Query {
+                    query: Query {
+                        start: 0,
+                        end: Some(3600),
+                        ..Default::default()
+                    },
+                    window_start: 0,
+                    now: u64::MAX,
+                },
+            }
+            .encode();
+            cluster.produce(&request_topic, "flood", 0, frame);
+        }
+        // Plus garbage that must not take the server down.
+        cluster.produce(&request_topic, "x", 0, vec![1, 2, 3]);
+        assert_eq!(svc.step(), 6);
+        let replies = cluster.fetch(&format!("{reply_prefix}flood"), 0, 0, 16);
+        assert_eq!(replies.len(), 5);
+        let mut ok = 0;
+        let mut busy = 0;
+        for msg in replies {
+            match ResponseEnvelope::decode(&msg.payload).unwrap().body {
+                BrokerResponse::Query { .. } => ok += 1,
+                BrokerResponse::Error(BrokerError::Busy) => busy += 1,
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        assert_eq!((ok, busy), (2, 3));
+        let stats = svc.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.busy, 3);
+        assert_eq!(stats.malformed, 1);
+        // Identical admitted queries: first misses, second hits.
+        assert_eq!((stats.cache_hits, stats.cache_misses), (1, 1));
+    }
+
+    #[test]
+    fn lease_expiry_is_wall_clock_ttl() {
+        let cluster = Cluster::shared();
+        let idx = Arc::new(Index::with_window(3600));
+        let cfg = ServiceConfig {
+            lease_ttl: Duration::from_millis(30),
+            ..Default::default()
+        };
+        let request_topic = cfg.request_topic.clone();
+        let reply_prefix = cfg.reply_prefix.clone();
+        let mut svc = BrokerService::new(cluster.clone(), idx, cfg);
+        let open = RequestEnvelope {
+            client: "c".into(),
+            req_id: 1,
+            body: BrokerRequest::OpenLive {
+                query: Query::default(),
+                policy: crate::live::ReleasePolicy::Watermark,
+                resume: None,
+            },
+        };
+        cluster.produce(&request_topic, "c", 0, open.encode());
+        svc.step();
+        let lease = match ResponseEnvelope::decode(
+            &cluster.fetch(&format!("{reply_prefix}c"), 0, 0, 1)[0].payload,
+        )
+        .unwrap()
+        .body
+        {
+            BrokerResponse::LiveOpened { lease } => lease,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(svc.lease_count(), 1);
+        std::thread::sleep(Duration::from_millis(60));
+        svc.step();
+        assert_eq!(svc.lease_count(), 0);
+        assert_eq!(svc.stats().leases_expired, 1);
+        // Polling the reaped lease reports expiry.
+        let poll = RequestEnvelope {
+            client: "c".into(),
+            req_id: 2,
+            body: BrokerRequest::PollLive { lease, now: 0 },
+        };
+        cluster.produce(&request_topic, "c", 0, poll.encode());
+        svc.step();
+        let last = cluster.fetch(&format!("{reply_prefix}c"), 0, 1, 1);
+        assert_eq!(
+            ResponseEnvelope::decode(&last[0].payload).unwrap().body,
+            BrokerResponse::Error(BrokerError::LeaseExpired)
+        );
+    }
+}

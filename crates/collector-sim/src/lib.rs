@@ -26,13 +26,18 @@
 //!   index as a *publication process* (jittered delays, stalls,
 //!   out-of-order and duplicate publication) with a truthful
 //!   completeness watermark; the substrate live streams tail and CI
-//!   soaks against.
+//!   soaks against;
+//! * [`clients`] — synthetic broker tenants (historical pagers, live
+//!   tailers with crash/resume) that soaks compose into a fleet
+//!   against a served [`broker::BrokerService`].
 
 pub mod archive;
+pub mod clients;
 pub mod feeder;
 pub mod project;
 pub mod sim;
 
+pub use clients::{page_history, ClientReport, LiveTail};
 pub use feeder::{FaultPlan, FeederStats, LiveFeeder, Stall};
 pub use project::{ProjectSpec, RIS, ROUTEVIEWS};
 pub use sim::{

@@ -61,10 +61,14 @@ pub mod sort;
 pub mod stream;
 
 pub use aspath_re::AsPathRegex;
+pub use broker::{BrokerClient, BrokerError, LeaseId};
 pub use broker::{SourceId, SourceMeta};
 pub use elem::{BgpStreamElem, ElemType};
 pub use filter::{CommunityFilter, CompiledFilters, Filters, IpVersion};
 pub use filter_lang::{parse_filter_string, FilterLangError, ParsedFilter};
 pub use json_input::{parse_elem_json, JsonElem, JsonError};
 pub use record::{BgpStreamRecord, DumpPosition, RecordStatus};
-pub use stream::{BatchStep, BgpStream, BgpStreamBuilder, Clock, ElemSource, StreamMode};
+pub use stream::{
+    BatchStep, BgpStream, BgpStreamBuilder, Clock, ElemSource, StreamMode, StreamStartError,
+    StreamStats,
+};

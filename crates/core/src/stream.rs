@@ -16,7 +16,9 @@ use std::time::Duration;
 use bgp_types::trie::PrefixMatch;
 use bgp_types::{Asn, Prefix};
 use broker::index::{BrokerCursor, DumpMeta, Query};
-use broker::{DataInterface, DumpType, Index, LiveCursor, ReleasePolicy, SourceId};
+use broker::{
+    BrokerClient, BrokerError, DataInterface, DumpType, Index, LeaseId, ReleasePolicy, SourceId,
+};
 use crossbeam::channel::{Receiver, Sender};
 
 use crate::filter::{CommunityFilter, CompiledFilters, Filters};
@@ -107,9 +109,21 @@ pub struct StreamStats {
 
 /// Error starting a stream: the configured [`DataInterface`] could
 /// not be materialised (unreadable CSV manifest, malformed manifest
-/// line, …).
+/// line, missing single file, …) or the broker refused the live
+/// session (admission control, expired resume lease).
+///
+/// Wraps the broker's typed [`BrokerError`]; inspect it via
+/// [`StreamStartError::broker_error`] or the
+/// [`std::error::Error::source`] chain.
 #[derive(Clone, PartialEq, Eq, Debug)]
-pub struct StreamStartError(String);
+pub struct StreamStartError(BrokerError);
+
+impl StreamStartError {
+    /// The underlying broker error.
+    pub fn broker_error(&self) -> &BrokerError {
+        &self.0
+    }
+}
 
 impl std::fmt::Display for StreamStartError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -117,26 +131,41 @@ impl std::fmt::Display for StreamStartError {
     }
 }
 
-impl std::error::Error for StreamStartError {}
+impl std::error::Error for StreamStartError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.0)
+    }
+}
+
+impl From<BrokerError> for StreamStartError {
+    fn from(e: BrokerError) -> Self {
+        StreamStartError(e)
+    }
+}
 
 /// Configuration-phase builder (mirrors `bgpstream_set_filter` etc.).
 ///
 /// ```
 /// use bgpstream::BgpStream;
-/// use broker::{DataInterface, DumpType, Index};
+/// use broker::{DumpType, Index, LocalBroker};
 ///
 /// let mut stream = BgpStream::builder()
-///     .data_interface(DataInterface::Broker(Index::shared()))
+///     .broker_client(LocalBroker::shared(Index::shared()))
 ///     .project("ris")
 ///     .collector("rrc00")
 ///     .record_type(DumpType::Updates)
 ///     .interval(0, Some(3600))
 ///     .try_start()
-///     .expect("local broker index is always materialisable");
+///     .expect("a local broker is always reachable");
 /// // Reading phase: the index above is empty, so the historical
 /// // stream ends immediately.
 /// assert!(stream.next_record().is_none());
 /// ```
+///
+/// Swapping `LocalBroker::shared(...)` for a
+/// [`broker::RemoteBroker`] connected to a served
+/// [`broker::BrokerService`] changes nothing downstream — the
+/// reading phase is byte-identical through either client.
 pub struct BgpStreamBuilder {
     interface: Option<DataInterface>,
     query: Query,
@@ -145,6 +174,7 @@ pub struct BgpStreamBuilder {
     live_grace: u64,
     poll: Duration,
     release: Option<ReleasePolicy>,
+    resume_lease: Option<LeaseId>,
 }
 
 impl Default for BgpStreamBuilder {
@@ -157,6 +187,7 @@ impl Default for BgpStreamBuilder {
             live_grace: 300,
             poll: Duration::from_millis(2),
             release: None,
+            resume_lease: None,
         }
     }
 }
@@ -165,6 +196,26 @@ impl BgpStreamBuilder {
     /// Select the meta-data/data interface (Broker, SingleFile, CSV).
     pub fn data_interface(mut self, iface: DataInterface) -> Self {
         self.interface = Some(iface);
+        self
+    }
+
+    /// Sugar for [`BgpStreamBuilder::data_interface`] with an explicit
+    /// [`BrokerClient`] — a [`broker::LocalBroker`] or a
+    /// [`broker::RemoteBroker`] talking to a served
+    /// [`broker::BrokerService`].
+    pub fn broker_client(self, client: Arc<dyn BrokerClient>) -> Self {
+        self.data_interface(DataInterface::Client(client))
+    }
+
+    /// Resume a live session from a previous stream's lease id
+    /// ([`BgpStream::live_lease`]): the broker kept the session's
+    /// cursor state, so delivery continues exactly once from where the
+    /// crashed client stopped. Starting fails with
+    /// [`BrokerError::LeaseExpired`] (wrapped in
+    /// [`StreamStartError`]) when the lease lapsed. Ignored for
+    /// historical streams.
+    pub fn resume_live_lease(mut self, lease: LeaseId) -> Self {
+        self.resume_lease = Some(lease);
         self
     }
 
@@ -320,14 +371,15 @@ impl BgpStreamBuilder {
 
     /// Fallible [`BgpStreamBuilder::start`]: returns an error instead
     /// of panicking when the configured [`DataInterface`] cannot be
-    /// resolved into an index (the `CsvFile` interface reads its
-    /// manifest here, so a missing or malformed file surfaces at
-    /// configuration time, not mid-stream).
+    /// resolved into a [`BrokerClient`] (the `CsvFile` interface reads
+    /// its manifest here, so a missing or malformed file surfaces at
+    /// configuration time, not mid-stream) or the broker refuses the
+    /// live session.
     pub fn try_start(self) -> Result<BgpStream, StreamStartError> {
         let iface = self
             .interface
             .unwrap_or_else(|| DataInterface::Broker(Index::shared()));
-        let index = iface.into_index().map_err(StreamStartError)?;
+        let client = iface.into_client()?;
         let cursor = BrokerCursor {
             window_start: self.query.start,
         };
@@ -346,13 +398,17 @@ impl BgpStreamBuilder {
         let release = self
             .release
             .unwrap_or(ReleasePolicy::Grace(self.live_grace));
-        let live_cursor = live.then(|| LiveCursor::new(index.clone(), query.clone(), release));
+        let lease = if live {
+            Some(client.open_live(&query, release, self.resume_lease)?)
+        } else {
+            None
+        };
         let released_through = query.start;
         Ok(BgpStream {
-            index,
+            client,
             cursor,
             live,
-            live_cursor,
+            lease,
             released_through,
             last_delivered_ts: 0,
             last_polled_version: None,
@@ -366,6 +422,7 @@ impl BgpStreamBuilder {
             merger: None,
             prefetch: None,
             exhausted: false,
+            last_error: None,
             stats: StreamStats::default(),
             elem_cursor: None,
         })
@@ -386,14 +443,20 @@ fn dedup_preserving<T: PartialEq>(v: &mut Vec<T>) {
 
 /// The reading-phase stream.
 pub struct BgpStream {
-    index: Arc<Index>,
+    /// The broker behind its client abstraction: in-process
+    /// ([`broker::LocalBroker`]) or served over the message queue
+    /// ([`broker::RemoteBroker`]) — the reading phase is identical
+    /// through either.
+    client: Arc<dyn BrokerClient>,
     query: Query,
     cursor: BrokerCursor,
     live: bool,
-    /// The incremental broker handle driving the reading phase in live
-    /// mode: windowed release (grace- or watermark-based), cross-poll
-    /// dedup, completeness watermark.
-    live_cursor: Option<LiveCursor>,
+    /// The live session lease: the broker holds the incremental
+    /// cursor (windowed release, cross-poll dedup, completeness
+    /// watermark) server-side under this id, so a crashed client can
+    /// resume exactly-once via
+    /// [`BgpStreamBuilder::resume_live_lease`].
+    lease: Option<LeaseId>,
     /// Completeness watermark from the live cursor: every record with
     /// a timestamp below this has been released to the stream (live
     /// mode; tracks the interval start otherwise).
@@ -422,6 +485,11 @@ pub struct BgpStream {
     /// current merger drains.
     prefetch: Option<Prefetch>,
     exhausted: bool,
+    /// The broker error that terminated the stream, if any
+    /// ([`BgpStream::last_error`]). A terminal error behaves like
+    /// exhaustion — the paper's libBGPStream likewise ends the stream
+    /// on a broker failure rather than delivering partial windows.
+    last_error: Option<BrokerError>,
     stats: StreamStats,
     /// Remaining elems of the current record + its source annotation,
     /// for `next_elem`. Elems are moved out of the record (no clones).
@@ -540,6 +608,22 @@ impl BgpStream {
         }
     }
 
+    /// The live session's lease id, for exactly-once resume after a
+    /// crash: persist it, then rebuild the stream with
+    /// [`BgpStreamBuilder::resume_live_lease`]. `None` for historical
+    /// streams.
+    pub fn live_lease(&self) -> Option<LeaseId> {
+        self.lease
+    }
+
+    /// The broker error that terminated this stream, if any. A live
+    /// stream whose lease expired (or whose broker failed) ends —
+    /// `next_record` returns `None` — and records the cause here; a
+    /// cleanly exhausted historical stream reports `None`.
+    pub fn last_error(&self) -> Option<&BrokerError> {
+        self.last_error.as_ref()
+    }
+
     /// Pull the next record of the sorted stream.
     ///
     /// Historical mode returns `None` when the interval is exhausted.
@@ -560,12 +644,12 @@ impl BgpStream {
                 Pump::End => return None,
                 Pump::Idle => {
                     self.promise_released_through();
-                    let v = self.index.version();
+                    let v = self.client.version();
                     // Block: wake on new publications (or watermark
                     // advances) or poll timeout, then re-check the
                     // clock.
-                    let _ = self.index.wait_for_new(v, self.poll);
-                    if matches!(self.clock, Clock::Fixed(_)) && self.index.version() == v {
+                    let _ = self.client.wait_for_new(v, self.poll);
+                    if matches!(self.clock, Clock::Fixed(_)) && self.client.version() == v {
                         // A fixed clock can never make progress.
                         return None;
                     }
@@ -594,13 +678,26 @@ impl BgpStream {
             // buffers still hold data, so the steady-state per-record
             // cost is one version load.
             if self.live {
-                let version = self.index.version();
+                let version = self.client.version();
                 let drained = self.merger.is_none() && self.groups.is_empty();
                 if self.last_polled_version != Some(version) || drained {
                     self.last_polled_version = Some(version);
                     let now = self.clock.now();
-                    let cursor = self.live_cursor.as_mut().expect("live stream has a cursor");
-                    let poll = cursor.poll(now);
+                    let lease = self.lease.expect("live stream holds a lease");
+                    let poll = match self.client.poll_live(lease, now) {
+                        Ok(poll) => poll,
+                        // Transient overload: back off — the caller's
+                        // idle path waits one poll interval, and the
+                        // next pump retries the same lease.
+                        Err(BrokerError::Busy) => return Pump::Idle,
+                        // Terminal (lease expired, broker gone):
+                        // record the cause and end the stream.
+                        Err(e) => {
+                            self.last_error = Some(e);
+                            self.exhausted = true;
+                            return Pump::End;
+                        }
+                    };
                     self.released_through = poll.released_through;
                     let productive = !poll.files.is_empty() || !poll.late.is_empty();
                     if poll.advanced {
@@ -668,7 +765,19 @@ impl BgpStream {
             // Historical: page the broker window cursor forward.
             let now = self.clock.now();
             self.stats.broker_queries += 1;
-            let resp = self.index.query(&self.query, &mut self.cursor, now);
+            // Any error here is terminal — including `Busy`, which the
+            // remote client only surfaces after exhausting its own
+            // retries. Ending with `last_error` set keeps a shed
+            // historical stream distinguishable from a cleanly
+            // exhausted one.
+            let resp = match self.client.query(&self.query, &mut self.cursor, now) {
+                Ok(resp) => resp,
+                Err(e) => {
+                    self.last_error = Some(e);
+                    self.exhausted = true;
+                    return Pump::End;
+                }
+            };
             if resp.exhausted {
                 self.exhausted = true;
             }
@@ -863,9 +972,9 @@ impl BgpStream {
                     // reported watermark becomes a delivery floor:
                     // stragglers may not undercut it afterwards.
                     self.promise_released_through();
-                    let v = self.index.version();
-                    let _ = self.index.wait_for_new(v, self.poll);
-                    if matches!(self.clock, Clock::Fixed(_)) && self.index.version() == v {
+                    let v = self.client.version();
+                    let _ = self.client.wait_for_new(v, self.poll);
+                    if matches!(self.clock, Clock::Fixed(_)) && self.client.version() == v {
                         return BatchStep::End;
                     }
                     return BatchStep::Idle {
@@ -1375,6 +1484,65 @@ mod tests {
         }
         assert_eq!(got, 2, "all data delivered before the completion signal");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn live_stream_holds_a_lease_and_resumes_by_id() {
+        use broker::LocalBroker;
+        let dir = scratch("lease");
+        let path = write_keepalives(&dir, "u.mrt", &[10, 20]);
+        let idx = one_file_index(&path, 0, 300, 40);
+        idx.advance_watermark(u64::MAX);
+        let client = LocalBroker::shared(idx);
+        let mut s = BgpStream::builder()
+            .broker_client(client.clone())
+            .live(0)
+            .watermark_release()
+            .clock(Clock::manual(50))
+            .poll_interval(Duration::from_millis(1))
+            .start();
+        let lease = s.live_lease().expect("live stream holds a lease");
+        assert_eq!(s.next_record().unwrap().timestamp, 10);
+        // Simulate a crash: drop the stream, rebuild from the lease.
+        drop(s);
+        let resumed = BgpStream::builder()
+            .broker_client(client.clone())
+            .live(0)
+            .watermark_release()
+            .clock(Clock::manual(50))
+            .poll_interval(Duration::from_millis(1))
+            .resume_live_lease(lease)
+            .start();
+        assert_eq!(resumed.live_lease(), Some(lease));
+        // The broker-side cursor already released the whole window to
+        // the crashed client, so the resumed stream sees no duplicate
+        // files (exactly-once at dump granularity).
+        assert!(resumed.last_error().is_none());
+
+        // An unknown lease refuses to start, with a typed cause.
+        let err = match BgpStream::builder()
+            .broker_client(client)
+            .live(0)
+            .resume_live_lease(lease + 999)
+            .try_start()
+        {
+            Ok(_) => panic!("bogus lease must not start"),
+            Err(e) => e,
+        };
+        assert_eq!(err.broker_error(), &BrokerError::LeaseExpired);
+        assert!(err.to_string().contains("cannot start stream"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn historical_stream_is_unaffected_by_resume_lease() {
+        let s = BgpStream::builder()
+            .data_interface(DataInterface::Broker(Index::shared()))
+            .interval(0, Some(1000))
+            .resume_live_lease(42)
+            .start();
+        assert_eq!(s.live_lease(), None);
+        assert!(s.last_error().is_none());
     }
 
     #[test]

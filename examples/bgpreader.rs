@@ -114,7 +114,15 @@ fn main() {
         }
     }
 
-    let mut stream = builder.interval(start, end).start();
+    // `try_start` resolves the manifest here: a missing or malformed
+    // CSV surfaces as a typed `BrokerError` before any reading begins.
+    let mut stream = match builder.interval(start, end).try_start() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
     let mut n = 0u64;
     while let Some(record) = stream.next_record() {
         for elem in record.elems() {

@@ -8,7 +8,7 @@
 //! ```
 
 use bgpstream_repro::bgpstream::{ascii, BgpStream};
-use bgpstream_repro::broker::{DataInterface, DumpType};
+use bgpstream_repro::broker::{DumpType, LocalBroker};
 use bgpstream_repro::worlds;
 
 fn main() {
@@ -28,9 +28,13 @@ fn main() {
     );
 
     // 2. Configuration phase: request the updates of both projects
-    //    over the first half hour.
+    //    over the first half hour. The broker sits behind the
+    //    `BrokerClient` trait — swap `LocalBroker::shared(...)` for a
+    //    `RemoteBroker` talking to a served `BrokerService` and
+    //    nothing below this line changes (see the
+    //    `broker_service_soak` example).
     let mut stream = BgpStream::builder()
-        .data_interface(DataInterface::Broker(world.index.clone()))
+        .broker_client(LocalBroker::shared(world.index.clone()))
         .record_type(DumpType::Updates)
         .interval(0, Some(1800))
         .start();

@@ -11,6 +11,11 @@
 //! release back, never drop); and `run_live` closes bins off that
 //! watermark, so the merged plugin outputs cannot observe the faults
 //! at all.
+//!
+//! `tests/broker_service.rs` extends the same invariant across the
+//! wire: the nastiest fixed schedule below is also replayed through a
+//! served broker (`RemoteBroker` → `BrokerService`) and must still
+//! reproduce the historical baseline byte for byte.
 
 use std::sync::Arc;
 
