@@ -433,6 +433,7 @@ pub fn path_inflation(
                     continue;
                 }
                 let monitor = hops[0];
+                // xcheck:allow(unwrap) — len > 1 checked just above
                 let origin = *hops.last().expect("non-empty");
                 for w in hops.windows(2) {
                     edges.push((w[0], w[1]));

@@ -20,6 +20,8 @@
 //! addressed worker pool that `corsaro::runtime` fans the sorted
 //! stream out over (§6's scale-out deployment).
 
+#![forbid(unsafe_code)]
+
 pub mod analyses;
 pub mod asgraph;
 pub mod mapreduce;

@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use crossbeam::channel;
+use bsync::channel;
 
 /// Map `f` over `items` on `workers` threads, preserving input order
 /// in the output. Panics in `f` propagate.
@@ -30,6 +30,7 @@ where
     let (task_tx, task_rx) = channel::unbounded::<(usize, T)>();
     let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
     for pair in items.into_iter().enumerate() {
+        // xcheck:allow(unwrap) — task_rx is still alive in this scope
         task_tx.send(pair).expect("queue open");
     }
     drop(task_tx);
@@ -49,6 +50,7 @@ where
         }
         drop(res_tx);
     })
+    // xcheck:allow(unwrap) — propagate a worker panic to the caller
     .expect("worker panicked");
     let mut results: Vec<(usize, R)> = res_rx.iter().collect();
     results.sort_by_key(|(i, _)| *i);
@@ -69,7 +71,7 @@ where
 /// they drain their queues, then exit when the senders disconnect.
 pub struct ShardPool<M: Send + 'static> {
     txs: Vec<channel::Sender<M>>,
-    handles: Vec<std::thread::JoinHandle<()>>,
+    handles: Vec<bsync::thread::JoinHandle<()>>,
 }
 
 impl<M: Send + 'static> ShardPool<M> {
@@ -92,7 +94,7 @@ impl<M: Send + 'static> ShardPool<M> {
             let mut state = init(w);
             let handler = Arc::clone(&handler);
             txs.push(tx);
-            handles.push(std::thread::spawn(move || {
+            handles.push(bsync::thread::spawn_named("shard-worker", move || {
                 while let Ok(msg) = rx.recv() {
                     handler(w, &mut state, msg);
                 }

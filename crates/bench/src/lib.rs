@@ -11,6 +11,8 @@
 //! (default `1`, floats allowed): horizons, episode counts and
 //! topology sizes multiply by it.
 
+#![forbid(unsafe_code)]
+
 /// The scale factor from `BENCH_SCALE` (default 1.0).
 pub fn scale() -> f64 {
     let s: f64 = std::env::var("BENCH_SCALE")

@@ -21,6 +21,8 @@
 //! Everything here is deterministic, allocation-conscious and free of
 //! I/O; the `mrt` crate layers the RFC 6396 container format on top.
 
+#![forbid(unsafe_code)]
+
 pub mod asn;
 pub mod attrs;
 pub mod community;

@@ -31,6 +31,8 @@
 //! `Read`/`Write` pair, which the tests and examples connect through
 //! in-memory buffers exactly as the MRT path connects through files.
 
+#![forbid(unsafe_code)]
+
 pub mod feed;
 pub mod msg;
 pub mod peer;

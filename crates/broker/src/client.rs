@@ -25,15 +25,14 @@
 //! `open_live` and resume *exactly-once* — nothing is re-delivered,
 //! nothing is lost — as long as the lease has not expired.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use bsync::time::Clock;
 
 use crate::error::BrokerError;
 use crate::index::{BrokerCursor, Index, Query, Response};
+use crate::lease::LeaseTable;
 use crate::live::{LiveCursor, LivePoll, ReleasePolicy};
 
 /// Identifier of a live-cursor lease, unique per broker.
@@ -102,8 +101,7 @@ pub trait BrokerClient: Send + Sync {
 /// cannot outlive its only client).
 pub struct LocalBroker {
     index: Arc<Index>,
-    leases: Mutex<HashMap<LeaseId, LiveCursor>>,
-    next_lease: AtomicU64,
+    leases: LeaseTable<LiveCursor>,
 }
 
 impl LocalBroker {
@@ -111,8 +109,7 @@ impl LocalBroker {
     pub fn new(index: Arc<Index>) -> Self {
         LocalBroker {
             index,
-            leases: Mutex::new(HashMap::new()),
-            next_lease: AtomicU64::new(1),
+            leases: LeaseTable::immortal(Clock::system()),
         }
     }
 
@@ -143,31 +140,26 @@ impl BrokerClient for LocalBroker {
         policy: ReleasePolicy,
         resume: Option<LeaseId>,
     ) -> Result<LeaseId, BrokerError> {
-        let mut leases = self.leases.lock();
         if let Some(id) = resume {
-            return if leases.contains_key(&id) {
+            return if self.leases.resume(id) {
                 Ok(id)
             } else {
                 Err(BrokerError::LeaseExpired)
             };
         }
-        let id = self.next_lease.fetch_add(1, Ordering::Relaxed);
-        leases.insert(
-            id,
-            LiveCursor::new(self.index.clone(), query.clone(), policy),
-        );
-        Ok(id)
+        Ok(self
+            .leases
+            .open(LiveCursor::new(self.index.clone(), query.clone(), policy)))
     }
 
     fn poll_live(&self, lease: LeaseId, now: u64) -> Result<LivePoll, BrokerError> {
-        match self.leases.lock().get_mut(&lease) {
-            Some(cursor) => Ok(cursor.poll(now)),
-            None => Err(BrokerError::LeaseExpired),
-        }
+        self.leases
+            .with_lease(lease, |cursor| cursor.poll(now))
+            .ok_or(BrokerError::LeaseExpired)
     }
 
     fn renew_lease(&self, lease: LeaseId) -> Result<(), BrokerError> {
-        if self.leases.lock().contains_key(&lease) {
+        if self.leases.touch(lease) {
             Ok(())
         } else {
             Err(BrokerError::LeaseExpired)
@@ -175,7 +167,7 @@ impl BrokerClient for LocalBroker {
     }
 
     fn close_lease(&self, lease: LeaseId) -> Result<(), BrokerError> {
-        self.leases.lock().remove(&lease);
+        self.leases.close(lease);
         Ok(())
     }
 

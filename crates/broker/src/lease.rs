@@ -1,0 +1,224 @@
+//! [`LeaseTable`]: the shared, clock-driven lease store behind both
+//! broker front-ends.
+//!
+//! A lease is server-side session state (a [`LiveCursor`] in
+//! practice) that must survive client reconnects but not client
+//! death: any access within the TTL renews it, and a lease untouched
+//! past the TTL is expired. Expiry is enforced **atomically with
+//! access** — `resume`/`touch`/`with_lease` on an entry already past
+//! its TTL remove it and report failure rather than resurrecting it —
+//! so "no lease older than the TTL is ever served" holds even when a
+//! reaper thread races the serving thread. That invariant is what the
+//! `loom-lite` model tests in `tests/loom_lease.rs` check.
+//!
+//! Time comes from a [`Clock`], not the wall: production uses
+//! [`Clock::system`], tests use [`Clock::manual`] so expiry is
+//! deterministic (and schedulable under the model checker).
+//!
+//! [`LiveCursor`]: crate::live::LiveCursor
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use bsync::time::Clock;
+use bsync::Mutex;
+
+use crate::client::LeaseId;
+
+/// Lifetime counters of one [`LeaseTable`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LeaseCounters {
+    /// Leases created by [`LeaseTable::open`].
+    pub opened: u64,
+    /// Successful re-attachments via [`LeaseTable::resume`].
+    pub resumed: u64,
+    /// Leases removed by TTL expiry (reaped or caught at access).
+    pub expired: u64,
+}
+
+struct Entry<T> {
+    value: T,
+    last_active_ms: u64,
+}
+
+struct Inner<T> {
+    leases: HashMap<LeaseId, Entry<T>>,
+    next: LeaseId,
+    counters: LeaseCounters,
+}
+
+/// A concurrent lease table with TTL expiry on a pluggable clock.
+pub struct LeaseTable<T> {
+    clock: Clock,
+    ttl_ms: u64,
+    inner: Mutex<Inner<T>>,
+}
+
+impl<T> LeaseTable<T> {
+    /// A table whose leases expire `ttl` after their last access,
+    /// measured on `clock`.
+    pub fn new(clock: Clock, ttl: Duration) -> Self {
+        LeaseTable {
+            clock,
+            ttl_ms: u64::try_from(ttl.as_millis()).unwrap_or(u64::MAX),
+            inner: Mutex::new(Inner {
+                leases: HashMap::new(),
+                next: 1,
+                counters: LeaseCounters::default(),
+            }),
+        }
+    }
+
+    /// A table whose leases never expire (in-process brokers: the
+    /// "server" cannot outlive its only client).
+    pub fn immortal(clock: Clock) -> Self {
+        Self::new(clock, Duration::from_millis(u64::MAX))
+    }
+
+    /// Create a lease over `value`, active as of now.
+    pub fn open(&self, value: T) -> LeaseId {
+        let now = self.clock.now_millis();
+        let mut inner = self.inner.lock();
+        let id = inner.next;
+        inner.next += 1;
+        inner.leases.insert(
+            id,
+            Entry {
+                value,
+                last_active_ms: now,
+            },
+        );
+        inner.counters.opened += 1;
+        id
+    }
+
+    /// Re-attach to `id`: renews and returns true iff the lease is
+    /// still within its TTL. An entry already past the TTL is removed
+    /// (counted as expired), exactly as if the reaper had won.
+    pub fn resume(&self, id: LeaseId) -> bool {
+        if self.access(id, |_| ()).is_some() {
+            self.inner.lock().counters.resumed += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Renew `id` without touching its value; true iff still live.
+    pub fn touch(&self, id: LeaseId) -> bool {
+        self.access(id, |_| ()).is_some()
+    }
+
+    /// Run `f` over the lease's value, renewing it. `None` when the
+    /// lease is unknown or expired.
+    pub fn with_lease<R>(&self, id: LeaseId, f: impl FnOnce(&mut T) -> R) -> Option<R> {
+        self.access(id, f)
+    }
+
+    fn access<R>(&self, id: LeaseId, f: impl FnOnce(&mut T) -> R) -> Option<R> {
+        let now = self.clock.now_millis();
+        let mut inner = self.inner.lock();
+        match inner.leases.get_mut(&id) {
+            Some(e) if now.saturating_sub(e.last_active_ms) < self.ttl_ms => {
+                e.last_active_ms = now;
+                Some(f(&mut e.value))
+            }
+            Some(_) => {
+                // Past TTL but not yet reaped: expiry wins over access.
+                inner.leases.remove(&id);
+                inner.counters.expired += 1;
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Drop `id` explicitly; true when it was present.
+    pub fn close(&self, id: LeaseId) -> bool {
+        self.inner.lock().leases.remove(&id).is_some()
+    }
+
+    /// Remove every lease past its TTL; returns how many were reaped.
+    pub fn reap(&self) -> u64 {
+        let now = self.clock.now_millis();
+        let mut inner = self.inner.lock();
+        let before = inner.leases.len();
+        let ttl = self.ttl_ms;
+        inner
+            .leases
+            .retain(|_, e| now.saturating_sub(e.last_active_ms) < ttl);
+        let reaped = (before - inner.leases.len()) as u64;
+        inner.counters.expired += reaped;
+        reaped
+    }
+
+    /// Live leases currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().leases.len()
+    }
+
+    /// True when no leases are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime counters.
+    pub fn counters(&self) -> LeaseCounters {
+        self.inner.lock().counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_access_close_roundtrip() {
+        let t = LeaseTable::new(Clock::manual(0), Duration::from_millis(100));
+        let id = t.open(7u64);
+        assert_eq!(t.with_lease(id, |v| *v * 2), Some(14));
+        assert!(t.touch(id));
+        assert!(t.close(id));
+        assert!(!t.close(id));
+        assert_eq!(t.with_lease(id, |v| *v), None);
+    }
+
+    #[test]
+    fn reap_expires_only_stale_leases() {
+        let clock = Clock::manual(0);
+        let t = LeaseTable::new(clock.clone(), Duration::from_millis(100));
+        let old = t.open(1u64);
+        clock.advance_millis(60);
+        let young = t.open(2u64);
+        clock.advance_millis(60); // old: 120ms idle, young: 60ms idle
+        assert_eq!(t.reap(), 1);
+        assert_eq!(t.with_lease(old, |v| *v), None);
+        assert_eq!(t.with_lease(young, |v| *v), Some(2));
+        assert_eq!(t.counters().expired, 1);
+    }
+
+    #[test]
+    fn access_renews_and_expiry_beats_late_access() {
+        let clock = Clock::manual(0);
+        let t = LeaseTable::new(clock.clone(), Duration::from_millis(100));
+        let id = t.open(0u64);
+        clock.advance_millis(90);
+        assert!(t.touch(id), "within TTL: renewed");
+        clock.advance_millis(90);
+        assert!(t.touch(id), "renewal restarted the TTL");
+        clock.advance_millis(100);
+        assert!(!t.resume(id), "past TTL: access must not resurrect");
+        assert_eq!(t.counters().expired, 1);
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn immortal_table_never_expires() {
+        let clock = Clock::manual(0);
+        let t = LeaseTable::immortal(clock.clone());
+        let id = t.open(());
+        clock.advance_millis(u64::MAX / 2);
+        assert!(t.touch(id));
+        assert_eq!(t.reap(), 0);
+    }
+}

@@ -49,10 +49,13 @@
 //!   (hand-rolled little-endian frames; no serialization deps).
 //! * [`BrokerError`] — typed errors across the public broker API.
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod error;
 pub mod index;
 pub mod interface;
+pub mod lease;
 pub mod live;
 pub mod mirror;
 pub mod remote;

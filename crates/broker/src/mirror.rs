@@ -12,10 +12,14 @@
 //! Selection is *transparent and safe*: a candidate mirror lacking the
 //! requested file is skipped, falling back through the remaining
 //! mirrors to the primary, so a stale or partial mirror degrades
-//! throughput, never correctness.
+//! throughput, never correctness. A mirror can also be **demoted**
+//! ([`MirrorSet::set_online`]) — a health checker or operator marking
+//! it down mid-flight — in which case selection skips it entirely
+//! until it is promoted back; the primary is always online.
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+
+use bsync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// How the broker chooses among mirrors.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -34,6 +38,9 @@ pub struct MirrorSet {
     mirrors: Vec<PathBuf>,
     policy: MirrorPolicy,
     cursor: AtomicU64,
+    /// Per-mirror availability; a demoted mirror is skipped by
+    /// [`MirrorSet::pick`] until promoted back.
+    online: Vec<AtomicBool>,
     /// Per-mirror hit counters (last slot = primary), for stats and
     /// tests.
     hits: Vec<AtomicU64>,
@@ -50,9 +57,29 @@ impl MirrorSet {
             mirrors,
             policy,
             cursor: AtomicU64::new(0),
+            online: (0..n).map(|_| AtomicBool::new(true)).collect(),
             hits: (0..=n).map(|_| AtomicU64::new(0)).collect(),
             misses: AtomicU64::new(0),
         }
+    }
+
+    /// Demote (`false`) or promote (`true`) mirror `mirror`. Safe to
+    /// call from a health checker while pollers are mid-`pick`: a
+    /// demoted mirror stops being selected, in-flight picks fall back
+    /// through the remaining candidates. Out-of-range indices are
+    /// ignored (the primary cannot be demoted).
+    pub fn set_online(&self, mirror: usize, online: bool) {
+        if let Some(flag) = self.online.get(mirror) {
+            flag.store(online, Ordering::SeqCst);
+        }
+    }
+
+    /// Whether mirror `mirror` is currently selectable.
+    pub fn is_online(&self, mirror: usize) -> bool {
+        self.online
+            .get(mirror)
+            .map(|f| f.load(Ordering::SeqCst))
+            .unwrap_or(false)
     }
 
     /// Number of mirrors (excluding the primary).
@@ -108,6 +135,11 @@ impl MirrorSet {
         };
         let mut first = true;
         for idx in order {
+            // A demoted mirror is not a candidate at all: it neither
+            // serves nor counts as a fallback miss.
+            if idx < n && !self.online[idx].load(Ordering::SeqCst) {
+                continue;
+            }
             let candidate = if idx == n {
                 self.primary.join(rel)
             } else {

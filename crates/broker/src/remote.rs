@@ -24,12 +24,13 @@
 //!
 //! [`Index::wait_for_new`]: crate::Index::wait_for_new
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use bsync::atomic::{AtomicU64, Ordering};
+use bsync::time::Clock;
+use bsync::Mutex;
 use mq::Cluster;
-use parking_lot::Mutex;
 
 use crate::client::{BrokerClient, LeaseId};
 use crate::error::BrokerError;
@@ -57,6 +58,8 @@ pub struct RemoteConfig {
     pub busy_retries: u32,
     /// Initial retry backoff (doubles per attempt, capped at 20ms).
     pub busy_backoff: Duration,
+    /// Time source for the request deadline and retry backoff.
+    pub clock: Clock,
 }
 
 impl Default for RemoteConfig {
@@ -69,6 +72,7 @@ impl Default for RemoteConfig {
             timeout: Duration::from_secs(10),
             busy_retries: 24,
             busy_backoff: Duration::from_micros(200),
+            clock: Clock::system(),
         }
     }
 }
@@ -153,10 +157,8 @@ impl RemoteBroker {
             }
             let n = msgs.len() as u64;
             for m in msgs {
-                if m.payload.len() == 16 {
-                    let version = u64::from_le_bytes(m.payload[..8].try_into().unwrap());
-                    let watermark = u64::from_le_bytes(m.payload[8..].try_into().unwrap());
-                    self.note(version, watermark);
+                if let ([version, watermark], []) = m.payload.as_chunks::<8>() {
+                    self.note(u64::from_le_bytes(*version), u64::from_le_bytes(*watermark));
                 }
             }
             self.events_offset.fetch_max(off + n, Ordering::SeqCst);
@@ -175,11 +177,13 @@ impl RemoteBroker {
         let mut offset = self.reply_offset.lock();
         self.cluster
             .produce(&self.cfg.request_topic, &self.client, 0, frame);
-        let deadline = Instant::now() + self.cfg.timeout;
+        let timeout_ms = u64::try_from(self.cfg.timeout.as_millis()).unwrap_or(u64::MAX);
+        let deadline = self.cfg.clock.now_millis().saturating_add(timeout_ms);
         loop {
             let msgs = self.cluster.fetch(&self.reply_topic, 0, *offset, 64);
             if msgs.is_empty() {
-                let remaining = deadline.saturating_duration_since(Instant::now());
+                let remaining =
+                    Duration::from_millis(deadline.saturating_sub(self.cfg.clock.now_millis()));
                 if remaining.is_zero() {
                     return Err(BrokerError::Io(format!(
                         "request {req_id} to {} timed out after {:?}",
@@ -220,7 +224,7 @@ impl RemoteBroker {
                         return Err(BrokerError::Busy);
                     }
                     attempt += 1;
-                    std::thread::sleep(backoff);
+                    self.cfg.clock.sleep(backoff);
                     backoff = (backoff * 2).min(Duration::from_millis(20));
                 }
                 BrokerResponse::Error(e) => return Err(e),

@@ -38,15 +38,16 @@
 //!   shed visibly, and a flooding client cannot starve the rest.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use bsync::atomic::{AtomicBool, Ordering};
+use bsync::time::Clock;
 use mq::Cluster;
 
-use crate::client::LeaseId;
 use crate::error::BrokerError;
 use crate::index::{BrokerCursor, DumpMeta, DumpType, Index, Query};
+use crate::lease::LeaseTable;
 use crate::live::LiveCursor;
 use crate::wire::{BrokerRequest, BrokerResponse, RequestEnvelope, ResponseEnvelope};
 
@@ -62,6 +63,10 @@ pub struct ServiceConfig {
     pub events_topic: String,
     /// Wall-clock lease TTL: a lease untouched this long is reaped.
     pub lease_ttl: Duration,
+    /// Time source for lease liveness. [`Clock::system`] in
+    /// production; tests inject [`Clock::manual`] so expiry is
+    /// deterministic.
+    pub clock: Clock,
     /// Max requests processed per service step across all clients;
     /// the rest of the fetched batch is answered `Busy`.
     pub max_inflight_global: usize,
@@ -81,6 +86,7 @@ impl Default for ServiceConfig {
             reply_prefix: "broker.replies.".into(),
             events_topic: "broker.events".into(),
             lease_ttl: Duration::from_secs(30),
+            clock: Clock::system(),
             max_inflight_global: 512,
             max_inflight_per_client: 64,
             cache_capacity: 4096,
@@ -320,12 +326,6 @@ fn order_key(m: &DumpMeta) -> (u64, &String, &String, u8) {
     )
 }
 
-/// One live lease: the server-side cursor plus liveness bookkeeping.
-struct Lease {
-    cursor: LiveCursor,
-    last_active: Instant,
-}
-
 /// The broker server. Construct with [`BrokerService::new`], then
 /// either [`BrokerService::spawn`] a thread or drive
 /// [`BrokerService::step`] manually (deterministic tests).
@@ -334,8 +334,7 @@ pub struct BrokerService {
     index: Arc<Index>,
     cfg: ServiceConfig,
     view: IndexView,
-    leases: HashMap<LeaseId, Lease>,
-    next_lease: LeaseId,
+    leases: Arc<LeaseTable<LiveCursor>>,
     /// Next unread offset on the request topic.
     req_offset: u64,
     /// Index version last announced on the events topic.
@@ -350,13 +349,13 @@ impl BrokerService {
         cluster.create_topic(&cfg.request_topic, 1);
         cluster.create_topic(&cfg.events_topic, 1);
         let view = IndexView::new(index.window(), cfg.cache_capacity);
+        let leases = Arc::new(LeaseTable::new(cfg.clock.clone(), cfg.lease_ttl));
         BrokerService {
             cluster,
             index,
             cfg,
             view,
-            leases: HashMap::new(),
-            next_lease: 1,
+            leases,
             req_offset: 0,
             announced_version: 0,
             stats: ServiceStats::default(),
@@ -367,7 +366,17 @@ impl BrokerService {
     pub fn stats(&self) -> ServiceStats {
         let mut s = self.stats;
         (s.cache_hits, s.cache_misses) = self.view.cache_stats();
+        let leases = self.leases.counters();
+        s.leases_opened = leases.opened;
+        s.leases_resumed = leases.resumed;
+        s.leases_expired = leases.expired;
         s
+    }
+
+    /// The shared lease table (reapable/resumable from other threads;
+    /// the model tests drive it directly).
+    pub fn lease_table(&self) -> Arc<LeaseTable<LiveCursor>> {
+        self.leases.clone()
     }
 
     /// Live leases currently held.
@@ -437,11 +446,7 @@ impl BrokerService {
     }
 
     fn reap_expired(&mut self) {
-        let ttl = self.cfg.lease_ttl;
-        let before = self.leases.len();
-        self.leases
-            .retain(|_, lease| lease.last_active.elapsed() < ttl);
-        self.stats.leases_expired += (before - self.leases.len()) as u64;
+        self.leases.reap();
     }
 
     fn handle(&mut self, env: &RequestEnvelope) -> BrokerResponse {
@@ -468,43 +473,32 @@ impl BrokerService {
                 resume,
             } => {
                 if let Some(id) = resume {
-                    return match self.leases.get_mut(id) {
-                        Some(lease) => {
-                            lease.last_active = Instant::now();
-                            self.stats.leases_resumed += 1;
-                            BrokerResponse::LiveOpened { lease: *id }
-                        }
-                        None => BrokerResponse::Error(BrokerError::LeaseExpired),
+                    return if self.leases.resume(*id) {
+                        BrokerResponse::LiveOpened { lease: *id }
+                    } else {
+                        BrokerResponse::Error(BrokerError::LeaseExpired)
                     };
                 }
-                let id = self.next_lease;
-                self.next_lease += 1;
-                self.leases.insert(
-                    id,
-                    Lease {
-                        cursor: LiveCursor::new(self.index.clone(), query.clone(), *policy),
-                        last_active: Instant::now(),
-                    },
-                );
-                self.stats.leases_opened += 1;
+                let id =
+                    self.leases
+                        .open(LiveCursor::new(self.index.clone(), query.clone(), *policy));
                 BrokerResponse::LiveOpened { lease: id }
             }
-            BrokerRequest::PollLive { lease, now } => match self.leases.get_mut(lease) {
-                Some(l) => {
-                    l.last_active = Instant::now();
-                    BrokerResponse::Live(l.cursor.poll(*now))
+            BrokerRequest::PollLive { lease, now } => {
+                match self.leases.with_lease(*lease, |c| c.poll(*now)) {
+                    Some(poll) => BrokerResponse::Live(poll),
+                    None => BrokerResponse::Error(BrokerError::LeaseExpired),
                 }
-                None => BrokerResponse::Error(BrokerError::LeaseExpired),
-            },
-            BrokerRequest::Renew { lease } => match self.leases.get_mut(lease) {
-                Some(l) => {
-                    l.last_active = Instant::now();
+            }
+            BrokerRequest::Renew { lease } => {
+                if self.leases.touch(*lease) {
                     BrokerResponse::Renewed
+                } else {
+                    BrokerResponse::Error(BrokerError::LeaseExpired)
                 }
-                None => BrokerResponse::Error(BrokerError::LeaseExpired),
-            },
+            }
             BrokerRequest::Close { lease } => {
-                self.leases.remove(lease);
+                self.leases.close(*lease);
                 BrokerResponse::Closed
             }
         }
@@ -531,10 +525,7 @@ impl BrokerService {
     pub fn spawn(self) -> ServiceHandle {
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = shutdown.clone();
-        let thread = std::thread::Builder::new()
-            .name("broker-service".into())
-            .spawn(move || self.run(flag))
-            .expect("spawn broker service thread");
+        let thread = bsync::thread::spawn_named("broker-service", move || self.run(flag));
         ServiceHandle { shutdown, thread }
     }
 }
@@ -542,7 +533,7 @@ impl BrokerService {
 /// Handle over a spawned [`BrokerService`].
 pub struct ServiceHandle {
     shutdown: Arc<AtomicBool>,
-    thread: std::thread::JoinHandle<ServiceStats>,
+    thread: bsync::thread::JoinHandle<ServiceStats>,
 }
 
 impl ServiceHandle {
@@ -550,6 +541,7 @@ impl ServiceHandle {
     /// its final counters.
     pub fn shutdown(self) -> ServiceStats {
         self.shutdown.store(true, Ordering::Relaxed);
+        // xcheck:allow(unwrap) — a panicked service thread is a bug; propagate it
         self.thread.join().expect("broker service thread panicked")
     }
 }
@@ -744,8 +736,10 @@ mod tests {
     fn lease_expiry_is_wall_clock_ttl() {
         let cluster = Cluster::shared();
         let idx = Arc::new(Index::with_window(3600));
+        let clock = Clock::manual(0);
         let cfg = ServiceConfig {
             lease_ttl: Duration::from_millis(30),
+            clock: clock.clone(),
             ..Default::default()
         };
         let request_topic = cfg.request_topic.clone();
@@ -772,7 +766,7 @@ mod tests {
             other => panic!("{other:?}"),
         };
         assert_eq!(svc.lease_count(), 1);
-        std::thread::sleep(Duration::from_millis(60));
+        clock.advance_millis(60);
         svc.step();
         assert_eq!(svc.lease_count(), 0);
         assert_eq!(svc.stats().leases_expired, 1);

@@ -18,7 +18,7 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
+use bsync::Mutex;
 
 use crate::index::DumpType;
 
@@ -40,6 +40,7 @@ pub struct SourceMeta {
 type InternTable = HashMap<String, HashMap<String, Vec<(DumpType, SourceId)>>>;
 
 fn table() -> &'static Mutex<InternTable> {
+    // xcheck:allow(facade) — OnceLock is one-time init, not a lock; the Mutex inside is bsync's
     static TABLE: std::sync::OnceLock<Mutex<InternTable>> = std::sync::OnceLock::new();
     TABLE.get_or_init(|| Mutex::new(HashMap::new()))
 }

@@ -336,10 +336,12 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, BrokerError> {
+        // xcheck:allow(unwrap) — take(4) returned exactly 4 bytes
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
     fn u64(&mut self) -> Result<u64, BrokerError> {
+        // xcheck:allow(unwrap) — take(8) returned exactly 8 bytes
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 

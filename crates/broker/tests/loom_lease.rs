@@ -1,0 +1,109 @@
+//! loom-lite model tests: lease TTL expiry racing resume-by-id.
+//!
+//! Run with `cargo test -p broker --features loom-lite`. Each
+//! scenario has a correctness check (the checker must find NO failing
+//! schedule) and a canary with a deliberately seeded race the checker
+//! MUST catch — and reproduce from its printed schedule seed
+//! (`LOOM_LITE_SCHEDULE`).
+#![cfg(feature = "loom-lite")]
+#![forbid(unsafe_code)]
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use broker::lease::LeaseTable;
+use bsync::atomic::{AtomicU64, Ordering};
+use bsync::model::{explore, Builder};
+use bsync::time::Clock;
+use bsync::Mutex;
+
+fn budget() -> Builder {
+    Builder {
+        max_preemptions: 2,
+        max_iters: 50_000,
+        max_steps: 20_000,
+        schedule: None,
+    }
+}
+
+/// A reaper advancing the clock past the TTL races a client resuming
+/// its lease by id. Whatever the interleaving: the lease is accounted
+/// exactly once (never double-expired, never lost AND kept), and a
+/// failed resume means the lease is really gone.
+#[test]
+fn lease_expiry_racing_resume_is_exclusive() {
+    let report = explore(&budget(), || {
+        let clock = Clock::manual(0);
+        let table = Arc::new(LeaseTable::new(clock.clone(), Duration::from_millis(100)));
+        let id = table.open(());
+        let reaper = {
+            let (table, clock) = (table.clone(), clock.clone());
+            bsync::thread::spawn_named("reaper", move || {
+                clock.advance_millis(150);
+                table.reap();
+            })
+        };
+        let resumed = table.resume(id);
+        reaper.join().expect("reaper ran");
+        let c = table.counters();
+        assert_eq!(c.opened, 1);
+        assert!(c.expired <= 1, "lease expired twice");
+        assert_eq!(
+            c.expired + table.len() as u64,
+            1,
+            "lease lost or duplicated (expired={}, live={})",
+            c.expired,
+            table.len()
+        );
+        if !resumed {
+            assert_eq!(table.len(), 0, "failed resume but the lease survived");
+        }
+    })
+    .expect("no interleaving may break lease accounting");
+    assert!(report.iterations > 1, "must explore multiple interleavings");
+}
+
+/// Canary: a lease table whose expiry is check-then-act across two
+/// separate critical sections. Two expirers can both observe the
+/// stale entry and both count it — the checker must find that
+/// schedule and reproduce it from the seed.
+#[test]
+fn canary_check_then_act_expiry_double_counts() {
+    let racy = || {
+        // One lease, last active at t=0, observed at t=200, TTL 100.
+        let slot = Arc::new(Mutex::new(Some(0u64)));
+        let expired = Arc::new(AtomicU64::new(0));
+        let expire = |slot: Arc<Mutex<Option<u64>>>, expired: Arc<AtomicU64>| {
+            move || {
+                // BUG: the staleness check and the removal are two
+                // critical sections; another expirer can interleave.
+                let stale = slot.lock().map(|last| 200 - last >= 100) == Some(true);
+                if stale {
+                    *slot.lock() = None;
+                    expired.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        };
+        let other = bsync::thread::spawn_named("expirer", expire(slot.clone(), expired.clone()));
+        expire(slot.clone(), expired.clone())();
+        other.join().expect("expirer ran");
+        assert!(
+            expired.load(Ordering::SeqCst) <= 1,
+            "lease expired twice — check-then-act race"
+        );
+    };
+    let failure = explore(&budget(), racy).expect_err("checker must catch the seeded race");
+    assert!(
+        failure.kind.contains("expired twice"),
+        "unexpected failure kind: {}",
+        failure.kind
+    );
+    assert!(!failure.schedule.is_empty());
+    // The printed seed must reproduce the failure deterministically.
+    let replay = Builder {
+        schedule: Some(failure.schedule.clone()),
+        ..budget()
+    };
+    let again = explore(&replay, racy).expect_err("replay must reproduce the race");
+    assert!(again.kind.contains("expired twice"));
+}

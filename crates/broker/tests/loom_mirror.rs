@@ -1,0 +1,104 @@
+//! loom-lite model tests: mirror demotion racing an in-flight pick.
+//!
+//! Run with `cargo test -p broker --features loom-lite`.
+#![cfg(feature = "loom-lite")]
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use broker::mirror::{MirrorPolicy, MirrorSet};
+use bsync::atomic::{AtomicU64, Ordering};
+use bsync::model::{explore, Builder};
+
+fn budget() -> Builder {
+    Builder {
+        max_preemptions: 2,
+        max_iters: 50_000,
+        max_steps: 20_000,
+        schedule: None,
+    }
+}
+
+/// On-disk fixture shared by every explored execution (the model
+/// closure re-runs; the filesystem is read-only during exploration).
+fn fixture(tag: &str) -> (PathBuf, PathBuf, PathBuf) {
+    let base = std::env::temp_dir().join(format!("loom_mirror_{tag}_{}", std::process::id()));
+    let primary = base.join("primary");
+    let mirror = base.join("m0");
+    std::fs::create_dir_all(&primary).expect("fixture dir");
+    std::fs::create_dir_all(&mirror).expect("fixture dir");
+    std::fs::write(primary.join("a.mrt"), b"x").expect("fixture file");
+    std::fs::write(mirror.join("a.mrt"), b"x").expect("fixture file");
+    (base, primary, mirror)
+}
+
+/// A health checker demotes the preferred mirror while a poller is
+/// mid-`pick`. The in-flight pick may land on either server, but it
+/// must always land on an existing file, and any pick that starts
+/// after the demotion completed must avoid the demoted mirror.
+#[test]
+fn demote_mid_pick_always_falls_back_cleanly() {
+    let (base, primary, mirror) = fixture("model");
+    let report = explore(&budget(), move || {
+        let set = Arc::new(MirrorSet::new(
+            primary.clone(),
+            vec![mirror.clone()],
+            MirrorPolicy::Preferred(0),
+        ));
+        let checker = {
+            let set = set.clone();
+            bsync::thread::spawn_named("health", move || set.set_online(0, false))
+        };
+        let picked = set.pick(&primary.join("a.mrt"));
+        checker.join().expect("health checker ran");
+        assert!(
+            picked.exists(),
+            "in-flight pick returned a non-existent path: {picked:?}"
+        );
+        // The demotion has completed: from here on the mirror must
+        // never be selected again.
+        let after = set.pick(&primary.join("a.mrt"));
+        assert!(
+            after.starts_with(&primary),
+            "pick selected a demoted mirror: {after:?}"
+        );
+        assert!(!set.is_online(0));
+    })
+    .expect("no interleaving may route past a completed demotion");
+    assert!(report.iterations > 1, "must explore multiple interleavings");
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// Canary: per-mirror hit accounting done as a load-then-store on a
+/// shared counter. Two concurrent picks can lose an update — the
+/// checker must find the lost update and reproduce it from the seed.
+#[test]
+fn canary_unsynchronized_hit_counter_loses_updates() {
+    let racy = || {
+        let hits = Arc::new(AtomicU64::new(0));
+        let pick = |hits: Arc<AtomicU64>| {
+            move || {
+                // BUG: read-modify-write without atomicity.
+                let seen = hits.load(Ordering::SeqCst);
+                hits.store(seen + 1, Ordering::SeqCst);
+            }
+        };
+        let other = bsync::thread::spawn_named("picker", pick(hits.clone()));
+        pick(hits.clone())();
+        other.join().expect("picker ran");
+        assert_eq!(hits.load(Ordering::SeqCst), 2, "hit counter lost an update");
+    };
+    let failure = explore(&budget(), racy).expect_err("checker must catch the lost update");
+    assert!(
+        failure.kind.contains("lost an update"),
+        "unexpected failure kind: {}",
+        failure.kind
+    );
+    let replay = Builder {
+        schedule: Some(failure.schedule.clone()),
+        ..budget()
+    };
+    let again = explore(&replay, racy).expect_err("replay must reproduce the lost update");
+    assert!(again.kind.contains("lost an update"));
+}

@@ -1,0 +1,109 @@
+//! Virtual time for deadline/backoff logic. Production code holds a
+//! [`Clock`] and asks it for milliseconds; tests (and model tests)
+//! swap in a manual clock whose `sleep` *advances* time instead of
+//! blocking, so TTL/retry paths run deterministically and instantly.
+//!
+//! This module is the workspace's one sanctioned home for
+//! `Instant::now`/`thread::sleep` outside wall-clock-ok modules
+//! (feeders, soaks, benches) — `crates/xcheck` allowlists it.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::atomic::{AtomicU64, Ordering};
+
+/// Milliseconds-resolution clock, either wall (system) or manual.
+///
+/// Cheap to clone; manual clones share one timeline.
+#[derive(Clone, Debug)]
+pub struct Clock(Kind);
+
+#[derive(Clone, Debug)]
+enum Kind {
+    System { epoch: Instant },
+    Manual { now_ms: Arc<AtomicU64> },
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::system()
+    }
+}
+
+impl Clock {
+    /// Wall clock, measured from construction.
+    pub fn system() -> Self {
+        Clock(Kind::System {
+            epoch: Instant::now(),
+        })
+    }
+
+    /// Manual clock starting at `start_ms`; only [`Clock::advance_millis`]
+    /// and [`Clock::sleep`] move it.
+    pub fn manual(start_ms: u64) -> Self {
+        Clock(Kind::Manual {
+            now_ms: Arc::new(AtomicU64::new(start_ms)),
+        })
+    }
+
+    pub fn is_manual(&self) -> bool {
+        matches!(self.0, Kind::Manual { .. })
+    }
+
+    pub fn now_millis(&self) -> u64 {
+        match &self.0 {
+            Kind::System { epoch } => epoch.elapsed().as_millis() as u64,
+            Kind::Manual { now_ms } => now_ms.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Move a manual clock forward; a no-op on the system clock (wall
+    /// time cannot be steered).
+    pub fn advance_millis(&self, ms: u64) {
+        if let Kind::Manual { now_ms } = &self.0 {
+            now_ms.fetch_add(ms, Ordering::SeqCst);
+        }
+    }
+
+    /// Wait out `d`: a real sleep on the system clock, an instant
+    /// time-advance on a manual clock (never less than 1ms, so backoff
+    /// loops always make progress toward their deadline).
+    pub fn sleep(&self, d: Duration) {
+        match &self.0 {
+            Kind::System { .. } => std::thread::sleep(d),
+            Kind::Manual { now_ms } => {
+                now_ms.fetch_add((d.as_millis() as u64).max(1), Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_is_steerable_and_shared() {
+        let c = Clock::manual(100);
+        let c2 = c.clone();
+        assert_eq!(c.now_millis(), 100);
+        c.advance_millis(50);
+        assert_eq!(c2.now_millis(), 150, "clones share the timeline");
+        c2.sleep(Duration::from_millis(25));
+        assert_eq!(c.now_millis(), 175);
+        c.sleep(Duration::from_micros(10));
+        assert_eq!(c.now_millis(), 176, "sub-ms sleeps still progress");
+        assert!(c.is_manual());
+    }
+
+    #[test]
+    fn system_clock_moves_forward() {
+        let c = Clock::system();
+        let a = c.now_millis();
+        c.sleep(Duration::from_millis(5));
+        assert!(c.now_millis() >= a + 4);
+        c.advance_millis(1_000_000); // no-op on wall time
+        assert!(c.now_millis() < 1_000_000);
+        assert!(!c.is_manual());
+    }
+}

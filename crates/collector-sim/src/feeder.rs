@@ -30,11 +30,11 @@
 //!   `speed` virtual seconds onto every wall second and driving a
 //!   shared stream clock along, for soak runs against real threads.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use broker::index::DumpMeta;
 use broker::Index;
+use bsync::atomic::{AtomicBool, Ordering};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -319,7 +319,7 @@ impl LiveFeeder {
 /// without depending on the core crate (which depends on nothing
 /// here; a dependency cycle otherwise).
 pub mod bgpstream_clock {
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use bsync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
 
     /// A shared monotone virtual clock (compatible with

@@ -31,6 +31,8 @@
 //!   tailers with crash/resume) that soaks compose into a fleet
 //!   against a served [`broker::BrokerService`].
 
+#![forbid(unsafe_code)]
+
 pub mod archive;
 pub mod clients;
 pub mod feeder;

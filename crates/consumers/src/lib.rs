@@ -24,6 +24,8 @@
 //!   and expiry;
 //! * [`aswatch`] — tracking every path traversing a particular AS.
 
+#![forbid(unsafe_code)]
+
 pub mod aswatch;
 pub mod hijack;
 pub mod moas;

@@ -188,7 +188,7 @@ fn parse_flat_object(input: &str) -> Result<BTreeMap<String, Value>, JsonError> 
         pos: 0,
     };
     p.skip_ws();
-    p.expect(b'{')?;
+    p.consume(b'{')?;
     let mut map = BTreeMap::new();
     p.skip_ws();
     if p.peek() == Some(b'}') {
@@ -198,7 +198,7 @@ fn parse_flat_object(input: &str) -> Result<BTreeMap<String, Value>, JsonError> 
             p.skip_ws();
             let key = p.string()?;
             p.skip_ws();
-            p.expect(b':')?;
+            p.consume(b':')?;
             p.skip_ws();
             let value = p.value()?;
             map.insert(key, value);
@@ -235,7 +235,7 @@ impl<'a> Parser<'a> {
         Ok(b)
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn consume(&mut self, b: u8) -> Result<(), JsonError> {
         if self.next_byte()? != b {
             return Err(JsonError::Syntax("unexpected byte"));
         }
@@ -249,7 +249,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.consume(b'"')?;
         let mut out = String::new();
         loop {
             match self.next_byte()? {
@@ -311,7 +311,7 @@ impl<'a> Parser<'a> {
             return Err(JsonError::Schema("floats not in elem schema"));
         }
         std::str::from_utf8(&self.bytes[start..self.pos])
-            .unwrap()
+            .map_err(|_| JsonError::Syntax("non-utf8 in number"))?
             .parse()
             .map_err(|_| JsonError::Syntax("integer overflow"))
     }

@@ -50,6 +50,8 @@
 //!   historical and live modes (client-pull, blocking poll);
 //! * [`ascii`] — `bgpdump`-style one-line rendering (BGPReader).
 
+#![forbid(unsafe_code)]
+
 pub mod ascii;
 pub mod aspath_re;
 pub mod elem;

@@ -8,8 +8,8 @@
 //! mechanism blocks: the stream polls the broker until new data
 //! appears.
 
+use bsync::atomic::{AtomicU64, Ordering};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -19,7 +19,7 @@ use broker::index::{BrokerCursor, DumpMeta, Query};
 use broker::{
     BrokerClient, BrokerError, DataInterface, DumpType, Index, LeaseId, ReleasePolicy, SourceId,
 };
-use crossbeam::channel::{Receiver, Sender};
+use bsync::channel::{Receiver, Sender};
 
 use crate::filter::{CommunityFilter, CompiledFilters, Filters};
 use crate::record::BgpStreamRecord;
@@ -514,10 +514,10 @@ struct PrefetchReq {
 fn prefetch_worker() -> &'static Sender<PrefetchReq> {
     static WORKER: std::sync::OnceLock<Sender<PrefetchReq>> = std::sync::OnceLock::new();
     WORKER.get_or_init(|| {
-        let (req_tx, req_rx) = crossbeam::channel::unbounded::<PrefetchReq>();
+        let (req_tx, req_rx) = bsync::channel::unbounded::<PrefetchReq>();
         for _ in 0..2 {
             let rx = req_rx.clone();
-            std::thread::spawn(move || {
+            bsync::thread::spawn_named("prefetch", move || {
                 while let Ok(req) = rx.recv() {
                     // Contain panics from a pathological open: the
                     // worker must survive, and dropping `reply`
@@ -683,6 +683,7 @@ impl BgpStream {
                 if self.last_polled_version != Some(version) || drained {
                     self.last_polled_version = Some(version);
                     let now = self.clock.now();
+                    // xcheck:allow(unwrap) — set when live mode was entered
                     let lease = self.lease.expect("live stream holds a lease");
                     let poll = match self.client.poll_live(lease, now) {
                         Ok(poll) => poll,
@@ -844,7 +845,7 @@ impl BgpStream {
         self.merger = Some(merger);
         // Kick off the next group's open while this one drains.
         if let Some(group) = self.groups.pop_front() {
-            let (reply, res_rx) = crossbeam::channel::unbounded();
+            let (reply, res_rx) = bsync::channel::unbounded();
             let req = PrefetchReq {
                 group: group.clone(),
                 filters: self.compiled.clone(),

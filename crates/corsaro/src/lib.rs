@@ -27,6 +27,8 @@
 //!   outputs deterministically, so results are byte-identical to the
 //!   sequential pipeline.
 
+#![forbid(unsafe_code)]
+
 pub mod codec;
 pub mod pfxmonitor;
 pub mod pipeline;

@@ -256,6 +256,7 @@ impl ShardedPlugin for PfxMonitor {
     /// never does O(table) work.
     fn take_partial(&mut self) -> Vec<u8> {
         let ops = std::mem::take(&mut self.delta_ops);
+        // xcheck:allow(unwrap) — delta is always Some on shard instances
         let body = self.delta.as_mut().expect("take_partial on a shard");
         let mut out = Vec::with_capacity(8 + body.len());
         out.put_u32(self.prefix_refs.len() as u32);

@@ -272,6 +272,7 @@ impl RtPlugin {
             // Accuracy check + merge.
             let prefixes: Vec<Prefix> = vp.cells.keys().copied().collect();
             for prefix in prefixes {
+                // xcheck:allow(unwrap) — key came from this map's iteration
                 let cell = vp.cells.get_mut(&prefix).expect("cell present");
                 let untouched_since_rib = cell.main_ts <= rib_start;
                 match cell.shadow.take() {
@@ -621,6 +622,7 @@ impl ShardedPlugin for RtPlugin {
     fn take_partial(&mut self) -> Vec<u8> {
         self.pending_partial
             .take()
+            // xcheck:allow(unwrap) — protocol: end_bin always precedes take_partial
             .expect("take_partial follows end_bin on a shard instance")
     }
 
@@ -635,9 +637,11 @@ impl ShardedPlugin for RtPlugin {
             elems += buf.get_u64();
             checked += buf.get_u64();
             mismatched += buf.get_u64();
+            // xcheck:allow(unwrap) — partials are produced by our own take_partial
             diff.extend(decode_cells(&mut buf).expect("well-formed shard partial"));
             if buf.get_u8() == 1 {
                 full.get_or_insert_with(Vec::new)
+                    // xcheck:allow(unwrap) — same encoder wrote this buffer
                     .extend(decode_cells(&mut buf).expect("well-formed shard partial"));
             }
         }

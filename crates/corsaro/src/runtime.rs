@@ -58,16 +58,16 @@
 //! // have produced, merged deterministically from the shards.
 //! ```
 
+use bsync::atomic::{AtomicBool, Ordering};
 use std::collections::VecDeque;
 use std::net::IpAddr;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use analytics::mapreduce::ShardPool;
 use bgp_types::Prefix;
 use bgpstream::{BatchStep, BgpStream, BgpStreamRecord};
-use crossbeam::channel::{Receiver, Sender, TryRecvError};
+use bsync::channel::{Receiver, Sender, TryRecvError};
 
 use crate::pipeline::{Partitioning, Plugin};
 
@@ -381,6 +381,7 @@ impl Placement {
         let pos = self.holders[plugin]
             .iter()
             .position(|&w| w == worker)
+            // xcheck:allow(unwrap) — placement routed this worker to the plugin
             .expect("partial from a worker that does not host this plugin");
         self.base[plugin] + pos
     }
@@ -439,7 +440,7 @@ impl ShardedRuntime {
             }
         }
 
-        let (res_tx, res_rx) = crossbeam::channel::unbounded::<ResMsg>();
+        let (res_tx, res_rx) = bsync::channel::unbounded::<ResMsg>();
         let mut states: Vec<Option<WorkerState>> = per_worker
             .into_iter()
             .enumerate()
@@ -467,6 +468,7 @@ impl ShardedRuntime {
         let pool = ShardPool::spawn(
             workers,
             self.cfg.queue_batches,
+            // xcheck:allow(unwrap) — ShardPool calls init exactly once per worker
             |w| states[w].take().expect("each worker initialised once"),
             |_w, state: &mut WorkerState, msg: ShardMsg| state.handle(msg),
         );
@@ -668,6 +670,7 @@ impl ShardedRuntime {
         loop {
             // Merge every completed bin at the front of the queue.
             while pending.front().map(|b| b.missing == 0).unwrap_or(false) {
+                // xcheck:allow(unwrap) — front existence checked by the loop condition
                 let done = pending.pop_front().expect("front checked");
                 let mut slots = done.slots;
                 for (p, root) in roots.iter_mut().enumerate() {
@@ -676,6 +679,7 @@ impl ShardedRuntime {
                         .map(|&w| {
                             slots[placement.slot(p, w)]
                                 .take()
+                                // xcheck:allow(unwrap) — missing == 0 means every slot is filled
                                 .expect("bin complete, slot filled")
                         })
                         .collect();
@@ -714,6 +718,7 @@ impl ShardedRuntime {
                     let bin = pending
                         .iter_mut()
                         .find(|b| b.bin_start == bin_start)
+                        // xcheck:allow(unwrap) — workers only emit bins the merger opened
                         .expect("partial for an unknown bin");
                     debug_assert!(bin.slots[slot].is_none(), "duplicate partial");
                     bin.slots[slot] = Some(bytes);

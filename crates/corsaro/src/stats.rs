@@ -76,6 +76,7 @@ impl Plugin for ElemCounter {
             self.current
                 .insert(collector.to_string(), BinCounters::default());
         }
+        // xcheck:allow(unwrap) — inserted just above when absent
         let c = self.current.get_mut(collector).expect("just inserted");
         c.records += 1;
         if !record.status.is_valid() {
@@ -115,6 +116,7 @@ impl ShardedPlugin for ElemCounter {
     /// — the shard instance keeps no series of its own, so a 24/7 run
     /// does not grow per-shard memory one point per bin.
     fn take_partial(&mut self) -> Vec<u8> {
+        // xcheck:allow(unwrap) — protocol: end_bin always precedes take_partial
         let point = self.series.pop().expect("take_partial follows end_bin");
         let mut out = BytesMut::new();
         out.put_u64(point.time);

@@ -14,6 +14,8 @@
 //!   (mark the bin ready at most `T` after its first arrival), both
 //!   driven by virtual time.
 
+#![forbid(unsafe_code)]
+
 pub mod log;
 pub mod sync;
 

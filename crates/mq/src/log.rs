@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex, RwLock};
+use bsync::{Condvar, Mutex, RwLock};
 
 /// One message in a partition log.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -101,6 +101,7 @@ impl Cluster {
         if self.topic(topic).is_none() {
             self.create_topic(topic, 1);
         }
+        // xcheck:allow(unwrap) — created above when absent
         let t = self.topic(topic).expect("topic just created");
         let part = hash_key(key) as usize % t.partitions.len();
         let p = &t.partitions[part];

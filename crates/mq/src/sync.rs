@@ -104,6 +104,7 @@ impl SyncServer {
             .map(|(b, _)| *b)
             .collect();
         for bin in ready_bins {
+            // xcheck:allow(unwrap) — bin keys collected from this map just above
             let st = self.bins.remove(&bin).expect("bin present");
             self.decided.insert(bin);
             let mut producers: Vec<String> = st.arrived.into_iter().collect();

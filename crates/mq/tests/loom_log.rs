@@ -1,0 +1,91 @@
+//! loom-lite model tests: `Cluster::wait_for` racing `produce`.
+//!
+//! Run with `cargo test -p mq --features loom-lite`.
+#![cfg(feature = "loom-lite")]
+#![forbid(unsafe_code)]
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bsync::model::{explore, Builder};
+use bsync::{Condvar, Mutex};
+use mq::Cluster;
+
+fn budget() -> Builder {
+    Builder {
+        max_preemptions: 2,
+        max_iters: 50_000,
+        max_steps: 20_000,
+        schedule: None,
+    }
+}
+
+/// A producer races a blocking consumer. The timed wait may win or
+/// lose the race (the model explores both the notify and the timeout
+/// path), but a positive `wait_for` must always mean data is visible,
+/// and once the producer finished, `wait_for` must never block again.
+#[test]
+fn wait_for_racing_produce_never_reports_phantom_data() {
+    let report = explore(&budget(), || {
+        let cluster = Cluster::shared();
+        cluster.create_topic("t", 1);
+        let producer = {
+            let cluster = cluster.clone();
+            bsync::thread::spawn_named("producer", move || {
+                cluster.produce("t", "k", 0, vec![1]);
+            })
+        };
+        let woke = cluster.wait_for("t", 0, 0, Duration::from_millis(10));
+        if woke {
+            assert!(
+                cluster.latest_offset("t", 0) > 0,
+                "wait_for returned true with no data visible"
+            );
+        }
+        producer.join().expect("producer ran");
+        assert!(
+            cluster.wait_for("t", 0, 0, Duration::from_millis(10)),
+            "data already produced: wait_for must return immediately"
+        );
+    })
+    .expect("no interleaving may break wait_for");
+    assert!(report.iterations > 1, "must explore multiple interleavings");
+}
+
+/// Canary: the classic lost wakeup — the readiness check and the
+/// condvar wait live in two separate critical sections, so a signal
+/// landing between them is missed and the waiter blocks forever. The
+/// checker must report the deadlock and reproduce it from the seed.
+#[test]
+fn canary_split_check_and_wait_loses_the_wakeup() {
+    let racy = || {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let producer = {
+            let state = state.clone();
+            bsync::thread::spawn_named("producer", move || {
+                *state.0.lock() = true;
+                state.1.notify_all();
+            })
+        };
+        // BUG: the check releases the lock before the wait re-takes
+        // it; a notify in between is lost and the wait is forever.
+        let ready = { *state.0.lock() };
+        if !ready {
+            let mut guard = state.0.lock();
+            state.1.wait(&mut guard);
+        }
+        producer.join().expect("producer ran");
+    };
+    let failure = explore(&budget(), racy).expect_err("checker must catch the lost wakeup");
+    assert!(
+        failure.kind.contains("deadlock"),
+        "unexpected failure kind: {}",
+        failure.kind
+    );
+    let replay = Builder {
+        schedule: Some(failure.schedule.clone()),
+        ..budget()
+    };
+    let again = explore(&replay, racy).expect_err("replay must reproduce the lost wakeup");
+    assert!(again.kind.contains("deadlock"));
+}

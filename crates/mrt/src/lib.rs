@@ -27,6 +27,8 @@
 //! zero NLRI) rather than the truncated next-hop-only form; both forms
 //! are accepted by real-world parsers and ours round-trips.
 
+#![forbid(unsafe_code)]
+
 pub mod bgp4mp;
 pub mod raw;
 pub mod reader;

@@ -26,6 +26,8 @@
 //! * [`dataplane`] — hop-by-hop forwarding and traceroute emulation
 //!   honouring RTBH null-routes (substitute for RIPE Atlas, §4.3).
 
+#![forbid(unsafe_code)]
+
 pub mod control;
 pub mod dataplane;
 pub mod events;

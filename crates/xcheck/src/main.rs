@@ -1,0 +1,26 @@
+#![forbid(unsafe_code)]
+//! CLI entry point; all logic lives in the library so rules are unit
+//! tested against fixtures. See `crates/xcheck/src/lib.rs`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match xcheck::find_workspace_root() {
+        Some(r) => r,
+        None => {
+            eprintln!("xcheck: could not locate workspace root (no Cargo.toml with [workspace])");
+            return ExitCode::from(2);
+        }
+    };
+    let diags = xcheck::check_workspace(&root);
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        println!("xcheck: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("xcheck: {} violation(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}

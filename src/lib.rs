@@ -10,6 +10,8 @@
 //! * [`corsaro`], [`mq`], [`consumers`], [`analytics`] — upper layers;
 //! * [`bmp`] — the RFC 7854 router-direct data path (§7 roadmap).
 
+#![forbid(unsafe_code)]
+
 pub use analytics;
 pub use bgp_types;
 pub use bgpstream;

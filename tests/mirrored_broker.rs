@@ -76,6 +76,75 @@ fn mirrored_stream_is_identical_and_spread() {
     std::fs::remove_dir_all(&mirror_root).ok();
 }
 
+/// Regression (loom_mirror model test's integration twin): demoting a
+/// mirror while a stream is mid-poll must not skip or double-deliver
+/// any window. The first half of the stream is served with the mirror
+/// preferred; the mirror is then marked offline mid-stream and the
+/// drain continues — the concatenated output must be byte-identical
+/// to the unmirrored baseline, and the demoted mirror must serve
+/// nothing more.
+#[test]
+fn demote_mid_poll_never_skips_or_repeats_a_window() {
+    let dir = worlds::scratch_dir("mirrors-demote");
+    let mut world = worlds::quickstart(dir.clone(), 33);
+    world.sim.run_until(world.info.horizon);
+    let horizon = world.info.horizon;
+    let baseline = drain(world.index.clone(), horizon);
+    assert!(baseline.len() > 4, "world too small to split mid-stream");
+
+    let mirror_root = dir.parent().unwrap().join(format!(
+        "{}-mirror",
+        dir.file_name().unwrap().to_string_lossy()
+    ));
+    copy_tree(&dir, &mirror_root);
+    let mirrors = Arc::new(MirrorSet::new(
+        &dir,
+        vec![mirror_root.clone()],
+        MirrorPolicy::Preferred(0),
+    ));
+    world.index.set_mirrors(mirrors.clone());
+
+    let mut stream = BgpStream::builder()
+        .data_interface(DataInterface::Broker(world.index.clone()))
+        .interval(0, Some(horizon))
+        .start();
+    let mut lines = Vec::new();
+    // First half: mirror preferred and online — it takes the traffic.
+    while lines.len() < baseline.len() / 2 {
+        let rec = stream.next_record().expect("baseline says more records");
+        for elem in rec.elems() {
+            lines.push(ascii::elem_line(&rec, elem));
+        }
+    }
+    let mirror_hits_at_demotion = mirrors.hit_counts()[0];
+    assert!(mirror_hits_at_demotion > 0, "mirror never served");
+
+    // Health checker demotes the mirror mid-poll.
+    mirrors.set_online(0, false);
+    assert!(!mirrors.is_online(0));
+
+    // Second half: every remaining window must still arrive, exactly
+    // once, served by the primary.
+    while let Some(rec) = stream.next_record() {
+        for elem in rec.elems() {
+            lines.push(ascii::elem_line(&rec, elem));
+        }
+    }
+    assert_eq!(
+        lines, baseline,
+        "demotion mid-poll skipped or repeated a window"
+    );
+    assert_eq!(
+        mirrors.hit_counts()[0],
+        mirror_hits_at_demotion,
+        "demoted mirror kept serving"
+    );
+    assert_eq!(mirrors.miss_count(), 0, "demotion must not count as a miss");
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&mirror_root).ok();
+}
+
 #[test]
 fn partial_mirror_degrades_spread_not_content() {
     let dir = worlds::scratch_dir("mirrors-partial");

@@ -8,6 +8,8 @@
 //! are deep), which is fine for correctness and for the scale of the
 //! tests and benches in this repository.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Deref, DerefMut};
 
 /// Read cursor over a contiguous byte source. All integer getters are

@@ -16,6 +16,8 @@
 //! `rate_per_sec` measures (`"MiB/s"` for byte throughput, `"elem/s"`
 //! for element throughput, `"none"` without a throughput).
 
+#![forbid(unsafe_code)]
+
 pub use std::hint::black_box;
 
 use std::time::{Duration, Instant};

@@ -8,6 +8,8 @@
 //! `std::thread::scope`). Deviation from the real crate: a bounded
 //! capacity of 0 (rendezvous channel) is treated as capacity 1.
 
+#![forbid(unsafe_code)]
+
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 

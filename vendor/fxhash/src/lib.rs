@@ -13,6 +13,8 @@
 //! crate exposes, so swapping in the crates.io version is the usual
 //! one-line change in the workspace manifest.
 
+#![forbid(unsafe_code)]
+
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 

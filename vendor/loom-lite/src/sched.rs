@@ -1,0 +1,639 @@
+//! The exploring scheduler: serialized model threads, bounded-DFS
+//! enumeration of scheduling decisions, deadlock detection, and
+//! replayable schedule strings.
+//!
+//! Every model execution runs real OS threads, but exactly one is ever
+//! runnable: a thread only proceeds while it holds the scheduler's
+//! "turn". Each instrumented operation (lock, condvar wait/notify,
+//! atomic access, spawn, join) is a *decision point* where the
+//! scheduler picks which thread runs next from the enabled set. The
+//! driver re-executes the closure under depth-first enumeration of
+//! those decisions, bounded by a preemption budget (CHESS-style) and an
+//! iteration budget, so small models are explored exhaustively and big
+//! ones deterministically sampled.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::panic::panic_any;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once, PoisonError};
+
+pub(crate) type Tid = usize;
+
+/// Panic payload used to unwind model threads when an execution aborts
+/// (a failure was recorded, or the driver is tearing the run down).
+/// Swallowed by the model-thread trampoline; never escapes to users.
+pub(crate) struct AbortSignal;
+
+/// Global resource-id source. Ids only need to be unique per process;
+/// scheduling decisions never depend on their numeric values, so
+/// monotonically growing across executions keeps replay deterministic.
+static NEXT_RESOURCE: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn new_resource_id() -> u64 {
+    NEXT_RESOURCE.fetch_add(1, Ordering::Relaxed)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    Blocked { timed: bool },
+    Finished,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Wake {
+    Notified,
+    TimedOut,
+}
+
+struct ExecState {
+    status: Vec<Status>,
+    wake: Vec<Option<Wake>>,
+    /// Resource a blocked thread is parked on, for timeout removal.
+    blocked_on: Vec<Option<u64>>,
+    /// FIFO wait queues per resource (mutexes, condvars, join points).
+    waiters: HashMap<u64, Vec<Tid>>,
+    /// Current exclusive owner of each lock resource.
+    owner: HashMap<u64, Tid>,
+    current: Tid,
+    /// Decisions taken this execution: (candidate count, chosen index).
+    trace: Vec<(usize, usize)>,
+    /// Forced choice indices for replay / DFS continuation.
+    prefix: Vec<usize>,
+    preemptions: usize,
+    failure: Option<String>,
+    aborting: bool,
+    /// Registered threads that have not yet finished.
+    live: usize,
+}
+
+pub(crate) struct Scheduler {
+    st: Mutex<ExecState>,
+    cv: Condvar,
+    max_preemptions: usize,
+    max_steps: usize,
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<(Arc<Scheduler>, Tid)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The scheduler the calling thread is registered with, if any. `None`
+/// means "no model is active": instrumented primitives fall back to
+/// plain std behaviour so the same binary runs regular tests too.
+pub(crate) fn current() -> Option<(Arc<Scheduler>, Tid)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn set_ctx(sched: Arc<Scheduler>, tid: Tid) {
+    CTX.with(|c| *c.borrow_mut() = Some((sched, tid)));
+}
+
+fn clear_ctx() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// Model threads panic on purpose (assertion failures we capture,
+/// abort unwinds we inject); silence the default hook for them so
+/// canary tests don't spray backtraces. Installed once, delegates to
+/// the previous hook for non-model threads.
+fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if current().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+impl Scheduler {
+    fn lock(&self) -> MutexGuard<'_, ExecState> {
+        self.st.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn fail_locked(&self, st: &mut ExecState, kind: String) {
+        if st.failure.is_none() {
+            st.failure = Some(kind);
+        }
+        st.aborting = true;
+    }
+
+    /// Unwind the calling thread if the execution is aborting — unless
+    /// it is already unwinding (panicking inside a `Drop` would abort
+    /// the process), in which case instrumented ops degrade to plain
+    /// std behaviour and the unwind continues on its own.
+    fn abort_check(&self, st: &ExecState) -> bool {
+        if !st.aborting {
+            return false;
+        }
+        if !std::thread::panicking() {
+            panic_any(AbortSignal);
+        }
+        true
+    }
+
+    /// Core decision point: `me` has just had its status updated inside
+    /// `st`; pick who runs next, recording (candidates, choice) so the
+    /// driver can enumerate alternatives.
+    fn decide(&self, st: &mut ExecState, me: Tid) {
+        if st.aborting {
+            return;
+        }
+        if st.trace.len() >= self.max_steps {
+            self.fail_locked(
+                st,
+                format!(
+                    "step budget exceeded ({} decision points) — possible livelock",
+                    self.max_steps
+                ),
+            );
+            return;
+        }
+        // Enabled set: runnable threads (current thread first so choice
+        // 0 means "keep running" and every other index is a preemption),
+        // then timed-blocked threads (choosing one fires its timeout).
+        let me_runnable = st.status[me] == Status::Runnable;
+        let mut cands: Vec<Tid> = Vec::new();
+        if me_runnable {
+            cands.push(me);
+        }
+        for t in 0..st.status.len() {
+            if t != me && st.status[t] == Status::Runnable {
+                cands.push(t);
+            }
+        }
+        for t in 0..st.status.len() {
+            if matches!(st.status[t], Status::Blocked { timed: true }) {
+                cands.push(t);
+            }
+        }
+        if cands.is_empty() {
+            let blocked = st
+                .status
+                .iter()
+                .filter(|s| matches!(s, Status::Blocked { .. }))
+                .count();
+            if blocked > 0 {
+                self.fail_locked(
+                    st,
+                    format!("deadlock: {blocked} thread(s) blocked with no runnable thread"),
+                );
+            }
+            // else: every thread finished — execution complete.
+            return;
+        }
+        // CHESS-style preemption bound: once the budget is spent the
+        // running thread keeps running until it blocks or finishes.
+        // Applied unconditionally (even under a replay prefix) so the
+        // recorded candidate counts are identical across re-executions.
+        if me_runnable && st.preemptions >= self.max_preemptions {
+            cands.truncate(1);
+        }
+        let step = st.trace.len();
+        let idx = if step < st.prefix.len() {
+            st.prefix[step].min(cands.len() - 1)
+        } else {
+            0
+        };
+        let chosen = cands[idx];
+        if me_runnable && chosen != me {
+            st.preemptions += 1;
+        }
+        st.trace.push((cands.len(), idx));
+        if let Status::Blocked { .. } = st.status[chosen] {
+            // Scheduling a timed-blocked thread = its timeout fires.
+            st.status[chosen] = Status::Runnable;
+            st.wake[chosen] = Some(Wake::TimedOut);
+            if let Some(res) = st.blocked_on[chosen].take() {
+                if let Some(q) = st.waiters.get_mut(&res) {
+                    q.retain(|&t| t != chosen);
+                }
+            }
+        }
+        st.current = chosen;
+    }
+
+    /// Park until it is `me`'s turn again (or the execution aborts).
+    fn wait_turn(&self, me: Tid) {
+        let mut st = self.lock();
+        while !(st.aborting || (st.current == me && st.status[me] == Status::Runnable)) {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        let aborting = st.aborting;
+        drop(st);
+        if aborting && !std::thread::panicking() {
+            panic_any(AbortSignal);
+        }
+    }
+
+    fn decide_and_park(&self, mut st: MutexGuard<'_, ExecState>, me: Tid) {
+        self.decide(&mut st, me);
+        drop(st);
+        self.cv.notify_all();
+        self.wait_turn(me);
+    }
+
+    /// Plain interleaving point (atomic ops, pre-acquire, spawn, …).
+    pub(crate) fn yield_point(&self, me: Tid) {
+        let st = self.lock();
+        if self.abort_check(&st) {
+            return;
+        }
+        self.decide_and_park(st, me);
+    }
+
+    /// Model-level exclusive acquire of `res`; blocks (in model terms)
+    /// while another thread owns it. The leading yield point makes the
+    /// acquire itself a visible decision.
+    pub(crate) fn lock_acquire(&self, me: Tid, res: u64) {
+        self.yield_point(me);
+        loop {
+            let mut st = self.lock();
+            if self.abort_check(&st) {
+                return;
+            }
+            if let Entry::Vacant(e) = st.owner.entry(res) {
+                e.insert(me);
+                return;
+            }
+            st.waiters.entry(res).or_default().push(me);
+            st.blocked_on[me] = Some(res);
+            st.status[me] = Status::Blocked { timed: false };
+            self.decide_and_park(st, me);
+            // Woken by a release — loop and re-contend.
+        }
+    }
+
+    /// Non-blocking model acquire; `false` if currently owned.
+    pub(crate) fn try_lock_acquire(&self, me: Tid, res: u64) -> bool {
+        self.yield_point(me);
+        let mut st = self.lock();
+        if self.abort_check(&st) {
+            return true;
+        }
+        if let Entry::Vacant(e) = st.owner.entry(res) {
+            e.insert(me);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn release_locked(st: &mut ExecState, res: u64) {
+        st.owner.remove(&res);
+        let woken: Vec<Tid> = st
+            .waiters
+            .get_mut(&res)
+            .map(std::mem::take)
+            .unwrap_or_default();
+        for t in woken {
+            st.status[t] = Status::Runnable;
+            st.blocked_on[t] = None;
+        }
+    }
+
+    /// Release `res`, wake contenders, and yield (so the release site
+    /// is a decision point too).
+    pub(crate) fn lock_release(&self, me: Tid, res: u64) {
+        let mut st = self.lock();
+        Self::release_locked(&mut st, res);
+        if st.aborting {
+            // Never panic here: releases run from guard Drops, possibly
+            // mid-unwind. Degrade silently; the unwind continues.
+            return;
+        }
+        self.decide_and_park(st, me);
+    }
+
+    /// Atomically: release `mutex`, park on `cv` (optionally wakeable
+    /// by a modeled timeout), then re-acquire `mutex` once woken.
+    pub(crate) fn cv_wait(&self, me: Tid, cv: u64, mutex: u64, timed: bool) -> Wake {
+        {
+            let mut st = self.lock();
+            if self.abort_check(&st) {
+                return Wake::TimedOut;
+            }
+            Self::release_locked(&mut st, mutex);
+            st.waiters.entry(cv).or_default().push(me);
+            st.blocked_on[me] = Some(cv);
+            st.status[me] = Status::Blocked { timed };
+            st.wake[me] = None;
+            self.decide_and_park(st, me);
+        }
+        let wake = {
+            let mut st = self.lock();
+            if self.abort_check(&st) {
+                return Wake::TimedOut;
+            }
+            st.wake[me].take().unwrap_or(Wake::TimedOut)
+        };
+        // Re-contend for the mutex before returning, like a real wait.
+        loop {
+            let mut st = self.lock();
+            if self.abort_check(&st) {
+                return wake;
+            }
+            if let Entry::Vacant(e) = st.owner.entry(mutex) {
+                e.insert(me);
+                return wake;
+            }
+            st.waiters.entry(mutex).or_default().push(me);
+            st.blocked_on[me] = Some(mutex);
+            st.status[me] = Status::Blocked { timed: false };
+            self.decide_and_park(st, me);
+        }
+    }
+
+    /// Wake one (or all) waiters of `cv`; a decision point either way.
+    pub(crate) fn cv_notify(&self, me: Tid, cv: u64, all: bool) {
+        let st_check = self.lock();
+        if self.abort_check(&st_check) {
+            return;
+        }
+        let mut st = st_check;
+        let woken: Vec<Tid> = match st.waiters.get_mut(&cv) {
+            Some(q) => {
+                let n = if all { q.len() } else { q.len().min(1) };
+                q.drain(..n).collect()
+            }
+            None => Vec::new(),
+        };
+        for t in woken {
+            st.status[t] = Status::Runnable;
+            st.wake[t] = Some(Wake::Notified);
+            st.blocked_on[t] = None;
+        }
+        self.decide_and_park(st, me);
+    }
+
+    /// Register a new model thread; returns its tid and join resource.
+    pub(crate) fn register_thread(&self) -> (Tid, u64) {
+        let mut st = self.lock();
+        let tid = st.status.len();
+        st.status.push(Status::Runnable);
+        st.wake.push(None);
+        st.blocked_on.push(None);
+        st.live += 1;
+        (tid, new_resource_id())
+    }
+
+    /// Block until `child` finishes (its join resource is signalled).
+    pub(crate) fn join_wait(&self, me: Tid, child: Tid, join_res: u64) {
+        self.yield_point(me);
+        loop {
+            let mut st = self.lock();
+            if self.abort_check(&st) {
+                return;
+            }
+            if st.status[child] == Status::Finished {
+                return;
+            }
+            st.waiters.entry(join_res).or_default().push(me);
+            st.blocked_on[me] = Some(join_res);
+            st.status[me] = Status::Blocked { timed: false };
+            self.decide_and_park(st, me);
+        }
+    }
+
+    /// Mark `me` finished, record a panic as the execution's failure,
+    /// wake joiners and (if threads remain) hand the turn onwards.
+    fn finish_thread(&self, me: Tid, join_res: u64, panic_msg: Option<String>) {
+        let mut st = self.lock();
+        if let Some(msg) = panic_msg {
+            self.fail_locked(&mut st, format!("panic in model thread {me}: {msg}"));
+        }
+        st.status[me] = Status::Finished;
+        st.live -= 1;
+        Self::release_locked(&mut st, join_res);
+        if !st.aborting && st.live > 0 {
+            self.decide(&mut st, me);
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+}
+
+/// Trampoline every model OS thread runs: register TLS, wait for the
+/// first turn, run the body, swallow abort unwinds, report the rest.
+pub(crate) fn run_model_thread<F: FnOnce()>(sched: Arc<Scheduler>, tid: Tid, join_res: u64, f: F) {
+    set_ctx(Arc::clone(&sched), tid);
+    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        sched.wait_turn(tid);
+        f();
+    }));
+    let panic_msg = match res {
+        Ok(()) => None,
+        Err(p) if p.is::<AbortSignal>() => None,
+        Err(p) => Some(payload_msg(&*p)),
+    };
+    sched.finish_thread(tid, join_res, panic_msg);
+    clear_ctx();
+}
+
+fn payload_msg(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Exploration budgets. `Default` reads the `LOOM_LITE_*` env vars so
+/// CI can bound a whole model suite without touching test code.
+#[derive(Clone, Debug)]
+pub struct Builder {
+    /// CHESS-style bound on involuntary context switches per execution.
+    pub max_preemptions: usize,
+    /// Maximum executions explored before declaring the run incomplete.
+    pub max_iters: usize,
+    /// Decision points per execution before a livelock is reported.
+    pub max_steps: usize,
+    /// Forced schedule to replay instead of exploring. `Default` takes
+    /// this from `LOOM_LITE_SCHEDULE`.
+    pub schedule: Option<String>,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        let geti = |k: &str, d: usize| {
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
+        };
+        Builder {
+            max_preemptions: geti("LOOM_LITE_PREEMPTIONS", 2),
+            max_iters: geti("LOOM_LITE_MAX_ITERS", 50_000),
+            max_steps: geti("LOOM_LITE_MAX_STEPS", 20_000),
+            schedule: std::env::var("LOOM_LITE_SCHEDULE").ok(),
+        }
+    }
+}
+
+/// Outcome of a completed exploration.
+#[derive(Clone, Copy, Debug)]
+pub struct Report {
+    /// Executions run.
+    pub iterations: usize,
+    /// Whether the bounded state space was exhausted (vs. budget cut).
+    pub complete: bool,
+}
+
+/// A schedule that violates an invariant (assertion, deadlock, panic,
+/// or step-budget livelock). `schedule` replays it deterministically.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    pub kind: String,
+    pub schedule: String,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "loom-lite: {} — replay with LOOM_LITE_SCHEDULE=\"{}\"",
+            self.kind, self.schedule
+        )
+    }
+}
+
+impl std::error::Error for Failure {}
+
+fn fmt_schedule(trace: &[(usize, usize)]) -> String {
+    trace
+        .iter()
+        .map(|&(_, i)| i.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn parse_schedule(s: &str) -> Vec<usize> {
+    s.split(',')
+        .filter(|t| !t.trim().is_empty())
+        .map(|t| t.trim().parse().unwrap_or(0))
+        .collect()
+}
+
+/// Deepest decision with an unexplored sibling, as the next DFS prefix.
+fn next_prefix(trace: &[(usize, usize)]) -> Option<Vec<usize>> {
+    for pos in (0..trace.len()).rev() {
+        let (n, i) = trace[pos];
+        if i + 1 < n {
+            let mut p: Vec<usize> = trace[..=pos].iter().map(|&(_, i)| i).collect();
+            p[pos] += 1;
+            return Some(p);
+        }
+    }
+    None
+}
+
+fn run_one<F>(b: &Builder, prefix: Vec<usize>, f: Arc<F>) -> (Vec<(usize, usize)>, Option<String>)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_quiet_hook();
+    let sched = Arc::new(Scheduler {
+        st: Mutex::new(ExecState {
+            status: Vec::new(),
+            wake: Vec::new(),
+            blocked_on: Vec::new(),
+            waiters: HashMap::new(),
+            owner: HashMap::new(),
+            current: 0,
+            trace: Vec::new(),
+            prefix,
+            preemptions: 0,
+            failure: None,
+            aborting: false,
+            live: 0,
+        }),
+        cv: Condvar::new(),
+        max_preemptions: b.max_preemptions,
+        max_steps: b.max_steps,
+    });
+    let (tid0, jres0) = sched.register_thread();
+    let s2 = Arc::clone(&sched);
+    let h = std::thread::Builder::new()
+        .name("loom-lite-0".into())
+        .spawn(move || run_model_thread(s2, tid0, jres0, move || f()))
+        .expect("spawn model root thread");
+    {
+        let mut st = sched.lock();
+        while st.live > 0 {
+            st = sched.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+    let _ = h.join();
+    let mut st = sched.lock();
+    (std::mem::take(&mut st.trace), st.failure.take())
+}
+
+/// Explore `f` under every schedule the budgets allow. Returns the
+/// first failing schedule, or a [`Report`] when no failure is found.
+/// State shared between model threads must be created *inside* `f` so
+/// each execution starts fresh.
+pub fn explore<F>(b: &Builder, f: F) -> Result<Report, Failure>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    if let Some(s) = &b.schedule {
+        let (trace, failure) = run_one(b, parse_schedule(s), Arc::clone(&f));
+        return match failure {
+            Some(kind) => Err(Failure {
+                kind,
+                schedule: fmt_schedule(&trace),
+            }),
+            None => Ok(Report {
+                iterations: 1,
+                complete: false,
+            }),
+        };
+    }
+    let mut prefix = Vec::new();
+    let mut iterations = 0;
+    loop {
+        let (trace, failure) = run_one(b, prefix, Arc::clone(&f));
+        iterations += 1;
+        if let Some(kind) = failure {
+            return Err(Failure {
+                kind,
+                schedule: fmt_schedule(&trace),
+            });
+        }
+        match next_prefix(&trace) {
+            Some(p) => prefix = p,
+            None => {
+                return Ok(Report {
+                    iterations,
+                    complete: true,
+                })
+            }
+        }
+        if iterations >= b.max_iters {
+            return Ok(Report {
+                iterations,
+                complete: false,
+            });
+        }
+    }
+}
+
+/// Test-friendly wrapper: explore with [`Builder::default`] budgets and
+/// panic with the replayable schedule on the first failure.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    match explore(&Builder::default(), f) {
+        Ok(_) => {}
+        Err(failure) => panic!("{failure}"),
+    }
+}

@@ -1,0 +1,518 @@
+//! Instrumented sync primitives with the same API surface as the
+//! workspace's `parking_lot` shim (plus `sync::atomic`).
+//!
+//! Every operation first asks [`crate::sched`] for the calling
+//! thread's model context. Inside a model execution the operation
+//! becomes a scheduler decision point (and blocking happens in model
+//! terms, never on the OS primitive); outside a model everything
+//! degrades to plain `std::sync` behaviour, so binaries built with the
+//! facade's `loom-lite` feature still run their regular tests.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::{self, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::sched;
+
+pub struct Mutex<T: ?Sized> {
+    res: u64,
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex {
+            res: sched::new_resource_id(),
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let model = if let Some((s, me)) = sched::current() {
+            s.lock_acquire(me, self.res);
+            true
+        } else {
+            false
+        };
+        MutexGuard {
+            lock: self,
+            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+            model,
+        }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        if let Some((s, me)) = sched::current() {
+            if !s.try_lock_acquire(me, self.res) {
+                return None;
+            }
+            return Some(MutexGuard {
+                lock: self,
+                inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+                model: true,
+            });
+        }
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard {
+                lock: self,
+                inner: Some(g),
+                model: false,
+            }),
+            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                lock: self,
+                inner: Some(p.into_inner()),
+                model: false,
+            }),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    inner: Option<sync::MutexGuard<'a, T>>,
+    model: bool,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner
+            .as_ref()
+            .expect("guard taken during condvar wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_mut()
+            .expect("guard taken during condvar wait")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the OS lock before telling the model, so whichever
+        // thread the scheduler picks next can actually acquire it.
+        drop(self.inner.take());
+        if self.model {
+            if let Some((s, me)) = sched::current() {
+                s.lock_release(me, self.lock.res);
+            }
+        }
+    }
+}
+
+/// Result of a timed condvar wait; mirrors `parking_lot::WaitTimeoutResult`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+#[derive(Debug)]
+pub struct Condvar {
+    res: u64,
+    inner: sync::Condvar,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        Condvar {
+            res: sched::new_resource_id(),
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    pub fn notify_one(&self) {
+        if let Some((s, me)) = sched::current() {
+            s.cv_notify(me, self.res, false);
+        }
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        if let Some((s, me)) = sched::current() {
+            s.cv_notify(me, self.res, true);
+        }
+        self.inner.notify_all();
+    }
+
+    /// Block until notified; the lock is released while waiting and
+    /// reacquired before returning, like `parking_lot`.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        if guard.model {
+            if let Some((s, me)) = sched::current() {
+                drop(guard.inner.take());
+                let _ = s.cv_wait(me, self.res, guard.lock.res, false);
+                guard.inner = Some(
+                    guard
+                        .lock
+                        .inner
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner),
+                );
+                return;
+            }
+        }
+        let owned = guard.inner.take().expect("guard taken during condvar wait");
+        let reacquired = self
+            .inner
+            .wait(owned)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(reacquired);
+    }
+
+    /// Block until notified or `timeout` elapses. In a model the
+    /// timeout is a *nondeterministic choice*: the scheduler explores
+    /// both the woken-by-notify path and the spontaneous-timeout path,
+    /// regardless of the requested duration.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        if guard.model {
+            if let Some((s, me)) = sched::current() {
+                drop(guard.inner.take());
+                let wake = s.cv_wait(me, self.res, guard.lock.res, true);
+                guard.inner = Some(
+                    guard
+                        .lock
+                        .inner
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner),
+                );
+                return WaitTimeoutResult(wake == sched::Wake::TimedOut);
+            }
+        }
+        let owned = guard.inner.take().expect("guard taken during condvar wait");
+        let (reacquired, res) = self
+            .inner
+            .wait_timeout(owned, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(reacquired);
+        WaitTimeoutResult(res.timed_out())
+    }
+
+    /// Block until notified or `deadline` passes; modeled exactly like
+    /// [`Condvar::wait_for`] inside a model.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        if guard.model {
+            return self.wait_for(guard, Duration::ZERO);
+        }
+        let timeout = deadline.saturating_duration_since(Instant::now());
+        self.wait_for(guard, timeout)
+    }
+}
+
+/// Reader-writer lock. Deviation from std/parking_lot: inside a model
+/// both `read()` and `write()` take the lock *exclusively* — fewer
+/// interleavings, and any schedule valid under exclusive access is
+/// valid under shared reads, so modeled invariant checks stay sound.
+/// (Consequence: nested/recursive `read()` on one thread deadlocks the
+/// model; the facade's users never do that.) Outside a model this is a
+/// plain `std::sync::RwLock`.
+pub struct RwLock<T: ?Sized> {
+    res: u64,
+    inner: sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        RwLock {
+            res: sched::new_resource_id(),
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let model = if let Some((s, me)) = sched::current() {
+            s.lock_acquire(me, self.res);
+            true
+        } else {
+            false
+        };
+        RwLockReadGuard {
+            lock: self,
+            inner: Some(self.inner.read().unwrap_or_else(PoisonError::into_inner)),
+            model,
+        }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let model = if let Some((s, me)) = sched::current() {
+            s.lock_acquire(me, self.res);
+            true
+        } else {
+            false
+        };
+        RwLockWriteGuard {
+            lock: self,
+            inner: Some(self.inner.write().unwrap_or_else(PoisonError::into_inner)),
+            model,
+        }
+    }
+}
+
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: Option<sync::RwLockReadGuard<'a, T>>,
+    model: bool,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("read guard present")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if self.model {
+            if let Some((s, me)) = sched::current() {
+                s.lock_release(me, self.lock.res);
+            }
+        }
+    }
+}
+
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: Option<sync::RwLockWriteGuard<'a, T>>,
+    model: bool,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("write guard present")
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("write guard present")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if self.model {
+            if let Some((s, me)) = sched::current() {
+                s.lock_release(me, self.lock.res);
+            }
+        }
+    }
+}
+
+pub mod atomic {
+    //! Instrumented atomics: each access is a model decision point
+    //! (the value itself is held in the corresponding std atomic).
+
+    pub use std::sync::atomic::Ordering;
+
+    use crate::sched;
+
+    fn hook() {
+        if let Some((s, me)) = sched::current() {
+            s.yield_point(me);
+        }
+    }
+
+    macro_rules! int_atomic {
+        ($name:ident, $std:ty, $prim:ty) => {
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: $std,
+            }
+
+            impl $name {
+                pub fn new(v: $prim) -> Self {
+                    Self {
+                        inner: <$std>::new(v),
+                    }
+                }
+
+                pub fn load(&self, order: Ordering) -> $prim {
+                    hook();
+                    self.inner.load(order)
+                }
+
+                pub fn store(&self, v: $prim, order: Ordering) {
+                    hook();
+                    self.inner.store(v, order)
+                }
+
+                pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                    hook();
+                    self.inner.swap(v, order)
+                }
+
+                pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                    hook();
+                    self.inner.fetch_add(v, order)
+                }
+
+                pub fn fetch_sub(&self, v: $prim, order: Ordering) -> $prim {
+                    hook();
+                    self.inner.fetch_sub(v, order)
+                }
+
+                pub fn fetch_max(&self, v: $prim, order: Ordering) -> $prim {
+                    hook();
+                    self.inner.fetch_max(v, order)
+                }
+
+                pub fn fetch_min(&self, v: $prim, order: Ordering) -> $prim {
+                    hook();
+                    self.inner.fetch_min(v, order)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    hook();
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                pub fn into_inner(self) -> $prim {
+                    self.inner.into_inner()
+                }
+
+                pub fn get_mut(&mut self) -> &mut $prim {
+                    self.inner.get_mut()
+                }
+            }
+        };
+    }
+
+    int_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    int_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    int_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        pub fn new(v: bool) -> Self {
+            Self {
+                inner: std::sync::atomic::AtomicBool::new(v),
+            }
+        }
+
+        pub fn load(&self, order: Ordering) -> bool {
+            hook();
+            self.inner.load(order)
+        }
+
+        pub fn store(&self, v: bool, order: Ordering) {
+            hook();
+            self.inner.store(v, order)
+        }
+
+        pub fn swap(&self, v: bool, order: Ordering) -> bool {
+            hook();
+            self.inner.swap(v, order)
+        }
+
+        pub fn fetch_or(&self, v: bool, order: Ordering) -> bool {
+            hook();
+            self.inner.fetch_or(v, order)
+        }
+
+        pub fn fetch_and(&self, v: bool, order: Ordering) -> bool {
+            hook();
+            self.inner.fetch_and(v, order)
+        }
+
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            hook();
+            self.inner.compare_exchange(current, new, success, failure)
+        }
+
+        pub fn into_inner(self) -> bool {
+            self.inner.into_inner()
+        }
+
+        pub fn get_mut(&mut self) -> &mut bool {
+            self.inner.get_mut()
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Thread spawning that registers children with the active model (or
+//! delegates to `std::thread` when no model is running).
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::sched;
+
+enum Imp<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        sched: Arc<sched::Scheduler>,
+        tid: sched::Tid,
+        join_res: u64,
+        result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+    },
+}
+
+pub struct JoinHandle<T>(Imp<T>);
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Imp::Std(h) => h.join(),
+            Imp::Model {
+                sched,
+                tid,
+                join_res,
+                result,
+            } => {
+                let (_, me) = sched::current()
+                    .expect("a model JoinHandle must be joined from inside its model");
+                sched.join_wait(me, tid, join_res);
+                match result.lock().unwrap_or_else(PoisonError::into_inner).take() {
+                    Some(r) => r,
+                    // No result means the child unwound during an
+                    // execution abort; propagate the abort.
+                    None => std::panic::panic_any(sched::AbortSignal),
+                }
+            }
+        }
+    }
+
+    pub fn thread_name(&self) -> Option<String> {
+        match &self.0 {
+            Imp::Std(h) => h.thread().name().map(str::to_owned),
+            Imp::Model { tid, .. } => Some(format!("model-{tid}")),
+        }
+    }
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    spawn_named("loom-lite", f)
+}
+
+/// Spawn a thread. Inside a model the child becomes a model thread
+/// (scheduled deterministically, `name` kept only for diagnostics);
+/// outside, a named `std::thread`.
+pub fn spawn_named<F, T>(name: &str, f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match sched::current() {
+        Some((s, me)) => {
+            let (tid, join_res) = s.register_thread();
+            let result = Arc::new(Mutex::new(None));
+            let slot = Arc::clone(&result);
+            let s2 = Arc::clone(&s);
+            std::thread::Builder::new()
+                .name(format!("{name}-model-{tid}"))
+                .spawn(move || {
+                    sched::run_model_thread(s2, tid, join_res, move || {
+                        let v = f();
+                        *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(Ok(v));
+                    });
+                })
+                .expect("spawn model thread");
+            // The spawn itself is a decision point: the child is now
+            // schedulable, and may run before the parent continues.
+            s.yield_point(me);
+            JoinHandle(Imp::Model {
+                sched: s,
+                tid,
+                join_res,
+                result,
+            })
+        }
+        None => JoinHandle(Imp::Std(
+            std::thread::Builder::new()
+                .name(name.to_owned())
+                .spawn(f)
+                .expect("spawn thread"),
+        )),
+    }
+}

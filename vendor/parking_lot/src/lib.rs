@@ -10,6 +10,8 @@
 //! The guard holds its std guard in an `Option` so the condvar can
 //! release and reacquire it through a `&mut` borrow in safe code.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Deref, DerefMut};
 use std::sync::{self, PoisonError};
 use std::time::{Duration, Instant};

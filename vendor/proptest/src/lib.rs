@@ -14,6 +14,8 @@
 //! reported as-is with its case seed — and rejection sampling is
 //! bounded rather than globally budgeted.
 
+#![forbid(unsafe_code)]
+
 pub mod arbitrary;
 pub mod collection;
 pub mod option;

@@ -6,6 +6,8 @@
 //! splitmix64). Deterministic for a given seed, which is all the
 //! simulators need; stream values differ from the real crate.
 
+#![forbid(unsafe_code)]
+
 /// Low-level entropy source.
 pub trait RngCore {
     fn next_u64(&mut self) -> u64;
