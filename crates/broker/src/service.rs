@@ -23,7 +23,7 @@
 //!   [`Index::advance_watermark`] — so a cached page can never
 //!   outlive the data it summarises.
 //! * **Cursor leases** — live sessions are server-side
-//!   [`LiveCursor`]s keyed by [`LeaseId`] with a wall-clock TTL. Any
+//!   [`LiveCursor`]s keyed by [`crate::LeaseId`] with a wall-clock TTL. Any
 //!   request touching a lease renews it; a client that goes quiet
 //!   past the TTL is reaped, and later requests get
 //!   [`BrokerError::LeaseExpired`]. Within the TTL a crashed client

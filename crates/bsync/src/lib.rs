@@ -27,7 +27,8 @@
 //!
 //! Model tests live in downstream crates as `tests/loom_*.rs`, gated
 //! `#![cfg(feature = "loom-lite")]`, and drive the checker through
-//! [`model`] (re-exported loom-lite API).
+//! `bsync::model` (the re-exported loom-lite API; present only under
+//! the feature, so no intra-doc link).
 
 #[cfg(feature = "loom-lite")]
 pub use loom_lite::sync::{
@@ -55,5 +56,6 @@ pub mod atomic {
 }
 
 pub mod channel;
+pub mod pool;
 pub mod thread;
 pub mod time;

@@ -14,15 +14,16 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::fs::File;
-use std::io::Read as _;
 use std::sync::Arc;
 
 use broker::index::DumpMeta;
 use broker::SourceId;
 use mrt::record::MrtType;
 use mrt::table_dump_v2::{TableDumpV2, SUBTYPE_PEER_INDEX_TABLE};
-use mrt::{MrtBody, MrtHeader, MrtRecord, MrtSliceReader, PeerIndexTable, RawMrtView};
+use mrt::{
+    ChunkCtx, ChunkedReader, DecodeMode, MrtBody, MrtHeader, MrtRecord, ParDecoder, PeerIndexTable,
+    RawMrtView, Step,
+};
 
 use crate::elem::{extract_elems_into, extract_elems_owned, BgpStreamElem};
 use crate::filter::{CompiledFilters, Filters};
@@ -78,14 +79,161 @@ pub fn partition_overlap_groups(files: &[DumpMeta]) -> Vec<Vec<DumpMeta>> {
     groups
 }
 
-/// One open dump file inside a merge: a streaming MRT reader plus the
+/// The per-record decode result flowing out of [`decode_one`], before
+/// the dump-level state (last-delivered timestamp, position lookahead)
+/// is applied. Parallel decode workers produce these; the consumer
+/// side turns them into [`BgpStreamRecord`]s.
+struct Decoded {
+    ts: u64,
+    status: RecordStatus,
+    elems: Vec<BgpStreamElem>,
+    /// Corrupted-read placeholders carry no timestamp of their own:
+    /// the *consumer* stamps them with the dump's last delivered
+    /// timestamp (sequential state no worker can know). Always set
+    /// together with stream termination — a stamped placeholder is the
+    /// dump's final record, mirroring the poisoning readers.
+    stamp_with_last: bool,
+}
+
+impl Decoded {
+    fn empty(ts: u64, status: RecordStatus) -> Decoded {
+        Decoded {
+            ts,
+            status,
+            elems: Vec::new(),
+            stamp_with_last: false,
+        }
+    }
+
+    /// The corrupted-read placeholder ending a stream.
+    fn corrupt_tail() -> Decoded {
+        Decoded {
+            ts: 0,
+            status: RecordStatus::CorruptedRecord,
+            elems: Vec::new(),
+            stamp_with_last: true,
+        }
+    }
+}
+
+/// Decode and filter one framed record. This is THE per-record path —
+/// the sequential reader calls it inline, parallel workers call it
+/// from the [`ParDecoder`] map — so the two modes cannot drift apart.
+///
+/// Filter pushdown happens here: when the compiled filters can prove
+/// from the raw bytes that no elem of the record will pass
+/// ([`CompiledFilters::record_may_match`]), the full decode — and
+/// every allocation it implies — is skipped and an elem-less envelope
+/// is emitted instead. The envelope sequence (timestamps, positions,
+/// dump annotations) is identical to the decode-then-filter path;
+/// only the wasted work is gone.
+///
+/// `pit` is the `PEER_INDEX_TABLE` in effect *before* this record;
+/// if the record is itself a PIT it is installed into the slot (the
+/// sequential caller threads its dump-wide slot here; parallel
+/// workers thread a per-record scratch slot pre-seeded from
+/// [`ChunkCtx`], whose propagation the chunk framer owns).
+fn decode_one(
+    filters: &CompiledFilters,
+    scratch: &mut Vec<BgpStreamElem>,
+    pit: &mut Option<Arc<PeerIndexTable>>,
+    header: &MrtHeader,
+    body: &[u8],
+) -> Step<Decoded> {
+    let ts = header.timestamp as u64;
+    if !filters.is_pass_all() {
+        match header.mrt_type {
+            // Unsupported record types never decompose into elems;
+            // skip even the body-preserving copy the decoder does.
+            MrtType::Other(_) => {
+                return Step::Item(Decoded::empty(ts, RecordStatus::Unsupported));
+            }
+            // The peer index table must always be decoded (RIB
+            // rows that follow resolve peers through it).
+            MrtType::TableDumpV2 if header.subtype == SUBTYPE_PEER_INDEX_TABLE => {}
+            _ => {
+                if let Some(view) = RawMrtView::parse(header, body) {
+                    // A rejection also certifies the body would
+                    // have decoded cleanly (the prefilter scans
+                    // validate as they go), so skipping the decode
+                    // can never hide a corrupted read that the
+                    // unfiltered path would have signalled.
+                    if !filters.record_may_match(&view, pit.as_deref()) {
+                        return Step::Item(Decoded::empty(ts, RecordStatus::Valid));
+                    }
+                }
+                // Unparseable or possibly-corrupt views fall
+                // through to the full decode, which owns
+                // corruption signalling.
+            }
+        }
+    }
+    let rec = match MrtRecord::decode(header, body) {
+        Ok(rec) => rec,
+        Err(_) => return Step::Terminal(Decoded::corrupt_tail()),
+    };
+    if let MrtBody::TableDumpV2(TableDumpV2::PeerIndexTable(p)) = &rec.body {
+        *pit = Some(Arc::new(p.clone()));
+    }
+    let unsupported = matches!(rec.body, MrtBody::Unknown(_));
+    let (elems, missing_peer) = if filters.is_pass_all() {
+        // Fast path: with no elem filters configured, the
+        // extracted Vec is handed over as-is.
+        let extracted = extract_elems_owned(rec, pit.as_deref());
+        (extracted.elems, extracted.missing_peer)
+    } else {
+        // Extract into the reusable scratch buffer, filter in
+        // place, and right-size an owned Vec only for survivors —
+        // fully-filtered records allocate nothing.
+        scratch.clear();
+        let missing_peer = extract_elems_into(rec, pit.as_deref(), scratch);
+        scratch.retain(|e| filters.matches(e));
+        let elems = if scratch.is_empty() {
+            Vec::new()
+        } else {
+            // Deliberately NOT `mem::take` (clippy::drain_collect):
+            // taking would steal the scratch buffer's capacity and
+            // defeat its reuse across records. Draining moves the
+            // survivors into one exact-size Vec and keeps the
+            // buffer allocated.
+            #[allow(clippy::drain_collect)]
+            scratch.drain(..).collect()
+        };
+        (elems, missing_peer)
+    };
+    let status = if unsupported {
+        RecordStatus::Unsupported
+    } else if missing_peer {
+        RecordStatus::CorruptedRecord
+    } else {
+        RecordStatus::Valid
+    };
+    Step::Item(Decoded {
+        ts,
+        status,
+        elems,
+        stamp_with_last: false,
+    })
+}
+
+/// The record source behind one open dump: either the streaming
+/// sequential reader, or the parallel front-end (framing on this
+/// thread, decode on a worker pool, in-order reassembly).
+enum DumpSource {
+    Seq(ChunkedReader),
+    Par(Box<ParDecoder<Decoded>>),
+}
+
+/// One open dump file inside a merge: a streaming MRT source plus the
 /// state needed to annotate records (peer table, position lookahead).
 struct OpenDump {
     meta: DumpMeta,
     /// Interned source identity, resolved once at open; every record
     /// copies this handle instead of cloning the name strings.
     source: SourceId,
-    reader: Option<MrtSliceReader>,
+    input: Option<DumpSource>,
+    /// Sequential-mode peer table slot (parallel mode tracks the
+    /// table inside the framer, per chunk).
     pit: Option<Arc<PeerIndexTable>>,
     /// One-record lookahead so the last record can be flagged
     /// `DumpPosition::End`.
@@ -99,18 +247,47 @@ struct OpenDump {
 }
 
 impl OpenDump {
-    fn open(meta: DumpMeta, filters: &CompiledFilters, scratch: &mut Vec<BgpStreamElem>) -> Self {
+    fn open(
+        meta: DumpMeta,
+        filters: &Arc<CompiledFilters>,
+        scratch: &mut Vec<BgpStreamElem>,
+        mode: DecodeMode,
+    ) -> Self {
         let source = meta.source_id();
-        // Slurp the whole file: dump files are bounded (one broker
-        // window's worth) and a single read beats per-record BufReader
-        // syscalls on the merge path.
-        match std::fs::read(&meta.path) {
-            Ok(bytes) => {
+        // Streaming open: the reader decompresses and frames
+        // incrementally into a bounded window instead of slurping the
+        // whole (possibly gzip-compressed) file into memory.
+        match ChunkedReader::open(&meta.path) {
+            Ok(reader) => {
+                let input = match mode {
+                    DecodeMode::Sequential => DumpSource::Seq(reader),
+                    DecodeMode::Parallel(n) => {
+                        let f = Arc::clone(filters);
+                        DumpSource::Par(Box::new(ParDecoder::spawn(
+                            reader,
+                            n.max(1),
+                            |_| Vec::new(),
+                            move |scratch: &mut Vec<BgpStreamElem>,
+                                  ctx: &ChunkCtx,
+                                  header,
+                                  body| {
+                                // Per-record PIT slot seeded from the
+                                // chunk context; the framer owns
+                                // cross-chunk propagation, so a local
+                                // install is complete by construction
+                                // (PIT records are singleton chunks).
+                                let mut pit = ctx.pit.clone();
+                                decode_one(&f, scratch, &mut pit, header, body)
+                            },
+                            |_e| Decoded::corrupt_tail(),
+                        )))
+                    }
+                };
                 let mut dump = OpenDump {
                     last_ts: meta.interval_start,
                     meta,
                     source,
-                    reader: Some(MrtSliceReader::new(bytes)),
+                    input: Some(input),
                     pit: None,
                     pending: None,
                     produced: 0,
@@ -136,7 +313,7 @@ impl OpenDump {
                     last_ts: meta.interval_start,
                     meta,
                     source,
-                    reader: None,
+                    input: None,
                     pit: None,
                     pending: Some(rec),
                     produced: 0,
@@ -146,139 +323,65 @@ impl OpenDump {
         }
     }
 
+    /// Apply dump-level state to one decode result: the last-delivered
+    /// timestamp clamp (and placeholder stamping) plus termination.
+    /// Shared by both modes so their envelope sequences stay
+    /// byte-identical.
+    fn finish_step(&mut self, step: Step<Decoded>) -> BgpStreamRecord {
+        let (d, terminal) = match step {
+            Step::Item(d) => (d, false),
+            Step::Terminal(d) => (d, true),
+        };
+        if terminal {
+            self.finished = true;
+        }
+        let ts = if d.stamp_with_last {
+            // Stamp the placeholder with the last timestamp this
+            // dump delivered — not `interval_start`, which can lie
+            // before records already emitted and would make the
+            // merged stream go backwards in time.
+            self.last_ts
+        } else {
+            self.last_ts = self.last_ts.max(d.ts);
+            d.ts
+        };
+        BgpStreamRecord {
+            source: self.source,
+            dump_time: self.meta.interval_start,
+            timestamp: ts,
+            position: DumpPosition::Middle,
+            status: d.status,
+            elems_vec: d.elems,
+        }
+    }
+
     /// Read and annotate the next raw record (position fixed up later).
-    ///
-    /// Filter pushdown happens here: the record is *framed* first
-    /// ([`MrtSliceReader::next_raw`]), and when the compiled filters
-    /// can prove from the raw bytes that no elem of the record will
-    /// pass ([`CompiledFilters::record_may_match`]), the full decode —
-    /// and every allocation it implies — is skipped and an elem-less
-    /// record envelope is emitted instead. The envelope sequence
-    /// (timestamps, positions, dump annotations) is identical to the
-    /// decode-then-filter path; only the wasted work is gone.
     fn read_one(
         &mut self,
         filters: &CompiledFilters,
         scratch: &mut Vec<BgpStreamElem>,
     ) -> Option<BgpStreamRecord> {
-        // Direct field access throughout (no `&mut self` helpers):
-        // `raw` keeps a loan on `self.reader` alive, and the borrow
-        // checker only tolerates touching the *other* fields.
-        let source = self.source;
-        let dump_time = self.meta.interval_start;
-        let reader = self.reader.as_mut()?;
-        let raw = match reader.next_raw() {
-            None => {
-                self.finished = true;
-                return None;
-            }
-            Some(Err(_)) => {
-                self.finished = true;
-                // Stamp the placeholder with the last timestamp this
-                // dump delivered — not `interval_start`, which can lie
-                // before records already emitted and would make the
-                // merged stream go backwards in time.
-                return Some(empty_record(
-                    source,
-                    dump_time,
-                    self.last_ts,
-                    RecordStatus::CorruptedRecord,
-                ));
-            }
-            Some(Ok(raw)) => raw,
-        };
-        let ts = raw.header.timestamp as u64;
-        if !filters.is_pass_all() {
-            match raw.header.mrt_type {
-                // Unsupported record types never decompose into elems;
-                // skip even the body-preserving copy the decoder does.
-                MrtType::Other(_) => {
-                    self.last_ts = self.last_ts.max(ts);
-                    return Some(empty_record(
-                        source,
-                        dump_time,
-                        ts,
-                        RecordStatus::Unsupported,
-                    ));
+        let step = match self.input.as_mut()? {
+            DumpSource::Seq(reader) => match reader.next_raw() {
+                None => {
+                    self.finished = true;
+                    return None;
                 }
-                // The peer index table must always be decoded (RIB
-                // rows that follow resolve peers through it).
-                MrtType::TableDumpV2 if raw.header.subtype == SUBTYPE_PEER_INDEX_TABLE => {}
-                _ => {
-                    if let Some(view) = RawMrtView::parse(&raw.header, raw.body) {
-                        // A rejection also certifies the body would
-                        // have decoded cleanly (the prefilter scans
-                        // validate as they go), so skipping the decode
-                        // can never hide a corrupted read that the
-                        // unfiltered path would have signalled.
-                        if !filters.record_may_match(&view, self.pit.as_deref()) {
-                            self.last_ts = self.last_ts.max(ts);
-                            return Some(empty_record(source, dump_time, ts, RecordStatus::Valid));
-                        }
-                    }
-                    // Unparseable or possibly-corrupt views fall
-                    // through to the full decode, which owns
-                    // corruption signalling.
+                Some(Err(_)) => Step::Terminal(Decoded::corrupt_tail()),
+                // `raw` keeps a loan on `self.input` alive; decode_one
+                // only needs the *other* fields (pit) plus externals.
+                Some(Ok(raw)) => decode_one(filters, scratch, &mut self.pit, &raw.header, raw.body),
+            },
+            DumpSource::Par(dec) => match dec.next() {
+                None => {
+                    self.finished = true;
+                    return None;
                 }
-            }
-        }
-        let rec = match MrtRecord::decode(&raw.header, raw.body) {
-            Ok(rec) => rec,
-            Err(_) => {
-                self.finished = true;
-                return Some(empty_record(
-                    source,
-                    dump_time,
-                    self.last_ts,
-                    RecordStatus::CorruptedRecord,
-                ));
-            }
+                Some(d) if d.stamp_with_last => Step::Terminal(d),
+                Some(d) => Step::Item(d),
+            },
         };
-        if let MrtBody::TableDumpV2(TableDumpV2::PeerIndexTable(pit)) = &rec.body {
-            self.pit = Some(Arc::new(pit.clone()));
-        }
-        let unsupported = matches!(rec.body, MrtBody::Unknown(_));
-        let (elems_vec, missing_peer) = if filters.is_pass_all() {
-            // Fast path: with no elem filters configured, the
-            // extracted Vec is handed over as-is.
-            let extracted = extract_elems_owned(rec, self.pit.as_deref());
-            (extracted.elems, extracted.missing_peer)
-        } else {
-            // Extract into the merger-wide scratch buffer, filter in
-            // place, and right-size an owned Vec only for survivors —
-            // fully-filtered records allocate nothing.
-            scratch.clear();
-            let missing_peer = extract_elems_into(rec, self.pit.as_deref(), scratch);
-            scratch.retain(|e| filters.matches(e));
-            let elems = if scratch.is_empty() {
-                Vec::new()
-            } else {
-                // Deliberately NOT `mem::take` (clippy::drain_collect):
-                // taking would steal the scratch buffer's capacity and
-                // defeat its reuse across records. Draining moves the
-                // survivors into one exact-size Vec and keeps the
-                // buffer allocated.
-                #[allow(clippy::drain_collect)]
-                scratch.drain(..).collect()
-            };
-            (elems, missing_peer)
-        };
-        let status = if unsupported {
-            RecordStatus::Unsupported
-        } else if missing_peer {
-            RecordStatus::CorruptedRecord
-        } else {
-            RecordStatus::Valid
-        };
-        self.last_ts = self.last_ts.max(ts);
-        Some(BgpStreamRecord {
-            source: self.source,
-            dump_time: self.meta.interval_start,
-            timestamp: ts,
-            position: DumpPosition::Middle,
-            status,
-            elems_vec,
-        })
+        Some(self.finish_step(step))
     }
 
     /// Produce the next record with final position annotation.
@@ -308,26 +411,6 @@ impl OpenDump {
     /// Timestamp of the next record (for heap ordering).
     fn head_timestamp(&self) -> Option<u64> {
         self.pending.as_ref().map(|r| r.timestamp)
-    }
-}
-
-/// An elem-less record envelope: corrupted-read placeholders,
-/// unsupported record types, and prefilter-rejected records (whose
-/// envelope must still flow so positions and record-level events are
-/// identical to the decode-then-filter path).
-fn empty_record(
-    source: SourceId,
-    dump_time: u64,
-    timestamp: u64,
-    status: RecordStatus,
-) -> BgpStreamRecord {
-    BgpStreamRecord {
-        source,
-        dump_time,
-        timestamp,
-        position: DumpPosition::Middle,
-        status,
-        elems_vec: Vec::new(),
     }
 }
 
@@ -374,17 +457,34 @@ pub struct GroupMerger {
     /// `ranks[slot]`: lexicographic tiebreak rank of that dump.
     ranks: Vec<u32>,
     filters: Arc<CompiledFilters>,
+    /// Decode mode every dump of this merge opens with (admitted
+    /// stragglers included).
+    mode: DecodeMode,
     /// Reusable elem extraction buffer (see [`extract_elems_into`]).
     scratch: Vec<BgpStreamElem>,
 }
 
 impl GroupMerger {
-    /// Open every file of the group and prime the heap.
+    /// Open every file of the group and prime the heap, decoding
+    /// sequentially. See [`GroupMerger::open_with`] for parallel
+    /// decode.
     pub fn open(group: Vec<DumpMeta>, filters: Arc<CompiledFilters>) -> Self {
+        Self::open_with(group, filters, DecodeMode::Sequential)
+    }
+
+    /// Open every file of the group under the given [`DecodeMode`] and
+    /// prime the heap. Both modes deliver byte-identical record
+    /// sequences; `Parallel` spends one worker pool per open dump to
+    /// overlap record decoding with the merge.
+    pub fn open_with(
+        group: Vec<DumpMeta>,
+        filters: Arc<CompiledFilters>,
+        mode: DecodeMode,
+    ) -> Self {
         let mut scratch = Vec::new();
         let dumps: Vec<OpenDump> = group
             .into_iter()
-            .map(|m| OpenDump::open(m, &filters, &mut scratch))
+            .map(|m| OpenDump::open(m, &filters, &mut scratch, mode))
             .collect();
         // Integer tiebreaks: rank slots by (project, collector, type)
         // once, so the heap never compares (or clones) strings.
@@ -416,6 +516,7 @@ impl GroupMerger {
             heap,
             ranks,
             filters,
+            mode,
             scratch,
         }
     }
@@ -437,7 +538,7 @@ impl GroupMerger {
     pub fn admit(&mut self, meta: DumpMeta) {
         let slot = self.dumps.len();
         let rank = self.ranks.iter().copied().max().map_or(0, |r| r + 1);
-        let dump = OpenDump::open(meta, &self.filters, &mut self.scratch);
+        let dump = OpenDump::open(meta, &self.filters, &mut self.scratch, self.mode);
         self.ranks.push(rank);
         if let Some(ts) = dump.head_timestamp() {
             self.heap.push(HeapEntry {
@@ -475,8 +576,17 @@ impl GroupMerger {
 /// Convenience: read one local MRT file (no merge) into records —
 /// used by tests and the SingleFile interface path.
 pub fn read_single_file(meta: DumpMeta, filters: &Filters) -> Vec<BgpStreamRecord> {
+    read_single_file_with(meta, filters, DecodeMode::Sequential)
+}
+
+/// [`read_single_file`] under an explicit [`DecodeMode`].
+pub fn read_single_file_with(
+    meta: DumpMeta,
+    filters: &Filters,
+    mode: DecodeMode,
+) -> Vec<BgpStreamRecord> {
     let filters = Arc::new(filters.compile());
-    let mut merger = GroupMerger::open(vec![meta], filters);
+    let mut merger = GroupMerger::open_with(vec![meta], filters, mode);
     let mut out = Vec::new();
     while let Some(r) = merger.next() {
         out.push(r);
@@ -485,18 +595,15 @@ pub fn read_single_file(meta: DumpMeta, filters: &Filters) -> Vec<BgpStreamRecor
 }
 
 /// Check that a path exists and looks like MRT (cheap sanity helper
-/// for tools): peek the 12-byte common header and require a known
-/// record type and a sane body length, so arbitrary non-empty files
-/// are not misclassified.
+/// for tools): peek the 12-byte common header — decompressing it
+/// first if the file is gzip-compressed — and require a known record
+/// type and a sane body length, so arbitrary non-empty files are not
+/// misclassified.
 pub fn looks_like_mrt(path: &std::path::Path) -> bool {
-    let Ok(mut f) = File::open(path) else {
+    let Ok(mut r) = ChunkedReader::open(path) else {
         return false;
     };
-    let mut buf = [0u8; MrtHeader::LEN];
-    if f.read_exact(&mut buf).is_err() {
-        return false;
-    }
-    let Ok(header) = MrtHeader::decode(&buf) else {
+    let Ok(Some(header)) = r.peek_header() else {
         return false;
     };
     // RFC 6396 §4 type registry: OSPFv2(11), TABLE_DUMP(12),

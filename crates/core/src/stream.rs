@@ -24,6 +24,7 @@ use bsync::channel::{Receiver, Sender};
 use crate::filter::{CommunityFilter, CompiledFilters, Filters};
 use crate::record::BgpStreamRecord;
 use crate::sort::{partition_overlap_groups, GroupMerger};
+use mrt::DecodeMode;
 
 /// Virtual-time source for live mode.
 ///
@@ -175,6 +176,7 @@ pub struct BgpStreamBuilder {
     poll: Duration,
     release: Option<ReleasePolicy>,
     resume_lease: Option<LeaseId>,
+    decode: DecodeMode,
 }
 
 impl Default for BgpStreamBuilder {
@@ -188,6 +190,7 @@ impl Default for BgpStreamBuilder {
             poll: Duration::from_millis(2),
             release: None,
             resume_lease: None,
+            decode: DecodeMode::Sequential,
         }
     }
 }
@@ -359,6 +362,17 @@ impl BgpStreamBuilder {
         self
     }
 
+    /// How dump files are decoded ([`DecodeMode::Sequential`] by
+    /// default). [`DecodeMode::Parallel`] frames each dump on the
+    /// reading thread and decodes records on a worker pool,
+    /// reassembled in order — the record sequence is byte-identical
+    /// either way; parallel pays a pool spawn per dump and wins on
+    /// decode-heavy streams (large RIBs, historical backfill).
+    pub fn decode_mode(mut self, mode: DecodeMode) -> Self {
+        self.decode = mode;
+        self
+    }
+
     /// Finish configuration and enter the reading phase.
     ///
     /// Panics when the data interface cannot be materialised (e.g. an
@@ -417,6 +431,7 @@ impl BgpStreamBuilder {
             compiled,
             clock: self.clock,
             poll: self.poll,
+            decode: self.decode,
             groups: VecDeque::new(),
             lookahead: VecDeque::new(),
             merger: None,
@@ -475,6 +490,8 @@ pub struct BgpStream {
     compiled: Arc<CompiledFilters>,
     clock: Clock,
     poll: Duration,
+    /// Decode mode every merger of this stream opens dumps with.
+    decode: DecodeMode,
     groups: VecDeque<Vec<DumpMeta>>,
     /// Records handed back via [`BgpStream::unread`], delivered again
     /// (in order) before anything else.
@@ -500,6 +517,7 @@ pub struct BgpStream {
 struct PrefetchReq {
     group: Vec<DumpMeta>,
     filters: Arc<CompiledFilters>,
+    mode: DecodeMode,
     reply: Sender<GroupMerger>,
 }
 
@@ -524,7 +542,7 @@ fn prefetch_worker() -> &'static Sender<PrefetchReq> {
                     // un-blocks the requesting stream (its recv fails
                     // and it re-opens the group synchronously).
                     let opened = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        GroupMerger::open(req.group, req.filters)
+                        GroupMerger::open_with(req.group, req.filters, req.mode)
                     }));
                     if let Ok(merger) = opened {
                         // A dropped stream makes the send fail; ignore.
@@ -832,10 +850,10 @@ impl BgpStream {
                 Ok(m) => m,
                 // Worker died (only possible via panic); re-open the
                 // in-flight group synchronously so no records are lost.
-                Err(_) => GroupMerger::open(p.group, self.compiled.clone()),
+                Err(_) => GroupMerger::open_with(p.group, self.compiled.clone(), self.decode),
             },
             None => match self.groups.pop_front() {
-                Some(g) => GroupMerger::open(g, self.compiled.clone()),
+                Some(g) => GroupMerger::open_with(g, self.compiled.clone(), self.decode),
                 None => return false,
             },
         };
@@ -849,6 +867,7 @@ impl BgpStream {
             let req = PrefetchReq {
                 group: group.clone(),
                 filters: self.compiled.clone(),
+                mode: self.decode,
                 reply,
             };
             if prefetch_worker().send(req).is_ok() {

@@ -19,6 +19,15 @@
 //! * [`raw::RawMrtView`] — borrowed, decode-free record views for
 //!   filter pushdown: classify a record and scan its peer, NLRI and
 //!   community bytes without building any owned structure;
+//! * [`reader::ChunkedReader`] — the streaming front-end: frames
+//!   records out of a bounded window refilled from any byte source,
+//!   sniffing and decompressing gzip on the fly, so dump files are
+//!   never slurped whole into memory;
+//! * [`par`] — parallel record decode: sequential framing feeds
+//!   record-boundary chunks to a worker pool and a reorder buffer
+//!   releases results strictly in input order, so
+//!   [`par::ParDecoder`] is byte-for-byte equivalent to the
+//!   sequential readers (select it with [`par::DecodeMode`]);
 //! * [`writer::MrtWriter`] — the encoder used by the collector
 //!   simulator to produce archives.
 //!
@@ -30,6 +39,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bgp4mp;
+pub mod par;
 pub mod raw;
 pub mod reader;
 pub mod record;
@@ -37,8 +47,9 @@ pub mod table_dump_v2;
 pub mod writer;
 
 pub use bgp4mp::Bgp4mp;
+pub use par::{ChunkCtx, DecodeMode, ParDecoder, Reorder, Step};
 pub use raw::RawMrtView;
-pub use reader::{MrtError, MrtReader, MrtSliceReader, RawRecord};
+pub use reader::{ChunkedReader, MrtError, MrtReader, MrtSliceReader, RawRecord};
 pub use record::{MrtBody, MrtHeader, MrtRecord, MrtType};
 pub use table_dump_v2::{PeerEntry, PeerIndexTable, RibEntry, RibRow};
 pub use writer::MrtWriter;

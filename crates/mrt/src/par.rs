@@ -1,0 +1,555 @@
+//! Parallel record-boundary decode: frame sequentially, decode on a
+//! [`ShardPool`], reassemble in order.
+//!
+//! Framing an MRT stream is cheap — twelve header bytes give the next
+//! record boundary — but *decoding* a record (attribute parsing, NLRI
+//! walks, allocation) dominates the historical read path. This module
+//! splits a dump into multi-record chunks at record boundaries using
+//! [`ChunkedReader`]'s streaming framing, fans the chunks out to a
+//! [`ShardPool`] over `bsync` channels, and releases per-record results
+//! strictly in original order through a [`Reorder`] buffer, so
+//! downstream consumers observe a byte-identical sequence to the
+//! sequential path — including corrupted-record signals in their
+//! original positions.
+//!
+//! ```text
+//!   ChunkedReader ──frame──▶ chunks (seq 0,1,2,…)
+//!        │                     │ round-robin, bounded queues
+//!        │               ┌─────┴─────┐
+//!        │           worker 0 … worker n-1   map(record) per record
+//!        │               └─────┬─────┘
+//!        ▼                     ▼ (seq, items)
+//!   consumer ◀─── Reorder: release only seq == next ───┘
+//! ```
+//!
+//! Two pieces of *sequential* state thread through the otherwise
+//! embarrassingly-parallel map:
+//!
+//! * **`PEER_INDEX_TABLE`**: RIB rows resolve their peers through the
+//!   PIT that precedes them. The framer detects PIT records from the
+//!   header alone, cuts a chunk boundary there, decodes the table
+//!   inline (it is one record per RIB dump), and stamps every
+//!   subsequent chunk's [`ChunkCtx`] with the new table — so a worker
+//!   always sees exactly the table the sequential reader would have
+//!   installed.
+//! * **Terminal errors**: the sequential readers poison after a
+//!   corrupted read. A worker signals this by returning
+//!   [`Step::Terminal`]; the reorder stage truncates the stream at the
+//!   first terminal item, discarding results from any chunks that were
+//!   speculatively decoded past it.
+//!
+//! Worker panics cannot deadlock the in-order release: the handler
+//! catches them and ships a marker, and the consumer drains the pool
+//! via its join path before re-raising.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use bsync::channel;
+use bsync::pool::ShardPool;
+
+use crate::reader::{ChunkedReader, MrtError};
+use crate::record::{MrtBody, MrtHeader, MrtRecord, MrtType};
+use crate::table_dump_v2::{PeerIndexTable, TableDumpV2, SUBTYPE_PEER_INDEX_TABLE};
+
+/// How a dump should be decoded.
+///
+/// `Sequential` is the right default for many small files (live
+/// windows, update dumps); `Parallel(n)` pays one pool spawn per dump
+/// and wins on decode-dominated workloads — large RIB dumps, historical
+/// backfills. Both modes produce byte-identical record sequences.
+///
+/// ```
+/// use mrt::{Bgp4mp, ChunkedReader, DecodeMode, MrtRecord, MrtWriter, ParDecoder};
+/// use bgp_types::{Asn, BgpMessage};
+///
+/// let mut archive = Vec::new();
+/// let mut w = MrtWriter::new(&mut archive);
+/// for ts in 0..100 {
+///     w.write(&MrtRecord::bgp4mp(ts, Bgp4mp::Message {
+///         peer_asn: Asn(65001), local_asn: Asn(6447),
+///         peer_ip: "192.0.2.1".parse().unwrap(),
+///         local_ip: "192.0.2.254".parse().unwrap(),
+///         message: BgpMessage::Keepalive,
+///     })).unwrap();
+/// }
+///
+/// let mode = DecodeMode::Parallel(4);
+/// let mut records = Vec::new();
+/// match mode {
+///     DecodeMode::Sequential => {
+///         let mut r = ChunkedReader::from_bytes(archive.clone());
+///         while let Some(item) = r.next() { records.push(item.unwrap()); }
+///     }
+///     DecodeMode::Parallel(n) => {
+///         let source = ChunkedReader::from_bytes(archive.clone());
+///         let mut p = ParDecoder::decode_records(source, n);
+///         while let Some(item) = p.next() { records.push(item.unwrap()); }
+///     }
+/// }
+/// assert_eq!(records.len(), 100);
+/// assert_eq!(records[7].timestamp, 7);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DecodeMode {
+    /// Decode records one at a time on the calling thread.
+    #[default]
+    Sequential,
+    /// Frame on the calling thread, decode chunks on `n` pool workers
+    /// (clamped to at least 1), reassemble in order.
+    Parallel(usize),
+}
+
+impl DecodeMode {
+    /// Worker count this mode decodes with (1 for `Sequential`).
+    pub fn workers(self) -> usize {
+        match self {
+            DecodeMode::Sequential => 1,
+            DecodeMode::Parallel(n) => n.max(1),
+        }
+    }
+
+    /// Whether this mode routes through the parallel front-end.
+    pub fn is_parallel(self) -> bool {
+        matches!(self, DecodeMode::Parallel(_))
+    }
+}
+
+/// Sequential context a chunk's records decode under: the
+/// `PEER_INDEX_TABLE` in effect at each record, as installed by the
+/// framer (see module docs).
+#[derive(Clone)]
+pub struct ChunkCtx {
+    /// The peer table RIB rows in this chunk resolve against.
+    pub pit: Option<Arc<PeerIndexTable>>,
+}
+
+/// One per-record map result.
+pub enum Step<T> {
+    /// A normal record result; the stream continues.
+    Item(T),
+    /// A result after which the stream must end (decode failure —
+    /// mirrors the sequential readers poisoning). The item is
+    /// delivered, everything after it is discarded.
+    Terminal(T),
+}
+
+/// In-order release buffer keyed by chunk sequence number.
+///
+/// Workers complete chunks in racy order; `insert` accepts any
+/// sequence, `pop_ready` releases values only in exact `0,1,2,…`
+/// order. This is the piece the loom-lite model test drives (see
+/// `crates/mrt/tests/loom_reorder.rs`).
+pub struct Reorder<V> {
+    next_seq: u64,
+    pending: BTreeMap<u64, V>,
+}
+
+impl<V> Reorder<V> {
+    /// An empty buffer expecting sequence 0 first.
+    pub fn new() -> Reorder<V> {
+        Reorder {
+            next_seq: 0,
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// Buffer a completed chunk. Sequence numbers must be unique.
+    pub fn insert(&mut self, seq: u64, value: V) {
+        debug_assert!(seq >= self.next_seq, "chunk {seq} released twice");
+        let prev = self.pending.insert(seq, value);
+        debug_assert!(prev.is_none(), "chunk {seq} completed twice");
+    }
+
+    /// Release the next in-order chunk, if it has arrived.
+    pub fn pop_ready(&mut self) -> Option<V> {
+        let value = self.pending.remove(&self.next_seq)?;
+        self.next_seq += 1;
+        Some(value)
+    }
+
+    /// The sequence number the next release is waiting for.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Completed-but-unreleased chunks currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+impl<V> Default for Reorder<V> {
+    fn default() -> Self {
+        Reorder::new()
+    }
+}
+
+/// One framed chunk in flight to a worker: concatenated body bytes
+/// plus per-record headers/offsets, and the decode context.
+struct ParChunk {
+    seq: u64,
+    ctx: ChunkCtx,
+    data: Vec<u8>,
+    /// `(header, body_start, body_end)` offsets into `data`.
+    frames: Vec<(MrtHeader, u32, u32)>,
+}
+
+enum ChunkOut<T> {
+    Done {
+        items: Vec<T>,
+        terminal: bool,
+    },
+    /// The map panicked mid-chunk; the consumer re-raises after
+    /// draining the pool.
+    Panicked,
+}
+
+/// Records per chunk are bounded by bytes, not count; this is the
+/// byte target (a chunk always holds at least one record).
+const DEFAULT_CHUNK_BYTES: usize = 256 * 1024;
+/// Per-worker bounded queue depth (framer backpressure).
+const WORKER_QUEUE_CAP: usize = 2;
+
+/// The parallel decode front-end. See the module docs for the
+/// pipeline shape; see [`ParDecoder::spawn`] for the generic per-record
+/// map and [`ParDecoder::decode_records`] for the plain
+/// record-decoding instantiation.
+pub struct ParDecoder<T: Send + 'static> {
+    source: ChunkedReader,
+    pool: Option<ShardPool<ParChunk>>,
+    res_rx: channel::Receiver<(u64, ChunkOut<T>)>,
+    reorder: Reorder<ChunkOut<T>>,
+    out: VecDeque<T>,
+    on_frame_error: Box<dyn FnMut(MrtError) -> T + Send>,
+    workers: usize,
+    chunk_bytes: usize,
+    max_inflight: u64,
+    next_send_seq: u64,
+    received: u64,
+    frame_done: bool,
+    pending_frame_error: Option<MrtError>,
+    terminal_seen: bool,
+    cur_pit: Option<Arc<PeerIndexTable>>,
+    stage_data: Vec<u8>,
+    stage_frames: Vec<(MrtHeader, u32, u32)>,
+}
+
+impl<T: Send + 'static> ParDecoder<T> {
+    /// Spawn `workers` decode threads over `source`.
+    ///
+    /// `init(w)` builds worker-private scratch state; `map(&mut state,
+    /// &ctx, &header, body)` runs once per record on some worker and
+    /// returns the record's result ([`Step::Terminal`] ends the whole
+    /// stream at that record). `on_frame_error` converts a framing
+    /// fault (truncated tail, oversized length, IO/decompression
+    /// error) into the stream's final item, exactly where the
+    /// sequential reader would have yielded its `Some(Err(_))`.
+    pub fn spawn<S, I, F, E>(
+        source: ChunkedReader,
+        workers: usize,
+        init: I,
+        map: F,
+        on_frame_error: E,
+    ) -> ParDecoder<T>
+    where
+        S: Send + 'static,
+        I: FnMut(usize) -> S,
+        F: Fn(&mut S, &ChunkCtx, &MrtHeader, &[u8]) -> Step<T> + Send + Sync + 'static,
+        E: FnMut(MrtError) -> T + Send + 'static,
+    {
+        Self::spawn_with_chunk_bytes(
+            source,
+            workers,
+            DEFAULT_CHUNK_BYTES,
+            init,
+            map,
+            on_frame_error,
+        )
+    }
+
+    /// [`ParDecoder::spawn`] with an explicit chunk byte target —
+    /// tests shrink it to force records onto chunk edges.
+    pub fn spawn_with_chunk_bytes<S, I, F, E>(
+        source: ChunkedReader,
+        workers: usize,
+        chunk_bytes: usize,
+        init: I,
+        map: F,
+        on_frame_error: E,
+    ) -> ParDecoder<T>
+    where
+        S: Send + 'static,
+        I: FnMut(usize) -> S,
+        F: Fn(&mut S, &ChunkCtx, &MrtHeader, &[u8]) -> Step<T> + Send + Sync + 'static,
+        E: FnMut(MrtError) -> T + Send + 'static,
+    {
+        let workers = workers.max(1);
+        let (res_tx, res_rx) = channel::unbounded::<(u64, ChunkOut<T>)>();
+        let pool = ShardPool::spawn(
+            workers,
+            WORKER_QUEUE_CAP,
+            init,
+            move |_w, state: &mut S, chunk: ParChunk| {
+                // Catch map panics so the marker (not silence) reaches
+                // the consumer: a vanished result would leave the
+                // reorder stage waiting on this seq forever. State may
+                // be inconsistent after a caught panic, but the
+                // consumer re-raises on the marker before any later
+                // output from this worker can be released.
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    let mut items = Vec::with_capacity(chunk.frames.len());
+                    let mut terminal = false;
+                    for &(ref header, start, end) in &chunk.frames {
+                        let body = &chunk.data[start as usize..end as usize];
+                        match map(state, &chunk.ctx, header, body) {
+                            Step::Item(t) => items.push(t),
+                            Step::Terminal(t) => {
+                                items.push(t);
+                                terminal = true;
+                                break;
+                            }
+                        }
+                    }
+                    (items, terminal)
+                }));
+                let out = match result {
+                    Ok((items, terminal)) => ChunkOut::Done { items, terminal },
+                    Err(_) => ChunkOut::Panicked,
+                };
+                let _ = res_tx.send((chunk.seq, out));
+            },
+        );
+        ParDecoder {
+            source,
+            pool: Some(pool),
+            res_rx,
+            reorder: Reorder::new(),
+            out: VecDeque::new(),
+            on_frame_error: Box::new(on_frame_error),
+            workers,
+            chunk_bytes: chunk_bytes.max(1),
+            max_inflight: (workers as u64 * 2).max(2),
+            next_send_seq: 0,
+            received: 0,
+            frame_done: false,
+            pending_frame_error: None,
+            terminal_seen: false,
+            cur_pit: None,
+            stage_data: Vec::new(),
+            stage_frames: Vec::new(),
+        }
+    }
+
+    /// Worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn in_flight(&self) -> u64 {
+        self.next_send_seq - self.received
+    }
+
+    /// Ship the staged chunk (no-op when nothing is staged — chunks
+    /// are never empty).
+    fn flush_stage(&mut self) {
+        if self.stage_frames.is_empty() {
+            return;
+        }
+        let chunk = ParChunk {
+            seq: self.next_send_seq,
+            ctx: ChunkCtx {
+                pit: self.cur_pit.clone(),
+            },
+            data: std::mem::take(&mut self.stage_data),
+            frames: std::mem::take(&mut self.stage_frames),
+        };
+        let worker = (chunk.seq % self.workers as u64) as usize;
+        self.next_send_seq += 1;
+        let sent = match &self.pool {
+            Some(pool) => pool.send(worker, chunk),
+            None => false,
+        };
+        if !sent {
+            self.worker_panicked();
+        }
+    }
+
+    fn stage_push(&mut self, header: MrtHeader, body: &[u8]) {
+        let start = self.stage_data.len() as u32;
+        self.stage_data.extend_from_slice(body);
+        let end = self.stage_data.len() as u32;
+        self.stage_frames.push((header, start, end));
+    }
+
+    /// Frame and dispatch chunks until the in-flight cap is reached or
+    /// the source ends. PIT records force a chunk cut and are decoded
+    /// inline so later chunks carry the right context.
+    fn pump(&mut self) {
+        while !self.frame_done && self.in_flight() < self.max_inflight {
+            match self.source.next_raw() {
+                None => {
+                    self.frame_done = true;
+                }
+                Some(Err(e)) => {
+                    self.pending_frame_error = Some(e);
+                    self.frame_done = true;
+                }
+                Some(Ok(raw)) => {
+                    let header = raw.header;
+                    let is_pit = header.mrt_type == MrtType::TableDumpV2
+                        && header.subtype == SUBTYPE_PEER_INDEX_TABLE;
+                    if is_pit {
+                        let body = raw.body.to_vec();
+                        // Close the chunk running up to the PIT …
+                        self.flush_stage();
+                        match MrtRecord::decode(&header, &body) {
+                            Ok(MrtRecord {
+                                body: MrtBody::TableDumpV2(TableDumpV2::PeerIndexTable(pit)),
+                                ..
+                            }) => {
+                                // … install the new table, then ship the
+                                // PIT record as its own chunk carrying it
+                                // (the sequential path also extracts the
+                                // PIT record *after* installing it).
+                                self.cur_pit = Some(Arc::new(pit));
+                                self.stage_push(header, &body);
+                                self.flush_stage();
+                            }
+                            _ => {
+                                // Undecodable PIT: ship it anyway — the
+                                // worker's map fails identically and emits
+                                // the terminal item — and stop framing,
+                                // like the sequential reader stops after a
+                                // corrupted read.
+                                self.stage_push(header, &body);
+                                self.flush_stage();
+                                self.frame_done = true;
+                            }
+                        }
+                    } else {
+                        // Inlined stage_push: `raw.body` still borrows
+                        // `self.source`, so only touch disjoint fields.
+                        let start = self.stage_data.len() as u32;
+                        self.stage_data.extend_from_slice(raw.body);
+                        let end = self.stage_data.len() as u32;
+                        self.stage_frames.push((header, start, end));
+                        if self.stage_data.len() >= self.chunk_bytes {
+                            self.flush_stage();
+                        }
+                    }
+                }
+            }
+        }
+        if self.frame_done {
+            self.flush_stage();
+        }
+    }
+
+    /// Release every chunk that is next in order into the output queue.
+    fn drain_ready(&mut self) {
+        while let Some(chunk) = self.reorder.pop_ready() {
+            match chunk {
+                ChunkOut::Done { items, terminal } => {
+                    self.out.extend(items);
+                    if terminal {
+                        // Sequential poisoning: nothing past the first
+                        // terminal record is ever delivered, even though
+                        // later chunks may already have decoded.
+                        self.terminal_seen = true;
+                        self.shutdown();
+                        return;
+                    }
+                }
+                ChunkOut::Panicked => self.worker_panicked(),
+            }
+        }
+    }
+
+    /// Drop the pool: queues disconnect, workers drain and exit.
+    fn shutdown(&mut self) {
+        self.pool = None;
+    }
+
+    fn worker_panicked(&mut self) -> ! {
+        // Join the pool first so worker threads are drained (and a
+        // genuinely dead thread surfaces its own panic message),
+        // then re-raise.
+        self.pool = None;
+        panic!("mrt::par decode worker panicked");
+    }
+
+    /// The next in-order record result, or `None` at end of stream.
+    ///
+    /// After a [`Step::Terminal`] item or the `on_frame_error` item has
+    /// been returned, every subsequent call returns `None`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<T> {
+        loop {
+            if let Some(t) = self.out.pop_front() {
+                return Some(t);
+            }
+            if self.terminal_seen {
+                return None;
+            }
+            self.pump();
+            self.drain_ready();
+            if !self.out.is_empty() || self.terminal_seen {
+                continue;
+            }
+            if self.in_flight() == 0 {
+                // Everything dispatched has been received and released.
+                if self.frame_done {
+                    if let Some(e) = self.pending_frame_error.take() {
+                        self.terminal_seen = true;
+                        self.shutdown();
+                        return Some((self.on_frame_error)(e));
+                    }
+                    self.shutdown();
+                    return None;
+                }
+                continue; // pump() is guaranteed to make progress
+            }
+            match self.res_rx.recv() {
+                Ok((_seq, ChunkOut::Panicked)) => self.worker_panicked(),
+                Ok((seq, chunk)) => {
+                    self.received += 1;
+                    self.reorder.insert(seq, chunk);
+                }
+                // Workers only vanish without a result on catastrophic
+                // failure; treat it as the panic path (which drains).
+                Err(_) => self.worker_panicked(),
+            }
+        }
+    }
+
+    /// Drain the remaining stream into a `Vec` (tests/benches).
+    pub fn collect_all(mut self) -> Vec<T> {
+        let mut v = Vec::new();
+        while let Some(t) = self.next() {
+            v.push(t);
+        }
+        v
+    }
+}
+
+impl ParDecoder<Result<MrtRecord, MrtError>> {
+    /// The plain instantiation: fully decode every record, mirroring
+    /// [`ChunkedReader::next`]'s `Ok`/one-`Err`-then-end sequence.
+    pub fn decode_records(
+        source: ChunkedReader,
+        workers: usize,
+    ) -> ParDecoder<Result<MrtRecord, MrtError>> {
+        ParDecoder::spawn(
+            source,
+            workers,
+            |_| (),
+            |_state, _ctx, header, body| match MrtRecord::decode(header, body) {
+                Ok(rec) => Step::Item(Ok(rec)),
+                Err(e) => Step::Terminal(Err(e)),
+            },
+            Err,
+        )
+    }
+}

@@ -287,6 +287,300 @@ impl MrtSliceReader {
     }
 }
 
+/// A streaming MRT record reader with transparent gzip decompression
+/// and a **bounded** window — the no-slurp replacement for feeding
+/// whole files into [`MrtSliceReader`].
+///
+/// On open, the first two bytes of the source are sniffed: a gzip
+/// magic routes the stream through `flate-lite`'s streaming
+/// [`MultiGzDecoder`](flate_lite::read::MultiGzDecoder) (concatenated
+/// members decode back-to-back, exactly how collectors publish
+/// rotated archives), anything else is read as plain MRT. Either way
+/// the decompressed stream is framed incrementally: the window holds
+/// only the records currently being framed (compacted as the cursor
+/// advances), so peak memory is `O(read_size + largest record)`
+/// regardless of dump size.
+///
+/// The record contract is identical to [`MrtSliceReader`]: `next_raw`
+/// frames without decoding, `next` decodes, clean EOF at a record
+/// boundary yields `None`, and any framing/IO/decompression fault
+/// yields `Some(Err(_))` exactly once before poisoning the reader.
+/// Compression faults (truncated member, trailing garbage, CRC
+/// mismatch) surface as [`MrtError::Io`].
+pub struct ChunkedReader {
+    src: Box<dyn Read + Send>,
+    /// Window storage. `start..filled` is live (decompressed but
+    /// unframed); `filled..len` is initialized spare space refills
+    /// read into. The length only ever grows, so the zeroing a
+    /// `resize` implies is paid once per high-water mark — not once
+    /// per refill, which would dwarf the framing work itself when
+    /// many small dumps are open at once (the k-way merge).
+    window: Vec<u8>,
+    start: usize,
+    filled: usize,
+    read_size: usize,
+    /// Next refill size: starts small and doubles up to `read_size`,
+    /// so a dump smaller than one full window never pays for one.
+    next_read: usize,
+    eof: bool,
+    poisoned: bool,
+    count: u64,
+    gzip: bool,
+}
+
+/// Upper bound on how many bytes a refill asks the (decompressed)
+/// source for.
+const DEFAULT_READ_SIZE: usize = 64 * 1024;
+/// First-refill size (doubles per growth up to [`DEFAULT_READ_SIZE`]).
+const INITIAL_READ_SIZE: usize = 8 * 1024;
+/// Consumed-prefix size that triggers a window compaction.
+const COMPACT_THRESHOLD: usize = 64 * 1024;
+
+/// Serves buffered sniff bytes before delegating to the inner reader.
+struct Prefixed<R: Read> {
+    prefix: Vec<u8>,
+    pos: usize,
+    inner: R,
+}
+
+impl<R: Read> Read for Prefixed<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos < self.prefix.len() {
+            let n = (self.prefix.len() - self.pos).min(buf.len());
+            buf[..n].copy_from_slice(&self.prefix[self.pos..self.pos + n]);
+            self.pos += n;
+            return Ok(n);
+        }
+        self.inner.read(buf)
+    }
+}
+
+const GZIP_MAGIC: [u8; 2] = [0x1f, 0x8b];
+
+impl ChunkedReader {
+    /// Open a dump file, sniffing for gzip compression.
+    pub fn open(path: &std::path::Path) -> std::io::Result<ChunkedReader> {
+        Self::from_reader(std::fs::File::open(path)?)
+    }
+
+    /// Wrap any byte source, sniffing for gzip compression.
+    pub fn from_reader<R: Read + Send + 'static>(mut inner: R) -> std::io::Result<ChunkedReader> {
+        // Sniff with a full first-chunk read, not a 2-byte one: for
+        // the common small plain dump this is the only read syscall
+        // the whole file needs, and the chunk becomes the window
+        // directly instead of living behind a prefix shim.
+        let mut first = vec![0u8; INITIAL_READ_SIZE];
+        let mut n = 0;
+        let mut eof = false;
+        while n < GZIP_MAGIC.len() {
+            match inner.read(&mut first[n..]) {
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
+                Ok(m) => n += m,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        first.truncate(n);
+        let gzip = n >= 2 && first[..2] == GZIP_MAGIC;
+        if gzip {
+            let prefixed = Prefixed {
+                prefix: first,
+                pos: 0,
+                inner,
+            };
+            let src: Box<dyn Read + Send> =
+                Box::new(flate_lite::read::MultiGzDecoder::new(prefixed));
+            Ok(Self::from_source(src, true))
+        } else {
+            let mut r = Self::from_source(Box::new(inner), false);
+            r.filled = first.len();
+            r.window = first;
+            r.eof = eof;
+            Ok(r)
+        }
+    }
+
+    /// Wrap an in-memory buffer (compressed or plain), infallibly.
+    pub fn from_bytes(buf: Vec<u8>) -> ChunkedReader {
+        let gzip = buf.len() >= 2 && buf[..2] == GZIP_MAGIC;
+        if gzip {
+            let cursor = std::io::Cursor::new(buf);
+            let src: Box<dyn Read + Send> = Box::new(flate_lite::read::MultiGzDecoder::new(cursor));
+            Self::from_source(src, true)
+        } else {
+            // Plain bytes need no refills at all: adopt the buffer as
+            // the (fully-filled, already-ended) window.
+            let mut r = Self::from_source(Box::new(std::io::empty()), false);
+            r.filled = buf.len();
+            r.window = buf;
+            r.eof = true;
+            r
+        }
+    }
+
+    fn from_source(src: Box<dyn Read + Send>, gzip: bool) -> ChunkedReader {
+        ChunkedReader {
+            src,
+            window: Vec::new(),
+            start: 0,
+            filled: 0,
+            read_size: DEFAULT_READ_SIZE,
+            next_read: INITIAL_READ_SIZE,
+            eof: false,
+            poisoned: false,
+            count: 0,
+            gzip,
+        }
+    }
+
+    /// Shrink the per-refill read size (tests use this to force records
+    /// to straddle refill boundaries).
+    pub fn with_read_size(mut self, read_size: usize) -> ChunkedReader {
+        self.read_size = read_size.max(1);
+        self.next_read = self.read_size;
+        self
+    }
+
+    /// Whether the source was recognized as gzip-compressed.
+    pub fn is_gzip(&self) -> bool {
+        self.gzip
+    }
+
+    /// Number of records read so far.
+    pub fn records_read(&self) -> u64 {
+        self.count
+    }
+
+    fn available(&self) -> usize {
+        self.filled - self.start
+    }
+
+    /// Pull from the source until `need` unconsumed bytes are windowed
+    /// or the source ends. IO/decompression faults are returned as
+    /// [`MrtError::Io`].
+    fn fill_to(&mut self, need: usize) -> Result<(), MrtError> {
+        while self.available() < need && !self.eof {
+            if self.start >= COMPACT_THRESHOLD || self.start == self.filled {
+                // Slide the live bytes down; storage (and its
+                // initialization) is kept.
+                self.window.copy_within(self.start..self.filled, 0);
+                self.filled -= self.start;
+                self.start = 0;
+            }
+            let spare = self.window.len() - self.filled;
+            let len = if spare == 0 {
+                self.window.resize(self.filled + self.next_read, 0);
+                let len = self.next_read;
+                self.next_read = (self.next_read * 2).min(self.read_size);
+                len
+            } else {
+                spare.min(self.read_size)
+            };
+            match self
+                .src
+                .read(&mut self.window[self.filled..self.filled + len])
+            {
+                Ok(0) => self.eof = true,
+                Ok(n) => self.filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(MrtError::Io(e.to_string())),
+            }
+        }
+        Ok(())
+    }
+
+    /// Frame the next record against the streaming window; same
+    /// semantics as [`MrtSliceReader`]'s framing.
+    fn frame_next(&mut self) -> Option<Result<(MrtHeader, std::ops::Range<usize>), MrtError>> {
+        if self.poisoned {
+            return None;
+        }
+        let fail = |this: &mut Self, e: MrtError| {
+            this.poisoned = true;
+            Some(Err(e))
+        };
+        if let Err(e) = self.fill_to(MrtHeader::LEN) {
+            return fail(self, e);
+        }
+        if self.available() == 0 {
+            return None; // clean EOF at record boundary
+        }
+        if self.available() < MrtHeader::LEN {
+            return fail(self, MrtError::Truncated("MRT header"));
+        }
+        let header = match MrtHeader::decode(&self.window[self.start..self.start + MrtHeader::LEN])
+        {
+            Ok(h) => h,
+            Err(e) => return fail(self, e),
+        };
+        if header.length > MAX_RECORD_LEN {
+            return fail(self, MrtError::OversizedRecord(header.length));
+        }
+        let total = MrtHeader::LEN + header.length as usize;
+        if let Err(e) = self.fill_to(total) {
+            return fail(self, e);
+        }
+        if self.available() < total {
+            return fail(self, MrtError::Truncated("MRT body"));
+        }
+        let body_start = self.start + MrtHeader::LEN;
+        let body_end = self.start + total;
+        self.start = body_end;
+        Some(Ok((header, body_start..body_end)))
+    }
+
+    /// Frame the next record without decoding its body (see
+    /// [`MrtSliceReader::next_raw`] — identical contract).
+    pub fn next_raw(&mut self) -> Option<Result<RawRecord<'_>, MrtError>> {
+        match self.frame_next()? {
+            Ok((header, range)) => {
+                self.count += 1;
+                Some(Ok(RawRecord {
+                    header,
+                    body: &self.window[range],
+                }))
+            }
+            Err(e) => Some(Err(e)),
+        }
+    }
+
+    /// Read the next record (same semantics as [`MrtReader::next`]).
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<Result<MrtRecord, MrtError>> {
+        let (header, range) = match self.frame_next()? {
+            Ok(framed) => framed,
+            Err(e) => return Some(Err(e)),
+        };
+        match MrtRecord::decode(&header, &self.window[range]) {
+            Ok(rec) => {
+                self.count += 1;
+                Some(Ok(rec))
+            }
+            Err(e) => {
+                self.poisoned = true;
+                Some(Err(e))
+            }
+        }
+    }
+
+    /// Decode the first record header without consuming it — the
+    /// gzip-aware probe behind `looks_like_mrt`-style sniffing. Does
+    /// not poison the reader; an empty source is `Ok(None)`.
+    pub fn peek_header(&mut self) -> Result<Option<MrtHeader>, MrtError> {
+        self.fill_to(MrtHeader::LEN)?;
+        if self.available() == 0 {
+            return Ok(None);
+        }
+        if self.available() < MrtHeader::LEN {
+            return Err(MrtError::Truncated("MRT header"));
+        }
+        MrtHeader::decode(&self.window[self.start..self.start + MrtHeader::LEN]).map(Some)
+    }
+}
+
 /// Like `read_exact`, but reports how many bytes were read when the
 /// input ends early instead of erroring.
 fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> std::io::Result<usize> {

@@ -1,0 +1,186 @@
+//! loom-lite model tests: the chunk reorder stage of `mrt::par`.
+//!
+//! Run with `cargo test -p mrt --features loom-lite`.
+//!
+//! The in-order release invariant — no record is delivered before
+//! every record of every earlier chunk — is easy to state and easy to
+//! break with an off-by-one in the release condition. These tests let
+//! the schedule-exploring checker drive producers and consumer through
+//! adversarial interleavings, both against the real [`ParDecoder`]
+//! pipeline and against a hand-rolled producer/consumer pair over
+//! [`Reorder`] directly.
+#![cfg(feature = "loom-lite")]
+#![forbid(unsafe_code)]
+
+use bgp_types::{Asn, BgpMessage};
+use bsync::model::{explore, Builder};
+use mrt::{Bgp4mp, ChunkedReader, MrtRecord, MrtWriter, ParDecoder, Reorder, Step};
+
+fn budget() -> Builder {
+    Builder {
+        max_preemptions: 2,
+        max_iters: 50_000,
+        max_steps: 20_000,
+        schedule: None,
+    }
+}
+
+fn archive(n: u32) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let mut w = MrtWriter::new(&mut buf);
+    for ts in 0..n {
+        w.write(&MrtRecord::bgp4mp(
+            ts,
+            Bgp4mp::Message {
+                peer_asn: Asn(65001),
+                local_asn: Asn(12654),
+                peer_ip: "192.0.2.1".parse().unwrap(),
+                local_ip: "192.0.2.254".parse().unwrap(),
+                message: BgpMessage::Keepalive,
+            },
+        ))
+        .unwrap();
+    }
+    buf
+}
+
+/// Two producer threads complete chunks in whatever order the
+/// scheduler picks; the consumer feeds a [`Reorder`] and must release
+/// strictly `0, 1, 2, 3` on *every* interleaving — never a successor
+/// before its predecessor.
+#[test]
+fn reorder_releases_strictly_in_order_under_races() {
+    let report = explore(&budget(), || {
+        let (tx, rx) = bsync::channel::unbounded::<(u64, u64)>();
+        let tx2 = tx.clone();
+        let even = bsync::thread::spawn_named("even", move || {
+            for seq in [0u64, 2] {
+                let _ = tx.send((seq, seq * 10));
+            }
+        });
+        let odd = bsync::thread::spawn_named("odd", move || {
+            for seq in [1u64, 3] {
+                let _ = tx2.send((seq, seq * 10));
+            }
+        });
+        let mut reorder = Reorder::new();
+        let mut released = Vec::new();
+        while released.len() < 4 {
+            let (seq, v) = rx.recv().expect("producers alive until all sent");
+            reorder.insert(seq, v);
+            while let Some(v) = reorder.pop_ready() {
+                released.push(v);
+            }
+        }
+        even.join().expect("even producer");
+        odd.join().expect("odd producer");
+        assert_eq!(released, vec![0, 10, 20, 30], "released out of order");
+        assert_eq!(reorder.buffered(), 0);
+        assert_eq!(reorder.next_seq(), 4);
+    })
+    .expect("no interleaving may release out of order");
+    assert!(report.iterations > 1, "must explore multiple interleavings");
+}
+
+/// The real pipeline: one-record chunks fan out to two workers, so
+/// chunk completion order is fully schedule-dependent, yet the
+/// consumer must observe timestamps `0..4` in order on every schedule.
+#[test]
+fn parallel_decode_releases_in_order_under_all_schedules() {
+    let bytes = archive(4);
+    let report = explore(&budget(), move || {
+        let mut dec = ParDecoder::spawn_with_chunk_bytes(
+            ChunkedReader::from_bytes(bytes.clone()),
+            2,
+            1, // every record becomes its own chunk
+            |_| (),
+            |_, _, header, _| Step::Item(header.timestamp),
+            |_| u32::MAX,
+        );
+        let mut got = Vec::new();
+        while let Some(ts) = dec.next() {
+            got.push(ts);
+        }
+        assert_eq!(got, vec![0, 1, 2, 3], "parallel decode reordered records");
+    })
+    .expect("no interleaving may reorder or drop a record");
+    assert!(report.iterations > 1, "must explore multiple interleavings");
+}
+
+/// A panicking map must end every schedule in the clean re-raised
+/// panic — never a deadlock with the consumer blocked on a result that
+/// will not come, and never silent success.
+#[test]
+fn worker_panic_is_reraised_not_deadlocked() {
+    let bytes = archive(4);
+    let failure = explore(&budget(), move || {
+        let mut dec = ParDecoder::spawn_with_chunk_bytes(
+            ChunkedReader::from_bytes(bytes.clone()),
+            2,
+            1,
+            |_| (),
+            |_, _, header, _| {
+                if header.timestamp == 2 {
+                    panic!("map blew up");
+                }
+                Step::Item(header.timestamp)
+            },
+            |_| u32::MAX,
+        );
+        while dec.next().is_some() {}
+    })
+    .expect_err("a panicking map must fail every schedule");
+    assert!(
+        failure.kind.contains("worker panicked"),
+        "expected the re-raised worker panic, got: {}",
+        failure.kind
+    );
+    assert!(
+        !failure.kind.contains("deadlock"),
+        "worker panic must not deadlock the consumer: {}",
+        failure.kind
+    );
+}
+
+/// Canary: a consumer with a deliberately broken release condition —
+/// it ships each value as it arrives instead of consulting
+/// [`Reorder::pop_ready`]. The checker must find a schedule where the
+/// out-of-order producer wins the race, and the recorded schedule must
+/// replay that exact failure.
+#[test]
+fn canary_eager_release_is_caught_and_replayed() {
+    let racy = || {
+        let (tx, rx) = bsync::channel::unbounded::<(u64, u64)>();
+        let tx2 = tx.clone();
+        let first = bsync::thread::spawn_named("first", move || {
+            let _ = tx.send((0u64, 0));
+        });
+        let second = bsync::thread::spawn_named("second", move || {
+            let _ = tx2.send((1u64, 10));
+        });
+        let mut reorder = Reorder::new();
+        let mut released = Vec::new();
+        for _ in 0..2 {
+            let (seq, v) = rx.recv().expect("producers alive");
+            // BUG: arrival order is not release order. The insert is
+            // bookkeeping only; the value goes straight out.
+            reorder.insert(seq, v);
+            released.push(v);
+        }
+        first.join().expect("first producer");
+        second.join().expect("second producer");
+        assert_eq!(released, vec![0, 10], "released out of order");
+    };
+    let failure = explore(&budget(), racy).expect_err("checker must catch the eager release");
+    assert!(
+        failure.kind.contains("released out of order"),
+        "unexpected failure kind: {}",
+        failure.kind
+    );
+    let replay = Builder {
+        schedule: Some(failure.schedule.clone()),
+        ..budget()
+    };
+    let again = explore(&replay, racy).expect_err("replay must reproduce the reorder");
+    assert!(again.kind.contains("released out of order"));
+}

@@ -7,7 +7,7 @@
 //! * **`wallclock`** — `SystemTime::now` / `Instant::now` /
 //!   `thread::sleep` are forbidden outside wall-clock-ok modules
 //!   (feeders, benches, the `bsync::time` facade itself). Everything
-//!   on a deterministic path must take time from [`bsync::time::Clock`].
+//!   on a deterministic path must take time from `bsync::time::Clock`.
 //! * **`unwrap`** — `.unwrap()` / `.expect(` are forbidden in
 //!   non-test library code of the stream/broker hot-path crates
 //!   (core, broker, mq, analytics, corsaro, bsync); convert to typed
@@ -31,7 +31,15 @@ use std::path::{Path, PathBuf};
 
 /// Crates whose non-test library code must not panic via
 /// `.unwrap()`/`.expect(` (the stream/broker hot paths).
-const HOT_PATH_CRATES: &[&str] = &["analytics", "broker", "bsync", "core", "corsaro", "mq"];
+const HOT_PATH_CRATES: &[&str] = &[
+    "analytics",
+    "broker",
+    "bsync",
+    "core",
+    "corsaro",
+    "mq",
+    "mrt",
+];
 
 const WALLCLOCK_TOKENS: &[&str] = &["SystemTime::now", "Instant::now", "thread::sleep"];
 const UNWRAP_TOKENS: &[&str] = &[".unwrap()", ".expect("];

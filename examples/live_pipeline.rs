@@ -16,15 +16,24 @@
 //!
 //! Exit codes: `0` success; `2` records were dropped; `3` too few
 //! bins; `4` the watchdog expired (livelock — the soak's reason to
-//! exist). Shutdown is cooperative: closing stdin (the ctrl-c /
+//! exist); `5` peak RSS exceeded the cap (a reader went back to
+//! slurping whole files instead of streaming bounded windows).
+//! Shutdown is cooperative: closing stdin (the ctrl-c /
 //! SIGTERM-equivalent path in this dependency-free setup) raises a
 //! flag that `run_live` honours between steps, so teardown can never
 //! hang.
+//!
+//! The archive is gzip-compressed **in place** after simulation, so
+//! every open below — the historical ground-truth reads and the live
+//! tail — exercises sniff → streaming inflate → framing; the live
+//! stream additionally decodes with `DecodeMode::Parallel`, so the
+//! zero-dropped-records comparison against the sequential historical
+//! run re-proves decode-mode equivalence end to end.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use bgpstream_repro::bgpstream::{BgpStream, Clock};
+use bgpstream_repro::bgpstream::{BgpStream, Clock, DecodeMode};
 use bgpstream_repro::broker::{DataInterface, Index};
 use bgpstream_repro::collector_sim::feeder::bgpstream_clock::SharedClock;
 use bgpstream_repro::collector_sim::{FaultPlan, LiveFeeder, Stall};
@@ -50,6 +59,10 @@ struct Args {
     /// from `sleep` to keep it open stalls the step for the sleep's
     /// full duration after the soak finishes).
     no_stdin: bool,
+    /// Peak-RSS cap in MiB (`VmHWM` from `/proc/self/status`). The
+    /// readers stream dumps through bounded windows; a regression to
+    /// whole-file (or whole-decompressed-file) slurping shows up here.
+    max_rss_mb: u64,
 }
 
 fn parse_args() -> Args {
@@ -60,6 +73,7 @@ fn parse_args() -> Args {
         max_wall_secs: 120,
         shutdown_test: false,
         no_stdin: false,
+        max_rss_mb: 512,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -75,10 +89,18 @@ fn parse_args() -> Args {
             "--max-wall-secs" => args.max_wall_secs = num("--max-wall-secs").max(1),
             "--shutdown-test" => args.shutdown_test = true,
             "--no-stdin" => args.no_stdin = true,
+            "--max-rss-mb" => args.max_rss_mb = num("--max-rss-mb").max(1),
             other => panic!("unknown argument {other:?}"),
         }
     }
     args
+}
+
+/// Peak resident set (`VmHWM`) in KiB, where the platform exposes it.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
 }
 
 fn main() {
@@ -95,6 +117,26 @@ fn main() {
         world.sim.stats().files,
         world.sim.stats().records,
         world.info.horizon
+    );
+
+    // 1b. Compress the archive in place, as the real projects publish
+    //     it. Every open below — historical and live — must sniff the
+    //     gzip magic and stream-decompress into bounded windows.
+    let mut gz_bytes = 0u64;
+    for m in &manifest {
+        use std::io::Write as _;
+        let plain = std::fs::read(&m.path).expect("archive file readable");
+        let mut enc =
+            flate_lite::write::GzEncoder::new(Vec::new(), flate_lite::Compression::fast());
+        enc.write_all(&plain).expect("compress archive file");
+        let gz = enc.finish().expect("finish gzip member");
+        gz_bytes += gz.len() as u64;
+        std::fs::write(&m.path, gz).expect("rewrite compressed file");
+    }
+    println!(
+        "# archive gzip-compressed in place: {} -> {} bytes",
+        world.sim.stats().bytes,
+        gz_bytes
     );
 
     // 2. Historical ground truth: what a batch run over the final
@@ -190,6 +232,7 @@ fn main() {
         .watermark_release()
         .clock(clock)
         .poll_interval(std::time::Duration::from_millis(2))
+        .decode_mode(DecodeMode::Parallel(args.workers))
         .start();
     let runtime = ShardedRuntime::builder()
         .workers(args.workers)
@@ -251,6 +294,18 @@ fn main() {
             report.bins_closed, args.min_bins
         );
         std::process::exit(3);
+    }
+    if let Some(kb) = peak_rss_kb() {
+        let mb = kb / 1024;
+        println!("# peak RSS: {mb} MiB (cap {} MiB)", args.max_rss_mb);
+        if mb > args.max_rss_mb {
+            eprintln!(
+                "FAIL: peak RSS {mb} MiB exceeds {} MiB — a reader is \
+                 slurping whole (decompressed) files instead of streaming",
+                args.max_rss_mb
+            );
+            std::process::exit(5);
+        }
     }
     println!(
         "OK: zero dropped records ({} == historical), {} bins closed",

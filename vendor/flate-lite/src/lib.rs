@@ -1,0 +1,1111 @@
+//! API-subset shim for [`flate2`](https://docs.rs/flate2), written from
+//! RFC 1951 (DEFLATE) and RFC 1952 (gzip) for offline builds.
+//!
+//! Covered surface:
+//!
+//! - [`read::GzDecoder`] — streaming inflate of a single gzip member
+//!   (stored, fixed-Huffman and dynamic-Huffman blocks, 32 KiB LZ77
+//!   window, CRC32 + ISIZE trailer verification).
+//! - [`read::MultiGzDecoder`] — same, but concatenated members decode
+//!   back-to-back; non-gzip bytes after a member are a typed
+//!   [`std::io::Error`], clean EOF at a member boundary ends the stream.
+//! - [`write::GzEncoder`] — gzip compressor. [`Compression::none`]
+//!   emits stored blocks; any other level emits fixed-Huffman
+//!   literal-only blocks (valid DEFLATE, no LZ77 matching — this shim
+//!   optimizes for correctness and exercising the inflater, not ratio).
+//!
+//! Everything is incremental: the decoders pull bounded chunks from the
+//! underlying reader and never materialize the whole stream, which is
+//! exactly what `mrt::ChunkedReader` needs for multi-GB RIB dumps.
+
+#![forbid(unsafe_code)]
+
+use std::io::{self, Read, Write};
+
+/// Compression level, mirroring `flate2::Compression`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Compression(u32);
+
+impl Compression {
+    /// Stored (uncompressed) DEFLATE blocks.
+    pub fn none() -> Compression {
+        Compression(0)
+    }
+    /// Fixed-Huffman literal coding (fastest real coding this shim does).
+    pub fn fast() -> Compression {
+        Compression(1)
+    }
+    /// Same coding as [`Compression::fast`] in this shim.
+    pub fn best() -> Compression {
+        Compression(9)
+    }
+    /// Explicit numeric level; `0` means stored blocks.
+    pub fn new(level: u32) -> Compression {
+        Compression(level)
+    }
+    /// The numeric level.
+    pub fn level(&self) -> u32 {
+        self.0
+    }
+}
+
+impl Default for Compression {
+    fn default() -> Compression {
+        Compression(6)
+    }
+}
+
+// ---- CRC32 (IEEE, as used by gzip) --------------------------------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut n = 0;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[n] = c;
+        n += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// Incremental CRC32: feed `crc32(0, ..)` first, then chain the result.
+pub fn crc32(crc: u32, data: &[u8]) -> u32 {
+    let mut c = !crc;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("flate-lite: {msg}"))
+}
+
+fn truncated(msg: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::UnexpectedEof,
+        format!("flate-lite: truncated stream ({msg})"),
+    )
+}
+
+// ---- bit reader ---------------------------------------------------------
+
+/// LSB-first bit reader over an inner `Read`, with its own byte buffer
+/// so inflate never issues per-byte reads against the source.
+struct BitReader<R: Read> {
+    inner: R,
+    buf: Vec<u8>,
+    pos: usize,
+    len: usize,
+    bitbuf: u64,
+    nbits: u32,
+}
+
+const READ_BUF: usize = 16 * 1024;
+
+impl<R: Read> BitReader<R> {
+    fn new(inner: R) -> BitReader<R> {
+        BitReader {
+            inner,
+            buf: vec![0u8; READ_BUF],
+            pos: 0,
+            len: 0,
+            bitbuf: 0,
+            nbits: 0,
+        }
+    }
+
+    /// Next raw byte from the buffered source, `None` on clean EOF.
+    fn fetch_byte(&mut self) -> io::Result<Option<u8>> {
+        while self.pos == self.len {
+            match self.inner.read(&mut self.buf) {
+                Ok(0) => return Ok(None),
+                Ok(n) => {
+                    self.pos = 0;
+                    self.len = n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        let b = self.buf[self.pos];
+        self.pos += 1;
+        Ok(Some(b))
+    }
+
+    fn need(&mut self, n: u32) -> io::Result<()> {
+        while self.nbits < n {
+            match self.fetch_byte()? {
+                Some(b) => {
+                    self.bitbuf |= u64::from(b) << self.nbits;
+                    self.nbits += 8;
+                }
+                None => return Err(truncated("ran out of input mid-stream")),
+            }
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: u32) -> io::Result<u64> {
+        self.need(n)?;
+        let v = self.bitbuf & ((1u64 << n) - 1);
+        self.bitbuf >>= n;
+        self.nbits -= n;
+        Ok(v)
+    }
+
+    fn take_bit(&mut self) -> io::Result<u32> {
+        self.need(1)?;
+        let v = (self.bitbuf & 1) as u32;
+        self.bitbuf >>= 1;
+        self.nbits -= 1;
+        Ok(v)
+    }
+
+    /// Drop bits up to the next byte boundary.
+    fn align(&mut self) {
+        let drop = self.nbits % 8;
+        self.bitbuf >>= drop;
+        self.nbits -= drop;
+    }
+
+    /// Aligned byte read that distinguishes clean EOF (`None`) from data.
+    /// Callers must be byte-aligned (member boundaries always are).
+    fn try_byte(&mut self) -> io::Result<Option<u8>> {
+        debug_assert_eq!(self.nbits % 8, 0);
+        if self.nbits >= 8 {
+            return self.take(8).map(|b| Some(b as u8));
+        }
+        self.fetch_byte()
+    }
+}
+
+// ---- Huffman decoding (canonical codes, puff-style) ---------------------
+
+const MAX_BITS: usize = 15;
+
+struct Huffman {
+    /// `count[len]` = number of codes of bit length `len`.
+    count: [u16; MAX_BITS + 1],
+    /// Symbols sorted by (length, symbol) — canonical order.
+    symbol: Vec<u16>,
+}
+
+impl Huffman {
+    fn new(lengths: &[u16]) -> io::Result<Huffman> {
+        let mut count = [0u16; MAX_BITS + 1];
+        for &l in lengths {
+            count[l as usize] += 1;
+        }
+        if count[0] as usize != lengths.len() {
+            // Reject over-subscribed codes; incomplete codes are legal
+            // (e.g. the single-distance-code case) and simply make some
+            // bit patterns undecodable.
+            let mut left: i32 = 1;
+            for &n in count.iter().skip(1) {
+                left <<= 1;
+                left -= i32::from(n);
+                if left < 0 {
+                    return Err(invalid("over-subscribed huffman code"));
+                }
+            }
+        }
+        let mut offs = [0u16; MAX_BITS + 1];
+        for len in 1..MAX_BITS {
+            offs[len + 1] = offs[len] + count[len];
+        }
+        let mut symbol = vec![0u16; lengths.len()];
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l != 0 {
+                symbol[offs[l as usize] as usize] = sym as u16;
+                offs[l as usize] += 1;
+            }
+        }
+        Ok(Huffman { count, symbol })
+    }
+
+    fn decode<R: Read>(&self, bits: &mut BitReader<R>) -> io::Result<u16> {
+        let mut code: i32 = 0;
+        let mut first: i32 = 0;
+        let mut index: i32 = 0;
+        for len in 1..=MAX_BITS {
+            code |= bits.take_bit()? as i32;
+            let count = i32::from(self.count[len]);
+            if code - count < first {
+                return Ok(self.symbol[(index + (code - first)) as usize]);
+            }
+            index += count;
+            first = (first + count) << 1;
+            code <<= 1;
+        }
+        Err(invalid("invalid huffman code"))
+    }
+}
+
+// ---- DEFLATE inflate ----------------------------------------------------
+
+const WINSIZE: usize = 32 * 1024;
+
+const LEN_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
+];
+const LEN_EXTRA: [u32; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+const DIST_EXTRA: [u32; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
+];
+
+fn fixed_tables() -> io::Result<(Huffman, Huffman)> {
+    let mut lit = [0u16; 288];
+    for (sym, slot) in lit.iter_mut().enumerate() {
+        *slot = match sym {
+            0..=143 => 8,
+            144..=255 => 9,
+            256..=279 => 7,
+            _ => 8,
+        };
+    }
+    let dist = [5u16; 30];
+    Ok((Huffman::new(&lit)?, Huffman::new(&dist)?))
+}
+
+/// Resumable inflate stage: Huffman tables persist across `produce`
+/// calls so a block can be decoded in bounded slices.
+enum Stage {
+    BlockHeader,
+    Stored(u16),
+    Huff(Box<(Huffman, Huffman)>),
+    Done,
+}
+
+struct Inflate<R: Read> {
+    bits: BitReader<R>,
+    stage: Stage,
+    last_block: bool,
+    window: Vec<u8>,
+    wpos: usize,
+    wlen: usize,
+}
+
+impl<R: Read> Inflate<R> {
+    fn new(inner: R) -> Inflate<R> {
+        Inflate {
+            bits: BitReader::new(inner),
+            stage: Stage::BlockHeader,
+            last_block: false,
+            window: vec![0u8; WINSIZE],
+            wpos: 0,
+            wlen: 0,
+        }
+    }
+
+    /// Reset the DEFLATE state for the next gzip member (the window
+    /// does not carry across members).
+    fn reset(&mut self) {
+        self.stage = Stage::BlockHeader;
+        self.last_block = false;
+        self.wpos = 0;
+        self.wlen = 0;
+    }
+
+    fn emit(&mut self, b: u8, out: &mut Vec<u8>) {
+        out.push(b);
+        self.window[self.wpos] = b;
+        self.wpos = (self.wpos + 1) % WINSIZE;
+        if self.wlen < WINSIZE {
+            self.wlen += 1;
+        }
+    }
+
+    fn read_dynamic(&mut self) -> io::Result<(Huffman, Huffman)> {
+        let hlit = self.bits.take(5)? as usize + 257;
+        let hdist = self.bits.take(5)? as usize + 1;
+        let hclen = self.bits.take(4)? as usize + 4;
+        if hlit > 286 {
+            return Err(invalid("too many literal/length codes"));
+        }
+        const ORDER: [usize; 19] = [
+            16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+        ];
+        let mut cl_lengths = [0u16; 19];
+        for &idx in ORDER.iter().take(hclen) {
+            cl_lengths[idx] = self.bits.take(3)? as u16;
+        }
+        let cl = Huffman::new(&cl_lengths)?;
+        let mut lengths = vec![0u16; hlit + hdist];
+        let mut i = 0;
+        while i < lengths.len() {
+            let sym = cl.decode(&mut self.bits)?;
+            let (value, repeat) = match sym {
+                0..=15 => {
+                    lengths[i] = sym;
+                    i += 1;
+                    continue;
+                }
+                16 => {
+                    if i == 0 {
+                        return Err(invalid("length repeat with no previous length"));
+                    }
+                    (lengths[i - 1], 3 + self.bits.take(2)? as usize)
+                }
+                17 => (0, 3 + self.bits.take(3)? as usize),
+                18 => (0, 11 + self.bits.take(7)? as usize),
+                _ => return Err(invalid("invalid code-length symbol")),
+            };
+            if i + repeat > lengths.len() {
+                return Err(invalid("length repeat overflows alphabet"));
+            }
+            for slot in lengths.iter_mut().skip(i).take(repeat) {
+                *slot = value;
+            }
+            i += repeat;
+        }
+        if lengths[256] == 0 {
+            return Err(invalid("dynamic block has no end-of-block code"));
+        }
+        Ok((
+            Huffman::new(&lengths[..hlit])?,
+            Huffman::new(&lengths[hlit..])?,
+        ))
+    }
+
+    /// Decode until at least `budget` bytes were appended to `out` (may
+    /// overshoot by one match length) or the final block completed.
+    /// Returns `true` once the DEFLATE stream is done.
+    fn produce(&mut self, out: &mut Vec<u8>, budget: usize) -> io::Result<bool> {
+        loop {
+            if out.len() >= budget {
+                return Ok(matches!(self.stage, Stage::Done));
+            }
+            match std::mem::replace(&mut self.stage, Stage::BlockHeader) {
+                Stage::Done => {
+                    self.stage = Stage::Done;
+                    return Ok(true);
+                }
+                Stage::BlockHeader => {
+                    if self.last_block {
+                        self.stage = Stage::Done;
+                        continue;
+                    }
+                    self.last_block = self.bits.take_bit()? == 1;
+                    match self.bits.take(2)? {
+                        0 => {
+                            self.bits.align();
+                            let len = self.bits.take(16)? as u16;
+                            let nlen = self.bits.take(16)? as u16;
+                            if len != !nlen {
+                                return Err(invalid("stored block length mismatch"));
+                            }
+                            self.stage = Stage::Stored(len);
+                        }
+                        1 => self.stage = Stage::Huff(Box::new(fixed_tables()?)),
+                        2 => {
+                            let tables = self.read_dynamic()?;
+                            self.stage = Stage::Huff(Box::new(tables));
+                        }
+                        _ => return Err(invalid("reserved block type")),
+                    }
+                }
+                Stage::Stored(mut rem) => {
+                    while rem > 0 {
+                        if out.len() >= budget {
+                            self.stage = Stage::Stored(rem);
+                            return Ok(false);
+                        }
+                        let b = self.bits.take(8)? as u8;
+                        self.emit(b, out);
+                        rem -= 1;
+                    }
+                }
+                Stage::Huff(tables) => loop {
+                    if out.len() >= budget {
+                        self.stage = Stage::Huff(tables);
+                        return Ok(false);
+                    }
+                    let sym = tables.0.decode(&mut self.bits)?;
+                    if sym < 256 {
+                        self.emit(sym as u8, out);
+                    } else if sym == 256 {
+                        break;
+                    } else {
+                        let idx = (sym - 257) as usize;
+                        if idx >= LEN_BASE.len() {
+                            return Err(invalid("invalid length symbol"));
+                        }
+                        let len = LEN_BASE[idx] as usize + self.bits.take(LEN_EXTRA[idx])? as usize;
+                        let dsym = tables.1.decode(&mut self.bits)? as usize;
+                        if dsym >= DIST_BASE.len() {
+                            return Err(invalid("invalid distance symbol"));
+                        }
+                        let dist =
+                            DIST_BASE[dsym] as usize + self.bits.take(DIST_EXTRA[dsym])? as usize;
+                        if dist > self.wlen {
+                            return Err(invalid("match distance beyond window"));
+                        }
+                        for _ in 0..len {
+                            let b = self.window[(self.wpos + WINSIZE - dist) % WINSIZE];
+                            self.emit(b, out);
+                        }
+                    }
+                },
+            }
+        }
+    }
+}
+
+// ---- gzip member framing ------------------------------------------------
+
+enum GzState {
+    /// Next thing in the stream is a member header (`bool`: the two
+    /// magic bytes were already consumed while probing for it).
+    Header(bool),
+    Body,
+    Finished,
+}
+
+const OUT_CHUNK: usize = 32 * 1024;
+
+struct GzInner<R: Read> {
+    inflate: Inflate<R>,
+    state: GzState,
+    multi: bool,
+    crc: u32,
+    count: u32,
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Error hit while `out` still held undelivered bytes: surfaced
+    /// only after the caller has drained them, so a trailer fault does
+    /// not eat the last records of the member it follows.
+    pending: Option<io::Error>,
+}
+
+impl<R: Read> GzInner<R> {
+    fn new(inner: R, multi: bool) -> GzInner<R> {
+        GzInner {
+            inflate: Inflate::new(inner),
+            state: GzState::Header(false),
+            multi,
+            crc: 0,
+            count: 0,
+            out: Vec::new(),
+            out_pos: 0,
+            pending: None,
+        }
+    }
+
+    fn read_header(&mut self, magic_consumed: bool) -> io::Result<()> {
+        let bits = &mut self.inflate.bits;
+        if !magic_consumed && (bits.take(8)? != 0x1f || bits.take(8)? != 0x8b) {
+            return Err(invalid("bad gzip magic"));
+        }
+        if bits.take(8)? != 8 {
+            return Err(invalid("unsupported gzip compression method"));
+        }
+        let flg = bits.take(8)? as u8;
+        if flg & 0xe0 != 0 {
+            return Err(invalid("reserved gzip flag bits set"));
+        }
+        bits.take(32)?; // MTIME
+        bits.take(8)?; // XFL
+        bits.take(8)?; // OS
+        if flg & 0x04 != 0 {
+            // FEXTRA
+            let xlen = bits.take(16)? as usize;
+            for _ in 0..xlen {
+                bits.take(8)?;
+            }
+        }
+        if flg & 0x08 != 0 {
+            // FNAME
+            while bits.take(8)? != 0 {}
+        }
+        if flg & 0x10 != 0 {
+            // FCOMMENT
+            while bits.take(8)? != 0 {}
+        }
+        if flg & 0x02 != 0 {
+            // FHCRC
+            bits.take(16)?;
+        }
+        Ok(())
+    }
+
+    fn read_trailer(&mut self) -> io::Result<()> {
+        self.inflate.bits.align();
+        let crc = self.inflate.bits.take(32)? as u32;
+        let isize = self.inflate.bits.take(32)? as u32;
+        if crc != self.crc {
+            return Err(invalid("gzip CRC mismatch"));
+        }
+        if isize != self.count {
+            return Err(invalid("gzip ISIZE mismatch"));
+        }
+        Ok(())
+    }
+
+    fn fill(&mut self, budget: usize) -> io::Result<()> {
+        loop {
+            match self.state {
+                GzState::Finished => return Ok(()),
+                GzState::Header(magic_consumed) => {
+                    self.read_header(magic_consumed)?;
+                    self.crc = 0;
+                    self.count = 0;
+                    self.state = GzState::Body;
+                }
+                GzState::Body => {
+                    let before = self.out.len();
+                    let done = self.inflate.produce(&mut self.out, before + budget)?;
+                    let fresh = &self.out[before..];
+                    self.crc = crc32(self.crc, fresh);
+                    self.count = self.count.wrapping_add(fresh.len() as u32);
+                    if !done {
+                        return Ok(());
+                    }
+                    self.read_trailer()?;
+                    if !self.multi {
+                        self.state = GzState::Finished;
+                        return Ok(());
+                    }
+                    // Multi-member: clean EOF here ends the stream, a
+                    // new magic starts the next member, anything else
+                    // is trailing garbage and a hard error.
+                    match self.inflate.bits.try_byte()? {
+                        None => {
+                            self.state = GzState::Finished;
+                            return Ok(());
+                        }
+                        Some(0x1f) => match self.inflate.bits.try_byte()? {
+                            Some(0x8b) => {
+                                self.inflate.reset();
+                                self.state = GzState::Header(true);
+                            }
+                            _ => return Err(invalid("trailing garbage after gzip member")),
+                        },
+                        Some(_) => return Err(invalid("trailing garbage after gzip member")),
+                    }
+                }
+            }
+        }
+    }
+
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        loop {
+            if self.out_pos < self.out.len() {
+                let n = (self.out.len() - self.out_pos).min(buf.len());
+                buf[..n].copy_from_slice(&self.out[self.out_pos..self.out_pos + n]);
+                self.out_pos += n;
+                return Ok(n);
+            }
+            self.out.clear();
+            self.out_pos = 0;
+            if let Some(e) = self.pending.take() {
+                self.state = GzState::Finished;
+                return Err(e);
+            }
+            if matches!(self.state, GzState::Finished) {
+                return Ok(0);
+            }
+            if let Err(e) = self.fill(buf.len().min(OUT_CHUNK)) {
+                if self.out.is_empty() {
+                    self.state = GzState::Finished;
+                    return Err(e);
+                }
+                // Deliver what decompressed cleanly first.
+                self.pending = Some(e);
+                continue;
+            }
+            if self.out.is_empty() && matches!(self.state, GzState::Finished) {
+                return Ok(0);
+            }
+        }
+    }
+}
+
+/// Decoders: `flate2::read` equivalents.
+pub mod read {
+    use super::{GzInner, Read};
+    use std::io;
+
+    /// Streaming decoder for a single gzip member; bytes after the
+    /// member's trailer are left unread and the decoder reports EOF.
+    pub struct GzDecoder<R: Read>(GzInner<R>);
+
+    impl<R: Read> GzDecoder<R> {
+        pub fn new(inner: R) -> GzDecoder<R> {
+            GzDecoder(GzInner::new(inner, false))
+        }
+    }
+
+    impl<R: Read> Read for GzDecoder<R> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.0.read(buf)
+        }
+    }
+
+    /// Streaming decoder for concatenated gzip members (the format
+    /// collectors actually publish: `gzip a; gzip b; cat a.gz b.gz`).
+    pub struct MultiGzDecoder<R: Read>(GzInner<R>);
+
+    impl<R: Read> MultiGzDecoder<R> {
+        pub fn new(inner: R) -> MultiGzDecoder<R> {
+            MultiGzDecoder(GzInner::new(inner, true))
+        }
+    }
+
+    impl<R: Read> Read for MultiGzDecoder<R> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.0.read(buf)
+        }
+    }
+}
+
+/// Encoders: `flate2::write` equivalents.
+pub mod write {
+    use super::{crc32, Compression, Write};
+    use std::io;
+
+    const ENC_BLOCK: usize = 32 * 1024;
+
+    /// Streaming gzip encoder. Data written is framed into DEFLATE
+    /// blocks (stored at [`Compression::none`], fixed-Huffman literals
+    /// otherwise); call [`GzEncoder::finish`] to emit the trailer.
+    pub struct GzEncoder<W: Write> {
+        inner: W,
+        level: u32,
+        crc: u32,
+        count: u32,
+        pending: Vec<u8>,
+        bitbuf: u32,
+        nbits: u32,
+        header_written: bool,
+    }
+
+    impl<W: Write> GzEncoder<W> {
+        pub fn new(inner: W, level: Compression) -> GzEncoder<W> {
+            GzEncoder {
+                inner,
+                level: level.level(),
+                crc: 0,
+                count: 0,
+                pending: Vec::new(),
+                bitbuf: 0,
+                nbits: 0,
+                header_written: false,
+            }
+        }
+
+        fn ensure_header(&mut self) -> io::Result<()> {
+            if !self.header_written {
+                // MTIME 0, XFL 0, OS 255 (unknown).
+                self.inner
+                    .write_all(&[0x1f, 0x8b, 8, 0, 0, 0, 0, 0, 0, 0xff])?;
+                self.header_written = true;
+            }
+            Ok(())
+        }
+
+        fn put_bits(&mut self, v: u32, n: u32) -> io::Result<()> {
+            self.bitbuf |= v << self.nbits;
+            self.nbits += n;
+            while self.nbits >= 8 {
+                self.inner.write_all(&[(self.bitbuf & 0xff) as u8])?;
+                self.bitbuf >>= 8;
+                self.nbits -= 8;
+            }
+            Ok(())
+        }
+
+        /// Huffman codes go into the LSB-first bitstream MSB-first.
+        fn put_code(&mut self, code: u32, len: u32) -> io::Result<()> {
+            for i in (0..len).rev() {
+                self.put_bits((code >> i) & 1, 1)?;
+            }
+            Ok(())
+        }
+
+        fn align_out(&mut self) -> io::Result<()> {
+            if self.nbits > 0 {
+                self.inner.write_all(&[(self.bitbuf & 0xff) as u8])?;
+                self.bitbuf = 0;
+                self.nbits = 0;
+            }
+            Ok(())
+        }
+
+        fn flush_block(&mut self, last: bool) -> io::Result<()> {
+            self.ensure_header()?;
+            let n = self.pending.len().min(ENC_BLOCK);
+            let block: Vec<u8> = self.pending.drain(..n).collect();
+            self.put_bits(u32::from(last), 1)?;
+            if self.level == 0 {
+                self.put_bits(0, 2)?;
+                self.align_out()?;
+                let len = block.len() as u16;
+                self.inner.write_all(&len.to_le_bytes())?;
+                self.inner.write_all(&(!len).to_le_bytes())?;
+                self.inner.write_all(&block)?;
+            } else {
+                self.put_bits(1, 2)?;
+                for &b in &block {
+                    if b < 144 {
+                        self.put_code(0x30 + u32::from(b), 8)?;
+                    } else {
+                        self.put_code(0x190 + u32::from(b) - 144, 9)?;
+                    }
+                }
+                self.put_code(0, 7)?; // end-of-block
+                if last {
+                    self.align_out()?;
+                }
+            }
+            Ok(())
+        }
+
+        /// Flush any buffered data, write the gzip trailer and return
+        /// the underlying writer.
+        pub fn finish(mut self) -> io::Result<W> {
+            while self.pending.len() > ENC_BLOCK {
+                self.flush_block(false)?;
+            }
+            self.flush_block(true)?;
+            self.inner.write_all(&self.crc.to_le_bytes())?;
+            self.inner.write_all(&self.count.to_le_bytes())?;
+            self.inner.flush()?;
+            Ok(self.inner)
+        }
+    }
+
+    impl<W: Write> Write for GzEncoder<W> {
+        fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+            self.crc = crc32(self.crc, data);
+            self.count = self.count.wrapping_add(data.len() as u32);
+            self.pending.extend_from_slice(data);
+            while self.pending.len() >= 2 * ENC_BLOCK {
+                self.flush_block(false)?;
+            }
+            Ok(data.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            self.inner.flush()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::read::{GzDecoder, MultiGzDecoder};
+    use super::write::GzEncoder;
+    use super::{crc32, Compression};
+    use std::io::{Read, Write};
+
+    fn gzip(data: &[u8], level: Compression) -> Vec<u8> {
+        let mut enc = GzEncoder::new(Vec::new(), level);
+        enc.write_all(data).unwrap();
+        enc.finish().unwrap()
+    }
+
+    fn gunzip_multi(data: &[u8]) -> std::io::Result<Vec<u8>> {
+        let mut out = Vec::new();
+        MultiGzDecoder::new(data).read_to_end(&mut out)?;
+        Ok(out)
+    }
+
+    /// Deterministic pseudo-random bytes (no external RNG dep).
+    fn noise(len: usize, mut seed: u64) -> Vec<u8> {
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            v.push((seed >> 33) as u8);
+        }
+        v
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC32("123456789") is the classic check value.
+        assert_eq!(crc32(0, b"123456789"), 0xCBF4_3926);
+        // Chained updates must equal the one-shot value.
+        let chained = crc32(crc32(0, b"1234"), b"56789");
+        assert_eq!(chained, 0xCBF4_3926);
+    }
+
+    #[test]
+    fn roundtrip_stored_and_fixed() {
+        for level in [Compression::none(), Compression::fast()] {
+            for len in [0usize, 1, 100, ENCISH, 3 * ENCISH + 17] {
+                let data = noise(len, len as u64 + level.level() as u64);
+                let gz = gzip(&data, level);
+                assert_eq!(gunzip_multi(&gz).unwrap(), data, "len={len}");
+            }
+        }
+    }
+    const ENCISH: usize = 32 * 1024;
+
+    #[test]
+    fn roundtrip_small_read_buffer() {
+        let data = noise(70_000, 9);
+        let gz = gzip(&data, Compression::fast());
+        let mut dec = MultiGzDecoder::new(&gz[..]);
+        let mut out = Vec::new();
+        let mut buf = [0u8; 7];
+        loop {
+            let n = dec.read(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            out.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn multi_member_concatenation() {
+        let a = noise(40_000, 1);
+        let b = noise(5_000, 2);
+        let mut stream = gzip(&a, Compression::fast());
+        stream.extend_from_slice(&gzip(&b, Compression::none()));
+        stream.extend_from_slice(&gzip(&[], Compression::fast()));
+        let mut expect = a.clone();
+        expect.extend_from_slice(&b);
+        assert_eq!(gunzip_multi(&stream).unwrap(), expect);
+
+        // Single-member decoder stops at the first trailer.
+        let mut out = Vec::new();
+        GzDecoder::new(&stream[..]).read_to_end(&mut out).unwrap();
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let gz = gzip(&noise(10_000, 3), Compression::fast());
+        for cut in [1, 5, 11, gz.len() / 2, gz.len() - 1] {
+            let err = gunzip_multi(&gz[..cut]).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_errors_multi_but_not_single() {
+        let data = noise(1_000, 4);
+        let mut gz = gzip(&data, Compression::none());
+        gz.extend_from_slice(b"NOT GZIP DATA");
+        let err = gunzip_multi(&gz).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // The single-member decoder ignores what follows the trailer.
+        let mut out = Vec::new();
+        GzDecoder::new(&gz[..]).read_to_end(&mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn corrupt_crc_errors() {
+        let mut gz = gzip(&noise(500, 5), Compression::fast());
+        let n = gz.len();
+        gz[n - 6] ^= 0xff; // flip a CRC byte in the trailer
+        let err = gunzip_multi(&gz).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn header_optional_fields() {
+        // Hand-build a header with FEXTRA+FNAME+FCOMMENT+FHCRC set, then
+        // a stored block holding "hi".
+        let mut gz = vec![0x1f, 0x8b, 8, 0x1e, 0, 0, 0, 0, 0, 0xff];
+        gz.extend_from_slice(&4u16.to_le_bytes()); // XLEN
+        gz.extend_from_slice(b"XTRA");
+        gz.extend_from_slice(b"name\0");
+        gz.extend_from_slice(b"comment\0");
+        gz.extend_from_slice(&[0xaa, 0xbb]); // FHCRC (unchecked)
+        gz.push(0x01); // BFINAL=1, BTYPE=00
+        gz.extend_from_slice(&2u16.to_le_bytes());
+        gz.extend_from_slice(&(!2u16).to_le_bytes());
+        gz.extend_from_slice(b"hi");
+        gz.extend_from_slice(&crc32(0, b"hi").to_le_bytes());
+        gz.extend_from_slice(&2u32.to_le_bytes());
+        assert_eq!(gunzip_multi(&gz).unwrap(), b"hi");
+    }
+
+    // ---- dynamic-Huffman coverage (hand-assembled block) ----------------
+
+    struct BitWriter {
+        out: Vec<u8>,
+        bitbuf: u32,
+        nbits: u32,
+    }
+
+    impl BitWriter {
+        fn new() -> BitWriter {
+            BitWriter {
+                out: Vec::new(),
+                bitbuf: 0,
+                nbits: 0,
+            }
+        }
+        fn put(&mut self, v: u32, n: u32) {
+            self.bitbuf |= v << self.nbits;
+            self.nbits += n;
+            while self.nbits >= 8 {
+                self.out.push((self.bitbuf & 0xff) as u8);
+                self.bitbuf >>= 8;
+                self.nbits -= 8;
+            }
+        }
+        fn put_code(&mut self, code: u32, len: u32) {
+            for i in (0..len).rev() {
+                self.put((code >> i) & 1, 1);
+            }
+        }
+        fn finish(mut self) -> Vec<u8> {
+            if self.nbits > 0 {
+                self.out.push((self.bitbuf & 0xff) as u8);
+            }
+            self.out
+        }
+    }
+
+    /// Canonical Huffman code assignment (RFC 1951 §3.2.2).
+    fn assign_codes(lengths: &[u32]) -> Vec<(u32, u32)> {
+        let max = *lengths.iter().max().unwrap() as usize;
+        let mut bl_count = vec![0u32; max + 1];
+        for &l in lengths {
+            if l > 0 {
+                bl_count[l as usize] += 1;
+            }
+        }
+        let mut next_code = vec![0u32; max + 2];
+        let mut code = 0u32;
+        for bits in 1..=max {
+            code = (code + bl_count[bits - 1]) << 1;
+            next_code[bits] = code;
+        }
+        lengths
+            .iter()
+            .map(|&l| {
+                if l == 0 {
+                    (0, 0)
+                } else {
+                    let c = next_code[l as usize];
+                    next_code[l as usize] += 1;
+                    (c, l)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dynamic_huffman_block_decodes() {
+        // Literal alphabet: 'a' (len 1), 'b' (len 2), end-of-block (len 2);
+        // one unused distance code of length 1 (legal incomplete code).
+        let a = b'a' as usize;
+        let b = b'b' as usize;
+        let mut lit_lens = vec![0u32; 257];
+        lit_lens[a] = 1;
+        lit_lens[b] = 2;
+        lit_lens[256] = 2;
+        let lit_codes = assign_codes(&lit_lens);
+
+        // Code-length alphabet: symbols {0,1,2,17,18} with lengths
+        // forming a complete code (2,2,2,3,3).
+        let mut cl_lens = vec![0u32; 19];
+        cl_lens[0] = 2;
+        cl_lens[1] = 2;
+        cl_lens[2] = 2;
+        cl_lens[17] = 3;
+        cl_lens[18] = 3;
+        let cl_codes = assign_codes(&cl_lens);
+
+        let mut w = BitWriter::new();
+        w.put(1, 1); // BFINAL
+        w.put(2, 2); // BTYPE=10 dynamic
+        w.put(0, 5); // HLIT = 257
+        w.put(0, 5); // HDIST = 1
+        const ORDER: [usize; 19] = [
+            16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+        ];
+        // All five used CLC symbols sit within the first 18 order slots.
+        let hclen = 18usize;
+        w.put((hclen - 4) as u32, 4);
+        for &idx in ORDER.iter().take(hclen) {
+            w.put(cl_lens[idx], 3);
+        }
+        let emit_cl = |w: &mut BitWriter, sym: usize| {
+            let (c, l) = cl_codes[sym];
+            w.put_code(c, l);
+        };
+        // Literal lengths: 97 zeros, a=1, b=2, 157 zeros, 256=2.
+        emit_cl(&mut w, 18);
+        w.put(97 - 11, 7);
+        emit_cl(&mut w, 1);
+        emit_cl(&mut w, 2);
+        emit_cl(&mut w, 18);
+        w.put(138 - 11, 7);
+        emit_cl(&mut w, 18);
+        w.put(19 - 11, 7);
+        emit_cl(&mut w, 2);
+        // Distance lengths: one code of length 1.
+        emit_cl(&mut w, 1);
+        // Payload: "abba" + end-of-block.
+        for &sym in &[a, b, b, a] {
+            let (c, l) = lit_codes[sym];
+            w.put_code(c, l);
+        }
+        let (c, l) = lit_codes[256];
+        w.put_code(c, l);
+        let deflate = w.finish();
+
+        let mut gz = vec![0x1f, 0x8b, 8, 0, 0, 0, 0, 0, 0, 0xff];
+        gz.extend_from_slice(&deflate);
+        gz.extend_from_slice(&crc32(0, b"abba").to_le_bytes());
+        gz.extend_from_slice(&4u32.to_le_bytes());
+        assert_eq!(gunzip_multi(&gz).unwrap(), b"abba");
+    }
+
+    #[test]
+    fn back_reference_window() {
+        // Fixed-Huffman block with an LZ77 match: "abc" then a
+        // length-6 distance-3 match -> "abcabcabc".
+        let mut w = BitWriter::new();
+        w.put(1, 1); // BFINAL
+        w.put(1, 2); // BTYPE=01 fixed
+        for &byte in b"abc" {
+            w.put_code(0x30 + byte as u32, 8);
+        }
+        // Length 6 = symbol 260 (base 6, no extra bits); fixed code for
+        // 260 is 7 bits, value 260-256=4.
+        w.put_code(4, 7);
+        // Distance 3 = symbol 2, 5-bit code.
+        w.put_code(2, 5);
+        w.put_code(0, 7); // end-of-block
+        let deflate = w.finish();
+        let mut gz = vec![0x1f, 0x8b, 8, 0, 0, 0, 0, 0, 0, 0xff];
+        gz.extend_from_slice(&deflate);
+        gz.extend_from_slice(&crc32(0, b"abcabcabc").to_le_bytes());
+        gz.extend_from_slice(&9u32.to_le_bytes());
+        assert_eq!(gunzip_multi(&gz).unwrap(), b"abcabcabc");
+    }
+}

@@ -1,7 +1,7 @@
 //! Instrumented sync primitives with the same API surface as the
 //! workspace's `parking_lot` shim (plus `sync::atomic`).
 //!
-//! Every operation first asks [`crate::sched`] for the calling
+//! Every operation first asks `crate::sched` (private) for the calling
 //! thread's model context. Inside a model execution the operation
 //! becomes a scheduler decision point (and blocking happens in model
 //! terms, never on the OS primitive); outside a model everything
