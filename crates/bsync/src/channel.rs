@@ -102,6 +102,26 @@ pub enum TryRecvError {
     Disconnected,
 }
 
+/// Why a [`Sender::try_send`] could not deliver; the value comes back
+/// in both cases so the caller can retry or re-route it.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded queue is at capacity right now.
+    Full(T),
+    /// Every receiver is gone; the queue can never drain.
+    Disconnected(T),
+}
+
+impl<T> std::fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Like the real crate: no `T: Debug` bound.
+        match self {
+            TrySendError::Full(_) => f.write_str("TrySendError::Full(..)"),
+            TrySendError::Disconnected(_) => f.write_str("TrySendError::Disconnected(..)"),
+        }
+    }
+}
+
 impl<T> Sender<T> {
     /// Deliver `value`, blocking while a bounded queue is at capacity.
     /// Fails (returning the value) once every receiver is gone.
@@ -117,6 +137,26 @@ impl<T> Sender<T> {
                     self.0.not_full.wait(&mut inner);
                 }
                 _ => break,
+            }
+        }
+        inner.queue.push_back(value);
+        drop(inner);
+        self.0.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Deliver `value` only if it can be enqueued right now. A full
+    /// bounded queue returns [`TrySendError::Full`] instead of parking
+    /// the caller — the supervised runtime uses this to bound how long
+    /// a stalled worker can hold the coordinator hostage.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut inner = self.0.lock();
+        if inner.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if let Some(cap) = inner.capacity {
+            if inner.queue.len() >= cap {
+                return Err(TrySendError::Full(value));
             }
         }
         inner.queue.push_back(value);
@@ -262,6 +302,17 @@ mod tests {
         let (tx, rx) = unbounded::<u32>();
         drop(rx);
         assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = bounded::<u32>(1);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.try_send(2), Ok(()));
+        drop(rx);
+        assert_eq!(tx.try_send(3), Err(TrySendError::Disconnected(3)));
     }
 
     #[test]

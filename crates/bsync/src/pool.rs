@@ -70,6 +70,14 @@ impl<M: Send + 'static> ShardPool<M> {
         self.txs[w].send(msg).is_ok()
     }
 
+    /// Non-blocking [`ShardPool::send`]: a full queue returns
+    /// [`channel::TrySendError::Full`] instead of parking the caller.
+    /// The supervised runtime polls this so a stalled worker shows up
+    /// as a bounded-time stall instead of wedging the coordinator.
+    pub fn try_send(&self, w: usize, msg: M) -> Result<(), channel::TrySendError<M>> {
+        self.txs[w].try_send(msg)
+    }
+
     /// Deliver a copy of `msg` to every worker (used for barriers and
     /// shared-batch fan-out; `M` is typically an `Arc`, so a "copy" is
     /// a reference-count bump).
@@ -86,21 +94,39 @@ impl<M: Send + 'static> ShardPool<M> {
 
     /// Disconnect the queues and wait for every worker to drain and
     /// exit (same as dropping the pool, but explicit at call sites
-    /// that rely on the barrier). Panics if a worker panicked.
-    pub fn join(self) {
-        drop(self);
+    /// that rely on the barrier). Returns how many workers exited by
+    /// panic — the caller decides whether that is fatal, so a
+    /// supervised restart can drain a crashed pool and rebuild it
+    /// instead of cascading the panic.
+    pub fn join(mut self) -> usize {
+        self.txs.clear();
+        let mut panicked = 0;
+        for h in self.handles.drain(..) {
+            panicked += usize::from(h.join().is_err());
+        }
+        panicked
+    }
+
+    /// Abandon the pool without waiting: disconnect the queues and
+    /// detach the worker threads. For workers that are *stalled* (stuck
+    /// inside a handler), where [`ShardPool::join`] would block
+    /// forever; the zombie thread keeps its private state but can never
+    /// receive another message.
+    pub fn detach(mut self) {
+        self.txs.clear();
+        self.handles.clear();
     }
 }
 
 impl<M: Send + 'static> Drop for ShardPool<M> {
     fn drop(&mut self) {
         self.txs.clear();
-        let mut worker_panicked = false;
+        // Worker panics are surfaced through the pool's message
+        // contract (the runtime's `ResMsg::Panicked`) or the explicit
+        // `join` count — never by panicking out of a destructor, which
+        // would poison every caller holding a pool across an unwind.
         for h in self.handles.drain(..) {
-            worker_panicked |= h.join().is_err();
-        }
-        if worker_panicked && !std::thread::panicking() {
-            panic!("ShardPool worker panicked");
+            let _ = h.join();
         }
     }
 }
@@ -182,10 +208,77 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "ShardPool worker panicked")]
-    fn shard_pool_surfaces_worker_panics_on_join() {
-        let pool = ShardPool::spawn(1, 1, |_| (), |_, _, _msg: u32| panic!("boom"));
+    fn shard_pool_reports_worker_panics_on_join() {
+        let pool = ShardPool::spawn(
+            2,
+            1,
+            |_| (),
+            |w, _, _msg: u32| {
+                if w == 0 {
+                    panic!("boom")
+                }
+            },
+        );
         pool.send(0, 1);
-        pool.join();
+        pool.send(1, 2);
+        assert_eq!(pool.join(), 1);
+    }
+
+    #[test]
+    fn shard_pool_rebuilds_cleanly_after_a_panicked_join() {
+        // The crash-recovery contract: a pool whose worker panicked can
+        // be drained and a fresh pool spawned in its place, with no
+        // panic cascading out of join or drop.
+        let crashed = ShardPool::spawn(1, 1, |_| (), |_, _, _msg: u32| panic!("boom"));
+        crashed.send(0, 1);
+        assert_eq!(crashed.join(), 1);
+
+        let (res_tx, res_rx) = channel::unbounded::<u32>();
+        let rebuilt = ShardPool::spawn(
+            1,
+            1,
+            |_| (),
+            move |_, _, v: u32| {
+                res_tx.send(v).unwrap();
+            },
+        );
+        rebuilt.send(0, 7);
+        assert_eq!(rebuilt.join(), 0);
+        assert_eq!(res_rx.iter().collect::<Vec<_>>(), vec![7]);
+    }
+
+    #[test]
+    fn shard_pool_try_send_reports_full_queue() {
+        use crate::channel::TrySendError;
+
+        let (gate_tx, gate_rx) = channel::bounded::<()>(1);
+        let pool = ShardPool::spawn(
+            1,
+            1,
+            |_| (),
+            move |_, _, _msg: u32| {
+                let _ = gate_rx.recv(); // hold the worker until released
+            },
+        );
+        // First message occupies the worker; second fills its queue.
+        assert!(pool.send(0, 1));
+        // The worker may or may not have picked up msg 1 yet; fill
+        // until Full is observed, bounded by queue (1) + in-flight (1).
+        let mut sent = 1;
+        loop {
+            match pool.try_send(0, 9) {
+                Ok(()) => {
+                    sent += 1;
+                    assert!(sent <= 2, "queue cap 1 + one in-flight message");
+                }
+                Err(TrySendError::Full(9)) => break,
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        for _ in 0..sent {
+            gate_tx.send(()).unwrap();
+        }
+        drop(gate_tx);
+        assert_eq!(pool.join(), 0);
     }
 }

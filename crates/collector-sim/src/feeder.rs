@@ -56,6 +56,51 @@ pub struct FaultPlan {
     /// `DumpMeta`) a little later — exercising the broker's
     /// exactly-once delivery.
     pub duplicate_prob: f64,
+    /// Consumer-side crash vocabulary. The feeder itself ignores it —
+    /// publication is not the crashing party — but carrying the crash
+    /// schedule in the same plan keeps one seeded artifact describing
+    /// the whole fault universe of a run; the supervised runtime
+    /// harness translates it into its chaos injection.
+    pub crash: CrashPlan,
+}
+
+/// Consumer-side crash schedule: which shard workers die, when, and
+/// which checkpoint writes are torn mid-flush. Pure data (no runtime
+/// dependency) so the plan stays serialisable and seedable.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Worker kills, by global record index.
+    pub kills: Vec<WorkerKill>,
+    /// `(worker, nth_checkpoint)` pairs whose checkpoint write is torn
+    /// mid-flush (truncated frame, checksum fails on read-back).
+    pub torn_checkpoints: Vec<(usize, u64)>,
+}
+
+impl CrashPlan {
+    /// No crashes.
+    pub fn none() -> Self {
+        CrashPlan::default()
+    }
+
+    /// True when the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.kills.is_empty() && self.torn_checkpoints.is_empty()
+    }
+}
+
+/// One scheduled worker kill.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkerKill {
+    /// Shard worker index to kill.
+    pub worker: usize,
+    /// Global record index (session-wide, 0-based) whose processing
+    /// the worker dies in.
+    pub at_record: u64,
+    /// How many times the kill re-fires after a restart: `1` is a
+    /// one-off crash, larger values model a worker that keeps dying at
+    /// the same record (a restart storm that eventually exhausts the
+    /// retry budget).
+    pub times: u32,
 }
 
 /// One collector-wide publication stall.
@@ -77,6 +122,7 @@ impl Default for FaultPlan {
             stalls: Vec::new(),
             swap_prob: 0.0,
             duplicate_prob: 0.0,
+            crash: CrashPlan::none(),
         }
     }
 }
@@ -406,6 +452,7 @@ mod tests {
                 }],
                 swap_prob: 0.5,
                 duplicate_prob: 0.3,
+                crash: CrashPlan::none(),
             };
             let idx = Index::shared();
             let mut f = LiveFeeder::new(&manifest(), idx.clone(), &plan, seed);

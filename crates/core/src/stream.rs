@@ -541,6 +541,7 @@ fn prefetch_worker() -> &'static Sender<PrefetchReq> {
                     // worker must survive, and dropping `reply`
                     // un-blocks the requesting stream (its recv fails
                     // and it re-opens the group synchronously).
+                    // xcheck:allow(catch-unwind) — see above
                     let opened = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         GroupMerger::open_with(req.group, req.filters, req.mode)
                     }));

@@ -40,7 +40,10 @@ pub mod tag;
 pub use pfxmonitor::{PfxMonitor, PfxPoint};
 pub use pipeline::{run_pipeline, run_pipeline_until, Partitioning, Plugin};
 pub use rt::{RtBinStats, RtErrorStats, RtPlugin};
-pub use runtime::{LiveRunReport, ShardedPlugin, ShardedRuntime, ShardedRuntimeBuilder};
+pub use runtime::{
+    BinStatus, Chaos, KillSpec, LiveRunReport, RuntimeError, ShardedPlugin, ShardedRuntime,
+    ShardedRuntimeBuilder, Supervisor, SupervisorConfig,
+};
 pub use stats::{BinCounters, ElemCounter, StatsPoint};
 pub use tag::{
     run_tagged_pipeline, ClassifierTagger, GeoTagger, TagCounter, TagGate, TagSet, TaggedPlugin,

@@ -226,6 +226,152 @@ impl Plugin for PfxMonitor {
         // the state exactly.
         Partitioning::ByPrefix
     }
+
+    /// Everything except the shared range trie (configuration, not
+    /// state), each section in canonical order so two instances that
+    /// processed the same records checkpoint byte-identically.
+    fn checkpoint(&self) -> Vec<u8> {
+        use bytes::BytesMut;
+
+        use crate::codec::{ip_sort_key, prefix_sort_key, put_ip, put_prefix};
+
+        let mut out = BytesMut::new();
+        out.put_u8(1); // version
+
+        let mut table: Vec<(&(Prefix, IpAddr), &Asn)> = self.table.iter().collect();
+        table.sort_by_key(|((p, ip), _)| (prefix_sort_key(p), ip_sort_key(ip)));
+        out.put_u32(table.len() as u32);
+        for ((prefix, vp), origin) in table {
+            put_prefix(&mut out, prefix);
+            put_ip(&mut out, vp);
+            out.put_u32(origin.0);
+        }
+
+        let mut prefixes: Vec<(&Prefix, &u32)> = self.prefix_refs.iter().collect();
+        prefixes.sort_by_key(|(p, _)| prefix_sort_key(p));
+        out.put_u32(prefixes.len() as u32);
+        for (prefix, n) in prefixes {
+            put_prefix(&mut out, prefix);
+            out.put_u32(*n);
+        }
+
+        let mut origins: Vec<(&Asn, &u32)> = self.origin_refs.iter().collect();
+        origins.sort_by_key(|(a, _)| a.0);
+        out.put_u32(origins.len() as u32);
+        for (origin, n) in origins {
+            out.put_u32(origin.0);
+            out.put_u32(*n);
+        }
+
+        match &self.delta {
+            None => out.put_u8(0),
+            Some(delta) => {
+                out.put_u8(1);
+                out.put_u32(delta.len() as u32);
+                out.put_slice(delta);
+                out.put_u32(self.delta_ops);
+            }
+        }
+
+        out.put_u32(self.shard_prefix_counts.len() as u32);
+        for n in &self.shard_prefix_counts {
+            out.put_u32(*n);
+        }
+
+        out.put_u32(self.series.len() as u32);
+        for pt in &self.series {
+            out.put_u64(pt.time);
+            out.put_u64(pt.prefixes as u64);
+            out.put_u64(pt.origins as u64);
+        }
+        out.to_vec()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), String> {
+        use crate::codec::{get_ip, get_prefix};
+
+        fn need(buf: &[u8], n: usize, what: &str) -> Result<(), String> {
+            if buf.len() < n {
+                Err(format!("pfxmonitor checkpoint: truncated {what}"))
+            } else {
+                Ok(())
+            }
+        }
+
+        let mut buf = bytes;
+        need(buf, 1, "version")?;
+        let version = buf.get_u8();
+        if version != 1 {
+            return Err(format!("pfxmonitor checkpoint: unknown version {version}"));
+        }
+
+        need(buf, 4, "table count")?;
+        let n = buf.get_u32() as usize;
+        let mut table = FxHashMap::default();
+        for _ in 0..n {
+            let prefix = get_prefix(&mut buf)?;
+            let vp = get_ip(&mut buf)?;
+            need(buf, 4, "table origin")?;
+            table.insert((prefix, vp), Asn(buf.get_u32()));
+        }
+
+        need(buf, 4, "prefix ref count")?;
+        let n = buf.get_u32() as usize;
+        let mut prefix_refs = FxHashMap::default();
+        for _ in 0..n {
+            let prefix = get_prefix(&mut buf)?;
+            need(buf, 4, "prefix refcount")?;
+            prefix_refs.insert(prefix, buf.get_u32());
+        }
+
+        need(buf, 4, "origin ref count")?;
+        let n = buf.get_u32() as usize;
+        let mut origin_refs = FxHashMap::default();
+        for _ in 0..n {
+            need(buf, 8, "origin refcount")?;
+            origin_refs.insert(Asn(buf.get_u32()), buf.get_u32());
+        }
+
+        need(buf, 1, "delta flag")?;
+        let (delta, delta_ops) = if buf.get_u8() == 1 {
+            need(buf, 4, "delta length")?;
+            let len = buf.get_u32() as usize;
+            need(buf, len + 4, "delta body")?;
+            let body = buf[..len].to_vec();
+            buf.advance(len);
+            (Some(body), buf.get_u32())
+        } else {
+            (None, 0)
+        };
+
+        need(buf, 4, "shard count list")?;
+        let n = buf.get_u32() as usize;
+        need(buf, n * 4, "shard counts")?;
+        let shard_prefix_counts = (0..n).map(|_| buf.get_u32()).collect();
+
+        need(buf, 4, "series count")?;
+        let n = buf.get_u32() as usize;
+        need(buf, n * 24, "series points")?;
+        let series = (0..n)
+            .map(|_| PfxPoint {
+                time: buf.get_u64(),
+                prefixes: buf.get_u64() as usize,
+                origins: buf.get_u64() as usize,
+            })
+            .collect();
+
+        if !buf.is_empty() {
+            return Err("pfxmonitor checkpoint: trailing bytes".into());
+        }
+        self.table = table;
+        self.prefix_refs = prefix_refs;
+        self.origin_refs = origin_refs;
+        self.delta = delta;
+        self.delta_ops = delta_ops;
+        self.shard_prefix_counts = shard_prefix_counts;
+        self.series = series;
+        Ok(())
+    }
 }
 
 impl ShardedPlugin for PfxMonitor {
@@ -386,6 +532,31 @@ mod tests {
         m.end_bin(0, 300);
         assert_eq!(m.series.last().unwrap().prefixes, 0);
         assert_eq!(m.series.last().unwrap().origins, 0);
+    }
+
+    #[test]
+    fn checkpoint_restores_table_refs_and_series_byte_identically() {
+        let mut m = PfxMonitor::new([p("193.204.0.0/15")]);
+        m.process_record(&rec(1, vec![ann("193.204.10.0/24", "10.0.0.1", 137)]));
+        m.process_record(&rec(2, vec![ann("193.204.11.0/24", "10.0.0.2", 666)]));
+        m.end_bin(0, 300);
+        m.process_record(&rec(301, vec![wd("193.204.10.0/24", "10.0.0.1")]));
+
+        let ckpt = m.checkpoint();
+        let mut fresh = PfxMonitor::new([p("193.204.0.0/15")]);
+        fresh.restore(&ckpt).expect("restore");
+        // Re-checkpoint is byte-identical (canonical section orders).
+        assert_eq!(fresh.checkpoint(), ckpt);
+        // Both continue identically through the next bin.
+        for plug in [&mut m, &mut fresh] {
+            plug.process_record(&rec(310, vec![ann("193.204.12.0/24", "10.0.0.1", 137)]));
+            plug.end_bin(300, 600);
+        }
+        assert_eq!(format!("{:?}", fresh.series), format!("{:?}", m.series));
+
+        // A torn restore is rejected, not half-applied.
+        assert!(fresh.restore(&ckpt[..ckpt.len() - 3]).is_err());
+        assert!(PfxMonitor::new([]).restore(&[9, 9]).is_err());
     }
 
     #[test]

@@ -45,6 +45,34 @@ pub trait Plugin {
     fn partitioning(&self) -> Partitioning {
         Partitioning::Pinned
     }
+
+    /// Serialize this plugin's full state — tables *and* the current
+    /// bin's partial aggregates — deterministically: two instances
+    /// that processed the same records must produce byte-identical
+    /// checkpoints (the supervised runtime checksums and compares
+    /// them, and replay-after-restore relies on it). Plugins that
+    /// carry no state between records may keep the default empty
+    /// checkpoint.
+    fn checkpoint(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Rebuild the state captured by [`Plugin::checkpoint`] into
+    /// `self`, which must be a freshly constructed instance with the
+    /// same configuration (same ranges/collector/shard assignment) as
+    /// the checkpointed one. After a successful restore the plugin
+    /// must behave byte-identically to one that never died. The
+    /// default accepts only the default empty checkpoint.
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), String> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "plugin {} does not support non-empty checkpoints",
+                self.name()
+            ))
+        }
+    }
 }
 
 /// Drive `plugins` over `stream` with `bin_size`-second bins aligned

@@ -548,6 +548,229 @@ impl Plugin for RtPlugin {
         // rule.)
         Partitioning::ByPeer
     }
+
+    /// Everything except configuration (queue handle, full-table
+    /// cadence, shard assignment), through the queue codec's own
+    /// prefix/ip/route vocabulary, each section in canonical order.
+    fn checkpoint(&self) -> Vec<u8> {
+        use crate::codec::{ip_sort_key, prefix_sort_key, put_ip, put_prefix, put_route};
+
+        let mut out = BytesMut::new();
+        out.put_u8(1); // version
+        out.put_u16(self.collector.len() as u16);
+        out.put_slice(self.collector.as_bytes());
+
+        let mut vps: Vec<(&IpAddr, &VpTable)> = self.vps.iter().collect();
+        vps.sort_by_key(|(ip, _)| ip_sort_key(ip));
+        out.put_u32(vps.len() as u32);
+        for (ip, vp) in vps {
+            put_ip(&mut out, ip);
+            out.put_u32(vp.asn.0);
+            out.put_u8(match vp.state {
+                MacroState::Down => 0,
+                MacroState::DownRibApplication => 1,
+                MacroState::Up => 2,
+                MacroState::UpRibApplication => 3,
+            });
+            out.put_u8(vp.rib_seen as u8);
+            out.put_u8(vp.check_ok as u8);
+            let mut cells: Vec<(&Prefix, &Cell)> = vp.cells.iter().collect();
+            cells.sort_by_key(|(p, _)| prefix_sort_key(p));
+            out.put_u32(cells.len() as u32);
+            for (prefix, cell) in cells {
+                put_prefix(&mut out, prefix);
+                put_route(&mut out, &cell.main.as_ref().map(|r| r.path.clone()));
+                out.put_u64(cell.main_ts);
+                match &cell.shadow {
+                    None => out.put_u8(0),
+                    Some((route, ts)) => {
+                        out.put_u8(1);
+                        put_route(&mut out, &route.as_ref().map(|r| r.path.clone()));
+                        out.put_u64(*ts);
+                    }
+                }
+            }
+        }
+
+        let mut dirty: Vec<(&(IpAddr, Prefix), &Option<CellRoute>)> = self.dirty.iter().collect();
+        dirty.sort_by_key(|((ip, p), _)| (ip_sort_key(ip), prefix_sort_key(p)));
+        out.put_u32(dirty.len() as u32);
+        for ((ip, prefix), prev) in dirty {
+            put_ip(&mut out, ip);
+            put_prefix(&mut out, prefix);
+            put_route(&mut out, &prev.as_ref().map(|r| r.path.clone()));
+        }
+
+        out.put_u64(self.elems_in_bin);
+        out.put_u8(self.rib_active as u8);
+        out.put_u8(self.rib_corrupted as u8);
+        out.put_u64(self.rib_start_ts);
+        out.put_u8(self.updates_poisoned as u8);
+        out.put_u64(self.bins_since_full);
+        match &self.pending_partial {
+            None => out.put_u8(0),
+            Some(p) => {
+                out.put_u8(1);
+                out.put_u32(p.len() as u32);
+                out.put_slice(p);
+            }
+        }
+        for stats in [&self.err_reported, &self.error_stats] {
+            out.put_u64(stats.cells_checked);
+            out.put_u64(stats.cells_mismatched);
+        }
+        out.put_u32(self.bin_series.len() as u32);
+        for s in &self.bin_series {
+            out.put_u64(s.bin);
+            out.put_u64(s.elems);
+            out.put_u64(s.diff_cells);
+        }
+        out.to_vec()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), String> {
+        use crate::codec::{get_ip, get_prefix, get_route};
+
+        fn need(buf: &[u8], n: usize, what: &str) -> Result<(), String> {
+            if buf.len() < n {
+                Err(format!("rt checkpoint: truncated {what}"))
+            } else {
+                Ok(())
+            }
+        }
+
+        let mut buf = bytes;
+        need(buf, 3, "header")?;
+        let version = buf.get_u8();
+        if version != 1 {
+            return Err(format!("rt checkpoint: unknown version {version}"));
+        }
+        let name_len = buf.get_u16() as usize;
+        need(buf, name_len, "collector name")?;
+        let collector = String::from_utf8_lossy(&buf[..name_len]).into_owned();
+        buf.advance(name_len);
+        if collector != self.collector {
+            return Err(format!(
+                "rt checkpoint: collector mismatch (checkpoint {collector:?}, instance {:?})",
+                self.collector
+            ));
+        }
+
+        need(buf, 4, "vp count")?;
+        let n = buf.get_u32() as usize;
+        let mut vps = FxHashMap::default();
+        for _ in 0..n {
+            let ip = get_ip(&mut buf)?;
+            need(buf, 4 + 3, "vp header")?;
+            let asn = Asn(buf.get_u32());
+            let state = match buf.get_u8() {
+                0 => MacroState::Down,
+                1 => MacroState::DownRibApplication,
+                2 => MacroState::Up,
+                3 => MacroState::UpRibApplication,
+                s => return Err(format!("rt checkpoint: unknown macro state {s}")),
+            };
+            let rib_seen = buf.get_u8() == 1;
+            let check_ok = buf.get_u8() == 1;
+            need(buf, 4, "cell count")?;
+            let cell_count = buf.get_u32() as usize;
+            let mut cells = FxHashMap::default();
+            for _ in 0..cell_count {
+                let prefix = get_prefix(&mut buf)?;
+                let main = get_route(&mut buf)?.map(|path| CellRoute { path });
+                need(buf, 8 + 1, "cell timestamps")?;
+                let main_ts = buf.get_u64();
+                let shadow = if buf.get_u8() == 1 {
+                    let route = get_route(&mut buf)?.map(|path| CellRoute { path });
+                    need(buf, 8, "shadow timestamp")?;
+                    Some((route, buf.get_u64()))
+                } else {
+                    None
+                };
+                cells.insert(
+                    prefix,
+                    Cell {
+                        main,
+                        main_ts,
+                        shadow,
+                    },
+                );
+            }
+            vps.insert(
+                ip,
+                VpTable {
+                    asn,
+                    state,
+                    cells,
+                    rib_seen,
+                    check_ok,
+                },
+            );
+        }
+
+        need(buf, 4, "dirty count")?;
+        let n = buf.get_u32() as usize;
+        let mut dirty = FxHashMap::default();
+        for _ in 0..n {
+            let ip = get_ip(&mut buf)?;
+            let prefix = get_prefix(&mut buf)?;
+            let prev = get_route(&mut buf)?.map(|path| CellRoute { path });
+            dirty.insert((ip, prefix), prev);
+        }
+
+        need(buf, 8 + 1 + 1 + 8 + 1 + 8 + 1, "scalar state")?;
+        let elems_in_bin = buf.get_u64();
+        let rib_active = buf.get_u8() == 1;
+        let rib_corrupted = buf.get_u8() == 1;
+        let rib_start_ts = buf.get_u64();
+        let updates_poisoned = buf.get_u8() == 1;
+        let bins_since_full = buf.get_u64();
+        let pending_partial = if buf.get_u8() == 1 {
+            need(buf, 4, "partial length")?;
+            let len = buf.get_u32() as usize;
+            need(buf, len, "partial body")?;
+            let body = buf[..len].to_vec();
+            buf.advance(len);
+            Some(body)
+        } else {
+            None
+        };
+        need(buf, 32 + 4, "counters")?;
+        let err_reported = RtErrorStats {
+            cells_checked: buf.get_u64(),
+            cells_mismatched: buf.get_u64(),
+        };
+        let error_stats = RtErrorStats {
+            cells_checked: buf.get_u64(),
+            cells_mismatched: buf.get_u64(),
+        };
+        let n = buf.get_u32() as usize;
+        need(buf, n * 24, "bin series")?;
+        let bin_series = (0..n)
+            .map(|_| RtBinStats {
+                bin: buf.get_u64(),
+                elems: buf.get_u64(),
+                diff_cells: buf.get_u64(),
+            })
+            .collect();
+        if !buf.is_empty() {
+            return Err("rt checkpoint: trailing bytes".into());
+        }
+
+        self.vps = vps;
+        self.dirty = dirty;
+        self.elems_in_bin = elems_in_bin;
+        self.rib_active = rib_active;
+        self.rib_corrupted = rib_corrupted;
+        self.rib_start_ts = rib_start_ts;
+        self.updates_poisoned = updates_poisoned;
+        self.bins_since_full = bins_since_full;
+        self.pending_partial = pending_partial;
+        self.err_reported = err_reported;
+        self.bin_series = bin_series;
+        self.error_stats = error_stats;
+        Ok(())
+    }
 }
 
 impl RtPlugin {
@@ -1054,5 +1277,91 @@ mod tests {
         other.source = broker::SourceId::intern("ris", "rrc99", DumpType::Updates);
         rt.process_record(&other);
         assert_eq!(rt.vp_state(vp_ip()), None);
+    }
+
+    #[test]
+    fn checkpoint_restores_tables_fsm_and_series_byte_identically() {
+        // Build non-trivial state: a table, an in-flight updates bin
+        // with dirty cells, a closed bin in the series, and a shadow
+        // RIB application left open mid-dump.
+        let mut rt = RtPlugin::new("rrc00");
+        feed_rib(&mut rt, 100, "10.0.0.0/8", &[65001, 137]);
+        rt.process_record(&rec(
+            130,
+            DumpType::Updates,
+            DumpPosition::Middle,
+            RecordStatus::Valid,
+            vec![elem(
+                ElemType::Announcement,
+                130,
+                "20.0.0.0/16",
+                &[65001, 9],
+            )],
+        ));
+        rt.end_bin(120, 180);
+        rt.process_record(&rec(
+            190,
+            DumpType::Updates,
+            DumpPosition::Middle,
+            RecordStatus::Valid,
+            vec![elem(ElemType::Withdrawal, 190, "10.0.0.0/8", &[])],
+        ));
+        // Leave a RIB application open so shadow cells are live.
+        rt.process_record(&rec(
+            200,
+            DumpType::Rib,
+            DumpPosition::Start,
+            RecordStatus::Valid,
+            vec![],
+        ));
+        rt.process_record(&rec(
+            200,
+            DumpType::Rib,
+            DumpPosition::Middle,
+            RecordStatus::Valid,
+            vec![elem(ElemType::RibEntry, 200, "20.0.0.0/16", &[65001, 9])],
+        ));
+
+        let ckpt = rt.checkpoint();
+        let mut restored = RtPlugin::new("rrc00");
+        restored.restore(&ckpt).expect("restore");
+        assert_eq!(restored.checkpoint(), ckpt);
+
+        // Both instances must continue byte-identically: finish the
+        // dump, evolve the table, close the bin.
+        for plugin in [&mut rt, &mut restored] {
+            plugin.process_record(&rec(
+                201,
+                DumpType::Rib,
+                DumpPosition::End,
+                RecordStatus::Valid,
+                vec![],
+            ));
+            plugin.process_record(&rec(
+                210,
+                DumpType::Updates,
+                DumpPosition::Middle,
+                RecordStatus::Valid,
+                vec![elem(
+                    ElemType::Announcement,
+                    210,
+                    "30.0.0.0/24",
+                    &[65001, 2],
+                )],
+            ));
+            plugin.end_bin(180, 240);
+        }
+        assert_eq!(rt.bin_series, restored.bin_series);
+        assert_eq!(rt.error_stats, restored.error_stats);
+        assert_eq!(rt.checkpoint(), restored.checkpoint());
+
+        // A different collector's instance must refuse the checkpoint,
+        // and torn checkpoints must fail loudly rather than restore a
+        // partial table.
+        let mut wrong = RtPlugin::new("rrc01");
+        assert!(wrong.restore(&ckpt).is_err());
+        let mut fresh = RtPlugin::new("rrc00");
+        assert!(fresh.restore(&ckpt[..ckpt.len() - 1]).is_err());
+        assert!(fresh.restore(&[]).is_err());
     }
 }

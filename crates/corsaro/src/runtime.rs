@@ -63,12 +63,16 @@ use std::collections::VecDeque;
 use std::net::IpAddr;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Duration;
 
 use analytics::mapreduce::ShardPool;
 use bgp_types::Prefix;
 use bgpstream::{BatchStep, BgpStream, BgpStreamRecord};
-use bsync::channel::{Receiver, Sender, TryRecvError};
+use broker::BrokerError;
+use bsync::channel::{Receiver, Sender, TryRecvError, TrySendError};
+use bsync::time::Clock;
 
+use crate::codec;
 use crate::pipeline::{Partitioning, Plugin};
 
 /// A plugin the sharded runtime can fan out.
@@ -214,8 +218,231 @@ pub struct ShardedRuntime {
     cfg: ShardedRuntimeBuilder,
 }
 
+/// Why a live session could not continue. The split mirrors
+/// [`BrokerError`]'s recoverable/fatal distinction one layer up: a
+/// [`Supervisor`] acts on the recoverable variants (restart from
+/// checkpoint) and surfaces the fatal ones.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RuntimeError {
+    /// A shard worker panicked while processing a plugin. Recoverable:
+    /// a supervisor restarts the shard from its last checkpoint; an
+    /// unsupervised run tears down cleanly and reports it.
+    WorkerPanicked {
+        /// Worker index that died.
+        worker: usize,
+    },
+    /// A shard worker stopped making progress past the configured
+    /// stall timeout (wedged plugin, livelocked dependency).
+    /// Recoverable the same way a panic is.
+    WorkerStalled {
+        /// Worker index that stalled.
+        worker: usize,
+    },
+    /// A stored checkpoint failed to restore into a fresh shard
+    /// instance. Fatal: the runtime's own recovery state is corrupt,
+    /// so retrying cannot help.
+    Checkpoint(String),
+    /// The underlying stream died with a broker error; recoverability
+    /// delegates to [`BrokerError::is_recoverable`].
+    Stream(BrokerError),
+}
+
+impl RuntimeError {
+    /// Whether a supervised retry/restart could plausibly get the
+    /// session going again (see the variant docs).
+    pub fn is_recoverable(&self) -> bool {
+        match self {
+            RuntimeError::WorkerPanicked { .. } | RuntimeError::WorkerStalled { .. } => true,
+            RuntimeError::Checkpoint(_) => false,
+            RuntimeError::Stream(e) => e.is_recoverable(),
+        }
+    }
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::WorkerPanicked { worker } => {
+                write!(
+                    f,
+                    "shard worker {worker} panicked while processing a plugin"
+                )
+            }
+            RuntimeError::WorkerStalled { worker } => {
+                write!(
+                    f,
+                    "shard worker {worker} stalled past the supervision timeout"
+                )
+            }
+            RuntimeError::Checkpoint(msg) => write!(f, "checkpoint restore failed: {msg}"),
+            RuntimeError::Stream(e) => write!(f, "stream failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Whether a merged bin carries the full shard set or degraded
+/// (synthesized-empty) partials from dead workers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinStatus {
+    /// Every shard's real partial was merged.
+    Complete,
+    /// At least one shard was dead past its restart budget; its slots
+    /// were filled with empty partials so the bin could close instead
+    /// of wedging the session. The bin start is recorded in
+    /// [`LiveRunReport::partial_bins`].
+    Partial,
+}
+
+/// One scheduled worker crash for chaos testing: the worker panics
+/// when it is about to process the record with global index
+/// `at_record` (0-based arrival order), `times` times in a row. With
+/// `times: 1` the respawned worker sails past the same record on
+/// replay; larger values model a deterministically recurring crash
+/// that exhausts the restart budget.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct KillSpec {
+    /// Worker index to kill.
+    pub worker: usize,
+    /// Global record index (arrival order) the kill fires at.
+    pub at_record: u64,
+    /// How many times the kill re-fires across restarts.
+    pub times: u32,
+}
+
+/// A deterministic crash schedule injected into a supervised run —
+/// the runtime-level half of `collector-sim`'s fault vocabulary.
+#[derive(Clone, Default, Debug)]
+pub struct Chaos {
+    /// Worker kills (see [`KillSpec`]).
+    pub kills: Vec<KillSpec>,
+    /// `(worker, nth)`: tear the `nth` checkpoint (1-based) taken by
+    /// `worker` mid-write. The frame checksum rejects it and the
+    /// previous checkpoint stays authoritative, so recovery replays a
+    /// wider window — output must not change.
+    pub torn_checkpoints: Vec<(usize, u64)>,
+}
+
+/// Tuning for a [`Supervisor`]. All timing flows through the injected
+/// [`Clock`], so tests drive backoff and stall detection on a manual
+/// timeline.
+#[derive(Clone, Debug)]
+pub struct SupervisorConfig {
+    /// Restart budget per worker; the attempt after the budget is
+    /// exhausted degrades the worker instead (see [`BinStatus`]).
+    pub max_restarts: u32,
+    /// First-restart backoff; doubles per attempt (exponential).
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling.
+    pub backoff_max_ms: u64,
+    /// A worker with outstanding messages and no progress for this
+    /// long is declared stalled and restarted from its checkpoint.
+    pub stall_timeout_ms: u64,
+    /// Time source for backoff and stall deadlines.
+    pub clock: Clock,
+    /// Seed for backoff jitter (deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            max_restarts: 3,
+            backoff_base_ms: 200,
+            backoff_max_ms: 5_000,
+            stall_timeout_ms: 30_000,
+            clock: Clock::system(),
+            seed: 0x5eed_c0de,
+        }
+    }
+}
+
+/// Crash-safe wrapper around [`ShardedRuntime::run_live`]: detects
+/// worker panics and stalls, restarts the shard from its last
+/// checkpoint (workers checkpoint every hosted plugin at every bin
+/// barrier through the deterministic plugin codec, sealed with a
+/// checksum frame so torn writes are rejected), and replays the
+/// coordinator's message log past the checkpoint — so a restored
+/// worker is byte-identical to one that never died. When a worker
+/// exhausts its restart budget the supervisor degrades it: later bins
+/// close with [`BinStatus::Partial`] instead of wedging the session.
+///
+/// ```
+/// use bgpstream::BgpStream;
+/// use broker::{DataInterface, Index};
+/// use corsaro::runtime::{ShardedRuntime, Supervisor};
+/// use corsaro::PfxMonitor;
+///
+/// let mut stream = BgpStream::builder()
+///     .data_interface(DataInterface::Broker(Index::shared()))
+///     .interval(0, Some(3600))
+///     .start();
+/// let mut monitor = PfxMonitor::new(["193.204.0.0/15".parse().unwrap()]);
+/// let supervisor = Supervisor::new(ShardedRuntime::builder().workers(2).build());
+/// let report = supervisor
+///     .run_live(&mut stream, 3600, None, &mut [&mut monitor])
+///     .expect("empty index cannot fail");
+/// assert_eq!(report.records, 0);
+/// assert_eq!(report.restarts, 0);
+/// ```
+pub struct Supervisor {
+    runtime: ShardedRuntime,
+    cfg: SupervisorConfig,
+    chaos: Chaos,
+}
+
+impl Supervisor {
+    /// Supervise `runtime` with the default [`SupervisorConfig`].
+    pub fn new(runtime: ShardedRuntime) -> Self {
+        Supervisor {
+            runtime,
+            cfg: SupervisorConfig::default(),
+            chaos: Chaos::default(),
+        }
+    }
+
+    /// Replace the supervision tuning.
+    pub fn with_config(mut self, cfg: SupervisorConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Inject a crash schedule (chaos testing only; the default is no
+    /// chaos).
+    pub fn with_chaos(mut self, chaos: Chaos) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    /// The wrapped runtime.
+    pub fn runtime(&self) -> &ShardedRuntime {
+        &self.runtime
+    }
+
+    /// [`ShardedRuntime::run_live`] under supervision: same stream,
+    /// stop and shutdown semantics, but worker panics and stalls are
+    /// absorbed by checkpoint-restore-replay instead of ending the
+    /// session, up to the per-worker restart budget.
+    pub fn run_live(
+        &self,
+        stream: &mut BgpStream,
+        stop: u64,
+        shutdown: Option<&AtomicBool>,
+        roots: &mut [&mut dyn ShardedPlugin],
+    ) -> Result<LiveRunReport, RuntimeError> {
+        self.runtime.run_live_inner(
+            stream,
+            stop,
+            shutdown,
+            roots,
+            Some((&self.cfg, &self.chaos)),
+        )
+    }
+}
+
 /// What a [`ShardedRuntime::run_live`] session did.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct LiveRunReport {
     /// Records processed (same meaning as the return value of
     /// [`ShardedRuntime::run_until`]).
@@ -225,27 +452,74 @@ pub struct LiveRunReport {
     /// True when the session ended because the shutdown flag was
     /// raised (as opposed to reaching `stop`).
     pub shutdown: bool,
+    /// Worker respawns performed by a [`Supervisor`] (0 when
+    /// unsupervised or nothing crashed).
+    pub restarts: u64,
+    /// Panic/stall events observed, including those that exhausted a
+    /// restart budget and degraded the worker instead of respawning.
+    pub retries: u64,
+    /// Bin starts merged with [`BinStatus::Partial`], in close order.
+    pub partial_bins: Vec<u64>,
 }
 
-/// Messages broadcast to shard workers.
+/// Messages broadcast to shard workers. `seq` is the coordinator's
+/// global message sequence number: workers echo it in progress acks
+/// and checkpoints, and the supervisor's replay log is indexed by it.
 #[derive(Clone)]
 enum ShardMsg {
-    /// A run of records, all belonging to the current bin.
-    Batch(Arc<Vec<BgpStreamRecord>>),
+    /// A run of records, all belonging to the current bin. `base` is
+    /// the global (arrival-order) index of the first record, used to
+    /// anchor chaos kill points.
+    Batch {
+        seq: u64,
+        base: u64,
+        recs: Arc<Vec<BgpStreamRecord>>,
+    },
     /// Close the bin `[bin_start, bin_end)` and ship partials.
-    EndBin { bin_start: u64, bin_end: u64 },
+    EndBin {
+        seq: u64,
+        bin_start: u64,
+        bin_end: u64,
+    },
 }
 
-/// Messages from shard workers back to the coordinator.
+impl ShardMsg {
+    fn seq(&self) -> u64 {
+        match self {
+            ShardMsg::Batch { seq, .. } | ShardMsg::EndBin { seq, .. } => *seq,
+        }
+    }
+}
+
+/// Messages from shard workers back to the coordinator. Every message
+/// carries the worker's `epoch` (bumped on each restart) so stragglers
+/// from a detached zombie worker are filtered out.
 enum ResMsg {
     Partial {
         plugin: usize,
         worker: usize,
+        epoch: u64,
         bin_start: u64,
         bytes: Vec<u8>,
     },
+    /// Sealed checkpoint frames (one per hosted plugin, in hosted
+    /// order) taken right after the `EndBin` with sequence `seq`.
+    /// Supervised runs only.
+    Checkpoint {
+        worker: usize,
+        epoch: u64,
+        seq: u64,
+        frames: Vec<Vec<u8>>,
+    },
+    /// Heartbeat: the worker finished handling message `seq`.
+    /// Supervised runs only.
+    Progress { worker: usize, epoch: u64, seq: u64 },
     Panicked {
         worker: usize,
+        epoch: u64,
+        /// Set when a chaos kill fired: the global record index, so
+        /// the coordinator decrements the matching [`KillSpec`].
+        killed_at: Option<u64>,
     },
 }
 
@@ -263,6 +537,17 @@ struct WorkerState {
     res_tx: Sender<ResMsg>,
     worker: usize,
     workers: usize,
+    /// Restart generation this worker belongs to; echoed in every
+    /// result message so the coordinator can discard zombie output.
+    epoch: u64,
+    /// Supervised workers emit progress acks and per-bin checkpoints.
+    supervised: bool,
+    /// Remaining chaos kills for this worker: `(at_record, times)`.
+    kills: Vec<(u64, u32)>,
+    /// Global record index of the chaos kill that is about to fire,
+    /// recorded just before the injected panic so the panic handler
+    /// can report it.
+    pending_kill: Option<u64>,
     /// Reusable per-record ownership masks, one per partitioning mode
     /// in use: computed once per record, shared by every same-mode
     /// plugin instance on this worker.
@@ -281,28 +566,74 @@ impl WorkerState {
             return;
         }
         let worker = self.worker;
+        let epoch = self.epoch;
+        let seq = msg.seq();
+        // The worker loop is the one sanctioned isolation boundary: a
+        // plugin panic becomes ResMsg::Panicked and the supervisor
+        // decides recovery.
+        // xcheck:allow(catch-unwind) — see above
         let r = catch_unwind(AssertUnwindSafe(|| match msg {
-            ShardMsg::Batch(batch) => {
-                for rec in batch.iter() {
+            ShardMsg::Batch { base, recs, .. } => {
+                for (i, rec) in recs.iter().enumerate() {
+                    let global = base + i as u64;
+                    if self.supervised {
+                        if let Some(kill) = self.kills.iter_mut().find(|k| k.1 > 0 && k.0 == global)
+                        {
+                            kill.1 -= 1;
+                            self.pending_kill = Some(global);
+                            panic!("chaos: kill worker {worker} at record {global}");
+                        }
+                    }
                     self.process(rec);
                 }
             }
-            ShardMsg::EndBin { bin_start, bin_end } => {
+            ShardMsg::EndBin {
+                bin_start, bin_end, ..
+            } => {
                 for hosted in self.plugins.iter_mut() {
                     hosted.plugin.end_bin(bin_start, bin_end);
                     let bytes = hosted.plugin.take_partial();
                     let _ = self.res_tx.send(ResMsg::Partial {
                         plugin: hosted.root_idx,
                         worker,
+                        epoch,
                         bin_start,
                         bytes,
                     });
                 }
+                if self.supervised {
+                    // Checkpoint at the bin barrier: plugin state is
+                    // exactly what an uninterrupted worker would carry
+                    // into the next bin, and the sealed frames reject
+                    // torn writes on restore.
+                    let frames: Vec<Vec<u8>> = self
+                        .plugins
+                        .iter()
+                        .map(|h| codec::seal_frame(&h.plugin.checkpoint()))
+                        .collect();
+                    let _ = self.res_tx.send(ResMsg::Checkpoint {
+                        worker,
+                        epoch,
+                        seq,
+                        frames,
+                    });
+                }
             }
         }));
-        if r.is_err() {
-            self.poisoned = true;
-            let _ = self.res_tx.send(ResMsg::Panicked { worker });
+        match r {
+            Ok(()) => {
+                if self.supervised {
+                    let _ = self.res_tx.send(ResMsg::Progress { worker, epoch, seq });
+                }
+            }
+            Err(_) => {
+                self.poisoned = true;
+                let _ = self.res_tx.send(ResMsg::Panicked {
+                    worker,
+                    epoch,
+                    killed_at: self.pending_kill.take(),
+                });
+            }
         }
     }
 
@@ -344,6 +675,7 @@ struct PendingBin {
     /// One slot per hosted plugin instance (flat index).
     slots: Vec<Option<Vec<u8>>>,
     missing: usize,
+    status: BinStatus,
 }
 
 /// Per-plugin placement: which workers host a shard instance, and
@@ -405,80 +737,15 @@ impl ShardedRuntime {
         self.run_until(stream, u64::MAX, plugins)
     }
 
-    /// Fork shard instances of every root plugin (grouped per worker,
-    /// per its [`Partitioning`]) and spawn the worker pool. The
-    /// coordinator's result-sender clone is dropped before returning,
-    /// so `res_rx` disconnects once the workers exit.
-    fn spawn_workers(
-        &self,
-        roots: &mut [&mut dyn ShardedPlugin],
-    ) -> (Placement, ShardPool<ShardMsg>, Receiver<ResMsg>) {
-        let workers = self.cfg.workers.max(1);
-        let partitionings: Vec<Partitioning> = roots.iter().map(|p| p.partitioning()).collect();
-        let placement = Placement::new(&partitionings, workers);
-
-        // Fork shard instances up front, grouped per worker.
-        let mut per_worker: Vec<Vec<Hosted>> = (0..workers).map(|_| Vec::new()).collect();
-        for (p, root) in roots.iter().enumerate() {
-            match partitionings[p] {
-                Partitioning::Pinned => {
-                    per_worker[p % workers].push(Hosted {
-                        root_idx: p,
-                        partitioning: Partitioning::Pinned,
-                        plugin: root.fork(0, 1),
-                    });
-                }
-                part @ (Partitioning::ByPrefix | Partitioning::ByPeer) => {
-                    for (shard, host) in per_worker.iter_mut().enumerate() {
-                        host.push(Hosted {
-                            root_idx: p,
-                            partitioning: part,
-                            plugin: root.fork(shard, workers),
-                        });
-                    }
-                }
-            }
-        }
-
-        let (res_tx, res_rx) = bsync::channel::unbounded::<ResMsg>();
-        let mut states: Vec<Option<WorkerState>> = per_worker
-            .into_iter()
-            .enumerate()
-            .map(|(w, plugins)| {
-                let need_prefix_mask = plugins
-                    .iter()
-                    .any(|h| h.partitioning == Partitioning::ByPrefix);
-                let need_peer_mask = plugins
-                    .iter()
-                    .any(|h| h.partitioning == Partitioning::ByPeer);
-                Some(WorkerState {
-                    plugins,
-                    res_tx: res_tx.clone(),
-                    worker: w,
-                    workers,
-                    mask_prefix: Vec::new(),
-                    mask_peer: Vec::new(),
-                    need_prefix_mask,
-                    need_peer_mask,
-                    poisoned: false,
-                })
-            })
-            .collect();
-        drop(res_tx);
-        let pool = ShardPool::spawn(
-            workers,
-            self.cfg.queue_batches,
-            // xcheck:allow(unwrap) — ShardPool calls init exactly once per worker
-            |w| states[w].take().expect("each worker initialised once"),
-            |_w, state: &mut WorkerState, msg: ShardMsg| state.handle(msg),
-        );
-        (placement, pool, res_rx)
-    }
-
     /// [`ShardedRuntime::run`] with the stop semantics of
     /// [`run_pipeline_until`](crate::run_pipeline_until): returns once
     /// a record timestamped at or after `stop` arrives (that record is
     /// not processed).
+    ///
+    /// Panics on a [`RuntimeError`] (worker panic or stream failure) —
+    /// the historical runners keep their infallible `u64` signature;
+    /// callers that want to *handle* failure use
+    /// [`ShardedRuntime::run_live`] or a [`Supervisor`].
     pub fn run_until(
         &self,
         stream: &mut BgpStream,
@@ -490,7 +757,10 @@ impl ShardedRuntime {
         // extra watermark-driven closing is unreachable and the flow
         // reduces to exactly the historical batching/binning/stop
         // semantics (the determinism suite pins this equivalence).
-        self.run_live(stream, stop, None, roots).records
+        match self.run_live(stream, stop, None, roots) {
+            Ok(report) => report.records,
+            Err(e) => panic!("sharded runtime failed: {e}"),
+        }
     }
 
     /// Drive `roots` over a **live** stream, closing time bins off the
@@ -524,36 +794,45 @@ impl ShardedRuntime {
     /// output on the root plugins is byte-identical to a historical
     /// [`run_pipeline`](crate::run_pipeline) over the same (final)
     /// archive — the live-vs-historical equivalence CI proves across
-    /// fault schedules and worker counts.
+    /// fault schedules, crash schedules and worker counts.
+    ///
+    /// A worker panic ends the session with
+    /// [`RuntimeError::WorkerPanicked`] after a clean teardown (the
+    /// pool drains and rebuilds on the next run — no poisoned state
+    /// survives); a stream failure surfaces as
+    /// [`RuntimeError::Stream`]. Wrap the runtime in a [`Supervisor`]
+    /// to recover instead.
     pub fn run_live(
         &self,
         stream: &mut BgpStream,
         stop: u64,
         shutdown: Option<&AtomicBool>,
         roots: &mut [&mut dyn ShardedPlugin],
-    ) -> LiveRunReport {
-        let bin_size = self.cfg.bin_size.max(1);
-        let (placement, pool, res_rx) = self.spawn_workers(roots);
+    ) -> Result<LiveRunReport, RuntimeError> {
+        self.run_live_inner(stream, stop, shutdown, roots, None)
+    }
 
-        let mut report = LiveRunReport::default();
-        let mut pending: VecDeque<PendingBin> = VecDeque::new();
+    fn run_live_inner(
+        &self,
+        stream: &mut BgpStream,
+        stop: u64,
+        shutdown: Option<&AtomicBool>,
+        roots: &mut [&mut dyn ShardedPlugin],
+        sup: Option<(&SupervisorConfig, &Chaos)>,
+    ) -> Result<LiveRunReport, RuntimeError> {
+        let bin_size = self.cfg.bin_size.max(1);
+        let supervised = sup.is_some();
+        let mut session = LiveSession::new(self, roots, sup);
         // The bin currently receiving records; `dirty` = at least one
         // record fell into it since it opened (only dirty bins close
         // at session end, mirroring the sequential runner's EOF close).
         let mut current_bin: Option<u64> = None;
         let mut dirty = false;
         let mut batch: Vec<BgpStreamRecord> = Vec::with_capacity(self.cfg.batch_records);
-        let batch_cap = self.cfg.batch_records;
-        let flush = |batch: &mut Vec<BgpStreamRecord>, pool: &ShardPool<ShardMsg>| {
-            if !batch.is_empty() {
-                let arc = Arc::new(std::mem::replace(batch, Vec::with_capacity(batch_cap)));
-                pool.broadcast(ShardMsg::Batch(arc));
-            }
-        };
 
         'read: loop {
             if shutdown.is_some_and(|f| f.load(Ordering::SeqCst)) {
-                report.shutdown = true;
+                session.report.shutdown = true;
                 break 'read;
             }
             match stream.next_batch_step(self.cfg.batch_records) {
@@ -568,17 +847,10 @@ impl ShardedRuntime {
                         match current_bin {
                             None => current_bin = Some(bin),
                             Some(cur) if bin > cur => {
-                                flush(&mut batch, &pool);
+                                session.flush(&mut batch, roots)?;
                                 let mut b = cur;
                                 while b < bin {
-                                    self.close_bin(
-                                        &pool,
-                                        &mut pending,
-                                        &placement,
-                                        b,
-                                        b + bin_size,
-                                    );
-                                    report.bins_closed += 1;
+                                    session.close_bin(roots, b, b + bin_size)?;
                                     b += bin_size;
                                 }
                                 current_bin = Some(bin);
@@ -587,12 +859,12 @@ impl ShardedRuntime {
                         }
                         dirty = true;
                         batch.push(rec);
-                        report.records += 1;
+                        session.report.records += 1;
                         if batch.len() >= self.cfg.batch_records {
-                            flush(&mut batch, &pool);
+                            session.flush(&mut batch, roots)?;
                         }
                     }
-                    Self::drain_results(&res_rx, &mut pending, &placement, roots, false);
+                    session.drain_results(roots, false)?;
                 }
                 BatchStep::Idle { released_through } => {
                     // Watermark-driven closing: everything below the
@@ -606,129 +878,764 @@ impl ShardedRuntime {
                     // so it only ever terminates via the break below.
                     let limit = released_through.min(stop);
                     if limit != u64::MAX && current_bin.is_some_and(|cur| cur + bin_size <= limit) {
-                        flush(&mut batch, &pool);
+                        session.flush(&mut batch, roots)?;
                         while let Some(cur) = current_bin {
                             if cur + bin_size > limit {
                                 break;
                             }
-                            self.close_bin(&pool, &mut pending, &placement, cur, cur + bin_size);
-                            report.bins_closed += 1;
+                            session.close_bin(roots, cur, cur + bin_size)?;
                             current_bin = Some(cur + bin_size);
                             dirty = false;
                         }
                     }
-                    Self::drain_results(&res_rx, &mut pending, &placement, roots, false);
+                    session.drain_results(roots, false)?;
+                    if supervised {
+                        // Heartbeat check: a worker sitting on
+                        // unacknowledged messages past the stall
+                        // timeout is restarted from its checkpoint.
+                        session.check_stalls(roots)?;
+                    }
                     if released_through >= stop {
                         // Every record below `stop` has been released
                         // and delivered: the session is complete.
                         break 'read;
                     }
                 }
-                BatchStep::End => break 'read,
-            }
-        }
-        flush(&mut batch, &pool);
-        if dirty {
-            if let Some(cur) = current_bin {
-                if !report.shutdown {
-                    self.close_bin(&pool, &mut pending, &placement, cur, cur + bin_size);
-                    report.bins_closed += 1;
+                BatchStep::End => {
+                    if let Some(e) = stream.last_error() {
+                        return Err(RuntimeError::Stream(e.clone()));
+                    }
+                    break 'read;
                 }
             }
         }
-        pool.join();
-        Self::drain_results(&res_rx, &mut pending, &placement, roots, true);
-        report
+        session.flush(&mut batch, roots)?;
+        if dirty && !session.report.shutdown {
+            if let Some(cur) = current_bin {
+                session.close_bin(roots, cur, cur + bin_size)?;
+            }
+        }
+        session.finish(roots)
+    }
+}
+
+/// Deterministic xorshift64 for backoff jitter (no OS entropy — runs
+/// must replay identically from the seed).
+fn jitter_rng(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x.max(1);
+    x
+}
+
+/// Supervision state carried by a [`LiveSession`] when run through a
+/// [`Supervisor`].
+struct SupState {
+    cfg: SupervisorConfig,
+    /// Master kill schedule; `times` decremented as kills fire so a
+    /// respawned worker re-arms only the remaining budget.
+    kills: Vec<KillSpec>,
+    torn: Vec<(usize, u64)>,
+    /// Checkpoints received per worker (all epochs), for torn-write
+    /// injection accounting.
+    ckpt_seen: Vec<u64>,
+    /// Latest valid checkpoint per worker: `(seq of the EndBin it was
+    /// taken at, opened frame payloads in hosted-plugin order)`.
+    ckpt: Vec<Option<(u64, Vec<Vec<u8>>)>>,
+    attempts: Vec<u32>,
+    epochs: Vec<u64>,
+    /// Replay log: every broadcast message since the oldest checkpoint
+    /// any live worker might restart from (batches hold `Arc`s, so an
+    /// entry is cheap).
+    log: VecDeque<ShardMsg>,
+    sent_seq: Vec<u64>,
+    acked_seq: Vec<u64>,
+    last_progress_ms: Vec<u64>,
+    rng: u64,
+}
+
+impl SupState {
+    fn new(cfg: &SupervisorConfig, chaos: &Chaos, workers: usize) -> Self {
+        let now = cfg.clock.now_millis();
+        SupState {
+            cfg: cfg.clone(),
+            kills: chaos.kills.clone(),
+            torn: chaos.torn_checkpoints.clone(),
+            ckpt_seen: vec![0; workers],
+            ckpt: (0..workers).map(|_| None).collect(),
+            attempts: vec![0; workers],
+            epochs: vec![0; workers],
+            log: VecDeque::new(),
+            sent_seq: vec![0; workers],
+            acked_seq: vec![0; workers],
+            last_progress_ms: vec![now; workers],
+            rng: cfg.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
+        }
+    }
+
+    fn ckpt_seq(&self, w: usize) -> u64 {
+        self.ckpt[w].as_ref().map(|(s, _)| *s).unwrap_or(0)
+    }
+}
+
+/// Coordinator state for one `run_live` session: one single-worker
+/// [`ShardPool`] per shard (so a restart is literally "drain one pool
+/// and rebuild it"), the pending-bin merge queue, and optional
+/// supervision state.
+struct LiveSession<'rt> {
+    rt: &'rt ShardedRuntime,
+    workers: usize,
+    partitionings: Vec<Partitioning>,
+    placement: Placement,
+    /// `None` = degraded: the worker exhausted its restart budget and
+    /// its slots are synthesized from here on.
+    pools: Vec<Option<ShardPool<ShardMsg>>>,
+    dead: Vec<bool>,
+    /// Kept for respawns under supervision; `None` from the start on
+    /// unsupervised runs so `res_rx` disconnects once workers exit.
+    res_tx: Option<Sender<ResMsg>>,
+    res_rx: Receiver<ResMsg>,
+    pending: VecDeque<PendingBin>,
+    report: LiveRunReport,
+    next_seq: u64,
+    next_base: u64,
+    sup: Option<SupState>,
+}
+
+impl<'rt> LiveSession<'rt> {
+    fn new(
+        rt: &'rt ShardedRuntime,
+        roots: &mut [&mut dyn ShardedPlugin],
+        sup: Option<(&SupervisorConfig, &Chaos)>,
+    ) -> Self {
+        let workers = rt.cfg.workers.max(1);
+        let partitionings: Vec<Partitioning> = roots.iter().map(|p| p.partitioning()).collect();
+        let placement = Placement::new(&partitionings, workers);
+        let (res_tx, res_rx) = bsync::channel::unbounded::<ResMsg>();
+        let mut session = LiveSession {
+            rt,
+            workers,
+            partitionings,
+            placement,
+            pools: (0..workers).map(|_| None).collect(),
+            dead: vec![false; workers],
+            res_tx: Some(res_tx),
+            res_rx,
+            pending: VecDeque::new(),
+            report: LiveRunReport::default(),
+            next_seq: 0,
+            next_base: 0,
+            sup: sup.map(|(cfg, chaos)| SupState::new(cfg, chaos, workers)),
+        };
+        for w in 0..workers {
+            let state = session.make_worker_state(w, roots, 0);
+            session.pools[w] = Some(session.spawn_one(state));
+        }
+        if session.sup.is_none() {
+            // Unsupervised: the final blocking drain detects worker
+            // exit via channel disconnect, so the coordinator must not
+            // hold a sender.
+            session.res_tx = None;
+        }
+        session
+    }
+
+    /// Fork a fresh shard instance set for worker `w` (same grouping
+    /// the original spawn used, so checkpoint frames line up with
+    /// hosted order across restarts).
+    fn make_worker_state(
+        &self,
+        w: usize,
+        roots: &[&mut dyn ShardedPlugin],
+        epoch: u64,
+    ) -> WorkerState {
+        let mut plugins = Vec::new();
+        for (p, part) in self.partitionings.iter().enumerate() {
+            match part {
+                Partitioning::Pinned if p % self.workers == w => plugins.push(Hosted {
+                    root_idx: p,
+                    partitioning: Partitioning::Pinned,
+                    plugin: roots[p].fork(0, 1),
+                }),
+                part @ (Partitioning::ByPrefix | Partitioning::ByPeer) => plugins.push(Hosted {
+                    root_idx: p,
+                    partitioning: *part,
+                    plugin: roots[p].fork(w, self.workers),
+                }),
+                _ => {}
+            }
+        }
+        let need_prefix_mask = plugins
+            .iter()
+            .any(|h| h.partitioning == Partitioning::ByPrefix);
+        let need_peer_mask = plugins
+            .iter()
+            .any(|h| h.partitioning == Partitioning::ByPeer);
+        let kills = self
+            .sup
+            .as_ref()
+            .map(|s| {
+                s.kills
+                    .iter()
+                    .filter(|k| k.worker == w && k.times > 0)
+                    .map(|k| (k.at_record, k.times))
+                    .collect()
+            })
+            .unwrap_or_default();
+        WorkerState {
+            plugins,
+            res_tx: self
+                .res_tx
+                .clone()
+                // xcheck:allow(unwrap) — res_tx lives until finish()
+                .expect("worker spawned while the session is open"),
+            worker: w,
+            workers: self.workers,
+            epoch,
+            supervised: self.sup.is_some(),
+            kills,
+            pending_kill: None,
+            mask_prefix: Vec::new(),
+            mask_peer: Vec::new(),
+            need_prefix_mask,
+            need_peer_mask,
+            poisoned: false,
+        }
+    }
+
+    fn spawn_one(&self, state: WorkerState) -> ShardPool<ShardMsg> {
+        let mut slot = Some(state);
+        ShardPool::spawn(
+            1,
+            self.rt.cfg.queue_batches,
+            // xcheck:allow(unwrap) — a 1-worker pool calls init exactly once
+            move |_| slot.take().expect("single worker initialised once"),
+            |_w, state: &mut WorkerState, msg: ShardMsg| state.handle(msg),
+        )
+    }
+
+    fn alloc_seq(&mut self) -> u64 {
+        self.next_seq += 1;
+        self.next_seq
+    }
+
+    /// Broadcast `msg` to every live worker (and the replay log).
+    fn broadcast(
+        &mut self,
+        msg: ShardMsg,
+        roots: &mut [&mut dyn ShardedPlugin],
+    ) -> Result<(), RuntimeError> {
+        if let Some(sup) = &mut self.sup {
+            sup.log.push_back(msg.clone());
+        }
+        for w in 0..self.workers {
+            if self.dead[w] {
+                continue;
+            }
+            self.send_to(w, msg.clone(), roots)?;
+        }
+        Ok(())
+    }
+
+    /// Deliver one message to worker `w`. Unsupervised: a plain
+    /// blocking send (backpressure). Supervised: a `try_send` poll
+    /// loop so a worker that stops draining its queue is detected as a
+    /// stall within `stall_timeout_ms` and restarted; a restart's
+    /// replay may deliver the message for us, which `sent_seq` tracks.
+    fn send_to(
+        &mut self,
+        w: usize,
+        msg: ShardMsg,
+        roots: &mut [&mut dyn ShardedPlugin],
+    ) -> Result<(), RuntimeError> {
+        if self.sup.is_none() {
+            // xcheck:allow(unwrap) — unsupervised pools are never degraded
+            self.pools[w].as_ref().expect("pool alive").broadcast(msg);
+            return Ok(());
+        }
+        let seq = msg.seq();
+        let mut msg = msg;
+        let mut full_since: Option<u64> = None;
+        loop {
+            let sup = self.sup.as_ref().expect("supervised"); // xcheck:allow(unwrap) — Some on the supervised path by construction
+            if self.dead[w] || sup.sent_seq[w] >= seq {
+                return Ok(());
+            }
+            let pool = self.pools[w].as_ref().expect("live worker has a pool"); // xcheck:allow(unwrap) — guarded by !self.dead[w] above
+            match pool.try_send(0, msg) {
+                Ok(()) => {
+                    let sup = self.sup.as_mut().expect("supervised"); // xcheck:allow(unwrap) — Some on the supervised path by construction
+                    sup.sent_seq[w] = sup.sent_seq[w].max(seq);
+                    return Ok(());
+                }
+                Err(TrySendError::Full(m)) => {
+                    msg = m;
+                    let now = sup.cfg.clock.now_millis();
+                    let timeout = sup.cfg.stall_timeout_ms;
+                    let since = *full_since.get_or_insert(now);
+                    self.drain_results(roots, false)?;
+                    if now.saturating_sub(since) >= timeout {
+                        self.report.retries += 1;
+                        self.restart_worker(w, roots)?;
+                        full_since = None;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                Err(TrySendError::Disconnected(m)) => {
+                    // The worker thread itself died (not a caught
+                    // plugin panic — those keep draining). Restart it.
+                    msg = m;
+                    self.report.retries += 1;
+                    self.restart_worker(w, roots)?;
+                }
+            }
+        }
+    }
+
+    fn flush(
+        &mut self,
+        batch: &mut Vec<BgpStreamRecord>,
+        roots: &mut [&mut dyn ShardedPlugin],
+    ) -> Result<(), RuntimeError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let cap = self.rt.cfg.batch_records;
+        let recs = Arc::new(std::mem::replace(batch, Vec::with_capacity(cap)));
+        let base = self.next_base;
+        self.next_base += recs.len() as u64;
+        let seq = self.alloc_seq();
+        self.broadcast(ShardMsg::Batch { seq, base, recs }, roots)
     }
 
     fn close_bin(
-        &self,
-        pool: &ShardPool<ShardMsg>,
-        pending: &mut VecDeque<PendingBin>,
-        placement: &Placement,
+        &mut self,
+        roots: &mut [&mut dyn ShardedPlugin],
         bin_start: u64,
         bin_end: u64,
-    ) {
-        pool.broadcast(ShardMsg::EndBin { bin_start, bin_end });
-        pending.push_back(PendingBin {
+    ) -> Result<(), RuntimeError> {
+        let seq = self.alloc_seq();
+        let total = self.placement.total_instances;
+        let mut bin = PendingBin {
             bin_start,
             bin_end,
-            slots: (0..placement.total_instances).map(|_| None).collect(),
-            missing: placement.total_instances,
-        });
+            slots: (0..total).map(|_| None).collect(),
+            missing: total,
+            status: BinStatus::Complete,
+        };
+        for w in 0..self.workers {
+            if self.dead[w] {
+                fill_dead_slots(
+                    &self.placement,
+                    &self.partitionings,
+                    self.workers,
+                    &mut bin,
+                    w,
+                    roots,
+                );
+            }
+        }
+        // Queue the bin before broadcasting so partials from a
+        // mid-broadcast restart replay find their slots.
+        self.pending.push_back(bin);
+        self.report.bins_closed += 1;
+        self.broadcast(
+            ShardMsg::EndBin {
+                seq,
+                bin_start,
+                bin_end,
+            },
+            roots,
+        )
+    }
+
+    /// Restart worker `w` from its last checkpoint: bump the epoch
+    /// (zombie output is discarded by epoch filtering), back off with
+    /// seeded jitter, detach the old pool, fork-and-restore a fresh
+    /// shard instance set, and replay every logged message past the
+    /// checkpoint. Past the restart budget the worker degrades
+    /// instead.
+    fn restart_worker(
+        &mut self,
+        w: usize,
+        roots: &mut [&mut dyn ShardedPlugin],
+    ) -> Result<(), RuntimeError> {
+        let sup = self.sup.as_mut().expect("supervised"); // xcheck:allow(unwrap) — Some on the supervised path by construction
+        sup.attempts[w] += 1;
+        sup.epochs[w] += 1;
+        if sup.attempts[w] > sup.cfg.max_restarts {
+            if let Some(pool) = self.pools[w].take() {
+                pool.detach();
+            }
+            self.degrade(w, roots);
+            return Ok(());
+        }
+        self.report.restarts += 1;
+        let exp = (sup.attempts[w] - 1).min(20);
+        let backoff = sup
+            .cfg
+            .backoff_base_ms
+            .saturating_mul(1u64 << exp)
+            .min(sup.cfg.backoff_max_ms);
+        let jitter = if backoff == 0 {
+            0
+        } else {
+            jitter_rng(&mut sup.rng) % (backoff / 2 + 1)
+        };
+        if backoff + jitter > 0 {
+            sup.cfg.clock.sleep(Duration::from_millis(backoff + jitter));
+        }
+        // Detach rather than join: a *stalled* worker never exits, and
+        // a panicked one is poisoned and drains on its own.
+        if let Some(pool) = self.pools[w].take() {
+            pool.detach();
+        }
+        let epoch = sup.epochs[w];
+        let from_seq = sup.ckpt_seq(w);
+        let frames = sup.ckpt[w].as_ref().map(|(_, f)| f.clone());
+        let mut state = self.make_worker_state(w, roots, epoch);
+        if let Some(frames) = frames {
+            if frames.len() != state.plugins.len() {
+                return Err(RuntimeError::Checkpoint(format!(
+                    "worker {w}: {} checkpoint frames for {} hosted plugins",
+                    frames.len(),
+                    state.plugins.len()
+                )));
+            }
+            for (hosted, frame) in state.plugins.iter_mut().zip(frames.iter()) {
+                hosted
+                    .plugin
+                    .restore(frame)
+                    .map_err(RuntimeError::Checkpoint)?;
+            }
+        }
+        self.pools[w] = Some(self.spawn_one(state));
+        let sup = self.sup.as_mut().expect("supervised"); // xcheck:allow(unwrap) — Some on the supervised path by construction
+        sup.sent_seq[w] = from_seq;
+        sup.acked_seq[w] = from_seq;
+        sup.last_progress_ms[w] = sup.cfg.clock.now_millis();
+        let replay: Vec<ShardMsg> = sup
+            .log
+            .iter()
+            .filter(|m| m.seq() > from_seq)
+            .cloned()
+            .collect();
+        for m in replay {
+            self.send_to(w, m, roots)?;
+        }
+        Ok(())
+    }
+
+    /// Graceful degradation: mark `w` dead and complete its slots in
+    /// every pending bin with synthesized empty partials so the
+    /// session keeps closing bins (marked [`BinStatus::Partial`])
+    /// instead of wedging.
+    fn degrade(&mut self, w: usize, roots: &mut [&mut dyn ShardedPlugin]) {
+        self.dead[w] = true;
+        let mut bins = std::mem::take(&mut self.pending);
+        for bin in bins.iter_mut() {
+            fill_dead_slots(
+                &self.placement,
+                &self.partitionings,
+                self.workers,
+                bin,
+                w,
+                roots,
+            );
+        }
+        self.pending = bins;
+    }
+
+    /// Idle-path stall detection off worker heartbeats: a live worker
+    /// with unacknowledged messages and no progress past the timeout
+    /// is restarted (its pool is detached; the zombie thread parks on
+    /// whatever wedged it).
+    fn check_stalls(&mut self, roots: &mut [&mut dyn ShardedPlugin]) -> Result<(), RuntimeError> {
+        let Some(sup) = &self.sup else {
+            return Ok(());
+        };
+        let now = sup.cfg.clock.now_millis();
+        let timeout = sup.cfg.stall_timeout_ms;
+        let stalled: Vec<usize> = (0..self.workers)
+            .filter(|&w| {
+                !self.dead[w]
+                    && sup.sent_seq[w] > sup.acked_seq[w]
+                    && now.saturating_sub(sup.last_progress_ms[w]) >= timeout
+            })
+            .collect();
+        for w in stalled {
+            let sup = self.sup.as_ref().expect("supervised"); // xcheck:allow(unwrap) — Some on the supervised path by construction
+            if self.dead[w] || sup.sent_seq[w] <= sup.acked_seq[w] {
+                continue;
+            }
+            self.report.retries += 1;
+            self.restart_worker(w, roots)?;
+        }
+        Ok(())
     }
 
     /// Fold arrived partials into the roots, strictly in bin order.
     /// With `block` set, waits until every pending bin is merged.
     fn drain_results(
-        res_rx: &Receiver<ResMsg>,
-        pending: &mut VecDeque<PendingBin>,
-        placement: &Placement,
+        &mut self,
         roots: &mut [&mut dyn ShardedPlugin],
         block: bool,
-    ) {
+    ) -> Result<(), RuntimeError> {
         loop {
-            // Merge every completed bin at the front of the queue.
-            while pending.front().map(|b| b.missing == 0).unwrap_or(false) {
-                // xcheck:allow(unwrap) — front existence checked by the loop condition
-                let done = pending.pop_front().expect("front checked");
-                let mut slots = done.slots;
-                for (p, root) in roots.iter_mut().enumerate() {
-                    let partials: Vec<Vec<u8>> = placement.holders[p]
-                        .iter()
-                        .map(|&w| {
-                            slots[placement.slot(p, w)]
-                                .take()
-                                // xcheck:allow(unwrap) — missing == 0 means every slot is filled
-                                .expect("bin complete, slot filled")
-                        })
-                        .collect();
-                    root.merge_bin(done.bin_start, done.bin_end, partials);
-                }
-            }
-            if block && pending.is_empty() {
-                return;
+            self.merge_ready(roots);
+            if block && self.pending.is_empty() {
+                return Ok(());
             }
             let msg = if block {
-                match res_rx.recv() {
-                    Ok(m) => m,
-                    Err(_) => {
-                        assert!(
-                            pending.is_empty(),
-                            "shard workers exited with {} bin(s) unmerged",
-                            pending.len()
-                        );
-                        return;
+                if self.sup.is_some() {
+                    // Supervised blocking drain must keep crash and
+                    // stall handling live, so it polls instead of
+                    // parking on `recv`.
+                    match self.res_rx.try_recv() {
+                        Ok(m) => m,
+                        Err(TryRecvError::Empty) => {
+                            self.check_stalls(roots)?;
+                            std::thread::yield_now();
+                            continue;
+                        }
+                        Err(TryRecvError::Disconnected) => return Ok(()),
+                    }
+                } else {
+                    match self.res_rx.recv() {
+                        Ok(m) => m,
+                        Err(_) => {
+                            assert!(
+                                self.pending.is_empty(),
+                                "shard workers exited with {} bin(s) unmerged",
+                                self.pending.len()
+                            );
+                            return Ok(());
+                        }
                     }
                 }
             } else {
-                match res_rx.try_recv() {
+                match self.res_rx.try_recv() {
                     Ok(m) => m,
-                    Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => return,
+                    Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => return Ok(()),
                 }
             };
-            match msg {
-                ResMsg::Partial {
-                    plugin,
-                    worker,
-                    bin_start,
-                    bytes,
-                } => {
-                    let slot = placement.slot(plugin, worker);
-                    let bin = pending
-                        .iter_mut()
-                        .find(|b| b.bin_start == bin_start)
-                        // xcheck:allow(unwrap) — workers only emit bins the merger opened
-                        .expect("partial for an unknown bin");
-                    debug_assert!(bin.slots[slot].is_none(), "duplicate partial");
-                    bin.slots[slot] = Some(bytes);
-                    bin.missing -= 1;
-                }
-                ResMsg::Panicked { worker } => {
-                    panic!("shard worker {worker} panicked while processing a plugin");
-                }
+            self.on_msg(msg, roots)?;
+        }
+    }
+
+    fn merge_ready(&mut self, roots: &mut [&mut dyn ShardedPlugin]) {
+        while self
+            .pending
+            .front()
+            .map(|b| b.missing == 0)
+            .unwrap_or(false)
+        {
+            // xcheck:allow(unwrap) — front existence checked by the loop condition
+            let done = self.pending.pop_front().expect("front checked");
+            if done.status == BinStatus::Partial {
+                self.report.partial_bins.push(done.bin_start);
+            }
+            let mut slots = done.slots;
+            for (p, root) in roots.iter_mut().enumerate() {
+                let partials: Vec<Vec<u8>> = self.placement.holders[p]
+                    .iter()
+                    .map(|&w| {
+                        slots[self.placement.slot(p, w)]
+                            .take()
+                            // xcheck:allow(unwrap) — missing == 0 means every slot is filled
+                            .expect("bin complete, slot filled")
+                    })
+                    .collect();
+                root.merge_bin(done.bin_start, done.bin_end, partials);
             }
         }
+    }
+
+    fn on_msg(
+        &mut self,
+        msg: ResMsg,
+        roots: &mut [&mut dyn ShardedPlugin],
+    ) -> Result<(), RuntimeError> {
+        match msg {
+            ResMsg::Partial {
+                plugin,
+                worker,
+                epoch,
+                bin_start,
+                bytes,
+            } => {
+                if let Some(sup) = &mut self.sup {
+                    if epoch != sup.epochs[worker] {
+                        return Ok(()); // zombie epoch
+                    }
+                    sup.last_progress_ms[worker] = sup.cfg.clock.now_millis();
+                }
+                let slot = self.placement.slot(plugin, worker);
+                let Some(bin) = self.pending.iter_mut().find(|b| b.bin_start == bin_start) else {
+                    if self.sup.is_some() {
+                        // Replay past a torn checkpoint re-answers a
+                        // bin that already merged; deterministic
+                        // replay makes the bytes identical, so the
+                        // duplicate is dropped.
+                        return Ok(());
+                    }
+                    panic!("partial for an unknown bin");
+                };
+                if bin.slots[slot].is_some() {
+                    debug_assert!(
+                        self.sup.is_some(),
+                        "duplicate partial on an unsupervised run"
+                    );
+                    return Ok(());
+                }
+                bin.slots[slot] = Some(bytes);
+                bin.missing -= 1;
+                Ok(())
+            }
+            ResMsg::Progress { worker, epoch, seq } => {
+                if let Some(sup) = &mut self.sup {
+                    if epoch == sup.epochs[worker] {
+                        sup.acked_seq[worker] = sup.acked_seq[worker].max(seq);
+                        sup.last_progress_ms[worker] = sup.cfg.clock.now_millis();
+                    }
+                }
+                Ok(())
+            }
+            ResMsg::Checkpoint {
+                worker,
+                epoch,
+                seq,
+                mut frames,
+            } => {
+                let Some(sup) = &mut self.sup else {
+                    return Ok(());
+                };
+                if epoch != sup.epochs[worker] {
+                    return Ok(());
+                }
+                sup.ckpt_seen[worker] += 1;
+                let nth = sup.ckpt_seen[worker];
+                if sup.torn.iter().any(|&(tw, tn)| tw == worker && tn == nth) {
+                    // Chaos: simulate a write torn mid-flush on the
+                    // last frame.
+                    if let Some(last) = frames.last_mut() {
+                        let cut = last.len().saturating_sub(5);
+                        last.truncate(cut);
+                    }
+                }
+                let opened: Result<Vec<Vec<u8>>, String> = frames
+                    .iter()
+                    .map(|f| codec::open_frame(f).map(|p| p.to_vec()))
+                    .collect();
+                match opened {
+                    Ok(payloads) => {
+                        sup.ckpt[worker] = Some((seq, payloads));
+                        // Trim replay entries no live worker can need.
+                        let min_seq = (0..self.workers)
+                            .filter(|&w| !self.dead[w])
+                            .map(|w| sup.ckpt_seq(w))
+                            .min()
+                            .unwrap_or(0);
+                        while sup.log.front().is_some_and(|m| m.seq() <= min_seq) {
+                            sup.log.pop_front();
+                        }
+                    }
+                    Err(_) => {
+                        // Torn write: the previous checkpoint stays
+                        // authoritative and replay covers the gap.
+                    }
+                }
+                Ok(())
+            }
+            ResMsg::Panicked {
+                worker,
+                epoch,
+                killed_at,
+            } => match &mut self.sup {
+                None => Err(RuntimeError::WorkerPanicked { worker }),
+                Some(sup) => {
+                    if epoch != sup.epochs[worker] || self.dead[worker] {
+                        return Ok(());
+                    }
+                    if let Some(at) = killed_at {
+                        if let Some(k) = sup
+                            .kills
+                            .iter_mut()
+                            .find(|k| k.worker == worker && k.at_record == at && k.times > 0)
+                        {
+                            k.times -= 1;
+                        }
+                    }
+                    self.report.retries += 1;
+                    self.restart_worker(worker, roots)
+                }
+            },
+        }
+    }
+
+    /// End of session: merge everything still pending, retire the
+    /// workers, and hand back the report.
+    fn finish(
+        mut self,
+        roots: &mut [&mut dyn ShardedPlugin],
+    ) -> Result<LiveRunReport, RuntimeError> {
+        if self.sup.is_some() {
+            // Crashes on the final bins are still recovered here; only
+            // once nothing is pending do the workers retire.
+            self.drain_results(roots, true)?;
+            for pool in self.pools.iter_mut() {
+                if let Some(p) = pool.take() {
+                    p.join();
+                }
+            }
+            self.res_tx = None;
+            // Swallow stragglers (zombie epochs, trailing progress, a
+            // kill that fired after the last barrier).
+            while self.res_rx.try_recv().is_ok() {}
+        } else {
+            for pool in self.pools.iter_mut() {
+                if let Some(p) = pool.take() {
+                    p.join();
+                }
+            }
+            // res_tx is already None: recv drains until disconnect.
+            self.drain_results(roots, true)?;
+        }
+        Ok(std::mem::take(&mut self.report))
+    }
+}
+
+/// Complete worker `w`'s slots in `bin` with partials synthesized from
+/// empty forks (for [`crate::RtPlugin`]-style plugins the fork must
+/// still see `end_bin` before `take_partial`). Marks the bin
+/// [`BinStatus::Partial`].
+fn fill_dead_slots(
+    placement: &Placement,
+    partitionings: &[Partitioning],
+    workers: usize,
+    bin: &mut PendingBin,
+    w: usize,
+    roots: &mut [&mut dyn ShardedPlugin],
+) {
+    for (p, holders) in placement.holders.iter().enumerate() {
+        if !holders.contains(&w) {
+            continue;
+        }
+        let slot = placement.slot(p, w);
+        if bin.slots[slot].is_some() {
+            continue;
+        }
+        let mut fork = match partitionings[p] {
+            Partitioning::Pinned => roots[p].fork(0, 1),
+            Partitioning::ByPrefix | Partitioning::ByPeer => roots[p].fork(w, workers),
+        };
+        fork.end_bin(bin.bin_start, bin.bin_end);
+        bin.slots[slot] = Some(fork.take_partial());
+        bin.missing -= 1;
+        bin.status = BinStatus::Partial;
     }
 }
 

@@ -104,6 +104,95 @@ impl Plugin for ElemCounter {
     // span shards would be counted once per shard — so this plugin
     // keeps the default `Partitioning::Pinned`: one instance, pinned
     // to a single worker, still off the reader thread.
+
+    /// The in-flight bin plus the completed series, reusing the
+    /// partial's per-collector layout (BTreeMap keeps collector order
+    /// canonical, so equal state ⇒ equal bytes).
+    fn checkpoint(&self) -> Vec<u8> {
+        fn put_counters(out: &mut BytesMut, per_collector: &BTreeMap<String, BinCounters>) {
+            out.put_u32(per_collector.len() as u32);
+            for (name, c) in per_collector {
+                out.put_u16(name.len() as u16);
+                out.put_slice(name.as_bytes());
+                for v in [
+                    c.records,
+                    c.invalid_records,
+                    c.announcements,
+                    c.withdrawals,
+                    c.rib_entries,
+                    c.state_messages,
+                ] {
+                    out.put_u64(v);
+                }
+            }
+        }
+        let mut out = BytesMut::new();
+        out.put_u8(1); // version
+        put_counters(&mut out, &self.current);
+        out.put_u32(self.series.len() as u32);
+        for point in &self.series {
+            out.put_u64(point.time);
+            put_counters(&mut out, &point.per_collector);
+        }
+        out.to_vec()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), String> {
+        fn need(buf: &[u8], n: usize, what: &str) -> Result<(), String> {
+            if buf.len() < n {
+                Err(format!("stats checkpoint: truncated {what}"))
+            } else {
+                Ok(())
+            }
+        }
+        fn get_counters(buf: &mut &[u8]) -> Result<BTreeMap<String, BinCounters>, String> {
+            need(buf, 4, "collector count")?;
+            let n = buf.get_u32() as usize;
+            let mut per_collector = BTreeMap::new();
+            for _ in 0..n {
+                need(buf, 2, "collector name length")?;
+                let len = buf.get_u16() as usize;
+                need(buf, len + 48, "collector entry")?;
+                let name = String::from_utf8_lossy(&buf[..len]).into_owned();
+                buf.advance(len);
+                let c = BinCounters {
+                    records: buf.get_u64(),
+                    invalid_records: buf.get_u64(),
+                    announcements: buf.get_u64(),
+                    withdrawals: buf.get_u64(),
+                    rib_entries: buf.get_u64(),
+                    state_messages: buf.get_u64(),
+                };
+                per_collector.insert(name, c);
+            }
+            Ok(per_collector)
+        }
+
+        let mut buf = bytes;
+        need(buf, 1, "header")?;
+        let version = buf.get_u8();
+        if version != 1 {
+            return Err(format!("stats checkpoint: unknown version {version}"));
+        }
+        let current = get_counters(&mut buf)?;
+        need(buf, 4, "series count")?;
+        let n = buf.get_u32() as usize;
+        let mut series = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            need(buf, 8, "series point time")?;
+            let time = buf.get_u64();
+            series.push(StatsPoint {
+                time,
+                per_collector: get_counters(&mut buf)?,
+            });
+        }
+        if !buf.is_empty() {
+            return Err("stats checkpoint: trailing bytes".into());
+        }
+        self.current = current;
+        self.series = series;
+        Ok(())
+    }
 }
 
 impl ShardedPlugin for ElemCounter {
@@ -240,5 +329,42 @@ mod tests {
         p.end_bin(60, 120);
         assert_eq!(p.series.len(), 2);
         assert!(p.series[1].per_collector.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_restores_current_bin_and_series_byte_identically() {
+        let mut p = ElemCounter::new();
+        p.process_record(&rec(
+            "rrc00",
+            RecordStatus::Valid,
+            vec![elem(ElemType::Announcement), elem(ElemType::Withdrawal)],
+        ));
+        p.end_bin(0, 60);
+        // Leave an in-flight bin so `current` is non-empty too.
+        p.process_record(&rec(
+            "rv2",
+            RecordStatus::CorruptedRecord,
+            vec![elem(ElemType::RibEntry)],
+        ));
+
+        let ckpt = p.checkpoint();
+        let mut restored = ElemCounter::new();
+        restored.restore(&ckpt).expect("restore");
+        assert_eq!(restored.checkpoint(), ckpt);
+
+        for plugin in [&mut p, &mut restored] {
+            plugin.process_record(&rec(
+                "rrc00",
+                RecordStatus::Valid,
+                vec![elem(ElemType::PeerState)],
+            ));
+            plugin.end_bin(60, 120);
+        }
+        assert_eq!(p.series, restored.series);
+        assert_eq!(p.checkpoint(), restored.checkpoint());
+
+        let mut fresh = ElemCounter::new();
+        assert!(fresh.restore(&ckpt[..ckpt.len() - 1]).is_err());
+        assert!(fresh.restore(&[]).is_err());
     }
 }

@@ -1,0 +1,288 @@
+//! Checkpoint round-trip determinism: for a random record prefix,
+//! `checkpoint()` → fresh instance → `restore()` → continue with the
+//! suffix must be **byte-identical** — partials and final checkpoint
+//! alike — to the uninterrupted run. This is the property the
+//! supervisor's restart-from-checkpoint path rides on, proven here
+//! for every checkpointing plugin (`PfxMonitor`, `RtPlugin`,
+//! `ElemCounter`) and every partitioning mode across shard counts
+//! {1, 2, 4} — including mid-bin splits, where the checkpoint carries
+//! in-flight bin state.
+
+use bgp_types::{AsPath, Asn, Prefix};
+use bgpstream::record::{DumpPosition, RecordStatus};
+use bgpstream::{BgpStreamElem, BgpStreamRecord, ElemType};
+use broker::DumpType;
+use corsaro::runtime::{shard_of_peer, shard_of_prefix, ShardedPlugin};
+use corsaro::{ElemCounter, Partitioning, PfxMonitor, RtPlugin};
+use proptest::prelude::*;
+
+const VPS: [&str; 3] = ["10.0.0.1", "10.0.0.2", "10.0.0.3"];
+const PREFIXES: [&str; 4] = ["11.0.0.0/16", "11.1.0.0/16", "11.2.0.0/16", "11.3.0.0/16"];
+
+#[derive(Clone, Debug)]
+enum Op {
+    Announce { vp: usize, pfx: usize, origin: u32 },
+    Withdraw { vp: usize, pfx: usize },
+    RibStart,
+    RibEntry { vp: usize, pfx: usize, origin: u32 },
+    RibEnd,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..3, 0usize..4, 100u32..105).prop_map(|(vp, pfx, origin)| Op::Announce {
+            vp,
+            pfx,
+            origin
+        }),
+        (0usize..3, 0usize..4, 100u32..105).prop_map(|(vp, pfx, origin)| Op::Announce {
+            vp,
+            pfx,
+            origin
+        }),
+        (0usize..3, 0usize..4).prop_map(|(vp, pfx)| Op::Withdraw { vp, pfx }),
+        Just(Op::RibStart),
+        (0usize..3, 0usize..4, 100u32..105).prop_map(|(vp, pfx, origin)| Op::RibEntry {
+            vp,
+            pfx,
+            origin
+        }),
+        Just(Op::RibEnd),
+    ]
+}
+
+fn elem(
+    vp: usize,
+    pfx: usize,
+    elem_type: ElemType,
+    path: Option<AsPath>,
+    ts: u64,
+) -> BgpStreamElem {
+    BgpStreamElem {
+        elem_type,
+        time: ts,
+        peer_address: VPS[vp].parse().unwrap(),
+        peer_asn: Asn(65000 + vp as u32),
+        prefix: Some(PREFIXES[pfx].parse().unwrap()),
+        next_hop: None,
+        as_path: path,
+        communities: None,
+        old_state: None,
+        new_state: None,
+    }
+}
+
+fn record(op: &Op, ts: u64) -> BgpStreamRecord {
+    let (dump_type, position, elems) = match op {
+        Op::Announce { vp, pfx, origin } => (
+            DumpType::Updates,
+            DumpPosition::Middle,
+            vec![elem(
+                *vp,
+                *pfx,
+                ElemType::Announcement,
+                Some(AsPath::from_sequence([65000 + *vp as u32, *origin])),
+                ts,
+            )],
+        ),
+        Op::Withdraw { vp, pfx } => (
+            DumpType::Updates,
+            DumpPosition::Middle,
+            vec![elem(*vp, *pfx, ElemType::Withdrawal, None, ts)],
+        ),
+        Op::RibStart => (DumpType::Rib, DumpPosition::Start, vec![]),
+        Op::RibEntry { vp, pfx, origin } => (
+            DumpType::Rib,
+            DumpPosition::Middle,
+            vec![elem(
+                *vp,
+                *pfx,
+                ElemType::RibEntry,
+                Some(AsPath::from_sequence([65000 + *vp as u32, *origin])),
+                ts,
+            )],
+        ),
+        Op::RibEnd => (DumpType::Rib, DumpPosition::End, vec![]),
+    };
+    BgpStreamRecord::new(
+        "ris",
+        "rrc00",
+        dump_type,
+        ts,
+        ts,
+        position,
+        RecordStatus::Valid,
+        elems,
+    )
+}
+
+/// Feed one record to a shard instance exactly as the runtime's
+/// worker loop would: mask per partitioning mode.
+fn feed(
+    plugin: &mut dyn ShardedPlugin,
+    mode: Partitioning,
+    shard: usize,
+    shards: usize,
+    rec: &BgpStreamRecord,
+) {
+    match mode {
+        Partitioning::Pinned => plugin.process_record(rec),
+        Partitioning::ByPrefix => {
+            let mask: Vec<bool> = rec
+                .elems()
+                .iter()
+                .map(|e| match &e.prefix {
+                    None => true,
+                    Some(p) => shard_of_prefix(p, shards) == shard,
+                })
+                .collect();
+            plugin.process_sharded(rec, &mask);
+        }
+        Partitioning::ByPeer => {
+            let mask: Vec<bool> = rec
+                .elems()
+                .iter()
+                .map(|e| shard_of_peer(&e.peer_address, shards) == shard)
+                .collect();
+            plugin.process_sharded(rec, &mask);
+        }
+    }
+}
+
+/// Drive `records[from..to]` through the instance, closing a bin (and
+/// collecting the partial) every `BIN_EVERY` records, mirroring what
+/// an uninterrupted worker does. `partials` accumulates across calls
+/// so the interrupted run's output concatenates seamlessly.
+const BIN_EVERY: usize = 7;
+const BIN: u64 = 100;
+
+fn drive(
+    plugin: &mut dyn ShardedPlugin,
+    mode: Partitioning,
+    shard: usize,
+    shards: usize,
+    records: &[BgpStreamRecord],
+    from: usize,
+    partials: &mut Vec<Vec<u8>>,
+) {
+    for (k, rec) in records.iter().enumerate().skip(from) {
+        feed(plugin, mode, shard, shards, rec);
+        if (k + 1) % BIN_EVERY == 0 {
+            let start = (k / BIN_EVERY) as u64 * BIN;
+            plugin.end_bin(start, start + BIN);
+            partials.push(plugin.take_partial());
+        }
+    }
+}
+
+/// The property for one root plugin, one shard of `shards`: split the
+/// record stream at `split`, checkpoint/restore across the split, and
+/// compare everything observable against the uninterrupted instance.
+fn roundtrip_one(
+    root: &dyn ShardedPlugin,
+    mode: Partitioning,
+    shard: usize,
+    shards: usize,
+    records: &[BgpStreamRecord],
+    split: usize,
+) -> Result<(), TestCaseError> {
+    // Uninterrupted reference.
+    let mut alive = root.fork(shard, shards);
+    let mut alive_partials = Vec::new();
+    drive(
+        &mut *alive,
+        mode,
+        shard,
+        shards,
+        records,
+        0,
+        &mut alive_partials,
+    );
+
+    // Interrupted: run to `split`, checkpoint, restore into a fresh
+    // fork, continue.
+    let mut first = root.fork(shard, shards);
+    let mut restored_partials = Vec::new();
+    for (k, rec) in records.iter().enumerate().take(split) {
+        feed(&mut *first, mode, shard, shards, rec);
+        if (k + 1) % BIN_EVERY == 0 {
+            let start = (k / BIN_EVERY) as u64 * BIN;
+            first.end_bin(start, start + BIN);
+            restored_partials.push(first.take_partial());
+        }
+    }
+    let ckpt = first.checkpoint();
+    drop(first);
+    let mut restored = root.fork(shard, shards);
+    restored
+        .restore(&ckpt)
+        .map_err(|e| TestCaseError::fail(format!("restore failed: {e}")))?;
+    prop_assert_eq!(
+        restored.checkpoint(),
+        ckpt,
+        "restore must reproduce the checkpoint byte for byte"
+    );
+    drive(
+        &mut *restored,
+        mode,
+        shard,
+        shards,
+        records,
+        split,
+        &mut restored_partials,
+    );
+
+    prop_assert_eq!(
+        &restored_partials,
+        &alive_partials,
+        "bin partials diverged after restore (mode {:?}, shard {}/{}, split {})",
+        mode,
+        shard,
+        shards,
+        split
+    );
+    prop_assert_eq!(
+        restored.checkpoint(),
+        alive.checkpoint(),
+        "final state diverged after restore"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn checkpoint_restore_is_byte_identical_to_an_uninterrupted_run(
+        ops in proptest::collection::vec(arb_op(), 1..60),
+        split_frac in 0u64..=100,
+    ) {
+        let records: Vec<BgpStreamRecord> = ops
+            .iter()
+            .enumerate()
+            .map(|(k, op)| record(op, 10 + k as u64))
+            .collect();
+        // Any split point, including 0 (restore a fresh checkpoint)
+        // and len (checkpoint at the very end) — and everything
+        // mid-bin in between.
+        let split = (records.len() as u64 * split_frac / 100) as usize;
+
+        let ranges: Vec<Prefix> = PREFIXES.iter().map(|p| p.parse().unwrap()).collect();
+        let pfx = PfxMonitor::new(ranges.iter().copied());
+        let rt = RtPlugin::new("rrc00");
+        let stats = ElemCounter::new();
+        let roots: [(&dyn ShardedPlugin, Partitioning); 3] = [
+            (&pfx, Partitioning::ByPrefix),
+            (&rt, Partitioning::ByPeer),
+            (&stats, Partitioning::Pinned),
+        ];
+        for (root, mode) in roots {
+            for shards in [1usize, 2, 4] {
+                let shard_set = if mode == Partitioning::Pinned { 0..1 } else { 0..shards };
+                for shard in shard_set {
+                    roundtrip_one(root, mode, shard, shards, &records, split)?;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! loom-lite models of the supervisor's two recovery races.
+//!
+//! The full supervised runtime is too big to model-check directly, so
+//! these tests check the *protocols* it relies on, extracted to their
+//! essence over the same `bsync` primitives:
+//!
+//! * **restart vs drain** — after a stall restart, the detached
+//!   zombie worker keeps draining its queue and emitting results that
+//!   race the replacement worker's replayed results on the shared
+//!   result channel. The epoch filter plus filled-slot dedup must
+//!   merge every bin exactly once under every interleaving; a canary
+//!   without the epoch filter shows the checker catches the
+//!   double-merge.
+//! * **checkpoint vs flush** — a checkpoint validated *after* a torn
+//!   write races the coordinator's log truncation. Truncating to the
+//!   torn (unvalidated) sequence loses replay entries a restart still
+//!   needs; truncating only to validated checkpoints never does.
+//!
+//! Run with `cargo test -p corsaro --features loom-lite --test
+//! loom_supervisor`.
+#![cfg(feature = "loom-lite")]
+#![forbid(unsafe_code)]
+
+use std::sync::Arc;
+
+use bsync::channel;
+use bsync::model::{explore, Builder};
+
+fn budget() -> Builder {
+    Builder {
+        max_preemptions: 2,
+        max_iters: 50_000,
+        max_steps: 20_000,
+        schedule: None,
+    }
+}
+
+/// Result-channel message: `(worker_epoch, bin)`.
+type Res = (u64, u64);
+
+/// Drive the restart-vs-drain protocol once. `epoch_filter` controls
+/// whether the coordinator applies the epoch check (the real runtime
+/// always does; the canary disables it).
+fn restart_vs_drain(epoch_filter: bool) {
+    let (res_tx, res_rx) = channel::unbounded::<Res>();
+
+    // The zombie: a worker the coordinator has already decided to
+    // restart (stall path — it never actually died), still holding a
+    // result for bin 2 that it emits at an arbitrary time.
+    let zombie = {
+        let tx = res_tx.clone();
+        bsync::thread::spawn_named("zombie", move || {
+            let _ = tx.send((0, 2));
+        })
+    };
+    // The replacement, epoch 1, replaying from the last checkpoint:
+    // re-answers bin 2 (its EndBin is past the checkpoint).
+    let replacement = {
+        let tx = res_tx.clone();
+        bsync::thread::spawn_named("replacement", move || {
+            let _ = tx.send((1, 2));
+        })
+    };
+    drop(res_tx);
+
+    // Coordinator: epoch already bumped to 1 by the restart decision.
+    let current_epoch = 1u64;
+    let mut merged = 0u32;
+    let mut slot_filled = false;
+    while let Ok((epoch, bin)) = res_rx.recv() {
+        assert_eq!(bin, 2);
+        if epoch_filter && epoch != current_epoch {
+            continue; // zombie output discarded
+        }
+        if slot_filled {
+            continue; // duplicate partial for an already-filled slot
+        }
+        slot_filled = true;
+        merged += 1;
+    }
+    zombie.join().expect("zombie ran");
+    replacement.join().expect("replacement ran");
+    assert_eq!(merged, 1, "bin must merge exactly once");
+}
+
+#[test]
+fn restart_vs_drain_merges_every_bin_exactly_once() {
+    let report = explore(&budget(), || restart_vs_drain(true))
+        .expect("no interleaving may lose or double-merge a bin");
+    assert!(report.iterations > 1, "must explore multiple interleavings");
+}
+
+/// Canary: with the epoch filter *and* slot dedup both absent the
+/// zombie's late result and the replayed result both merge in some
+/// interleaving — the checker must catch it.
+#[test]
+fn canary_unfiltered_zombie_double_merges() {
+    let racy = || {
+        let (res_tx, res_rx) = channel::unbounded::<Res>();
+        let zombie = {
+            let tx = res_tx.clone();
+            bsync::thread::spawn_named("zombie", move || {
+                let _ = tx.send((0, 2));
+            })
+        };
+        let replacement = {
+            let tx = res_tx.clone();
+            bsync::thread::spawn_named("replacement", move || {
+                let _ = tx.send((1, 2));
+            })
+        };
+        drop(res_tx);
+        let mut merged = 0u32;
+        while let Ok((_epoch, _bin)) = res_rx.recv() {
+            merged += 1; // BUG: no epoch filter, no slot dedup
+        }
+        zombie.join().expect("zombie ran");
+        replacement.join().expect("replacement ran");
+        assert_eq!(merged, 1, "bin must merge exactly once");
+    };
+    let failure = explore(&budget(), racy).expect_err("checker must catch the double merge");
+    assert!(
+        failure.kind.contains("panic"),
+        "unexpected failure kind: {}",
+        failure.kind
+    );
+}
+
+/// Checkpoint-vs-flush: the coordinator keeps a replay log and trims
+/// it when a checkpoint *validates*; a torn write must leave the
+/// previous checkpoint (and therefore the longer replay window)
+/// authoritative. `trim_on_receipt` models the bug of trimming as
+/// soon as the checkpoint message arrives, before validation.
+fn checkpoint_vs_flush(trim_on_receipt: bool) {
+    // Replay log guarded like the coordinator's: entries are batch
+    // sequence numbers; the worker's validated checkpoint is at seq 1.
+    let log = Arc::new(bsync::Mutex::new(vec![1u64, 2, 3]));
+    let validated_seq = 1u64;
+    let torn_seq = 3u64;
+
+    // Worker side: emits a torn checkpoint frame for seq 3 (the
+    // flush raced the crash mid-write), concurrently with the
+    // coordinator still broadcasting batches.
+    let (ckpt_tx, ckpt_rx) = channel::unbounded::<(u64, bool)>(); // (seq, frame_ok)
+    let worker = {
+        let tx = ckpt_tx.clone();
+        bsync::thread::spawn_named("worker", move || {
+            let _ = tx.send((torn_seq, false));
+        })
+    };
+    drop(ckpt_tx);
+    // Coordinator: appends a new batch to the log while the checkpoint
+    // message is in flight, then processes the checkpoint.
+    {
+        let log = log.clone();
+        log.lock().push(4);
+    }
+    let mut ckpt_seq = validated_seq;
+    while let Ok((seq, frame_ok)) = ckpt_rx.recv() {
+        if trim_on_receipt {
+            ckpt_seq = seq; // BUG: trusts the frame before validating
+        } else if frame_ok {
+            ckpt_seq = seq;
+        }
+        log.lock().retain(|&s| s > ckpt_seq);
+    }
+    worker.join().expect("worker ran");
+    // Restart now: everything after the authoritative checkpoint must
+    // still be in the log.
+    let replay: Vec<u64> = log.lock().iter().copied().collect();
+    assert_eq!(
+        replay,
+        vec![2, 3, 4],
+        "replay window must cover everything past the last VALID checkpoint"
+    );
+}
+
+#[test]
+fn torn_checkpoint_never_shrinks_the_replay_window() {
+    let report = explore(&budget(), || checkpoint_vs_flush(false))
+        .expect("no interleaving may lose replay entries");
+    assert!(report.iterations >= 1);
+}
+
+#[test]
+fn canary_trimming_on_receipt_loses_replay_entries() {
+    let failure = explore(&budget(), || checkpoint_vs_flush(true))
+        .expect_err("checker must catch the lost replay window");
+    assert!(
+        failure.kind.contains("panic"),
+        "unexpected failure kind: {}",
+        failure.kind
+    );
+}

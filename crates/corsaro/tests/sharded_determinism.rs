@@ -90,6 +90,31 @@ impl Plugin for Jitter {
     fn partitioning(&self) -> Partitioning {
         Partitioning::ByPrefix
     }
+
+    fn checkpoint(&self) -> Vec<u8> {
+        let mut out = BytesMut::new();
+        out.put_u64(self.owned_elems);
+        out.put_u32(self.series.len() as u32);
+        for v in &self.series {
+            out.put_u64(*v);
+        }
+        out.to_vec()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut buf = bytes;
+        if buf.len() < 12 {
+            return Err("jitter checkpoint: truncated header".into());
+        }
+        let owned = buf.get_u64();
+        let n = buf.get_u32() as usize;
+        if buf.len() != n * 8 {
+            return Err("jitter checkpoint: bad series length".into());
+        }
+        self.owned_elems = owned;
+        self.series = (0..n).map(|_| buf.get_u64()).collect();
+        Ok(())
+    }
 }
 
 impl ShardedPlugin for Jitter {
@@ -294,16 +319,50 @@ fn run_historical_until(world: &World, stop: u64) -> RunOutput {
     }
 }
 
+/// Supervisor settings for deterministic tests: a manual clock makes
+/// backoff sleeps instantaneous, and the stall timeout is parked far
+/// beyond any virtual time the backoff sleeps can accumulate (the
+/// driver advances the *stream* clock, not this one) so no false
+/// stall restarts pollute the `restarts` accounting.
+fn test_supervisor_config() -> corsaro::SupervisorConfig {
+    corsaro::SupervisorConfig {
+        max_restarts: 10,
+        backoff_base_ms: 1,
+        backoff_max_ms: 8,
+        stall_timeout_ms: u64::MAX / 4,
+        clock: bsync::time::Clock::manual(0),
+        seed: 0xC0FFEE,
+    }
+}
+
+/// Translate the fault plan's pure-data crash schedule into the
+/// runtime's chaos injection.
+fn chaos_from(crash: &collector_sim::CrashPlan) -> corsaro::Chaos {
+    corsaro::Chaos {
+        kills: crash
+            .kills
+            .iter()
+            .map(|k| corsaro::KillSpec {
+                worker: k.worker,
+                at_record: k.at_record,
+                times: k.times,
+            })
+            .collect(),
+        torn_checkpoints: crash.torn_checkpoints.clone(),
+    }
+}
+
 /// Replay the archive through a faulty live feeder into a fresh index
-/// and consume it with `run_live` at `workers`; returns the same
-/// comparable output as the historical runner.
+/// and consume it with `run_live` at `workers` (under a [`Supervisor`]
+/// when the plan carries a crash schedule); returns the same
+/// comparable output as the historical runner plus the run report.
 fn run_live_once(
     world: &World,
     workers: usize,
     plan: &collector_sim::FaultPlan,
     seed: u64,
     stop: u64,
-) -> RunOutput {
+) -> (RunOutput, corsaro::LiveRunReport) {
     use bgpstream::Clock;
 
     let live_index = Index::shared();
@@ -346,11 +405,21 @@ fn run_live_once(
     for rt in rts.iter_mut() {
         plugins.push(rt);
     }
-    let report = ShardedRuntime::builder()
+    let runtime = ShardedRuntime::builder()
         .workers(workers)
         .bin_size(300)
-        .build()
-        .run_live(&mut stream, stop, None, &mut plugins);
+        .build();
+    let report = if plan.crash.is_empty() {
+        runtime
+            .run_live(&mut stream, stop, None, &mut plugins)
+            .expect("run_live")
+    } else {
+        corsaro::Supervisor::new(runtime)
+            .with_config(test_supervisor_config())
+            .with_chaos(chaos_from(&plan.crash))
+            .run_live(&mut stream, stop, None, &mut plugins)
+            .expect("supervised run_live")
+    };
     let feeder_stats = driver.join().expect("feeder driver");
     assert!(feeder_stats.published > 0);
     assert!(!report.shutdown);
@@ -358,7 +427,7 @@ fn run_live_once(
 
     let mut mq_payloads = drain_topic(&mq, "rt.tables");
     mq_payloads.extend(drain_topic(&mq, "rt.meta"));
-    RunOutput {
+    let out = RunOutput {
         records: report.records,
         pfx_bytes: format!("{:?}", pfx.series).into_bytes(),
         rt_series: rts.iter().flat_map(|rt| rt.bin_series.clone()).collect(),
@@ -366,7 +435,8 @@ fn run_live_once(
         stats_bytes: format!("{:?}", stats.series).into_bytes(),
         jitter_series: jitter.series.clone(),
         mq_payloads,
-    }
+    };
+    (out, report)
 }
 
 #[test]
@@ -391,6 +461,7 @@ fn run_live_output_is_byte_identical_to_historical_run() {
         }],
         swap_prob: 0.25,
         duplicate_prob: 0.25,
+        crash: collector_sim::CrashPlan::none(),
     };
     for (workers, plan, seed) in [
         (1usize, &benign, 7u64),
@@ -398,12 +469,276 @@ fn run_live_output_is_byte_identical_to_historical_run() {
         (4, &faulty, 13),
         (4, &benign, 17),
     ] {
-        let live = run_live_once(&world, workers, plan, seed, stop);
+        let (live, _report) = run_live_once(&world, workers, plan, seed, stop);
         assert_eq!(
             baseline, live,
             "live output diverged at workers={workers} seed={seed}"
         );
     }
+    std::fs::remove_dir_all(&world.dir).ok();
+}
+
+#[test]
+fn supervised_run_is_byte_identical_under_crash_schedules() {
+    // The crash-safety contract: a supervised live run whose workers
+    // are killed mid-bin (and whose checkpoint writes are torn) must
+    // still produce byte-identical output to the uninterrupted
+    // historical run — restarts recover from the last valid
+    // checkpoint and replay the gap, so nothing is dropped or
+    // duplicated. Kills use `times: 1` so the schedule never exhausts
+    // the restart budget (degradation has its own test below).
+    let world = build_world(83);
+    let stop = stop_after_last_record(&world, 300);
+    let baseline = run_historical_until(&world, stop);
+    assert!(baseline.records > 0);
+    let n = baseline.records;
+    let kill = |worker: usize, at_record: u64| collector_sim::WorkerKill {
+        worker,
+        at_record,
+        times: 1,
+    };
+    let schedules: Vec<(usize, collector_sim::CrashPlan)> = vec![
+        // Single worker killed early: restore-from-scratch + replay.
+        (
+            1,
+            collector_sim::CrashPlan {
+                kills: vec![kill(0, n / 5)],
+                torn_checkpoints: vec![],
+            },
+        ),
+        // Two workers, kills on both plus a torn checkpoint write:
+        // worker 0's first checkpoint is discarded, widening its
+        // replay window.
+        (
+            2,
+            collector_sim::CrashPlan {
+                kills: vec![kill(0, n / 3), kill(1, 2 * n / 3)],
+                torn_checkpoints: vec![(0, 1)],
+            },
+        ),
+        // Restart storm: the same worker dies repeatedly at different
+        // records while its neighbours keep running.
+        (
+            4,
+            collector_sim::CrashPlan {
+                kills: vec![
+                    kill(2, n / 6),
+                    kill(2, n / 3),
+                    kill(2, n / 2),
+                    kill(1, n / 4),
+                ],
+                torn_checkpoints: vec![(2, 2)],
+            },
+        ),
+    ];
+    for (workers, crash) in schedules {
+        let expected_restarts = crash.kills.len() as u64;
+        let plan = collector_sim::FaultPlan {
+            crash: crash.clone(),
+            ..collector_sim::FaultPlan::none()
+        };
+        let (live, report) = run_live_once(&world, workers, &plan, 11, stop);
+        assert_eq!(
+            report.restarts, expected_restarts,
+            "every scheduled kill restarts exactly once at workers={workers}"
+        );
+        assert!(
+            report.partial_bins.is_empty(),
+            "no degradation under a times=1 schedule at workers={workers}"
+        );
+        assert_eq!(
+            baseline, live,
+            "supervised output diverged at workers={workers} crash={crash:?}"
+        );
+    }
+    std::fs::remove_dir_all(&world.dir).ok();
+}
+
+#[test]
+fn exhausted_restart_budget_degrades_to_partial_bins_without_wedging() {
+    // A worker that keeps dying at the same record burns through the
+    // restart budget; the supervisor must then mark it dead and keep
+    // closing bins as `Partial` (synthesized empty slots) instead of
+    // wedging the session.
+    let world = build_world(83);
+    let stop = stop_after_last_record(&world, 300);
+    let baseline = run_historical_until(&world, stop);
+    let budget = 2u32;
+    let crash = collector_sim::CrashPlan {
+        // times > max_restarts + 1: the kill re-fires on every replay
+        // until the budget is gone.
+        kills: vec![collector_sim::WorkerKill {
+            worker: 1,
+            at_record: baseline.records / 4,
+            times: budget + 2,
+        }],
+        torn_checkpoints: vec![],
+    };
+    let live_index = Index::shared();
+    let mut feeder = collector_sim::LiveFeeder::new(
+        &world.manifest,
+        live_index.clone(),
+        &collector_sim::FaultPlan::none(),
+        3,
+    );
+    let clock = bgpstream::Clock::manual(0);
+    let horizon = feeder.horizon();
+    let driver = {
+        let clock = clock.clone();
+        std::thread::spawn(move || {
+            let mut t = 0u64;
+            while !feeder.done() {
+                t += 600;
+                feeder.publish_until(t);
+                clock.advance_to(t);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            clock.advance_to(horizon.saturating_add(1));
+        })
+    };
+    let mut stream = BgpStream::builder()
+        .data_interface(DataInterface::Broker(live_index))
+        .live(0)
+        .watermark_release()
+        .clock(clock)
+        .poll_interval(std::time::Duration::from_millis(1))
+        .start();
+    let mut stats = ElemCounter::new();
+    let mut jitter = Jitter::new();
+    let mut plugins: Vec<&mut dyn ShardedPlugin> = vec![&mut stats, &mut jitter];
+    let mut cfg = test_supervisor_config();
+    cfg.max_restarts = budget;
+    let report =
+        corsaro::Supervisor::new(ShardedRuntime::builder().workers(2).bin_size(300).build())
+            .with_config(cfg)
+            .with_chaos(chaos_from(&crash))
+            .run_live(&mut stream, stop, None, &mut plugins)
+            .expect("degraded session still completes");
+    driver.join().unwrap();
+    assert_eq!(report.restarts as u32, budget, "budget fully spent");
+    assert!(
+        !report.partial_bins.is_empty(),
+        "bins after degradation are marked partial"
+    );
+    // The session kept closing every bin (no wedge), and the stats
+    // plugin — pinned to the surviving worker — lost nothing: its
+    // series is still identical to a sequential run.
+    let (seq_series, seq_jitter_len) = {
+        let mut stream = BgpStream::builder()
+            .data_interface(DataInterface::Broker(world.index.clone()))
+            .interval(0, Some(world.horizon))
+            .start();
+        let mut stats = ElemCounter::new();
+        let mut jitter = Jitter::new();
+        corsaro::run_pipeline_until(
+            &mut stream,
+            300,
+            stop,
+            &mut [&mut stats as &mut dyn Plugin, &mut jitter],
+        );
+        (stats.series, jitter.series.len())
+    };
+    assert_eq!(report.bins_closed as usize, seq_series.len(), "no wedge");
+    assert_eq!(stats.series, seq_series, "surviving worker lost nothing");
+    assert_eq!(
+        jitter.series.len(),
+        seq_jitter_len,
+        "degraded plugin still closes every bin, with partial data"
+    );
+    std::fs::remove_dir_all(&world.dir).ok();
+}
+
+/// A plugin whose shard 0 fork panics on its first owned elem —
+/// simulating a plugin bug (not chaos injection), to pin the typed
+/// error path and the pool-rebuild regression.
+struct PanicOnShard0 {
+    shard: Option<(usize, usize)>,
+    seen: u64,
+}
+
+impl Plugin for PanicOnShard0 {
+    fn name(&self) -> &'static str {
+        "panic-on-shard0"
+    }
+
+    fn process_record(&mut self, record: &bgpstream::BgpStreamRecord) {
+        for elem in record.elems() {
+            let Some(prefix) = elem.prefix else { continue };
+            if let Some((shard, shards)) = self.shard {
+                if shard_of_prefix(&prefix, shards) != shard {
+                    continue;
+                }
+                if shard == 0 {
+                    panic!("plugin bug on shard 0");
+                }
+            }
+            self.seen += 1;
+        }
+    }
+
+    fn end_bin(&mut self, _s: u64, _e: u64) {}
+
+    fn partitioning(&self) -> Partitioning {
+        Partitioning::ByPrefix
+    }
+}
+
+impl ShardedPlugin for PanicOnShard0 {
+    fn fork(&self, shard: usize, shards: usize) -> Box<dyn ShardedPlugin> {
+        Box::new(PanicOnShard0 {
+            shard: Some((shard, shards)),
+            seen: 0,
+        })
+    }
+
+    fn take_partial(&mut self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    fn merge_bin(&mut self, _s: u64, _e: u64, _partials: Vec<Vec<u8>>) {}
+}
+
+#[test]
+fn unsupervised_worker_panic_is_a_typed_error_and_does_not_poison_reruns() {
+    // Regression: a worker panic mid-bin used to take the whole
+    // process down (panic on join) and could leave the thread pool
+    // poisoned for subsequent runs. `run_live` must instead return
+    // `RuntimeError::WorkerPanicked`, tear the pool down cleanly, and
+    // a fresh run right after must behave exactly as if the failed
+    // run never happened.
+    let world = build_world(29);
+    let run = |poisonous: bool| {
+        let mut stream = BgpStream::builder()
+            .data_interface(DataInterface::Broker(world.index.clone()))
+            .interval(0, Some(world.horizon))
+            .start();
+        let mut stats = ElemCounter::new();
+        let mut bad = PanicOnShard0 {
+            shard: None,
+            seen: 0,
+        };
+        let mut plugins: Vec<&mut dyn ShardedPlugin> = vec![&mut stats];
+        if poisonous {
+            plugins.push(&mut bad);
+        }
+        let res = ShardedRuntime::builder()
+            .workers(2)
+            .bin_size(300)
+            .build()
+            .run_live(&mut stream, u64::MAX, None, &mut plugins);
+        (res, stats.series)
+    };
+    let (res, _) = run(true);
+    match res {
+        Err(corsaro::RuntimeError::WorkerPanicked { worker: 0 }) => {}
+        other => panic!("expected WorkerPanicked on worker 0, got {other:?}"),
+    }
+    // Same process, fresh runtime: the failed run must not have
+    // leaked poisoned threads or channels.
+    let (res, series) = run(false);
+    let report = res.expect("clean rerun succeeds");
+    assert!(report.records > 0);
+    assert!(!series.is_empty());
     std::fs::remove_dir_all(&world.dir).ok();
 }
 
@@ -451,7 +786,8 @@ fn run_live_shutdown_flag_exits_cleanly() {
             u64::MAX,
             Some(&stop_flag),
             &mut [&mut stats as &mut dyn ShardedPlugin],
-        );
+        )
+        .expect("run_live");
     raiser.join().unwrap();
     assert!(report.shutdown, "must report the cooperative exit");
     assert!(report.records > 0, "half the archive was published");

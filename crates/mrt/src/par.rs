@@ -298,6 +298,7 @@ impl<T: Send + 'static> ParDecoder<T> {
                 // be inconsistent after a caught panic, but the
                 // consumer re-raises on the marker before any later
                 // output from this worker can be released.
+                // xcheck:allow(catch-unwind) — see above
                 let result = catch_unwind(AssertUnwindSafe(|| {
                     let mut items = Vec::with_capacity(chunk.frames.len());
                     let mut terminal = false;

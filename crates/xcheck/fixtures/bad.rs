@@ -22,6 +22,18 @@ pub fn panicky_expect(v: Option<u64>) -> u64 {
     v.expect("present") // unwrap (.expect)
 }
 
+pub fn hard_exit(code: i32) {
+    std::process::exit(code); // exit
+}
+
+pub fn hard_abort() {
+    std::process::abort(); // exit (abort)
+}
+
+pub fn swallow_panics(f: impl FnOnce() + std::panic::UnwindSafe) {
+    let _ = std::panic::catch_unwind(f); // catch-unwind, unjustified
+}
+
 #[cfg(test)]
 mod tests {
     // Inside cfg(test): none of these may be reported.

@@ -17,6 +17,11 @@ pub fn justified(v: Option<u64>) -> u64 {
     v.unwrap()
 }
 
+pub fn sanctioned_boundary(f: impl FnOnce() + std::panic::UnwindSafe) -> bool {
+    // xcheck:allow(catch-unwind) — reviewed worker isolation boundary
+    std::panic::catch_unwind(f).is_ok()
+}
+
 pub fn prose_only() {
     // Mentioning Instant::now or .unwrap() in a comment is fine.
     let doc = "and parking_lot::Mutex inside a string literal is fine";

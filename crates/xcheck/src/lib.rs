@@ -18,6 +18,16 @@
 //!   loom-lite model checker); forbidden.
 //! * **`unsafe-root`** — every crate root (including vendor shims)
 //!   must carry `#![forbid(unsafe_code)]`.
+//! * **`exit`** — `process::exit(` / `process::abort(` are forbidden
+//!   in library code: they skip destructors, tear down sibling worker
+//!   threads mid-write, and make the process un-supervisable. Return
+//!   a typed error (or `ExitCode` from `main`) instead; CLI gates
+//!   that genuinely must exit are waived in `xcheck.allow`.
+//! * **`catch-unwind`** — `catch_unwind(` is an isolation boundary
+//!   that silently converts panics into control flow; every use must
+//!   be a reviewed recovery point justified with an inline
+//!   `// xcheck:allow(catch-unwind) — why` (the worker-loop and
+//!   prefetch boundaries that feed the supervisor).
 //!
 //! Suppression is explicit and reviewable: either an inline
 //! `// xcheck:allow(<rule>)` comment on (or directly above) the line,
@@ -43,6 +53,8 @@ const HOT_PATH_CRATES: &[&str] = &[
 
 const WALLCLOCK_TOKENS: &[&str] = &["SystemTime::now", "Instant::now", "thread::sleep"];
 const UNWRAP_TOKENS: &[&str] = &[".unwrap()", ".expect("];
+const EXIT_TOKENS: &[&str] = &["process::exit(", "process::abort("];
+const CATCH_UNWIND_TOKENS: &[&str] = &["catch_unwind("];
 const STD_SYNC_BANNED: &[&str] = &["Mutex", "RwLock", "Condvar", "atomic", "mpsc", "Barrier"];
 
 /// One violation, printed as `file:line: [rule] message`.
@@ -251,6 +263,8 @@ pub struct RuleScope {
     pub wallclock: bool,
     pub unwrap: bool,
     pub facade: bool,
+    pub exit: bool,
+    pub catch_unwind: bool,
 }
 
 /// Scope from path conventions: `crates/*/src` and root `src/` get the
@@ -271,6 +285,8 @@ pub fn scope_for(rel: &str) -> Option<RuleScope> {
             wallclock: true,
             unwrap: HOT_PATH_CRATES.contains(&crate_name),
             facade: crate_name != "bsync",
+            exit: true,
+            catch_unwind: true,
         });
     }
     if rel.starts_with("src/") {
@@ -278,6 +294,8 @@ pub fn scope_for(rel: &str) -> Option<RuleScope> {
             wallclock: true,
             unwrap: false,
             facade: true,
+            exit: true,
+            catch_unwind: true,
         });
     }
     None
@@ -369,6 +387,33 @@ pub fn scan_file(rel: &str, content: &str, scope: RuleScope, allow: &AllowList) 
                     rule: "facade",
                     message: msg.to_string(),
                 });
+            }
+        }
+        if scope.exit && !marker_here("exit") {
+            for tok in EXIT_TOKENS {
+                if code.contains(tok) {
+                    diags.push(Diagnostic {
+                        file: rel.to_string(),
+                        line: line_no,
+                        rule: "exit",
+                        message: format!(
+                            "`{}` in library code skips destructors and kills sibling workers; return a typed error (or ExitCode from main)",
+                            tok.trim_end_matches('(')
+                        ),
+                    });
+                }
+            }
+        }
+        if scope.catch_unwind && !marker_here("catch-unwind") {
+            for tok in CATCH_UNWIND_TOKENS {
+                if code.contains(tok) {
+                    diags.push(Diagnostic {
+                        file: rel.to_string(),
+                        line: line_no,
+                        rule: "catch-unwind",
+                        message: "`catch_unwind` is an isolation boundary; justify with `xcheck:allow(catch-unwind) — why`".to_string(),
+                    });
+                }
             }
         }
     }
@@ -500,6 +545,8 @@ mod tests {
         wallclock: true,
         unwrap: true,
         facade: true,
+        exit: true,
+        catch_unwind: true,
     };
 
     #[test]
@@ -510,6 +557,8 @@ mod tests {
         assert!(rules.contains(&"wallclock"), "diags: {diags:?}");
         assert!(rules.contains(&"unwrap"), "diags: {diags:?}");
         assert!(rules.contains(&"facade"), "diags: {diags:?}");
+        assert!(rules.contains(&"exit"), "diags: {diags:?}");
+        assert!(rules.contains(&"catch-unwind"), "diags: {diags:?}");
         assert!(
             check_crate_root("crates/core/src/bad.rs", bad).is_some(),
             "fixture must also miss forbid(unsafe_code)"
@@ -549,7 +598,9 @@ mod tests {
             RuleScope {
                 wallclock: true,
                 unwrap: false,
-                facade: true
+                facade: true,
+                exit: true,
+                catch_unwind: true
             },
             &allow
         )

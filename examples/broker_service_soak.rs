@@ -120,6 +120,7 @@ fn main() {
         }],
         swap_prob: 0.2,
         duplicate_prob: 0.2,
+        crash: collector_sim::CrashPlan::none(),
     };
     let feeder = LiveFeeder::new(&manifest, live_index.clone(), &plan, args.seed);
     let drain_to = feeder.horizon().saturating_add(1);

@@ -36,9 +36,12 @@ use std::sync::Arc;
 use bgpstream_repro::bgpstream::{BgpStream, Clock, DecodeMode};
 use bgpstream_repro::broker::{DataInterface, Index};
 use bgpstream_repro::collector_sim::feeder::bgpstream_clock::SharedClock;
-use bgpstream_repro::collector_sim::{FaultPlan, LiveFeeder, Stall};
+use bgpstream_repro::collector_sim::{CrashPlan, FaultPlan, LiveFeeder, Stall, WorkerKill};
 use bgpstream_repro::corsaro::runtime::{ShardedPlugin, ShardedRuntime};
-use bgpstream_repro::corsaro::{run_pipeline_until, ElemCounter, PfxMonitor, Plugin};
+use bgpstream_repro::corsaro::{
+    run_pipeline_until, Chaos, ElemCounter, KillSpec, PfxMonitor, Plugin, Supervisor,
+    SupervisorConfig,
+};
 use bgpstream_repro::worlds;
 
 struct Args {
@@ -63,6 +66,10 @@ struct Args {
     /// readers stream dumps through bounded windows; a regression to
     /// whole-file (or whole-decompressed-file) slurping shows up here.
     max_rss_mb: u64,
+    /// Chaos soak: schedule worker kills (including a restart storm)
+    /// and torn checkpoint writes, run under the supervisor, and
+    /// require the zero-dropped-records claim to survive the crashes.
+    chaos: bool,
 }
 
 fn parse_args() -> Args {
@@ -74,6 +81,7 @@ fn parse_args() -> Args {
         shutdown_test: false,
         no_stdin: false,
         max_rss_mb: 512,
+        chaos: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -90,6 +98,7 @@ fn parse_args() -> Args {
             "--shutdown-test" => args.shutdown_test = true,
             "--no-stdin" => args.no_stdin = true,
             "--max-rss-mb" => args.max_rss_mb = num("--max-rss-mb").max(1),
+            "--chaos" => args.chaos = true,
             other => panic!("unknown argument {other:?}"),
         }
     }
@@ -179,6 +188,41 @@ fn main() {
         }],
         swap_prob: 0.10,
         duplicate_prob: 0.20,
+        // Under --chaos, workers die mid-bin at fixed fractions of the
+        // record count — including one record that kills its worker
+        // twice in a row (a restart storm) — and two checkpoint writes
+        // are torn mid-flush. The supervisor must absorb all of it.
+        crash: if args.chaos {
+            let n = expected_records;
+            CrashPlan {
+                kills: vec![
+                    WorkerKill {
+                        worker: 0,
+                        at_record: n / 6,
+                        times: 1,
+                    },
+                    WorkerKill {
+                        worker: 1 % args.workers,
+                        at_record: n / 3,
+                        times: 1,
+                    },
+                    WorkerKill {
+                        worker: 0,
+                        at_record: n / 2,
+                        times: 1,
+                    },
+                    // Restart storm: re-fires on the post-restart replay.
+                    WorkerKill {
+                        worker: 1 % args.workers,
+                        at_record: 3 * n / 4,
+                        times: 2,
+                    },
+                ],
+                torn_checkpoints: vec![(0, 1), (1 % args.workers, 2)],
+            }
+        } else {
+            CrashPlan::none()
+        },
     };
     let feeder = LiveFeeder::new(&manifest, live_index.clone(), &plan, 7);
     let drain_to = feeder.horizon().saturating_add(1);
@@ -239,12 +283,54 @@ fn main() {
         .bin_size(BIN)
         .build();
     let wall_start = std::time::Instant::now();
-    let report = runtime.run_live(
-        &mut stream,
-        stop,
-        Some(&stop_flag),
-        &mut [&mut monitor as &mut dyn ShardedPlugin, &mut stats],
-    );
+    let mut plugins: Vec<&mut dyn ShardedPlugin> = vec![&mut monitor, &mut stats];
+    let report = if args.chaos {
+        let expected_fires: u64 = plan.crash.kills.iter().map(|k| k.times as u64).sum();
+        let report = Supervisor::new(runtime)
+            .with_config(SupervisorConfig {
+                max_restarts: 8,
+                backoff_base_ms: 5,
+                backoff_max_ms: 50,
+                stall_timeout_ms: 60_000,
+                ..SupervisorConfig::default()
+            })
+            .with_chaos(Chaos {
+                kills: plan
+                    .crash
+                    .kills
+                    .iter()
+                    .map(|k| KillSpec {
+                        worker: k.worker,
+                        at_record: k.at_record,
+                        times: k.times,
+                    })
+                    .collect(),
+                torn_checkpoints: plan.crash.torn_checkpoints.clone(),
+            })
+            .run_live(&mut stream, stop, Some(&stop_flag), &mut plugins)
+            .expect("supervised run_live");
+        println!(
+            "# chaos: {} restarts ({} kills scheduled), {} partial bins",
+            report.restarts,
+            expected_fires,
+            report.partial_bins.len()
+        );
+        if !report.shutdown {
+            assert_eq!(
+                report.restarts, expected_fires,
+                "every scheduled kill must fire and restart exactly once"
+            );
+            assert!(
+                report.partial_bins.is_empty(),
+                "bounded kill schedule must never exhaust the restart budget"
+            );
+        }
+        report
+    } else {
+        runtime
+            .run_live(&mut stream, stop, Some(&stop_flag), &mut plugins)
+            .expect("run_live")
+    };
     stop_flag.store(true, Ordering::SeqCst);
     let feeder_stats = feeder_handle.join().expect("feeder thread");
     println!(

@@ -17,6 +17,7 @@ pub use bgp_types;
 pub use bgpstream;
 pub use bmp;
 pub use broker;
+pub use bsync;
 pub use collector_sim;
 pub use consumers;
 pub use corsaro;

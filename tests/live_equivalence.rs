@@ -21,9 +21,12 @@ use std::sync::Arc;
 
 use bgpstream_repro::bgpstream::{BgpStream, Clock};
 use bgpstream_repro::broker::{DataInterface, Index};
-use bgpstream_repro::collector_sim::{FaultPlan, LiveFeeder, Stall};
+use bgpstream_repro::collector_sim::{CrashPlan, FaultPlan, LiveFeeder, Stall, WorkerKill};
 use bgpstream_repro::corsaro::runtime::{ShardedPlugin, ShardedRuntime};
-use bgpstream_repro::corsaro::{run_pipeline_until, ElemCounter, PfxMonitor, Plugin};
+use bgpstream_repro::corsaro::{
+    run_pipeline_until, Chaos, ElemCounter, KillSpec, PfxMonitor, Plugin, Supervisor,
+    SupervisorConfig,
+};
 use bgpstream_repro::worlds;
 use proptest::prelude::*;
 
@@ -129,16 +132,56 @@ fn run_live_under(plan: &FaultPlan, seed: u64, workers: usize) -> Output {
         .clock(clock)
         .poll_interval(std::time::Duration::from_millis(1))
         .start();
-    let report = ShardedRuntime::builder()
+    let runtime = ShardedRuntime::builder()
         .workers(workers)
         .bin_size(BIN)
-        .build()
-        .run_live(
-            &mut stream,
-            fx.stop,
-            None,
-            &mut [&mut pfx as &mut dyn ShardedPlugin, &mut stats],
+        .build();
+    let mut plugins: Vec<&mut dyn ShardedPlugin> = vec![&mut pfx, &mut stats];
+    let report = if plan.crash.is_empty() {
+        runtime
+            .run_live(&mut stream, fx.stop, None, &mut plugins)
+            .expect("run_live")
+    } else {
+        // Crash schedules run under supervision: a manual supervisor
+        // clock makes backoff instant, and the stall timeout is parked
+        // out of reach so the only restarts are the scheduled kills.
+        let cfg = SupervisorConfig {
+            max_restarts: 16,
+            backoff_base_ms: 1,
+            backoff_max_ms: 4,
+            stall_timeout_ms: u64::MAX / 4,
+            clock: bgpstream_repro::bsync::time::Clock::manual(0),
+            seed: seed ^ 0x5eed,
+        };
+        let chaos = Chaos {
+            kills: plan
+                .crash
+                .kills
+                .iter()
+                .map(|k| KillSpec {
+                    worker: k.worker,
+                    at_record: k.at_record,
+                    times: k.times,
+                })
+                .collect(),
+            torn_checkpoints: plan.crash.torn_checkpoints.clone(),
+        };
+        let report = Supervisor::new(runtime)
+            .with_config(cfg)
+            .with_chaos(chaos)
+            .run_live(&mut stream, fx.stop, None, &mut plugins)
+            .expect("supervised run_live");
+        assert_eq!(
+            report.restarts,
+            plan.crash.kills.len() as u64,
+            "every scheduled kill fires exactly once"
         );
+        assert!(
+            report.partial_bins.is_empty(),
+            "times=1 kills never degrade"
+        );
+        report
+    };
     driver.join().expect("feeder driver");
     assert!(!report.shutdown);
     Output {
@@ -171,6 +214,7 @@ fn arb_plan() -> impl Strategy<Value = FaultPlan> {
                 stalls,
                 swap_prob,
                 duplicate_prob,
+                crash: CrashPlan::none(),
             },
         )
 }
@@ -192,6 +236,40 @@ proptest! {
         prop_assert_eq!(
             &live, &fx.baseline,
             "diverged under plan {:?} seed {} workers {}", plan, seed, workers
+        );
+    }
+
+    /// Random *crash* schedule on top of a random publication fault
+    /// schedule: worker kills (single-fire) and torn checkpoint
+    /// writes, recovered by the supervisor via checkpoint-restore-
+    /// replay, must leave the closed-bin output byte-identical to the
+    /// historical baseline — nothing dropped, nothing duplicated.
+    #[test]
+    fn live_closed_bins_survive_random_crash_schedules(
+        mut plan in arb_plan(),
+        kill_fracs in proptest::collection::vec((0usize..4, 1u64..100), 1..4),
+        torn in proptest::collection::vec((0usize..4, 1u64..4), 0..3),
+        seed in 0u64..1_000,
+        workers in prop_oneof![Just(1usize), Just(2), Just(4)],
+    ) {
+        let fx = fixture();
+        // Kill points are generated as fractions of the record count
+        // so schedules stay meaningful whatever the fixture's size.
+        plan.crash = CrashPlan {
+            kills: kill_fracs
+                .iter()
+                .map(|&(w, frac)| WorkerKill {
+                    worker: w % workers,
+                    at_record: fx.baseline.records * frac / 100,
+                    times: 1,
+                })
+                .collect(),
+            torn_checkpoints: torn.iter().map(|&(w, n)| (w % workers, n)).collect(),
+        };
+        let live = run_live_under(&plan, seed, workers);
+        prop_assert_eq!(
+            &live, &fx.baseline,
+            "diverged under crash plan {:?} seed {} workers {}", plan, seed, workers
         );
     }
 }
@@ -218,9 +296,59 @@ fn live_equals_historical_under_the_nastiest_fixed_schedule() {
         ],
         swap_prob: 0.5,
         duplicate_prob: 0.5,
+        crash: CrashPlan::none(),
     };
     for workers in [1usize, 2, 4] {
         let live = run_live_under(&plan, 4242, workers);
+        assert_eq!(live, fx.baseline, "workers={workers}");
+    }
+}
+
+#[test]
+fn live_equals_historical_under_publication_faults_plus_crash_storm() {
+    // The nastiest publication schedule *and* a crash storm on top:
+    // every worker dies at least once (worker 0 twice), two checkpoint
+    // writes are torn. The supervisor must absorb all of it without
+    // the closed-bin output drifting a byte.
+    let fx = fixture();
+    let n = fx.baseline.records;
+    let plan = FaultPlan {
+        extra_delay: (0, 900),
+        stalls: vec![Stall {
+            start: fx.horizon / 4,
+            duration: 1800,
+            collector: None,
+        }],
+        swap_prob: 0.5,
+        duplicate_prob: 0.5,
+        crash: CrashPlan {
+            kills: vec![
+                WorkerKill {
+                    worker: 0,
+                    at_record: n / 7,
+                    times: 1,
+                },
+                WorkerKill {
+                    worker: 1,
+                    at_record: n / 3,
+                    times: 1,
+                },
+                WorkerKill {
+                    worker: 0,
+                    at_record: n / 2,
+                    times: 1,
+                },
+                WorkerKill {
+                    worker: 1,
+                    at_record: 5 * n / 6,
+                    times: 1,
+                },
+            ],
+            torn_checkpoints: vec![(0, 1), (1, 2)],
+        },
+    };
+    for workers in [2usize, 4] {
+        let live = run_live_under(&plan, 77, workers);
         assert_eq!(live, fx.baseline, "workers={workers}");
     }
 }
