@@ -8,7 +8,7 @@ use std::sync::Arc;
 use bgp_types::Asn;
 use bgpstream::{BgpStream, ElemType};
 use broker::index::{BrokerCursor, Query};
-use broker::{DataInterface, DumpType, Index};
+use broker::{DumpType, Index, LocalBroker};
 
 use crate::asgraph::AsGraph;
 use crate::mapreduce::par_map;
@@ -57,7 +57,7 @@ pub fn rib_partitions(index: &Arc<Index>, start: u64, end: u64) -> Vec<RibPartit
 /// Open a stream over exactly one RIB snapshot.
 fn open_rib(index: &Arc<Index>, p: &RibPartition) -> BgpStream {
     BgpStream::builder()
-        .data_interface(DataInterface::Broker(index.clone()))
+        .broker_client(LocalBroker::shared(index.clone()))
         .project(&p.project)
         .collector(&p.collector)
         .record_type(DumpType::Rib)

@@ -11,7 +11,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughpu
 use bgpstream_repro::bgp_types::trie::PrefixMatch;
 use bgpstream_repro::bgp_types::Prefix;
 use bgpstream_repro::bgpstream::{BgpStream, ElemType};
-use bgpstream_repro::broker::DataInterface;
+use bgpstream_repro::broker::LocalBroker;
 use bgpstream_repro::corsaro::runtime::{ShardedPlugin, ShardedRuntime};
 use bgpstream_repro::corsaro::{run_pipeline, ElemCounter, PfxMonitor, Plugin, RtPlugin};
 use bgpstream_repro::mrt::{ChunkedReader, MrtReader, ParDecoder};
@@ -66,7 +66,7 @@ fn bench_pipeline(c: &mut Criterion) {
     g.bench_function("sorted_stream", |b| {
         b.iter(|| {
             let mut stream = BgpStream::builder()
-                .data_interface(DataInterface::Broker(archive.world.index.clone()))
+                .broker_client(LocalBroker::shared(archive.world.index.clone()))
                 .interval(0, Some(3600))
                 .start();
             let mut n = 0u64;
@@ -96,7 +96,7 @@ fn bench_pipeline(c: &mut Criterion) {
     g.bench_function("filtered_stream", |b| {
         b.iter(|| {
             let mut stream = BgpStream::builder()
-                .data_interface(DataInterface::Broker(archive.world.index.clone()))
+                .broker_client(LocalBroker::shared(archive.world.index.clone()))
                 .interval(0, Some(3600))
                 .filter_prefix(target, PrefixMatch::MoreSpecific)
                 .filter_elem_type(ElemType::Announcement)
@@ -128,7 +128,7 @@ fn bench_pipeline(c: &mut Criterion) {
             let mut feeder = LiveFeeder::new(&manifest, index.clone(), &FaultPlan::none(), 1);
             let clock = Clock::manual(0);
             let mut stream = BgpStream::builder()
-                .data_interface(DataInterface::Broker(index))
+                .broker_client(LocalBroker::shared(index))
                 .live(0)
                 .watermark_release()
                 .clock(clock.clone())
@@ -192,7 +192,7 @@ fn bench_pipeline(c: &mut Criterion) {
     let bytes = world.sim.stats().bytes;
     let make_stream = |world: &worlds::World| {
         BgpStream::builder()
-            .data_interface(DataInterface::Broker(world.index.clone()))
+            .broker_client(LocalBroker::shared(world.index.clone()))
             .interval(0, Some(horizon))
             .start()
     };
@@ -248,7 +248,7 @@ fn bench_pipeline(c: &mut Criterion) {
         let runtime = ShardedRuntime::builder().workers(4).bin_size(300).build();
         b.iter(|| {
             let mut stream = BgpStream::builder()
-                .data_interface(DataInterface::Broker(world.index.clone()))
+                .broker_client(LocalBroker::shared(world.index.clone()))
                 .interval(0, Some(horizon))
                 .filter_prefix(filter_range, PrefixMatch::Any)
                 .start();

@@ -9,7 +9,7 @@ use bench::header;
 use bgpstream_repro::bgpstream::sort::partition_overlap_groups;
 use bgpstream_repro::bgpstream::BgpStream;
 use bgpstream_repro::broker::index::{BrokerCursor, Query};
-use bgpstream_repro::broker::DataInterface;
+use bgpstream_repro::broker::LocalBroker;
 use bgpstream_repro::worlds;
 
 fn main() {
@@ -53,7 +53,7 @@ fn main() {
 
     // Merge and verify ordering (the figure's bottom lane).
     let mut stream = BgpStream::builder()
-        .data_interface(DataInterface::Broker(world.index.clone()))
+        .broker_client(LocalBroker::shared(world.index.clone()))
         .interval(0, Some(1800))
         .start();
     let mut last = 0u64;

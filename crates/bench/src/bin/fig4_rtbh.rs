@@ -12,7 +12,7 @@
 
 use bench::{header, scaled};
 use bgpstream_repro::bgpstream::{BgpStream, CommunityFilter, ElemType};
-use bgpstream_repro::broker::{DataInterface, DumpType};
+use bgpstream_repro::broker::{DumpType, LocalBroker};
 use bgpstream_repro::topology::dataplane::{select_probes, traceroute};
 use bgpstream_repro::topology::{Event, EventKind};
 use bgpstream_repro::worlds;
@@ -28,7 +28,7 @@ fn main() {
 
     // Detection stream: any `*:666` community (§4.3's first stream).
     let mut bh = BgpStream::builder()
-        .data_interface(DataInterface::Broker(world.index.clone()))
+        .broker_client(LocalBroker::shared(world.index.clone()))
         .record_type(DumpType::Updates)
         .filter_community(CommunityFilter::any_asn(666))
         .filter_elem_type(ElemType::Announcement)

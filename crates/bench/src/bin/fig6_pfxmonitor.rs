@@ -12,7 +12,7 @@
 
 use bench::{header, scaled, sparkline};
 use bgpstream_repro::bgpstream::BgpStream;
-use bgpstream_repro::broker::DataInterface;
+use bgpstream_repro::broker::LocalBroker;
 use bgpstream_repro::corsaro::runtime::{ShardedPlugin, ShardedRuntime};
 use bgpstream_repro::corsaro::{run_pipeline, PfxMonitor};
 use bgpstream_repro::worlds;
@@ -53,7 +53,7 @@ fn main() {
     world.sim.run_until(horizon);
 
     let mut stream = BgpStream::builder()
-        .data_interface(DataInterface::Broker(world.index.clone()))
+        .broker_client(LocalBroker::shared(world.index.clone()))
         .interval(0, Some(horizon))
         .start();
     let mut monitor = PfxMonitor::new(world.info.victim_ranges.iter().copied());

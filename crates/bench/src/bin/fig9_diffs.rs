@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use bench::{header, scaled};
 use bgpstream_repro::bgpstream::BgpStream;
-use bgpstream_repro::broker::{DataInterface, Index};
+use bgpstream_repro::broker::{Index, LocalBroker};
 use bgpstream_repro::collector_sim::{standard_collectors, SimConfig, Simulator};
 use bgpstream_repro::corsaro::{run_pipeline, RtPlugin};
 use bgpstream_repro::topology::control::ControlPlane;
@@ -74,7 +74,7 @@ fn main() {
     for bin_min in [1u64, 5, 10, 15, 20, 30, 45, 60] {
         let bin = bin_min * 60;
         let mut stream = BgpStream::builder()
-            .data_interface(DataInterface::Broker(idx.clone()))
+            .broker_client(LocalBroker::shared(idx.clone()))
             .collector(&collector)
             .interval(0, Some(horizon))
             .start();

@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use bench::{header, scaled};
 use bgpstream_repro::bgpstream::BgpStream;
-use bgpstream_repro::broker::{DataInterface, Index};
+use bgpstream_repro::broker::{Index, LocalBroker};
 use bgpstream_repro::collector_sim::{
     CollectorSpec, SimConfig, Simulator, VpSpec, RIS, ROUTEVIEWS,
 };
@@ -109,7 +109,7 @@ fn main() {
     let mut results = Vec::new();
     for collector in ["rrc00", "route-views2"] {
         let mut stream = BgpStream::builder()
-            .data_interface(DataInterface::Broker(idx.clone()))
+            .broker_client(LocalBroker::shared(idx.clone()))
             .collector(collector)
             .interval(0, Some(horizon))
             .start();

@@ -10,7 +10,7 @@ use std::time::Instant;
 
 use bench::{header, scaled};
 use bgpstream_repro::bgpstream::BgpStream;
-use bgpstream_repro::broker::DataInterface;
+use bgpstream_repro::broker::LocalBroker;
 use bgpstream_repro::mrt::MrtReader;
 use bgpstream_repro::worlds;
 
@@ -51,7 +51,7 @@ fn main() {
     // Full sorted stream.
     let t1 = Instant::now();
     let mut stream = BgpStream::builder()
-        .data_interface(DataInterface::Broker(world.index.clone()))
+        .broker_client(LocalBroker::shared(world.index.clone()))
         .interval(0, Some(horizon))
         .start();
     let mut stream_records = 0u64;

@@ -7,7 +7,7 @@
 
 use bench::header;
 use bgpstream_repro::bgpstream::{BgpStream, ElemType};
-use bgpstream_repro::broker::DataInterface;
+use bgpstream_repro::broker::LocalBroker;
 use bgpstream_repro::worlds;
 
 fn show(elem: &bgpstream_repro::bgpstream::BgpStreamElem) {
@@ -66,7 +66,7 @@ fn main() {
     world.sim.run_until(3600);
 
     let mut stream = BgpStream::builder()
-        .data_interface(DataInterface::Broker(world.index.clone()))
+        .broker_client(LocalBroker::shared(world.index.clone()))
         .interval(0, Some(3600))
         .start();
     let mut shown: std::collections::HashSet<ElemType> = Default::default();

@@ -226,7 +226,7 @@ mod tests {
     #[test]
     fn feed_publishes_windows_and_live_stream_tails_them() {
         use bgpstream::{BgpStream, Clock};
-        use broker::DataInterface;
+        use broker::LocalBroker;
 
         let wire = session_wire();
         // Reference: what a plain bridge of the whole session yields.
@@ -257,7 +257,7 @@ mod tests {
         // The same cursor abstraction every live consumer uses: a
         // watermark-released live stream over the feed's index.
         let mut stream = BgpStream::builder()
-            .data_interface(DataInterface::Broker(index))
+            .broker_client(LocalBroker::shared(index))
             .live(0)
             .watermark_release()
             .clock(Clock::all_published())

@@ -49,6 +49,11 @@ impl DataInterface {
     /// directly); new code should pick its [`BrokerClient`]
     /// explicitly.
     #[allow(non_snake_case)] // historical variant-constructor syntax
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct the client explicitly: `DataInterface::client(LocalBroker::shared(index))` \
+                or `BgpStreamBuilder::broker_client`"
+    )]
     pub fn Broker(index: Arc<Index>) -> Self {
         DataInterface::Client(LocalBroker::shared(index))
     }
@@ -319,6 +324,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // deliberately exercises the back-compat shim
     fn broker_constructor_is_a_local_client() {
         // The back-compat surface: `DataInterface::Broker(idx)` still
         // works and both materialisations recover the same index.

@@ -70,6 +70,32 @@ pub struct AsPathRegex {
     elems: Vec<Elem>,
 }
 
+impl std::fmt::Display for AsPathRegex {
+    /// The canonical pattern form: space-separated tokens with the
+    /// anchors the pattern was compiled with. Parsing the displayed
+    /// form yields an equal pattern (`_` separators and redundant
+    /// adjacent `*`s are already normalized away at compile time).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.anchored_start {
+            f.write_str("^")?;
+        }
+        for (i, e) in self.elems.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            match e {
+                Elem::Literal(n) => write!(f, "{n}")?,
+                Elem::AnyOne => f.write_str("?")?,
+                Elem::AnyRun => f.write_str("*")?,
+            }
+        }
+        if self.anchored_end {
+            f.write_str("$")?;
+        }
+        Ok(())
+    }
+}
+
 impl AsPathRegex {
     /// Compile a pattern string.
     pub fn parse(pattern: &str) -> Result<AsPathRegex, PatternError> {

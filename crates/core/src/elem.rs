@@ -85,37 +85,63 @@ pub struct ExtractedElems {
 /// Decompose an MRT record into elems. RIB rows need the dump's peer
 /// index table (`pit`).
 ///
-/// Borrowing convenience over [`extract_elems_owned`]; clones the
-/// record body. The sorted-stream hot path uses the owned variant,
+/// Borrowing convenience over [`extract_into`]; clones the record
+/// body. The sorted-stream hot path uses [`extract_into`] directly,
 /// which moves path attributes into the elems instead of cloning.
-pub fn extract_elems(record: &MrtRecord, pit: Option<&PeerIndexTable>) -> ExtractedElems {
-    extract_elems_owned(record.clone(), pit)
-}
-
-/// Decompose an MRT record into elems, consuming the record.
-///
-/// Ownership is what keeps the merge hot path allocation-light: every
-/// RIB entry's attributes and the last announcement's attributes are
-/// *moved* into their elems (`AsPath`/`CommunitySet` are `Vec`-backed,
-/// so a clone is one or more heap allocations each).
-pub fn extract_elems_owned(record: MrtRecord, pit: Option<&PeerIndexTable>) -> ExtractedElems {
+pub fn extract(record: &MrtRecord, pit: Option<&PeerIndexTable>) -> ExtractedElems {
     let mut elems = Vec::new();
-    let missing_peer = extract_elems_into(record, pit, &mut elems);
+    let missing_peer = extract_into(record.clone(), pit, &mut elems);
     ExtractedElems {
         elems,
         missing_peer,
     }
 }
 
-/// [`extract_elems_owned`] into a caller-provided buffer.
-///
-/// The filtered hot path extracts every record into one reusable
-/// scratch `Vec` (appending; the caller clears between records),
-/// filters it in place, and only then right-sizes an owned `Vec` for
-/// the survivors — so records whose elems are all filtered away cost
-/// zero allocations instead of one-or-two per record. Returns the
-/// missing-peer flag of [`ExtractedElems`].
+/// Deprecated alias for [`extract`].
+#[deprecated(since = "0.1.0", note = "renamed to `extract`")]
+pub fn extract_elems(record: &MrtRecord, pit: Option<&PeerIndexTable>) -> ExtractedElems {
+    extract(record, pit)
+}
+
+/// Deprecated owned-record variant; extraction always consumes the
+/// record internally, so [`extract_into`] (reusing a scratch buffer)
+/// or [`extract`] (borrowed) cover every call shape.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `extract_into` (or `extract` for borrowed records)"
+)]
+pub fn extract_elems_owned(record: MrtRecord, pit: Option<&PeerIndexTable>) -> ExtractedElems {
+    let mut elems = Vec::new();
+    let missing_peer = extract_into(record, pit, &mut elems);
+    ExtractedElems {
+        elems,
+        missing_peer,
+    }
+}
+
+/// Deprecated alias for [`extract_into`].
+#[deprecated(since = "0.1.0", note = "renamed to `extract_into`")]
 pub fn extract_elems_into(
+    record: MrtRecord,
+    pit: Option<&PeerIndexTable>,
+    elems: &mut Vec<BgpStreamElem>,
+) -> bool {
+    extract_into(record, pit, elems)
+}
+
+/// Decompose an MRT record into a caller-provided buffer, consuming
+/// the record. Returns the missing-peer flag of [`ExtractedElems`].
+///
+/// Ownership is what keeps the merge hot path allocation-light: every
+/// RIB entry's attributes and the last announcement's attributes are
+/// *moved* into their elems (`AsPath`/`CommunitySet` are `Vec`-backed,
+/// so a clone is one or more heap allocations each). The filtered hot
+/// path extracts every record into one reusable scratch `Vec`
+/// (appending; the caller clears between records), filters it in
+/// place, and only then right-sizes an owned `Vec` for the survivors —
+/// so records whose elems are all filtered away cost zero allocations
+/// instead of one-or-two per record.
+pub fn extract_into(
     record: MrtRecord,
     pit: Option<&PeerIndexTable>,
     elems: &mut Vec<BgpStreamElem>,
@@ -266,7 +292,7 @@ mod tests {
 
     #[test]
     fn update_decomposes_into_withdrawal_plus_announcements() {
-        let out = extract_elems(&update_record(), None);
+        let out = extract(&update_record(), None);
         assert!(!out.missing_peer);
         assert_eq!(out.elems.len(), 3);
         assert_eq!(out.elems[0].elem_type, ElemType::Withdrawal);
@@ -292,7 +318,7 @@ mod tests {
                 new_state: SessionState::Idle,
             },
         );
-        let out = extract_elems(&rec, None);
+        let out = extract(&rec, None);
         assert_eq!(out.elems.len(), 1);
         let e = &out.elems[0];
         assert_eq!(e.elem_type, ElemType::PeerState);
@@ -340,7 +366,7 @@ mod tests {
 
     #[test]
     fn rib_row_resolves_peers() {
-        let out = extract_elems(&rib_record(&[0, 1]), Some(&pit()));
+        let out = extract(&rib_record(&[0, 1]), Some(&pit()));
         assert!(!out.missing_peer);
         assert_eq!(out.elems.len(), 2);
         assert_eq!(out.elems[0].peer_asn, Asn(65001));
@@ -350,14 +376,14 @@ mod tests {
 
     #[test]
     fn rib_row_with_bad_peer_index_flags_missing() {
-        let out = extract_elems(&rib_record(&[0, 9]), Some(&pit()));
+        let out = extract(&rib_record(&[0, 9]), Some(&pit()));
         assert!(out.missing_peer);
         assert_eq!(out.elems.len(), 1);
     }
 
     #[test]
     fn rib_row_without_pit_flags_missing() {
-        let out = extract_elems(&rib_record(&[0]), None);
+        let out = extract(&rib_record(&[0]), None);
         assert!(out.missing_peer);
         assert!(out.elems.is_empty());
     }
@@ -365,7 +391,7 @@ mod tests {
     #[test]
     fn peer_index_table_has_no_elems() {
         let rec = MrtRecord::table_dump_v2(1, TableDumpV2::PeerIndexTable(pit()));
-        let out = extract_elems(&rec, None);
+        let out = extract(&rec, None);
         assert!(out.elems.is_empty());
         assert!(!out.missing_peer);
     }

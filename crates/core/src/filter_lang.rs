@@ -45,6 +45,86 @@ pub struct ParsedFilter {
     pub filters: Filters,
 }
 
+/// Quote a term value when the tokenizer would otherwise split or
+/// drop it (embedded whitespace, or the empty string).
+fn quoted(value: &str) -> std::borrow::Cow<'_, str> {
+    if value.is_empty() || value.chars().any(char::is_whitespace) {
+        std::borrow::Cow::Owned(format!("\"{value}\""))
+    } else {
+        std::borrow::Cow::Borrowed(value)
+    }
+}
+
+impl std::fmt::Display for ParsedFilter {
+    /// The canonical filter-string form: full (unabbreviated) term
+    /// keywords joined by `and`, explicit prefix match modes, set-like
+    /// terms (peer, elemtype) in sorted order, and values quoted only
+    /// when they contain whitespace. Feeding the displayed string back
+    /// through [`parse_filter_string`] reproduces the same constraints
+    /// (values containing `"` are not representable — the tokenizer
+    /// has no escapes).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut terms: Vec<String> = Vec::new();
+        for p in &self.projects {
+            terms.push(format!("project {}", quoted(p)));
+        }
+        for c in &self.collectors {
+            terms.push(format!("collector {}", quoted(c)));
+        }
+        for ty in &self.dump_types {
+            terms.push(format!(
+                "type {}",
+                match ty {
+                    DumpType::Rib => "ribs",
+                    DumpType::Updates => "updates",
+                }
+            ));
+        }
+        let mut peers: Vec<Asn> = self.filters.peer_asns.iter().copied().collect();
+        peers.sort_unstable();
+        for asn in peers {
+            terms.push(format!("peer {}", asn.0));
+        }
+        for (pfx, mode) in &self.filters.prefixes {
+            let mode = match mode {
+                PrefixMatch::Exact => "exact",
+                PrefixMatch::MoreSpecific => "more",
+                PrefixMatch::LessSpecific => "less",
+                PrefixMatch::Any => "any",
+            };
+            terms.push(format!("prefix {mode} {pfx}"));
+        }
+        for c in &self.filters.communities {
+            let asn = c.asn.map_or_else(|| "*".to_string(), |a| a.to_string());
+            let val = c.value.map_or_else(|| "*".to_string(), |v| v.to_string());
+            terms.push(format!("community {asn}:{val}"));
+        }
+        for (ty, name) in [
+            (ElemType::RibEntry, "ribs"),
+            (ElemType::Announcement, "announcements"),
+            (ElemType::Withdrawal, "withdrawals"),
+            (ElemType::PeerState, "peerstates"),
+        ] {
+            if self.filters.elem_types.contains(&ty) {
+                terms.push(format!("elemtype {name}"));
+            }
+        }
+        for re in &self.filters.as_paths {
+            terms.push(format!("aspath {}", quoted(&re.to_string())));
+        }
+        if let Some(v) = self.filters.ip_version {
+            terms.push(format!(
+                "ipversion {}",
+                match v {
+                    IpVersion::V4 => "4",
+                    IpVersion::V6 => "6",
+                }
+            ));
+        }
+        f.write_str(&terms.join(" and "))
+    }
+}
+
 /// Errors from [`parse_filter_string`].
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum FilterLangError {
@@ -344,5 +424,171 @@ mod tests {
         let p = parse_filter_string("Collector rrc00 AND Type ribs").unwrap();
         assert_eq!(p.collectors, vec!["rrc00"]);
         assert_eq!(p.dump_types, vec![DumpType::Rib]);
+    }
+
+    #[test]
+    fn display_is_canonical() {
+        let p = parse_filter_string(
+            "coll rrc00 and type updates and prefix 192.0.0.0/8 and comm *:666",
+        )
+        .unwrap();
+        // Abbreviations expand, the default prefix mode becomes
+        // explicit, and the result reparses to the same constraints.
+        assert_eq!(
+            p.to_string(),
+            "collector rrc00 and type updates and prefix more 192.0.0.0/8 and community *:666"
+        );
+        assert_eq!(ParsedFilter::default().to_string(), "");
+    }
+
+    mod display_roundtrip {
+        use super::*;
+        use bgp_types::Prefix;
+        use proptest::collection::vec;
+        use proptest::prelude::*;
+
+        fn arb_prefix() -> impl Strategy<Value = Prefix> {
+            prop_oneof![
+                (any::<u32>(), 0u8..=32u8).prop_map(|(bits, len)| {
+                    let masked = if len == 0 {
+                        0
+                    } else {
+                        bits & (u32::MAX << (32 - len))
+                    };
+                    format!("{}/{len}", std::net::Ipv4Addr::from(masked))
+                        .parse()
+                        .unwrap()
+                }),
+                (any::<u128>(), 0u8..=128u8).prop_map(|(bits, len)| {
+                    let masked = if len == 0 {
+                        0
+                    } else {
+                        bits & (u128::MAX << (128 - len))
+                    };
+                    format!("{}/{len}", std::net::Ipv6Addr::from(masked))
+                        .parse()
+                        .unwrap()
+                }),
+            ]
+        }
+
+        fn arb_mode() -> impl Strategy<Value = PrefixMatch> {
+            prop_oneof![
+                Just(PrefixMatch::Exact),
+                Just(PrefixMatch::MoreSpecific),
+                Just(PrefixMatch::LessSpecific),
+                Just(PrefixMatch::Any),
+            ]
+        }
+
+        fn arb_aspath() -> impl Strategy<Value = AsPathRegex> {
+            (
+                any::<bool>(),
+                any::<bool>(),
+                vec(
+                    prop_oneof![
+                        (1u32..4_000_000_000).prop_map(|n| n.to_string()),
+                        Just("?".to_string()),
+                        Just("*".to_string()),
+                    ],
+                    1..5,
+                ),
+            )
+                .prop_map(|(start, end, toks)| {
+                    let mut pat = String::new();
+                    if start {
+                        pat.push('^');
+                    }
+                    pat.push_str(&toks.join(" "));
+                    if end {
+                        pat.push('$');
+                    }
+                    AsPathRegex::parse(&pat).expect("constructed pattern is valid")
+                })
+        }
+
+        fn arb_comm() -> impl Strategy<Value = CommunityFilter> {
+            (
+                proptest::option::of(0u16..u16::MAX),
+                proptest::option::of(0u16..u16::MAX),
+            )
+                .prop_map(|(asn, value)| CommunityFilter { asn, value })
+        }
+
+        fn arb_parsed() -> impl Strategy<Value = ParsedFilter> {
+            let name = "[a-z0-9.]{1,8}";
+            (
+                vec(name, 0..3),
+                vec(name, 0..3),
+                vec(
+                    prop_oneof![Just(DumpType::Rib), Just(DumpType::Updates)],
+                    0..3,
+                ),
+                vec(any::<u32>(), 0..4),
+                vec((arb_prefix(), arb_mode()), 0..3),
+                vec(arb_comm(), 0..3),
+                vec(
+                    prop_oneof![
+                        Just(ElemType::RibEntry),
+                        Just(ElemType::Announcement),
+                        Just(ElemType::Withdrawal),
+                        Just(ElemType::PeerState),
+                    ],
+                    0..4,
+                ),
+                vec(arb_aspath(), 0..3),
+                proptest::option::of(prop_oneof![Just(IpVersion::V4), Just(IpVersion::V6)]),
+            )
+                .prop_map(
+                    |(
+                        projects,
+                        collectors,
+                        dump_types,
+                        peers,
+                        prefixes,
+                        communities,
+                        elem_types,
+                        as_paths,
+                        ip_version,
+                    )| {
+                        ParsedFilter {
+                            projects,
+                            collectors,
+                            dump_types,
+                            filters: Filters {
+                                peer_asns: peers.into_iter().map(Asn).collect(),
+                                prefixes,
+                                communities,
+                                elem_types: elem_types.into_iter().collect(),
+                                as_paths,
+                                ip_version,
+                            },
+                        }
+                    },
+                )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Display is parseable and lossless: every constraint
+            /// survives the round trip, and the canonical form is a
+            /// fixed point of `parse ∘ to_string`.
+            #[test]
+            fn display_round_trips(p in arb_parsed()) {
+                let s = p.to_string();
+                let q = parse_filter_string(&s).expect("canonical form reparses");
+                prop_assert_eq!(&q.projects, &p.projects);
+                prop_assert_eq!(&q.collectors, &p.collectors);
+                prop_assert_eq!(&q.dump_types, &p.dump_types);
+                prop_assert_eq!(&q.filters.peer_asns, &p.filters.peer_asns);
+                prop_assert_eq!(&q.filters.prefixes, &p.filters.prefixes);
+                prop_assert_eq!(&q.filters.communities, &p.filters.communities);
+                prop_assert_eq!(&q.filters.elem_types, &p.filters.elem_types);
+                prop_assert_eq!(&q.filters.as_paths, &p.filters.as_paths);
+                prop_assert_eq!(q.filters.ip_version, p.filters.ip_version);
+                prop_assert_eq!(q.to_string(), s);
+            }
+        }
     }
 }

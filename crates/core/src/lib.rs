@@ -14,11 +14,11 @@
 //!
 //! ```no_run
 //! use bgpstream::{BgpStream, Filters};
-//! use broker::{DataInterface, DumpType, Index};
+//! use broker::{DumpType, Index, LocalBroker};
 //!
 //! let index = Index::shared();
 //! let mut stream = BgpStream::builder()
-//!     .data_interface(DataInterface::Broker(index))
+//!     .broker_client(LocalBroker::shared(index))
 //!     .project("ris")
 //!     .record_type(DumpType::Updates)
 //!     .interval(0, Some(3600))
@@ -44,6 +44,9 @@
 //!   `aspath` filter;
 //! * [`filter_lang`] — the `parse_filter_string` mini-language
 //!   (`"collector rrc00 and prefix more 10.0.0.0/8 and comm *:666"`);
+//! * [`codec`] — shared binary-codec primitives (values, canonical
+//!   sort keys, durable checksum frames) reused by plugin checkpoints
+//!   and RIB snapshots;
 //! * [`sort`] — the §3.3.4 sorted-stream machinery: overlap-partition
 //!   of dump-file sets and per-group multi-way merge;
 //! * [`stream`] — the user-facing stream: broker-windowed iteration,
@@ -54,6 +57,7 @@
 
 pub mod ascii;
 pub mod aspath_re;
+pub mod codec;
 pub mod elem;
 pub mod filter;
 pub mod filter_lang;

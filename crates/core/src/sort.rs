@@ -25,7 +25,7 @@ use mrt::{
     RawMrtView, Step,
 };
 
-use crate::elem::{extract_elems_into, extract_elems_owned, BgpStreamElem};
+use crate::elem::{extract_into, BgpStreamElem};
 use crate::filter::{CompiledFilters, Filters};
 use crate::record::{BgpStreamRecord, DumpPosition, RecordStatus};
 
@@ -179,14 +179,15 @@ fn decode_one(
     let (elems, missing_peer) = if filters.is_pass_all() {
         // Fast path: with no elem filters configured, the
         // extracted Vec is handed over as-is.
-        let extracted = extract_elems_owned(rec, pit.as_deref());
-        (extracted.elems, extracted.missing_peer)
+        let mut elems = Vec::new();
+        let missing_peer = extract_into(rec, pit.as_deref(), &mut elems);
+        (elems, missing_peer)
     } else {
         // Extract into the reusable scratch buffer, filter in
         // place, and right-size an owned Vec only for survivors —
         // fully-filtered records allocate nothing.
         scratch.clear();
-        let missing_peer = extract_elems_into(rec, pit.as_deref(), scratch);
+        let missing_peer = extract_into(rec, pit.as_deref(), scratch);
         scratch.retain(|e| filters.matches(e));
         let elems = if scratch.is_empty() {
             Vec::new()
@@ -460,7 +461,7 @@ pub struct GroupMerger {
     /// Decode mode every dump of this merge opens with (admitted
     /// stragglers included).
     mode: DecodeMode,
-    /// Reusable elem extraction buffer (see [`extract_elems_into`]).
+    /// Reusable elem extraction buffer (see [`extract_into`]).
     scratch: Vec<BgpStreamElem>,
 }
 

@@ -17,7 +17,8 @@ use bgp_types::trie::PrefixMatch;
 use bgp_types::{Asn, Prefix};
 use broker::index::{BrokerCursor, DumpMeta, Query};
 use broker::{
-    BrokerClient, BrokerError, DataInterface, DumpType, Index, LeaseId, ReleasePolicy, SourceId,
+    BrokerClient, BrokerError, DataInterface, DumpType, Index, LeaseId, LocalBroker, ReleasePolicy,
+    SourceId,
 };
 use bsync::channel::{Receiver, Sender};
 
@@ -392,7 +393,7 @@ impl BgpStreamBuilder {
     pub fn try_start(self) -> Result<BgpStream, StreamStartError> {
         let iface = self
             .interface
-            .unwrap_or_else(|| DataInterface::Broker(Index::shared()));
+            .unwrap_or_else(|| DataInterface::client(LocalBroker::shared(Index::shared())));
         let client = iface.into_client()?;
         let cursor = BrokerCursor {
             window_start: self.query.start,
@@ -1046,10 +1047,10 @@ impl BgpStream {
 ///
 /// ```
 /// use bgpstream::BgpStream;
-/// use broker::{DataInterface, Index};
+/// use broker::{Index, LocalBroker};
 ///
 /// let stream = BgpStream::builder()
-///     .data_interface(DataInterface::Broker(Index::shared()))
+///     .broker_client(LocalBroker::shared(Index::shared()))
 ///     .interval(0, Some(3600))
 ///     .start();
 /// for record in stream {
@@ -1115,7 +1116,7 @@ mod tests {
     #[test]
     fn empty_index_historical_stream_ends() {
         let mut s = BgpStream::builder()
-            .data_interface(DataInterface::Broker(Index::shared()))
+            .broker_client(LocalBroker::shared(Index::shared()))
             .interval(0, Some(1000))
             .start();
         assert!(s.next_record().is_none());
@@ -1127,7 +1128,7 @@ mod tests {
         // Repeatable setters and `filter_string` used to push
         // duplicate terms into the broker query.
         let s = BgpStream::builder()
-            .data_interface(DataInterface::Broker(Index::shared()))
+            .broker_client(LocalBroker::shared(Index::shared()))
             .project("ris")
             .project("ris")
             .collector("rrc00")
@@ -1302,7 +1303,7 @@ mod tests {
     #[test]
     fn stream_mode_live_clears_end_and_sets_poll() {
         let s = BgpStream::builder()
-            .data_interface(DataInterface::Broker(Index::shared()))
+            .broker_client(LocalBroker::shared(Index::shared()))
             .interval(100, Some(200))
             .stream_mode(StreamMode::Live {
                 poll: Duration::from_millis(7),
@@ -1312,7 +1313,7 @@ mod tests {
         assert_eq!(s.query.end, None);
         assert_eq!(s.poll, Duration::from_millis(7));
         let h = BgpStream::builder()
-            .data_interface(DataInterface::Broker(Index::shared()))
+            .broker_client(LocalBroker::shared(Index::shared()))
             .interval(100, Some(200))
             .stream_mode(StreamMode::Historical)
             .start();
@@ -1328,7 +1329,7 @@ mod tests {
         let path = write_keepalives(&dir, "u.mrt", &[10, 20, 30]);
         let idx = one_file_index(&path, 0, 300, 40);
         let mut s = BgpStream::builder()
-            .data_interface(DataInterface::Broker(idx.clone()))
+            .broker_client(LocalBroker::shared(idx.clone()))
             .live(0)
             .watermark_release()
             .clock(Clock::manual(50))
@@ -1357,14 +1358,14 @@ mod tests {
     #[test]
     fn batch_step_reports_end_on_historical_exhaustion() {
         let mut s = BgpStream::builder()
-            .data_interface(DataInterface::Broker(Index::shared()))
+            .broker_client(LocalBroker::shared(Index::shared()))
             .interval(0, Some(1000))
             .start();
         assert!(matches!(s.next_batch_step(4), BatchStep::End));
         assert_eq!(s.released_through(), u64::MAX);
         // max == 0 never touches the stream.
         let mut s2 = BgpStream::builder()
-            .data_interface(DataInterface::Broker(Index::shared()))
+            .broker_client(LocalBroker::shared(Index::shared()))
             .live(0)
             .clock(Clock::Fixed(0))
             .start();
@@ -1383,7 +1384,7 @@ mod tests {
         let idx = one_file_index(&early, 0, 300, 400);
         let clock = Clock::manual(broker::index::DEFAULT_WINDOW + 600);
         let mut s = BgpStream::builder()
-            .data_interface(DataInterface::Broker(idx.clone()))
+            .broker_client(LocalBroker::shared(idx.clone()))
             .live(0)
             .clock(clock.clone())
             .live_grace(500)
@@ -1428,7 +1429,7 @@ mod tests {
         // Clock far enough that windows [0, w) and [w, 2w) released.
         let clock = Clock::manual(2 * window + 600);
         let mut s = BgpStream::builder()
-            .data_interface(DataInterface::Broker(idx.clone()))
+            .broker_client(LocalBroker::shared(idx.clone()))
             .live(0)
             .clock(clock.clone())
             .live_grace(500)
@@ -1485,7 +1486,7 @@ mod tests {
         let idx = one_file_index(&path, 0, 300, 40);
         idx.advance_watermark(u64::MAX);
         let mut s = BgpStream::builder()
-            .data_interface(DataInterface::Broker(idx))
+            .broker_client(LocalBroker::shared(idx))
             .live(0)
             .watermark_release()
             .clock(Clock::manual(50))
@@ -1558,7 +1559,7 @@ mod tests {
     #[test]
     fn historical_stream_is_unaffected_by_resume_lease() {
         let s = BgpStream::builder()
-            .data_interface(DataInterface::Broker(Index::shared()))
+            .broker_client(LocalBroker::shared(Index::shared()))
             .interval(0, Some(1000))
             .resume_live_lease(42)
             .start();
@@ -1571,7 +1572,7 @@ mod tests {
         // Degenerate but must not hang: fixed clock can never allow
         // the next live window, and nothing will be published.
         let mut s = BgpStream::builder()
-            .data_interface(DataInterface::Broker(Index::shared()))
+            .broker_client(LocalBroker::shared(Index::shared()))
             .live(0)
             .clock(Clock::Fixed(0))
             .poll_interval(Duration::from_millis(1))

@@ -12,7 +12,7 @@ use bgp_types::{AsPath, Asn, BgpMessage, BgpUpdate, PathAttributes};
 use bgpstream::record::DumpPosition;
 use bgpstream::sort::read_single_file_with;
 use bgpstream::{BgpStream, BgpStreamElem, BgpStreamRecord, DecodeMode, Filters, RecordStatus};
-use broker::{DataInterface, DumpMeta, DumpType, Index, SourceId};
+use broker::{DumpMeta, DumpType, Index, LocalBroker, SourceId};
 use flate_lite::{write::GzEncoder, Compression};
 use mrt::table_dump_v2::TableDumpV2;
 use mrt::{Bgp4mp, MrtRecord, MrtWriter, PeerEntry, PeerIndexTable, RibEntry, RibRow};
@@ -300,7 +300,7 @@ fn broker_stream_agrees_across_modes() {
         idx.register(meta(&p1, DumpType::Updates, "rrc01"));
         idx.register(meta(&p2, DumpType::Rib, "rrc00"));
         let mut stream = BgpStream::builder()
-            .data_interface(DataInterface::Broker(idx))
+            .broker_client(LocalBroker::shared(idx))
             .interval(0, Some(900))
             .decode_mode(mode)
             .start();

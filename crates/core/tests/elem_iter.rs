@@ -5,7 +5,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use bgpstream::BgpStream;
-use broker::{DataInterface, DumpType, Index};
+use broker::{DumpType, Index, LocalBroker};
 use collector_sim::{standard_collectors, SimConfig, Simulator};
 use topology::control::ControlPlane;
 use topology::gen::{generate, TopologyConfig};
@@ -35,7 +35,7 @@ fn next_elem_matches_nested_loops() {
 
     let build = || {
         BgpStream::builder()
-            .data_interface(DataInterface::Broker(idx.clone()))
+            .broker_client(LocalBroker::shared(idx.clone()))
             .record_type(DumpType::Rib)
             .interval(0, Some(600))
             .start()

@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use bgp_types::trie::PrefixMatch;
 use bgpstream::{BgpStream, Clock, ElemType, RecordStatus};
-use broker::{DataInterface, DumpType, Index};
+use broker::{DumpType, Index, LocalBroker};
 use collector_sim::{standard_collectors, SimConfig, Simulator};
 use topology::control::ControlPlane;
 use topology::events::{Event, EventKind, Scenario};
@@ -57,7 +57,7 @@ fn build_world(tag: &str, seed: u64, horizon: u64) -> (Arc<Index>, PathBuf) {
 fn historical_stream_is_time_sorted_across_collectors() {
     let (idx, dir) = build_world("sorted", 31, 3600);
     let mut stream = BgpStream::builder()
-        .data_interface(DataInterface::Broker(idx))
+        .broker_client(LocalBroker::shared(idx))
         .record_type(DumpType::Updates)
         .interval(0, Some(3600))
         .start();
@@ -94,7 +94,7 @@ fn historical_stream_is_time_sorted_across_collectors() {
 fn rib_and_updates_interleave_and_positions_mark_dumps() {
     let (idx, dir) = build_world("interleave", 32, 3600);
     let mut stream = BgpStream::builder()
-        .data_interface(DataInterface::Broker(idx))
+        .broker_client(LocalBroker::shared(idx))
         .interval(0, Some(3600))
         .start();
     let mut rib_starts = 0;
@@ -131,7 +131,7 @@ fn prefix_filter_limits_elems() {
     let cp = ControlPlane::new(Arc::new(generate(&TopologyConfig::tiny(33))), u64::MAX);
     let target = cp.topology().nodes[12].prefixes_v4[0].prefix;
     let mut stream = BgpStream::builder()
-        .data_interface(DataInterface::Broker(idx))
+        .broker_client(LocalBroker::shared(idx))
         .interval(0, Some(1800))
         .filter_prefix(target, PrefixMatch::MoreSpecific)
         .start();
@@ -162,7 +162,7 @@ fn corrupted_files_surface_as_invalid_records() {
     sim.attach_index(idx.clone());
     sim.run_until(20);
     let mut stream = BgpStream::builder()
-        .data_interface(DataInterface::Broker(idx))
+        .broker_client(LocalBroker::shared(idx))
         .interval(0, Some(3600))
         .start();
     let mut corrupt = 0;
@@ -192,7 +192,7 @@ fn live_stream_delivers_as_clock_advances() {
     let idx2 = idx.clone();
     let reader = std::thread::spawn(move || {
         let mut stream = BgpStream::builder()
-            .data_interface(DataInterface::Broker(idx2))
+            .broker_client(LocalBroker::shared(idx2))
             .record_type(DumpType::Updates)
             .project("ris")
             .live(0)
@@ -250,7 +250,7 @@ fn withdrawal_events_visible_in_stream() {
     sim.schedule(&sc);
     sim.run_until(900);
     let mut stream = BgpStream::builder()
-        .data_interface(DataInterface::Broker(idx))
+        .broker_client(LocalBroker::shared(idx))
         .record_type(DumpType::Updates)
         .interval(0, Some(900))
         .filter_prefix(prefix, PrefixMatch::Exact)

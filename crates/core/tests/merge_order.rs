@@ -10,7 +10,7 @@ use std::sync::Arc;
 use bgp_types::{AsPath, Asn, BgpMessage, BgpUpdate, PathAttributes};
 use bgpstream::sort::{partition_overlap_groups, GroupMerger};
 use bgpstream::{BgpStream, Filters};
-use broker::{DataInterface, DumpMeta, DumpType, Index};
+use broker::{DumpMeta, DumpType, Index, LocalBroker};
 use mrt::{Bgp4mp, MrtRecord, MrtWriter};
 use proptest::prelude::*;
 
@@ -216,7 +216,7 @@ proptest! {
             idx.register(m.clone());
         }
         let mut stream = BgpStream::builder()
-            .data_interface(DataInterface::Broker(idx))
+            .broker_client(LocalBroker::shared(idx))
             .interval(0, Some(10_000))
             .start();
         let mut ts = Vec::new();
@@ -239,7 +239,7 @@ proptest! {
         }
         let build = |idx: &std::sync::Arc<Index>| {
             BgpStream::builder()
-                .data_interface(DataInterface::Broker(idx.clone()))
+                .broker_client(LocalBroker::shared(idx.clone()))
                 .interval(0, Some(10_000))
                 .start()
         };

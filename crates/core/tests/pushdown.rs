@@ -6,7 +6,7 @@
 
 use bgp_types::trie::PrefixMatch;
 use bgp_types::{AsPath, Asn, BgpMessage, BgpUpdate, Community, PathAttributes, Prefix};
-use bgpstream::elem::extract_elems;
+use bgpstream::elem::extract;
 use bgpstream::record::RecordStatus;
 use bgpstream::sort::read_single_file;
 use bgpstream::{AsPathRegex, CommunityFilter, ElemType, Filters, IpVersion};
@@ -228,7 +228,7 @@ proptest! {
                 continue;
             };
             if !compiled.record_may_match(&view, Some(&table)) {
-                let extracted = extract_elems(rec, Some(&table));
+                let extracted = extract(rec, Some(&table));
                 for elem in &extracted.elems {
                     prop_assert!(
                         !filters.matches(elem),
@@ -238,7 +238,7 @@ proptest! {
             }
             // The compiled per-elem filter agrees with the
             // interpreted one on every extracted elem.
-            let extracted = extract_elems(rec, Some(&table));
+            let extracted = extract(rec, Some(&table));
             for elem in &extracted.elems {
                 prop_assert_eq!(compiled.matches(elem), filters.matches(elem));
             }

@@ -13,153 +13,17 @@
 //! died, and [`seal_frame`]/[`open_frame`] add the checksum envelope
 //! the supervisor uses to reject checkpoints torn mid-flush.
 
-use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
-
 use bgp_types::{AsPath, Asn, Prefix};
 use bytes::{Buf, BufMut, BytesMut};
 
-/// Append a prefix in the queue wire form (`v4 flag, length, raw
-/// bits`) — the same bytes [`encode_cells`] puts between VP and path.
-pub fn put_prefix(out: &mut BytesMut, prefix: &Prefix) {
-    out.put_u8(prefix.is_ipv4() as u8);
-    out.put_u8(prefix.len());
-    out.put_u128(prefix.raw_bits());
-}
-
-/// Decode a [`put_prefix`] prefix, advancing `buf` past it.
-pub fn get_prefix(buf: &mut &[u8]) -> Result<Prefix, String> {
-    if buf.len() < 1 + 1 + 16 {
-        return Err("truncated prefix".into());
-    }
-    let v4 = buf.get_u8() == 1;
-    let len = buf.get_u8();
-    let bits = buf.get_u128();
-    Ok(if v4 {
-        Prefix::v4(Ipv4Addr::from((bits >> 96) as u32), len)
-    } else {
-        Prefix::v6(Ipv6Addr::from(bits), len)
-    })
-}
-
-/// Append an IP address (`v4 flag` + 16 bytes; v4 occupies the high
-/// 32 bits like [`Prefix::raw_bits`] does).
-pub fn put_ip(out: &mut BytesMut, ip: &IpAddr) {
-    match ip {
-        IpAddr::V4(v4) => {
-            out.put_u8(1);
-            out.put_u128((u32::from(*v4) as u128) << 96);
-        }
-        IpAddr::V6(v6) => {
-            out.put_u8(0);
-            out.put_u128(u128::from(*v6));
-        }
-    }
-}
-
-/// Decode a [`put_ip`] address, advancing `buf` past it.
-pub fn get_ip(buf: &mut &[u8]) -> Result<IpAddr, String> {
-    if buf.len() < 1 + 16 {
-        return Err("truncated ip".into());
-    }
-    let v4 = buf.get_u8() == 1;
-    let bits = buf.get_u128();
-    Ok(if v4 {
-        IpAddr::V4(Ipv4Addr::from((bits >> 96) as u32))
-    } else {
-        IpAddr::V6(Ipv6Addr::from(bits))
-    })
-}
-
-/// Append an optional AS path in the queue wire form: hop count (or
-/// `u16::MAX` for "withdrawn"/absent) then one `u32` per hop — the
-/// same bytes [`encode_cells`] writes for a cell's path.
-pub fn put_route(out: &mut BytesMut, path: &Option<AsPath>) {
-    match path {
-        None => out.put_u16(u16::MAX),
-        Some(p) => {
-            let hops: Vec<Asn> = p.asns().collect();
-            out.put_u16(hops.len() as u16);
-            for h in hops {
-                out.put_u32(h.0);
-            }
-        }
-    }
-}
-
-/// Decode a [`put_route`] optional path, advancing `buf` past it.
-pub fn get_route(buf: &mut &[u8]) -> Result<Option<AsPath>, String> {
-    if buf.len() < 2 {
-        return Err("truncated path count".into());
-    }
-    let hop_count = buf.get_u16();
-    if hop_count == u16::MAX {
-        return Ok(None);
-    }
-    if buf.len() < hop_count as usize * 4 {
-        return Err("truncated path".into());
-    }
-    let mut hops = Vec::with_capacity(hop_count as usize);
-    for _ in 0..hop_count {
-        hops.push(buf.get_u32());
-    }
-    Ok(Some(AsPath::from_sequence(hops)))
-}
-
-/// The canonical ordering key for prefix-keyed checkpoint sections
-/// (v4 before v6, then length, then bits — the [`sort_cells`] order).
-pub fn prefix_sort_key(p: &Prefix) -> (bool, u8, u128) {
-    (!p.is_ipv4(), p.len(), p.raw_bits())
-}
-
-/// The canonical ordering key for IP-keyed checkpoint sections.
-pub fn ip_sort_key(ip: &IpAddr) -> (bool, u128) {
-    match ip {
-        IpAddr::V4(v4) => (false, (u32::from(*v4) as u128) << 96),
-        IpAddr::V6(v6) => (true, u128::from(*v6)),
-    }
-}
-
-/// FNV-1a over `bytes`; the checkpoint frame checksum.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// Wrap a checkpoint payload in its durable frame: length prefix,
-/// payload, FNV-1a checksum. A write torn anywhere mid-flush — short
-/// payload, clipped checksum, flipped bytes — fails [`open_frame`].
-pub fn seal_frame(payload: &[u8]) -> Vec<u8> {
-    let mut out = BytesMut::with_capacity(payload.len() + 12);
-    out.put_u32(payload.len() as u32);
-    out.put_slice(payload);
-    out.put_u64(fnv1a(payload));
-    out.to_vec()
-}
-
-/// Validate and unwrap a [`seal_frame`] envelope.
-pub fn open_frame(frame: &[u8]) -> Result<&[u8], String> {
-    if frame.len() < 12 {
-        return Err("checkpoint frame truncated".into());
-    }
-    let mut buf = frame;
-    let len = buf.get_u32() as usize;
-    if buf.len() != len + 8 {
-        return Err(format!(
-            "checkpoint frame length mismatch: header says {len}, {} present",
-            buf.len().saturating_sub(8)
-        ));
-    }
-    let (payload, mut tail) = buf.split_at(len);
-    let want = tail.get_u64();
-    if fnv1a(payload) != want {
-        return Err("checkpoint frame checksum mismatch (torn write)".into());
-    }
-    Ok(payload)
-}
+// The wire/checkpoint primitives themselves now live in the core
+// library (`bgpstream::codec`) so the RIB layer can seal snapshots
+// with the same vocabulary below the plugin runtime; re-exported here
+// so historical `corsaro::codec::*` call sites are unaffected.
+pub use bgpstream::codec::{
+    get_ip, get_prefix, get_route, ip_sort_key, open_frame, prefix_sort_key, put_ip, put_prefix,
+    put_route, seal_frame,
+};
 
 /// One changed (or full-table) cell: the state of `<prefix, VP>`.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -339,6 +203,7 @@ pub fn decode_meta(mut buf: &[u8]) -> Result<(String, u64), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::net::IpAddr;
 
     fn cells() -> Vec<DiffCell> {
         vec![

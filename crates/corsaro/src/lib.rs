@@ -20,6 +20,9 @@
 //!   Kafka-like queue;
 //! * [`tag`] — stateless classification/tagging plugins and the
 //!   tag-aware pipeline runner (§6.1's stateless plugin class);
+//! * [`ribfeed`] — the RIB-feeding plugin: runs a `rib::RibFold`
+//!   inside either runtime so live bin closes advance the queryable
+//!   RIB watermark (`rib::RibQuery` resolves against the same store);
 //! * [`runtime`] — the sharded multi-core runtime: fans the sorted
 //!   elem stream out to N shard workers (hash-partitioned by prefix
 //!   or by peer, declared per plugin via
@@ -32,6 +35,7 @@
 pub mod codec;
 pub mod pfxmonitor;
 pub mod pipeline;
+pub mod ribfeed;
 pub mod rt;
 pub mod runtime;
 pub mod stats;
@@ -39,6 +43,7 @@ pub mod tag;
 
 pub use pfxmonitor::{PfxMonitor, PfxPoint};
 pub use pipeline::{run_pipeline, run_pipeline_until, Partitioning, Plugin};
+pub use ribfeed::RibFeeder;
 pub use rt::{RtBinStats, RtErrorStats, RtPlugin};
 pub use runtime::{
     BinStatus, Chaos, KillSpec, LiveRunReport, RuntimeError, ShardedPlugin, ShardedRuntime,

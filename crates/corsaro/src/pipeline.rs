@@ -82,11 +82,11 @@ pub trait Plugin {
 ///
 /// ```
 /// use bgpstream::BgpStream;
-/// use broker::{DataInterface, Index};
+/// use broker::{Index, LocalBroker};
 /// use corsaro::{run_pipeline, ElemCounter};
 ///
 /// let mut stream = BgpStream::builder()
-///     .data_interface(DataInterface::Broker(Index::shared()))
+///     .broker_client(LocalBroker::shared(Index::shared()))
 ///     .interval(0, Some(3600))
 ///     .start();
 /// let mut stats = ElemCounter::new();
@@ -151,7 +151,7 @@ pub fn run_pipeline_until(
 mod tests {
     use super::*;
     use bgpstream::record::{DumpPosition, RecordStatus};
-    use broker::{DataInterface, DumpType, Index};
+    use broker::{DataInterface, DumpType, Index, LocalBroker};
 
     /// Collects the (record timestamps, bin boundaries) it sees.
     struct Probe {
@@ -174,7 +174,7 @@ mod tests {
     #[test]
     fn empty_stream_processes_nothing() {
         let mut stream = BgpStream::builder()
-            .data_interface(DataInterface::Broker(Index::shared()))
+            .broker_client(LocalBroker::shared(Index::shared()))
             .interval(0, Some(100))
             .start();
         let mut probe = Probe {

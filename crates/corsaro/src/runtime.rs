@@ -39,12 +39,12 @@
 //!
 //! ```
 //! use bgpstream::BgpStream;
-//! use broker::{DataInterface, Index};
+//! use broker::{Index, LocalBroker};
 //! use corsaro::runtime::ShardedRuntime;
 //! use corsaro::PfxMonitor;
 //!
 //! let mut stream = BgpStream::builder()
-//!     .data_interface(DataInterface::Broker(Index::shared()))
+//!     .broker_client(LocalBroker::shared(Index::shared()))
 //!     .interval(0, Some(3600))
 //!     .start();
 //! let mut monitor = PfxMonitor::new(["193.204.0.0/15".parse().unwrap()]);
@@ -370,12 +370,12 @@ impl Default for SupervisorConfig {
 ///
 /// ```
 /// use bgpstream::BgpStream;
-/// use broker::{DataInterface, Index};
+/// use broker::{Index, LocalBroker};
 /// use corsaro::runtime::{ShardedRuntime, Supervisor};
 /// use corsaro::PfxMonitor;
 ///
 /// let mut stream = BgpStream::builder()
-///     .data_interface(DataInterface::Broker(Index::shared()))
+///     .broker_client(LocalBroker::shared(Index::shared()))
 ///     .interval(0, Some(3600))
 ///     .start();
 /// let mut monitor = PfxMonitor::new(["193.204.0.0/15".parse().unwrap()]);

@@ -5,7 +5,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use bgpstream::BgpStream;
-use broker::{DataInterface, Index};
+use broker::{Index, LocalBroker};
 use collector_sim::{standard_collectors, SimConfig, Simulator};
 use corsaro::{run_pipeline, PfxMonitor, RtPlugin};
 use topology::control::ControlPlane;
@@ -58,7 +58,7 @@ fn pfxmonitor_detects_simulated_hijacks() {
     sim.run_until(6 * 3600);
 
     let mut stream = BgpStream::builder()
-        .data_interface(DataInterface::Broker(idx))
+        .broker_client(LocalBroker::shared(idx))
         .interval(0, Some(6 * 3600))
         .start();
     let mut monitor = PfxMonitor::new(ranges.iter().copied());
@@ -120,7 +120,7 @@ fn rt_plugin_reconstructs_tables_accurately_over_sim() {
     sim.run_until(9 * 3600);
 
     let mut stream = BgpStream::builder()
-        .data_interface(DataInterface::Broker(idx))
+        .broker_client(LocalBroker::shared(idx))
         .collector(&collector)
         .interval(0, Some(9 * 3600))
         .start();

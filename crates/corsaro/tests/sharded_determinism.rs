@@ -14,7 +14,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use bgpstream::BgpStream;
-use broker::{DataInterface, Index};
+use broker::{Index, LocalBroker};
 use bytes::{Buf, BufMut, BytesMut};
 use collector_sim::{standard_collectors, SimConfig, Simulator};
 use corsaro::runtime::{shard_of_prefix, ShardedPlugin, ShardedRuntime};
@@ -221,7 +221,7 @@ fn build_world(seed: u64) -> World {
 /// Run the plugin set sequentially (`workers == None`) or sharded.
 fn run_once(world: &World, workers: Option<(usize, usize, usize)>) -> RunOutput {
     let mut stream = BgpStream::builder()
-        .data_interface(DataInterface::Broker(world.index.clone()))
+        .broker_client(LocalBroker::shared(world.index.clone()))
         .interval(0, Some(world.horizon))
         .start();
     let mq = Cluster::shared();
@@ -275,7 +275,7 @@ fn run_once(world: &World, workers: Option<(usize, usize, usize)>) -> RunOutput 
 /// neither closes trailing empty bins the other does not.
 fn stop_after_last_record(world: &World, bin: u64) -> u64 {
     let mut stream = BgpStream::builder()
-        .data_interface(DataInterface::Broker(world.index.clone()))
+        .broker_client(LocalBroker::shared(world.index.clone()))
         .interval(0, Some(world.horizon))
         .start();
     let mut max = 0u64;
@@ -289,7 +289,7 @@ fn stop_after_last_record(world: &World, bin: u64) -> u64 {
 /// at `stop` (the reference the live runs must reproduce bin for bin).
 fn run_historical_until(world: &World, stop: u64) -> RunOutput {
     let mut stream = BgpStream::builder()
-        .data_interface(DataInterface::Broker(world.index.clone()))
+        .broker_client(LocalBroker::shared(world.index.clone()))
         .interval(0, Some(world.horizon))
         .start();
     let mq = Cluster::shared();
@@ -386,7 +386,7 @@ fn run_live_once(
     };
 
     let mut stream = BgpStream::builder()
-        .data_interface(DataInterface::Broker(live_index))
+        .broker_client(LocalBroker::shared(live_index))
         .live(0)
         .watermark_release()
         .clock(clock)
@@ -597,7 +597,7 @@ fn exhausted_restart_budget_degrades_to_partial_bins_without_wedging() {
         })
     };
     let mut stream = BgpStream::builder()
-        .data_interface(DataInterface::Broker(live_index))
+        .broker_client(LocalBroker::shared(live_index))
         .live(0)
         .watermark_release()
         .clock(clock)
@@ -625,7 +625,7 @@ fn exhausted_restart_budget_degrades_to_partial_bins_without_wedging() {
     // series is still identical to a sequential run.
     let (seq_series, seq_jitter_len) = {
         let mut stream = BgpStream::builder()
-            .data_interface(DataInterface::Broker(world.index.clone()))
+            .broker_client(LocalBroker::shared(world.index.clone()))
             .interval(0, Some(world.horizon))
             .start();
         let mut stats = ElemCounter::new();
@@ -709,7 +709,7 @@ fn unsupervised_worker_panic_is_a_typed_error_and_does_not_poison_reruns() {
     let world = build_world(29);
     let run = |poisonous: bool| {
         let mut stream = BgpStream::builder()
-            .data_interface(DataInterface::Broker(world.index.clone()))
+            .broker_client(LocalBroker::shared(world.index.clone()))
             .interval(0, Some(world.horizon))
             .start();
         let mut stats = ElemCounter::new();
@@ -762,7 +762,7 @@ fn run_live_shutdown_flag_exits_cleanly() {
     feeder.publish_until(world.horizon / 2);
     clock.advance_to(world.horizon / 2);
     let mut stream = BgpStream::builder()
-        .data_interface(DataInterface::Broker(live_index))
+        .broker_client(LocalBroker::shared(live_index))
         .live(0)
         .watermark_release()
         .clock(clock)
@@ -833,7 +833,7 @@ fn sharded_runtime_closes_empty_bins_like_the_sequential_runner() {
     let world = build_world(47);
     let run = |workers: Option<(usize, usize, usize)>| {
         let mut stream = BgpStream::builder()
-            .data_interface(DataInterface::Broker(world.index.clone()))
+            .broker_client(LocalBroker::shared(world.index.clone()))
             .interval(0, Some(world.horizon))
             .start();
         let mut stats = ElemCounter::new();
@@ -867,7 +867,7 @@ fn run_until_consumes_exactly_what_the_sequential_runner_would() {
     let stop = world.horizon / 2;
     let run = |workers: Option<usize>| {
         let mut stream = BgpStream::builder()
-            .data_interface(DataInterface::Broker(world.index.clone()))
+            .broker_client(LocalBroker::shared(world.index.clone()))
             .interval(0, Some(world.horizon))
             .start();
         let mut stats = ElemCounter::new();

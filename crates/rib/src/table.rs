@@ -1,0 +1,710 @@
+//! The Loc-RIB table: per-(collector, peer) routing state, the event
+//! vocabulary that mutates it, and its canonical serialization.
+//!
+//! One [`RibTable`] holds the reconstructed Loc-RIB of every vantage
+//! point the stream has shown: for each `(collector, peer)` pair a
+//! [`LocRib`] maps announced prefixes to their selected route.
+//! Mutation happens exclusively through [`RibTable::apply`] on a
+//! [`RibEvent`] — the same transition function runs under the
+//! historical fold, the live plugin, and query-time delta replay,
+//! which is what makes snapshot+delta resolution byte-identical to a
+//! full replay.
+//!
+//! Serialization is canonical: peers sort by `(collector name, peer
+//! address)`, routes by prefix, so two tables holding the same routes
+//! encode to the same bytes no matter what order events arrived in or
+//! how collector ids were interned.
+
+use std::net::IpAddr;
+use std::sync::Arc;
+
+use bgp_types::{AsPath, Asn, Community, CommunitySet, Prefix};
+use bgpstream::codec::{
+    get_ip, get_prefix, get_route, ip_sort_key, open_frame, prefix_sort_key, put_ip, put_prefix,
+    put_route, seal_frame,
+};
+use bytes::{Buf, BufMut, BytesMut};
+use fxhash::FxHashMap;
+
+/// Table serialization format version.
+const TABLE_VERSION: u8 = 1;
+
+/// One selected route as held in a peer's Loc-RIB.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RibRoute {
+    /// AS path of the selected route (absent on malformed originals).
+    pub path: Option<AsPath>,
+    /// Next hop, when the elem carried one.
+    pub next_hop: Option<IpAddr>,
+    /// Communities attached to the route.
+    pub communities: CommunitySet,
+    /// Timestamp of the elem that last announced/refreshed the route.
+    pub updated_at: u64,
+}
+
+impl RibRoute {
+    /// Origin AS of the path, if determinable.
+    pub fn origin_asn(&self) -> Option<Asn> {
+        self.path.as_ref().and_then(|p| p.origin())
+    }
+}
+
+/// What a [`RibEvent`] does to its peer's Loc-RIB.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RibAction {
+    /// Install (or implicitly replace) the route for a prefix. Both
+    /// RIB-dump rows (bootstrap) and announcements fold to this.
+    Announce {
+        /// The announced prefix.
+        prefix: Prefix,
+        /// The selected route.
+        route: RibRoute,
+    },
+    /// Remove the route for a prefix (no-op when absent).
+    Withdraw {
+        /// The withdrawn prefix.
+        prefix: Prefix,
+    },
+    /// The peer session reached Established.
+    PeerUp,
+    /// The peer session left Established: the peer's table is cleared
+    /// (routes learned from a down session are stale by definition).
+    PeerDown,
+}
+
+/// One entry of the RIB journal: a timestamped state transition of a
+/// single `(collector, peer)` Loc-RIB.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RibEvent {
+    /// Elem timestamp (the sorted stream makes these monotone).
+    pub time: u64,
+    /// Collector the vantage point peers with.
+    pub collector: Arc<str>,
+    /// Vantage-point address.
+    pub peer: IpAddr,
+    /// Vantage-point AS number.
+    pub peer_asn: Asn,
+    /// The transition.
+    pub action: RibAction,
+}
+
+impl RibEvent {
+    /// The prefix the event touches, when it touches one.
+    pub fn prefix(&self) -> Option<&Prefix> {
+        match &self.action {
+            RibAction::Announce { prefix, .. } | RibAction::Withdraw { prefix } => Some(prefix),
+            RibAction::PeerUp | RibAction::PeerDown => None,
+        }
+    }
+
+    /// Append the wire form to `out` (used by fold checkpoints).
+    pub fn encode_into(&self, out: &mut BytesMut) {
+        let kind: u8 = match &self.action {
+            RibAction::Announce { .. } => 0,
+            RibAction::Withdraw { .. } => 1,
+            RibAction::PeerUp => 2,
+            RibAction::PeerDown => 3,
+        };
+        out.put_u8(kind);
+        out.put_u64(self.time);
+        out.put_u16(self.collector.len() as u16);
+        out.put_slice(self.collector.as_bytes());
+        put_ip(out, &self.peer);
+        out.put_u32(self.peer_asn.0);
+        match &self.action {
+            RibAction::Announce { prefix, route } => {
+                put_prefix(out, prefix);
+                put_rib_route(out, route);
+            }
+            RibAction::Withdraw { prefix } => put_prefix(out, prefix),
+            RibAction::PeerUp | RibAction::PeerDown => {}
+        }
+    }
+
+    /// Decode one event, advancing `buf` past it.
+    pub fn decode(buf: &mut &[u8]) -> Result<RibEvent, String> {
+        if buf.len() < 1 + 8 + 2 {
+            return Err("truncated rib event header".into());
+        }
+        let kind = buf.get_u8();
+        let time = buf.get_u64();
+        let name_len = buf.get_u16() as usize;
+        if buf.len() < name_len {
+            return Err("truncated rib event collector".into());
+        }
+        let collector: Arc<str> = String::from_utf8_lossy(&buf[..name_len])
+            .into_owned()
+            .into();
+        buf.advance(name_len);
+        let peer = get_ip(buf)?;
+        if buf.len() < 4 {
+            return Err("truncated rib event peer asn".into());
+        }
+        let peer_asn = Asn(buf.get_u32());
+        let action = match kind {
+            0 => RibAction::Announce {
+                prefix: get_prefix(buf)?,
+                route: get_rib_route(buf)?,
+            },
+            1 => RibAction::Withdraw {
+                prefix: get_prefix(buf)?,
+            },
+            2 => RibAction::PeerUp,
+            3 => RibAction::PeerDown,
+            k => return Err(format!("unknown rib event kind {k}")),
+        };
+        Ok(RibEvent {
+            time,
+            collector,
+            peer,
+            peer_asn,
+            action,
+        })
+    }
+}
+
+/// Append a route's wire form to `out`.
+fn put_rib_route(out: &mut BytesMut, route: &RibRoute) {
+    put_route(out, &route.path);
+    match &route.next_hop {
+        Some(ip) => {
+            out.put_u8(1);
+            put_ip(out, ip);
+        }
+        None => out.put_u8(0),
+    }
+    out.put_u16(route.communities.len() as u16);
+    for c in route.communities.iter() {
+        out.put_u16(c.asn);
+        out.put_u16(c.value);
+    }
+    out.put_u64(route.updated_at);
+}
+
+/// Decode a [`put_rib_route`] route, advancing `buf` past it.
+fn get_rib_route(buf: &mut &[u8]) -> Result<RibRoute, String> {
+    let path = get_route(buf)?;
+    if buf.is_empty() {
+        return Err("truncated route next-hop flag".into());
+    }
+    let next_hop = if buf.get_u8() == 1 {
+        Some(get_ip(buf)?)
+    } else {
+        None
+    };
+    if buf.len() < 2 {
+        return Err("truncated route community count".into());
+    }
+    let n = buf.get_u16() as usize;
+    if buf.len() < n * 4 {
+        return Err("truncated route communities".into());
+    }
+    let mut comms = Vec::with_capacity(n);
+    for _ in 0..n {
+        let asn = buf.get_u16();
+        let value = buf.get_u16();
+        comms.push(Community { asn, value });
+    }
+    if buf.len() < 8 {
+        return Err("truncated route timestamp".into());
+    }
+    Ok(RibRoute {
+        path,
+        next_hop,
+        communities: CommunitySet::from_iter(comms),
+        updated_at: buf.get_u64(),
+    })
+}
+
+/// One vantage point's reconstructed Loc-RIB.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LocRib {
+    /// The vantage point's AS number (latest seen).
+    pub peer_asn: Asn,
+    /// Whether the session is believed Established. Routes imply up;
+    /// a `PeerDown` clears the table until the next up/announce.
+    pub up: bool,
+    routes: FxHashMap<Prefix, RibRoute>,
+}
+
+impl LocRib {
+    fn new(peer_asn: Asn) -> Self {
+        LocRib {
+            peer_asn,
+            up: true,
+            routes: FxHashMap::default(),
+        }
+    }
+
+    /// Number of installed routes.
+    pub fn route_count(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// The installed route for a prefix, if any.
+    pub fn route(&self, prefix: &Prefix) -> Option<&RibRoute> {
+        self.routes.get(prefix)
+    }
+
+    /// Iterate installed `(prefix, route)` pairs (hash order).
+    pub fn routes(&self) -> impl Iterator<Item = (&Prefix, &RibRoute)> {
+        self.routes.iter()
+    }
+}
+
+/// The full reconstructed state: every `(collector, peer)` Loc-RIB.
+///
+/// Collector names are interned to a `u16` id so per-event lookups
+/// hash a `(u16, IpAddr)` key instead of a string. Ids never appear
+/// in the canonical serialization (sections sort by *name*), so two
+/// tables that interned in different orders still encode identically.
+#[derive(Clone, Debug, Default)]
+pub struct RibTable {
+    collectors: Vec<Arc<str>>,
+    ids: FxHashMap<Arc<str>, u16>,
+    peers: FxHashMap<(u16, IpAddr), LocRib>,
+}
+
+impl RibTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        RibTable::default()
+    }
+
+    fn intern(&mut self, name: &Arc<str>) -> u16 {
+        if let Some(&id) = self.ids.get(&**name) {
+            return id;
+        }
+        let id = self.collectors.len() as u16;
+        self.collectors.push(name.clone());
+        self.ids.insert(name.clone(), id);
+        id
+    }
+
+    /// Apply one journal event. The single state-transition function:
+    /// fold, restore and query-time replay all route through here.
+    pub fn apply(&mut self, ev: &RibEvent) {
+        let cid = self.intern(&ev.collector);
+        let rib = self
+            .peers
+            .entry((cid, ev.peer))
+            .or_insert_with(|| LocRib::new(ev.peer_asn));
+        rib.peer_asn = ev.peer_asn;
+        match &ev.action {
+            RibAction::Announce { prefix, route } => {
+                rib.up = true;
+                // Implicit replace: a newer selection for the same
+                // prefix overwrites whatever was installed.
+                rib.routes.insert(*prefix, route.clone());
+            }
+            RibAction::Withdraw { prefix } => {
+                rib.routes.remove(prefix);
+            }
+            RibAction::PeerUp => rib.up = true,
+            RibAction::PeerDown => {
+                rib.up = false;
+                rib.routes.clear();
+            }
+        }
+    }
+
+    /// Number of known vantage points.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Total installed routes across all vantage points.
+    pub fn route_count(&self) -> usize {
+        self.peers.values().map(|p| p.routes.len()).sum()
+    }
+
+    /// The Loc-RIB of one vantage point.
+    pub fn loc_rib(&self, collector: &str, peer: &IpAddr) -> Option<&LocRib> {
+        let id = *self.ids.get(collector)?;
+        self.peers.get(&(id, *peer))
+    }
+
+    /// Materialize the canonically ordered view of the whole table.
+    pub fn view(&self, at: u64) -> TableView {
+        let mut rows = Vec::with_capacity(self.route_count());
+        for ((cid, peer), rib) in &self.peers {
+            let collector = self.collectors[*cid as usize].clone();
+            for (prefix, route) in &rib.routes {
+                rows.push(TableRow {
+                    collector: collector.clone(),
+                    peer: *peer,
+                    peer_asn: rib.peer_asn,
+                    prefix: *prefix,
+                    route: route.clone(),
+                });
+            }
+        }
+        rows.sort_by(|a, b| {
+            (
+                &*a.collector,
+                ip_sort_key(&a.peer),
+                prefix_sort_key(&a.prefix),
+            )
+                .cmp(&(
+                    &*b.collector,
+                    ip_sort_key(&b.peer),
+                    prefix_sort_key(&b.prefix),
+                ))
+        });
+        TableView { at, rows }
+    }
+
+    /// Canonical serialization: sections sorted by `(collector name,
+    /// peer address)`, routes by prefix. Intern order does not leak.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut keys: Vec<&(u16, IpAddr)> = self.peers.keys().collect();
+        keys.sort_by(|a, b| {
+            (&*self.collectors[a.0 as usize], ip_sort_key(&a.1))
+                .cmp(&(&*self.collectors[b.0 as usize], ip_sort_key(&b.1)))
+        });
+        let mut out = BytesMut::new();
+        out.put_u8(TABLE_VERSION);
+        out.put_u32(keys.len() as u32);
+        for key in keys {
+            let name = &self.collectors[key.0 as usize];
+            // Present by construction: the key came out of the map.
+            let Some(rib) = self.peers.get(key) else {
+                continue;
+            };
+            out.put_u16(name.len() as u16);
+            out.put_slice(name.as_bytes());
+            put_ip(&mut out, &key.1);
+            out.put_u32(rib.peer_asn.0);
+            out.put_u8(rib.up as u8);
+            let mut prefixes: Vec<&Prefix> = rib.routes.keys().collect();
+            prefixes.sort_by_key(|p| prefix_sort_key(p));
+            out.put_u32(prefixes.len() as u32);
+            for p in prefixes {
+                let Some(route) = rib.routes.get(p) else {
+                    continue;
+                };
+                put_prefix(&mut out, p);
+                put_rib_route(&mut out, route);
+            }
+        }
+        out.to_vec()
+    }
+
+    /// Decode an [`encode`](RibTable::encode)d table.
+    pub fn decode(mut buf: &[u8]) -> Result<RibTable, String> {
+        if buf.len() < 5 {
+            return Err("truncated rib table header".into());
+        }
+        let version = buf.get_u8();
+        if version != TABLE_VERSION {
+            return Err(format!("unsupported rib table version {version}"));
+        }
+        let peer_count = buf.get_u32() as usize;
+        let mut table = RibTable::new();
+        for _ in 0..peer_count {
+            if buf.len() < 2 {
+                return Err("truncated rib table collector".into());
+            }
+            let name_len = buf.get_u16() as usize;
+            if buf.len() < name_len {
+                return Err("truncated rib table collector name".into());
+            }
+            let name: Arc<str> = String::from_utf8_lossy(&buf[..name_len])
+                .into_owned()
+                .into();
+            buf.advance(name_len);
+            let peer = get_ip(&mut buf)?;
+            if buf.len() < 4 + 1 + 4 {
+                return Err("truncated rib table peer".into());
+            }
+            let peer_asn = Asn(buf.get_u32());
+            let up = buf.get_u8() == 1;
+            let route_count = buf.get_u32() as usize;
+            let cid = table.intern(&name);
+            let mut rib = LocRib::new(peer_asn);
+            rib.up = up;
+            rib.routes.reserve(route_count);
+            for _ in 0..route_count {
+                let prefix = get_prefix(&mut buf)?;
+                let route = get_rib_route(&mut buf)?;
+                rib.routes.insert(prefix, route);
+            }
+            table.peers.insert((cid, peer), rib);
+        }
+        if !buf.is_empty() {
+            return Err("rib table: trailing bytes".into());
+        }
+        Ok(table)
+    }
+
+    /// Seal the canonical serialization into a durable checksum frame
+    /// — the restartable snapshot artifact.
+    pub fn seal(&self) -> Vec<u8> {
+        seal_frame(&self.encode())
+    }
+
+    /// Open and decode a [`seal`](RibTable::seal)ed frame, rejecting
+    /// torn writes.
+    pub fn unseal(frame: &[u8]) -> Result<RibTable, String> {
+        RibTable::decode(open_frame(frame)?)
+    }
+}
+
+/// One row of a resolved [`TableView`]: a `(collector, peer, prefix)`
+/// cell and its selected route.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TableRow {
+    /// Collector the vantage point peers with.
+    pub collector: Arc<str>,
+    /// Vantage-point address.
+    pub peer: IpAddr,
+    /// Vantage-point AS number.
+    pub peer_asn: Asn,
+    /// The prefix.
+    pub prefix: Prefix,
+    /// The selected route.
+    pub route: RibRoute,
+}
+
+/// The routing table as of a queried instant, in canonical row order
+/// `(collector, peer, prefix)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TableView {
+    /// The instant the view reflects.
+    pub at: u64,
+    /// The rows.
+    pub rows: Vec<TableRow>,
+}
+
+impl TableView {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no routes matched.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Distinct origin ASNs across the rows, sorted — the MOAS
+    /// primitive (a prefix-filtered view with ≥ 2 origins is a
+    /// multi-origin prefix).
+    pub fn origin_asns(&self) -> Vec<Asn> {
+        let mut origins: Vec<Asn> = self
+            .rows
+            .iter()
+            .filter_map(|r| r.route.origin_asn())
+            .collect();
+        origins.sort_unstable();
+        origins.dedup();
+        origins
+    }
+
+    /// Canonical byte encoding of the view — the artifact equivalence
+    /// proofs compare (`snapshot+delta` vs full replay must match
+    /// byte-for-byte).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = BytesMut::new();
+        out.put_u64(self.at);
+        out.put_u32(self.rows.len() as u32);
+        for row in &self.rows {
+            out.put_u16(row.collector.len() as u16);
+            out.put_slice(row.collector.as_bytes());
+            put_ip(&mut out, &row.peer);
+            out.put_u32(row.peer_asn.0);
+            put_prefix(&mut out, &row.prefix);
+            put_rib_route(&mut out, &row.route);
+        }
+        out.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time: u64, collector: &str, peer: &str, asn: u32, action: RibAction) -> RibEvent {
+        RibEvent {
+            time,
+            collector: collector.into(),
+            peer: peer.parse().unwrap(),
+            peer_asn: Asn(asn),
+            action,
+        }
+    }
+
+    fn announce(prefix: &str, path: &[u32], at: u64) -> RibAction {
+        RibAction::Announce {
+            prefix: prefix.parse().unwrap(),
+            route: RibRoute {
+                path: Some(AsPath::from_sequence(path.iter().copied())),
+                next_hop: Some("10.0.0.1".parse().unwrap()),
+                communities: CommunitySet::from_iter([Community {
+                    asn: 64500,
+                    value: 7,
+                }]),
+                updated_at: at,
+            },
+        }
+    }
+
+    #[test]
+    fn announce_withdraw_replace_fold() {
+        let mut t = RibTable::new();
+        t.apply(&ev(
+            10,
+            "rrc00",
+            "10.0.0.9",
+            65001,
+            announce("1.0.0.0/8", &[65001, 20], 10),
+        ));
+        t.apply(&ev(
+            11,
+            "rrc00",
+            "10.0.0.9",
+            65001,
+            announce("2.0.0.0/8", &[65001, 30], 11),
+        ));
+        assert_eq!(t.route_count(), 2);
+        // Implicit replace.
+        t.apply(&ev(
+            12,
+            "rrc00",
+            "10.0.0.9",
+            65001,
+            announce("1.0.0.0/8", &[65001, 40], 12),
+        ));
+        assert_eq!(t.route_count(), 2);
+        let rib = t.loc_rib("rrc00", &"10.0.0.9".parse().unwrap()).unwrap();
+        let route = rib.route(&"1.0.0.0/8".parse().unwrap()).unwrap();
+        assert_eq!(route.origin_asn(), Some(Asn(40)));
+        // Withdraw removes; unknown withdraw is a no-op.
+        t.apply(&ev(
+            13,
+            "rrc00",
+            "10.0.0.9",
+            65001,
+            RibAction::Withdraw {
+                prefix: "2.0.0.0/8".parse().unwrap(),
+            },
+        ));
+        t.apply(&ev(
+            14,
+            "rrc00",
+            "10.0.0.9",
+            65001,
+            RibAction::Withdraw {
+                prefix: "9.0.0.0/8".parse().unwrap(),
+            },
+        ));
+        assert_eq!(t.route_count(), 1);
+        // Session down clears the peer's table.
+        t.apply(&ev(15, "rrc00", "10.0.0.9", 65001, RibAction::PeerDown));
+        assert_eq!(t.route_count(), 0);
+        assert!(!t.loc_rib("rrc00", &"10.0.0.9".parse().unwrap()).unwrap().up);
+    }
+
+    #[test]
+    fn encode_is_canonical_across_intern_orders() {
+        let e1 = ev(
+            10,
+            "rrc00",
+            "10.0.0.9",
+            65001,
+            announce("1.0.0.0/8", &[65001, 20], 10),
+        );
+        let e2 = ev(
+            11,
+            "route-views2",
+            "2001:db8::9",
+            65002,
+            announce("2001:db8::/32", &[65002, 21], 11),
+        );
+        let mut a = RibTable::new();
+        a.apply(&e1);
+        a.apply(&e2);
+        let mut b = RibTable::new();
+        b.apply(&e2);
+        b.apply(&e1);
+        assert_eq!(a.encode(), b.encode());
+        assert_eq!(a.view(11).encode(), b.view(11).encode());
+    }
+
+    #[test]
+    fn table_seal_roundtrip_rejects_torn() {
+        let mut t = RibTable::new();
+        t.apply(&ev(
+            10,
+            "rrc00",
+            "10.0.0.9",
+            65001,
+            announce("1.0.0.0/8", &[65001, 20], 10),
+        ));
+        t.apply(&ev(11, "rrc00", "10.0.0.9", 65001, RibAction::PeerUp));
+        let frame = t.seal();
+        let back = RibTable::unseal(&frame).unwrap();
+        assert_eq!(back.encode(), t.encode());
+        assert!(RibTable::unseal(&frame[..frame.len() - 2]).is_err());
+        let mut flipped = frame.clone();
+        flipped[9] ^= 0x10;
+        assert!(RibTable::unseal(&flipped).is_err());
+    }
+
+    #[test]
+    fn event_codec_roundtrip() {
+        let events = vec![
+            ev(
+                10,
+                "rrc00",
+                "10.0.0.9",
+                65001,
+                announce("1.0.0.0/8", &[65001, 20], 10),
+            ),
+            ev(
+                11,
+                "rrc01",
+                "2001:db8::9",
+                65002,
+                RibAction::Withdraw {
+                    prefix: "2001:db8::/32".parse().unwrap(),
+                },
+            ),
+            ev(12, "rrc02", "10.0.0.7", 65003, RibAction::PeerUp),
+            ev(13, "rrc02", "10.0.0.7", 65003, RibAction::PeerDown),
+        ];
+        let mut out = BytesMut::new();
+        for e in &events {
+            e.encode_into(&mut out);
+        }
+        let bytes = out.to_vec();
+        let mut buf = &bytes[..];
+        for e in &events {
+            assert_eq!(&RibEvent::decode(&mut buf).unwrap(), e);
+        }
+        assert!(buf.is_empty());
+        assert!(RibEvent::decode(&mut buf).is_err());
+    }
+
+    #[test]
+    fn moas_origins_surface_in_view() {
+        let mut t = RibTable::new();
+        t.apply(&ev(
+            10,
+            "rrc00",
+            "10.0.0.9",
+            65001,
+            announce("1.0.0.0/8", &[65001, 20], 10),
+        ));
+        t.apply(&ev(
+            11,
+            "rrc00",
+            "10.0.1.9",
+            65002,
+            announce("1.0.0.0/8", &[65002, 99], 11),
+        ));
+        let view = t.view(11);
+        assert_eq!(view.len(), 2);
+        assert_eq!(view.origin_asns(), vec![Asn(20), Asn(99)]);
+    }
+}

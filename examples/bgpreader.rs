@@ -21,10 +21,8 @@
 //!   -m                  bgpdump one-line output format (drop-in mode)
 //!   --json              ExaBGP-style JSON lines
 
-use bgpstream_repro::bgp_types::trie::PrefixMatch;
-use bgpstream_repro::bgp_types::{Asn, Prefix};
-use bgpstream_repro::bgpstream::{ascii, BgpStream};
-use bgpstream_repro::broker::{DataInterface, DumpType};
+use bgpstream_repro::bgpstream::ascii;
+use bgpstream_repro::prelude::*;
 use bgpstream_repro::worlds;
 
 enum Format {

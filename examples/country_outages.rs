@@ -12,7 +12,7 @@
 //! ```
 
 use bgpstream_repro::bgpstream::BgpStream;
-use bgpstream_repro::broker::DataInterface;
+use bgpstream_repro::broker::LocalBroker;
 use bgpstream_repro::consumers::{GeoMap, GlobalView, OutageConsumer};
 use bgpstream_repro::corsaro::{run_pipeline, RtPlugin};
 use bgpstream_repro::mq::{Cluster, SyncPolicy, SyncServer};
@@ -42,7 +42,7 @@ fn main() {
     let bin = 300u64;
     for collector in world.collectors.clone() {
         let mut stream = BgpStream::builder()
-            .data_interface(DataInterface::Broker(world.index.clone()))
+            .broker_client(LocalBroker::shared(world.index.clone()))
             .collector(&collector)
             .interval(0, Some(horizon))
             .start();

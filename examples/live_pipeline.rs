@@ -34,7 +34,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use bgpstream_repro::bgpstream::{BgpStream, Clock, DecodeMode};
-use bgpstream_repro::broker::{DataInterface, Index};
+use bgpstream_repro::broker::{Index, LocalBroker};
 use bgpstream_repro::collector_sim::feeder::bgpstream_clock::SharedClock;
 use bgpstream_repro::collector_sim::{CrashPlan, FaultPlan, LiveFeeder, Stall, WorkerKill};
 use bgpstream_repro::corsaro::runtime::{ShardedPlugin, ShardedRuntime};
@@ -152,12 +152,12 @@ fn main() {
     //    archive delivers. The soak's "zero dropped records" claim is
     //    live == this, to the record and to the elem.
     let mut hist_stream = BgpStream::builder()
-        .data_interface(DataInterface::Broker(world.index.clone()))
+        .broker_client(LocalBroker::shared(world.index.clone()))
         .interval(0, Some(world.info.horizon))
         .start();
     let mut max_ts = 0u64;
     let mut probe = BgpStream::builder()
-        .data_interface(DataInterface::Broker(world.index.clone()))
+        .broker_client(LocalBroker::shared(world.index.clone()))
         .interval(0, Some(world.info.horizon))
         .start();
     while let Some(r) = probe.next_record() {
@@ -271,7 +271,7 @@ fn main() {
     let mut monitor = PfxMonitor::new(ranges);
     let mut stats = ElemCounter::new();
     let mut stream = BgpStream::builder()
-        .data_interface(DataInterface::Broker(live_index))
+        .broker_client(LocalBroker::shared(live_index))
         .live(0)
         .watermark_release()
         .clock(clock)

@@ -7,8 +7,8 @@
 //! cargo run --example quickstart
 //! ```
 
-use bgpstream_repro::bgpstream::{ascii, BgpStream};
-use bgpstream_repro::broker::{DumpType, LocalBroker};
+use bgpstream_repro::bgpstream::ascii;
+use bgpstream_repro::prelude::*;
 use bgpstream_repro::worlds;
 
 fn main() {

@@ -13,7 +13,7 @@
 
 use bgpstream_repro::bgp_types::trie::PrefixMatch;
 use bgpstream_repro::bgpstream::{BgpStream, CommunityFilter, ElemType};
-use bgpstream_repro::broker::{DataInterface, DumpType};
+use bgpstream_repro::broker::{DumpType, LocalBroker};
 use bgpstream_repro::topology::dataplane::{select_probes, traceroute};
 use bgpstream_repro::worlds;
 
@@ -26,7 +26,7 @@ fn main() {
 
     // Stream 1: updates tagged with any black-holing community.
     let mut bh_stream = BgpStream::builder()
-        .data_interface(DataInterface::Broker(world.index.clone()))
+        .broker_client(LocalBroker::shared(world.index.clone()))
         .record_type(DumpType::Updates)
         .filter_community(CommunityFilter::any_asn(666))
         .filter_elem_type(ElemType::Announcement)
@@ -51,7 +51,7 @@ fn main() {
     let mut episodes: Vec<(bgpstream_repro::bgp_types::Prefix, u64, u64)> = Vec::new();
     for (start, prefix) in &detected {
         let mut wd_stream = BgpStream::builder()
-            .data_interface(DataInterface::Broker(world.index.clone()))
+            .broker_client(LocalBroker::shared(world.index.clone()))
             .record_type(DumpType::Updates)
             .filter_prefix(*prefix, PrefixMatch::Exact)
             .filter_elem_type(ElemType::Withdrawal)

@@ -13,7 +13,7 @@
 //! ```
 
 use bgpstream_repro::bgpstream::BgpStream;
-use bgpstream_repro::broker::DataInterface;
+use bgpstream_repro::broker::LocalBroker;
 use bgpstream_repro::corsaro::runtime::{ShardedPlugin, ShardedRuntime};
 use bgpstream_repro::corsaro::{ElemCounter, PfxMonitor, RtPlugin};
 use bgpstream_repro::worlds;
@@ -50,7 +50,7 @@ fn main() {
     let mut stats = ElemCounter::new();
 
     let mut stream = BgpStream::builder()
-        .data_interface(DataInterface::Broker(world.index.clone()))
+        .broker_client(LocalBroker::shared(world.index.clone()))
         .interval(0, Some(world.info.horizon))
         .start();
     let runtime = ShardedRuntime::builder()

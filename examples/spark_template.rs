@@ -15,7 +15,7 @@ use std::collections::BTreeMap;
 
 use bgpstream_repro::analytics::{par_map, rib_partitions};
 use bgpstream_repro::bgpstream::{BgpStream, ElemType};
-use bgpstream_repro::broker::{DataInterface, DumpType};
+use bgpstream_repro::broker::{DumpType, LocalBroker};
 use bgpstream_repro::worlds;
 
 fn main() {
@@ -32,7 +32,7 @@ fn main() {
     let index = world.index.clone();
     let mapped = par_map(partitions, 8, move |p| {
         let mut stream = BgpStream::builder()
-            .data_interface(DataInterface::Broker(index.clone()))
+            .broker_client(LocalBroker::shared(index.clone()))
             .project(&p.project)
             .collector(&p.collector)
             .record_type(DumpType::Rib)

@@ -9,7 +9,7 @@
 //! ```
 
 use bgpstream_repro::bgpstream::BgpStream;
-use bgpstream_repro::broker::DataInterface;
+use bgpstream_repro::broker::LocalBroker;
 use bgpstream_repro::corsaro::tag::{run_tagged_pipeline, ClassifierTagger, GeoTagger, TagCounter};
 use bgpstream_repro::worlds;
 
@@ -24,7 +24,7 @@ fn main() {
     let mut counter = TagCounter::new();
 
     let mut stream = BgpStream::builder()
-        .data_interface(DataInterface::Broker(world.index.clone()))
+        .broker_client(LocalBroker::shared(world.index.clone()))
         .interval(0, Some(world.info.horizon))
         .start();
     let records = run_tagged_pipeline(

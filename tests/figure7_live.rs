@@ -8,7 +8,7 @@
 use std::time::Duration;
 
 use bgpstream_repro::bgpstream::{BgpStream, Clock};
-use bgpstream_repro::broker::DataInterface;
+use bgpstream_repro::broker::LocalBroker;
 use bgpstream_repro::consumers::GlobalView;
 use bgpstream_repro::corsaro::codec::RtMessage;
 use bgpstream_repro::corsaro::{run_pipeline_until, RtPlugin};
@@ -41,7 +41,7 @@ fn figure7_per_collector_corsaro_sync_server_consumer() {
             let clock = clock.clone();
             std::thread::spawn(move || {
                 let mut stream = BgpStream::builder()
-                    .data_interface(DataInterface::Broker(index))
+                    .broker_client(LocalBroker::shared(index))
                     .collector(&collector)
                     .live(0)
                     .clock(clock)

@@ -3,7 +3,7 @@
 //! consumers) and the hijack detector over it.
 
 use bgpstream_repro::bgpstream::BgpStream;
-use bgpstream_repro::broker::DataInterface;
+use bgpstream_repro::broker::LocalBroker;
 use bgpstream_repro::consumers::{GlobalView, HijackAlarm, HijackDetector, MoasTracker};
 use bgpstream_repro::corsaro::codec::RtMessage;
 use bgpstream_repro::corsaro::{run_pipeline, RtPlugin};
@@ -23,7 +23,7 @@ fn hijack_is_detected_through_the_full_pipeline() {
     let mq = Cluster::shared();
     for collector in world.collectors.clone() {
         let mut stream = BgpStream::builder()
-            .data_interface(DataInterface::Broker(world.index.clone()))
+            .broker_client(LocalBroker::shared(world.index.clone()))
             .collector(&collector)
             .interval(0, Some(horizon))
             .start();
@@ -116,7 +116,7 @@ fn moas_tracker_sees_more_overall_than_any_collector() {
     let mq = Cluster::shared();
     for collector in world.collectors.clone() {
         let mut stream = BgpStream::builder()
-            .data_interface(DataInterface::Broker(world.index.clone()))
+            .broker_client(LocalBroker::shared(world.index.clone()))
             .collector(&collector)
             .interval(t, Some(t))
             .start();

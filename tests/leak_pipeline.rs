@@ -4,7 +4,7 @@
 //! detector — and the detector names the scripted leaker.
 
 use bgpstream_repro::bgpstream::BgpStream;
-use bgpstream_repro::broker::DataInterface;
+use bgpstream_repro::broker::LocalBroker;
 use bgpstream_repro::consumers::{LeakDetector, RelOracle};
 use bgpstream_repro::corsaro::{run_pipeline, RtPlugin};
 use bgpstream_repro::mq::Cluster;
@@ -27,7 +27,7 @@ fn route_leak_is_detected_through_the_full_pipeline() {
     let mq = Cluster::shared();
     for collector in world.collectors.clone() {
         let mut stream = BgpStream::builder()
-            .data_interface(DataInterface::Broker(world.index.clone()))
+            .broker_client(LocalBroker::shared(world.index.clone()))
             .collector(&collector)
             .interval(0, Some(horizon))
             .start();
@@ -70,7 +70,7 @@ fn clean_world_raises_no_leak_alarms() {
     let mq = Cluster::shared();
     for collector in world.collectors.clone() {
         let mut stream = BgpStream::builder()
-            .data_interface(DataInterface::Broker(world.index.clone()))
+            .broker_client(LocalBroker::shared(world.index.clone()))
             .collector(&collector)
             .interval(0, Some(world.info.horizon))
             .start();

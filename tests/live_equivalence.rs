@@ -20,7 +20,7 @@
 use std::sync::Arc;
 
 use bgpstream_repro::bgpstream::{BgpStream, Clock};
-use bgpstream_repro::broker::{DataInterface, Index};
+use bgpstream_repro::broker::{Index, LocalBroker};
 use bgpstream_repro::collector_sim::{CrashPlan, FaultPlan, LiveFeeder, Stall, WorkerKill};
 use bgpstream_repro::corsaro::runtime::{ShardedPlugin, ShardedRuntime};
 use bgpstream_repro::corsaro::{
@@ -67,7 +67,7 @@ fn fixture() -> &'static Fixture {
             .collect();
         let mk_stream = |index: &Arc<Index>, horizon| {
             BgpStream::builder()
-                .data_interface(DataInterface::Broker(index.clone()))
+                .broker_client(LocalBroker::shared(index.clone()))
                 .interval(0, Some(horizon))
                 .start()
         };
@@ -126,7 +126,7 @@ fn run_live_under(plan: &FaultPlan, seed: u64, workers: usize) -> Output {
     let mut pfx = PfxMonitor::new(fx.ranges.iter().copied());
     let mut stats = ElemCounter::new();
     let mut stream = BgpStream::builder()
-        .data_interface(DataInterface::Broker(live_index))
+        .broker_client(LocalBroker::shared(live_index))
         .live(0)
         .watermark_release()
         .clock(clock)

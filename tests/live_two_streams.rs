@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use bgpstream_repro::bgp_types::trie::PrefixMatch;
 use bgpstream_repro::bgpstream::{BgpStream, Clock, CommunityFilter, ElemType};
-use bgpstream_repro::broker::{DataInterface, DumpType};
+use bgpstream_repro::broker::{DumpType, LocalBroker};
 use bgpstream_repro::worlds;
 
 #[test]
@@ -27,7 +27,7 @@ fn rtbh_detection_via_two_live_streams() {
     let reader = std::thread::spawn(move || {
         // Stream 1: live, community-filtered.
         let mut bh = BgpStream::builder()
-            .data_interface(DataInterface::Broker(reader_index.clone()))
+            .broker_client(LocalBroker::shared(reader_index.clone()))
             .record_type(DumpType::Updates)
             .filter_community(CommunityFilter::any_asn(666))
             .filter_elem_type(ElemType::Announcement)
@@ -49,7 +49,7 @@ fn rtbh_detection_via_two_live_streams() {
         let (t0, prefix) = detected?;
         // ...then watch it with a second live stream for withdrawal.
         let mut wd = BgpStream::builder()
-            .data_interface(DataInterface::Broker(reader_index))
+            .broker_client(LocalBroker::shared(reader_index))
             .record_type(DumpType::Updates)
             .filter_prefix(prefix, PrefixMatch::Exact)
             .filter_elem_type(ElemType::Withdrawal)

@@ -9,7 +9,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use bgpstream_repro::bgpstream::{ascii, BgpStream};
-use bgpstream_repro::broker::{DataInterface, MirrorPolicy, MirrorSet};
+use bgpstream_repro::broker::{LocalBroker, MirrorPolicy, MirrorSet};
 use bgpstream_repro::worlds;
 
 /// Recursively copy an archive tree.
@@ -29,7 +29,7 @@ fn copy_tree(src: &Path, dst: &Path) {
 /// Drain a full stream into bgpdump-format lines.
 fn drain(index: Arc<bgpstream_repro::broker::Index>, horizon: u64) -> Vec<String> {
     let mut stream = BgpStream::builder()
-        .data_interface(DataInterface::Broker(index))
+        .broker_client(LocalBroker::shared(index))
         .interval(0, Some(horizon))
         .start();
     let mut lines = Vec::new();
@@ -105,7 +105,7 @@ fn demote_mid_poll_never_skips_or_repeats_a_window() {
     world.index.set_mirrors(mirrors.clone());
 
     let mut stream = BgpStream::builder()
-        .data_interface(DataInterface::Broker(world.index.clone()))
+        .broker_client(LocalBroker::shared(world.index.clone()))
         .interval(0, Some(horizon))
         .start();
     let mut lines = Vec::new();

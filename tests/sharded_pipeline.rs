@@ -6,7 +6,7 @@
 use std::sync::Mutex;
 
 use bgpstream_repro::bgpstream::BgpStream;
-use bgpstream_repro::broker::DataInterface;
+use bgpstream_repro::broker::LocalBroker;
 use bgpstream_repro::consumers::{drain_rt, drain_rt_sharded};
 use bgpstream_repro::corsaro::runtime::{ShardedPlugin, ShardedRuntime};
 use bgpstream_repro::corsaro::{run_pipeline, PfxMonitor, Plugin, RtPlugin};
@@ -21,7 +21,7 @@ fn sharded_runtime_reproduces_sequential_outputs_end_to_end() {
 
     let stream = |world: &worlds::World| {
         BgpStream::builder()
-            .data_interface(DataInterface::Broker(world.index.clone()))
+            .broker_client(LocalBroker::shared(world.index.clone()))
             .interval(0, Some(world.info.horizon))
             .start()
     };

@@ -3,7 +3,7 @@
 //! a tag-gated prefix monitor.
 
 use bgpstream_repro::bgpstream::BgpStream;
-use bgpstream_repro::broker::{DataInterface, DumpType};
+use bgpstream_repro::broker::{DumpType, LocalBroker};
 use bgpstream_repro::corsaro::tag::{
     run_tagged_pipeline, ClassifierTagger, GeoTagger, TagCounter, TAG_ANNOUNCE, TAG_RIB,
     TAG_UPDATES, TAG_V4,
@@ -22,7 +22,7 @@ fn tagged_pipeline_over_simulated_archive() {
     assert!(!geo.is_empty());
 
     let mut stream = BgpStream::builder()
-        .data_interface(DataInterface::Broker(world.index.clone()))
+        .broker_client(LocalBroker::shared(world.index.clone()))
         .interval(0, Some(world.info.horizon))
         .start();
 
@@ -99,7 +99,7 @@ fn tag_gate_scopes_inner_plugin_to_dump_type() {
     world.sim.run_until(world.info.horizon);
 
     let mut stream = BgpStream::builder()
-        .data_interface(DataInterface::Broker(world.index.clone()))
+        .broker_client(LocalBroker::shared(world.index.clone()))
         .interval(0, Some(world.info.horizon))
         .start();
 

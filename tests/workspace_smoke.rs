@@ -3,7 +3,7 @@
 //! miswired at a layer boundary regardless of what per-crate tests say.
 
 use bgpstream_repro::bgpstream::BgpStream;
-use bgpstream_repro::broker::DataInterface;
+use bgpstream_repro::broker::LocalBroker;
 use bgpstream_repro::worlds;
 
 #[test]
@@ -14,7 +14,7 @@ fn quickstart_world_streams_ordered_records_end_to_end() {
     world.sim.run_until(horizon);
 
     let mut stream = BgpStream::builder()
-        .data_interface(DataInterface::Broker(world.index.clone()))
+        .broker_client(LocalBroker::shared(world.index.clone()))
         .interval(0, Some(horizon))
         .start();
 
